@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: PS-PDG construction cost under each §4
+//! ablation ("PS-PDG w/o X") — how much work each extension adds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspdg_core::{build_pspdg, Feature, FeatureSet};
+use pspdg_nas::{benchmark, Class};
+use pspdg_pdg::{FunctionAnalyses, Pdg};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let b = benchmark("IS", Class::Test).expect("IS exists");
+    let p = b.program();
+    let prepared: Vec<_> = p
+        .module
+        .function_ids()
+        .map(|f| {
+            let a = FunctionAnalyses::compute(&p.module, f);
+            let pdg = Pdg::build(&p.module, f, &a);
+            (f, a, pdg)
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_is");
+    let mut variants = vec![("full".to_string(), FeatureSet::all())];
+    for feat in Feature::ALL {
+        variants.push((
+            format!("without_{}", feat.short_name().replace('+', "_")),
+            FeatureSet::all().without(feat),
+        ));
+    }
+    variants.push(("none".to_string(), FeatureSet::none()));
+    for (name, features) in variants {
+        group.bench_function(&name, |bench| {
+            bench.iter(|| {
+                for (f, a, pdg) in &prepared {
+                    black_box(build_pspdg(&p, *f, a, pdg, features));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark: the Fig. 14 ideal-machine emulation (trace
+//! generation + plan-constrained scheduling) per abstraction, on IS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspdg_emulator::emulate;
+use pspdg_ir::interp::{Interpreter, NullSink};
+use pspdg_nas::{benchmark, Class};
+use pspdg_parallelizer::{build_plan, Abstraction};
+use std::hint::black_box;
+
+fn bench_emulation(c: &mut Criterion) {
+    let b = benchmark("IS", Class::Test).expect("IS exists");
+    let p = b.program();
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).expect("runs");
+    let profile = interp.profile().clone();
+    let mut group = c.benchmark_group("critical_path_is");
+    group.sample_size(10);
+    for a in Abstraction::ALL {
+        let plan = build_plan(&p, &profile, a, 0.01);
+        group.bench_function(a.to_string(), |bench| {
+            bench.iter(|| black_box(emulate(&p, &plan).expect("emulates")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion micro-benchmark: ParC front-end throughput (lex + parse +
+//! lower + validate) on the NAS kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspdg_frontend::compile;
+use pspdg_nas::{suite, Class};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for b in suite(Class::Test) {
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| compile(black_box(&b.source)).expect("compiles"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

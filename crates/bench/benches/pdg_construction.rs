@@ -1,0 +1,30 @@
+//! Criterion micro-benchmark: PDG construction (alias analysis, affine
+//! subscripts, dependence tests, control dependence) per NAS kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspdg_nas::{suite, Class};
+use pspdg_pdg::{FunctionAnalyses, Pdg};
+use std::hint::black_box;
+
+fn bench_pdg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdg_construction");
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let funcs: Vec<_> = p
+            .module
+            .function_ids()
+            .map(|f| (f, FunctionAnalyses::compute(&p.module, f)))
+            .collect();
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                for (f, a) in &funcs {
+                    black_box(Pdg::build(&p.module, *f, a));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pdg);
+criterion_main!(benches);

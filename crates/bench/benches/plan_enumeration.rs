@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark: the Fig. 13 option enumeration (four
+//! abstractions, 56 cores) per NAS kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspdg_ir::interp::{Interpreter, NullSink};
+use pspdg_nas::{suite, Class};
+use pspdg_parallelizer::{enumerate_program, MachineModel};
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let machine = MachineModel::paper();
+    let mut group = c.benchmark_group("plan_enumeration");
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).expect("runs");
+        let profile = interp.profile().clone();
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| black_box(enumerate_program(&p, &profile, &machine, 0.01)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

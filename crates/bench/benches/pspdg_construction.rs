@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: PS-PDG construction on top of a prebuilt PDG
+//! (the §5 mapping: directives → nodes/traits/contexts/selectors/variables
+//! + dependence discharges).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pspdg_core::{build_pspdg, FeatureSet};
+use pspdg_nas::{suite, Class};
+use pspdg_pdg::{FunctionAnalyses, Pdg};
+use std::hint::black_box;
+
+fn bench_pspdg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pspdg_construction");
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let prepared: Vec<_> = p
+            .module
+            .function_ids()
+            .map(|f| {
+                let a = FunctionAnalyses::compute(&p.module, f);
+                let pdg = Pdg::build(&p.module, f, &a);
+                (f, a, pdg)
+            })
+            .collect();
+        group.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                for (f, a, pdg) in &prepared {
+                    black_box(build_pspdg(&p, *f, a, pdg, FeatureSet::all()));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pspdg);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Fig. 14: critical-path reduction over the
+//! programmer-encoded OpenMP plan, on an ideal machine (unlimited cores,
+//! zero-cost communication, perfect memory).
+//!
+//! Methodology (§6.3): for each abstraction, every outermost hot loop is
+//! parallelized with DOALL/HELIX using the abstraction's SCCs (J&K and
+//! PS-PDG additionally keep inner developer-expressed loops); the critical
+//! path is the number of dynamic instructions that must run sequentially.
+
+use pspdg_emulator::compare_plans;
+use pspdg_nas::{suite, Class};
+use pspdg_parallelizer::Abstraction;
+
+fn main() {
+    println!("Fig. 14 — Critical-path reduction over the OpenMP plan (ideal machine)");
+    println!();
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12}   {:>9} {:>9} {:>9}",
+        "bench", "CP(OpenMP)", "CP(PDG)", "CP(J&K)", "CP(PS-PDG)", "PDG×", "J&K×", "PS-PDG×"
+    );
+    println!("{}", "-".repeat(92));
+    for b in suite(Class::Mini) {
+        let row = compare_plans(b.name, &b.program()).expect("benchmark emulates");
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12}   {:>9.3} {:>9.3} {:>9.3}",
+            b.name,
+            row.critical_path(Abstraction::OpenMp),
+            row.critical_path(Abstraction::Pdg),
+            row.critical_path(Abstraction::Jk),
+            row.critical_path(Abstraction::PsPdg),
+            row.reduction_over_openmp(Abstraction::Pdg),
+            row.reduction_over_openmp(Abstraction::Jk),
+            row.reduction_over_openmp(Abstraction::PsPdg),
+        );
+    }
+    println!("{}", "-".repeat(92));
+    println!();
+    println!("Expected shape (paper): PS-PDG ≥ 1 everywhere (never loses programmer");
+    println!("parallelism), PDG often << 1 (loses pragma knowledge), J&K in between.");
+}

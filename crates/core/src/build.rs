@@ -1,0 +1,778 @@
+//! PS-PDG construction from a parallel program and its PDG.
+//!
+//! The builder realizes the §5 mapping:
+//!
+//! * **Declarations of independence** (`for`, `sections`, `task`,
+//!   `taskloop`, `simd`, `cilk_spawn`, `cilk_for`) remove the dependences
+//!   the programmer declared not to exist — loop-carried dependences of
+//!   worksharing loops, dependences between sibling sections/tasks —
+//!   *except* those the program still constrains through `ordered` regions
+//!   (kept directed) and `critical`/`atomic` regions (converted to
+//!   undirected mutual-exclusion edges between hierarchical nodes);
+//! * **Data properties** (`private`, `threadprivate`, `reduction`) become
+//!   [`Variable`]s with use/def edges; `firstprivate`/`lastprivate` become
+//!   `AllConsumers`/`LastProducer` data selectors, and unsynchronized
+//!   shared live-outs of worksharing loops get `AnyProducer`;
+//! * **Ordering** (`critical`, `atomic`) becomes hierarchical nodes with
+//!   the `atomic`+`orderless` traits and undirected edges; `ordered`
+//!   keeps the sequential (directed, carried) edges.
+//!
+//! Every step is gated on the corresponding [`Feature`] so the §4 ablation
+//! study can be reproduced: disabling a feature always degrades to the
+//! *stricter* (more constrained) semantics.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use pspdg_ir::{FuncId, InstId, LoopId};
+use pspdg_parallel::{
+    DataClause, Depend, DependKind, Directive, DirectiveId, DirectiveKind, ParallelProgram,
+};
+use pspdg_pdg::{
+    base_of_varref, collect_mem_refs, DepKind, FunctionAnalyses, MemBase, Pdg, PdgEdge,
+};
+
+use crate::features::{Feature, FeatureSet};
+use crate::graph::{
+    Context, ContextId, ContextOrigin, DataSelector, Node, NodeId, NodeKind, NodeTrait, PsEdge,
+    PsPdg, SelectorKind, TraitKind, Variable, VariableAccess, VariableKind,
+};
+
+/// Sentinel loop id meaning "carried at some unspecified loop" (used when
+/// the `Contexts` feature is ablated).
+pub const UNKNOWN_LOOP: LoopId = LoopId(u32::MAX);
+
+/// Build the PS-PDG of `func`.
+pub fn build_pspdg(
+    program: &ParallelProgram,
+    func: FuncId,
+    analyses: &FunctionAnalyses,
+    pdg: &Pdg,
+    features: FeatureSet,
+) -> PsPdg {
+    Builder { program, func, analyses, pdg, features }.run()
+}
+
+struct Builder<'a> {
+    program: &'a ParallelProgram,
+    func: FuncId,
+    analyses: &'a FunctionAnalyses,
+    pdg: &'a Pdg,
+    features: FeatureSet,
+}
+
+/// A region-backed directive resolved to instruction sets.
+#[derive(Debug, Clone)]
+struct DirInfo {
+    id: DirectiveId,
+    kind: DirectiveKind,
+    insts: BTreeSet<InstId>,
+    /// For loop constructs, the associated natural loop.
+    loop_id: Option<LoopId>,
+    clauses: Vec<DataClause>,
+    depends: Vec<Depend>,
+    /// First block index of the region (used to order sibling regions).
+    first_block: usize,
+}
+
+impl Builder<'_> {
+    fn run(self) -> PsPdg {
+        let f = self.program.module.function(self.func);
+        let n_insts = f.insts.len();
+        let hn = self.features.has(Feature::HierarchicalUndirected);
+        let traits_on = self.features.has(Feature::NodeTraits);
+        let ctx_on = self.features.has(Feature::Contexts);
+        let sel_on = self.features.has(Feature::DataSelectors);
+        let vars_on = self.features.has(Feature::ParallelVariables);
+
+        // ---- resolve directives -------------------------------------------
+        let dirs: Vec<DirInfo> = self
+            .program
+            .directives_in(self.func)
+            .map(|(id, d)| self.resolve_dir(id, d))
+            .collect();
+
+        // ---- nodes ---------------------------------------------------------
+        let mut nodes: Vec<Node> = (0..n_insts)
+            .map(|i| Node {
+                kind: NodeKind::Instruction(InstId::from_index(i)),
+                traits: Vec::new(),
+                label: String::new(),
+            })
+            .collect();
+        let inst_node: Vec<NodeId> = (0..n_insts).map(|i| NodeId(i as u32)).collect();
+        let mut contexts: Vec<Context> = Vec::new();
+
+        // Hierarchical node per natural loop (labeled = context).
+        let mut loop_node: HashMap<LoopId, NodeId> = HashMap::new();
+        let mut loop_ctx: HashMap<LoopId, ContextId> = HashMap::new();
+        if hn {
+            for l in self.analyses.forest.loop_ids() {
+                let insts = self.analyses.loop_insts(l);
+                let node_id = NodeId(nodes.len() as u32);
+                let ctx = if ctx_on {
+                    let c = ContextId(contexts.len() as u32);
+                    contexts.push(Context { node: node_id, origin: ContextOrigin::Loop(l) });
+                    loop_ctx.insert(l, c);
+                    Some(c)
+                } else {
+                    None
+                };
+                nodes.push(Node {
+                    kind: NodeKind::Hierarchical {
+                        children: insts.iter().map(|i| inst_node[i.index()]).collect(),
+                        context: ctx,
+                    },
+                    traits: Vec::new(),
+                    label: format!("loop {}", self.analyses.forest.info(l).header),
+                });
+                loop_node.insert(l, node_id);
+            }
+        }
+
+        // Hierarchical node per region directive. Worksharing-loop
+        // directives and `ordered` reuse/annotate existing structure and get
+        // no node of their own (see module docs).
+        let mut dir_node: HashMap<DirectiveId, NodeId> = HashMap::new();
+        let mut dir_ctx: HashMap<DirectiveId, ContextId> = HashMap::new();
+        if hn {
+            for d in &dirs {
+                let makes_node = matches!(
+                    d.kind,
+                    DirectiveKind::Parallel
+                        | DirectiveKind::Critical { .. }
+                        | DirectiveKind::Atomic
+                        | DirectiveKind::Single { .. }
+                        | DirectiveKind::Master
+                        | DirectiveKind::Sections
+                        | DirectiveKind::Section
+                        | DirectiveKind::Task { .. }
+                        | DirectiveKind::Barrier
+                        | DirectiveKind::Taskwait
+                        | DirectiveKind::CilkSpawn
+                        | DirectiveKind::CilkSync
+                        | DirectiveKind::CilkScope
+                );
+                if !makes_node {
+                    continue;
+                }
+                let node_id = NodeId(nodes.len() as u32);
+                // Parallel regions and Cilk scopes are labeled (contexts):
+                // they are the regions other semantics reference.
+                let ctx = if ctx_on
+                    && matches!(d.kind, DirectiveKind::Parallel | DirectiveKind::CilkScope)
+                {
+                    let c = ContextId(contexts.len() as u32);
+                    contexts.push(Context { node: node_id, origin: ContextOrigin::Directive(d.id) });
+                    Some(c)
+                } else {
+                    None
+                };
+                nodes.push(Node {
+                    kind: NodeKind::Hierarchical {
+                        children: d.insts.iter().map(|i| inst_node[i.index()]).collect(),
+                        context: ctx,
+                    },
+                    traits: Vec::new(),
+                    label: d.kind.name().to_string(),
+                });
+                dir_node.insert(d.id, node_id);
+                if let Some(c) = ctx {
+                    dir_ctx.insert(d.id, c);
+                }
+            }
+        }
+
+        // ---- traits ---------------------------------------------------------
+        if hn && traits_on {
+            for d in &dirs {
+                let Some(&node) = dir_node.get(&d.id) else { continue };
+                let ctx = self.semantic_context(d, &dirs, &dir_ctx, &loop_ctx);
+                match &d.kind {
+                    DirectiveKind::Critical { .. } | DirectiveKind::Atomic => {
+                        nodes[node.index()].traits.push(NodeTrait { kind: TraitKind::Atomic, context: ctx });
+                        nodes[node.index()]
+                            .traits
+                            .push(NodeTrait { kind: TraitKind::Orderless, context: ctx });
+                    }
+                    DirectiveKind::Single { .. } | DirectiveKind::Master => {
+                        nodes[node.index()]
+                            .traits
+                            .push(NodeTrait { kind: TraitKind::Singular, context: ctx });
+                    }
+                    DirectiveKind::Task { .. } | DirectiveKind::Section | DirectiveKind::CilkSpawn => {
+                        nodes[node.index()]
+                            .traits
+                            .push(NodeTrait { kind: TraitKind::Orderless, context: ctx });
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // ---- variables ------------------------------------------------------
+        let mut variables: Vec<Variable> = Vec::new();
+        let mut accesses: Vec<VariableAccess> = Vec::new();
+        let refs = collect_mem_refs(&self.program.module, self.func, self.analyses);
+        if vars_on {
+            let mut seen: BTreeSet<(MemBase, bool)> = BTreeSet::new();
+            for d in &dirs {
+                let ctx = self.semantic_context(d, &dirs, &dir_ctx, &loop_ctx);
+                for clause in &d.clauses {
+                    let (kind, var) = match clause {
+                        DataClause::Private(v) | DataClause::Threadprivate(v) => {
+                            (VariableKind::Privatizable, *v)
+                        }
+                        DataClause::Reduction { op, var } => (VariableKind::Reducible(*op), *var),
+                        // first/lastprivate map to data selectors (§5.2).
+                        _ => continue,
+                    };
+                    let Some(base) = base_of_varref(self.func, var) else { continue };
+                    let key = (base, matches!(kind, VariableKind::Reducible(_)));
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let mut acc = VariableAccess::default();
+                    for r in &refs {
+                        if r.base == base {
+                            if r.is_write {
+                                acc.defs.push(inst_node[r.inst.index()]);
+                            } else {
+                                acc.uses.push(inst_node[r.inst.index()]);
+                            }
+                        }
+                    }
+                    variables.push(Variable {
+                        base,
+                        kind,
+                        context: ctx,
+                        name: self.program.var_name(var),
+                    });
+                    accesses.push(acc);
+                }
+            }
+        }
+
+        // ---- effective dependence graph -------------------------------------
+        let mut removed = vec![false; self.pdg.edges.len()];
+        // Worksharing declarations *narrow* an edge's carried set (the
+        // dependence may still be carried at other loops); an edge disappears
+        // only when nothing remains.
+        let mut uncarried: HashMap<usize, BTreeSet<LoopId>> = HashMap::new();
+        let mut undirected: Vec<PsEdge> = Vec::new();
+        let mut selectors: HashMap<usize, DataSelector> = HashMap::new();
+
+        // Independence declarations and ordering conversions need the
+        // protecting-region maps. Returns (lock identity, directive index).
+        let lock_of = |inst: InstId| -> Option<(String, usize)> {
+            for (di, d) in dirs.iter().enumerate() {
+                match &d.kind {
+                    DirectiveKind::Critical { name } if d.insts.contains(&inst) => {
+                        return Some((
+                            format!("critical:{}", name.clone().unwrap_or_default()),
+                            di,
+                        ));
+                    }
+                    DirectiveKind::Atomic if d.insts.contains(&inst) => {
+                        return Some((format!("atomic:{}", d.first_block), di));
+                    }
+                    _ => {}
+                }
+            }
+            None
+        };
+        // Mutual-exclusion conversion only applies when the protected
+        // region *re-executes* inside the carried loop (region ⊆ loop); a
+        // dependence carried by a loop nested inside the critical region is
+        // an ordinary within-instance sequential dependence. Unreachable
+        // stub blocks (e.g. the empty else of an `if`) are ignored.
+        let reachable: BTreeSet<InstId> = {
+            let f = self.program.module.function(self.func);
+            let owner = f.inst_blocks();
+            f.inst_ids()
+                .filter(|i| {
+                    owner[i.index()].is_some_and(|bb| self.analyses.cfg.is_reachable(bb))
+                })
+                .collect()
+        };
+        let region_inside_loop = |di: usize, l: LoopId| -> bool {
+            let loop_insts: BTreeSet<InstId> = self.analyses.loop_insts(l).into_iter().collect();
+            dirs[di]
+                .insts
+                .iter()
+                .filter(|i| reachable.contains(i))
+                .all(|i| loop_insts.contains(i))
+        };
+        let region_node_of = |inst: InstId| -> Option<NodeId> {
+            for d in &dirs {
+                if matches!(d.kind, DirectiveKind::Critical { .. } | DirectiveKind::Atomic)
+                    && d.insts.contains(&inst)
+                {
+                    return dir_node.get(&d.id).copied();
+                }
+            }
+            None
+        };
+        let in_ordered = |inst: InstId| -> bool {
+            dirs.iter()
+                .any(|d| matches!(d.kind, DirectiveKind::Ordered) && d.insts.contains(&inst))
+        };
+
+        // 1. Worksharing independence: carried deps of worksharing loops.
+        if ctx_on {
+            for d in &dirs {
+                if !matches!(
+                    d.kind,
+                    DirectiveKind::For { .. }
+                        | DirectiveKind::CilkFor
+                        | DirectiveKind::Taskloop
+                        | DirectiveKind::Simd
+                ) {
+                    continue;
+                }
+                let Some(l) = d.loop_id else { continue };
+                for (ei, e) in self.pdg.edges.iter().enumerate() {
+                    if removed[ei] || !e.kind.is_memory() || !e.kind.carried_at(l) {
+                        continue;
+                    }
+                    if !d.insts.contains(&e.src) || !d.insts.contains(&e.dst) {
+                        continue;
+                    }
+                    if in_ordered(e.src) && in_ordered(e.dst) {
+                        continue; // ordered keeps the sequential order
+                    }
+                    match (lock_of(e.src), lock_of(e.dst)) {
+                        (Some((la, da)), Some((lb, db)))
+                            if la == lb && region_inside_loop(da, l) && region_inside_loop(db, l) =>
+                        {
+                            if hn {
+                                removed[ei] = true;
+                                let (na, nb) =
+                                    (region_node_of(e.src).unwrap(), region_node_of(e.dst).unwrap());
+                                let ctx = loop_ctx.get(&l).copied();
+                                push_undirected(&mut undirected, na, nb, ctx);
+                            }
+                            // w/o HN+UE the directed edge stays (stricter).
+                        }
+                        (Some(_), Some(_)) => {
+                            // Same-instance dependence (loop inside the
+                            // region) or different locks: keep directed.
+                        }
+                        _ => {
+                            uncarried.entry(ei).or_default().insert(l);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Critical/atomic mutual exclusion in every loop of the enclosing
+        //    parallel (or scope) region, not only worksharing ones.
+        if hn {
+            for (ei, e) in self.pdg.edges.iter().enumerate() {
+                if removed[ei] || !e.kind.is_memory() || e.kind.carried().is_empty() {
+                    continue;
+                }
+                let (Some((la, da)), Some((lb, db))) = (lock_of(e.src), lock_of(e.dst)) else {
+                    continue;
+                };
+                if la != lb {
+                    continue;
+                }
+                // Some carried loop must contain both regions (the regions
+                // are what re-execute and mutually exclude).
+                let convertible = e
+                    .kind
+                    .carried()
+                    .iter()
+                    .any(|l| region_inside_loop(da, *l) && region_inside_loop(db, *l));
+                if !convertible {
+                    continue;
+                }
+                removed[ei] = true;
+                let (na, nb) = (region_node_of(e.src).unwrap(), region_node_of(e.dst).unwrap());
+                // Context: the enclosing parallel region if any.
+                let ctx = if ctx_on {
+                    self.enclosing_parallel_ctx(e.src, &dirs, &dir_ctx)
+                } else {
+                    None
+                };
+                push_undirected(&mut undirected, na, nb, ctx);
+            }
+        }
+
+        // 3. Sections / tasks / spawns: independence between sibling regions.
+        if ctx_on {
+            self.sibling_independence(&dirs, &mut removed);
+        }
+
+        // 4. Data selectors on loop-boundary flow edges.
+        if sel_on && ctx_on {
+            for d in &dirs {
+                let Some(l) = d.loop_id else { continue };
+                if !matches!(d.kind, DirectiveKind::For { .. } | DirectiveKind::CilkFor | DirectiveKind::Taskloop)
+                {
+                    continue;
+                }
+                let ctx = loop_ctx.get(&l).copied();
+                let lastprivs: BTreeSet<MemBase> = d
+                    .clauses
+                    .iter()
+                    .filter_map(|c| match c {
+                        DataClause::Lastprivate(v) => base_of_varref(self.func, *v),
+                        _ => None,
+                    })
+                    .collect();
+                let firstprivs: BTreeSet<MemBase> = d
+                    .clauses
+                    .iter()
+                    .filter_map(|c| match c {
+                        DataClause::Firstprivate(v) => base_of_varref(self.func, *v),
+                        _ => None,
+                    })
+                    .collect();
+                // Reduction live-outs carry the merged value, not "any
+                // iteration's" — visible only with parallel variables on.
+                let reductions: BTreeSet<MemBase> = if vars_on {
+                    d.clauses
+                        .iter()
+                        .filter_map(|c| match c {
+                            DataClause::Reduction { var, .. } => base_of_varref(self.func, *var),
+                            _ => None,
+                        })
+                        .collect()
+                } else {
+                    BTreeSet::new()
+                };
+                for (ei, e) in self.pdg.edges.iter().enumerate() {
+                    if removed[ei] {
+                        continue;
+                    }
+                    let DepKind::Flow { .. } = e.kind else { continue };
+                    let Some(base) = e.base else { continue };
+                    let src_in = d.insts.contains(&e.src);
+                    let dst_in = d.insts.contains(&e.dst);
+                    if src_in && !dst_in {
+                        // live-out
+                        if lastprivs.contains(&base) {
+                            selectors.insert(
+                                ei,
+                                DataSelector { kind: SelectorKind::LastProducer, context: ctx },
+                            );
+                        } else if self.scalar_base(base) && !reductions.contains(&base) {
+                            selectors.insert(
+                                ei,
+                                DataSelector { kind: SelectorKind::AnyProducer, context: ctx },
+                            );
+                        }
+                    } else if !src_in && dst_in && firstprivs.contains(&base) {
+                        selectors.insert(
+                            ei,
+                            DataSelector { kind: SelectorKind::AllConsumers, context: ctx },
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- assemble -------------------------------------------------------
+        let mut eff_edges: Vec<PdgEdge> = Vec::new();
+        let mut ps_edges: Vec<PsEdge> = Vec::new();
+        for (ei, e) in self.pdg.edges.iter().enumerate() {
+            if removed[ei] {
+                continue;
+            }
+            let mut e2 = e.clone();
+            if let Some(gone) = uncarried.get(&ei) {
+                if !narrow_carried(&mut e2.kind, gone) {
+                    continue; // nothing left of the dependence
+                }
+            }
+            if !ctx_on {
+                blur_carried(&mut e2.kind);
+            }
+            ps_edges.push(PsEdge::Directed {
+                src: inst_node[e2.src.index()],
+                dst: inst_node[e2.dst.index()],
+                dep: e2.kind.clone(),
+                base: e2.base,
+                selector: selectors.get(&ei).copied(),
+            });
+            eff_edges.push(e2);
+        }
+        ps_edges.extend(undirected);
+
+        let effective = Pdg::from_edges(self.func, n_insts, eff_edges);
+        PsPdg {
+            func: self.func,
+            nodes,
+            edges: ps_edges,
+            contexts,
+            variables,
+            accesses,
+            inst_node,
+            effective,
+            features: self.features,
+        }
+    }
+
+    /// Resolve a directive's region to instruction sets.
+    fn resolve_dir(&self, id: DirectiveId, d: &Directive) -> DirInfo {
+        let f = self.program.module.function(self.func);
+        let mut insts = BTreeSet::new();
+        for &bb in &d.region.blocks {
+            insts.extend(f.block(bb).insts.iter().copied());
+        }
+        let loop_id = d
+            .loop_header
+            .and_then(|h| self.analyses.forest.loop_ids().find(|l| self.analyses.forest.info(*l).header == h));
+        let depends = match &d.kind {
+            DirectiveKind::Task { depends } => depends.clone(),
+            _ => Vec::new(),
+        };
+        DirInfo {
+            id,
+            kind: d.kind.clone(),
+            insts,
+            loop_id,
+            clauses: d.clauses.clone(),
+            depends,
+            first_block: d.region.blocks.first().map(|b| b.index()).unwrap_or(0),
+        }
+    }
+
+    /// The context a directive's semantics applies to: the innermost
+    /// enclosing parallel/scope directive, else the innermost enclosing
+    /// loop, else none.
+    fn semantic_context(
+        &self,
+        d: &DirInfo,
+        dirs: &[DirInfo],
+        dir_ctx: &HashMap<DirectiveId, ContextId>,
+        loop_ctx: &HashMap<LoopId, ContextId>,
+    ) -> Option<ContextId> {
+        if !self.features.has(Feature::Contexts) {
+            return None;
+        }
+        // A directive that is itself a labeled region (parallel, scope) is
+        // its own semantic context.
+        if let Some(c) = dir_ctx.get(&d.id) {
+            return Some(*c);
+        }
+        // Worksharing loops: their own loop is the context.
+        if let Some(l) = d.loop_id {
+            if let Some(c) = loop_ctx.get(&l) {
+                return Some(*c);
+            }
+        }
+        // Innermost enclosing parallel/scope region.
+        let mut best: Option<(&DirInfo, ContextId)> = None;
+        for other in dirs {
+            if other.id == d.id {
+                continue;
+            }
+            if !matches!(other.kind, DirectiveKind::Parallel | DirectiveKind::CilkScope) {
+                continue;
+            }
+            if !d.insts.is_subset(&other.insts) {
+                continue;
+            }
+            let Some(c) = dir_ctx.get(&other.id) else { continue };
+            best = Some(match best {
+                None => (other, *c),
+                Some((cur, curc)) => {
+                    if other.insts.len() < cur.insts.len() {
+                        (other, *c)
+                    } else {
+                        (cur, curc)
+                    }
+                }
+            });
+        }
+        if let Some((_, c)) = best {
+            return Some(c);
+        }
+        // Innermost enclosing loop.
+        let first = d.insts.iter().next()?;
+        let owner = self.program.module.function(self.func).inst_blocks();
+        let bb = owner[first.index()]?;
+        self.analyses
+            .forest
+            .innermost(bb)
+            .and_then(|l| loop_ctx.get(&l).copied())
+    }
+
+    /// The context of the parallel region enclosing `inst`, if any.
+    fn enclosing_parallel_ctx(
+        &self,
+        inst: InstId,
+        dirs: &[DirInfo],
+        dir_ctx: &HashMap<DirectiveId, ContextId>,
+    ) -> Option<ContextId> {
+        dirs.iter()
+            .filter(|d| matches!(d.kind, DirectiveKind::Parallel | DirectiveKind::CilkScope))
+            .filter(|d| d.insts.contains(&inst))
+            .min_by_key(|d| d.insts.len())
+            .and_then(|d| dir_ctx.get(&d.id).copied())
+    }
+
+    /// Independence between sibling sections / tasks / spawned calls.
+    fn sibling_independence(&self, dirs: &[DirInfo], removed: &mut [bool]) {
+        // Sections inside the same `sections` container.
+        for container in dirs.iter().filter(|d| matches!(d.kind, DirectiveKind::Sections)) {
+            let members: Vec<&DirInfo> = dirs
+                .iter()
+                .filter(|d| {
+                    matches!(d.kind, DirectiveKind::Section) && d.insts.is_subset(&container.insts)
+                })
+                .collect();
+            for (i, a) in members.iter().enumerate() {
+                for b in members.iter().skip(i + 1) {
+                    self.remove_between(&a.insts, &b.insts, removed, None);
+                }
+            }
+        }
+        // Tasks: independent unless their depend clauses conflict.
+        let tasks: Vec<&DirInfo> =
+            dirs.iter().filter(|d| matches!(d.kind, DirectiveKind::Task { .. })).collect();
+        for (i, a) in tasks.iter().enumerate() {
+            for b in tasks.iter().skip(i + 1) {
+                if depends_conflict(&a.depends, &b.depends) {
+                    continue;
+                }
+                self.remove_between(&a.insts, &b.insts, removed, None);
+            }
+        }
+        // cilk_spawn: the spawned region is independent of the continuation
+        // until the next sync point (cilk_sync or the end of the enclosing
+        // scope); memory dependences between them are declared absent.
+        let syncs: Vec<&DirInfo> = dirs
+            .iter()
+            .filter(|d| matches!(d.kind, DirectiveKind::CilkSync | DirectiveKind::Barrier | DirectiveKind::Taskwait))
+            .collect();
+        for spawn in dirs.iter().filter(|d| matches!(d.kind, DirectiveKind::CilkSpawn)) {
+            let spawn_end = spawn.first_block;
+            // The continuation: instructions in blocks after the spawn
+            // region and before the next sync directive's block.
+            let next_sync_block = syncs
+                .iter()
+                .map(|s| s.first_block)
+                .filter(|b| *b > spawn_end)
+                .min()
+                .unwrap_or(usize::MAX);
+            let f = self.program.module.function(self.func);
+            let owner = f.inst_blocks();
+            let continuation: BTreeSet<InstId> = f
+                .inst_ids()
+                .filter(|i| {
+                    let Some(bb) = owner[i.index()] else { return false };
+                    bb.index() > spawn_end
+                        && bb.index() < next_sync_block
+                        && !spawn.insts.contains(i)
+                })
+                .collect();
+            self.remove_between(&spawn.insts, &continuation, removed, None);
+        }
+    }
+
+    /// Remove memory dependences between two instruction sets (except
+    /// through `keep_base`).
+    fn remove_between(
+        &self,
+        a: &BTreeSet<InstId>,
+        b: &BTreeSet<InstId>,
+        removed: &mut [bool],
+        keep_base: Option<MemBase>,
+    ) {
+        for (ei, e) in self.pdg.edges.iter().enumerate() {
+            if removed[ei] || !e.kind.is_memory() {
+                continue;
+            }
+            if keep_base.is_some() && e.base == keep_base {
+                continue;
+            }
+            let fwd = a.contains(&e.src) && b.contains(&e.dst);
+            let bwd = b.contains(&e.src) && a.contains(&e.dst);
+            if fwd || bwd {
+                removed[ei] = true;
+            }
+        }
+    }
+
+    /// Whether a base object is a single-cell scalar.
+    fn scalar_base(&self, base: MemBase) -> bool {
+        match base {
+            MemBase::Alloca(i) => {
+                match &self.program.module.function(self.func).inst(i).inst {
+                    pspdg_ir::Inst::Alloca { ty, .. } => ty.flat_len() == 1,
+                    _ => false,
+                }
+            }
+            MemBase::Global(g) => self.program.module.global(g).ty.flat_len() == 1,
+            _ => false,
+        }
+    }
+}
+
+fn push_undirected(edges: &mut Vec<PsEdge>, a: NodeId, b: NodeId, context: Option<ContextId>) {
+    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    let candidate = PsEdge::Undirected { a, b, context };
+    if !edges.contains(&candidate) {
+        edges.push(candidate);
+    }
+}
+
+/// Remove `gone` loops from a memory dependence's carried set; returns
+/// whether the edge still constrains anything (some carried loop left, or
+/// an equal-iteration dependence).
+fn narrow_carried(kind: &mut DepKind, gone: &BTreeSet<LoopId>) -> bool {
+    match kind {
+        DepKind::Flow { carried, intra }
+        | DepKind::Anti { carried, intra }
+        | DepKind::Output { carried, intra } => {
+            carried.retain(|l| !gone.contains(l));
+            !carried.is_empty() || *intra
+        }
+        _ => true,
+    }
+}
+
+/// Replace precise carried-loop annotations with the UNKNOWN sentinel
+/// (ablating the `Contexts` feature loses *where* a dependence is carried).
+fn blur_carried(kind: &mut DepKind) {
+    let blur = |carried: &mut Vec<LoopId>| {
+        if !carried.is_empty() {
+            *carried = vec![UNKNOWN_LOOP];
+        }
+    };
+    match kind {
+        DepKind::Flow { carried, .. }
+        | DepKind::Anti { carried, .. }
+        | DepKind::Output { carried, .. } => blur(carried),
+        _ => {}
+    }
+}
+
+/// Do two tasks' depend clauses force an ordering?
+fn depends_conflict(a: &[Depend], b: &[Depend]) -> bool {
+    for da in a {
+        for db in b {
+            if da.var != db.var {
+                continue;
+            }
+            let writes = |k: DependKind| matches!(k, DependKind::Out | DependKind::Inout);
+            if writes(da.kind) || writes(db.kind) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Build a map from base object to the variables describing it.
+pub fn variables_by_base(pspdg: &PsPdg) -> BTreeMap<MemBase, Vec<usize>> {
+    let mut map: BTreeMap<MemBase, Vec<usize>> = BTreeMap::new();
+    for (i, v) in pspdg.variables.iter().enumerate() {
+        map.entry(v.base).or_default().push(i);
+    }
+    map
+}

@@ -1,0 +1,124 @@
+//! Graphviz (DOT) export of a PS-PDG, for debugging and papers.
+
+use std::fmt::Write as _;
+
+use crate::graph::{NodeKind, PsEdge, PsPdg};
+
+/// Render the PS-PDG as a `digraph`. Hierarchical nodes become clusters;
+/// undirected edges render with `dir=none`; traits and selectors become
+/// edge/cluster labels.
+pub fn to_dot(pspdg: &PsPdg, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{title}\" {{");
+    let _ = writeln!(s, "  compound=true; node [shape=box, fontsize=9];");
+    // Leaf nodes.
+    for (i, n) in pspdg.nodes.iter().enumerate() {
+        if let NodeKind::Instruction(inst) = &n.kind {
+            let _ = writeln!(s, "  n{i} [label=\"{inst}\"];");
+        }
+    }
+    // Hierarchical nodes as clusters (one level of nesting rendered flat —
+    // enough for inspection).
+    for (i, n) in pspdg.nodes.iter().enumerate() {
+        if let NodeKind::Hierarchical { children, context } = &n.kind {
+            let traits: Vec<&str> = n.traits.iter().map(|t| t.kind.name()).collect();
+            let ctx = context.map(|c| format!(" {c}")).unwrap_or_default();
+            let _ = writeln!(s, "  subgraph cluster_{i} {{");
+            let _ = writeln!(
+                s,
+                "    label=\"{}{}{}\"; style=rounded;",
+                n.label,
+                ctx,
+                if traits.is_empty() { String::new() } else { format!(" [{}]", traits.join(",")) }
+            );
+            for c in children {
+                if matches!(pspdg.node(*c).kind, NodeKind::Instruction(_)) {
+                    let _ = writeln!(s, "    n{};", c.index());
+                }
+            }
+            let _ = writeln!(s, "  }}");
+        }
+    }
+    // Edges.
+    for e in &pspdg.edges {
+        match e {
+            PsEdge::Directed { src, dst, dep, selector, .. } => {
+                let mut label = dep.name().to_string();
+                if !dep.carried().is_empty() {
+                    label.push_str(" carried");
+                }
+                if let Some(sel) = selector {
+                    let _ = write!(label, " {}", sel.kind.name());
+                }
+                let style = match dep {
+                    pspdg_pdg::DepKind::Control => ", style=dashed",
+                    pspdg_pdg::DepKind::Register => ", color=gray",
+                    _ => "",
+                };
+                let _ = writeln!(
+                    s,
+                    "  n{} -> n{} [label=\"{label}\", fontsize=8{style}];",
+                    src.index(),
+                    dst.index()
+                );
+            }
+            PsEdge::Undirected { a, b, context } => {
+                let ctx = context.map(|c| format!(" @{c}")).unwrap_or_default();
+                // Clusters cannot be edge endpoints directly; use a member.
+                let pick = |n: crate::graph::NodeId| -> usize {
+                    pspdg
+                        .node_insts(n)
+                        .first()
+                        .map(|i| pspdg.node_of(*i).index())
+                        .unwrap_or(n.index())
+                };
+                let _ = writeln!(
+                    s,
+                    "  n{} -> n{} [dir=none, color=red, label=\"mutex{ctx}\", fontsize=8];",
+                    pick(*a),
+                    pick(*b)
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_pspdg;
+    use crate::features::FeatureSet;
+    use pspdg_frontend::compile;
+    use pspdg_pdg::{FunctionAnalyses, Pdg};
+
+    #[test]
+    fn renders_clusters_traits_and_mutex_edges() {
+        let p = compile(
+            r#"
+            int hist[8]; int key[8];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 8; i++) {
+                    #pragma omp critical
+                    { hist[key[i]] += 1; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let ps = build_pspdg(&p, f, &a, &pdg, FeatureSet::all());
+        let dot = to_dot(&ps, "k");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_"), "{dot}");
+        assert!(dot.contains("critical"), "{dot}");
+        assert!(dot.contains("dir=none"), "{dot}");
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Queries over a built PS-PDG: the interface the automatic parallelizer
+//! consumes (paper §6.1: "we utilize any PS-PDG features within the SCC to
+//! determine if the loop-carried dependences can be removed").
+
+use pspdg_ir::{LoopId, Module};
+use pspdg_pdg::{DepKind, FunctionAnalyses, Pdg, PdgEdge, SccDag};
+
+use crate::build::UNKNOWN_LOOP;
+use crate::graph::{ContextOrigin, PsPdg, VariableKind};
+
+/// Whether `kind` must be treated as carried at `l`, honoring the
+/// context-ablation sentinel (carried-somewhere ⇒ carried everywhere).
+pub fn carried_at(kind: &DepKind, l: LoopId) -> bool {
+    kind.carried_at(l) || kind.carried().contains(&UNKNOWN_LOOP)
+}
+
+/// Whether variable `var_idx`'s parallel semantics applies when
+/// parallelizing loop `l` (its context must enclose the loop).
+pub fn variable_applies_to_loop(
+    pspdg: &PsPdg,
+    analyses: &FunctionAnalyses,
+    var_idx: usize,
+    l: LoopId,
+) -> bool {
+    let Some(ctx) = pspdg.variables[var_idx].context else {
+        return false; // context unknown (ablated) ⇒ cannot be used
+    };
+    match pspdg.context(ctx).origin {
+        ContextOrigin::Function => true,
+        ContextOrigin::Loop(outer) => analyses.forest.loop_contains(outer, l),
+        ContextOrigin::Directive(_) => {
+            // The context node must contain all of the loop's instructions.
+            let node = pspdg.context(ctx).node;
+            let node_insts = pspdg.node_insts(node);
+            analyses
+                .loop_insts(l)
+                .iter()
+                .all(|i| node_insts.binary_search(i).is_ok())
+        }
+    }
+}
+
+/// Whether a carried dependence edge can be removed when parallelizing `l`
+/// thanks to a parallel semantic variable:
+///
+/// * privatizable variables license removing carried **anti** and **output**
+///   dependences (each worker gets its own copy);
+/// * reducible variables license removing **all** carried dependences on
+///   the variable (the merge function reconstitutes the final value).
+pub fn edge_removable_by_variables(
+    pspdg: &PsPdg,
+    analyses: &FunctionAnalyses,
+    edge: &PdgEdge,
+    l: LoopId,
+) -> bool {
+    let Some(base) = edge.base else { return false };
+    for (i, v) in pspdg.variables.iter().enumerate() {
+        if v.base != base || !variable_applies_to_loop(pspdg, analyses, i, l) {
+            continue;
+        }
+        match v.kind {
+            VariableKind::Reducible(_) => return true,
+            VariableKind::Privatizable => {
+                if matches!(edge.kind, DepKind::Anti { .. } | DepKind::Output { .. }) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The dependence graph to use when parallelizing loop `l` with the full
+/// power of the PS-PDG: the effective graph, minus carried edges removable
+/// through parallel semantic variables, with the context-ablation sentinel
+/// resolved conservatively to "carried at `l`".
+pub fn loop_view(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> Pdg {
+    let n = pspdg.effective.len();
+    let mut edges: Vec<PdgEdge> = Vec::new();
+    for e in &pspdg.effective.edges {
+        if carried_at(&e.kind, l) && edge_removable_by_variables(pspdg, analyses, e, l) {
+            continue;
+        }
+        let mut e2 = e.clone();
+        resolve_sentinel(&mut e2.kind, l);
+        edges.push(e2);
+    }
+    Pdg::from_edges(pspdg.func, n, edges)
+}
+
+fn resolve_sentinel(kind: &mut DepKind, l: LoopId) {
+    let fix = |carried: &mut Vec<LoopId>| {
+        if carried.contains(&UNKNOWN_LOOP) {
+            *carried = vec![l];
+        }
+    };
+    match kind {
+        DepKind::Flow { carried, .. }
+        | DepKind::Anti { carried, .. }
+        | DepKind::Output { carried, .. } => fix(carried),
+        _ => {}
+    }
+}
+
+/// SCC DAG of loop `l` under the PS-PDG (the analogue of
+/// [`Pdg::loop_sccs`] for the richer abstraction).
+pub fn loop_sccs(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> SccDag {
+    loop_view(pspdg, analyses, l).loop_sccs(analyses, l)
+}
+
+/// Remaining carried dependences of loop `l` under the PS-PDG, excluding
+/// the canonical induction variable's own update chain (recognized the same
+/// way for every abstraction).
+pub fn blocking_carried_edges(
+    pspdg: &PsPdg,
+    module: &Module,
+    analyses: &FunctionAnalyses,
+    l: LoopId,
+) -> Vec<PdgEdge> {
+    let _ = module;
+    let iv = analyses.canonical_of(l).map(|c| c.iv_alloca);
+    loop_view(pspdg, analyses, l)
+        .edges
+        .iter()
+        .filter(|e| carried_at(&e.kind, l))
+        .filter(|e| match (e.base, iv) {
+            (Some(pspdg_pdg::MemBase::Alloca(a)), Some(iv)) => a != iv,
+            _ => true,
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_pspdg;
+    use crate::features::FeatureSet;
+    use pspdg_frontend::compile;
+    use pspdg_pdg::Pdg;
+
+    fn pspdg_of(src: &str, name: &str) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, PsPdg) {
+        let p = compile(src).unwrap();
+        let f = p.module.function_by_name(name).unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let ps = build_pspdg(&p, f, &a, &pdg, FeatureSet::all());
+        (p, a, ps)
+    }
+
+    #[test]
+    fn worksharing_loop_loses_carried_deps() {
+        // hist[key[i]]++ is conservatively carried in the PDG; the omp-for
+        // declaration removes it.
+        let (p, a, ps) = pspdg_of(
+            r#"
+            int key[64]; int hist[64];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 64; i++) { hist[key[i]] += 1; }
+            }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let blocking = blocking_carried_edges(&ps, &p.module, &a, l);
+        assert!(blocking.is_empty(), "blocking edges remain: {blocking:?}");
+    }
+
+    #[test]
+    fn sequential_loop_keeps_carried_deps() {
+        // No pragma ⇒ nothing removed.
+        let (p, a, ps) = pspdg_of(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 1; i < 64; i++) { v[i] = v[i - 1]; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let blocking = blocking_carried_edges(&ps, &p.module, &a, l);
+        assert!(!blocking.is_empty());
+    }
+
+    #[test]
+    fn privatizable_variable_removes_anti_output_elsewhere() {
+        // `tmp` is private to the parallel region; the i-loop is NOT
+        // worksharing, but the PS-PDG still knows tmp can be privatized, so
+        // its carried anti/output deps in that loop are removable. Carried
+        // *flow* deps must NOT be removed by privatization (the analysis
+        // cannot prove each iteration kills the buffer before reading it).
+        let (p, a, ps) = pspdg_of(
+            r#"
+            int tmp[16]; int out[256];
+            void k() {
+                int i; int j;
+                #pragma omp parallel private(tmp)
+                {
+                    for (i = 0; i < 256; i++) {
+                        for (j = 0; j < 16; j++) { tmp[j] = i + j; }
+                        out[i] = tmp[0] + tmp[15];
+                    }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let outer = a
+            .forest
+            .loop_ids()
+            .find(|l| a.forest.info(*l).depth == 1)
+            .unwrap();
+        let blocking = blocking_carried_edges(&ps, &p.module, &a, outer);
+        let tmp_blocking: Vec<_> = blocking
+            .iter()
+            .filter(|e| matches!(e.base, Some(pspdg_pdg::MemBase::Global(g)) if g.index() == 0))
+            .collect();
+        assert!(
+            tmp_blocking
+                .iter()
+                .all(|e| matches!(e.kind, DepKind::Flow { .. })),
+            "anti/output on tmp must be removable, flow must remain: {tmp_blocking:?}"
+        );
+        assert!(
+            !tmp_blocking.is_empty(),
+            "conservative carried flow through tmp is expected to remain"
+        );
+    }
+
+    #[test]
+    fn reduction_variable_removes_flow() {
+        let (p, a, ps) = pspdg_of(
+            r#"
+            double s; double v[64];
+            void k() {
+                int i;
+                #pragma omp parallel for reduction(+: s)
+                for (i = 0; i < 64; i++) { s += v[i]; }
+            }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let blocking = blocking_carried_edges(&ps, &p.module, &a, l);
+        assert!(blocking.is_empty(), "{blocking:?}");
+        assert!(ps
+            .variables
+            .iter()
+            .any(|v| matches!(v.kind, VariableKind::Reducible(_))));
+    }
+
+    #[test]
+    fn context_ablation_is_conservative() {
+        // Without contexts the worksharing declaration cannot be scoped, so
+        // the histogram's carried dependence must survive — and the sentinel
+        // must make it count as carried at *every* loop.
+        let p = compile(
+            r#"
+            int key[64]; int hist[64];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 64; i++) { hist[key[i]] += 1; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let ablated = build_pspdg(
+            &p,
+            f,
+            &a,
+            &pdg,
+            crate::features::FeatureSet::all().without(crate::features::Feature::Contexts),
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let blocking = blocking_carried_edges(&ablated, &p.module, &a, l);
+        assert!(
+            !blocking.is_empty(),
+            "w/o contexts the declaration cannot be used; deps must remain"
+        );
+        // The sentinel resolves to the queried loop.
+        for e in &blocking {
+            assert!(carried_at(&e.kind, l));
+        }
+    }
+
+    #[test]
+    fn sentinel_counts_as_carried_everywhere() {
+        use crate::build::UNKNOWN_LOOP;
+        use pspdg_ir::LoopId;
+        let kind = DepKind::Flow { carried: vec![UNKNOWN_LOOP], intra: false };
+        assert!(carried_at(&kind, LoopId(0)));
+        assert!(carried_at(&kind, LoopId(7)));
+        let none = DepKind::Flow { carried: vec![], intra: true };
+        assert!(!carried_at(&none, LoopId(0)));
+    }
+
+    #[test]
+    fn prefix_sum_on_private_var_stays_sequential() {
+        // Privatization must NOT remove carried *flow* deps: the prefix sum
+        // over the private buffer is a real recurrence.
+        let (p, a, ps) = pspdg_of(
+            r#"
+            int buf[64];
+            void k() {
+                int j;
+                #pragma omp parallel private(buf)
+                {
+                    for (j = 1; j < 64; j++) { buf[j] += buf[j - 1]; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let blocking = blocking_carried_edges(&ps, &p.module, &a, l);
+        assert!(
+            blocking
+                .iter()
+                .any(|e| matches!(e.kind, DepKind::Flow { .. })),
+            "the recurrence flow dep must survive privatization"
+        );
+    }
+}

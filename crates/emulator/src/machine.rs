@@ -1,0 +1,888 @@
+//! The ideal-machine trace scheduler.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use pspdg_ir::interp::{ExecError, Interpreter, MemAddr, ObjId, ObjOrigin, Step, TraceSink};
+use pspdg_ir::{BlockId, Cfg, DomTree, FuncId, InstId, LoopForest, LoopId};
+use pspdg_parallel::{DirectiveKind, ParallelProgram};
+use pspdg_parallelizer::{LoopPlanSpec, PlannedTechnique, ProgramPlan};
+use pspdg_pdg::MemBase;
+
+/// Result of one plan emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmulationResult {
+    /// Maximum finish time — the number of dynamic instructions that must
+    /// run sequentially under the plan.
+    pub critical_path: u64,
+    /// Total dynamic instructions executed.
+    pub total_steps: u64,
+}
+
+impl EmulationResult {
+    /// Parallelism exposed by the plan (total / critical path).
+    pub fn parallelism(&self) -> f64 {
+        if self.critical_path == 0 {
+            1.0
+        } else {
+            self.total_steps as f64 / self.critical_path as f64
+        }
+    }
+}
+
+/// Emulate `program` under `plan` (running its `main`).
+///
+/// # Errors
+///
+/// Propagates interpreter faults (out-of-bounds, undef reads, fuel).
+pub fn emulate(program: &ParallelProgram, plan: &ProgramPlan) -> Result<EmulationResult, ExecError> {
+    let mut machine = IdealMachine::new(program, plan);
+    let mut interp = Interpreter::new(&program.module);
+    interp.run_main(&mut machine)?;
+    Ok(machine.result())
+}
+
+/// A runtime object's static identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ObjKey {
+    Global(u32),
+    Alloca(u32, u32),
+}
+
+fn key_of_base(func: FuncId, base: MemBase) -> Option<ObjKey> {
+    match base {
+        MemBase::Global(g) => Some(ObjKey::Global(g.0)),
+        MemBase::Alloca(i) => Some(ObjKey::Alloca(func.0, i.0)),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tech {
+    Doall,
+    Helix,
+    Dswp,
+}
+
+/// A planned loop, pre-resolved for the hot path.
+#[derive(Debug)]
+struct PlannedLoop {
+    tech: Tech,
+    sequential_insts: HashSet<InstId>,
+    stage_of: HashMap<InstId, u32>,
+    ignored: HashSet<ObjKey>,
+    reduce: bool,
+    end_barrier: bool,
+}
+
+impl PlannedLoop {
+    fn from_spec(spec: &LoopPlanSpec) -> PlannedLoop {
+        let (tech, sequential_insts, stage_of) = match &spec.technique {
+            PlannedTechnique::Doall => (Tech::Doall, HashSet::new(), HashMap::new()),
+            PlannedTechnique::Helix { sequential_insts } => (
+                Tech::Helix,
+                sequential_insts.iter().copied().collect(),
+                HashMap::new(),
+            ),
+            PlannedTechnique::Dswp { stage_of, .. } => (
+                Tech::Dswp,
+                HashSet::new(),
+                stage_of.iter().map(|(k, v)| (*k, *v)).collect(),
+            ),
+        };
+        let ignored = spec
+            .ignored_bases
+            .iter()
+            .filter_map(|b| key_of_base(spec.func, *b))
+            .collect();
+        PlannedLoop {
+            tech,
+            sequential_insts,
+            stage_of,
+            ignored,
+            reduce: !spec.reduction_bases.is_empty(),
+            end_barrier: spec.end_barrier,
+        }
+    }
+}
+
+/// Per-function static info the scheduler needs.
+#[derive(Debug)]
+struct FuncInfo {
+    /// Loops containing each block, outermost-first.
+    nest_of_block: Vec<Vec<LoopId>>,
+    /// Header block of each loop.
+    header: Vec<BlockId>,
+    /// Planned loop index per loop (u32::MAX = unplanned).
+    plan_of_loop: Vec<u32>,
+    /// Lock id per mutex-covered instruction.
+    mutex_of: HashMap<InstId, u32>,
+    /// Blocks belonging to `cilk_spawn` regions.
+    spawn_blocks: HashSet<BlockId>,
+    /// Instructions inside `cilk_spawn` regions (spawned calls).
+    spawn_insts: HashSet<InstId>,
+    /// Instructions that join spawned children (sync markers).
+    sync_insts: HashSet<InstId>,
+    /// Instructions that are team-wide barriers.
+    barrier_insts: HashSet<InstId>,
+}
+
+#[derive(Debug, Clone)]
+struct Activation {
+    loop_id: LoopId,
+    plan: u32, // index into plans, u32::MAX = unplanned
+    uid: u32,
+    iter: u32,
+    seq_last: u64,
+    max_finish: u64,
+}
+
+#[derive(Debug)]
+struct FrameState {
+    func: FuncId,
+    base_lane: u64,
+    stack: Vec<Activation>,
+    parent: Option<u64>,
+    spawned: bool,
+    children_max: u64,
+    /// Fresh lane for the currently executing `cilk_spawn` region, if any.
+    spawn_lane: Option<u64>,
+    /// When this activation was entered through a call belonging to a HELIX
+    /// sequential segment, the (caller frame, activation uid) whose chain
+    /// must extend to this callee's completion.
+    seq_owner: Option<(u64, u32)>,
+}
+
+const NO_PLAN: u32 = u32::MAX;
+const NO_PAIR: u32 = u32::MAX;
+
+/// The ideal machine: a [`TraceSink`] computing plan-constrained finish
+/// times online.
+#[derive(Debug)]
+pub struct IdealMachine {
+    plans: Vec<PlannedLoop>,
+    funcs: Vec<FuncInfo>,
+    frames: HashMap<u64, FrameState>,
+    finish: Vec<u64>,
+    lanes: Vec<u64>,
+    /// Up to two (activation uid, iteration) pairs per step.
+    act_pairs: Vec<[u32; 4]>,
+    /// Plan index per activation uid.
+    act_plan: Vec<u32>,
+    lane_last: HashMap<u64, u64>,
+    lock_last: HashMap<u32, u64>,
+    last_writer: HashMap<MemAddr, (u64, Option<ObjKey>)>,
+    obj_keys: Vec<Option<ObjKey>>,
+    floor: u64,
+    global_max: u64,
+    next_act_uid: u32,
+    next_spawn_lane: u64,
+    /// (trace idx, lane, inst, frame) of the most recent step — consulted by
+    /// `on_enter` to identify the call site.
+    last_step: Option<(u64, u64, InstId, u64)>,
+}
+
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ c.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn ceil_log2(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+impl IdealMachine {
+    /// Prepare a machine for `program` under `plan`.
+    pub fn new(program: &ParallelProgram, plan: &ProgramPlan) -> IdealMachine {
+        let mut plans = Vec::new();
+        let mut plan_idx: HashMap<(FuncId, LoopId), u32> = HashMap::new();
+        for ((func, l), spec) in &plan.loops {
+            plan_idx.insert((*func, *l), plans.len() as u32);
+            plans.push(PlannedLoop::from_spec(spec));
+        }
+        let mut lock_ids: HashMap<String, u32> = HashMap::new();
+        let mut funcs = Vec::new();
+        for func in program.module.function_ids() {
+            let f = program.module.function(func);
+            if f.blocks.is_empty() {
+                funcs.push(FuncInfo {
+                    nest_of_block: Vec::new(),
+                    header: Vec::new(),
+                    plan_of_loop: Vec::new(),
+                    mutex_of: HashMap::new(),
+                    spawn_blocks: HashSet::new(),
+                    spawn_insts: HashSet::new(),
+                    sync_insts: HashSet::new(),
+                    barrier_insts: HashSet::new(),
+                });
+                continue;
+            }
+            let cfg = Cfg::new(f);
+            let dom = DomTree::new(&cfg);
+            let forest = LoopForest::new(f, &cfg, &dom);
+            let nest_of_block = f
+                .block_ids()
+                .map(|bb| {
+                    let mut nest = forest.nest_of(bb);
+                    nest.reverse(); // outermost-first
+                    nest
+                })
+                .collect();
+            let header = forest.loop_ids().map(|l| forest.info(l).header).collect();
+            let plan_of_loop = forest
+                .loop_ids()
+                .map(|l| plan_idx.get(&(func, l)).copied().unwrap_or(NO_PLAN))
+                .collect();
+            let mut mutex_of = HashMap::new();
+            for m in plan.mutexes.iter().filter(|m| m.func == func) {
+                let next = lock_ids.len() as u32;
+                let id = *lock_ids.entry(m.lock.clone()).or_insert(next);
+                for &i in &m.insts {
+                    mutex_of.insert(i, id);
+                }
+            }
+            let mut spawn_blocks = HashSet::new();
+            let mut spawn_insts = HashSet::new();
+            let mut sync_insts = HashSet::new();
+            let mut barrier_insts = HashSet::new();
+            for (_, d) in program.directives_in(func) {
+                let insts = || -> BTreeSet<InstId> {
+                    d.region
+                        .blocks
+                        .iter()
+                        .flat_map(|bb| f.block(*bb).insts.iter().copied())
+                        .collect()
+                };
+                match d.kind {
+                    DirectiveKind::CilkSpawn if plan.parallel_spawns => {
+                        spawn_blocks.extend(d.region.blocks.iter().copied());
+                        spawn_insts.extend(insts());
+                    }
+                    DirectiveKind::CilkSync | DirectiveKind::Taskwait => {
+                        sync_insts.extend(insts());
+                    }
+                    DirectiveKind::Barrier
+                        if plan.abstraction == pspdg_parallelizer::Abstraction::OpenMp =>
+                    {
+                        barrier_insts.extend(insts());
+                    }
+                    _ => {}
+                }
+            }
+            funcs.push(FuncInfo {
+                nest_of_block,
+                header,
+                plan_of_loop,
+                mutex_of,
+                spawn_blocks,
+                spawn_insts,
+                sync_insts,
+                barrier_insts,
+            });
+        }
+        IdealMachine {
+            plans,
+            funcs,
+            frames: HashMap::new(),
+            finish: Vec::new(),
+            lanes: Vec::new(),
+            act_pairs: Vec::new(),
+            act_plan: Vec::new(),
+            lane_last: HashMap::new(),
+            lock_last: HashMap::new(),
+            last_writer: HashMap::new(),
+            obj_keys: Vec::new(),
+            floor: 0,
+            global_max: 0,
+            next_act_uid: 0,
+            next_spawn_lane: 1,
+            last_step: None,
+        }
+    }
+
+    /// The measurement after the run completes.
+    pub fn result(&self) -> EmulationResult {
+        EmulationResult { critical_path: self.global_max, total_steps: self.finish.len() as u64 }
+    }
+
+    /// Lane of a frame's current (planned) activation stack; `inst` selects
+    /// the DSWP stage where applicable.
+    fn lane_of(&self, frame: &FrameState, inst: Option<InstId>) -> u64 {
+        let mut lane = frame.base_lane;
+        for act in &frame.stack {
+            if act.plan == NO_PLAN {
+                continue;
+            }
+            let p = &self.plans[act.plan as usize];
+            let key = match p.tech {
+                Tech::Dswp => inst
+                    .and_then(|i| p.stage_of.get(&i).copied())
+                    .unwrap_or(0) as u64,
+                _ => act.iter as u64,
+            };
+            lane = mix(lane, act.uid as u64, key);
+        }
+        lane
+    }
+
+    fn pop_activation(&mut self, frame_id: u64) {
+        let Some(frame) = self.frames.get_mut(&frame_id) else { return };
+        let Some(act) = frame.stack.pop() else { return };
+        if act.plan == NO_PLAN {
+            return;
+        }
+        let p = &self.plans[act.plan as usize];
+        let mut sync_fin = 0u64;
+        if p.end_barrier {
+            sync_fin = sync_fin.max(act.max_finish);
+        }
+        if p.reduce {
+            sync_fin = sync_fin.max(act.max_finish + ceil_log2(act.iter as u64 + 1));
+        }
+        if sync_fin > 0 {
+            // The continuation (the frame's lane without this activation)
+            // waits for all iterations (+ the reduction merge).
+            let frame = &self.frames[&frame_id];
+            let cont = self.lane_of(frame, None);
+            let e = self.lane_last.entry(cont).or_insert(0);
+            *e = (*e).max(sync_fin);
+            self.global_max = self.global_max.max(sync_fin);
+        }
+    }
+}
+
+impl TraceSink for IdealMachine {
+    fn on_alloc(&mut self, obj: ObjId, origin: ObjOrigin) {
+        let key = match origin {
+            ObjOrigin::Global(g) => Some(ObjKey::Global(g.0)),
+            ObjOrigin::Alloca { func, inst } => Some(ObjKey::Alloca(func.0, inst.0)),
+        };
+        if obj.index() >= self.obj_keys.len() {
+            self.obj_keys.resize(obj.index() + 1, None);
+        }
+        self.obj_keys[obj.index()] = key;
+    }
+
+    fn on_enter(&mut self, frame: u64, func: FuncId, call_step: u64) {
+        let (base_lane, parent, spawned, seq_owner) = if call_step == u64::MAX {
+            (0, None, false, None)
+        } else {
+            let (idx, lane, inst, caller) =
+                self.last_step.expect("a call step precedes every on_enter");
+            debug_assert_eq!(idx, call_step);
+            let caller_state = &self.frames[&caller];
+            let caller_func = caller_state.func;
+            // A spawned call already executes in its strand's lane (the
+            // spawn region's lane); the callee simply inherits it.
+            let spawned = self.funcs[caller_func.index()].spawn_insts.contains(&inst);
+            // A call inside a HELIX sequential segment keeps the segment
+            // locked until the callee returns.
+            let seq_owner = caller_state
+                .stack
+                .iter()
+                .find(|act| {
+                    act.plan != NO_PLAN
+                        && matches!(self.plans[act.plan as usize].tech, Tech::Helix)
+                        && self.plans[act.plan as usize].sequential_insts.contains(&inst)
+                })
+                .map(|act| (caller, act.uid));
+            (lane, Some(caller), spawned, seq_owner)
+        };
+        self.frames.insert(
+            frame,
+            FrameState {
+                func,
+                base_lane,
+                stack: Vec::new(),
+                parent,
+                spawned,
+                children_max: 0,
+                spawn_lane: None,
+                seq_owner,
+            },
+        );
+    }
+
+    fn on_exit(&mut self, frame: u64, _func: FuncId, ret_step: u64) {
+        while self.frames.get(&frame).is_some_and(|f| !f.stack.is_empty()) {
+            self.pop_activation(frame);
+        }
+        let Some(state) = self.frames.remove(&frame) else { return };
+        let fin = self.finish[ret_step as usize];
+        if state.spawned {
+            if let Some(parent) = state.parent {
+                if let Some(p) = self.frames.get_mut(&parent) {
+                    p.children_max = p.children_max.max(fin);
+                }
+            }
+        }
+        if let Some((owner_frame, act_uid)) = state.seq_owner {
+            if let Some(owner) = self.frames.get_mut(&owner_frame) {
+                if let Some(act) = owner.stack.iter_mut().find(|a| a.uid == act_uid) {
+                    act.seq_last = act.seq_last.max(fin);
+                }
+            }
+        }
+    }
+
+    fn on_block(&mut self, frame: u64, func: FuncId, block: BlockId) {
+        let info = &self.funcs[func.index()];
+        // Spawn strands: entering a spawn-region block opens a fresh lane;
+        // leaving it returns to the frame's own lane.
+        let entering_spawn = info.spawn_blocks.contains(&block);
+        let nest = info.nest_of_block[block.index()].clone();
+        if let Some(state) = self.frames.get_mut(&frame) {
+            state.spawn_lane = if entering_spawn {
+                self.next_spawn_lane += 1;
+                Some(mix(state.base_lane, 0xC11C, self.next_spawn_lane))
+            } else {
+                None
+            };
+        }
+        // Pop activations that ended.
+        loop {
+            let Some(state) = self.frames.get(&frame) else { return };
+            match state.stack.last() {
+                Some(top) if !nest.contains(&top.loop_id) => self.pop_activation(frame),
+                _ => break,
+            }
+        }
+        // Push newly entered loops (outermost-first) / bump iteration.
+        let state = self.frames.get_mut(&frame).expect("frame exists");
+        let mut pushed = false;
+        for l in &nest {
+            if state.stack.iter().any(|a| a.loop_id == *l) {
+                continue;
+            }
+            let uid = self.next_act_uid;
+            self.next_act_uid += 1;
+            let plan = self.funcs[func.index()].plan_of_loop[l.index()];
+            self.act_plan.push(plan);
+            debug_assert_eq!(self.act_plan.len() as u32, self.next_act_uid);
+            state.stack.push(Activation {
+                loop_id: *l,
+                plan,
+                uid,
+                iter: 0,
+                seq_last: 0,
+                max_finish: 0,
+            });
+            pushed = true;
+        }
+        if !pushed {
+            if let Some(top) = state.stack.last_mut() {
+                if self.funcs[func.index()].header[top.loop_id.index()] == block {
+                    top.iter += 1;
+                }
+            }
+        }
+    }
+
+    fn on_step(&mut self, step: &Step<'_>) {
+        debug_assert_eq!(step.index as usize, self.finish.len());
+        let frame_id = step.frame;
+        let func = step.func;
+        let inst = step.inst;
+        let info = &self.funcs[func.index()];
+
+        // Lane + activation pairs.
+        let (lane, pairs, overflow) = {
+            let frame = &self.frames[&frame_id];
+            let lane = match frame.spawn_lane {
+                Some(sl) if info.spawn_insts.contains(&inst) => sl,
+                _ => self.lane_of(frame, Some(inst)),
+            };
+            let mut pairs = [NO_PAIR; 4];
+            let mut pi = 0;
+            let mut overflow = false;
+            for act in &frame.stack {
+                if act.plan == NO_PLAN {
+                    continue;
+                }
+                if matches!(self.plans[act.plan as usize].tech, Tech::Dswp) {
+                    continue;
+                }
+                if pi < 2 {
+                    pairs[pi * 2] = act.uid;
+                    pairs[pi * 2 + 1] = act.iter;
+                    pi += 1;
+                } else {
+                    overflow = true;
+                }
+            }
+            (lane, pairs, overflow)
+        };
+
+        let mut start = self.floor.max(self.lane_last.get(&lane).copied().unwrap_or(0));
+
+        // Register dependences.
+        for &d in step.reg_deps {
+            start = start.max(self.finish[d as usize]);
+        }
+
+        // Memory flow dependences (with plan discharges).
+        for addr in step.loads {
+            let Some(&(widx, wkey)) = self.last_writer.get(addr) else { continue };
+            let dropped = !overflow
+                && wkey.is_some()
+                && {
+                    let wpairs = self.act_pairs[widx as usize];
+                    let mut drop = false;
+                    for i in 0..2 {
+                        let act = pairs[i * 2];
+                        if act == NO_PAIR {
+                            break;
+                        }
+                        // Same activation, different iteration?
+                        for j in 0..2 {
+                            if wpairs[j * 2] == act && wpairs[j * 2 + 1] != pairs[i * 2 + 1] {
+                                let plan = self.act_plan[act as usize];
+                                if plan != NO_PLAN
+                                    && self.plans[plan as usize].ignored.contains(&wkey.unwrap())
+                                {
+                                    drop = true;
+                                }
+                            }
+                        }
+                    }
+                    drop
+                };
+            if !dropped {
+                start = start.max(self.finish[widx as usize]);
+            }
+        }
+
+        // Mutual exclusion.
+        let lock = info.mutex_of.get(&inst).copied();
+        if let Some(lock) = lock {
+            start = start.max(self.lock_last.get(&lock).copied().unwrap_or(0));
+        }
+
+        // HELIX sequential segments.
+        let mut helix_act: Option<usize> = None;
+        {
+            let frame = &self.frames[&frame_id];
+            for (i, act) in frame.stack.iter().enumerate() {
+                if act.plan != NO_PLAN {
+                    let p = &self.plans[act.plan as usize];
+                    if matches!(p.tech, Tech::Helix) && p.sequential_insts.contains(&inst) {
+                        start = start.max(act.seq_last);
+                        helix_act = Some(i);
+                    }
+                }
+            }
+        }
+
+        // Sync markers.
+        if info.sync_insts.contains(&inst) {
+            let frame = &self.frames[&frame_id];
+            start = start.max(frame.children_max);
+        }
+        if info.barrier_insts.contains(&inst) {
+            self.floor = self.floor.max(self.global_max);
+            start = start.max(self.floor);
+        }
+
+        let fin = start + 1;
+        self.finish.push(fin);
+        self.lanes.push(lane);
+        self.act_pairs.push(pairs);
+        self.lane_last.insert(lane, fin);
+        self.global_max = self.global_max.max(fin);
+        if let Some(lock) = lock {
+            self.lock_last.insert(lock, fin);
+        }
+        {
+            let frame = self.frames.get_mut(&frame_id).expect("frame exists");
+            for act in frame.stack.iter_mut() {
+                if act.plan != NO_PLAN {
+                    act.max_finish = act.max_finish.max(fin);
+                }
+            }
+            if let Some(i) = helix_act {
+                frame.stack[i].seq_last = fin;
+            }
+        }
+        for addr in step.stores {
+            let key = self.obj_keys.get(addr.obj.index()).copied().flatten();
+            self.last_writer.insert(*addr, (step.index, key));
+        }
+        self.last_step = Some((step.index, lane, inst, frame_id));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_frontend::compile;
+    use pspdg_ir::interp::NullSink;
+    use pspdg_parallelizer::{build_plan, Abstraction};
+
+    fn cp_all(src: &str) -> Vec<(Abstraction, EmulationResult)> {
+        let p = compile(src).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        Abstraction::ALL
+            .iter()
+            .map(|a| {
+                let plan = build_plan(&p, interp.profile(), *a, 0.01);
+                (*a, emulate(&p, &plan).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ceil_log2_boundaries() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn lane_mixer_separates_iterations() {
+        // Distinct (activation, iteration) pairs land in distinct lanes.
+        let mut seen = std::collections::HashSet::new();
+        for act in 0..64u64 {
+            for iter in 0..64u64 {
+                assert!(seen.insert(mix(0, act, iter)), "collision at {act},{iter}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_program_cp_equals_length() {
+        let p = compile("int main() { int x = 1; int y = x + 2; return y; }").unwrap();
+        let plan = build_plan(
+            &p,
+            &pspdg_ir::interp::Profile::default(),
+            Abstraction::Pdg,
+            0.01,
+        );
+        let r = emulate(&p, &plan).unwrap();
+        // Fully sequential chain in a single lane.
+        assert_eq!(r.critical_path, r.total_steps);
+    }
+
+    #[test]
+    fn doall_loop_collapses_critical_path() {
+        let results = cp_all(
+            r#"
+            int v[256];
+            void k() { int i; for (i = 0; i < 256; i++) { v[i] = i * 3 + 1; } }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let (_, omp) = results[0];
+        let (_, pdg) = results[1];
+        // OpenMP has no annotations: sequential.
+        assert_eq!(omp.critical_path, omp.total_steps);
+        // The compiler DOALLs the loop: large parallelism.
+        assert!(
+            pdg.critical_path < omp.critical_path / 10,
+            "pdg {} vs omp {}",
+            pdg.critical_path,
+            omp.critical_path
+        );
+    }
+
+    #[test]
+    fn histogram_ordering_matches_paper() {
+        // OpenMP parallelizes (declared); PDG cannot (indirect); J&K and
+        // PS-PDG can. CP(PDG) > CP(OpenMP) ≈ CP(J&K) ≈ CP(PS-PDG).
+        let results = cp_all(
+            r#"
+            int key[512]; int hist[512];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 512; i++) { hist[key[i]] += 1; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let cp: HashMap<Abstraction, u64> =
+            results.iter().map(|(a, r)| (*a, r.critical_path)).collect();
+        assert!(cp[&Abstraction::Pdg] > cp[&Abstraction::OpenMp] * 2);
+        assert!(cp[&Abstraction::PsPdg] <= cp[&Abstraction::OpenMp]);
+        assert!(cp[&Abstraction::Jk] <= cp[&Abstraction::OpenMp]);
+    }
+
+    #[test]
+    fn reduction_costs_log_merge() {
+        let results = cp_all(
+            r#"
+            double s; double v[1024];
+            void k() {
+                int i;
+                #pragma omp parallel for reduction(+: s)
+                for (i = 0; i < 1024; i++) { s += v[i] * 2.0; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let (_, omp) = results[0];
+        // Much shorter than sequential, but not 1 cycle: per-iteration work
+        // plus the log₂(1024)=10 merge.
+        assert!(omp.critical_path < omp.total_steps / 20);
+        assert!(omp.critical_path > 10);
+    }
+
+    #[test]
+    fn critical_section_serializes_openmp_but_not_always_pspdg() {
+        let results = cp_all(
+            r#"
+            int a[256]; int b[256];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 256; i++) {
+                    #pragma omp critical
+                    { a[i] = a[i] + b[i]; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let cp: HashMap<Abstraction, u64> =
+            results.iter().map(|(a, r)| (*a, r.critical_path)).collect();
+        // The critical protects provably disjoint cells: PS-PDG drops the
+        // serialization; the OpenMP plan must keep it.
+        assert!(
+            cp[&Abstraction::PsPdg] * 4 < cp[&Abstraction::OpenMp],
+            "pspdg {} vs openmp {}",
+            cp[&Abstraction::PsPdg],
+            cp[&Abstraction::OpenMp]
+        );
+    }
+
+    #[test]
+    fn cilk_spawn_runs_in_parallel_under_openmp_plan() {
+        let results = cp_all(
+            r#"
+            int heavy(int n) {
+                int i; int s = 0;
+                for (i = 0; i < n; i++) { s += i; }
+                return s;
+            }
+            int main() {
+                int x; int y;
+                x = cilk_spawn heavy(500);
+                y = heavy(500);
+                cilk_sync;
+                return x - y;
+            }
+            "#,
+        );
+        let (_, omp) = results[0]; // "as written" plan honors spawn
+        // The two heavy calls overlap: the critical path is roughly half
+        // the dynamic instruction count (each call is ~half the program).
+        assert!(
+            omp.critical_path < omp.total_steps * 6 / 10,
+            "spawn should roughly halve the critical path: cp {} total {}",
+            omp.critical_path,
+            omp.total_steps
+        );
+        assert!(
+            omp.critical_path > omp.total_steps * 4 / 10,
+            "each strand is still internally sequential: cp {} total {}",
+            omp.critical_path,
+            omp.total_steps
+        );
+    }
+
+    #[test]
+    fn dswp_pipelines_a_two_stage_loop() {
+        use pspdg_parallelizer::{LoopPlanSpec, PlannedTechnique, ProgramPlan};
+        use std::collections::{BTreeMap, BTreeSet, HashMap};
+        // stage 0: t = v[i] * 3 (sequential-ish chain through t's slot),
+        // stage 1: w[i] = t + 1. Hand-build a DSWP plan assigning each
+        // instruction of the loop to its SCC-ish stage.
+        let p = pspdg_frontend::compile(
+            r#"
+            int v[128]; int w[128]; int t;
+            void k() {
+                int i;
+                for (i = 0; i < 128; i++) {
+                    t = v[i] * 3;
+                    w[i] = t + 1;
+                }
+            }
+            int main() { k(); return w[100]; }
+            "#,
+        )
+        .unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let analyses = pspdg_pdg::FunctionAnalyses::compute(&p.module, f);
+        let l = analyses.forest.loop_ids().next().unwrap();
+        // Split the loop's instructions in half by id: a crude but valid
+        // stage map (stage order respects instruction order here).
+        let insts = analyses.loop_insts(l);
+        let mid = insts[insts.len() / 2];
+        let mut stage_of: BTreeMap<InstId, u32> = BTreeMap::new();
+        for &i in &insts {
+            stage_of.insert(i, if i < mid { 0 } else { 1 });
+        }
+        let spec = LoopPlanSpec {
+            func: f,
+            loop_id: l,
+            technique: PlannedTechnique::Dswp { stage_of, stages: 2 },
+            ignored_bases: BTreeSet::new(),
+            reduction_bases: BTreeSet::new(),
+            end_barrier: true,
+        };
+        let mut loops = HashMap::new();
+        loops.insert((f, l), spec);
+        let plan = ProgramPlan {
+            abstraction: pspdg_parallelizer::Abstraction::PsPdg,
+            loops,
+            mutexes: vec![],
+            parallel_spawns: false,
+        };
+        let r = emulate(&p, &plan).unwrap();
+        // Two pipelined stages: faster than sequential, slower than free.
+        let seq = ProgramPlan {
+            abstraction: pspdg_parallelizer::Abstraction::OpenMp,
+            loops: HashMap::new(),
+            mutexes: vec![],
+            parallel_spawns: false,
+        };
+        let r_seq = emulate(&p, &seq).unwrap();
+        assert!(
+            r.critical_path < r_seq.critical_path,
+            "pipeline {} vs sequential {}",
+            r.critical_path,
+            r_seq.critical_path
+        );
+        assert!(r.critical_path > r_seq.critical_path / 4, "only 2 stages exist");
+    }
+
+    #[test]
+    fn pspdg_never_loses_programmer_parallelism() {
+        // Paper: "for benchmarks with good parallelization coverage by the
+        // programmer, the PS-PDG ensures no loss of parallelism".
+        let results = cp_all(
+            r#"
+            double v[512]; double w[512];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 512; i++) { w[i] = v[i] * 1.5 + 2.0; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let cp: HashMap<Abstraction, u64> =
+            results.iter().map(|(a, r)| (*a, r.critical_path)).collect();
+        assert!(cp[&Abstraction::PsPdg] <= cp[&Abstraction::OpenMp]);
+    }
+}

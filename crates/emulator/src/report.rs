@@ -1,0 +1,87 @@
+//! Plan comparison reports (the rows of Fig. 14).
+
+use pspdg_ir::interp::{ExecError, Interpreter, NullSink};
+use pspdg_parallel::ParallelProgram;
+use pspdg_parallelizer::{build_plan, Abstraction};
+
+use crate::machine::{emulate, EmulationResult};
+
+/// One benchmark row: critical paths under every abstraction and the
+/// speedups over the programmer-encoded plan.
+#[derive(Debug, Clone)]
+pub struct CriticalPathRow {
+    /// Benchmark name.
+    pub name: String,
+    /// (abstraction, emulation result) in [`Abstraction::ALL`] order.
+    pub results: Vec<(Abstraction, EmulationResult)>,
+}
+
+impl CriticalPathRow {
+    /// Critical path under `a`.
+    pub fn critical_path(&self, a: Abstraction) -> u64 {
+        self.results
+            .iter()
+            .find(|(x, _)| *x == a)
+            .map(|(_, r)| r.critical_path)
+            .unwrap_or(0)
+    }
+
+    /// Critical-path reduction of `a` over the OpenMP plan (Fig. 14's
+    /// y-axis): > 1 means the compiler found a better plan.
+    pub fn reduction_over_openmp(&self, a: Abstraction) -> f64 {
+        let omp = self.critical_path(Abstraction::OpenMp) as f64;
+        let other = self.critical_path(a) as f64;
+        if other == 0.0 {
+            1.0
+        } else {
+            omp / other
+        }
+    }
+}
+
+/// Profile `program`, build all four plans, and emulate each.
+///
+/// # Errors
+///
+/// Propagates interpreter faults from the profiling run or any emulation.
+pub fn compare_plans(name: &str, program: &ParallelProgram) -> Result<CriticalPathRow, ExecError> {
+    let mut interp = Interpreter::new(&program.module);
+    interp.run_main(&mut NullSink)?;
+    let profile = interp.profile().clone();
+    let mut results = Vec::new();
+    for a in Abstraction::ALL {
+        let plan = build_plan(program, &profile, a, 0.01);
+        results.push((a, emulate(program, &plan)?));
+    }
+    Ok(CriticalPathRow { name: name.to_string(), results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_frontend::compile;
+
+    #[test]
+    fn row_accessors() {
+        let p = compile(
+            r#"
+            int v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) { v[i] = i; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let row = compare_plans("demo", &p).unwrap();
+        assert_eq!(row.results.len(), 4);
+        assert!(row.critical_path(Abstraction::OpenMp) > 0);
+        // The OpenMP reduction over itself is 1.
+        let r = row.reduction_over_openmp(Abstraction::OpenMp);
+        assert!((r - 1.0).abs() < 1e-9);
+        // PS-PDG never loses programmer parallelism.
+        assert!(row.reduction_over_openmp(Abstraction::PsPdg) >= 0.99);
+    }
+}

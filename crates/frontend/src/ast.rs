@@ -1,0 +1,235 @@
+//! The ParC abstract syntax tree.
+
+/// A scalar type specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeSpec {
+    /// `int` — 64-bit signed integer.
+    Int,
+    /// `double` — 64-bit float.
+    Double,
+    /// `void` — function return only.
+    Void,
+}
+
+/// Binary operators (C semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (no short-circuit; both sides evaluate)
+    LogAnd,
+    /// `||` (no short-circuit)
+    LogOr,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Node payload.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable reference.
+    Var(String),
+    /// `base[index]` — `base` may itself be an `Index` (2-D arrays).
+    Index(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Binary(BinKind, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnKind, Box<Expr>),
+    /// Call (user function or built-in).
+    Call(String, Vec<Expr>),
+    /// Explicit cast `(int) e` / `(double) e`.
+    Cast(TypeSpec, Box<Expr>),
+}
+
+impl Expr {
+    /// Construct an expression node.
+    pub fn new(kind: ExprKind, line: u32) -> Expr {
+        Expr { kind, line }
+    }
+}
+
+/// A variable declarator: `int a`, `double m[8][8]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Scalar element type.
+    pub ty: TypeSpec,
+    /// Array dimensions (empty = scalar), outermost first.
+    pub dims: Vec<u64>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A statement, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Node payload.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Stmt {
+    /// Construct a statement node.
+    pub fn new(kind: StmtKind, line: u32) -> Stmt {
+        Stmt { kind, line }
+    }
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+    /// Declaration with optional initializer (scalars only).
+    Decl(VarDecl, Option<Expr>),
+    /// `lvalue = expr` or compound `lvalue op= expr`; `op` is `None` for
+    /// plain assignment.
+    Assign {
+        /// Assignment target (must be `Var` or `Index`).
+        target: Expr,
+        /// Compound operator for `+=` etc.
+        op: Option<BinKind>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) then [else els]`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_stmt: Box<Stmt>,
+        /// Optional else branch.
+        else_stmt: Option<Box<Stmt>>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `for (init; cond; step) body` — `init`/`step` are assignments.
+    For {
+        /// Initialization statement.
+        init: Box<Stmt>,
+        /// Continuation condition.
+        cond: Expr,
+        /// Per-iteration step statement.
+        step: Box<Stmt>,
+        /// Body.
+        body: Box<Stmt>,
+        /// `true` when written `cilk_for`.
+        is_cilk: bool,
+    },
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// Expression statement (call for side effects).
+    ExprStmt(Expr),
+    /// A pragma attached to the following statement.
+    Pragma {
+        /// Parsed pragma.
+        pragma: crate::pragma::PragmaAst,
+        /// Annotated statement.
+        stmt: Box<Stmt>,
+    },
+    /// A standalone pragma (`barrier`, `taskwait`).
+    StandalonePragma(crate::pragma::PragmaAst),
+    /// `x = cilk_spawn f(...)` or `cilk_spawn f(...)`.
+    CilkSpawn {
+        /// Optional assignment target for the spawned call's result.
+        target: Option<Expr>,
+        /// The spawned call.
+        call: Expr,
+    },
+    /// `cilk_sync;`
+    CilkSync,
+    /// `cilk_scope { ... }`
+    CilkScope(Box<Stmt>),
+}
+
+/// A function parameter: `int x`, `double a[]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Scalar element type.
+    pub ty: TypeSpec,
+    /// Whether declared with `[]` (array-of-`ty` pointer).
+    pub is_array: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeSpec,
+    /// Parameters.
+    pub params: Vec<ParamDecl>,
+    /// Body (a block).
+    pub body: Stmt,
+    /// Source line of the signature.
+    pub line: u32,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Global variable declarations (zero-initialized).
+    pub globals: Vec<VarDecl>,
+    /// Function definitions, in source order.
+    pub functions: Vec<FuncDecl>,
+}

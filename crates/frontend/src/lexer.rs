@@ -1,0 +1,399 @@
+//! The ParC lexer.
+//!
+//! `#pragma ...` lines are captured as single [`TokenKind::Pragma`] tokens
+//! holding the raw pragma text; the pragma sub-language is parsed separately
+//! by [`crate::pragma`].
+
+use crate::FrontendError;
+
+/// The kind (and payload) of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// A whole `#pragma` line (text after `#pragma`, trimmed).
+    Pragma(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s == word)
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Streaming lexer over ParC source text.
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'s str) -> Lexer<'s> {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1 }
+    }
+
+    /// Lex the entire input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown characters or malformed literals.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        if self.pos < self.src.len() {
+            self.src[self.pos]
+        } else {
+            0
+        }
+    }
+
+    fn peek2(&self) -> u8 {
+        if self.pos + 1 < self.src.len() {
+            self.src[self.pos + 1]
+        } else {
+            0
+        }
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    self.bump();
+                    self.bump();
+                    while !(self.peek() == b'*' && self.peek2() == b'/') && self.peek() != 0 {
+                        self.bump();
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, FrontendError> {
+        self.skip_trivia();
+        let line = self.line;
+        let tok = |kind| Ok(Token { kind, line });
+        let c = self.peek();
+        match c {
+            0 => tok(TokenKind::Eof),
+            b'#' => {
+                // `#pragma ...` up to end of line.
+                let start = self.pos;
+                while self.peek() != b'\n' && self.peek() != 0 {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("source is valid utf-8");
+                let text = text.strip_prefix('#').unwrap_or(text).trim();
+                let Some(rest) = text.strip_prefix("pragma") else {
+                    return Err(FrontendError::new(line, format!("unknown preprocessor line: {text}")));
+                };
+                tok(TokenKind::Pragma(rest.trim().to_string()))
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = self.pos;
+                while matches!(self.peek(), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+                let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+                tok(TokenKind::Ident(word))
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+                let mut is_float = false;
+                if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+                    is_float = true;
+                    self.bump();
+                    while self.peek().is_ascii_digit() {
+                        self.bump();
+                    }
+                }
+                if matches!(self.peek(), b'e' | b'E') {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(), b'+' | b'-') {
+                        self.bump();
+                    }
+                    while self.peek().is_ascii_digit() {
+                        self.bump();
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| FrontendError::new(line, format!("bad float literal {text}")))?;
+                    tok(TokenKind::FloatLit(v))
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| FrontendError::new(line, format!("bad int literal {text}")))?;
+                    tok(TokenKind::IntLit(v))
+                }
+            }
+            _ => {
+                self.bump();
+                let two = |this: &mut Self, second: u8, a: TokenKind, b: TokenKind| {
+                    if this.peek() == second {
+                        this.bump();
+                        a
+                    } else {
+                        b
+                    }
+                };
+                let kind = match c {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'[' => TokenKind::LBracket,
+                    b']' => TokenKind::RBracket,
+                    b';' => TokenKind::Semi,
+                    b',' => TokenKind::Comma,
+                    b'%' => TokenKind::Percent,
+                    b'^' => TokenKind::Caret,
+                    b'+' => {
+                        if self.peek() == b'+' {
+                            self.bump();
+                            TokenKind::PlusPlus
+                        } else {
+                            two(self, b'=', TokenKind::PlusAssign, TokenKind::Plus)
+                        }
+                    }
+                    b'-' => {
+                        if self.peek() == b'-' {
+                            self.bump();
+                            TokenKind::MinusMinus
+                        } else {
+                            two(self, b'=', TokenKind::MinusAssign, TokenKind::Minus)
+                        }
+                    }
+                    b'*' => two(self, b'=', TokenKind::StarAssign, TokenKind::Star),
+                    b'/' => two(self, b'=', TokenKind::SlashAssign, TokenKind::Slash),
+                    b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+                    b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Bang),
+                    b'<' => {
+                        if self.peek() == b'<' {
+                            self.bump();
+                            TokenKind::Shl
+                        } else {
+                            two(self, b'=', TokenKind::Le, TokenKind::Lt)
+                        }
+                    }
+                    b'>' => {
+                        if self.peek() == b'>' {
+                            self.bump();
+                            TokenKind::Shr
+                        } else {
+                            two(self, b'=', TokenKind::Ge, TokenKind::Gt)
+                        }
+                    }
+                    b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+                    b'|' => two(self, b'|', TokenKind::OrOr, TokenKind::Pipe),
+                    other => {
+                        return Err(FrontendError::new(
+                            line,
+                            format!("unexpected character {:?}", other as char),
+                        ))
+                    }
+                };
+                tok(kind)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_and_numbers() {
+        let k = kinds("foo 42 3.5 1e3 2.5e-2");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("foo".into()),
+                TokenKind::IntLit(42),
+                TokenKind::FloatLit(3.5),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.025),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let k = kinds("+ += ++ - -= -- == = != < <= << > >= >> && & || | ^ ! * *= / /= %");
+        use TokenKind::*;
+        assert_eq!(
+            k,
+            vec![
+                Plus, PlusAssign, PlusPlus, Minus, MinusAssign, MinusMinus, EqEq, Assign, NotEq,
+                Lt, Le, Shl, Gt, Ge, Shr, AndAnd, Amp, OrOr, Pipe, Caret, Bang, Star, StarAssign,
+                Slash, SlashAssign, Percent, Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_pragma_lines() {
+        let k = kinds("#pragma omp parallel for private(x)\nint y;");
+        assert_eq!(k[0], TokenKind::Pragma("omp parallel for private(x)".into()));
+        assert_eq!(k[1], TokenKind::Ident("int".into()));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let k = kinds("a // line comment\n /* block \n comment */ b");
+        assert_eq!(
+            k,
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = Lexer::new("a\nb\n\nc").tokenize().unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let err = Lexer::new("a @ b").tokenize().unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_non_pragma_hash() {
+        let err = Lexer::new("#include <stdio.h>").tokenize().unwrap_err();
+        assert!(err.message.contains("unknown preprocessor"));
+    }
+}

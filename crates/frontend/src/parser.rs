@@ -1,0 +1,632 @@
+//! Recursive-descent parser for ParC.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::pragma::parse_pragma;
+#[cfg(test)]
+use crate::pragma::PragmaAst;
+use crate::FrontendError;
+
+/// Parse a token stream (as produced by [`crate::Lexer::tokenize`]) into a
+/// [`Unit`].
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source line.
+pub fn parse(tokens: &[Token]) -> Result<Unit, FrontendError> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.unit()
+}
+
+struct Parser<'t> {
+    toks: &'t [Token],
+    pos: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> &'t Token {
+        let t = &self.toks[self.pos];
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> FrontendError {
+        FrontendError::new(self.line(), msg.into())
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), FrontendError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, FrontendError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn type_word(kind: &TokenKind) -> Option<TypeSpec> {
+        match kind {
+            TokenKind::Ident(s) if s == "int" => Some(TypeSpec::Int),
+            TokenKind::Ident(s) if s == "double" || s == "float" => Some(TypeSpec::Double),
+            TokenKind::Ident(s) if s == "void" => Some(TypeSpec::Void),
+            _ => None,
+        }
+    }
+
+    // ---- top level --------------------------------------------------------
+
+    fn unit(&mut self) -> Result<Unit, FrontendError> {
+        let mut unit = Unit::default();
+        while self.peek() != &TokenKind::Eof {
+            let line = self.line();
+            let Some(ty) = Self::type_word(self.peek()).map(|t| {
+                self.bump();
+                t
+            }) else {
+                return Err(self.err(format!("expected declaration, found {:?}", self.peek())));
+            };
+            let name = self.ident("name")?;
+            if self.peek() == &TokenKind::LParen {
+                unit.functions.push(self.function(ty, name, line)?);
+            } else {
+                // One or more global declarators.
+                if ty == TypeSpec::Void {
+                    return Err(self.err("void global variable"));
+                }
+                let mut current = name;
+                loop {
+                    let dims = self.dims()?;
+                    unit.globals.push(VarDecl { name: current, ty, dims, line });
+                    if self.eat(&TokenKind::Comma) {
+                        current = self.ident("name")?;
+                        continue;
+                    }
+                    self.expect(&TokenKind::Semi, "';'")?;
+                    break;
+                }
+            }
+        }
+        Ok(unit)
+    }
+
+    fn dims(&mut self) -> Result<Vec<u64>, FrontendError> {
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            match self.peek().clone() {
+                TokenKind::IntLit(n) if n > 0 => {
+                    self.bump();
+                    dims.push(n as u64);
+                }
+                other => return Err(self.err(format!("expected array size, found {other:?}"))),
+            }
+            self.expect(&TokenKind::RBracket, "']'")?;
+        }
+        Ok(dims)
+    }
+
+    fn function(&mut self, ret: TypeSpec, name: String, line: u32) -> Result<FuncDecl, FrontendError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let Some(ty) = Self::type_word(self.peek()).map(|t| {
+                    self.bump();
+                    t
+                }) else {
+                    return Err(self.err("expected parameter type"));
+                };
+                if ty == TypeSpec::Void {
+                    return Err(self.err("void parameter"));
+                }
+                let pname = self.ident("parameter name")?;
+                let is_array = if self.eat(&TokenKind::LBracket) {
+                    self.expect(&TokenKind::RBracket, "']'")?;
+                    true
+                } else {
+                    false
+                };
+                params.push(ParamDecl { name: pname, ty, is_array });
+                if self.eat(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(&TokenKind::RParen, "')'")?;
+                break;
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, ret, params, body, line })
+    }
+
+    // ---- statements --------------------------------------------------------
+
+    fn block(&mut self) -> Result<Stmt, FrontendError> {
+        let line = self.line();
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.err("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Stmt::new(StmtKind::Block(stmts), line))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Pragma(text) => {
+                self.bump();
+                let pragma = parse_pragma(&text, line)?;
+                if pragma.is_standalone() {
+                    return Ok(Stmt::new(StmtKind::StandalonePragma(pragma), line));
+                }
+                // `parallel for` & friends annotate the next statement.
+                let stmt = self.stmt()?;
+                Ok(Stmt::new(StmtKind::Pragma { pragma, stmt: Box::new(stmt) }, line))
+            }
+            TokenKind::LBrace => self.block(),
+            TokenKind::Ident(w) if w == "if" => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let then_stmt = Box::new(self.stmt()?);
+                let else_stmt = if self.peek().is_ident("else") {
+                    self.bump();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::new(StmtKind::If { cond, then_stmt, else_stmt }, line))
+            }
+            TokenKind::Ident(w) if w == "while" => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::new(StmtKind::While { cond, body }, line))
+            }
+            TokenKind::Ident(w) if w == "for" || w == "cilk_for" => {
+                self.bump();
+                self.for_stmt(w == "cilk_for", line)
+            }
+            TokenKind::Ident(w) if w == "return" => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::new(StmtKind::Return(value), line))
+            }
+            TokenKind::Ident(w) if w == "cilk_sync" => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::new(StmtKind::CilkSync, line))
+            }
+            TokenKind::Ident(w) if w == "cilk_scope" => {
+                self.bump();
+                let body = self.block()?;
+                Ok(Stmt::new(StmtKind::CilkScope(Box::new(body)), line))
+            }
+            TokenKind::Ident(w) if w == "cilk_spawn" => {
+                self.bump();
+                let call = self.expr()?;
+                if !matches!(call.kind, ExprKind::Call(..)) {
+                    return Err(self.err("cilk_spawn must spawn a call"));
+                }
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(Stmt::new(StmtKind::CilkSpawn { target: None, call }, line))
+            }
+            kind if Self::type_word(&kind).is_some() => {
+                let ty = Self::type_word(&kind).unwrap();
+                self.bump();
+                if ty == TypeSpec::Void {
+                    return Err(self.err("void local variable"));
+                }
+                let mut stmts = Vec::new();
+                loop {
+                    let name = self.ident("variable name")?;
+                    let dims = self.dims()?;
+                    let decl = VarDecl { name, ty, dims, line };
+                    let init = if self.eat(&TokenKind::Assign) {
+                        if !decl.dims.is_empty() {
+                            return Err(self.err("array declarations cannot have initializers"));
+                        }
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    stmts.push(Stmt::new(StmtKind::Decl(decl, init), line));
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    self.expect(&TokenKind::Semi, "';'")?;
+                    break;
+                }
+                if stmts.len() == 1 {
+                    Ok(stmts.pop().unwrap())
+                } else {
+                    Ok(Stmt::new(StmtKind::Block(stmts), line))
+                }
+            }
+            _ => {
+                let stmt = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi, "';'")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    fn for_stmt(&mut self, is_cilk: bool, line: u32) -> Result<Stmt, FrontendError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let init = Box::new(self.simple_stmt()?);
+        self.expect(&TokenKind::Semi, "';'")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semi, "';'")?;
+        let step = Box::new(self.simple_stmt()?);
+        self.expect(&TokenKind::RParen, "')'")?;
+        let body = Box::new(self.stmt()?);
+        Ok(Stmt::new(StmtKind::For { init, cond, step, body, is_cilk }, line))
+    }
+
+    /// Assignment / compound assignment / increment / call — the statement
+    /// forms allowed in `for` headers (no trailing `;`).
+    fn simple_stmt(&mut self) -> Result<Stmt, FrontendError> {
+        let line = self.line();
+        let target = self.expr()?;
+        let compound = |k| Some(k);
+        let op = match self.peek() {
+            TokenKind::Assign => {
+                self.bump();
+                None
+            }
+            TokenKind::PlusAssign => {
+                self.bump();
+                compound(BinKind::Add)
+            }
+            TokenKind::MinusAssign => {
+                self.bump();
+                compound(BinKind::Sub)
+            }
+            TokenKind::StarAssign => {
+                self.bump();
+                compound(BinKind::Mul)
+            }
+            TokenKind::SlashAssign => {
+                self.bump();
+                compound(BinKind::Div)
+            }
+            TokenKind::PlusPlus => {
+                self.bump();
+                let one = Expr::new(ExprKind::IntLit(1), line);
+                return Ok(Stmt::new(
+                    StmtKind::Assign { target, op: Some(BinKind::Add), value: one },
+                    line,
+                ));
+            }
+            TokenKind::MinusMinus => {
+                self.bump();
+                let one = Expr::new(ExprKind::IntLit(1), line);
+                return Ok(Stmt::new(
+                    StmtKind::Assign { target, op: Some(BinKind::Sub), value: one },
+                    line,
+                ));
+            }
+            _ => {
+                // Plain expression statement (must be a call to be useful).
+                return Ok(Stmt::new(StmtKind::ExprStmt(target), line));
+            }
+        };
+        if !matches!(target.kind, ExprKind::Var(_) | ExprKind::Index(..)) {
+            return Err(self.err("assignment target must be a variable or array element"));
+        }
+        // `x = cilk_spawn f(...)`
+        if op.is_none() && self.peek().is_ident("cilk_spawn") {
+            self.bump();
+            let call = self.expr()?;
+            if !matches!(call.kind, ExprKind::Call(..)) {
+                return Err(self.err("cilk_spawn must spawn a call"));
+            }
+            return Ok(Stmt::new(StmtKind::CilkSpawn { target: Some(target), call }, line));
+        }
+        let value = self.expr()?;
+        Ok(Stmt::new(StmtKind::Assign { target, op, value }, line))
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_level: usize) -> Result<Expr, FrontendError> {
+        // Precedence levels, loosest first.
+        const LEVELS: &[&[(TokenKind, BinKind)]] = &[
+            &[(TokenKind::OrOr, BinKind::LogOr)],
+            &[(TokenKind::AndAnd, BinKind::LogAnd)],
+            &[(TokenKind::Pipe, BinKind::BitOr)],
+            &[(TokenKind::Caret, BinKind::BitXor)],
+            &[(TokenKind::Amp, BinKind::BitAnd)],
+            &[(TokenKind::EqEq, BinKind::Eq), (TokenKind::NotEq, BinKind::Ne)],
+            &[
+                (TokenKind::Lt, BinKind::Lt),
+                (TokenKind::Le, BinKind::Le),
+                (TokenKind::Gt, BinKind::Gt),
+                (TokenKind::Ge, BinKind::Ge),
+            ],
+            &[(TokenKind::Shl, BinKind::Shl), (TokenKind::Shr, BinKind::Shr)],
+            &[(TokenKind::Plus, BinKind::Add), (TokenKind::Minus, BinKind::Sub)],
+            &[
+                (TokenKind::Star, BinKind::Mul),
+                (TokenKind::Slash, BinKind::Div),
+                (TokenKind::Percent, BinKind::Rem),
+            ],
+        ];
+        if min_level >= LEVELS.len() {
+            return self.unary_expr();
+        }
+        let mut lhs = self.binary_expr(min_level + 1)?;
+        'outer: loop {
+            for (tok, op) in LEVELS[min_level] {
+                if self.peek() == tok {
+                    let line = self.line();
+                    self.bump();
+                    let rhs = self.binary_expr(min_level + 1)?;
+                    lhs = Expr::new(ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)), line);
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let line = self.line();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::Neg, Box::new(e)), line))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::new(ExprKind::Unary(UnKind::Not, Box::new(e)), line))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            let line = self.line();
+            if self.eat(&TokenKind::LBracket) {
+                let idx = self.expr()?;
+                self.expect(&TokenKind::RBracket, "']'")?;
+                e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)), line);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), line))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), line))
+            }
+            TokenKind::LParen => {
+                // Cast `(int) e` vs parenthesized expression.
+                if let Some(ty) = Self::type_word(self.peek_at(1)) {
+                    if self.peek_at(2) == &TokenKind::RParen {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        let e = self.unary_expr()?;
+                        return Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), line));
+                    }
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            self.expect(&TokenKind::RParen, "')'")?;
+                            break;
+                        }
+                    }
+                    Ok(Expr::new(ExprKind::Call(name, args), line))
+                } else {
+                    Ok(Expr::new(ExprKind::Var(name), line))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Lexer;
+
+    fn parse_src(src: &str) -> Unit {
+        let toks = Lexer::new(src).tokenize().unwrap();
+        parse(&toks).unwrap()
+    }
+
+    fn parse_err(src: &str) -> FrontendError {
+        let toks = Lexer::new(src).tokenize().unwrap();
+        parse(&toks).unwrap_err()
+    }
+
+    #[test]
+    fn parses_globals_and_function() {
+        let u = parse_src("int a[8]; double m[4][4], s;\nvoid f() { }");
+        assert_eq!(u.globals.len(), 3);
+        assert_eq!(u.globals[0].dims, vec![8]);
+        assert_eq!(u.globals[1].dims, vec![4, 4]);
+        assert!(u.globals[2].dims.is_empty());
+        assert_eq!(u.functions.len(), 1);
+        assert_eq!(u.functions[0].name, "f");
+    }
+
+    #[test]
+    fn parses_params() {
+        let u = parse_src("int f(int n, double a[], int b[]) { return n; }");
+        let f = &u.functions[0];
+        assert_eq!(f.params.len(), 3);
+        assert!(!f.params[0].is_array);
+        assert!(f.params[1].is_array);
+        assert_eq!(f.params[1].ty, TypeSpec::Double);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let u = parse_src("int f() { return 1 + 2 * 3 < 4 & 5 == 6; }");
+        let f = &u.functions[0];
+        let StmtKind::Block(stmts) = &f.body.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        // Top must be BitAnd of (Lt ..) and (Eq ..).
+        let ExprKind::Binary(BinKind::BitAnd, l, r) = &e.kind else { panic!("{e:?}") };
+        assert!(matches!(l.kind, ExprKind::Binary(BinKind::Lt, ..)));
+        assert!(matches!(r.kind, ExprKind::Binary(BinKind::Eq, ..)));
+    }
+
+    #[test]
+    fn parses_for_with_increment() {
+        let u = parse_src("void f() { int i; for (i = 0; i < 10; i++) { i = i; } }");
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        let StmtKind::For { init, step, is_cilk, .. } = &stmts[1].kind else { panic!() };
+        assert!(!is_cilk);
+        assert!(matches!(init.kind, StmtKind::Assign { op: None, .. }));
+        assert!(matches!(step.kind, StmtKind::Assign { op: Some(BinKind::Add), .. }));
+    }
+
+    #[test]
+    fn parses_pragma_attached_to_loop() {
+        let u = parse_src(
+            "void f() { int i;\n#pragma omp parallel for\nfor (i = 0; i < 4; i++) { i = i; } }",
+        );
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        let StmtKind::Pragma { pragma, stmt } = &stmts[1].kind else { panic!("{:?}", stmts[1]) };
+        assert!(matches!(pragma, PragmaAst::ParallelFor(_)));
+        assert!(matches!(stmt.kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn parses_cilk_constructs() {
+        let u = parse_src(
+            "int fib(int n) { int x; int y; if (n < 2) { return n; } \
+             x = cilk_spawn fib(n - 1); y = fib(n - 2); cilk_sync; return x + y; }",
+        );
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        assert!(matches!(&stmts[3].kind, StmtKind::CilkSpawn { target: Some(_), .. }));
+        assert!(matches!(&stmts[5].kind, StmtKind::CilkSync));
+    }
+
+    #[test]
+    fn parses_cilk_for_and_scope() {
+        let u = parse_src(
+            "void f() { int i; cilk_scope { cilk_for (i = 0; i < 4; i++) { i = i; } } }",
+        );
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        let StmtKind::CilkScope(inner) = &stmts[1].kind else { panic!() };
+        let StmtKind::Block(inner_stmts) = &inner.kind else { panic!() };
+        assert!(matches!(inner_stmts[0].kind, StmtKind::For { is_cilk: true, .. }));
+    }
+
+    #[test]
+    fn parses_casts_and_indexing() {
+        let u = parse_src("double g[4][4]; void f() { g[1][2] = (double) 3 + g[0][0]; }");
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        let StmtKind::Assign { target, value, .. } = &stmts[0].kind else { panic!() };
+        assert!(matches!(target.kind, ExprKind::Index(..)));
+        let ExprKind::Binary(BinKind::Add, l, _) = &value.kind else { panic!() };
+        assert!(matches!(l.kind, ExprKind::Cast(TypeSpec::Double, _)));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let u = parse_src("int s; void f() { s += 2; s *= 3; }");
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        assert!(matches!(
+            &stmts[0].kind,
+            StmtKind::Assign { op: Some(BinKind::Add), .. }
+        ));
+        assert!(matches!(
+            &stmts[1].kind,
+            StmtKind::Assign { op: Some(BinKind::Mul), .. }
+        ));
+    }
+
+    #[test]
+    fn error_on_bad_assignment_target() {
+        let e = parse_err("void f() { 1 = 2; }");
+        assert!(e.message.contains("assignment target"), "{e}");
+    }
+
+    #[test]
+    fn error_on_array_initializer() {
+        let e = parse_err("void f() { int a[4] = 0; }");
+        assert!(e.message.contains("array declarations"), "{e}");
+    }
+
+    #[test]
+    fn multi_declarators_in_locals() {
+        let u = parse_src("void f() { int i = 0, j = 1; }");
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        let StmtKind::Block(decls) = &stmts[0].kind else { panic!() };
+        assert_eq!(decls.len(), 2);
+    }
+}

@@ -1,0 +1,466 @@
+//! Parser for the `#pragma omp ...` sub-language.
+
+use crate::FrontendError;
+
+/// A parsed data/environment clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClauseAst {
+    /// `private(a, b)`
+    Private(Vec<String>),
+    /// `firstprivate(a, b)`
+    Firstprivate(Vec<String>),
+    /// `lastprivate(a, b)`
+    Lastprivate(Vec<String>),
+    /// `shared(a, b)`
+    Shared(Vec<String>),
+    /// `threadprivate(a, b)`
+    Threadprivate(Vec<String>),
+    /// `reduction(op: a, b)`
+    Reduction {
+        /// Operator token (`+`, `*`, `min`, …).
+        op: String,
+        /// Reduced variables.
+        vars: Vec<String>,
+    },
+    /// `schedule(kind[, chunk])`
+    Schedule {
+        /// `static` / `dynamic` / `guided` / `auto`.
+        kind: String,
+        /// Optional chunk size.
+        chunk: Option<u64>,
+    },
+    /// `nowait`
+    Nowait,
+    /// `ordered`
+    Ordered,
+    /// `collapse(n)`
+    Collapse(u64),
+    /// `num_threads(n)` — parsed, semantically ignored (execution-plan only).
+    NumThreads(u64),
+    /// `depend(in|out|inout: a, b)`
+    Depend {
+        /// `in` / `out` / `inout`.
+        kind: String,
+        /// Depended-on variables.
+        vars: Vec<String>,
+    },
+}
+
+/// A parsed `#pragma omp` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PragmaAst {
+    /// `omp parallel [clauses]`
+    Parallel(Vec<ClauseAst>),
+    /// `omp for [clauses]`
+    For(Vec<ClauseAst>),
+    /// `omp parallel for [clauses]`
+    ParallelFor(Vec<ClauseAst>),
+    /// `omp sections [clauses]`
+    Sections(Vec<ClauseAst>),
+    /// `omp section`
+    Section,
+    /// `omp single [nowait]`
+    Single(Vec<ClauseAst>),
+    /// `omp master`
+    Master,
+    /// `omp critical [(name)]`
+    Critical(Option<String>),
+    /// `omp atomic`
+    Atomic,
+    /// `omp barrier`
+    Barrier,
+    /// `omp ordered`
+    Ordered,
+    /// `omp task [clauses]`
+    Task(Vec<ClauseAst>),
+    /// `omp taskwait`
+    Taskwait,
+    /// `omp taskloop [clauses]`
+    Taskloop(Vec<ClauseAst>),
+    /// `omp simd [clauses]`
+    Simd(Vec<ClauseAst>),
+}
+
+impl PragmaAst {
+    /// Whether this pragma stands alone (no following statement).
+    pub fn is_standalone(&self) -> bool {
+        matches!(self, PragmaAst::Barrier | PragmaAst::Taskwait)
+    }
+}
+
+/// Tiny tokenizer for the pragma text.
+struct PragmaLexer<'a> {
+    text: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PTok {
+    Word(String),
+    Num(u64),
+    Punct(char),
+    Op(String),
+    End,
+}
+
+impl<'a> PragmaLexer<'a> {
+    fn next(&mut self) -> Result<PTok, FrontendError> {
+        let bytes = self.text.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(PTok::End);
+        }
+        let c = bytes[self.pos];
+        match c {
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = self.pos;
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(PTok::Word(self.text[start..self.pos].to_string()))
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let v = self.text[start..self.pos].parse().map_err(|_| {
+                    FrontendError::new(self.line, "bad number in pragma".to_string())
+                })?;
+                Ok(PTok::Num(v))
+            }
+            b'(' | b')' | b',' | b':' => {
+                self.pos += 1;
+                Ok(PTok::Punct(c as char))
+            }
+            b'+' | b'*' | b'-' | b'^' => {
+                self.pos += 1;
+                Ok(PTok::Op((c as char).to_string()))
+            }
+            b'&' | b'|' => {
+                self.pos += 1;
+                if self.pos < bytes.len() && bytes[self.pos] == c {
+                    self.pos += 1;
+                    Ok(PTok::Op(format!("{}{}", c as char, c as char)))
+                } else {
+                    Ok(PTok::Op((c as char).to_string()))
+                }
+            }
+            other => Err(FrontendError::new(
+                self.line,
+                format!("unexpected character {:?} in pragma", other as char),
+            )),
+        }
+    }
+
+    fn peek(&mut self) -> Result<PTok, FrontendError> {
+        let save = self.pos;
+        let t = self.next()?;
+        self.pos = save;
+        Ok(t)
+    }
+}
+
+/// Parse the text after `#pragma` (e.g. `"omp parallel for private(x)"`).
+///
+/// # Errors
+///
+/// Unknown directives, unknown clauses, and malformed clause arguments.
+pub fn parse_pragma(text: &str, line: u32) -> Result<PragmaAst, FrontendError> {
+    let mut lex = PragmaLexer { text, pos: 0, line };
+    let err = |msg: String| FrontendError::new(line, msg);
+    match lex.next()? {
+        PTok::Word(w) if w == "omp" => {}
+        other => return Err(err(format!("expected 'omp' after #pragma, found {other:?}"))),
+    }
+    let head = match lex.next()? {
+        PTok::Word(w) => w,
+        other => return Err(err(format!("expected directive name, found {other:?}"))),
+    };
+    match head.as_str() {
+        "parallel" => {
+            // `parallel for` fusion.
+            if let PTok::Word(w) = lex.peek()? {
+                if w == "for" {
+                    lex.next()?;
+                    let clauses = parse_clauses(&mut lex, line)?;
+                    return Ok(PragmaAst::ParallelFor(clauses));
+                }
+            }
+            Ok(PragmaAst::Parallel(parse_clauses(&mut lex, line)?))
+        }
+        "for" => Ok(PragmaAst::For(parse_clauses(&mut lex, line)?)),
+        "sections" => Ok(PragmaAst::Sections(parse_clauses(&mut lex, line)?)),
+        "section" => Ok(PragmaAst::Section),
+        "single" => Ok(PragmaAst::Single(parse_clauses(&mut lex, line)?)),
+        "master" => Ok(PragmaAst::Master),
+        "critical" => {
+            let name = match lex.peek()? {
+                PTok::Punct('(') => {
+                    lex.next()?;
+                    let n = match lex.next()? {
+                        PTok::Word(w) => w,
+                        other => return Err(err(format!("expected critical name, found {other:?}"))),
+                    };
+                    match lex.next()? {
+                        PTok::Punct(')') => {}
+                        other => return Err(err(format!("expected ')', found {other:?}"))),
+                    }
+                    Some(n)
+                }
+                _ => None,
+            };
+            Ok(PragmaAst::Critical(name))
+        }
+        "atomic" => Ok(PragmaAst::Atomic),
+        "barrier" => Ok(PragmaAst::Barrier),
+        "ordered" => Ok(PragmaAst::Ordered),
+        "task" => Ok(PragmaAst::Task(parse_clauses(&mut lex, line)?)),
+        "taskwait" => Ok(PragmaAst::Taskwait),
+        "taskloop" => Ok(PragmaAst::Taskloop(parse_clauses(&mut lex, line)?)),
+        "simd" => Ok(PragmaAst::Simd(parse_clauses(&mut lex, line)?)),
+        "threadprivate" => {
+            // `#pragma omp threadprivate(x)` — model as a Parallel-less
+            // clause carrier; callers treat it specially.
+            let vars = parse_var_list(&mut lex, line)?;
+            Ok(PragmaAst::Parallel(vec![ClauseAst::Threadprivate(vars)]))
+        }
+        other => Err(err(format!("unknown omp directive '{other}'"))),
+    }
+}
+
+fn parse_var_list(lex: &mut PragmaLexer<'_>, line: u32) -> Result<Vec<String>, FrontendError> {
+    let err = |msg: String| FrontendError::new(line, msg);
+    match lex.next()? {
+        PTok::Punct('(') => {}
+        other => return Err(err(format!("expected '(', found {other:?}"))),
+    }
+    let mut vars = Vec::new();
+    loop {
+        match lex.next()? {
+            PTok::Word(w) => vars.push(w),
+            other => return Err(err(format!("expected variable name, found {other:?}"))),
+        }
+        match lex.next()? {
+            PTok::Punct(',') => continue,
+            PTok::Punct(')') => break,
+            other => return Err(err(format!("expected ',' or ')', found {other:?}"))),
+        }
+    }
+    Ok(vars)
+}
+
+fn parse_clauses(lex: &mut PragmaLexer<'_>, line: u32) -> Result<Vec<ClauseAst>, FrontendError> {
+    let err = |msg: String| FrontendError::new(line, msg);
+    let mut clauses = Vec::new();
+    loop {
+        let name = match lex.next()? {
+            PTok::End => break,
+            PTok::Word(w) => w,
+            PTok::Punct(',') => continue, // clause separators are optional
+            other => return Err(err(format!("expected clause name, found {other:?}"))),
+        };
+        match name.as_str() {
+            "nowait" => clauses.push(ClauseAst::Nowait),
+            "ordered" => clauses.push(ClauseAst::Ordered),
+            "private" => clauses.push(ClauseAst::Private(parse_var_list(lex, line)?)),
+            "firstprivate" => clauses.push(ClauseAst::Firstprivate(parse_var_list(lex, line)?)),
+            "lastprivate" => clauses.push(ClauseAst::Lastprivate(parse_var_list(lex, line)?)),
+            "shared" => clauses.push(ClauseAst::Shared(parse_var_list(lex, line)?)),
+            "threadprivate" => clauses.push(ClauseAst::Threadprivate(parse_var_list(lex, line)?)),
+            "collapse" | "num_threads" => {
+                match lex.next()? {
+                    PTok::Punct('(') => {}
+                    other => return Err(err(format!("expected '(', found {other:?}"))),
+                }
+                let n = match lex.next()? {
+                    PTok::Num(n) => n,
+                    other => return Err(err(format!("expected number, found {other:?}"))),
+                };
+                match lex.next()? {
+                    PTok::Punct(')') => {}
+                    other => return Err(err(format!("expected ')', found {other:?}"))),
+                }
+                clauses.push(if name == "collapse" {
+                    ClauseAst::Collapse(n)
+                } else {
+                    ClauseAst::NumThreads(n)
+                });
+            }
+            "schedule" => {
+                match lex.next()? {
+                    PTok::Punct('(') => {}
+                    other => return Err(err(format!("expected '(', found {other:?}"))),
+                }
+                let kind = match lex.next()? {
+                    PTok::Word(w) => w,
+                    other => return Err(err(format!("expected schedule kind, found {other:?}"))),
+                };
+                let chunk = match lex.next()? {
+                    PTok::Punct(')') => None,
+                    PTok::Punct(',') => {
+                        let n = match lex.next()? {
+                            PTok::Num(n) => n,
+                            other => return Err(err(format!("expected chunk size, found {other:?}"))),
+                        };
+                        match lex.next()? {
+                            PTok::Punct(')') => {}
+                            other => return Err(err(format!("expected ')', found {other:?}"))),
+                        }
+                        Some(n)
+                    }
+                    other => return Err(err(format!("expected ',' or ')', found {other:?}"))),
+                };
+                clauses.push(ClauseAst::Schedule { kind, chunk });
+            }
+            "reduction" => {
+                match lex.next()? {
+                    PTok::Punct('(') => {}
+                    other => return Err(err(format!("expected '(', found {other:?}"))),
+                }
+                let op = match lex.next()? {
+                    PTok::Op(o) => o,
+                    PTok::Word(w) => w, // min / max / custom merger name
+                    other => return Err(err(format!("expected reduction op, found {other:?}"))),
+                };
+                match lex.next()? {
+                    PTok::Punct(':') => {}
+                    other => return Err(err(format!("expected ':', found {other:?}"))),
+                }
+                let mut vars = Vec::new();
+                loop {
+                    match lex.next()? {
+                        PTok::Word(w) => vars.push(w),
+                        other => return Err(err(format!("expected variable, found {other:?}"))),
+                    }
+                    match lex.next()? {
+                        PTok::Punct(',') => continue,
+                        PTok::Punct(')') => break,
+                        other => return Err(err(format!("expected ',' or ')', found {other:?}"))),
+                    }
+                }
+                clauses.push(ClauseAst::Reduction { op, vars });
+            }
+            "depend" => {
+                match lex.next()? {
+                    PTok::Punct('(') => {}
+                    other => return Err(err(format!("expected '(', found {other:?}"))),
+                }
+                let kind = match lex.next()? {
+                    PTok::Word(w) => w,
+                    other => return Err(err(format!("expected depend kind, found {other:?}"))),
+                };
+                match lex.next()? {
+                    PTok::Punct(':') => {}
+                    other => return Err(err(format!("expected ':', found {other:?}"))),
+                }
+                let mut vars = Vec::new();
+                loop {
+                    match lex.next()? {
+                        PTok::Word(w) => vars.push(w),
+                        other => return Err(err(format!("expected variable, found {other:?}"))),
+                    }
+                    match lex.next()? {
+                        PTok::Punct(',') => continue,
+                        PTok::Punct(')') => break,
+                        other => return Err(err(format!("expected ',' or ')', found {other:?}"))),
+                    }
+                }
+                clauses.push(ClauseAst::Depend { kind, vars });
+            }
+            other => return Err(err(format!("unknown clause '{other}'"))),
+        }
+    }
+    Ok(clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_parallel_for_with_clauses() {
+        let p = parse_pragma("omp parallel for private(a, b) reduction(+: s) schedule(static, 4)", 1)
+            .unwrap();
+        match p {
+            PragmaAst::ParallelFor(clauses) => {
+                assert_eq!(clauses.len(), 3);
+                assert_eq!(clauses[0], ClauseAst::Private(vec!["a".into(), "b".into()]));
+                assert_eq!(
+                    clauses[1],
+                    ClauseAst::Reduction { op: "+".into(), vars: vec!["s".into()] }
+                );
+                assert_eq!(
+                    clauses[2],
+                    ClauseAst::Schedule { kind: "static".into(), chunk: Some(4) }
+                );
+            }
+            other => panic!("wrong pragma {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_named_critical() {
+        assert_eq!(
+            parse_pragma("omp critical (histlock)", 3).unwrap(),
+            PragmaAst::Critical(Some("histlock".into()))
+        );
+        assert_eq!(parse_pragma("omp critical", 3).unwrap(), PragmaAst::Critical(None));
+    }
+
+    #[test]
+    fn parses_standalone() {
+        assert!(parse_pragma("omp barrier", 1).unwrap().is_standalone());
+        assert!(parse_pragma("omp taskwait", 1).unwrap().is_standalone());
+        assert!(!parse_pragma("omp single", 1).unwrap().is_standalone());
+    }
+
+    #[test]
+    fn parses_task_depends() {
+        let p = parse_pragma("omp task depend(in: x, y) depend(out: z)", 1).unwrap();
+        match p {
+            PragmaAst::Task(clauses) => {
+                assert_eq!(
+                    clauses[0],
+                    ClauseAst::Depend { kind: "in".into(), vars: vec!["x".into(), "y".into()] }
+                );
+                assert_eq!(
+                    clauses[1],
+                    ClauseAst::Depend { kind: "out".into(), vars: vec!["z".into()] }
+                );
+            }
+            other => panic!("wrong pragma {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reduction_ops() {
+        for op in ["+", "*", "min", "max", "&", "|", "^", "&&", "||"] {
+            let p = parse_pragma(&format!("omp for reduction({op}: s)"), 1).unwrap();
+            match p {
+                PragmaAst::For(c) => {
+                    assert_eq!(c[0], ClauseAst::Reduction { op: op.into(), vars: vec!["s".into()] });
+                }
+                other => panic!("wrong pragma {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive_and_clause() {
+        assert!(parse_pragma("omp frobnicate", 1).is_err());
+        assert!(parse_pragma("omp for fancy(x)", 1).is_err());
+        assert!(parse_pragma("acc parallel", 1).is_err());
+    }
+
+    #[test]
+    fn num_threads_is_accepted() {
+        let p = parse_pragma("omp parallel num_threads(8)", 1).unwrap();
+        assert_eq!(p, PragmaAst::Parallel(vec![ClauseAst::NumThreads(8)]));
+    }
+}

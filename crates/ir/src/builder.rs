@@ -1,0 +1,233 @@
+//! A positional instruction builder, in the style of LLVM's `IRBuilder`.
+
+use crate::function::{Block, Function};
+use crate::inst::{BinOp, CastKind, CmpOp, Inst, InstData, Intrinsic, UnOp};
+use crate::types::Type;
+use crate::value::{BlockId, FuncId, InstId, Value};
+
+/// Builds instructions into a [`Function`], appending to a current block.
+///
+/// The builder computes each instruction's result type eagerly so that
+/// consumers (the verifier, dependence analysis) can type values without
+/// re-deriving them.
+///
+/// # Example
+///
+/// ```
+/// use pspdg_ir::{Module, Type, FunctionBuilder, Value, BinOp, CmpOp};
+///
+/// let mut module = Module::new("m");
+/// let f = module.declare_function_with("clamp0", &[("x", Type::I64)], Type::I64);
+/// let mut b = FunctionBuilder::new(module.function_mut(f));
+/// let entry = b.create_block("entry");
+/// let neg = b.create_block("neg");
+/// let pos = b.create_block("pos");
+/// b.switch_to_block(entry);
+/// let is_neg = b.cmp(CmpOp::Lt, Value::Param(0), Value::const_int(0));
+/// b.cond_br(is_neg, neg, pos);
+/// b.switch_to_block(neg);
+/// b.ret(Some(Value::const_int(0)));
+/// b.switch_to_block(pos);
+/// b.ret(Some(Value::Param(0)));
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder<'f> {
+    func: &'f mut Function,
+    current: Option<BlockId>,
+}
+
+impl<'f> FunctionBuilder<'f> {
+    /// Start building into `func`.
+    pub fn new(func: &'f mut Function) -> FunctionBuilder<'f> {
+        FunctionBuilder { func, current: None }
+    }
+
+    /// The function being built.
+    pub fn func(&self) -> &Function {
+        self.func
+    }
+
+    /// Create a new, empty block.
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::from_index(self.func.blocks.len());
+        self.func.blocks.push(Block { name: name.into(), insts: Vec::new() });
+        id
+    }
+
+    /// Make `bb` the insertion point.
+    pub fn switch_to_block(&mut self, bb: BlockId) {
+        self.current = Some(bb);
+    }
+
+    /// The current insertion block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been selected with [`Self::switch_to_block`].
+    pub fn current_block(&self) -> BlockId {
+        self.current.expect("no current block selected")
+    }
+
+    /// Whether the current block already ends in a terminator.
+    pub fn block_terminated(&self) -> bool {
+        let bb = self.current_block();
+        self.func.terminator(bb).is_some()
+    }
+
+    fn append(&mut self, inst: Inst, ty: Type) -> InstId {
+        let bb = self.current_block();
+        debug_assert!(
+            self.func.terminator(bb).is_none(),
+            "appending to terminated block {bb} in {}",
+            self.func.name
+        );
+        let id = InstId::from_index(self.func.insts.len());
+        self.func.insts.push(InstData { inst, ty });
+        self.func.blocks[bb.index()].insts.push(id);
+        id
+    }
+
+    fn value_ty(&self, v: Value) -> Type {
+        self.func.value_type(v)
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// Allocate a stack object and yield its address.
+    pub fn alloca(&mut self, ty: Type, name: impl Into<String>) -> Value {
+        let id = self.append(Inst::Alloca { ty, name: name.into() }, Type::Ptr);
+        Value::Inst(id)
+    }
+
+    /// Load a scalar of type `ty` from `ptr`.
+    pub fn load(&mut self, ptr: Value, ty: Type) -> Value {
+        let id = self.append(Inst::Load { ptr, ty: ty.clone() }, ty);
+        Value::Inst(id)
+    }
+
+    /// Store `value` to `ptr`.
+    pub fn store(&mut self, ptr: Value, value: Value) -> InstId {
+        self.append(Inst::Store { ptr, value }, Type::Void)
+    }
+
+    /// Address of the `index`-th element (of type `elem_ty`) from `base`.
+    pub fn gep(&mut self, base: Value, index: Value, elem_ty: Type) -> Value {
+        let id = self.append(Inst::Gep { base, index, elem_ty }, Type::Ptr);
+        Value::Inst(id)
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Binary arithmetic; the result type is the operand type.
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        let ty = self.value_ty(lhs);
+        let id = self.append(Inst::Binary { op, lhs, rhs }, ty);
+        Value::Inst(id)
+    }
+
+    /// Unary arithmetic; the result type is the operand type.
+    pub fn unary(&mut self, op: UnOp, operand: Value) -> Value {
+        let ty = self.value_ty(operand);
+        let id = self.append(Inst::Unary { op, operand }, ty);
+        Value::Inst(id)
+    }
+
+    /// Comparison producing `bool`.
+    pub fn cmp(&mut self, op: CmpOp, lhs: Value, rhs: Value) -> Value {
+        let id = self.append(Inst::Cmp { op, lhs, rhs }, Type::Bool);
+        Value::Inst(id)
+    }
+
+    /// Scalar conversion.
+    pub fn cast(&mut self, kind: CastKind, value: Value) -> Value {
+        let id = self.append(Inst::Cast { kind, value }, kind.result_type());
+        Value::Inst(id)
+    }
+
+    // ---- calls -----------------------------------------------------------
+
+    /// Direct call. `ret_ty` must be the callee's return type (the builder
+    /// cannot see other functions; the verifier re-checks).
+    pub fn call(&mut self, callee: FuncId, args: Vec<Value>, ret_ty: Type) -> Value {
+        let id = self.append(Inst::Call { callee, args }, ret_ty);
+        Value::Inst(id)
+    }
+
+    /// Call a built-in operation.
+    pub fn intrinsic(&mut self, intrinsic: Intrinsic, args: Vec<Value>) -> Value {
+        let id = self.append(
+            Inst::IntrinsicCall { intrinsic, args },
+            intrinsic.result_type(),
+        );
+        Value::Inst(id)
+    }
+
+    // ---- terminators -----------------------------------------------------
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) -> InstId {
+        self.append(Inst::Br { target }, Type::Void)
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) -> InstId {
+        self.append(Inst::CondBr { cond, then_bb, else_bb }, Type::Void)
+    }
+
+    /// Return.
+    pub fn ret(&mut self, value: Option<Value>) -> InstId {
+        self.append(Inst::Ret { value }, Type::Void)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Module;
+
+    #[test]
+    fn builds_straightline_code() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let entry = b.create_block("entry");
+        b.switch_to_block(entry);
+        let x = b.binary(BinOp::Add, Value::const_int(1), Value::const_int(2));
+        let y = b.binary(BinOp::Mul, x, Value::const_int(3));
+        b.ret(Some(y));
+        let func = b.func();
+        assert_eq!(func.size(), 3);
+        assert_eq!(func.inst(x.as_inst().unwrap()).ty, Type::I64);
+    }
+
+    #[test]
+    fn result_types_follow_opcode() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let entry = b.create_block("entry");
+        b.switch_to_block(entry);
+        let slot = b.alloca(Type::F64, "x");
+        let loaded = b.load(slot, Type::F64);
+        let cmp = b.cmp(CmpOp::Lt, loaded, Value::const_float(0.0));
+        let as_int = b.cast(CastKind::FloatToInt, loaded);
+        b.ret(None);
+        let func = b.func();
+        assert_eq!(func.value_type(slot), Type::Ptr);
+        assert_eq!(func.value_type(loaded), Type::F64);
+        assert_eq!(func.value_type(cmp), Type::Bool);
+        assert_eq!(func.value_type(as_int), Type::I64);
+    }
+
+    #[test]
+    fn block_terminated_flag() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::Void);
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let entry = b.create_block("entry");
+        b.switch_to_block(entry);
+        assert!(!b.block_terminated());
+        b.ret(None);
+        assert!(b.block_terminated());
+    }
+}

@@ -1,0 +1,1159 @@
+//! A deterministic IR interpreter with profiling and a pluggable trace sink.
+//!
+//! The interpreter serves three roles in the PS-PDG stack:
+//!
+//! 1. **Correctness oracle** — examples and tests execute kernels and check
+//!    their outputs;
+//! 2. **Profiler** — per-instruction and per-block execution counts drive
+//!    the parallelizer's ≥1 %-coverage loop filter (paper §6.1);
+//! 3. **Trace source** — with a [`TraceSink`] attached it emits one event
+//!    per dynamic instruction, carrying *register dependences* (trace
+//!    indices of producing dynamic instructions) and *memory addresses*
+//!    touched. The ideal-machine emulator (crate `pspdg-emulator`) consumes
+//!    these events to compute plan-constrained critical paths (paper §6.3).
+//!
+//! ## Dependence bookkeeping
+//!
+//! For a dynamic instruction, `reg_deps` holds the trace indices of the
+//! dynamic instructions that produced its operands. Two conventions matter
+//! for the emulator:
+//!
+//! * the producer of a `call` *result* is the callee's `ret` step (not the
+//!   call step), so consumers of the result wait for the callee to finish;
+//! * the producer of a parameter reference is the producer of the argument
+//!   at the call site.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::function::{GlobalInit, Module};
+use crate::inst::{BinOp, CastKind, CmpOp, Inst, Intrinsic, UnOp};
+use crate::types::Type;
+use crate::value::{BlockId, Constant, FuncId, GlobalId, InstId, Value};
+
+/// Identifier of a runtime memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Raw index into the interpreter's object table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A validated address of one scalar cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAddr {
+    /// Object containing the cell.
+    pub obj: ObjId,
+    /// Cell offset within the object.
+    pub off: u32,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Pointer: object plus (possibly out-of-range until dereferenced)
+    /// cell offset.
+    Ptr {
+        /// Pointed-to object.
+        obj: ObjId,
+        /// Signed cell offset (validated on dereference).
+        off: i64,
+    },
+    /// Uninitialized memory.
+    Undef,
+}
+
+impl RtVal {
+    fn type_name(&self) -> &'static str {
+        match self {
+            RtVal::Int(_) => "i64",
+            RtVal::Float(_) => "f64",
+            RtVal::Bool(_) => "bool",
+            RtVal::Ptr { .. } => "ptr",
+            RtVal::Undef => "undef",
+        }
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            RtVal::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            RtVal::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            RtVal::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Where a runtime object came from; lets trace consumers map dynamic
+/// addresses back to static variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjOrigin {
+    /// A module global.
+    Global(GlobalId),
+    /// A stack object: the `alloca` instruction and its function.
+    Alloca {
+        /// Function containing the alloca.
+        func: FuncId,
+        /// The alloca instruction.
+        inst: InstId,
+    },
+}
+
+#[derive(Debug)]
+struct Object {
+    origin: ObjOrigin,
+    cells: Vec<RtVal>,
+}
+
+/// Per-function execution counts.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// `inst_count[func][inst]` = times the instruction executed.
+    pub inst_count: Vec<Vec<u64>>,
+    /// `block_count[func][block]` = times the block was entered.
+    pub block_count: Vec<Vec<u64>>,
+    /// Total dynamic instructions executed.
+    pub total: u64,
+}
+
+impl Profile {
+    fn new(module: &Module) -> Profile {
+        Profile {
+            inst_count: module.functions.iter().map(|f| vec![0; f.insts.len()]).collect(),
+            block_count: module.functions.iter().map(|f| vec![0; f.blocks.len()]).collect(),
+            total: 0,
+        }
+    }
+
+    /// Dynamic instructions attributable to a set of blocks of a function
+    /// (used for loop coverage).
+    pub fn block_set_cost(&self, module: &Module, func: FuncId, blocks: &[BlockId]) -> u64 {
+        let f = module.function(func);
+        blocks
+            .iter()
+            .flat_map(|bb| f.block(*bb).insts.iter())
+            .map(|i| self.inst_count[func.index()][i.index()])
+            .sum()
+    }
+}
+
+/// A single dynamic instruction event.
+#[derive(Debug)]
+pub struct Step<'a> {
+    /// Activation (frame) id; the root call is frame 0.
+    pub frame: u64,
+    /// Function being executed.
+    pub func: FuncId,
+    /// Static instruction.
+    pub inst: InstId,
+    /// This event's trace index (0-based, dense).
+    pub index: u64,
+    /// Trace indices of producers of the register operands.
+    pub reg_deps: &'a [u64],
+    /// Cells read by this instruction.
+    pub loads: &'a [MemAddr],
+    /// Cells written by this instruction.
+    pub stores: &'a [MemAddr],
+}
+
+/// Receiver of dynamic-trace events. All methods have empty defaults.
+pub trait TraceSink {
+    /// A dynamic instruction executed.
+    fn on_step(&mut self, step: &Step<'_>) {
+        let _ = step;
+    }
+    /// Control entered `block` in frame `frame`.
+    fn on_block(&mut self, frame: u64, func: FuncId, block: BlockId) {
+        let _ = (frame, func, block);
+    }
+    /// A new activation began. `call_step` is the trace index of the calling
+    /// `call` instruction, or `u64::MAX` for the root invocation.
+    fn on_enter(&mut self, frame: u64, func: FuncId, call_step: u64) {
+        let _ = (frame, func, call_step);
+    }
+    /// An activation finished; `ret_step` is the trace index of its `ret`.
+    fn on_exit(&mut self, frame: u64, func: FuncId, ret_step: u64) {
+        let _ = (frame, func, ret_step);
+    }
+    /// A memory object came into existence (globals are announced before
+    /// the first step; allocas as they execute).
+    fn on_alloc(&mut self, obj: ObjId, origin: ObjOrigin) {
+        let _ = (obj, origin);
+    }
+}
+
+/// A sink that ignores everything (profiling-only runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {}
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The step budget was exhausted (guards non-terminating tests).
+    OutOfFuel,
+    /// Load/store outside an object's bounds.
+    OutOfBounds {
+        /// Function where the access happened.
+        func: String,
+        /// Offending instruction.
+        inst: InstId,
+        /// Attempted offset.
+        off: i64,
+        /// Object size in cells.
+        size: usize,
+    },
+    /// A load observed an uninitialized cell.
+    UndefRead {
+        /// Function where the load happened.
+        func: String,
+        /// Offending instruction.
+        inst: InstId,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero {
+        /// Function where the division happened.
+        func: String,
+        /// Offending instruction.
+        inst: InstId,
+    },
+    /// An operand had an unexpected runtime type (verifier should prevent
+    /// this; kept for defence in depth).
+    TypeMismatch {
+        /// Function where the fault happened.
+        func: String,
+        /// Offending instruction.
+        inst: InstId,
+        /// Expected type name.
+        expected: &'static str,
+        /// Actual type name.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "interpreter ran out of fuel"),
+            ExecError::OutOfBounds { func, inst, off, size } => write!(
+                f,
+                "out-of-bounds access in @{func} at {inst}: offset {off} of {size}-cell object"
+            ),
+            ExecError::UndefRead { func, inst } => {
+                write!(f, "read of uninitialized memory in @{func} at {inst}")
+            }
+            ExecError::DivByZero { func, inst } => {
+                write!(f, "division by zero in @{func} at {inst}")
+            }
+            ExecError::TypeMismatch { func, inst, expected, got } => {
+                write!(f, "type mismatch in @{func} at {inst}: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The interpreter. Owns the heap (globals + live stack objects), the
+/// profile, and the captured output of `print_*` intrinsics.
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    objects: Vec<Object>,
+    globals: HashMap<GlobalId, ObjId>,
+    profile: Profile,
+    output: Vec<String>,
+    steps: u64,
+    fuel: u64,
+    next_frame: u64,
+}
+
+/// Everything local to one activation.
+struct Frame {
+    #[allow(dead_code)]
+    func: FuncId,
+    id: u64,
+    regs: Vec<RtVal>,
+    /// Trace index of the last execution of each instruction.
+    last_def: Vec<u64>,
+    args: Vec<RtVal>,
+    /// Trace index of the producer of each argument.
+    arg_deps: Vec<u64>,
+}
+
+const NO_DEP: u64 = u64::MAX;
+
+impl<'m> Interpreter<'m> {
+    /// Create an interpreter with a very large default fuel (2^48 steps).
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        Interpreter::with_fuel(module, 1 << 48)
+    }
+
+    /// Create an interpreter with an explicit step budget.
+    pub fn with_fuel(module: &'m Module, fuel: u64) -> Interpreter<'m> {
+        let mut interp = Interpreter {
+            module,
+            objects: Vec::new(),
+            globals: HashMap::new(),
+            profile: Profile::new(module),
+            output: Vec::new(),
+            steps: 0,
+            fuel,
+            next_frame: 0,
+        };
+        for g in module.global_ids() {
+            let global = module.global(g);
+            let cells = match &global.init {
+                GlobalInit::Zero => {
+                    let zero = zero_of(global.ty.scalar_elem());
+                    vec![zero; global.ty.flat_len() as usize]
+                }
+                GlobalInit::Data(data) => data.iter().map(|c| const_val(*c)).collect(),
+            };
+            let obj = ObjId(interp.objects.len() as u32);
+            interp.objects.push(Object { origin: ObjOrigin::Global(g), cells });
+            interp.globals.insert(g, obj);
+        }
+        interp
+    }
+
+    /// Execute `func` with `args`, discarding trace events.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] raised during execution.
+    pub fn run(&mut self, func: FuncId, args: &[RtVal]) -> Result<Option<RtVal>, ExecError> {
+        self.run_traced(func, args, &mut NullSink)
+    }
+
+    /// Execute `func` with `args`, delivering every event to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] raised during execution.
+    pub fn run_traced(
+        &mut self,
+        func: FuncId,
+        args: &[RtVal],
+        sink: &mut dyn TraceSink,
+    ) -> Result<Option<RtVal>, ExecError> {
+        for (i, obj) in self.objects.iter().enumerate() {
+            sink.on_alloc(ObjId(i as u32), obj.origin);
+        }
+        let arg_deps = vec![NO_DEP; args.len()];
+        let (ret, _ret_step) = self.exec_function(func, args.to_vec(), arg_deps, NO_DEP, sink)?;
+        Ok(ret)
+    }
+
+    /// Execute the module's `main` function (no arguments).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] from execution; panics if no `main` exists.
+    pub fn run_main(&mut self, sink: &mut dyn TraceSink) -> Result<Option<RtVal>, ExecError> {
+        let main = self.module.function_by_name("main").expect("module has a main function");
+        self.run_traced(main, &[], sink)
+    }
+
+    /// The accumulated profile.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Lines printed by `print_i64` / `print_f64`.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Total dynamic instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Origin of a runtime object (for mapping addresses to variables).
+    pub fn object_origin(&self, obj: ObjId) -> ObjOrigin {
+        self.objects[obj.index()].origin
+    }
+
+    /// Read one cell of an object (test/inspection helper).
+    pub fn read_cell(&self, addr: MemAddr) -> RtVal {
+        self.objects[addr.obj.index()].cells[addr.off as usize]
+    }
+
+    /// The runtime object backing a global.
+    pub fn global_object(&self, g: GlobalId) -> ObjId {
+        self.globals[&g]
+    }
+
+    fn exec_function(
+        &mut self,
+        func_id: FuncId,
+        args: Vec<RtVal>,
+        arg_deps: Vec<u64>,
+        call_step: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(Option<RtVal>, u64), ExecError> {
+        let func = self.module.function(func_id);
+        let frame_id = self.next_frame;
+        self.next_frame += 1;
+        sink.on_enter(frame_id, func_id, call_step);
+        let mut frame = Frame {
+            func: func_id,
+            id: frame_id,
+            regs: vec![RtVal::Undef; func.insts.len()],
+            last_def: vec![NO_DEP; func.insts.len()],
+            args,
+            arg_deps,
+        };
+        let mut block = func.entry();
+        // Per-step scratch buffers, reused across iterations.
+        let mut reg_deps: Vec<u64> = Vec::new();
+        let mut loads: Vec<MemAddr> = Vec::new();
+        let mut stores: Vec<MemAddr> = Vec::new();
+        let dep_of = |frame: &Frame, v: Value| -> Option<u64> {
+            match v {
+                Value::Inst(i) => {
+                    let d = frame.last_def[i.index()];
+                    (d != NO_DEP).then_some(d)
+                }
+                Value::Param(p) => {
+                    let d = frame.arg_deps[p];
+                    (d != NO_DEP).then_some(d)
+                }
+                _ => None,
+            }
+        };
+        'blocks: loop {
+            self.profile.block_count[func_id.index()][block.index()] += 1;
+            sink.on_block(frame.id, func_id, block);
+            let insts = &func.block(block).insts;
+            for &inst_id in insts {
+                if self.steps >= self.fuel {
+                    return Err(ExecError::OutOfFuel);
+                }
+                let my_index = self.steps;
+                self.steps += 1;
+                self.profile.total += 1;
+                self.profile.inst_count[func_id.index()][inst_id.index()] += 1;
+
+                let data = func.inst(inst_id);
+                // Collect operand dependences.
+                reg_deps.clear();
+                loads.clear();
+                stores.clear();
+                for v in data.inst.operands() {
+                    if let Some(d) = dep_of(&frame, v) {
+                        reg_deps.push(d);
+                    }
+                }
+                let err_func = || func.name.clone();
+
+                macro_rules! eval {
+                    ($v:expr) => {
+                        self.eval(&frame, $v)
+                    };
+                }
+
+                let mut result = RtVal::Undef;
+                let mut next_block: Option<BlockId> = None;
+                let mut returned: Option<Option<RtVal>> = None;
+
+                match &data.inst {
+                    Inst::Alloca { ty, .. } => {
+                        let obj = ObjId(self.objects.len() as u32);
+                        let origin = ObjOrigin::Alloca { func: func_id, inst: inst_id };
+                        self.objects.push(Object {
+                            origin,
+                            cells: vec![RtVal::Undef; ty.flat_len() as usize],
+                        });
+                        sink.on_alloc(obj, origin);
+                        result = RtVal::Ptr { obj, off: 0 };
+                    }
+                    Inst::Load { ptr, .. } => {
+                        let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
+                        let v = self.objects[addr.obj.index()].cells[addr.off as usize];
+                        if matches!(v, RtVal::Undef) {
+                            return Err(ExecError::UndefRead { func: err_func(), inst: inst_id });
+                        }
+                        loads.push(addr);
+                        result = v;
+                    }
+                    Inst::Store { ptr, value } => {
+                        let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
+                        let v = eval!(*value);
+                        self.objects[addr.obj.index()].cells[addr.off as usize] = v;
+                        stores.push(addr);
+                    }
+                    Inst::Gep { base, index, elem_ty } => {
+                        let b = eval!(*base);
+                        let idx = self.expect_int(eval!(*index), &err_func(), inst_id)?;
+                        match b {
+                            RtVal::Ptr { obj, off } => {
+                                result = RtVal::Ptr {
+                                    obj,
+                                    off: off + idx * elem_ty.flat_len() as i64,
+                                };
+                            }
+                            other => {
+                                return Err(ExecError::TypeMismatch {
+                                    func: err_func(),
+                                    inst: inst_id,
+                                    expected: "ptr",
+                                    got: other.type_name(),
+                                })
+                            }
+                        }
+                    }
+                    Inst::Binary { op, lhs, rhs } => {
+                        let l = eval!(*lhs);
+                        let r = eval!(*rhs);
+                        result = self.binop(*op, l, r, &err_func(), inst_id)?;
+                    }
+                    Inst::Unary { op, operand } => {
+                        let v = eval!(*operand);
+                        result = match (op, v) {
+                            (UnOp::Neg, RtVal::Int(x)) => RtVal::Int(x.wrapping_neg()),
+                            (UnOp::Neg, RtVal::Float(x)) => RtVal::Float(-x),
+                            (UnOp::Not, RtVal::Bool(x)) => RtVal::Bool(!x),
+                            (UnOp::Not, RtVal::Int(x)) => RtVal::Int(!x),
+                            (_, other) => {
+                                return Err(ExecError::TypeMismatch {
+                                    func: err_func(),
+                                    inst: inst_id,
+                                    expected: "numeric",
+                                    got: other.type_name(),
+                                })
+                            }
+                        };
+                    }
+                    Inst::Cmp { op, lhs, rhs } => {
+                        let l = eval!(*lhs);
+                        let r = eval!(*rhs);
+                        result = RtVal::Bool(self.cmp(*op, l, r, &err_func(), inst_id)?);
+                    }
+                    Inst::Cast { kind, value } => {
+                        let v = eval!(*value);
+                        result = match (kind, v) {
+                            (CastKind::IntToFloat, RtVal::Int(x)) => RtVal::Float(x as f64),
+                            (CastKind::FloatToInt, RtVal::Float(x)) => RtVal::Int(x as i64),
+                            (CastKind::BoolToInt, RtVal::Bool(x)) => RtVal::Int(x as i64),
+                            (_, other) => {
+                                return Err(ExecError::TypeMismatch {
+                                    func: err_func(),
+                                    inst: inst_id,
+                                    expected: "castable scalar",
+                                    got: other.type_name(),
+                                })
+                            }
+                        };
+                    }
+                    Inst::IntrinsicCall { intrinsic, args } => {
+                        let vals: Vec<RtVal> = args.iter().map(|a| self.eval(&frame, *a)).collect();
+                        result = self.intrinsic(*intrinsic, &vals, &err_func(), inst_id)?;
+                    }
+                    Inst::Call { callee, args } => {
+                        let vals: Vec<RtVal> = args.iter().map(|a| self.eval(&frame, *a)).collect();
+                        let deps: Vec<u64> = args
+                            .iter()
+                            .map(|a| dep_of(&frame, *a).unwrap_or(NO_DEP))
+                            .collect();
+                        // Emit the call step before entering the callee so the
+                        // trace stays in execution order.
+                        sink.on_step(&Step {
+                            frame: frame.id,
+                            func: func_id,
+                            inst: inst_id,
+                            index: my_index,
+                            reg_deps: &reg_deps,
+                            loads: &loads,
+                            stores: &stores,
+                        });
+                        let (ret, ret_step) =
+                            self.exec_function(*callee, vals, deps, my_index, sink)?;
+                        if let Some(v) = ret {
+                            frame.regs[inst_id.index()] = v;
+                        }
+                        // The call result's producer is the callee's ret.
+                        frame.last_def[inst_id.index()] =
+                            if ret_step == NO_DEP { my_index } else { ret_step };
+                        continue;
+                    }
+                    Inst::Br { target } => {
+                        next_block = Some(*target);
+                    }
+                    Inst::CondBr { cond, then_bb, else_bb } => {
+                        let c = eval!(*cond);
+                        let c = match c {
+                            RtVal::Bool(b) => b,
+                            other => {
+                                return Err(ExecError::TypeMismatch {
+                                    func: err_func(),
+                                    inst: inst_id,
+                                    expected: "bool",
+                                    got: other.type_name(),
+                                })
+                            }
+                        };
+                        next_block = Some(if c { *then_bb } else { *else_bb });
+                    }
+                    Inst::Ret { value } => {
+                        let v = value.map(|v| self.eval(&frame, v));
+                        returned = Some(v);
+                    }
+                }
+
+                frame.regs[inst_id.index()] = result;
+                frame.last_def[inst_id.index()] = my_index;
+                sink.on_step(&Step {
+                    frame: frame.id,
+                    func: func_id,
+                    inst: inst_id,
+                    index: my_index,
+                    reg_deps: &reg_deps,
+                    loads: &loads,
+                    stores: &stores,
+                });
+
+                if let Some(ret) = returned {
+                    sink.on_exit(frame.id, func_id, my_index);
+                    return Ok((ret, my_index));
+                }
+                if let Some(nb) = next_block {
+                    block = nb;
+                    continue 'blocks;
+                }
+            }
+            unreachable!("block without terminator survived verification");
+        }
+    }
+
+    fn eval(&self, frame: &Frame, v: Value) -> RtVal {
+        match v {
+            Value::Const(c) => const_val(c),
+            Value::Inst(i) => frame.regs[i.index()],
+            Value::Param(p) => frame.args[p],
+            Value::Global(g) => RtVal::Ptr { obj: self.globals[&g], off: 0 },
+        }
+    }
+
+    fn deref(&self, v: RtVal, func: &str, inst: InstId) -> Result<MemAddr, ExecError> {
+        match v {
+            RtVal::Ptr { obj, off } => {
+                let size = self.objects[obj.index()].cells.len();
+                if off < 0 || off as usize >= size {
+                    return Err(ExecError::OutOfBounds {
+                        func: func.to_string(),
+                        inst,
+                        off,
+                        size,
+                    });
+                }
+                Ok(MemAddr { obj, off: off as u32 })
+            }
+            other => Err(ExecError::TypeMismatch {
+                func: func.to_string(),
+                inst,
+                expected: "ptr",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    fn expect_int(&self, v: RtVal, func: &str, inst: InstId) -> Result<i64, ExecError> {
+        v.as_int().ok_or_else(|| ExecError::TypeMismatch {
+            func: func.to_string(),
+            inst,
+            expected: "i64",
+            got: v.type_name(),
+        })
+    }
+
+    fn binop(
+        &self,
+        op: BinOp,
+        l: RtVal,
+        r: RtVal,
+        func: &str,
+        inst: InstId,
+    ) -> Result<RtVal, ExecError> {
+        use BinOp::*;
+        Ok(match (l, r) {
+            (RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(match op {
+                Add => a.wrapping_add(b),
+                Sub => a.wrapping_sub(b),
+                Mul => a.wrapping_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(ExecError::DivByZero { func: func.to_string(), inst });
+                    }
+                    a.wrapping_div(b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(ExecError::DivByZero { func: func.to_string(), inst });
+                    }
+                    a.wrapping_rem(b)
+                }
+                And => a & b,
+                Or => a | b,
+                Xor => a ^ b,
+                Shl => a.wrapping_shl(b as u32),
+                Shr => a.wrapping_shr(b as u32),
+            }),
+            (RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => {
+                    return Err(ExecError::TypeMismatch {
+                        func: func.to_string(),
+                        inst,
+                        expected: "i64",
+                        got: "f64",
+                    })
+                }
+            }),
+            (RtVal::Bool(a), RtVal::Bool(b)) => RtVal::Bool(match op {
+                And => a && b,
+                Or => a || b,
+                _ => {
+                    return Err(ExecError::TypeMismatch {
+                        func: func.to_string(),
+                        inst,
+                        expected: "i64",
+                        got: "bool",
+                    })
+                }
+            }),
+            (a, b) => {
+                let _ = a;
+                return Err(ExecError::TypeMismatch {
+                    func: func.to_string(),
+                    inst,
+                    expected: "matching numeric operands",
+                    got: b.type_name(),
+                });
+            }
+        })
+    }
+
+    fn cmp(&self, op: CmpOp, l: RtVal, r: RtVal, func: &str, inst: InstId) -> Result<bool, ExecError> {
+        use CmpOp::*;
+        Ok(match (l, r) {
+            (RtVal::Int(a), RtVal::Int(b)) => match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+            },
+            (RtVal::Float(a), RtVal::Float(b)) => match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+            },
+            (RtVal::Bool(a), RtVal::Bool(b)) => match op {
+                Eq => a == b,
+                Ne => a != b,
+                _ => {
+                    return Err(ExecError::TypeMismatch {
+                        func: func.to_string(),
+                        inst,
+                        expected: "numeric",
+                        got: "bool",
+                    })
+                }
+            },
+            (_, b) => {
+                return Err(ExecError::TypeMismatch {
+                    func: func.to_string(),
+                    inst,
+                    expected: "matching operands",
+                    got: b.type_name(),
+                })
+            }
+        })
+    }
+
+    fn intrinsic(
+        &mut self,
+        intr: Intrinsic,
+        args: &[RtVal],
+        func: &str,
+        inst: InstId,
+    ) -> Result<RtVal, ExecError> {
+        let f = |i: usize| -> Result<f64, ExecError> {
+            args[i].as_float().ok_or_else(|| ExecError::TypeMismatch {
+                func: func.to_string(),
+                inst,
+                expected: "f64",
+                got: args[i].type_name(),
+            })
+        };
+        let n = |i: usize| -> Result<i64, ExecError> {
+            args[i].as_int().ok_or_else(|| ExecError::TypeMismatch {
+                func: func.to_string(),
+                inst,
+                expected: "i64",
+                got: args[i].type_name(),
+            })
+        };
+        Ok(match intr {
+            Intrinsic::Sqrt => RtVal::Float(f(0)?.sqrt()),
+            Intrinsic::Fabs => RtVal::Float(f(0)?.abs()),
+            Intrinsic::Sin => RtVal::Float(f(0)?.sin()),
+            Intrinsic::Cos => RtVal::Float(f(0)?.cos()),
+            Intrinsic::Exp => RtVal::Float(f(0)?.exp()),
+            Intrinsic::Log => RtVal::Float(f(0)?.ln()),
+            Intrinsic::Pow => RtVal::Float(f(0)?.powf(f(1)?)),
+            Intrinsic::Fmax => RtVal::Float(f(0)?.max(f(1)?)),
+            Intrinsic::Fmin => RtVal::Float(f(0)?.min(f(1)?)),
+            Intrinsic::Imax => RtVal::Int(n(0)?.max(n(1)?)),
+            Intrinsic::Imin => RtVal::Int(n(0)?.min(n(1)?)),
+            Intrinsic::Iabs => RtVal::Int(n(0)?.abs()),
+            Intrinsic::PrintI64 => {
+                let v = n(0)?;
+                self.output.push(v.to_string());
+                RtVal::Undef
+            }
+            Intrinsic::PrintF64 => {
+                let v = f(0)?;
+                self.output.push(format!("{v:.6}"));
+                RtVal::Undef
+            }
+        })
+    }
+}
+
+fn const_val(c: Constant) -> RtVal {
+    match c {
+        Constant::Int(v) => RtVal::Int(v),
+        Constant::Float(v) => RtVal::Float(v),
+        Constant::Bool(v) => RtVal::Bool(v),
+    }
+}
+
+fn zero_of(ty: &Type) -> RtVal {
+    match ty {
+        Type::I64 => RtVal::Int(0),
+        Type::F64 => RtVal::Float(0.0),
+        Type::Bool => RtVal::Bool(false),
+        _ => RtVal::Undef,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Module;
+
+    /// sum of 0..n via a loop using a stack slot.
+    fn sum_module() -> (Module, FuncId) {
+        let mut m = Module::new("m");
+        let f = m.declare_function_with("sum", &[("n", Type::I64)], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            let header = b.create_block("header");
+            let body = b.create_block("body");
+            let latch = b.create_block("latch");
+            let exit = b.create_block("exit");
+            b.switch_to_block(entry);
+            let i = b.alloca(Type::I64, "i");
+            let acc = b.alloca(Type::I64, "acc");
+            b.store(i, Value::const_int(0));
+            b.store(acc, Value::const_int(0));
+            b.br(header);
+            b.switch_to_block(header);
+            let iv = b.load(i, Type::I64);
+            let c = b.cmp(CmpOp::Lt, iv, Value::Param(0));
+            b.cond_br(c, body, exit);
+            b.switch_to_block(body);
+            let a = b.load(acc, Type::I64);
+            let iv2 = b.load(i, Type::I64);
+            let s = b.binary(BinOp::Add, a, iv2);
+            b.store(acc, s);
+            b.br(latch);
+            b.switch_to_block(latch);
+            let iv3 = b.load(i, Type::I64);
+            let nx = b.binary(BinOp::Add, iv3, Value::const_int(1));
+            b.store(i, nx);
+            b.br(header);
+            b.switch_to_block(exit);
+            let r = b.load(acc, Type::I64);
+            b.ret(Some(r));
+        }
+        m.verify().expect("verifies");
+        (m, f)
+    }
+
+    #[test]
+    fn runs_loop_to_completion() {
+        let (m, f) = sum_module();
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run(f, &[RtVal::Int(10)]).unwrap();
+        assert_eq!(r, Some(RtVal::Int(45)));
+    }
+
+    #[test]
+    fn profile_counts_iterations() {
+        let (m, f) = sum_module();
+        let mut interp = Interpreter::new(&m);
+        interp.run(f, &[RtVal::Int(10)]).unwrap();
+        let p = interp.profile();
+        // header entered 11 times (10 iterations + exit check)
+        assert_eq!(p.block_count[f.index()][1], 11);
+        // body entered 10 times
+        assert_eq!(p.block_count[f.index()][2], 10);
+        assert!(p.total > 0);
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let (m, f) = sum_module();
+        let mut interp = Interpreter::with_fuel(&m, 10);
+        let err = interp.run(f, &[RtVal::Int(1_000_000)]).unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn arrays_and_geps() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let a = b.alloca(Type::array(Type::I64, 4), "a");
+            for k in 0..4 {
+                let p = b.gep(a, Value::const_int(k), Type::I64);
+                b.store(p, Value::const_int(k * k));
+            }
+            let p2 = b.gep(a, Value::const_int(3), Type::I64);
+            let v = b.load(p2, Type::I64);
+            b.ret(Some(v));
+        }
+        m.verify().unwrap();
+        let mut interp = Interpreter::new(&m);
+        assert_eq!(interp.run(f, &[]).unwrap(), Some(RtVal::Int(9)));
+    }
+
+    #[test]
+    fn oob_detected() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let a = b.alloca(Type::array(Type::I64, 4), "a");
+            let p = b.gep(a, Value::const_int(4), Type::I64);
+            let v = b.load(p, Type::I64);
+            b.ret(Some(v));
+        }
+        let mut interp = Interpreter::new(&m);
+        match interp.run(f, &[]).unwrap_err() {
+            ExecError::OutOfBounds { off, size, .. } => {
+                assert_eq!(off, 4);
+                assert_eq!(size, 4);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn undef_read_detected() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let a = b.alloca(Type::I64, "x");
+            let v = b.load(a, Type::I64);
+            b.ret(Some(v));
+        }
+        let mut interp = Interpreter::new(&m);
+        assert!(matches!(interp.run(f, &[]).unwrap_err(), ExecError::UndefRead { .. }));
+    }
+
+    #[test]
+    fn globals_are_initialized() {
+        let mut m = Module::new("m");
+        let g = m.declare_global(
+            "tab",
+            Type::array(Type::I64, 3),
+            GlobalInit::Data(vec![Constant::Int(7), Constant::Int(8), Constant::Int(9)]),
+        );
+        let zg = m.declare_global("z", Type::array(Type::F64, 2), GlobalInit::Zero);
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let p = b.gep(Value::Global(g), Value::const_int(1), Type::I64);
+            let v = b.load(p, Type::I64);
+            let zp = b.gep(Value::Global(zg), Value::const_int(1), Type::F64);
+            let z = b.load(zp, Type::F64);
+            let zi = b.cast(CastKind::FloatToInt, z);
+            let r = b.binary(BinOp::Add, v, zi);
+            b.ret(Some(r));
+        }
+        m.verify().unwrap();
+        let mut interp = Interpreter::new(&m);
+        assert_eq!(interp.run(f, &[]).unwrap(), Some(RtVal::Int(8)));
+    }
+
+    #[test]
+    fn calls_and_output() {
+        let mut m = Module::new("m");
+        let sq = m.declare_function_with("sq", &[("x", Type::I64)], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(sq));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let v = b.binary(BinOp::Mul, Value::Param(0), Value::Param(0));
+            b.ret(Some(v));
+        }
+        let f = m.declare_function("main", vec![], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let r = b.call(sq, vec![Value::const_int(6)], Type::I64);
+            b.intrinsic(Intrinsic::PrintI64, vec![r]);
+            b.ret(None);
+        }
+        m.verify().unwrap();
+        let mut interp = Interpreter::new(&m);
+        interp.run_main(&mut NullSink).unwrap();
+        assert_eq!(interp.output(), &["36".to_string()]);
+    }
+
+    /// A sink that records steps so tests can inspect dependence wiring.
+    #[derive(Default)]
+    struct Recorder {
+        steps: Vec<(u64, InstId, Vec<u64>, Vec<MemAddr>, Vec<MemAddr>)>,
+        enters: Vec<(u64, FuncId, u64)>,
+        exits: Vec<(u64, FuncId, u64)>,
+    }
+
+    impl TraceSink for Recorder {
+        fn on_step(&mut self, s: &Step<'_>) {
+            self.steps.push((
+                s.index,
+                s.inst,
+                s.reg_deps.to_vec(),
+                s.loads.to_vec(),
+                s.stores.to_vec(),
+            ));
+        }
+        fn on_enter(&mut self, frame: u64, func: FuncId, call_step: u64) {
+            self.enters.push((frame, func, call_step));
+        }
+        fn on_exit(&mut self, frame: u64, func: FuncId, ret_step: u64) {
+            self.exits.push((frame, func, ret_step));
+        }
+    }
+
+    #[test]
+    fn trace_register_dependences() {
+        // %0 = add 1, 2 ; %1 = mul %0, %0 ; ret %1
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let x = b.binary(BinOp::Add, Value::const_int(1), Value::const_int(2));
+            let y = b.binary(BinOp::Mul, x, x);
+            b.ret(Some(y));
+        }
+        let mut interp = Interpreter::new(&m);
+        let mut rec = Recorder::default();
+        interp.run_traced(f, &[], &mut rec).unwrap();
+        assert_eq!(rec.steps.len(), 3);
+        // mul (index 1) depends twice on add (index 0)
+        assert_eq!(rec.steps[1].2, vec![0, 0]);
+        // ret (index 2) depends on mul (index 1)
+        assert_eq!(rec.steps[2].2, vec![1]);
+    }
+
+    #[test]
+    fn trace_call_result_depends_on_ret() {
+        let mut m = Module::new("m");
+        let id_fn = m.declare_function_with("id", &[("x", Type::I64)], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(id_fn));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            b.ret(Some(Value::Param(0)));
+        }
+        let f = m.declare_function("main", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let r = b.call(id_fn, vec![Value::const_int(5)], Type::I64);
+            let y = b.binary(BinOp::Add, r, Value::const_int(1));
+            b.ret(Some(y));
+        }
+        m.verify().unwrap();
+        let mut interp = Interpreter::new(&m);
+        let mut rec = Recorder::default();
+        let out = interp.run_traced(f, &[], &mut rec).unwrap();
+        assert_eq!(out, Some(RtVal::Int(6)));
+        // Trace: 0 = call, 1 = callee ret, 2 = add, 3 = main ret.
+        let add_step = &rec.steps[2];
+        assert_eq!(add_step.2, vec![1], "add must depend on the callee's ret");
+        assert_eq!(rec.enters.len(), 2);
+        assert_eq!(rec.exits.len(), 2);
+        // Callee frame entered by call step 0.
+        assert_eq!(rec.enters[1].2, 0);
+    }
+
+    #[test]
+    fn trace_memory_addresses() {
+        let (m, f) = sum_module();
+        let mut interp = Interpreter::new(&m);
+        let mut rec = Recorder::default();
+        interp.run_traced(f, &[RtVal::Int(3)], &mut rec).unwrap();
+        let loads: usize = rec.steps.iter().map(|s| s.3.len()).sum();
+        let stores: usize = rec.steps.iter().map(|s| s.4.len()).sum();
+        // stores: 2 init + 3 acc updates + 3 iv updates = 8
+        assert_eq!(stores, 8);
+        // loads: header 4×, body 2×3, latch 1×3, exit 1 = 4+6+3+1 = 14
+        assert_eq!(loads, 14);
+    }
+}

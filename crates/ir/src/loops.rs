@@ -1,0 +1,661 @@
+//! Natural-loop analysis: the loop forest and canonical induction-variable
+//! recognition (the IR-level analogue of LLVM's `LoopInfo` +
+//! `InductionDescriptor`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::inst::{BinOp, CmpOp, Inst};
+use crate::value::{BlockId, InstId, Value};
+
+/// Identifier of a loop within a function's [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// Raw index into the forest's loop arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// A single natural loop.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The unique header block (target of all back edges).
+    pub header: BlockId,
+    /// Source blocks of back edges.
+    pub latches: Vec<BlockId>,
+    /// All blocks of the loop, including the header, in arena order.
+    pub blocks: Vec<BlockId>,
+    /// Parent loop in the nesting forest.
+    pub parent: Option<LoopId>,
+    /// Directly nested loops.
+    pub children: Vec<LoopId>,
+    /// Nesting depth (outermost = 1).
+    pub depth: usize,
+    /// The unique out-of-loop predecessor of the header, if any.
+    pub preheader: Option<BlockId>,
+    /// Blocks outside the loop that are branched to from inside.
+    pub exits: Vec<BlockId>,
+}
+
+impl LoopInfo {
+    /// Whether `bb` belongs to this loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.blocks.binary_search(&bb).is_ok()
+    }
+}
+
+/// The loop forest of a function.
+///
+/// # Example
+///
+/// ```
+/// use pspdg_ir::{Module, Type, FunctionBuilder, Value, Cfg, DomTree, LoopForest, CmpOp, BinOp};
+/// # let mut m = Module::new("m");
+/// # let f = m.declare_function("f", vec![], Type::Void);
+/// # {
+/// #   let mut b = FunctionBuilder::new(m.function_mut(f));
+/// #   let entry = b.create_block("entry");
+/// #   let header = b.create_block("header");
+/// #   let body = b.create_block("body");
+/// #   let latch = b.create_block("latch");
+/// #   let exit = b.create_block("exit");
+/// #   b.switch_to_block(entry);
+/// #   let i = b.alloca(Type::I64, "i");
+/// #   b.store(i, Value::const_int(0));
+/// #   b.br(header);
+/// #   b.switch_to_block(header);
+/// #   let iv = b.load(i, Type::I64);
+/// #   let c = b.cmp(CmpOp::Lt, iv, Value::const_int(10));
+/// #   b.cond_br(c, body, exit);
+/// #   b.switch_to_block(body);
+/// #   b.br(latch);
+/// #   b.switch_to_block(latch);
+/// #   let iv2 = b.load(i, Type::I64);
+/// #   let next = b.binary(BinOp::Add, iv2, Value::const_int(1));
+/// #   b.store(i, next);
+/// #   b.br(header);
+/// #   b.switch_to_block(exit);
+/// #   b.ret(None);
+/// # }
+/// let func = m.function(f);
+/// let cfg = Cfg::new(func);
+/// let dom = DomTree::new(&cfg);
+/// let forest = LoopForest::new(func, &cfg, &dom);
+/// assert_eq!(forest.len(), 1);
+/// let canon = forest.canonical(func, forest.loop_ids().next().unwrap()).unwrap();
+/// assert_eq!(canon.trip_count(), Some(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<LoopInfo>,
+    /// Innermost loop of each block.
+    block_loop: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detect all natural loops of `func`.
+    pub fn new(func: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        // 1. Find back edges and group them by header.
+        let mut back_edges: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for bb in func.block_ids() {
+            if !cfg.is_reachable(bb) {
+                continue;
+            }
+            for &s in cfg.successors(bb) {
+                if dom.dominates(s, bb) {
+                    back_edges.entry(s).or_default().push(bb);
+                }
+            }
+        }
+        // 2. Natural loop per header: reverse flood from latches, stop at header.
+        let mut headers: Vec<BlockId> = back_edges.keys().copied().collect();
+        headers.sort();
+        let mut loops: Vec<LoopInfo> = Vec::new();
+        for header in headers {
+            let latches = {
+                let mut l = back_edges[&header].clone();
+                l.sort();
+                l
+            };
+            let mut body: HashSet<BlockId> = HashSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in cfg.predecessors(b) {
+                        if cfg.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            let mut blocks: Vec<BlockId> = body.into_iter().collect();
+            blocks.sort();
+            loops.push(LoopInfo {
+                header,
+                latches,
+                blocks,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                preheader: None,
+                exits: Vec::new(),
+            });
+        }
+        // 3. Nesting: parent = smallest strictly-containing loop.
+        let ids: Vec<LoopId> = (0..loops.len()).map(|i| LoopId(i as u32)).collect();
+        for &a in &ids {
+            let mut best: Option<LoopId> = None;
+            for &b in &ids {
+                if a == b {
+                    continue;
+                }
+                let la = &loops[a.index()];
+                let lb = &loops[b.index()];
+                let contains = lb.blocks.len() > la.blocks.len()
+                    && la.blocks.iter().all(|blk| lb.contains(*blk));
+                if contains {
+                    best = Some(match best {
+                        None => b,
+                        Some(cur) if loops[b.index()].blocks.len() < loops[cur.index()].blocks.len() => b,
+                        Some(cur) => cur,
+                    });
+                }
+            }
+            loops[a.index()].parent = best;
+        }
+        for &a in &ids {
+            if let Some(p) = loops[a.index()].parent {
+                loops[p.index()].children.push(a);
+            }
+        }
+        for &a in &ids {
+            let mut depth = 1;
+            let mut cur = loops[a.index()].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[a.index()].depth = depth;
+        }
+        // 4. Preheaders and exits.
+        for l in loops.iter_mut() {
+            let outside_preds: Vec<BlockId> = cfg
+                .predecessors(l.header)
+                .iter()
+                .copied()
+                .filter(|p| cfg.is_reachable(*p) && !l.contains(*p))
+                .collect();
+            if outside_preds.len() == 1 {
+                l.preheader = Some(outside_preds[0]);
+            }
+            let mut exits: HashSet<BlockId> = HashSet::new();
+            for &b in &l.blocks {
+                for &s in cfg.successors(b) {
+                    if !l.contains(s) {
+                        exits.insert(s);
+                    }
+                }
+            }
+            let mut exits: Vec<BlockId> = exits.into_iter().collect();
+            exits.sort();
+            l.exits = exits;
+        }
+        // 5. Innermost loop per block.
+        let mut block_loop: Vec<Option<LoopId>> = vec![None; func.blocks.len()];
+        for &a in &ids {
+            for &bb in &loops[a.index()].blocks {
+                let cur = &mut block_loop[bb.index()];
+                match cur {
+                    None => *cur = Some(a),
+                    Some(existing) => {
+                        if loops[a.index()].blocks.len() < loops[existing.index()].blocks.len() {
+                            *cur = Some(a);
+                        }
+                    }
+                }
+            }
+        }
+        LoopForest { loops, block_loop }
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function is loop-free.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterate over loop ids (ordered by header block index).
+    pub fn loop_ids(&self) -> impl Iterator<Item = LoopId> + '_ {
+        (0..self.loops.len()).map(|i| LoopId(i as u32))
+    }
+
+    /// Borrow a loop's info.
+    pub fn info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.index()]
+    }
+
+    /// The innermost loop containing `bb`.
+    pub fn innermost(&self, bb: BlockId) -> Option<LoopId> {
+        self.block_loop[bb.index()]
+    }
+
+    /// All loops containing `bb`, innermost first.
+    pub fn nest_of(&self, bb: BlockId) -> Vec<LoopId> {
+        let mut v = Vec::new();
+        let mut cur = self.innermost(bb);
+        while let Some(l) = cur {
+            v.push(l);
+            cur = self.loops[l.index()].parent;
+        }
+        v
+    }
+
+    /// Loops with no parent (outermost), ordered by header.
+    pub fn top_level(&self) -> Vec<LoopId> {
+        self.loop_ids()
+            .filter(|l| self.info(*l).parent.is_none())
+            .collect()
+    }
+
+    /// Whether loop `outer` (non-strictly) contains loop `inner`.
+    pub fn loop_contains(&self, outer: LoopId, inner: LoopId) -> bool {
+        let mut cur = Some(inner);
+        while let Some(l) = cur {
+            if l == outer {
+                return true;
+            }
+            cur = self.info(l).parent;
+        }
+        false
+    }
+
+    /// Recognize the canonical induction structure of a loop, if it matches
+    /// the `for (iv = init; iv <op> bound; iv += step)` shape the ParC
+    /// front-end emits. Returns `None` for irregular loops.
+    pub fn canonical(&self, func: &Function, id: LoopId) -> Option<CanonicalLoop> {
+        let l = self.info(id);
+        // Header terminator: CondBr with exactly one in-loop target.
+        let term = func.terminator(l.header)?;
+        let (cond, then_bb, else_bb) = match term {
+            Inst::CondBr { cond, then_bb, else_bb } => (*cond, *then_bb, *else_bb),
+            _ => return None,
+        };
+        let (body_entry, _exit_bb, exit_on_false) = match (l.contains(then_bb), l.contains(else_bb)) {
+            (true, false) => (then_bb, else_bb, true),
+            (false, true) => (else_bb, then_bb, false),
+            _ => return None,
+        };
+        let cmp_id = cond.as_inst()?;
+        let (op, lhs, rhs) = match &func.inst(cmp_id).inst {
+            Inst::Cmp { op, lhs, rhs } => (*op, *lhs, *rhs),
+            _ => return None,
+        };
+        // One side must be a load of an alloca executed in the header.
+        let load_of_alloca = |v: Value| -> Option<InstId> {
+            let li = v.as_inst()?;
+            match &func.inst(li).inst {
+                Inst::Load { ptr, .. } => {
+                    let ai = ptr.as_inst()?;
+                    matches!(func.inst(ai).inst, Inst::Alloca { .. }).then_some(ai)
+                }
+                _ => None,
+            }
+        };
+        let (iv_alloca, bound, cmp_op) = if let Some(a) = load_of_alloca(lhs) {
+            (a, rhs, op)
+        } else if let Some(a) = load_of_alloca(rhs) {
+            (a, lhs, op.swapped())
+        } else {
+            return None;
+        };
+        let cmp_op = if exit_on_false {
+            cmp_op
+        } else {
+            // Loop continues on the false edge: continue-predicate is negated.
+            match cmp_op {
+                CmpOp::Lt => CmpOp::Ge,
+                CmpOp::Le => CmpOp::Gt,
+                CmpOp::Gt => CmpOp::Le,
+                CmpOp::Ge => CmpOp::Lt,
+                CmpOp::Eq => CmpOp::Ne,
+                CmpOp::Ne => CmpOp::Eq,
+            }
+        };
+        // Exactly one in-loop store to the induction alloca, of the form
+        // `store iv, load(iv) + const` (or `- const`).
+        let owner = func.inst_blocks();
+        let mut step: Option<i64> = None;
+        let mut update_block: Option<BlockId> = None;
+        for i in func.inst_ids() {
+            let Some(bb) = owner[i.index()] else { continue };
+            if !l.contains(bb) {
+                continue;
+            }
+            if let Inst::Store { ptr, value } = &func.inst(i).inst {
+                if ptr.as_inst() != Some(iv_alloca) {
+                    continue;
+                }
+                if step.is_some() {
+                    return None; // several updates: not canonical
+                }
+                let vi = value.as_inst()?;
+                let s = match &func.inst(vi).inst {
+                    Inst::Binary { op: BinOp::Add, lhs, rhs } => {
+                        if load_of_alloca(*lhs) == Some(iv_alloca) {
+                            rhs.as_const_int()?
+                        } else if load_of_alloca(*rhs) == Some(iv_alloca) {
+                            lhs.as_const_int()?
+                        } else {
+                            return None;
+                        }
+                    }
+                    Inst::Binary { op: BinOp::Sub, lhs, rhs } => {
+                        if load_of_alloca(*lhs) == Some(iv_alloca) {
+                            -(rhs.as_const_int()?)
+                        } else {
+                            return None;
+                        }
+                    }
+                    _ => return None,
+                };
+                step = Some(s);
+                update_block = Some(bb);
+            }
+        }
+        let step = step?;
+        let _ = update_block;
+        if step == 0 {
+            return None;
+        }
+        // Initial value: last store to the alloca in the preheader.
+        let preheader = l.preheader?;
+        let mut init: Option<Value> = None;
+        for &i in &func.block(preheader).insts {
+            if let Inst::Store { ptr, value } = &func.inst(i).inst {
+                if ptr.as_inst() == Some(iv_alloca) {
+                    init = Some(*value);
+                }
+            }
+        }
+        let init = init?;
+        // The bound must be loop-invariant: constant, parameter, an
+        // instruction defined outside the loop, or a load of a scalar slot
+        // (alloca / global) that the loop never stores to. The last case
+        // matters because front-ends re-evaluate `i < n` each iteration with
+        // `n` living in a stack slot.
+        let invariant = match bound {
+            Value::Const(_) | Value::Param(_) | Value::Global(_) => true,
+            Value::Inst(i) => {
+                if owner[i.index()].is_none_or(|bb| !l.contains(bb)) {
+                    true
+                } else {
+                    match &func.inst(i).inst {
+                        Inst::Load { ptr, .. } => {
+                            let base_is_slot = match ptr {
+                                Value::Global(_) => true,
+                                Value::Inst(a) => {
+                                    matches!(func.inst(*a).inst, Inst::Alloca { .. })
+                                }
+                                _ => false,
+                            };
+                            base_is_slot
+                                && func.inst_ids().all(|s| {
+                                    let Some(bb) = owner[s.index()] else { return true };
+                                    if !l.contains(bb) {
+                                        return true;
+                                    }
+                                    match &func.inst(s).inst {
+                                        Inst::Store { ptr: sp, .. } => sp != ptr,
+                                        _ => true,
+                                    }
+                                })
+                        }
+                        _ => false,
+                    }
+                }
+            }
+        };
+        if !invariant {
+            return None;
+        }
+        Some(CanonicalLoop { loop_id: id, iv_alloca, init, step, cmp_op, bound: Bound(bound), body_entry })
+    }
+}
+
+/// A loop-invariant bound value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound(pub Value);
+
+/// Canonical `for`-loop structure: `for (iv = init; iv <cmp_op> bound; iv += step)`.
+#[derive(Debug, Clone)]
+pub struct CanonicalLoop {
+    /// The analyzed loop.
+    pub loop_id: LoopId,
+    /// The induction variable's stack slot.
+    pub iv_alloca: InstId,
+    /// Value stored to the slot in the preheader.
+    pub init: Value,
+    /// Constant increment applied once per iteration (may be negative).
+    pub step: i64,
+    /// Continue-predicate applied as `iv <cmp_op> bound`.
+    pub cmp_op: CmpOp,
+    /// Loop-invariant bound.
+    pub bound: Bound,
+    /// First in-loop block executed when the predicate holds.
+    pub body_entry: BlockId,
+}
+
+impl CanonicalLoop {
+    /// Compile-time trip count when both `init` and `bound` are integer
+    /// constants; `None` otherwise (the trip count is still *known* at run
+    /// time — that is what canonicality means — just not statically).
+    pub fn trip_count(&self) -> Option<i64> {
+        let init = self.init.as_const_int()?;
+        let bound = self.bound.0.as_const_int()?;
+        Some(trip_count_from(init, bound, self.step, self.cmp_op))
+    }
+}
+
+/// Number of iterations of `for (i = init; i cmp bound; i += step)`.
+pub fn trip_count_from(init: i64, bound: i64, step: i64, cmp: CmpOp) -> i64 {
+    let dist = match cmp {
+        CmpOp::Lt => bound - init,
+        CmpOp::Le => bound - init + 1,
+        CmpOp::Gt => init - bound,
+        CmpOp::Ge => init - bound + 1,
+        CmpOp::Ne => (bound - init).abs(),
+        CmpOp::Eq => return if init == bound { 1 } else { 0 },
+    };
+    let step = step.abs();
+    if dist <= 0 || step == 0 {
+        0
+    } else {
+        (dist + step - 1) / step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Module;
+    use crate::types::Type;
+    use crate::value::FuncId;
+
+    /// for (i = 0; i < n; i++) { body }   with nested for (j = 0; j < 4; j++)
+    fn nested_loops() -> (Module, FuncId) {
+        let mut m = Module::new("m");
+        let f = m.declare_function_with("f", &[("n", Type::I64)], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            let oh = b.create_block("outer.header");
+            let ob = b.create_block("outer.body");
+            let ih = b.create_block("inner.header");
+            let ib = b.create_block("inner.body");
+            let il = b.create_block("inner.latch");
+            let ol = b.create_block("outer.latch");
+            let exit = b.create_block("exit");
+            b.switch_to_block(entry);
+            let i = b.alloca(Type::I64, "i");
+            let j = b.alloca(Type::I64, "j");
+            b.store(i, Value::const_int(0));
+            b.br(oh);
+            b.switch_to_block(oh);
+            let iv = b.load(i, Type::I64);
+            let c = b.cmp(CmpOp::Lt, iv, Value::Param(0));
+            b.cond_br(c, ob, exit);
+            b.switch_to_block(ob);
+            b.store(j, Value::const_int(0));
+            b.br(ih);
+            b.switch_to_block(ih);
+            let jv = b.load(j, Type::I64);
+            let cj = b.cmp(CmpOp::Lt, jv, Value::const_int(4));
+            b.cond_br(cj, ib, ol);
+            b.switch_to_block(ib);
+            b.br(il);
+            b.switch_to_block(il);
+            let jv2 = b.load(j, Type::I64);
+            let jn = b.binary(BinOp::Add, jv2, Value::const_int(1));
+            b.store(j, jn);
+            b.br(ih);
+            b.switch_to_block(ol);
+            let iv2 = b.load(i, Type::I64);
+            let inx = b.binary(BinOp::Add, iv2, Value::const_int(1));
+            b.store(i, inx);
+            b.br(oh);
+            b.switch_to_block(exit);
+            b.ret(None);
+        }
+        (m, f)
+    }
+
+    fn forest_of(m: &Module, f: FuncId) -> (Cfg, DomTree, LoopForest) {
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(func, &cfg, &dom);
+        (cfg, dom, forest)
+    }
+
+    #[test]
+    fn finds_two_nested_loops() {
+        let (m, f) = nested_loops();
+        let (_, _, forest) = forest_of(&m, f);
+        assert_eq!(forest.len(), 2);
+        let tops = forest.top_level();
+        assert_eq!(tops.len(), 1);
+        let outer = tops[0];
+        assert_eq!(forest.info(outer).children.len(), 1);
+        let inner = forest.info(outer).children[0];
+        assert_eq!(forest.info(inner).depth, 2);
+        assert_eq!(forest.info(outer).depth, 1);
+        assert!(forest.loop_contains(outer, inner));
+        assert!(!forest.loop_contains(inner, outer));
+    }
+
+    #[test]
+    fn preheaders_and_exits() {
+        let (m, f) = nested_loops();
+        let (_, _, forest) = forest_of(&m, f);
+        let outer = forest.top_level()[0];
+        let l = forest.info(outer);
+        assert_eq!(l.preheader, Some(BlockId(0)));
+        assert_eq!(l.exits, vec![BlockId(7)]);
+        let inner = l.children[0];
+        let li = forest.info(inner);
+        assert_eq!(li.preheader, Some(BlockId(2)));
+        assert_eq!(li.exits, vec![BlockId(6)]);
+    }
+
+    #[test]
+    fn innermost_assignment() {
+        let (m, f) = nested_loops();
+        let (_, _, forest) = forest_of(&m, f);
+        let outer = forest.top_level()[0];
+        let inner = forest.info(outer).children[0];
+        // inner body block bb4 belongs to the inner loop
+        assert_eq!(forest.innermost(BlockId(4)), Some(inner));
+        // outer latch bb6 belongs to the outer loop only
+        assert_eq!(forest.innermost(BlockId(6)), Some(outer));
+        // entry belongs to no loop
+        assert_eq!(forest.innermost(BlockId(0)), None);
+        assert_eq!(forest.nest_of(BlockId(4)), vec![inner, outer]);
+    }
+
+    #[test]
+    fn canonical_recognition() {
+        let (m, f) = nested_loops();
+        let (_, _, forest) = forest_of(&m, f);
+        let func = m.function(f);
+        let outer = forest.top_level()[0];
+        let inner = forest.info(outer).children[0];
+        let co = forest.canonical(func, outer).expect("outer canonical");
+        assert_eq!(co.step, 1);
+        assert_eq!(co.cmp_op, CmpOp::Lt);
+        assert_eq!(co.init, Value::const_int(0));
+        assert_eq!(co.trip_count(), None); // bound is a parameter
+        let ci = forest.canonical(func, inner).expect("inner canonical");
+        assert_eq!(ci.trip_count(), Some(4));
+    }
+
+    #[test]
+    fn trip_count_arithmetic() {
+        assert_eq!(trip_count_from(0, 10, 1, CmpOp::Lt), 10);
+        assert_eq!(trip_count_from(0, 10, 1, CmpOp::Le), 11);
+        assert_eq!(trip_count_from(0, 10, 3, CmpOp::Lt), 4);
+        assert_eq!(trip_count_from(10, 0, -1, CmpOp::Gt), 10);
+        assert_eq!(trip_count_from(10, 0, -2, CmpOp::Ge), 6);
+        assert_eq!(trip_count_from(5, 5, 1, CmpOp::Lt), 0);
+    }
+
+    #[test]
+    fn irregular_loop_is_not_canonical() {
+        // while-style loop whose condition loads a slot updated by a
+        // non-affine amount (i *= 2) — not canonical.
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            let header = b.create_block("header");
+            let body = b.create_block("body");
+            let exit = b.create_block("exit");
+            b.switch_to_block(entry);
+            let i = b.alloca(Type::I64, "i");
+            b.store(i, Value::const_int(1));
+            b.br(header);
+            b.switch_to_block(header);
+            let iv = b.load(i, Type::I64);
+            let c = b.cmp(CmpOp::Lt, iv, Value::const_int(100));
+            b.cond_br(c, body, exit);
+            b.switch_to_block(body);
+            let iv2 = b.load(i, Type::I64);
+            let dbl = b.binary(BinOp::Mul, iv2, Value::const_int(2));
+            b.store(i, dbl);
+            b.br(header);
+            b.switch_to_block(exit);
+            b.ret(None);
+        }
+        let (_, _, forest) = forest_of(&m, f);
+        assert_eq!(forest.len(), 1);
+        let l = forest.loop_ids().next().unwrap();
+        assert!(forest.canonical(m.function(f), l).is_none());
+    }
+}

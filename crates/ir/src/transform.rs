@@ -1,0 +1,311 @@
+//! Enabling transformations (the paper's Fig. 12 shows "a series of code
+//! transformations designed to make the code more amenable to
+//! parallelization while maintaining the metadata").
+//!
+//! Both passes preserve block structure and block membership semantics, so
+//! directive regions (which reference blocks) remain valid; they only
+//! replace operands with constants and drop dead instructions from block
+//! lists.
+
+use crate::function::Function;
+use crate::inst::{BinOp, CastKind, CmpOp, Inst, UnOp};
+use crate::value::{Constant, Value};
+
+/// Fold instructions whose operands are all constants, rewriting their
+/// consumers to use the folded constant directly. Returns the number of
+/// operand replacements performed. Run [`eliminate_dead_code`] afterwards
+/// to drop the now-dead producers.
+///
+/// ```
+/// use pspdg_ir::{Module, Type, FunctionBuilder, Value, BinOp};
+/// use pspdg_ir::transform::{fold_constants, eliminate_dead_code};
+///
+/// let mut m = Module::new("m");
+/// let f = m.declare_function("f", vec![], Type::I64);
+/// {
+///     let mut b = FunctionBuilder::new(m.function_mut(f));
+///     let entry = b.create_block("entry");
+///     b.switch_to_block(entry);
+///     let x = b.binary(BinOp::Add, Value::const_int(2), Value::const_int(3));
+///     let y = b.binary(BinOp::Mul, x, Value::const_int(4));
+///     b.ret(Some(y));
+/// }
+/// fold_constants(m.function_mut(f));
+/// eliminate_dead_code(m.function_mut(f));
+/// assert_eq!(m.function(f).size(), 1); // only `ret 20` remains
+/// ```
+pub fn fold_constants(func: &mut Function) -> usize {
+    let mut replaced = 0;
+    loop {
+        // 1. Evaluate foldable instructions.
+        let mut folded: Vec<Option<Constant>> = vec![None; func.insts.len()];
+        for id in func.inst_ids() {
+            if let Some(c) = try_fold(&func.inst(id).inst) {
+                folded[id.index()] = Some(c);
+            }
+        }
+        // 2. Rewrite consumers.
+        let mut changed = 0;
+        for data in &mut func.insts {
+            for op in operands_mut(&mut data.inst) {
+                if let Value::Inst(d) = *op {
+                    if let Some(c) = folded[d.index()] {
+                        *op = Value::Const(c);
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        replaced += changed;
+        if changed == 0 {
+            return replaced;
+        }
+    }
+}
+
+/// Remove side-effect-free instructions whose results are unused from the
+/// block lists. Returns the number of instructions removed.
+pub fn eliminate_dead_code(func: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut used = vec![false; func.insts.len()];
+        let owner = func.inst_blocks();
+        for id in func.inst_ids() {
+            if owner[id.index()].is_none() {
+                continue;
+            }
+            for op in func.inst(id).inst.operands() {
+                if let Value::Inst(d) = op {
+                    used[d.index()] = true;
+                }
+            }
+        }
+        let mut changed = 0;
+        for block in &mut func.blocks {
+            block.insts.retain(|id| {
+                let inst = &func.insts[id.index()].inst;
+                let has_effect = inst.is_terminator()
+                    || inst.writes_memory()
+                    || inst.is_memory_opaque()
+                    || matches!(inst, Inst::Alloca { .. });
+                let keep = has_effect || used[id.index()];
+                if !keep {
+                    changed += 1;
+                }
+                keep
+            });
+        }
+        removed += changed;
+        if changed == 0 {
+            return removed;
+        }
+    }
+}
+
+fn operands_mut(inst: &mut Inst) -> Vec<&mut Value> {
+    match inst {
+        Inst::Alloca { .. } | Inst::Br { .. } => vec![],
+        Inst::Load { ptr, .. } => vec![ptr],
+        Inst::Store { ptr, value } => vec![ptr, value],
+        Inst::Gep { base, index, .. } => vec![base, index],
+        Inst::Binary { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+        Inst::Unary { operand, .. } => vec![operand],
+        Inst::Cast { value, .. } => vec![value],
+        Inst::Call { args, .. } | Inst::IntrinsicCall { args, .. } => args.iter_mut().collect(),
+        Inst::CondBr { cond, .. } => vec![cond],
+        Inst::Ret { value } => value.iter_mut().collect(),
+    }
+}
+
+fn try_fold(inst: &Inst) -> Option<Constant> {
+    match inst {
+        Inst::Binary { op, lhs, rhs } => {
+            let (l, r) = (as_const(*lhs)?, as_const(*rhs)?);
+            fold_binary(*op, l, r)
+        }
+        Inst::Unary { op, operand } => match (op, as_const(*operand)?) {
+            (UnOp::Neg, Constant::Int(v)) => Some(Constant::Int(v.wrapping_neg())),
+            (UnOp::Neg, Constant::Float(v)) => Some(Constant::Float(-v)),
+            (UnOp::Not, Constant::Bool(v)) => Some(Constant::Bool(!v)),
+            (UnOp::Not, Constant::Int(v)) => Some(Constant::Int(!v)),
+            _ => None,
+        },
+        Inst::Cmp { op, lhs, rhs } => {
+            let (l, r) = (as_const(*lhs)?, as_const(*rhs)?);
+            fold_cmp(*op, l, r)
+        }
+        Inst::Cast { kind, value } => match (kind, as_const(*value)?) {
+            (CastKind::IntToFloat, Constant::Int(v)) => Some(Constant::Float(v as f64)),
+            (CastKind::FloatToInt, Constant::Float(v)) => Some(Constant::Int(v as i64)),
+            (CastKind::BoolToInt, Constant::Bool(v)) => Some(Constant::Int(v as i64)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn as_const(v: Value) -> Option<Constant> {
+    match v {
+        Value::Const(c) => Some(c),
+        _ => None,
+    }
+}
+
+fn fold_binary(op: BinOp, l: Constant, r: Constant) -> Option<Constant> {
+    use BinOp::*;
+    Some(match (l, r) {
+        (Constant::Int(a), Constant::Int(b)) => Constant::Int(match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    return None; // preserve the runtime fault
+                }
+                a.wrapping_div(b)
+            }
+            Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            Shl => a.wrapping_shl(b as u32),
+            Shr => a.wrapping_shr(b as u32),
+        }),
+        (Constant::Float(a), Constant::Float(b)) => Constant::Float(match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => a / b,
+            _ => return None,
+        }),
+        (Constant::Bool(a), Constant::Bool(b)) => Constant::Bool(match op {
+            And => a && b,
+            Or => a || b,
+            _ => return None,
+        }),
+        _ => return None,
+    })
+}
+
+fn fold_cmp(op: CmpOp, l: Constant, r: Constant) -> Option<Constant> {
+    use CmpOp::*;
+    let b = match (l, r) {
+        (Constant::Int(a), Constant::Int(b)) => match op {
+            Eq => a == b,
+            Ne => a != b,
+            Lt => a < b,
+            Le => a <= b,
+            Gt => a > b,
+            Ge => a >= b,
+        },
+        (Constant::Float(a), Constant::Float(b)) => match op {
+            Eq => a == b,
+            Ne => a != b,
+            Lt => a < b,
+            Le => a <= b,
+            Gt => a > b,
+            Ge => a >= b,
+        },
+        (Constant::Bool(a), Constant::Bool(b)) => match op {
+            Eq => a == b,
+            Ne => a != b,
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(Constant::Bool(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Module;
+    use crate::interp::{Interpreter, RtVal};
+    use crate::types::Type;
+
+    #[test]
+    fn folds_transitive_chains() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let a = b.binary(BinOp::Add, Value::const_int(2), Value::const_int(3));
+            let c = b.binary(BinOp::Mul, a, a);
+            let d = b.binary(BinOp::Sub, c, Value::const_int(5));
+            b.ret(Some(d));
+        }
+        let replaced = fold_constants(m.function_mut(f));
+        assert!(replaced >= 3);
+        let removed = eliminate_dead_code(m.function_mut(f));
+        assert_eq!(removed, 3);
+        m.verify().unwrap();
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.run(f, &[]).unwrap(), Some(RtVal::Int(20)));
+        assert_eq!(m.function(f).size(), 1);
+    }
+
+    #[test]
+    fn preserves_division_faults() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let d = b.binary(BinOp::Div, Value::const_int(1), Value::const_int(0));
+            b.ret(Some(d));
+        }
+        assert_eq!(fold_constants(m.function_mut(f)), 0, "div by zero must not fold");
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::Void);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let slot = b.alloca(Type::I64, "x");
+            b.store(slot, Value::const_int(1));
+            b.intrinsic(crate::inst::Intrinsic::PrintI64, vec![Value::const_int(9)]);
+            let _unused = b.binary(BinOp::Add, Value::const_int(1), Value::const_int(2));
+            b.ret(None);
+        }
+        let removed = eliminate_dead_code(m.function_mut(f));
+        assert_eq!(removed, 1, "only the unused add goes");
+        let mut i = Interpreter::new(&m);
+        i.run(f, &[]).unwrap();
+        assert_eq!(i.output(), &["9".to_string()]);
+    }
+
+    #[test]
+    fn folds_comparisons_and_casts() {
+        let mut m = Module::new("m");
+        let f = m.declare_function("f", vec![], Type::I64);
+        {
+            let mut b = FunctionBuilder::new(m.function_mut(f));
+            let entry = b.create_block("entry");
+            b.switch_to_block(entry);
+            let c = b.cmp(CmpOp::Lt, Value::const_int(3), Value::const_int(5));
+            let ci = b.cast(CastKind::BoolToInt, c);
+            let fl = b.cast(CastKind::IntToFloat, Value::const_int(7));
+            let fi = b.cast(CastKind::FloatToInt, fl);
+            let sum = b.binary(BinOp::Add, ci, fi);
+            b.ret(Some(sum));
+        }
+        fold_constants(m.function_mut(f));
+        eliminate_dead_code(m.function_mut(f));
+        let mut i = Interpreter::new(&m);
+        assert_eq!(i.run(f, &[]).unwrap(), Some(RtVal::Int(8)));
+        assert_eq!(m.function(f).size(), 1);
+    }
+}

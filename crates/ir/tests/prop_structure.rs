@@ -1,0 +1,229 @@
+//! Property tests for the structural analyses: CHK dominators and the
+//! post-dominator construction are checked against a naive set-based
+//! dataflow reference on randomly generated CFGs, and the loop forest's
+//! invariants are verified.
+
+use proptest::prelude::*;
+use pspdg_ir::{Cfg, DomTree, FunctionBuilder, LoopForest, Module, PostDomTree, Type, Value};
+
+/// A random CFG shape: per block, a terminator choice.
+#[derive(Debug, Clone)]
+enum Term {
+    Ret,
+    Br(usize),
+    CondBr(usize, usize),
+}
+
+fn arb_cfg(max_blocks: usize) -> impl Strategy<Value = Vec<Term>> {
+    (2..max_blocks).prop_flat_map(|n| {
+        proptest::collection::vec(
+            prop_oneof![
+                1 => Just(Term::Ret),
+                3 => (0..n).prop_map(Term::Br),
+                3 => (0..n, 0..n).prop_map(|(a, b)| Term::CondBr(a, b)),
+            ],
+            n,
+        )
+    })
+}
+
+/// Materialize the shape as a function (one bool param feeds every condbr).
+fn build(terms: &[Term]) -> Module {
+    let mut m = Module::new("rand");
+    let f = m.declare_function_with("f", &[("c", Type::Bool)], Type::Void);
+    {
+        let mut b = FunctionBuilder::new(m.function_mut(f));
+        let blocks: Vec<_> = (0..terms.len()).map(|i| b.create_block(format!("b{i}"))).collect();
+        for (i, t) in terms.iter().enumerate() {
+            b.switch_to_block(blocks[i]);
+            match t {
+                Term::Ret => {
+                    b.ret(None);
+                }
+                Term::Br(t) => {
+                    b.br(blocks[*t]);
+                }
+                Term::CondBr(x, y) => {
+                    b.cond_br(Value::Param(0), blocks[*x], blocks[*y]);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Naive dominance: Dom(entry) = {entry}; Dom(b) = {b} ∪ ⋂ Dom(preds);
+/// iterate to fixpoint over reachable blocks.
+fn reference_dominators(cfg: &Cfg, n: usize) -> Vec<Option<u64>> {
+    use pspdg_ir::BlockId;
+    assert!(n <= 64, "bitset reference limited to 64 blocks");
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut dom: Vec<Option<u64>> = (0..n)
+        .map(|i| {
+            let bb = BlockId::from_index(i);
+            if !cfg.is_reachable(bb) {
+                None
+            } else if i == 0 {
+                Some(1)
+            } else {
+                Some(full)
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 1..n {
+            let bb = BlockId::from_index(i);
+            if !cfg.is_reachable(bb) {
+                continue;
+            }
+            let mut acc = full;
+            for p in cfg.predecessors(bb) {
+                if let Some(Some(d)) = dom.get(p.index()) {
+                    acc &= d;
+                }
+            }
+            let new = acc | (1 << i);
+            if dom[i] != Some(new) {
+                dom[i] = Some(new);
+                changed = true;
+            }
+        }
+    }
+    dom
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chk_matches_reference_dominators(terms in arb_cfg(16)) {
+        let m = build(&terms);
+        let f = m.function_by_name("f").unwrap();
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        let n = terms.len();
+        let reference = reference_dominators(&cfg, n);
+        for a in 0..n {
+            for b in 0..n {
+                use pspdg_ir::BlockId;
+                let (ba, bb) = (BlockId::from_index(a), BlockId::from_index(b));
+                let expected = match &reference[b] {
+                    None => false,
+                    Some(set) => cfg.is_reachable(ba) && (set >> a) & 1 == 1,
+                };
+                prop_assert_eq!(
+                    dom.dominates(ba, bb),
+                    expected,
+                    "dominates({}, {}) mismatch on {:?}",
+                    a,
+                    b,
+                    terms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn postdominators_are_dominators_of_the_reverse(terms in arb_cfg(14)) {
+        let m = build(&terms);
+        let f = m.function_by_name("f").unwrap();
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        // Skip CFGs with no exit reachable (infinite loops): postdominance
+        // is vacuous there.
+        prop_assume!(!cfg.exit_blocks().is_empty());
+        let pdom = PostDomTree::new(func, &cfg);
+        // Reference: b postdominates a iff every path a→exit passes b.
+        // Check by path enumeration with memoized reachability on the graph
+        // with b removed: if a can still reach an exit without b, then b
+        // does not postdominate a.
+        let n = terms.len();
+        for a in 0..n {
+            for b in 0..n {
+                use pspdg_ir::BlockId;
+                let (ba, bb) = (BlockId::from_index(a), BlockId::from_index(b));
+                if !cfg.is_reachable(ba) || !cfg.is_reachable(bb) {
+                    continue;
+                }
+                // a must reach an exit at all for postdominance to be
+                // meaningful; blocks that can't reach an exit are skipped.
+                let reaches_exit = |from: usize, banned: Option<usize>| -> bool {
+                    let mut seen = vec![false; n];
+                    let mut stack = vec![from];
+                    while let Some(x) = stack.pop() {
+                        if Some(x) == banned || seen[x] {
+                            continue;
+                        }
+                        seen[x] = true;
+                        let bx = BlockId::from_index(x);
+                        if cfg.successors(bx).is_empty() {
+                            return true;
+                        }
+                        for s in cfg.successors(bx) {
+                            stack.push(s.index());
+                        }
+                    }
+                    false
+                };
+                if !reaches_exit(a, None) {
+                    continue;
+                }
+                let expected = if a == b {
+                    true
+                } else {
+                    // every a→exit path passes b  ⇔  a cannot reach an exit
+                    // when b is removed
+                    !reaches_exit(a, Some(b))
+                };
+                prop_assert_eq!(
+                    pdom.postdominates(bb, ba),
+                    expected,
+                    "postdominates({}, {}) mismatch on {:?}",
+                    b,
+                    a,
+                    terms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loop_forest_invariants(terms in arb_cfg(16)) {
+        let m = build(&terms);
+        let f = m.function_by_name("f").unwrap();
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(func, &cfg, &dom);
+        for l in forest.loop_ids() {
+            let info = forest.info(l);
+            // The header dominates every block of the loop.
+            for &bb in &info.blocks {
+                prop_assert!(dom.dominates(info.header, bb));
+            }
+            // Every latch is in the loop and branches to the header.
+            for &latch in &info.latches {
+                prop_assert!(info.contains(latch));
+                prop_assert!(cfg.successors(latch).contains(&info.header));
+            }
+            // Nesting: the parent strictly contains this loop.
+            if let Some(parent) = info.parent {
+                let pinfo = forest.info(parent);
+                prop_assert!(pinfo.blocks.len() > info.blocks.len());
+                for &bb in &info.blocks {
+                    prop_assert!(pinfo.contains(bb));
+                }
+                prop_assert_eq!(info.depth, pinfo.depth + 1);
+            } else {
+                prop_assert_eq!(info.depth, 1);
+            }
+            // Exits are outside the loop, reachable from inside.
+            for &e in &info.exits {
+                prop_assert!(!info.contains(e));
+            }
+        }
+    }
+}

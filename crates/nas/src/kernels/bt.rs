@@ -1,0 +1,110 @@
+//! BT — Block Tridiagonal solver.
+//!
+//! Structure preserved from `BT/bt.c` (`compute_rhs` + `x_solve`): the rhs
+//! stencil over the field (`omp for`, plainly affine) and per-line Thomas
+//! solves through *two* private work arrays (forward coefficients +
+//! backward substitution).
+
+use crate::{Benchmark, Class};
+
+/// The BT benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let (nl, np, reps) = match class {
+        Class::Test => (32, 20, 2),
+        Class::Mini => (64, 40, 3),
+    };
+    let nl1 = nl - 1;
+    let np2 = np - 2;
+    let source = format!(
+        r#"
+double ufield[{nl}][{np}];
+double rhsb[{nl}][{np}];
+double workc[{np}];
+double workd[{np}];
+
+void compute_rhs() {{
+    int l; int p;
+    #pragma omp parallel for private(p)
+    for (l = 1; l < {nl1}; l++) {{
+        for (p = 0; p < {np}; p++) {{
+            rhsb[l][p] = ufield[l - 1][p] - 2.0 * ufield[l][p] + ufield[l + 1][p];
+        }}
+    }}
+}}
+
+void block_solve() {{
+    int l; int p;
+    #pragma omp parallel for private(p, workc, workd)
+    for (l = 0; l < {nl}; l++) {{
+        workc[0] = rhsb[l][0] * 0.5;
+        workd[0] = rhsb[l][0];
+        for (p = 1; p < {np}; p++) {{
+            workc[p] = 1.0 / (2.0 - workc[p - 1]);
+            workd[p] = (rhsb[l][p] + workd[p - 1]) * workc[p];
+        }}
+        for (p = {np2}; p >= 0; p -= 1) {{
+            workd[p] = workd[p] - workc[p] * workd[p + 1];
+        }}
+        for (p = 0; p < {np}; p++) {{
+            ufield[l][p] = ufield[l][p] + 0.05 * workd[p];
+        }}
+    }}
+}}
+
+int main() {{
+    int l; int p; int it; double chk;
+    for (l = 0; l < {nl}; l++) {{
+        for (p = 0; p < {np}; p++) {{
+            ufield[l][p] = 1.0 + 0.02 * (double)((l * 5 + p * 3) % 29);
+        }}
+    }}
+    for (it = 0; it < {reps}; it++) {{
+        compute_rhs();
+        block_solve();
+    }}
+    chk = 0.0;
+    for (l = 0; l < {nl}; l++) {{
+        for (p = 0; p < {np}; p++) {{ chk += ufield[l][p]; }}
+    }}
+    print_f64(chk);
+    return (int) chk % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "BT",
+        description: "rhs stencil + per-line tridiagonal solves with two private work arrays",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 1);
+        let chk: f64 = out[0].parse().unwrap();
+        assert!(chk.is_finite() && chk > 0.0);
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn solver_has_two_private_work_arrays() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("block_solve").unwrap();
+        let for_dir = p
+            .directives_in(f)
+            .find(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. }))
+            .unwrap()
+            .1;
+        let privs: Vec<String> =
+            for_dir.privatized_vars().map(|v| p.var_name(v)).collect();
+        assert!(privs.contains(&"workc".to_string()));
+        assert!(privs.contains(&"workd".to_string()));
+    }
+}

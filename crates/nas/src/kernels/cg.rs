@@ -1,0 +1,99 @@
+//! CG — Conjugate Gradient.
+//!
+//! Structure preserved from `CG/cg.c` (`conj_grad`): the sparse mat-vec
+//! `q = A·p` over CSR row pointers (`omp for` with a per-row private
+//! accumulator and an inner loop whose bounds come from memory), followed
+//! by dot-product reductions and vector updates.
+
+use crate::{Benchmark, Class};
+
+/// The CG benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let (nr, nnz_per_row, iters) = match class {
+        Class::Test => (160, 4, 2),
+        Class::Mini => (640, 6, 3),
+    };
+    let nr1 = nr + 1;
+    let nz = nr * nnz_per_row;
+    let source = format!(
+        r#"
+int rowstr[{nr1}];
+int colidx[{nz}];
+double a[{nz}];
+double p[{nr}];
+double q[{nr}];
+double z[{nr}];
+double rho;
+
+void conj_grad_step() {{
+    int j; int k; double sum;
+    #pragma omp parallel for private(k, sum)
+    for (j = 0; j < {nr}; j++) {{
+        sum = 0.0;
+        for (k = rowstr[j]; k < rowstr[j + 1]; k++) {{
+            sum += a[k] * p[colidx[k]];
+        }}
+        q[j] = sum;
+    }}
+    rho = 0.0;
+    #pragma omp parallel for reduction(+: rho)
+    for (j = 0; j < {nr}; j++) {{
+        rho += q[j] * q[j];
+        z[j] = z[j] + 0.4 * q[j];
+        p[j] = q[j] + 0.3 * p[j];
+    }}
+}}
+
+int main() {{
+    int j; int k; int it;
+    for (j = 0; j < {nr1}; j++) {{ rowstr[j] = j * {nnz_per_row}; }}
+    for (k = 0; k < {nz}; k++) {{
+        colidx[k] = (k * 16807 + 17) % {nr};
+        a[k] = 0.5 + (double)(k % 7) * 0.1;
+    }}
+    for (j = 0; j < {nr}; j++) {{ p[j] = 1.0; }}
+    for (it = 0; it < {iters}; it++) {{ conj_grad_step(); }}
+    print_f64(rho);
+    return (int) rho % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "CG",
+        description: "CSR sparse mat-vec with memory-bounded inner loops + dot-product reductions",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 1);
+        let rho: f64 = out[0].parse().unwrap();
+        assert!(rho.is_finite() && rho > 0.0);
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn matvec_loop_is_annotated() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("conj_grad_step").unwrap();
+        let fors = p
+            .directives_in(f)
+            .filter(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. }))
+            .count();
+        assert_eq!(fors, 2);
+        // One reduction clause on the second loop.
+        let reductions: usize = p
+            .directives_in(f)
+            .map(|(_, d)| d.reductions().count())
+            .sum();
+        assert_eq!(reductions, 1);
+    }
+}

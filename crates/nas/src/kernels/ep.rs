@@ -1,0 +1,89 @@
+//! EP — Embarrassingly Parallel.
+//!
+//! Structure preserved from `EP/ep.c`: per-iteration pseudo-random pair
+//! generation, polar acceptance test, Gaussian-sum reductions, and the
+//! per-bin counts (the original accumulates into thread-private `q` and
+//! merges in a critical section; the mini version uses `omp atomic` on the
+//! shared bins — the same orderless-update semantics the PS-PDG captures).
+
+use crate::{Benchmark, Class};
+
+/// The EP benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let n = match class {
+        Class::Test => 3000,
+        Class::Mini => 20000,
+    };
+    let source = format!(
+        r#"
+double sx;
+double sy;
+int qbin[10];
+
+void ep_kernel() {{
+    int i; int s1; int s2; double x; double y; double t; int bin;
+    #pragma omp parallel for private(s1, s2, x, y, t, bin) reduction(+: sx, sy)
+    for (i = 0; i < {n}; i++) {{
+        s1 = (i * 16807 + 2531011) % 65536;
+        s2 = (s1 * 16807 + 2531011) % 65536;
+        x = ((double) s1) / 32768.0 - 1.0;
+        y = ((double) s2) / 32768.0 - 1.0;
+        t = x * x + y * y;
+        if (t <= 1.0 && t > 0.0) {{
+            sx += x * sqrt(-2.0 * log(t) / t);
+            sy += y * sqrt(-2.0 * log(t) / t);
+            bin = (int) (t * 9.0);
+            #pragma omp atomic
+            qbin[bin] += 1;
+        }}
+    }}
+}}
+
+int main() {{
+    int i; int counted;
+    ep_kernel();
+    counted = 0;
+    for (i = 0; i < 10; i++) {{ counted += qbin[i]; }}
+    print_f64(sx);
+    print_f64(sy);
+    print_i64(counted);
+    return counted % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "EP",
+        description: "random-pair acceptance with sum reductions and atomic histogram bins",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 3);
+        let counted: i64 = out[2].parse().unwrap();
+        assert!(counted > 0, "some pairs must be accepted");
+        assert!(counted <= 3000);
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn uses_reduction_and_atomic() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("ep_kernel").unwrap();
+        let kinds: Vec<&str> = p.directives_in(f).map(|(_, d)| d.kind.name()).collect();
+        assert!(kinds.contains(&"atomic"));
+        let reductions: usize = p
+            .directives_in(f)
+            .map(|(_, d)| d.reductions().count())
+            .sum();
+        assert_eq!(reductions, 2, "sx and sy");
+    }
+}

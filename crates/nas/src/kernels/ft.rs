@@ -1,0 +1,96 @@
+//! FT — Fast Fourier Transform.
+//!
+//! Structure preserved from `FT/ft.c`: independent per-row transforms
+//! (`omp for` over rows of a batched mini-DFT with private accumulators and
+//! twiddle factors from `sin`/`cos`) plus the element-wise `evolve` step.
+
+use crate::{Benchmark, Class};
+
+/// The FT benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let (rows, k) = match class {
+        Class::Test => (12, 12),
+        Class::Mini => (24, 20),
+    };
+    let tot = rows * k;
+    let source = format!(
+        r#"
+double xr[{tot}];
+double xi[{tot}];
+double yr[{tot}];
+double yi[{tot}];
+
+void fft_rows() {{
+    int r_; int k; int j; double sr; double si; double ang;
+    #pragma omp parallel for private(k, j, sr, si, ang)
+    for (r_ = 0; r_ < {rows}; r_++) {{
+        for (k = 0; k < {k}; k++) {{
+            sr = 0.0;
+            si = 0.0;
+            for (j = 0; j < {k}; j++) {{
+                ang = -6.2831853 * ((double)(k * j)) / ((double) {k});
+                sr += xr[r_ * {k} + j] * cos(ang) - xi[r_ * {k} + j] * sin(ang);
+                si += xr[r_ * {k} + j] * sin(ang) + xi[r_ * {k} + j] * cos(ang);
+            }}
+            yr[r_ * {k} + k] = sr;
+            yi[r_ * {k} + k] = si;
+        }}
+    }}
+}}
+
+void evolve() {{
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < {tot}; i++) {{
+        xr[i] = yr[i] * 0.995;
+        xi[i] = yi[i] * 0.995;
+    }}
+}}
+
+int main() {{
+    int i; double chk;
+    for (i = 0; i < {tot}; i++) {{
+        xr[i] = sin((double) i);
+        xi[i] = cos((double) i) * 0.5;
+    }}
+    fft_rows();
+    evolve();
+    fft_rows();
+    chk = 0.0;
+    for (i = 0; i < {tot}; i++) {{ chk += yr[i] * yr[i] + yi[i] * yi[i]; }}
+    print_f64(chk);
+    return (int) chk % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "FT",
+        description: "batched mini-DFT over independent rows + element-wise evolve",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 1);
+        let chk: f64 = out[0].parse().unwrap();
+        assert!(chk.is_finite() && chk > 0.0);
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn rows_loop_is_annotated() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("fft_rows").unwrap();
+        assert!(p
+            .directives_in(f)
+            .any(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. })));
+    }
+}

@@ -1,0 +1,86 @@
+//! LU — SSOR wavefront solver.
+//!
+//! Structure preserved from `LU/lu.c` (`ssor`/`blts`): the outer `k` sweep
+//! is a true recurrence (each plane depends on the previous one) and stays
+//! sequential; the inner per-plane loop is developer-parallelized; an
+//! *unannotated* L2-norm reduction follows (compiler-only opportunity).
+
+use crate::{Benchmark, Class};
+
+/// The LU benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let (nk, nj, sweeps) = match class {
+        Class::Test => (24, 48, 2),
+        Class::Mini => (48, 96, 3),
+    };
+    let tot = nk * nj;
+    let source = format!(
+        r#"
+double v[{tot}];
+double fx[{tot}];
+double norm;
+
+void ssor_sweep() {{
+    int k; int j;
+    for (k = 1; k < {nk}; k++) {{
+        #pragma omp parallel for
+        for (j = 0; j < {nj}; j++) {{
+            v[k * {nj} + j] = v[(k - 1) * {nj} + j] * 0.8 + fx[k * {nj} + j];
+        }}
+    }}
+}}
+
+void l2norm() {{
+    int i;
+    norm = 0.0;
+    for (i = 0; i < {tot}; i++) {{ norm += v[i] * v[i]; }}
+}}
+
+int main() {{
+    int i; int s;
+    for (i = 0; i < {tot}; i++) {{
+        fx[i] = 0.001 * (double)(i % 97);
+        v[i] = 0.01 * (double)(i % 13);
+    }}
+    for (s = 0; s < {sweeps}; s++) {{ ssor_sweep(); }}
+    l2norm();
+    print_f64(norm);
+    return (int)(norm * 10.0) % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "LU",
+        description: "wavefront sweep: sequential planes, parallel lines, unannotated norm",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 1);
+        let norm: f64 = out[0].parse().unwrap();
+        assert!(norm.is_finite() && norm > 0.0);
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn only_inner_loop_is_annotated() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("ssor_sweep").unwrap();
+        let fors = p
+            .directives_in(f)
+            .filter(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. }))
+            .count();
+        assert_eq!(fors, 1);
+        let nf = p.module.function_by_name("l2norm").unwrap();
+        assert_eq!(p.directives_in(nf).count(), 0, "the norm is unannotated");
+    }
+}

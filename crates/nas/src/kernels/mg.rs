@@ -1,0 +1,105 @@
+//! MG — Multigrid.
+//!
+//! Structure preserved from `MG/mg.c` (`psinv`/`resid`/`norm2u3`): stencil
+//! smoothing and residual over distinct arrays (`omp for`), and the norm
+//! computation whose max-update sits in a `critical` section — the case the
+//! paper highlights where worksharing information alone (J&K) cannot match
+//! the PS-PDG (Fig. 13, MG).
+
+use crate::{Benchmark, Class};
+
+/// The MG benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let (n, t) = match class {
+        Class::Test => (768, 3),
+        Class::Mini => (4096, 4),
+    };
+    let nm1 = n - 1;
+    let source = format!(
+        r#"
+double u[{n}];
+double v_[{n}];
+double r_[{n}];
+double rnm2;
+double rnmu;
+
+void smooth() {{
+    int i;
+    #pragma omp parallel for
+    for (i = 1; i < {nm1}; i++) {{
+        u[i] = u[i] + 0.5 * (r_[i - 1] + r_[i + 1]);
+    }}
+}}
+
+void residual() {{
+    int i;
+    #pragma omp parallel for
+    for (i = 1; i < {nm1}; i++) {{
+        r_[i] = v_[i] - 0.25 * (u[i - 1] + 2.0 * u[i] + u[i + 1]);
+    }}
+}}
+
+void norm2u3() {{
+    int i; double aval;
+    rnm2 = 0.0;
+    rnmu = 0.0;
+    #pragma omp parallel for private(aval) reduction(+: rnm2)
+    for (i = 0; i < {n}; i++) {{
+        rnm2 += r_[i] * r_[i];
+        aval = fabs(r_[i]);
+        if (aval > rnmu) {{
+            #pragma omp critical
+            {{
+                if (aval > rnmu) {{ rnmu = aval; }}
+            }}
+        }}
+    }}
+}}
+
+int main() {{
+    int i; int it;
+    for (i = 0; i < {n}; i++) {{ v_[i] = 0.01 * (double)(i % 31); }}
+    for (it = 0; it < {t}; it++) {{
+        residual();
+        smooth();
+    }}
+    norm2u3();
+    print_f64(rnm2);
+    print_f64(rnmu);
+    return (int)(rnm2 * 100.0) % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "MG",
+        description: "stencil smooth/residual + norm with a critical max-update",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 2);
+        let rnm2: f64 = out[0].parse().unwrap();
+        let rnmu: f64 = out[1].parse().unwrap();
+        assert!(rnm2 > 0.0 && rnmu > 0.0);
+        assert!(rnmu * rnmu <= rnm2 * 1.0001, "max² ≤ sum of squares");
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn norm_has_critical_max() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("norm2u3").unwrap();
+        let kinds: Vec<&str> = p.directives_in(f).map(|(_, d)| d.kind.name()).collect();
+        assert!(kinds.contains(&"critical"));
+        assert!(kinds.contains(&"for"));
+    }
+}

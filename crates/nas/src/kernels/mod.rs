@@ -1,0 +1,30 @@
+//! The eight kernels. Each module provides `benchmark(class)` returning the
+//! ParC source scaled for the class, plus tests that compile, execute, and
+//! structurally check the kernel.
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use pspdg_ir::interp::{Interpreter, NullSink, RtVal};
+    use pspdg_parallel::ParallelProgram;
+
+    /// Compile + run a benchmark, returning (exit value, printed lines,
+    /// dynamic steps).
+    pub fn run(b: &crate::Benchmark) -> (Option<RtVal>, Vec<String>, u64) {
+        let p: ParallelProgram = b.program();
+        let mut interp = Interpreter::new(&p.module);
+        let ret = match interp.run_main(&mut NullSink) {
+            Ok(r) => r,
+            Err(e) => panic!("{} failed to execute: {e}", b.name),
+        };
+        (ret, interp.output().to_vec(), interp.steps())
+    }
+}

@@ -1,0 +1,93 @@
+//! SP — Scalar Pentadiagonal solver.
+//!
+//! Structure preserved from `SP/sp.c` (`x_solve` family): independent line
+//! solves distributed with `omp for`, each line performing a forward
+//! elimination and a backward substitution through a *private* work array —
+//! the per-thread temporary whose reuse makes the sequential PDG serialize
+//! the whole solve.
+
+use crate::{Benchmark, Class};
+
+/// The SP benchmark at the given class.
+pub fn benchmark(class: Class) -> Benchmark {
+    let (nl, np, reps) = match class {
+        Class::Test => (40, 24, 2),
+        Class::Mini => (96, 48, 3),
+    };
+    let np1 = np - 1;
+    let np2 = np - 2;
+    let source = format!(
+        r#"
+double lhs[{nl}][{np}];
+double rhs_[{nl}][{np}];
+double work[{np}];
+
+void x_solve() {{
+    int l; int p;
+    #pragma omp parallel for private(p, work)
+    for (l = 0; l < {nl}; l++) {{
+        work[0] = rhs_[l][0];
+        for (p = 1; p < {np}; p++) {{
+            work[p] = rhs_[l][p] - lhs[l][p] * work[p - 1];
+        }}
+        rhs_[l][{np1}] = work[{np1}];
+        for (p = {np2}; p >= 0; p -= 1) {{
+            rhs_[l][p] = work[p] - lhs[l][p] * rhs_[l][p + 1];
+        }}
+    }}
+}}
+
+int main() {{
+    int l; int p; int it; double chk;
+    for (l = 0; l < {nl}; l++) {{
+        for (p = 0; p < {np}; p++) {{
+            lhs[l][p] = 0.1 + 0.001 * (double)((l * 7 + p) % 23);
+            rhs_[l][p] = 1.0 + 0.01 * (double)((l + p) % 17);
+        }}
+    }}
+    for (it = 0; it < {reps}; it++) {{ x_solve(); }}
+    chk = 0.0;
+    for (l = 0; l < {nl}; l++) {{
+        for (p = 0; p < {np}; p++) {{ chk += rhs_[l][p]; }}
+    }}
+    print_f64(chk);
+    return (int) fabs(chk) % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "SP",
+        description: "independent line solves with private forward/backward sweep arrays",
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+
+    #[test]
+    fn compiles_and_runs() {
+        let b = benchmark(Class::Test);
+        let (_, out, steps) = run(&b);
+        assert_eq!(out.len(), 1);
+        let chk: f64 = out[0].parse().unwrap();
+        assert!(chk.is_finite());
+        assert!(steps > 10_000);
+    }
+
+    #[test]
+    fn line_loop_is_annotated_with_private_work() {
+        let p = benchmark(Class::Test).program();
+        let f = p.module.function_by_name("x_solve").unwrap();
+        let for_dir = p
+            .directives_in(f)
+            .find(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. }))
+            .expect("annotated line loop")
+            .1;
+        let privs: Vec<String> =
+            for_dir.privatized_vars().map(|v| p.var_name(v)).collect();
+        assert!(privs.contains(&"work".to_string()));
+    }
+}

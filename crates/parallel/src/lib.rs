@@ -1,0 +1,76 @@
+//! # pspdg-parallel — the parallel-directive layer over the IR
+//!
+//! OpenMP compilers lower pragmas onto their sequential IR as annotations /
+//! metadata (paper §6.1: "our custom clang-based front-end generates LLVM IR
+//! with custom metadata from these pragmas"). This crate is that metadata
+//! layer: a [`ParallelProgram`] couples a [`pspdg_ir::Module`] with a list
+//! of [`Directive`]s, each binding an OpenMP or Cilk construct to a region
+//! of IR blocks.
+//!
+//! The directive set covers the subset of OpenMP 5.0 the paper targets in
+//! §5 (declarations of independence, data properties, ordering) and the
+//! OpenCilk 2.0 constructs of Appendix A. Features that "only control the
+//! amount of parallelism" (num_threads, grainsize, …) are deliberately kept
+//! as plain scheduling parameters, exactly as the paper excludes them from
+//! the semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use pspdg_ir::{Module, Type, FunctionBuilder, Value, CmpOp, BinOp};
+//! use pspdg_parallel::{ParallelProgram, Directive, DirectiveKind, Region};
+//!
+//! // for (i = 0; i < 8; i++) a[i] = i;   annotated with `omp parallel for`
+//! let mut m = Module::new("demo");
+//! let f = m.declare_function("kernel", vec![], Type::Void);
+//! # let (header, blocks);
+//! {
+//!     let mut b = FunctionBuilder::new(m.function_mut(f));
+//!     let entry = b.create_block("entry");
+//!     let h = b.create_block("header");
+//!     let body = b.create_block("body");
+//!     let latch = b.create_block("latch");
+//!     let exit = b.create_block("exit");
+//!     b.switch_to_block(entry);
+//!     let a = b.alloca(Type::array(Type::I64, 8), "a");
+//!     let i = b.alloca(Type::I64, "i");
+//!     b.store(i, Value::const_int(0));
+//!     b.br(h);
+//!     b.switch_to_block(h);
+//!     let iv = b.load(i, Type::I64);
+//!     let c = b.cmp(CmpOp::Lt, iv, Value::const_int(8));
+//!     b.cond_br(c, body, exit);
+//!     b.switch_to_block(body);
+//!     let iv2 = b.load(i, Type::I64);
+//!     let p = b.gep(a, iv2, Type::I64);
+//!     b.store(p, iv2);
+//!     b.br(latch);
+//!     b.switch_to_block(latch);
+//!     let iv3 = b.load(i, Type::I64);
+//!     let nx = b.binary(BinOp::Add, iv3, Value::const_int(1));
+//!     b.store(i, nx);
+//!     b.br(h);
+//!     b.switch_to_block(exit);
+//!     b.ret(None);
+//!     header = h;
+//!     blocks = vec![h, body, latch];
+//! }
+//! let mut program = ParallelProgram::new(m);
+//! let region = Region::new(f, blocks, header);
+//! program.add(Directive::parallel_for(region, header));
+//! program.validate().expect("well-formed parallel program");
+//! assert_eq!(program.directives().count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod directive;
+pub mod program;
+pub mod reduction;
+
+pub use directive::{
+    DataClause, Depend, DependKind, Directive, DirectiveId, DirectiveKind, Region, Schedule,
+    ScheduleKind, VarRef,
+};
+pub use program::{ParallelError, ParallelProgram};
+pub use reduction::ReductionOp;

@@ -1,0 +1,174 @@
+//! Technique applicability for one loop under one dependence view.
+
+use pspdg_ir::{LoopId, Module};
+use pspdg_pdg::{FunctionAnalyses, MemBase, Pdg, SccDag};
+
+/// The SCC-level facts the planners need about a (loop, dependence-view)
+/// pair.
+#[derive(Debug, Clone)]
+pub struct LoopAssessment {
+    /// The assessed loop.
+    pub loop_id: LoopId,
+    /// Whether the loop is canonical (known trip count at run time).
+    pub canonical: bool,
+    /// Whether DOALL applies: canonical and no sequential SCC remains.
+    pub doall: bool,
+    /// Number of sequential SCCs (drives HELIX's sequential segments).
+    pub seq_sccs: usize,
+    /// Number of parallel SCCs.
+    pub par_sccs: usize,
+    /// Total SCCs (drives DSWP's pipeline stages).
+    pub total_sccs: usize,
+    /// The SCC DAG itself (for plan construction).
+    pub dag: SccDag,
+}
+
+/// Assess `loop_id` under the dependence view `view`.
+///
+/// The canonical induction variables of the loop *and of every canonical
+/// loop nested inside it* are exempted before classification — every
+/// production parallelizer recognizes induction variables and
+/// rematerializes them per worker, for every abstraction equally. (An inner
+/// loop's IV slot is re-initialized each outer iteration; treating its
+/// conservative outer-carried self-dependence as real would glue the whole
+/// inner body into one sequential SCC.)
+pub fn assess_loop(
+    module: &Module,
+    view: &Pdg,
+    analyses: &FunctionAnalyses,
+    loop_id: LoopId,
+) -> LoopAssessment {
+    let _ = module;
+    let canonical = analyses.canonical_of(loop_id).is_some();
+    let ivs = nested_canonical_ivs(analyses, loop_id);
+    let exempt = |base: Option<MemBase>| -> bool {
+        matches!(base, Some(MemBase::Alloca(a)) if ivs.contains(&a))
+    };
+    let filtered = view.filtered(|e| !(e.kind.carried_at(loop_id) && exempt(e.base)));
+    let dag = filtered.loop_sccs(analyses, loop_id);
+    let seq_sccs = dag.sequential_count();
+    let par_sccs = dag.parallel_count();
+    let total_sccs = dag.sccs.len();
+    LoopAssessment {
+        loop_id,
+        canonical,
+        doall: canonical && seq_sccs == 0,
+        seq_sccs,
+        par_sccs,
+        total_sccs,
+        dag,
+    }
+}
+
+/// Canonical IV slots of `loop_id` and all loops nested within it.
+pub fn nested_canonical_ivs(
+    analyses: &FunctionAnalyses,
+    loop_id: LoopId,
+) -> Vec<pspdg_ir::InstId> {
+    let mut out = Vec::new();
+    let mut stack = vec![loop_id];
+    while let Some(l) = stack.pop() {
+        if let Some(c) = analyses.canonical_of(l) {
+            out.push(c.iv_alloca);
+        }
+        stack.extend(analyses.forest.info(l).children.iter().copied());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_core::{build_pspdg, query, FeatureSet};
+    use pspdg_frontend::compile;
+    use pspdg_pdg::Pdg;
+
+    fn setup(
+        src: &str,
+    ) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, Pdg, pspdg_core::PsPdg) {
+        let p = compile(src).unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let ps = build_pspdg(&p, f, &a, &pdg, FeatureSet::all());
+        (p, a, pdg, ps)
+    }
+
+    #[test]
+    fn independent_loop_is_doall_everywhere() {
+        let (p, a, pdg, ps) = setup(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 0; i < 64; i++) { v[i] = i; } }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let base = assess_loop(&p.module, &pdg, &a, l);
+        assert!(base.doall, "PDG view: {base:?}");
+        let view = query::loop_view(&ps, &a, l);
+        let psa = assess_loop(&p.module, &view, &a, l);
+        assert!(psa.doall);
+    }
+
+    #[test]
+    fn histogram_is_doall_only_under_pspdg() {
+        let (p, a, pdg, ps) = setup(
+            r#"
+            int key[64]; int hist[64];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 64; i++) { hist[key[i]] += 1; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let base = assess_loop(&p.module, &pdg, &a, l);
+        assert!(!base.doall, "PDG must not prove the histogram independent");
+        assert!(base.seq_sccs >= 1);
+        let view = query::loop_view(&ps, &a, l);
+        let psa = assess_loop(&p.module, &view, &a, l);
+        assert!(psa.doall, "PS-PDG knows the programmer declared independence");
+    }
+
+    #[test]
+    fn recurrence_is_never_doall() {
+        let (p, a, pdg, ps) = setup(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 1; i < 64; i++) { v[i] = v[i - 1]; } }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        assert!(!assess_loop(&p.module, &pdg, &a, l).doall);
+        let view = query::loop_view(&ps, &a, l);
+        assert!(!assess_loop(&p.module, &view, &a, l).doall);
+    }
+
+    #[test]
+    fn scc_counts_feed_helix_and_dswp() {
+        let (p, a, pdg, _) = setup(
+            r#"
+            int v[64]; int s; int t;
+            void k() {
+                int i;
+                for (i = 0; i < 64; i++) {
+                    s += v[i];      // sequential SCC 1
+                    t *= 2;         // sequential SCC 2
+                    v[i] = i;       // parallel
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let assessment = assess_loop(&p.module, &pdg, &a, l);
+        assert!(!assessment.doall);
+        assert_eq!(assessment.seq_sccs, 2);
+        assert!(assessment.par_sccs >= 1);
+        assert!(assessment.total_sccs >= 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # pspdg-parallelizer — the NOELLE-style automatic parallelizer
+//!
+//! Implements the paper's evaluation pipeline (§6.1–§6.2): profile-driven
+//! hot-loop selection (≥ 1 % coverage), SCC-based applicability of three
+//! loop parallelization techniques (DOALL, HELIX, DSWP), parallelization-
+//! option enumeration under four abstractions, and the construction of
+//! concrete parallel execution plans for the ideal-machine emulator.
+//!
+//! The four abstractions compared throughout (paper Figs. 13 & 14):
+//!
+//! * [`Abstraction::OpenMp`] — the programmer-encoded plan: only the loops
+//!   the source annotates are parallel, tunable through environment
+//!   variables (threads × chunk sizes);
+//! * [`Abstraction::Pdg`] — NOELLE's PDG over the *sequential* version of
+//!   the program;
+//! * [`Abstraction::Jk`] — the PDG improved with worksharing-loop
+//!   information, after Jensen & Karlsson;
+//! * [`Abstraction::PsPdg`] — the paper's contribution.
+
+#![warn(missing_docs)]
+
+pub mod assess;
+pub mod enumerate;
+pub mod hotloops;
+pub mod machine;
+pub mod plan;
+pub mod realize;
+pub mod views;
+
+pub use assess::{assess_loop, nested_canonical_ivs, LoopAssessment};
+pub use enumerate::{
+    enumerate_function, enumerate_function_with_features, enumerate_program,
+    enumerate_program_with_features, FunctionOptions, ProgramOptions,
+};
+pub use hotloops::{hot_loops, HotLoop};
+pub use machine::MachineModel;
+pub use plan::{build_plan, LoopPlanSpec, MutexSpec, PlannedTechnique, ProgramPlan};
+pub use realize::realize_plan;
+pub use views::{jk_view, pdg_view, Abstraction};

@@ -1,0 +1,117 @@
+//! Plan realization: the final arrow of the paper's Fig. 2 pipeline ("the
+//! parallel execution plan chosen is then realized into the generated
+//! parallel IR").
+//!
+//! A [`ProgramPlan`]'s DOALL decisions are encoded back into the directive
+//! layer as `omp parallel for` annotations, producing a new
+//! [`ParallelProgram`] whose *programmer-encoded* plan is the compiler's
+//! chosen plan. HELIX/DSWP decisions have no OpenMP surface syntax and are
+//! left to the downstream code generator (they stay plan-only).
+
+use pspdg_ir::FuncId;
+use pspdg_parallel::{Directive, ParallelProgram, Region};
+use pspdg_pdg::FunctionAnalyses;
+
+use crate::plan::{PlannedTechnique, ProgramPlan};
+
+/// Encode `plan`'s DOALL loops as worksharing directives on a copy of
+/// `program`. Loops that already carry a worksharing directive are left
+/// untouched; non-DOALL techniques are skipped (see module docs).
+///
+/// Returns the realized program and the number of directives added.
+pub fn realize_plan(program: &ParallelProgram, plan: &ProgramPlan) -> (ParallelProgram, usize) {
+    let mut realized = ParallelProgram::new(program.module.clone());
+    for (_, d) in program.directives() {
+        realized.add(d.clone());
+    }
+    let mut added = 0;
+    let mut specs: Vec<_> = plan.loops.values().collect();
+    specs.sort_by_key(|s| (s.func.0, s.loop_id.0));
+    for spec in specs {
+        if !matches!(spec.technique, PlannedTechnique::Doall) {
+            continue;
+        }
+        let func: FuncId = spec.func;
+        let analyses = FunctionAnalyses::compute(&program.module, func);
+        let info = analyses.forest.info(spec.loop_id);
+        if program.worksharing_loop_directive(func, info.header).is_some() {
+            continue; // the programmer already expressed this one
+        }
+        let region = Region::new(func, info.blocks.clone(), info.header);
+        realized.add(Directive::parallel(region.clone()));
+        realized.add(Directive::omp_for(region, info.header));
+        added += 1;
+    }
+    (realized, added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plan;
+    use crate::views::Abstraction;
+    use pspdg_frontend::compile;
+    use pspdg_ir::interp::{Interpreter, NullSink};
+
+    const UNANNOTATED: &str = r#"
+        int v[256]; int w[256];
+        void k() {
+            int i;
+            for (i = 0; i < 256; i++) { v[i] = i * 3; }
+            for (i = 0; i < 256; i++) { w[i] = v[i] + 1; }
+        }
+        int main() { k(); return w[255]; }
+    "#;
+
+    #[test]
+    fn realized_program_validates_and_runs() {
+        let p = compile(UNANNOTATED).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+        let (realized, added) = realize_plan(&p, &plan);
+        assert_eq!(added, 2, "both loops are DOALL and previously unannotated");
+        realized.validate().expect("realized program is well-formed");
+        let mut interp2 = Interpreter::new(&realized.module);
+        interp2.run_main(&mut NullSink).unwrap();
+        assert_eq!(interp.steps(), interp2.steps(), "directives never change semantics");
+    }
+
+    #[test]
+    fn realization_is_idempotent() {
+        let p = compile(UNANNOTATED).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+        let (realized, added1) = realize_plan(&p, &plan);
+        assert!(added1 > 0);
+        // Re-planning the realized program and realizing again adds nothing:
+        // the compiler's plan is now the programmer's plan.
+        let plan2 = build_plan(&realized, interp.profile(), Abstraction::PsPdg, 0.01);
+        let (_, added2) = realize_plan(&realized, &plan2);
+        assert_eq!(added2, 0);
+    }
+
+    #[test]
+    fn already_annotated_loops_are_untouched() {
+        let p = compile(
+            r#"
+            int v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) { v[i] = i; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+        let before = p.len();
+        let (realized, added) = realize_plan(&p, &plan);
+        assert_eq!(added, 0);
+        assert_eq!(realized.len(), before);
+    }
+}

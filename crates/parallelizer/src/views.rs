@@ -1,0 +1,212 @@
+//! Per-abstraction dependence views.
+//!
+//! Every abstraction is realized as a transformation of the baseline PDG;
+//! the planners and enumerators are abstraction-agnostic and consume the
+//! resulting [`Pdg`] view.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use pspdg_ir::{InstId, LoopId};
+use pspdg_parallel::{DirectiveKind, ParallelProgram};
+use pspdg_pdg::{FunctionAnalyses, Pdg};
+
+/// The program abstraction driving the parallelizer (paper §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Abstraction {
+    /// The programmer-encoded OpenMP plan.
+    OpenMp,
+    /// The PDG over the sequential program.
+    Pdg,
+    /// PDG + worksharing-loop dependence removal (Jensen & Karlsson).
+    Jk,
+    /// The PS-PDG.
+    PsPdg,
+}
+
+impl Abstraction {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Abstraction; 4] =
+        [Abstraction::OpenMp, Abstraction::Pdg, Abstraction::Jk, Abstraction::PsPdg];
+}
+
+impl fmt::Display for Abstraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Abstraction::OpenMp => write!(f, "OpenMP"),
+            Abstraction::Pdg => write!(f, "PDG"),
+            Abstraction::Jk => write!(f, "J&K"),
+            Abstraction::PsPdg => write!(f, "PS-PDG"),
+        }
+    }
+}
+
+/// The plain-PDG view (identity).
+pub fn pdg_view(pdg: &Pdg) -> Pdg {
+    pdg.clone()
+}
+
+/// The Jensen & Karlsson view: worksharing-loop information removes
+/// loop-carried dependences from the PDG \[28\], and nothing else — no
+/// orderless/critical reasoning, no data-property knowledge. Dependences
+/// with an endpoint inside a `critical`/`atomic`/`ordered` region are kept
+/// (the runtime calls those regions lower to are opaque to the analysis).
+pub fn jk_view(program: &ParallelProgram, analyses: &FunctionAnalyses, pdg: &Pdg) -> Pdg {
+    let func = pdg.func;
+    let f = program.module.function(func);
+    // Instructions covered by synchronization constructs stay opaque.
+    let mut synced: BTreeSet<InstId> = BTreeSet::new();
+    for (_, d) in program.directives_in(func) {
+        if matches!(
+            d.kind,
+            DirectiveKind::Critical { .. } | DirectiveKind::Atomic | DirectiveKind::Ordered
+        ) {
+            for &bb in &d.region.blocks {
+                synced.extend(f.block(bb).insts.iter().copied());
+            }
+        }
+    }
+    // Worksharing loops and their instruction sets.
+    let mut ws: Vec<(LoopId, BTreeSet<InstId>)> = Vec::new();
+    for (_, d) in program.directives_in(func) {
+        if !matches!(
+            d.kind,
+            DirectiveKind::For { .. } | DirectiveKind::CilkFor | DirectiveKind::Taskloop | DirectiveKind::Simd
+        ) {
+            continue;
+        }
+        let Some(header) = d.loop_header else { continue };
+        let Some(l) = analyses.forest.loop_ids().find(|l| analyses.forest.info(*l).header == header)
+        else {
+            continue;
+        };
+        let mut insts = BTreeSet::new();
+        for &bb in &d.region.blocks {
+            insts.extend(f.block(bb).insts.iter().copied());
+        }
+        ws.push((l, insts));
+    }
+    // Narrow carried sets (a dependence may still be carried at loops the
+    // programmer did not annotate); drop edges with nothing left.
+    let mut edges = Vec::new();
+    for e in &pdg.edges {
+        let mut e2 = e.clone();
+        let mut keep = true;
+        if e2.kind.is_memory() && !synced.contains(&e2.src) && !synced.contains(&e2.dst) {
+            let gone: Vec<LoopId> = ws
+                .iter()
+                .filter(|(l, insts)| {
+                    e2.kind.carried_at(*l) && insts.contains(&e2.src) && insts.contains(&e2.dst)
+                })
+                .map(|(l, _)| *l)
+                .collect();
+            if !gone.is_empty() {
+                keep = narrow(&mut e2.kind, &gone);
+            }
+        }
+        if keep {
+            edges.push(e2);
+        }
+    }
+    Pdg::from_edges(pdg.func, pdg.len(), edges)
+}
+
+fn narrow(kind: &mut pspdg_pdg::DepKind, gone: &[LoopId]) -> bool {
+    use pspdg_pdg::DepKind;
+    match kind {
+        DepKind::Flow { carried, intra }
+        | DepKind::Anti { carried, intra }
+        | DepKind::Output { carried, intra } => {
+            carried.retain(|l| !gone.contains(l));
+            !carried.is_empty() || *intra
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_frontend::compile;
+
+    #[test]
+    fn jk_removes_worksharing_carried_deps() {
+        let p = compile(
+            r#"
+            int key[64]; int hist[64];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 64; i++) { hist[key[i]] += 1; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let l = a.forest.loop_ids().next().unwrap();
+        let before = pdg.carried_edges(l).count();
+        let jk = jk_view(&p, &a, &pdg);
+        let after = jk.carried_edges(l).count();
+        assert!(after < before, "J&K must remove the histogram's carried deps");
+    }
+
+    #[test]
+    fn jk_keeps_critical_protected_deps() {
+        let p = compile(
+            r#"
+            int key[64]; int hist[64];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 64; i++) {
+                    #pragma omp critical
+                    { hist[key[i]] += 1; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let l = a.forest.loop_ids().next().unwrap();
+        let jk = jk_view(&p, &a, &pdg);
+        // The hist accesses are inside the critical region: J&K cannot
+        // remove their carried deps.
+        let hist_carried = jk
+            .carried_edges(l)
+            .any(|e| matches!(e.base, Some(pspdg_pdg::MemBase::Global(g)) if g.index() == 1));
+        assert!(hist_carried);
+    }
+
+    #[test]
+    fn jk_ignores_unannotated_loops() {
+        let p = compile(
+            r#"
+            int key[64]; int hist[64];
+            void k() {
+                int i;
+                for (i = 0; i < 64; i++) { hist[key[i]] += 1; }
+            }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        let jk = jk_view(&p, &a, &pdg);
+        assert_eq!(jk.edges.len(), pdg.edges.len());
+    }
+
+    #[test]
+    fn abstraction_display() {
+        assert_eq!(Abstraction::OpenMp.to_string(), "OpenMP");
+        assert_eq!(Abstraction::Jk.to_string(), "J&K");
+        assert_eq!(Abstraction::ALL.len(), 4);
+    }
+}

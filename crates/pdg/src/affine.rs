@@ -1,0 +1,429 @@
+//! Affine subscript analysis (a miniature scalar evolution).
+//!
+//! A subscript expression is rewritten as
+//! `c + Σ aₖ·ivₖ + Σ bⱼ·symⱼ`, where `ivₖ` is the value of the canonical
+//! induction variable of enclosing loop `k` and `symⱼ` is a loop-invariant
+//! symbol (a scalar slot never stored inside the analyzed region, or a
+//! parameter value). Failing that, the subscript is *unknown* and dependence
+//! tests fall back to worst-case answers.
+
+use std::collections::BTreeMap;
+
+use pspdg_ir::{BinOp, Function, Inst, InstId, LoopForest, LoopId, Value};
+
+use crate::alias::MemBase;
+use crate::FunctionAnalyses;
+
+/// A loop-invariant symbol appearing in an affine form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymBase {
+    /// The value held by a scalar slot not written inside the region.
+    Slot(MemBase),
+    /// The value of a scalar parameter.
+    ParamVal(usize),
+}
+
+/// An affine expression over induction variables and invariant symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Constant term.
+    pub constant: i64,
+    /// Per-loop induction-variable coefficients (absent = 0).
+    pub iv_terms: BTreeMap<LoopId, i64>,
+    /// Invariant-symbol coefficients (absent = 0).
+    pub sym_terms: BTreeMap<SymBase, i64>,
+}
+
+impl Affine {
+    /// The constant `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine { constant: c, ..Default::default() }
+    }
+
+    /// The single IV term `iv(l)`.
+    pub fn iv(l: LoopId) -> Affine {
+        let mut a = Affine::default();
+        a.iv_terms.insert(l, 1);
+        a
+    }
+
+    /// The single symbol term `sym`.
+    pub fn sym(s: SymBase) -> Affine {
+        let mut a = Affine::default();
+        a.sym_terms.insert(s, 1);
+        a
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (k, v) in &other.iv_terms {
+            *out.iv_terms.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.sym_terms {
+            *out.sym_terms.entry(*k).or_insert(0) += v;
+        }
+        out.normalize();
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// `self * k`.
+    pub fn scale(&self, k: i64) -> Affine {
+        let mut out = Affine {
+            constant: self.constant * k,
+            iv_terms: self.iv_terms.iter().map(|(l, v)| (*l, v * k)).collect(),
+            sym_terms: self.sym_terms.iter().map(|(s, v)| (*s, v * k)).collect(),
+        };
+        out.normalize();
+        out
+    }
+
+    fn normalize(&mut self) {
+        self.iv_terms.retain(|_, v| *v != 0);
+        self.sym_terms.retain(|_, v| *v != 0);
+    }
+
+    /// Whether the form is a pure constant.
+    pub fn is_constant(&self) -> bool {
+        self.iv_terms.is_empty() && self.sym_terms.is_empty()
+    }
+
+    /// Coefficient of loop `l`'s IV.
+    pub fn iv_coeff(&self, l: LoopId) -> i64 {
+        self.iv_terms.get(&l).copied().unwrap_or(0)
+    }
+
+    /// Whether any symbolic (non-IV) term is present.
+    pub fn has_symbols(&self) -> bool {
+        !self.sym_terms.is_empty()
+    }
+}
+
+/// Evaluate `value` (an `i64` expression) as an affine form, relative to the
+/// loop nest rooted at `region`: loads of canonical IVs of loops inside
+/// `region` become IV terms; loads of slots with no stores inside `region`
+/// become symbols.
+///
+/// `region` is usually the outermost loop containing a memory access; pass
+/// `None` to treat the whole function as the region (every IV is a symbol
+/// candidate only if never stored, which is never true — so subscripts
+/// outside any loop become symbols/constants only).
+pub fn affine_of(
+    func: &Function,
+    analyses: &FunctionAnalyses,
+    stores_by_base: &BTreeMap<MemBase, u32>,
+    region: Option<LoopId>,
+    value: Value,
+) -> Option<Affine> {
+    let mut ctx = AffineCx { func, analyses, stores_by_base, region, depth: 0 };
+    ctx.eval(value)
+}
+
+/// Number of stores to each directly-addressed slot inside each loop; used
+/// to decide symbol-ness. Built once per function by
+/// [`stores_by_base_in`].
+pub fn stores_by_base_in(
+    func: &Function,
+    forest: &LoopForest,
+    region: Option<LoopId>,
+) -> BTreeMap<MemBase, u32> {
+    let owner = func.inst_blocks();
+    let mut map = BTreeMap::new();
+    for i in func.inst_ids() {
+        if let Inst::Store { ptr, .. } = &func.inst(i).inst {
+            let Some(bb) = owner[i.index()] else { continue };
+            let in_region = match region {
+                None => true,
+                Some(l) => forest.info(l).contains(bb),
+            };
+            if !in_region {
+                continue;
+            }
+            let base = crate::alias::trace_base(func, *ptr);
+            *map.entry(base).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+struct AffineCx<'a> {
+    func: &'a Function,
+    analyses: &'a FunctionAnalyses,
+    stores_by_base: &'a BTreeMap<MemBase, u32>,
+    region: Option<LoopId>,
+    depth: u32,
+}
+
+impl AffineCx<'_> {
+    fn eval(&mut self, value: Value) -> Option<Affine> {
+        if self.depth > 64 {
+            return None;
+        }
+        self.depth += 1;
+        let out = self.eval_inner(value);
+        self.depth -= 1;
+        out
+    }
+
+    fn eval_inner(&mut self, value: Value) -> Option<Affine> {
+        match value {
+            Value::Const(c) => match c {
+                pspdg_ir::Constant::Int(v) => Some(Affine::constant(v)),
+                _ => None,
+            },
+            Value::Param(p) => Some(Affine::sym(SymBase::ParamVal(p))),
+            Value::Global(_) => None,
+            Value::Inst(i) => self.eval_inst(i),
+        }
+    }
+
+    fn eval_inst(&mut self, i: InstId) -> Option<Affine> {
+        match &self.func.inst(i).inst {
+            Inst::Load { ptr, .. } => {
+                // IV of an enclosing canonical loop?
+                let slot = ptr.as_inst()?;
+                if !matches!(self.func.inst(slot).inst, Inst::Alloca { .. }) {
+                    // Loads through geps (array elements) are not symbols.
+                    return None;
+                }
+                if let Some(l) = self.iv_loop_of(slot, i) {
+                    return Some(Affine::iv(l));
+                }
+                // Invariant slot within the region?
+                let base = MemBase::Alloca(slot);
+                if self.stores_by_base.get(&base).copied().unwrap_or(0) == 0 {
+                    return Some(Affine::sym(SymBase::Slot(base)));
+                }
+                None
+            }
+            Inst::Binary { op, lhs, rhs } => {
+                let l = self.eval(*lhs);
+                let r = self.eval(*rhs);
+                match op {
+                    BinOp::Add => Some(l?.add(&r?)),
+                    BinOp::Sub => Some(l?.sub(&r?)),
+                    BinOp::Mul => {
+                        let (l, r) = (l?, r?);
+                        if l.is_constant() {
+                            Some(r.scale(l.constant))
+                        } else if r.is_constant() {
+                            Some(l.scale(r.constant))
+                        } else {
+                            None
+                        }
+                    }
+                    BinOp::Shl => {
+                        let (l, r) = (l?, r?);
+                        if r.is_constant() && (0..63).contains(&r.constant) {
+                            Some(l.scale(1 << r.constant))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            Inst::Unary { op: pspdg_ir::UnOp::Neg, operand } => {
+                Some(self.eval(*operand)?.scale(-1))
+            }
+            _ => None,
+        }
+    }
+
+    /// If `slot` is the canonical IV alloca of a loop that (a) contains the
+    /// load instruction `at` and (b) lies inside the analyzed region, return
+    /// that loop.
+    fn iv_loop_of(&self, slot: InstId, at: InstId) -> Option<LoopId> {
+        let owner = self.func.inst_blocks();
+        let bb = owner[at.index()]?;
+        for l in self.analyses.forest.nest_of(bb) {
+            if let Some(region) = self.region {
+                if !self.analyses.forest.loop_contains(region, l) {
+                    continue;
+                }
+            }
+            if let Some(canon) = self.analyses.canonical_of(l) {
+                if canon.iv_alloca == slot {
+                    return Some(l);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_frontend::compile;
+    use pspdg_ir::Module;
+
+    fn analyze(src: &str, func: &str) -> (Module, FunctionAnalyses) {
+        let p = compile(src).unwrap();
+        let f = p.module.function_by_name(func).unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        (p.module, a)
+    }
+
+    /// Find the gep feeding the `idx`-th store in the function and return
+    /// its index operand.
+    fn gep_index_of_store(module: &Module, analyses: &FunctionAnalyses, n: usize) -> Value {
+        let func = module.function(analyses.func);
+        let mut count = 0;
+        for i in func.inst_ids() {
+            if let Inst::Store { ptr, .. } = &func.inst(i).inst {
+                if let Some(gi) = ptr.as_inst() {
+                    if let Inst::Gep { index, .. } = &func.inst(gi).inst {
+                        if count == n {
+                            return *index;
+                        }
+                        count += 1;
+                    }
+                }
+            }
+        }
+        panic!("no gep-backed store #{n}");
+    }
+
+    #[test]
+    fn simple_iv_subscript() {
+        let (module, a) = analyze(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 0; i < 64; i++) { v[i] = 0; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let func = module.function(a.func);
+        let l = a.forest.loop_ids().next().unwrap();
+        let stores = stores_by_base_in(func, &a.forest, Some(l));
+        let idx = gep_index_of_store(&module, &a, 0);
+        let aff = affine_of(func, &a, &stores, Some(l), idx).expect("affine");
+        assert_eq!(aff.iv_coeff(l), 1);
+        assert_eq!(aff.constant, 0);
+        assert!(!aff.has_symbols());
+    }
+
+    #[test]
+    fn scaled_and_shifted_subscript() {
+        let (module, a) = analyze(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 0; i < 20; i++) { v[2 * i + 5] = 0; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let func = module.function(a.func);
+        let l = a.forest.loop_ids().next().unwrap();
+        let stores = stores_by_base_in(func, &a.forest, Some(l));
+        let idx = gep_index_of_store(&module, &a, 0);
+        let aff = affine_of(func, &a, &stores, Some(l), idx).expect("affine");
+        assert_eq!(aff.iv_coeff(l), 2);
+        assert_eq!(aff.constant, 5);
+    }
+
+    #[test]
+    fn two_level_nest_uses_both_ivs() {
+        let (module, a) = analyze(
+            r#"
+            int v[1024];
+            void k() {
+                int i; int j;
+                for (i = 0; i < 32; i++) {
+                    for (j = 0; j < 32; j++) { v[32 * i + j] = 0; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let func = module.function(a.func);
+        let outer = a.forest.top_level()[0];
+        let inner = a.forest.info(outer).children[0];
+        let stores = stores_by_base_in(func, &a.forest, Some(outer));
+        let idx = gep_index_of_store(&module, &a, 0);
+        let aff = affine_of(func, &a, &stores, Some(outer), idx).expect("affine");
+        assert_eq!(aff.iv_coeff(outer), 32);
+        assert_eq!(aff.iv_coeff(inner), 1);
+    }
+
+    #[test]
+    fn indirect_subscript_is_not_affine() {
+        let (module, a) = analyze(
+            r#"
+            int key[64];
+            int v[64];
+            void k() { int i; for (i = 0; i < 64; i++) { v[key[i]] = 0; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let func = module.function(a.func);
+        let l = a.forest.loop_ids().next().unwrap();
+        let stores = stores_by_base_in(func, &a.forest, Some(l));
+        let idx = gep_index_of_store(&module, &a, 0);
+        assert!(affine_of(func, &a, &stores, Some(l), idx).is_none());
+    }
+
+    #[test]
+    fn invariant_scalar_becomes_symbol() {
+        let (module, a) = analyze(
+            r#"
+            int v[64];
+            void k(int off) {
+                int i;
+                for (i = 0; i < 32; i++) { v[i + off] = 0; }
+            }
+            int main() { k(1); return 0; }
+            "#,
+            "k",
+        );
+        let func = module.function(a.func);
+        let l = a.forest.loop_ids().next().unwrap();
+        let stores = stores_by_base_in(func, &a.forest, Some(l));
+        let idx = gep_index_of_store(&module, &a, 0);
+        let aff = affine_of(func, &a, &stores, Some(l), idx).expect("affine");
+        assert_eq!(aff.iv_coeff(l), 1);
+        assert!(aff.has_symbols());
+    }
+
+    #[test]
+    fn varying_scalar_is_not_a_symbol() {
+        let (module, a) = analyze(
+            r#"
+            int v[64];
+            void k() {
+                int i; int t = 0;
+                for (i = 0; i < 8; i++) { v[t] = 0; t = t + i; }
+            }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let func = module.function(a.func);
+        let l = a.forest.loop_ids().next().unwrap();
+        let stores = stores_by_base_in(func, &a.forest, Some(l));
+        let idx = gep_index_of_store(&module, &a, 0);
+        assert!(affine_of(func, &a, &stores, Some(l), idx).is_none());
+    }
+
+    #[test]
+    fn affine_arithmetic() {
+        let l = LoopId(0);
+        let a = Affine::iv(l).scale(3).add(&Affine::constant(4));
+        let b = Affine::iv(l).scale(3);
+        let d = a.sub(&b);
+        assert!(d.is_constant());
+        assert_eq!(d.constant, 4);
+        let z = a.sub(&a);
+        assert_eq!(z, Affine::default());
+    }
+}

@@ -1,0 +1,548 @@
+//! The Program Dependence Graph.
+
+use std::collections::{BTreeMap, HashMap};
+
+use pspdg_ir::{FuncId, Inst, InstId, Intrinsic, LoopId, Module, Type, Value};
+
+use crate::affine::{affine_of, stores_by_base_in, Affine};
+use crate::alias::{may_alias, trace_base, MemBase};
+use crate::control::control_dependences;
+use crate::ddtest::{test_dependence, DepTestResult, MemRef};
+use crate::scc::SccDag;
+use crate::FunctionAnalyses;
+
+/// The kind of a PDG edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepKind {
+    /// Control dependence: `dst` executes only if `src` (a branch) takes a
+    /// particular direction.
+    Control,
+    /// Read-after-write through a register operand (never loop-carried in
+    /// this alloca-based IR).
+    Register,
+    /// Read-after-write through memory.
+    Flow {
+        /// Loops at which the dependence is (possibly) carried.
+        carried: Vec<LoopId>,
+        /// Whether an equal-iteration dependence is possible.
+        intra: bool,
+    },
+    /// Write-after-read through memory.
+    Anti {
+        /// Loops at which the dependence is (possibly) carried.
+        carried: Vec<LoopId>,
+        /// Whether an equal-iteration dependence is possible.
+        intra: bool,
+    },
+    /// Write-after-write through memory.
+    Output {
+        /// Loops at which the dependence is (possibly) carried.
+        carried: Vec<LoopId>,
+        /// Whether an equal-iteration dependence is possible.
+        intra: bool,
+    },
+}
+
+impl DepKind {
+    /// Whether this is a memory dependence (flow/anti/output).
+    pub fn is_memory(&self) -> bool {
+        matches!(self, DepKind::Flow { .. } | DepKind::Anti { .. } | DepKind::Output { .. })
+    }
+
+    /// Loops this dependence is carried at (empty for control/register).
+    pub fn carried(&self) -> &[LoopId] {
+        match self {
+            DepKind::Flow { carried, .. }
+            | DepKind::Anti { carried, .. }
+            | DepKind::Output { carried, .. } => carried,
+            _ => &[],
+        }
+    }
+
+    /// Whether the dependence is carried at `l`.
+    pub fn carried_at(&self, l: LoopId) -> bool {
+        self.carried().contains(&l)
+    }
+
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DepKind::Control => "control",
+            DepKind::Register => "register",
+            DepKind::Flow { .. } => "flow",
+            DepKind::Anti { .. } => "anti",
+            DepKind::Output { .. } => "output",
+        }
+    }
+}
+
+/// One dependence edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PdgEdge {
+    /// Producer / controller instruction.
+    pub src: InstId,
+    /// Consumer / controlled instruction.
+    pub dst: InstId,
+    /// Dependence kind and carried classification.
+    pub kind: DepKind,
+    /// For memory dependences, the base object the dependence flows through.
+    pub base: Option<MemBase>,
+}
+
+/// The Program Dependence Graph of one function: a node per instruction and
+/// control/register/memory dependence edges.
+#[derive(Debug, Clone)]
+pub struct Pdg {
+    /// The function this PDG describes.
+    pub func: FuncId,
+    /// All edges.
+    pub edges: Vec<PdgEdge>,
+    /// Outgoing edge indices per instruction.
+    succs: Vec<Vec<u32>>,
+    n_insts: usize,
+}
+
+impl Pdg {
+    /// Build the PDG of `func`.
+    pub fn build(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Pdg {
+        let f = module.function(func);
+        let mut edges: Vec<PdgEdge> = Vec::new();
+
+        // 1. Register dependences.
+        for i in f.inst_ids() {
+            for op in f.inst(i).inst.operands() {
+                if let Value::Inst(d) = op {
+                    edges.push(PdgEdge { src: d, dst: i, kind: DepKind::Register, base: None });
+                }
+            }
+        }
+
+        // 2. Control dependences: the branch terminator of each controlling
+        // block → every instruction of the dependent block.
+        let block_deps = control_dependences(f, &analyses.cfg, &analyses.postdom);
+        for bb in f.block_ids() {
+            for &ctrl in &block_deps[bb.index()] {
+                let Some(term) = f.block(ctrl).insts.last().copied() else { continue };
+                for &i in &f.block(bb).insts {
+                    if i != term {
+                        edges.push(PdgEdge {
+                            src: term,
+                            dst: i,
+                            kind: DepKind::Control,
+                            base: None,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 3. Memory dependences.
+        let refs = collect_mem_refs(module, func, analyses);
+        for (ai, a) in refs.iter().enumerate() {
+            for b in refs.iter().skip(ai) {
+                if !a.is_write && !b.is_write {
+                    continue;
+                }
+                if a.inst == b.inst && !(a.is_write && b.is_write) {
+                    continue;
+                }
+                if !may_alias(a.base, b.base) {
+                    continue;
+                }
+                let common: Vec<LoopId> = analyses
+                    .forest
+                    .nest_of(a.block)
+                    .into_iter()
+                    .filter(|l| analyses.forest.info(*l).contains(b.block))
+                    .collect();
+                let res = test_dependence(analyses, a, b, &common);
+                if !res.dependent {
+                    continue;
+                }
+                push_memory_edges(&mut edges, a, b, &res);
+            }
+        }
+
+        let mut succs = vec![Vec::new(); f.insts.len()];
+        for (idx, e) in edges.iter().enumerate() {
+            succs[e.src.index()].push(idx as u32);
+        }
+        Pdg { func, edges, succs, n_insts: f.insts.len() }
+    }
+
+    /// Assemble a PDG from an explicit edge list (used by abstractions that
+    /// transform a base PDG, e.g. the PS-PDG's effective graph).
+    pub fn from_edges(func: FuncId, n_insts: usize, edges: Vec<PdgEdge>) -> Pdg {
+        let mut succs = vec![Vec::new(); n_insts];
+        for (idx, e) in edges.iter().enumerate() {
+            succs[e.src.index()].push(idx as u32);
+        }
+        Pdg { func, edges, succs, n_insts }
+    }
+
+    /// Number of instruction nodes.
+    pub fn len(&self) -> usize {
+        self.n_insts
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n_insts == 0
+    }
+
+    /// Outgoing edges of `inst`.
+    pub fn edges_from(&self, inst: InstId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.succs[inst.index()].iter().map(move |i| &self.edges[*i as usize])
+    }
+
+    /// A copy of this PDG keeping only edges satisfying `keep` (used by the
+    /// J&K and PS-PDG refinements to drop dependences).
+    pub fn filtered(&self, keep: impl Fn(&PdgEdge) -> bool) -> Pdg {
+        let edges: Vec<PdgEdge> = self.edges.iter().filter(|e| keep(e)).cloned().collect();
+        let mut succs = vec![Vec::new(); self.n_insts];
+        for (idx, e) in edges.iter().enumerate() {
+            succs[e.src.index()].push(idx as u32);
+        }
+        Pdg { func: self.func, edges, succs, n_insts: self.n_insts }
+    }
+
+    /// Edges carried at `l` (the loop-carried dependences of that loop).
+    pub fn carried_edges(&self, l: LoopId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edges.iter().filter(move |e| e.kind.carried_at(l))
+    }
+
+    /// The SCC DAG of loop `l`'s body under this PDG.
+    pub fn loop_sccs(&self, analyses: &FunctionAnalyses, l: LoopId) -> SccDag {
+        crate::scc::loop_scc_dag(self, analyses, l)
+    }
+}
+
+fn push_memory_edges(edges: &mut Vec<PdgEdge>, a: &MemRef, b: &MemRef, res: &DepTestResult) {
+    let carried = res.carried.clone();
+    let intra = res.intra;
+    match (a.is_write, b.is_write) {
+        (true, true) => {
+            edges.push(PdgEdge {
+                src: a.inst,
+                dst: b.inst,
+                kind: DepKind::Output { carried, intra },
+                base: Some(a.base),
+            });
+        }
+        (true, false) => {
+            edges.push(PdgEdge {
+                src: a.inst,
+                dst: b.inst,
+                kind: DepKind::Flow { carried: res.carried.clone(), intra },
+                base: Some(a.base),
+            });
+            edges.push(PdgEdge {
+                src: b.inst,
+                dst: a.inst,
+                kind: DepKind::Anti { carried: res.carried.clone(), intra },
+                base: Some(a.base),
+            });
+        }
+        (false, true) => {
+            edges.push(PdgEdge {
+                src: b.inst,
+                dst: a.inst,
+                kind: DepKind::Flow { carried: res.carried.clone(), intra },
+                base: Some(b.base),
+            });
+            edges.push(PdgEdge {
+                src: a.inst,
+                dst: b.inst,
+                kind: DepKind::Anti { carried: res.carried.clone(), intra },
+                base: Some(b.base),
+            });
+        }
+        (false, false) => {}
+    }
+}
+
+/// Collect every memory reference of `func` with its affine subscript.
+pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Vec<MemRef> {
+    let f = module.function(func);
+    let owner = f.inst_blocks();
+    // Pre-compute per-region invariance maps: one per top-level loop plus
+    // one for code outside loops.
+    let mut region_stores: HashMap<Option<LoopId>, BTreeMap<MemBase, u32>> = HashMap::new();
+    region_stores.insert(None, stores_by_base_in(f, &analyses.forest, None));
+    for t in analyses.forest.top_level() {
+        region_stores.insert(Some(t), stores_by_base_in(f, &analyses.forest, Some(t)));
+    }
+    let region_of = |bb: pspdg_ir::BlockId| -> Option<LoopId> {
+        analyses.forest.nest_of(bb).last().copied()
+    };
+
+    let mut refs = Vec::new();
+    for i in f.inst_ids() {
+        let Some(bb) = owner[i.index()] else { continue };
+        let region = region_of(bb);
+        let stores = &region_stores[&region];
+        match &f.inst(i).inst {
+            Inst::Load { ptr, .. } => {
+                let base = trace_base(f, *ptr);
+                let subscript = address_affine(module, f, analyses, stores, region, *ptr);
+                refs.push(MemRef { inst: i, base, is_write: false, subscript, block: bb, region });
+            }
+            Inst::Store { ptr, .. } => {
+                let base = trace_base(f, *ptr);
+                let subscript = address_affine(module, f, analyses, stores, region, *ptr);
+                refs.push(MemRef { inst: i, base, is_write: true, subscript, block: bb, region });
+            }
+            Inst::Call { .. } => {
+                // Unknown side effects: reads and writes everything.
+                refs.push(MemRef {
+                    inst: i,
+                    base: MemBase::Unknown,
+                    is_write: true,
+                    subscript: None,
+                    block: bb,
+                    region,
+                });
+            }
+            Inst::IntrinsicCall { intrinsic, .. } => {
+                if matches!(intrinsic, Intrinsic::PrintI64 | Intrinsic::PrintF64) {
+                    refs.push(MemRef {
+                        inst: i,
+                        base: MemBase::Io,
+                        is_write: true,
+                        subscript: None,
+                        block: bb,
+                        region,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    refs
+}
+
+/// Affine cell offset of an address value relative to its base object.
+fn address_affine(
+    module: &Module,
+    f: &pspdg_ir::Function,
+    analyses: &FunctionAnalyses,
+    stores: &BTreeMap<MemBase, u32>,
+    region: Option<LoopId>,
+    ptr: Value,
+) -> Option<Affine> {
+    match ptr {
+        Value::Global(_) | Value::Param(_) => Some(Affine::constant(0)),
+        Value::Inst(i) => match &f.inst(i).inst {
+            Inst::Alloca { .. } => Some(Affine::constant(0)),
+            Inst::Gep { base, index, elem_ty } => {
+                let b = address_affine(module, f, analyses, stores, region, *base)?;
+                let idx = affine_of(f, analyses, stores, region, *index)?;
+                Some(b.add(&idx.scale(elem_ty.flat_len() as i64)))
+            }
+            _ => None,
+        },
+        Value::Const(_) => None,
+    }
+}
+
+/// Pretty-print edge statistics (diagnostics, golden tests).
+pub fn edge_summary(pdg: &Pdg) -> String {
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut carried = 0usize;
+    for e in &pdg.edges {
+        *by_kind.entry(e.kind.name()).or_insert(0) += 1;
+        if !e.kind.carried().is_empty() {
+            carried += 1;
+        }
+    }
+    let mut s = String::new();
+    for (k, v) in by_kind {
+        s.push_str(&format!("{k}: {v}\n"));
+    }
+    s.push_str(&format!("carried: {carried}\n"));
+    s
+}
+
+/// Unused but kept for parity with `Type::flat_len` callers.
+#[allow(dead_code)]
+fn scalar_size(_ty: &Type) -> u64 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_frontend::compile;
+
+    fn pdg_for(src: &str, name: &str) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, Pdg) {
+        let p = compile(src).unwrap();
+        let f = p.module.function_by_name(name).unwrap();
+        let a = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &a);
+        (p, a, pdg)
+    }
+
+    #[test]
+    fn independent_loop_has_no_carried_array_dep() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 0; i < 64; i++) { v[i] = i; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        // carried edges exist only through the induction variable slot.
+        for e in pdg.carried_edges(l) {
+            match e.base {
+                Some(MemBase::Alloca(slot)) => {
+                    let canon = a.canonical_of(l).unwrap();
+                    assert_eq!(slot, canon.iv_alloca, "unexpected carried edge {e:?}");
+                }
+                other => panic!("unexpected carried edge base {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_has_carried_flow_dep() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 1; i < 64; i++) { v[i] = v[i - 1] + 1; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let canon = a.canonical_of(l).unwrap();
+        let has_array_carried_flow = pdg.carried_edges(l).any(|e| {
+            matches!(e.kind, DepKind::Flow { .. })
+                && e.base.is_some_and(|b| match b {
+                    MemBase::Global(_) => true,
+                    MemBase::Alloca(s) => s != canon.iv_alloca,
+                    _ => false,
+                })
+        });
+        assert!(has_array_carried_flow, "v[i] = v[i-1] must be carried");
+    }
+
+    #[test]
+    fn scalar_accumulation_is_carried() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            int v[64];
+            int s;
+            void k() { int i; for (i = 0; i < 64; i++) { s += v[i]; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let has_carried_on_s = pdg
+            .carried_edges(l)
+            .any(|e| matches!(e.base, Some(MemBase::Global(_))));
+        assert!(has_carried_on_s);
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_interfere() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            int x[64];
+            int y[64];
+            void k() { int i; for (i = 0; i < 64; i++) { x[i] = y[i]; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let canon = a.canonical_of(l).unwrap();
+        assert!(pdg
+            .carried_edges(l)
+            .all(|e| e.base == Some(MemBase::Alloca(canon.iv_alloca))));
+    }
+
+    #[test]
+    fn indirect_subscript_is_conservatively_carried() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            int key[64];
+            int hist[64];
+            void k() { int i; for (i = 0; i < 64; i++) { hist[key[i]] += 1; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let has_carried_hist = pdg.carried_edges(l).any(|e| {
+            matches!(e.base, Some(MemBase::Global(g)) if g.index() == 1)
+        });
+        assert!(has_carried_hist, "hist[key[i]] must be conservatively carried");
+    }
+
+    #[test]
+    fn register_and_control_edges_exist() {
+        let (_, _, pdg) = pdg_for(
+            r#"
+            void k(int n) { if (n > 0) { n = n + 1; } }
+            int main() { k(1); return 0; }
+            "#,
+            "k",
+        );
+        assert!(pdg.edges.iter().any(|e| e.kind == DepKind::Register));
+        assert!(pdg.edges.iter().any(|e| e.kind == DepKind::Control));
+    }
+
+    #[test]
+    fn calls_serialize_with_memory() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            int v[8];
+            void touch() { v[0] = 1; }
+            void k() { int i; for (i = 0; i < 8; i++) { touch(); v[i] = 2; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        // The call conservatively conflicts with v's stores, carried.
+        let call_carried = pdg
+            .carried_edges(l)
+            .any(|e| matches!(e.base, Some(MemBase::Unknown)));
+        assert!(call_carried);
+    }
+
+    #[test]
+    fn prints_serialize_with_each_other() {
+        let (_, a, pdg) = pdg_for(
+            r#"
+            void k() { int i; for (i = 0; i < 4; i++) { print_i64(i); } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let l = a.forest.loop_ids().next().unwrap();
+        let io_carried = pdg
+            .carried_edges(l)
+            .any(|e| matches!(e.base, Some(MemBase::Io)));
+        assert!(io_carried);
+    }
+
+    #[test]
+    fn filtered_removes_edges() {
+        let (_, _, pdg) = pdg_for(
+            r#"
+            int s;
+            void k() { int i; for (i = 0; i < 4; i++) { s += i; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let total = pdg.edges.len();
+        let no_mem = pdg.filtered(|e| !e.kind.is_memory());
+        assert!(no_mem.edges.len() < total);
+        assert!(no_mem.edges.iter().all(|e| !e.kind.is_memory()));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the dependence machinery: affine algebra laws, and
+//! the strong-SIV classification checked against brute-force iteration
+//! enumeration through the *whole pipeline* (source → IR → PDG).
+
+use proptest::prelude::*;
+use pspdg_frontend::compile;
+use pspdg_pdg::{Affine, DepKind, FunctionAnalyses, MemBase, Pdg, SymBase};
+use pspdg_ir::LoopId;
+
+fn arb_affine() -> impl Strategy<Value = Affine> {
+    (
+        -50i64..50,
+        proptest::collection::vec((0u32..4, -6i64..6), 0..3),
+        proptest::collection::vec((0usize..3, -6i64..6), 0..2),
+    )
+        .prop_map(|(c, ivs, syms)| {
+            let mut a = Affine::constant(c);
+            for (l, k) in ivs {
+                a = a.add(&Affine::iv(LoopId(l)).scale(k));
+            }
+            for (s, k) in syms {
+                a = a.add(&Affine::sym(SymBase::ParamVal(s)).scale(k));
+            }
+            a
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn affine_sub_self_is_zero(a in arb_affine()) {
+        let z = a.sub(&a);
+        prop_assert!(z.is_constant());
+        prop_assert_eq!(z.constant, 0);
+    }
+
+    #[test]
+    fn affine_add_sub_roundtrip(a in arb_affine(), b in arb_affine()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn affine_add_commutes(a in arb_affine(), b in arb_affine()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn affine_scale_distributes(a in arb_affine(), b in arb_affine(), k in -5i64..5) {
+        prop_assert_eq!(a.add(&b).scale(k), a.scale(k).add(&b.scale(k)));
+    }
+
+    #[test]
+    fn affine_normalization_drops_zero_terms(a in arb_affine()) {
+        prop_assert!(a.iv_terms.values().all(|v| *v != 0));
+        prop_assert!(a.sym_terms.values().all(|v| *v != 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `v[a·i + c1] = v[a·i + c2] + 1` in a loop of trip `t`: the pipeline's
+    /// carried-dependence verdict must match brute-force enumeration
+    /// exactly (strong SIV with known trip counts is precise).
+    #[test]
+    fn strong_siv_matches_brute_force(
+        a in 1i64..4,
+        c1 in 0i64..8,
+        c2 in 0i64..8,
+        t in 4i64..12,
+    ) {
+        let src = format!(
+            r#"
+            int v[128];
+            void k() {{
+                int i;
+                for (i = 0; i < {t}; i++) {{ v[{a} * i + {c1}] = v[{a} * i + {c2}] + 1; }}
+            }}
+            int main() {{ k(); return 0; }}
+            "#
+        );
+        let p = compile(&src).unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let analyses = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &analyses);
+        let l = analyses.forest.loop_ids().next().unwrap();
+
+        // Brute force: is there i1 ≠ i2 with a·i1 + c1 == a·i2 + c2 ?
+        let mut expect_carried = false;
+        for i1 in 0..t {
+            for i2 in 0..t {
+                if i1 != i2 && a * i1 + c1 == a * i2 + c2 {
+                    expect_carried = true;
+                }
+            }
+        }
+        let got_carried = pdg.carried_edges(l).any(|e| {
+            matches!(e.base, Some(MemBase::Global(_)))
+                && matches!(e.kind, DepKind::Flow { .. } | DepKind::Anti { .. })
+        });
+        prop_assert_eq!(
+            got_carried, expect_carried,
+            "a={} c1={} c2={} t={}", a, c1, c2, t
+        );
+    }
+
+    /// Writes to `v[a·i + c]` never self-conflict across iterations when
+    /// a ≠ 0 (the address is injective in i).
+    #[test]
+    fn injective_writes_have_no_carried_output(a in 1i64..5, c in 0i64..8, t in 4i64..12) {
+        let src = format!(
+            r#"
+            int v[128];
+            void k() {{
+                int i;
+                for (i = 0; i < {t}; i++) {{ v[{a} * i + {c}] = i; }}
+            }}
+            int main() {{ k(); return 0; }}
+            "#
+        );
+        let p = compile(&src).unwrap();
+        let f = p.module.function_by_name("k").unwrap();
+        let analyses = FunctionAnalyses::compute(&p.module, f);
+        let pdg = Pdg::build(&p.module, f, &analyses);
+        let l = analyses.forest.loop_ids().next().unwrap();
+        let carried_output = pdg.carried_edges(l).any(|e| {
+            matches!(e.base, Some(MemBase::Global(_))) && matches!(e.kind, DepKind::Output { .. })
+        });
+        prop_assert!(!carried_output);
+    }
+}

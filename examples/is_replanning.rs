@@ -1,0 +1,63 @@
+//! The paper's Fig. 3 walk-through: the IS kernel, the plan the programmer
+//! encoded, and the better plan the compiler can select once it sees the
+//! precise parallel constraints through the PS-PDG.
+//!
+//! ```sh
+//! cargo run --release --example is_replanning
+//! ```
+
+use pspdg::emulator::compare_plans;
+use pspdg::nas::{benchmark, Class};
+use pspdg::parallelizer::{build_plan, Abstraction};
+use pspdg::ir::interp::{Interpreter, NullSink};
+
+fn main() {
+    let is = benchmark("IS", Class::Test).expect("IS exists");
+    println!("IS — the paper's running example (Fig. 3)");
+    println!("{}", "-".repeat(64));
+    println!("{}", is.description);
+    println!();
+
+    let program = is.program();
+    let mut interp = Interpreter::new(&program.module);
+    interp.run_main(&mut NullSink).expect("runs");
+    let profile = interp.profile().clone();
+
+    // What each abstraction plans for the kernel's loops.
+    for a in Abstraction::ALL {
+        let plan = build_plan(&program, &profile, a, 0.01);
+        println!("{a} plan: {} parallel loops, {} mutex groups", plan.len(), plan.mutexes.len());
+        let mut specs: Vec<_> = plan.loops.values().collect();
+        specs.sort_by_key(|s| (s.func.0, s.loop_id.0));
+        for spec in specs {
+            let fname = &program.module.function(spec.func).name;
+            println!(
+                "    {}::loop{} -> {} (discharges {} objects{})",
+                fname,
+                spec.loop_id.0,
+                spec.technique.name(),
+                spec.ignored_bases.len(),
+                if spec.reduction_bases.is_empty() { "" } else { ", reduction merge" },
+            );
+        }
+    }
+    println!();
+
+    // The resulting critical paths on the ideal machine (Fig. 14 row).
+    let row = compare_plans("IS", &program).expect("emulates");
+    println!("ideal-machine critical paths:");
+    for (a, r) in &row.results {
+        println!(
+            "    {:<7} CP = {:>8}   ({:.2}x over OpenMP, parallelism {:.1})",
+            a.to_string(),
+            r.critical_path,
+            row.reduction_over_openmp(*a),
+            r.parallelism()
+        );
+    }
+    println!();
+    println!("The PS-PDG plan keeps the programmer's loop-2 parallelism, adds the");
+    println!("loops the programmer left sequential, and drops the critical-section");
+    println!("serialization where the protected accesses are provably disjoint —");
+    println!("exactly the compiler-selected plan of Fig. 3 (right).");
+}

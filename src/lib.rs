@@ -1,0 +1,19 @@
+//! # pspdg — facade crate for the PS-PDG reproduction
+//!
+//! Re-exports every crate of the workspace under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use pspdg::ir::Module;
+//! let m = Module::new("hello");
+//! assert_eq!(m.size(), 0);
+//! ```
+
+pub use pspdg_core as core;
+pub use pspdg_emulator as emulator;
+pub use pspdg_frontend as frontend;
+pub use pspdg_ir as ir;
+pub use pspdg_nas as nas;
+pub use pspdg_parallel as parallel;
+pub use pspdg_parallelizer as parallelizer;
+pub use pspdg_pdg as pdg;

@@ -1,0 +1,111 @@
+//! The NAS suite as an integration test: every kernel compiles, runs,
+//! enumerates, and emulates; the paper's headline shapes hold at test
+//! scale.
+
+use pspdg::emulator::compare_plans;
+use pspdg::ir::interp::{Interpreter, NullSink};
+use pspdg::nas::{suite, Class};
+use pspdg::parallelizer::{enumerate_program, Abstraction, MachineModel};
+
+#[test]
+fn all_benchmarks_execute_deterministically() {
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let mut i1 = Interpreter::new(&p.module);
+        i1.run_main(&mut NullSink).unwrap_or_else(|e| panic!("{} fails: {e}", b.name));
+        let mut i2 = Interpreter::new(&p.module);
+        i2.run_main(&mut NullSink).unwrap();
+        assert_eq!(i1.output(), i2.output(), "{} must be deterministic", b.name);
+        assert_eq!(i1.steps(), i2.steps());
+    }
+}
+
+#[test]
+fn fig13_shape_holds_in_aggregate() {
+    let machine = MachineModel::paper();
+    let mut totals = std::collections::BTreeMap::new();
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        let opts = enumerate_program(&p, interp.profile(), &machine, 0.01);
+        for a in Abstraction::ALL {
+            *totals.entry(a).or_insert(0u64) += opts.total(a);
+        }
+    }
+    // Aggregate ordering of Fig. 13.
+    assert!(totals[&Abstraction::PsPdg] > totals[&Abstraction::Jk]);
+    assert!(totals[&Abstraction::Jk] > totals[&Abstraction::Pdg]);
+    assert!(totals[&Abstraction::PsPdg] > totals[&Abstraction::OpenMp]);
+}
+
+#[test]
+fn fig14_shape_holds_per_benchmark() {
+    for b in suite(Class::Test) {
+        let row = compare_plans(b.name, &b.program())
+            .unwrap_or_else(|e| panic!("{} fails to emulate: {e}", b.name));
+        // "The PS-PDG ensures no loss of parallelism."
+        assert!(
+            row.reduction_over_openmp(Abstraction::PsPdg) >= 0.999,
+            "{}: PS-PDG lost programmer parallelism ({:.3})",
+            b.name,
+            row.reduction_over_openmp(Abstraction::PsPdg)
+        );
+        // J&K never beats the PS-PDG and never loses to the plain PDG by
+        // having *more* constraints (both use the same planner).
+        assert!(
+            row.critical_path(Abstraction::PsPdg) <= row.critical_path(Abstraction::Jk),
+            "{}: PS-PDG must subsume J&K",
+            b.name
+        );
+        assert!(
+            row.critical_path(Abstraction::Jk) <= row.critical_path(Abstraction::Pdg),
+            "{}: J&K must subsume the PDG",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn is_gap_between_jk_and_pspdg() {
+    // §6.3: "workshare improved loop dependence analysis with the PDG (J&K)
+    // is unable to unlock as much parallelization potential as the PS-PDG
+    // (e.g., IS)."
+    let b = pspdg::nas::benchmark("IS", Class::Test).unwrap();
+    let row = compare_plans("IS", &b.program()).unwrap();
+    assert!(
+        row.critical_path(Abstraction::PsPdg) < row.critical_path(Abstraction::Jk),
+        "IS: PS-PDG ({}) must beat J&K ({})",
+        row.critical_path(Abstraction::PsPdg),
+        row.critical_path(Abstraction::Jk)
+    );
+}
+
+#[test]
+fn mg_gap_between_jk_and_pspdg_options() {
+    // §6.2: "utilizing the PDG with workshare improved loop dependence
+    // analysis is insufficient to match the PS-PDG, as seen in the MG
+    // benchmark."
+    let machine = MachineModel::paper();
+    let b = pspdg::nas::benchmark("MG", Class::Test).unwrap();
+    let p = b.program();
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).unwrap();
+    let opts = enumerate_program(&p, interp.profile(), &machine, 0.01);
+    assert!(
+        opts.total(Abstraction::PsPdg) > opts.total(Abstraction::Jk),
+        "MG: PS-PDG options ({}) must exceed J&K ({})",
+        opts.total(Abstraction::PsPdg),
+        opts.total(Abstraction::Jk)
+    );
+}
+
+#[test]
+fn ep_preserves_programmer_parallelism_exactly() {
+    // §6.3: "for benchmarks with good parallelization coverage by the
+    // programmer (e.g., EP), the PS-PDG ensures no loss of parallelism."
+    let b = pspdg::nas::benchmark("EP", Class::Test).unwrap();
+    let row = compare_plans("EP", &b.program()).unwrap();
+    let r = row.reduction_over_openmp(Abstraction::PsPdg);
+    assert!((0.999..=1.5).contains(&r), "EP PS-PDG reduction {r} should be ≈ 1");
+}

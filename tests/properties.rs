@@ -1,0 +1,161 @@
+//! Property-based tests over the whole stack: randomly generated ParC
+//! programs are compiled, verified, executed against a Rust-side oracle,
+//! and scheduled on the ideal machine.
+
+use proptest::prelude::*;
+use pspdg::emulator::emulate;
+use pspdg::frontend::compile;
+use pspdg::ir::interp::{Interpreter, NullSink, RtVal};
+use pspdg::parallelizer::{build_plan, Abstraction};
+
+// ---------------------------------------------------------------------
+// Random integer expressions with a Rust oracle.
+// ---------------------------------------------------------------------
+
+/// An expression tree that renders to ParC and evaluates in Rust.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i64),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Rem(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    Min(Box<Expr>, Box<Expr>),
+    Max(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::Lit(v) => format!("{v}"),
+            Expr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            Expr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            Expr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            Expr::Div(a, b) => format!("({} / {})", a.render(), b.render()),
+            Expr::Rem(a, b) => format!("({} % {})", a.render(), b.render()),
+            // The space matters: `(- -5)`, not `(--5)` (predecrement).
+            Expr::Neg(a) => format!("(- {})", a.render()),
+            Expr::Min(a, b) => format!("imin({}, {})", a.render(), b.render()),
+            Expr::Max(a, b) => format!("imax({}, {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Lit(v) => *v,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            Expr::Div(a, b) => {
+                let d = b.eval();
+                if d == 0 { 0 } else { a.eval().wrapping_div(d) }
+            }
+            Expr::Rem(a, b) => {
+                let d = b.eval();
+                if d == 0 { 0 } else { a.eval().wrapping_rem(d) }
+            }
+            Expr::Neg(a) => a.eval().wrapping_neg(),
+            Expr::Min(a, b) => a.eval().min(b.eval()),
+            Expr::Max(a, b) => a.eval().max(b.eval()),
+        }
+    }
+
+    /// Whether any division/remainder by zero occurs (skipped cases).
+    fn divides_by_zero(&self) -> bool {
+        match self {
+            Expr::Lit(_) => false,
+            Expr::Div(a, b) | Expr::Rem(a, b) => {
+                b.eval() == 0 || a.divides_by_zero() || b.divides_by_zero()
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+                a.divides_by_zero() || b.divides_by_zero()
+            }
+            Expr::Neg(a) => a.divides_by_zero(),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-100i64..100).prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Rem(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expressions_match_the_oracle(e in arb_expr()) {
+        prop_assume!(!e.divides_by_zero());
+        let src = format!("int main() {{ return {}; }}", e.render());
+        let p = compile(&src).expect("generated expression compiles");
+        let mut interp = Interpreter::new(&p.module);
+        let got = interp.run(p.module.function_by_name("main").unwrap(), &[]).expect("runs");
+        prop_assert_eq!(got, Some(RtVal::Int(e.eval())));
+    }
+
+    #[test]
+    fn loop_sums_match_closed_form(n in 1i64..60, step in 1i64..5, init in -10i64..10) {
+        let src = format!(
+            "int main() {{ int i; int s = 0; for (i = {init}; i < {n}; i += {step}) {{ s += i; }} return s; }}"
+        );
+        let p = compile(&src).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        let got = interp.run(p.module.function_by_name("main").unwrap(), &[]).unwrap();
+        let mut expect = 0i64;
+        let mut i = init;
+        while i < n { expect += i; i += step; }
+        prop_assert_eq!(got, Some(RtVal::Int(expect)));
+    }
+
+    #[test]
+    fn emulated_critical_path_is_sound(n in 2i64..40, par in proptest::bool::ANY) {
+        // A loop that is parallel (distinct cells) or sequential (an
+        // accumulator), with or without an annotation.
+        let pragma = if par { "#pragma omp parallel for" } else { "" };
+        let src = format!(
+            "int a[64]; int main() {{ int i;\n{pragma}\nfor (i = 0; i < {n}; i++) {{ a[i] = i * 2; }} return a[0]; }}"
+        );
+        let p = compile(&src).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        for a in Abstraction::ALL {
+            let plan = build_plan(&p, interp.profile(), a, 0.01);
+            let r = emulate(&p, &plan).unwrap();
+            // CP bounded by the trace and by a minimal chain (the loop
+            // control of at least one iteration must run).
+            prop_assert!(r.critical_path <= r.total_steps);
+            prop_assert!(r.critical_path >= 3);
+        }
+    }
+
+    #[test]
+    fn doall_speedup_grows_with_trip_count(n in 8u32..64) {
+        // The compiler-parallelized loop's CP stays ~constant while the
+        // sequential plan's grows linearly.
+        let src = format!(
+            "int a[64]; int main() {{ int i; for (i = 0; i < {n}; i++) {{ a[i] = i * 2 + 1; }} return a[0]; }}"
+        );
+        let p = compile(&src).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        let seq = build_plan(&p, interp.profile(), Abstraction::OpenMp, 0.01); // empty plan
+        let par = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+        let r_seq = emulate(&p, &seq).unwrap();
+        let r_par = emulate(&p, &par).unwrap();
+        prop_assert_eq!(r_seq.critical_path, r_seq.total_steps);
+        prop_assert!(r_par.critical_path < r_seq.critical_path);
+    }
+}

@@ -1,0 +1,37 @@
+//! Printer ↔ parser round trips across the whole stack: every NAS kernel's
+//! lowered IR survives print → parse → print unchanged, and the reparsed
+//! module behaves identically under the interpreter.
+
+use pspdg::ir::interp::{Interpreter, NullSink};
+use pspdg::ir::parse_module;
+use pspdg::nas::{suite, Class};
+
+#[test]
+fn nas_modules_roundtrip_to_a_normal_form() {
+    // Parsing renumbers instructions densely in reading order (the printer
+    // omits the ids of void instructions), so one parse+print cycle
+    // *normalizes* the text; after that, parse+print is the identity.
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let text0 = p.module.to_string();
+        let m1 = parse_module(&text0).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
+        m1.verify().unwrap_or_else(|e| panic!("{}: reparsed verify: {e}", b.name));
+        let text1 = m1.to_string();
+        let m2 = parse_module(&text1).unwrap();
+        assert_eq!(m2.to_string(), text1, "{}: normal form must be stable", b.name);
+    }
+}
+
+#[test]
+fn reparsed_modules_execute_identically() {
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let reparsed = parse_module(&p.module.to_string()).unwrap();
+        let mut i1 = Interpreter::new(&p.module);
+        i1.run_main(&mut NullSink).unwrap();
+        let mut i2 = Interpreter::new(&reparsed);
+        i2.run_main(&mut NullSink).unwrap();
+        assert_eq!(i1.output(), i2.output(), "{}: outputs differ after reparse", b.name);
+        assert_eq!(i1.steps(), i2.steps(), "{}: step counts differ after reparse", b.name);
+    }
+}

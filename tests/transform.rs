@@ -1,0 +1,62 @@
+//! The enabling transformations of Fig. 12 must preserve semantics and keep
+//! directive metadata valid across the whole NAS suite.
+
+use pspdg::ir::interp::{Interpreter, NullSink};
+use pspdg::ir::transform::{eliminate_dead_code, fold_constants};
+use pspdg::nas::{suite, Class};
+
+#[test]
+fn folding_preserves_nas_semantics_and_directives() {
+    for b in suite(Class::Test) {
+        let p = b.program();
+        let mut before = Interpreter::new(&p.module);
+        before.run_main(&mut NullSink).unwrap();
+
+        let mut transformed = p.clone();
+        let mut total_folded = 0;
+        let mut total_removed = 0;
+        for f in transformed.module.function_ids().collect::<Vec<_>>() {
+            if transformed.module.function(f).blocks.is_empty() {
+                continue;
+            }
+            total_folded += fold_constants(transformed.module.function_mut(f));
+            total_removed += eliminate_dead_code(transformed.module.function_mut(f));
+        }
+        // The metadata survives (Fig. 12: "while maintaining the metadata").
+        transformed
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: directives broke: {e}", b.name));
+        let mut after = Interpreter::new(&transformed.module);
+        after.run_main(&mut NullSink).unwrap();
+        assert_eq!(before.output(), after.output(), "{}: output changed", b.name);
+        assert!(
+            after.steps() <= before.steps(),
+            "{}: transformation must not add work",
+            b.name
+        );
+        let _ = (total_folded, total_removed);
+    }
+}
+
+#[test]
+fn folding_shrinks_constant_heavy_code() {
+    let p = pspdg::frontend::compile(
+        r#"
+        int main() {
+            int x = (3 + 4) * (10 - 2);
+            return x / (1 + 1);
+        }
+        "#,
+    )
+    .unwrap();
+    let mut m = p.module.clone();
+    let f = m.function_by_name("main").unwrap();
+    let folded = fold_constants(m.function_mut(f));
+    let removed = eliminate_dead_code(m.function_mut(f));
+    assert!(folded > 0);
+    assert!(removed > 0);
+    assert!(m.function(f).size() < p.module.function(f).size());
+    let mut i = Interpreter::new(&m);
+    let r = i.run(f, &[]).unwrap();
+    assert_eq!(r, Some(pspdg::ir::interp::RtVal::Int(28)));
+}
