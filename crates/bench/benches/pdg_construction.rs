@@ -1,5 +1,7 @@
 //! Criterion micro-benchmark: PDG construction (alias analysis, affine
-//! subscripts, dependence tests, control dependence) per NAS kernel.
+//! subscripts, dependence tests, control dependence) per NAS kernel —
+//! bucketed builder vs the naive all-pairs oracle, plus the
+//! whole-module parallel driver.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pspdg_nas::{suite, Class};
@@ -21,6 +23,16 @@ fn bench_pdg(c: &mut Criterion) {
                     black_box(Pdg::build(&p.module, *f, a));
                 }
             })
+        });
+        group.bench_function(format!("{}_naive_oracle", b.name), |bench| {
+            bench.iter(|| {
+                for (f, a) in &funcs {
+                    black_box(Pdg::build_naive(&p.module, *f, a));
+                }
+            })
+        });
+        group.bench_function(format!("{}_module_parallel", b.name), |bench| {
+            bench.iter(|| black_box(Pdg::build_module(&p.module)))
         });
     }
     group.finish();

@@ -3,7 +3,7 @@
 //! + dependence discharges).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use pspdg_core::{build_pspdg, FeatureSet};
+use pspdg_core::{build_pspdg, build_pspdg_module, FeatureSet};
 use pspdg_nas::{suite, Class};
 use pspdg_pdg::{FunctionAnalyses, Pdg};
 use std::hint::black_box;
@@ -27,6 +27,11 @@ fn bench_pspdg(c: &mut Criterion) {
                     black_box(build_pspdg(&p, *f, a, pdg, FeatureSet::all()));
                 }
             })
+        });
+        // Whole pipeline (analyses + PDG + PS-PDG) through the parallel
+        // module driver.
+        group.bench_function(format!("{}_module_parallel", b.name), |bench| {
+            bench.iter(|| black_box(build_pspdg_module(&p, FeatureSet::all())))
         });
     }
     group.finish();

@@ -11,7 +11,10 @@ fn main() {
     let machine = MachineModel::paper();
     let mut variants: Vec<(String, FeatureSet)> = vec![("full".into(), FeatureSet::all())];
     for f in Feature::ALL {
-        variants.push((format!("w/o {}", f.short_name()), FeatureSet::all().without(f)));
+        variants.push((
+            format!("w/o {}", f.short_name()),
+            FeatureSet::all().without(f),
+        ));
     }
     variants.push(("none".into(), FeatureSet::none()));
 
@@ -31,13 +34,8 @@ fn main() {
         interp.run_main(&mut NullSink).expect("benchmark executes");
         print!("{:<6}", b.name);
         for (i, (_, features)) in variants.iter().enumerate() {
-            let opts = enumerate_program_with_features(
-                &p,
-                interp.profile(),
-                &machine,
-                0.01,
-                *features,
-            );
+            let opts =
+                enumerate_program_with_features(&p, interp.profile(), &machine, 0.01, *features);
             let n = opts.total(Abstraction::PsPdg);
             totals[i] += n;
             print!(" {n:>10}");

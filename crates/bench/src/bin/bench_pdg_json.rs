@@ -1,0 +1,135 @@
+//! Writes `BENCH_pdg.json`: per-kernel PDG-construction timings for the
+//! NAS `Class::Test` suite, comparing the naive all-pairs oracle against
+//! the bucketed builder and the rayon-parallel module driver.
+//!
+//! Run from the repository root (or pass an output path):
+//!
+//! ```text
+//! cargo run --release -p pspdg-bench --bin bench_pdg_json [-- OUT.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pspdg_frontend::compile;
+use pspdg_nas::{suite, Class};
+use pspdg_parallel::ParallelProgram;
+use pspdg_pdg::{FunctionAnalyses, Pdg};
+
+/// A synthetic kernel with many distinct base objects (`n` arrays, each
+/// swept by its own loop). Cross-base reference pairs dominate here, so it
+/// exposes the asymptotic O(R²) → O(Σ bucket²) difference the NAS
+/// kernels (few dozen refs each) are too small to show.
+fn synthetic_wide(n: usize) -> ParallelProgram {
+    let mut src = String::new();
+    for k in 0..n {
+        src.push_str(&format!("int w{k}[64];\n"));
+    }
+    src.push_str("void k() {\n");
+    for k in 0..n {
+        src.push_str(&format!(
+            "int i{k}; for (i{k} = 1; i{k} < 64; i{k}++) {{ w{k}[i{k}] = w{k}[i{k} - 1] + {k}; }}\n"
+        ));
+    }
+    src.push_str("}\nint main() { k(); return 0; }\n");
+    compile(&src).expect("synthetic kernel compiles")
+}
+
+/// One timed run of `f`, in nanoseconds.
+fn one_run_ns<T>(f: &mut impl FnMut() -> T) -> u64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_nanos() as u64
+}
+
+/// Best-of-`samples` wall time for each of three routines, sampled
+/// interleaved so machine noise (frequency scaling, other processes) hits
+/// all three equally instead of whichever ran last.
+fn time3<A, B, C>(
+    samples: usize,
+    mut a: impl FnMut() -> A,
+    mut b: impl FnMut() -> B,
+    mut c: impl FnMut() -> C,
+) -> (u64, u64, u64) {
+    // Warm-up round (page in code and data).
+    let _ = (one_run_ns(&mut a), one_run_ns(&mut b), one_run_ns(&mut c));
+    let (mut ta, mut tb, mut tc) = (u64::MAX, u64::MAX, u64::MAX);
+    for _ in 0..samples {
+        ta = ta.min(one_run_ns(&mut a));
+        tb = tb.min(one_run_ns(&mut b));
+        tc = tc.min(one_run_ns(&mut c));
+    }
+    (ta, tb, tc)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pdg.json".to_string());
+    let samples = 40;
+    let mut rows = String::new();
+
+    let mut programs: Vec<(String, ParallelProgram)> = suite(Class::Test)
+        .iter()
+        .map(|b| (b.name.to_string(), b.program()))
+        .collect();
+    for n in [48, 96, 192] {
+        programs.push((format!("SYNTH{n}"), synthetic_wide(n)));
+    }
+
+    for (bi, (name, p)) in programs.iter().enumerate() {
+        let funcs: Vec<_> = p
+            .module
+            .function_ids()
+            .map(|f| (f, FunctionAnalyses::compute(&p.module, f)))
+            .collect();
+        let refs: usize = funcs
+            .iter()
+            .map(|(f, a)| pspdg_pdg::collect_mem_refs(&p.module, *f, a).len())
+            .sum();
+        let edges: usize = funcs
+            .iter()
+            .map(|(f, a)| Pdg::build(&p.module, *f, a).edges.len())
+            .sum();
+
+        // The module driver also recomputes the analyses, so it is not
+        // directly comparable to the two rows before it; it is reported for
+        // the end-to-end (analyses + PDG, all functions) pipeline.
+        let (naive, bucketed, module_parallel) = time3(
+            samples,
+            || {
+                for (f, a) in &funcs {
+                    std::hint::black_box(Pdg::build_naive(&p.module, *f, a));
+                }
+            },
+            || {
+                for (f, a) in &funcs {
+                    std::hint::black_box(Pdg::build(&p.module, *f, a));
+                }
+            },
+            || {
+                std::hint::black_box(Pdg::build_module(&p.module));
+            },
+        );
+
+        let speedup = naive as f64 / bucketed as f64;
+        println!(
+            "{:<4} refs {:>5}  edges {:>6}  naive {:>10} ns  bucketed {:>10} ns  speedup {:>5.2}x  module_parallel {:>10} ns",
+            name, refs, edges, naive, bucketed, speedup, module_parallel
+        );
+        if bi > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"kernel\": \"{}\", \"mem_refs\": {}, \"pdg_edges\": {}, \"naive_all_pairs_ns\": {}, \"bucketed_ns\": {}, \"speedup\": {:.3}, \"module_parallel_ns\": {}}}",
+            name, refs, edges, naive, bucketed, speedup, module_parallel
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"suite\": \"NAS Class::Test\",\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples, all functions per kernel\",\n  \"naive\": \"Pdg::build_naive (all-pairs, feature oracle)\",\n  \"bucketed\": \"Pdg::build (per-MemBase buckets)\",\n  \"module_parallel\": \"Pdg::build_module (analyses + PDG, rayon)\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_pdg.json");
+    println!("wrote {out_path}");
+}

@@ -13,8 +13,8 @@ fn main() {
     println!(" indistinguishable exactly when the feature is removed)");
     println!();
     println!(
-        "{:<5} {:<10} {:<22} {:<22} {}",
-        "panel", "feature", "full PS-PDG", "PS-PDG w/o feature", "pair"
+        "{:<5} {:<10} {:<22} {:<22} pair",
+        "panel", "feature", "full PS-PDG", "PS-PDG w/o feature"
     );
     println!("{}", "-".repeat(110));
     let mut all_ok = true;
@@ -31,8 +31,16 @@ fn main() {
             "{:<5} {:<10} {:<22} {:<22} {}",
             case.panel,
             case.feature.short_name(),
-            if distinct_full { "distinguishes ✓" } else { "IDENTICAL ✗" },
-            if collapsed { "collapses ✓" } else { "STILL DISTINCT ✗" },
+            if distinct_full {
+                "distinguishes ✓"
+            } else {
+                "IDENTICAL ✗"
+            },
+            if collapsed {
+                "collapses ✓"
+            } else {
+                "STILL DISTINCT ✗"
+            },
             case.description,
         );
     }

@@ -30,6 +30,7 @@ use pspdg_parallel::{
 use pspdg_pdg::{
     base_of_varref, collect_mem_refs, DepKind, FunctionAnalyses, MemBase, Pdg, PdgEdge,
 };
+use rayon::prelude::*;
 
 use crate::features::{Feature, FeatureSet};
 use crate::graph::{
@@ -41,6 +42,45 @@ use crate::graph::{
 /// the `Contexts` feature is ablated).
 pub const UNKNOWN_LOOP: LoopId = LoopId(u32::MAX);
 
+/// One function's PS-PDG together with every artifact it was built from
+/// (the unit [`build_pspdg_module`] produces per function).
+#[derive(Debug, Clone)]
+pub struct FunctionPsPdg {
+    /// The analyzed function.
+    pub func: FuncId,
+    /// Its structural analyses.
+    pub analyses: FunctionAnalyses,
+    /// Its classical PDG.
+    pub pdg: Pdg,
+    /// Its PS-PDG.
+    pub pspdg: PsPdg,
+}
+
+/// Build analyses, PDG, and PS-PDG for every function of `program` that
+/// has a body, distributing functions across threads.
+/// Declared-but-bodyless functions are skipped (the structural analyses
+/// require an entry block).
+pub fn build_pspdg_module(program: &ParallelProgram, features: FeatureSet) -> Vec<FunctionPsPdg> {
+    program
+        .module
+        .function_ids()
+        .filter(|f| !program.module.function(*f).blocks.is_empty())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|func| {
+            let analyses = FunctionAnalyses::compute(&program.module, func);
+            let pdg = Pdg::build(&program.module, func, &analyses);
+            let pspdg = build_pspdg(program, func, &analyses, &pdg, features);
+            FunctionPsPdg {
+                func,
+                analyses,
+                pdg,
+                pspdg,
+            }
+        })
+        .collect()
+}
+
 /// Build the PS-PDG of `func`.
 pub fn build_pspdg(
     program: &ParallelProgram,
@@ -49,7 +89,14 @@ pub fn build_pspdg(
     pdg: &Pdg,
     features: FeatureSet,
 ) -> PsPdg {
-    Builder { program, func, analyses, pdg, features }.run()
+    Builder {
+        program,
+        func,
+        analyses,
+        pdg,
+        features,
+    }
+    .run()
 }
 
 struct Builder<'a> {
@@ -111,7 +158,10 @@ impl Builder<'_> {
                 let node_id = NodeId(nodes.len() as u32);
                 let ctx = if ctx_on {
                     let c = ContextId(contexts.len() as u32);
-                    contexts.push(Context { node: node_id, origin: ContextOrigin::Loop(l) });
+                    contexts.push(Context {
+                        node: node_id,
+                        origin: ContextOrigin::Loop(l),
+                    });
                     loop_ctx.insert(l, c);
                     Some(c)
                 } else {
@@ -162,7 +212,10 @@ impl Builder<'_> {
                     && matches!(d.kind, DirectiveKind::Parallel | DirectiveKind::CilkScope)
                 {
                     let c = ContextId(contexts.len() as u32);
-                    contexts.push(Context { node: node_id, origin: ContextOrigin::Directive(d.id) });
+                    contexts.push(Context {
+                        node: node_id,
+                        origin: ContextOrigin::Directive(d.id),
+                    });
                     Some(c)
                 } else {
                     None
@@ -185,24 +238,34 @@ impl Builder<'_> {
         // ---- traits ---------------------------------------------------------
         if hn && traits_on {
             for d in &dirs {
-                let Some(&node) = dir_node.get(&d.id) else { continue };
+                let Some(&node) = dir_node.get(&d.id) else {
+                    continue;
+                };
                 let ctx = self.semantic_context(d, &dirs, &dir_ctx, &loop_ctx);
                 match &d.kind {
                     DirectiveKind::Critical { .. } | DirectiveKind::Atomic => {
-                        nodes[node.index()].traits.push(NodeTrait { kind: TraitKind::Atomic, context: ctx });
-                        nodes[node.index()]
-                            .traits
-                            .push(NodeTrait { kind: TraitKind::Orderless, context: ctx });
+                        nodes[node.index()].traits.push(NodeTrait {
+                            kind: TraitKind::Atomic,
+                            context: ctx,
+                        });
+                        nodes[node.index()].traits.push(NodeTrait {
+                            kind: TraitKind::Orderless,
+                            context: ctx,
+                        });
                     }
                     DirectiveKind::Single { .. } | DirectiveKind::Master => {
-                        nodes[node.index()]
-                            .traits
-                            .push(NodeTrait { kind: TraitKind::Singular, context: ctx });
+                        nodes[node.index()].traits.push(NodeTrait {
+                            kind: TraitKind::Singular,
+                            context: ctx,
+                        });
                     }
-                    DirectiveKind::Task { .. } | DirectiveKind::Section | DirectiveKind::CilkSpawn => {
-                        nodes[node.index()]
-                            .traits
-                            .push(NodeTrait { kind: TraitKind::Orderless, context: ctx });
+                    DirectiveKind::Task { .. }
+                    | DirectiveKind::Section
+                    | DirectiveKind::CilkSpawn => {
+                        nodes[node.index()].traits.push(NodeTrait {
+                            kind: TraitKind::Orderless,
+                            context: ctx,
+                        });
                     }
                     _ => {}
                 }
@@ -214,6 +277,12 @@ impl Builder<'_> {
         let mut accesses: Vec<VariableAccess> = Vec::new();
         let refs = collect_mem_refs(&self.program.module, self.func, self.analyses);
         if vars_on {
+            // Per-base reference index so each clause touches only its own
+            // variable's accesses instead of rescanning every reference.
+            let mut refs_by_base: BTreeMap<MemBase, Vec<usize>> = BTreeMap::new();
+            for (ri, r) in refs.iter().enumerate() {
+                refs_by_base.entry(r.base).or_default().push(ri);
+            }
             let mut seen: BTreeSet<(MemBase, bool)> = BTreeSet::new();
             for d in &dirs {
                 let ctx = self.semantic_context(d, &dirs, &dir_ctx, &loop_ctx);
@@ -226,19 +295,20 @@ impl Builder<'_> {
                         // first/lastprivate map to data selectors (§5.2).
                         _ => continue,
                     };
-                    let Some(base) = base_of_varref(self.func, var) else { continue };
+                    let Some(base) = base_of_varref(self.func, var) else {
+                        continue;
+                    };
                     let key = (base, matches!(kind, VariableKind::Reducible(_)));
                     if !seen.insert(key) {
                         continue;
                     }
                     let mut acc = VariableAccess::default();
-                    for r in &refs {
-                        if r.base == base {
-                            if r.is_write {
-                                acc.defs.push(inst_node[r.inst.index()]);
-                            } else {
-                                acc.uses.push(inst_node[r.inst.index()]);
-                            }
+                    for ri in refs_by_base.get(&base).map(Vec::as_slice).unwrap_or(&[]) {
+                        let r = &refs[*ri];
+                        if r.is_write {
+                            acc.defs.push(inst_node[r.inst.index()]);
+                        } else {
+                            acc.uses.push(inst_node[r.inst.index()]);
                         }
                     }
                     variables.push(Variable {
@@ -262,24 +332,23 @@ impl Builder<'_> {
         let mut selectors: HashMap<usize, DataSelector> = HashMap::new();
 
         // Independence declarations and ordering conversions need the
-        // protecting-region maps. Returns (lock identity, directive index).
-        let lock_of = |inst: InstId| -> Option<(String, usize)> {
-            for (di, d) in dirs.iter().enumerate() {
-                match &d.kind {
-                    DirectiveKind::Critical { name } if d.insts.contains(&inst) => {
-                        return Some((
-                            format!("critical:{}", name.clone().unwrap_or_default()),
-                            di,
-                        ));
-                    }
-                    DirectiveKind::Atomic if d.insts.contains(&inst) => {
-                        return Some((format!("atomic:{}", d.first_block), di));
-                    }
-                    _ => {}
+        // protecting-region maps. Precompute instruction → (lock identity,
+        // directive index), first matching directive winning, so the edge
+        // passes below do O(1) lookups.
+        let mut lock_map: HashMap<InstId, (String, usize)> = HashMap::new();
+        for (di, d) in dirs.iter().enumerate() {
+            let lock = match &d.kind {
+                DirectiveKind::Critical { name } => {
+                    format!("critical:{}", name.clone().unwrap_or_default())
                 }
+                DirectiveKind::Atomic => format!("atomic:{}", d.first_block),
+                _ => continue,
+            };
+            for &i in &d.insts {
+                lock_map.entry(i).or_insert_with(|| (lock.clone(), di));
             }
-            None
-        };
+        }
+        let lock_of = |inst: InstId| -> Option<(String, usize)> { lock_map.get(&inst).cloned() };
         // Mutual-exclusion conversion only applies when the protected
         // region *re-executes* inside the carried loop (region ⊆ loop); a
         // dependence carried by a loop nested inside the critical region is
@@ -289,33 +358,40 @@ impl Builder<'_> {
             let f = self.program.module.function(self.func);
             let owner = f.inst_blocks();
             f.inst_ids()
-                .filter(|i| {
-                    owner[i.index()].is_some_and(|bb| self.analyses.cfg.is_reachable(bb))
-                })
+                .filter(|i| owner[i.index()].is_some_and(|bb| self.analyses.cfg.is_reachable(bb)))
+                .collect()
+        };
+        // Loop-membership sets, computed once per loop rather than once per
+        // (directive, edge) query. Only needed by `region_inside_loop`,
+        // which is reachable only through lock-protected edges — skip the
+        // whole computation for functions without critical/atomic regions.
+        let loop_inst_sets: HashMap<LoopId, BTreeSet<InstId>> = if lock_map.is_empty() {
+            HashMap::new()
+        } else {
+            self.analyses
+                .forest
+                .loop_ids()
+                .map(|l| (l, self.analyses.loop_insts(l).into_iter().collect()))
                 .collect()
         };
         let region_inside_loop = |di: usize, l: LoopId| -> bool {
-            let loop_insts: BTreeSet<InstId> = self.analyses.loop_insts(l).into_iter().collect();
+            let loop_insts = &loop_inst_sets[&l];
             dirs[di]
                 .insts
                 .iter()
                 .filter(|i| reachable.contains(i))
                 .all(|i| loop_insts.contains(i))
         };
+        // The protecting region's node is the node of the lock directive.
         let region_node_of = |inst: InstId| -> Option<NodeId> {
-            for d in &dirs {
-                if matches!(d.kind, DirectiveKind::Critical { .. } | DirectiveKind::Atomic)
-                    && d.insts.contains(&inst)
-                {
-                    return dir_node.get(&d.id).copied();
-                }
-            }
-            None
+            dir_node.get(&dirs[lock_map.get(&inst)?.1].id).copied()
         };
-        let in_ordered = |inst: InstId| -> bool {
-            dirs.iter()
-                .any(|d| matches!(d.kind, DirectiveKind::Ordered) && d.insts.contains(&inst))
-        };
+        let ordered_insts: BTreeSet<InstId> = dirs
+            .iter()
+            .filter(|d| matches!(d.kind, DirectiveKind::Ordered))
+            .flat_map(|d| d.insts.iter().copied())
+            .collect();
+        let in_ordered = |inst: InstId| -> bool { ordered_insts.contains(&inst) };
 
         // 1. Worksharing independence: carried deps of worksharing loops.
         if ctx_on {
@@ -330,8 +406,12 @@ impl Builder<'_> {
                     continue;
                 }
                 let Some(l) = d.loop_id else { continue };
-                for (ei, e) in self.pdg.edges.iter().enumerate() {
-                    if removed[ei] || !e.kind.is_memory() || !e.kind.carried_at(l) {
+                // Only edges carried at this worksharing loop are candidates:
+                // walk the per-loop carried index, not the full edge arena.
+                for &ei in self.pdg.carried_edge_indices(l) {
+                    let ei = ei as usize;
+                    let e = &self.pdg.edges[ei];
+                    if removed[ei] {
                         continue;
                     }
                     if !d.insts.contains(&e.src) || !d.insts.contains(&e.dst) {
@@ -342,12 +422,16 @@ impl Builder<'_> {
                     }
                     match (lock_of(e.src), lock_of(e.dst)) {
                         (Some((la, da)), Some((lb, db)))
-                            if la == lb && region_inside_loop(da, l) && region_inside_loop(db, l) =>
+                            if la == lb
+                                && region_inside_loop(da, l)
+                                && region_inside_loop(db, l) =>
                         {
                             if hn {
                                 removed[ei] = true;
-                                let (na, nb) =
-                                    (region_node_of(e.src).unwrap(), region_node_of(e.dst).unwrap());
+                                let (na, nb) = (
+                                    region_node_of(e.src).unwrap(),
+                                    region_node_of(e.dst).unwrap(),
+                                );
                                 let ctx = loop_ctx.get(&l).copied();
                                 push_undirected(&mut undirected, na, nb, ctx);
                             }
@@ -368,8 +452,12 @@ impl Builder<'_> {
         // 2. Critical/atomic mutual exclusion in every loop of the enclosing
         //    parallel (or scope) region, not only worksharing ones.
         if hn {
-            for (ei, e) in self.pdg.edges.iter().enumerate() {
-                if removed[ei] || !e.kind.is_memory() || e.kind.carried().is_empty() {
+            // Candidates are exactly the carried memory edges: walk the
+            // carried-anywhere index.
+            for &ei in self.pdg.carried_any_indices() {
+                let ei = ei as usize;
+                let e = &self.pdg.edges[ei];
+                if removed[ei] {
                     continue;
                 }
                 let (Some((la, da)), Some((lb, db))) = (lock_of(e.src), lock_of(e.dst)) else {
@@ -389,7 +477,10 @@ impl Builder<'_> {
                     continue;
                 }
                 removed[ei] = true;
-                let (na, nb) = (region_node_of(e.src).unwrap(), region_node_of(e.dst).unwrap());
+                let (na, nb) = (
+                    region_node_of(e.src).unwrap(),
+                    region_node_of(e.dst).unwrap(),
+                );
                 // Context: the enclosing parallel region if any.
                 let ctx = if ctx_on {
                     self.enclosing_parallel_ctx(e.src, &dirs, &dir_ctx)
@@ -409,8 +500,10 @@ impl Builder<'_> {
         if sel_on && ctx_on {
             for d in &dirs {
                 let Some(l) = d.loop_id else { continue };
-                if !matches!(d.kind, DirectiveKind::For { .. } | DirectiveKind::CilkFor | DirectiveKind::Taskloop)
-                {
+                if !matches!(
+                    d.kind,
+                    DirectiveKind::For { .. } | DirectiveKind::CilkFor | DirectiveKind::Taskloop
+                ) {
                     continue;
                 }
                 let ctx = loop_ctx.get(&l).copied();
@@ -443,32 +536,62 @@ impl Builder<'_> {
                 } else {
                     BTreeSet::new()
                 };
-                for (ei, e) in self.pdg.edges.iter().enumerate() {
-                    if removed[ei] {
-                        continue;
-                    }
-                    let DepKind::Flow { .. } = e.kind else { continue };
-                    let Some(base) = e.base else { continue };
-                    let src_in = d.insts.contains(&e.src);
-                    let dst_in = d.insts.contains(&e.dst);
-                    if src_in && !dst_in {
-                        // live-out
+                // Live-out flow edges leave the region: walk the out-edges
+                // of the region's instructions instead of every edge.
+                for &i in &d.insts {
+                    for &ei in self.pdg.edge_indices_from(i) {
+                        let ei = ei as usize;
+                        let e = &self.pdg.edges[ei];
+                        if removed[ei] {
+                            continue;
+                        }
+                        let DepKind::Flow { .. } = e.kind else {
+                            continue;
+                        };
+                        let Some(base) = e.base else { continue };
+                        if d.insts.contains(&e.dst) {
+                            continue; // region-internal, not a live-out
+                        }
                         if lastprivs.contains(&base) {
                             selectors.insert(
                                 ei,
-                                DataSelector { kind: SelectorKind::LastProducer, context: ctx },
+                                DataSelector {
+                                    kind: SelectorKind::LastProducer,
+                                    context: ctx,
+                                },
                             );
                         } else if self.scalar_base(base) && !reductions.contains(&base) {
                             selectors.insert(
                                 ei,
-                                DataSelector { kind: SelectorKind::AnyProducer, context: ctx },
+                                DataSelector {
+                                    kind: SelectorKind::AnyProducer,
+                                    context: ctx,
+                                },
                             );
                         }
-                    } else if !src_in && dst_in && firstprivs.contains(&base) {
-                        selectors.insert(
-                            ei,
-                            DataSelector { kind: SelectorKind::AllConsumers, context: ctx },
-                        );
+                    }
+                }
+                // Live-in flow edges only matter for firstprivate bases:
+                // walk the per-base edge index of each declared base.
+                for &base in &firstprivs {
+                    for &ei in self.pdg.edge_indices_with_base(base) {
+                        let ei = ei as usize;
+                        let e = &self.pdg.edges[ei];
+                        if removed[ei] {
+                            continue;
+                        }
+                        let DepKind::Flow { .. } = e.kind else {
+                            continue;
+                        };
+                        if !d.insts.contains(&e.src) && d.insts.contains(&e.dst) {
+                            selectors.insert(
+                                ei,
+                                DataSelector {
+                                    kind: SelectorKind::AllConsumers,
+                                    context: ctx,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -522,9 +645,12 @@ impl Builder<'_> {
         for &bb in &d.region.blocks {
             insts.extend(f.block(bb).insts.iter().copied());
         }
-        let loop_id = d
-            .loop_header
-            .and_then(|h| self.analyses.forest.loop_ids().find(|l| self.analyses.forest.info(*l).header == h));
+        let loop_id = d.loop_header.and_then(|h| {
+            self.analyses
+                .forest
+                .loop_ids()
+                .find(|l| self.analyses.forest.info(*l).header == h)
+        });
         let depends = match &d.kind {
             DirectiveKind::Task { depends } => depends.clone(),
             _ => Vec::new(),
@@ -570,13 +696,18 @@ impl Builder<'_> {
             if other.id == d.id {
                 continue;
             }
-            if !matches!(other.kind, DirectiveKind::Parallel | DirectiveKind::CilkScope) {
+            if !matches!(
+                other.kind,
+                DirectiveKind::Parallel | DirectiveKind::CilkScope
+            ) {
                 continue;
             }
             if !d.insts.is_subset(&other.insts) {
                 continue;
             }
-            let Some(c) = dir_ctx.get(&other.id) else { continue };
+            let Some(c) = dir_ctx.get(&other.id) else {
+                continue;
+            };
             best = Some(match best {
                 None => (other, *c),
                 Some((cur, curc)) => {
@@ -618,7 +749,10 @@ impl Builder<'_> {
     /// Independence between sibling sections / tasks / spawned calls.
     fn sibling_independence(&self, dirs: &[DirInfo], removed: &mut [bool]) {
         // Sections inside the same `sections` container.
-        for container in dirs.iter().filter(|d| matches!(d.kind, DirectiveKind::Sections)) {
+        for container in dirs
+            .iter()
+            .filter(|d| matches!(d.kind, DirectiveKind::Sections))
+        {
             let members: Vec<&DirInfo> = dirs
                 .iter()
                 .filter(|d| {
@@ -632,8 +766,10 @@ impl Builder<'_> {
             }
         }
         // Tasks: independent unless their depend clauses conflict.
-        let tasks: Vec<&DirInfo> =
-            dirs.iter().filter(|d| matches!(d.kind, DirectiveKind::Task { .. })).collect();
+        let tasks: Vec<&DirInfo> = dirs
+            .iter()
+            .filter(|d| matches!(d.kind, DirectiveKind::Task { .. }))
+            .collect();
         for (i, a) in tasks.iter().enumerate() {
             for b in tasks.iter().skip(i + 1) {
                 if depends_conflict(&a.depends, &b.depends) {
@@ -647,9 +783,17 @@ impl Builder<'_> {
         // scope); memory dependences between them are declared absent.
         let syncs: Vec<&DirInfo> = dirs
             .iter()
-            .filter(|d| matches!(d.kind, DirectiveKind::CilkSync | DirectiveKind::Barrier | DirectiveKind::Taskwait))
+            .filter(|d| {
+                matches!(
+                    d.kind,
+                    DirectiveKind::CilkSync | DirectiveKind::Barrier | DirectiveKind::Taskwait
+                )
+            })
             .collect();
-        for spawn in dirs.iter().filter(|d| matches!(d.kind, DirectiveKind::CilkSpawn)) {
+        for spawn in dirs
+            .iter()
+            .filter(|d| matches!(d.kind, DirectiveKind::CilkSpawn))
+        {
             let spawn_end = spawn.first_block;
             // The continuation: instructions in blocks after the spawn
             // region and before the next sync directive's block.
@@ -664,7 +808,9 @@ impl Builder<'_> {
             let continuation: BTreeSet<InstId> = f
                 .inst_ids()
                 .filter(|i| {
-                    let Some(bb) = owner[i.index()] else { return false };
+                    let Some(bb) = owner[i.index()] else {
+                        return false;
+                    };
                     bb.index() > spawn_end
                         && bb.index() < next_sync_block
                         && !spawn.insts.contains(i)
@@ -675,7 +821,8 @@ impl Builder<'_> {
     }
 
     /// Remove memory dependences between two instruction sets (except
-    /// through `keep_base`).
+    /// through `keep_base`). Walks the out-edges of the two sets via the
+    /// adjacency index rather than the whole edge arena.
     fn remove_between(
         &self,
         a: &BTreeSet<InstId>,
@@ -683,30 +830,34 @@ impl Builder<'_> {
         removed: &mut [bool],
         keep_base: Option<MemBase>,
     ) {
-        for (ei, e) in self.pdg.edges.iter().enumerate() {
-            if removed[ei] || !e.kind.is_memory() {
-                continue;
+        let mut sweep = |from: &BTreeSet<InstId>, to: &BTreeSet<InstId>| {
+            for &i in from {
+                for &ei in self.pdg.edge_indices_from(i) {
+                    let ei = ei as usize;
+                    let e = &self.pdg.edges[ei];
+                    if removed[ei] || !e.kind.is_memory() {
+                        continue;
+                    }
+                    if keep_base.is_some() && e.base == keep_base {
+                        continue;
+                    }
+                    if to.contains(&e.dst) {
+                        removed[ei] = true;
+                    }
+                }
             }
-            if keep_base.is_some() && e.base == keep_base {
-                continue;
-            }
-            let fwd = a.contains(&e.src) && b.contains(&e.dst);
-            let bwd = b.contains(&e.src) && a.contains(&e.dst);
-            if fwd || bwd {
-                removed[ei] = true;
-            }
-        }
+        };
+        sweep(a, b);
+        sweep(b, a);
     }
 
     /// Whether a base object is a single-cell scalar.
     fn scalar_base(&self, base: MemBase) -> bool {
         match base {
-            MemBase::Alloca(i) => {
-                match &self.program.module.function(self.func).inst(i).inst {
-                    pspdg_ir::Inst::Alloca { ty, .. } => ty.flat_len() == 1,
-                    _ => false,
-                }
-            }
+            MemBase::Alloca(i) => match &self.program.module.function(self.func).inst(i).inst {
+                pspdg_ir::Inst::Alloca { ty, .. } => ty.flat_len() == 1,
+                _ => false,
+            },
             MemBase::Global(g) => self.program.module.global(g).ty.flat_len() == 1,
             _ => false,
         }

@@ -41,7 +41,10 @@ mod tests {
     use pspdg_frontend::compile;
     use pspdg_pdg::{FunctionAnalyses, Pdg};
 
-    fn pspdg_of(src: &str, func: &str) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, PsPdg) {
+    fn pspdg_of(
+        src: &str,
+        func: &str,
+    ) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, PsPdg) {
         let p = compile(src).unwrap();
         let f = p.module.function_by_name(func).unwrap();
         let a = FunctionAnalyses::compute(&p.module, f);
@@ -66,16 +69,27 @@ mod tests {
             "#,
             "k",
         );
-        let spawn = ps.nodes.iter().find(|n| n.label == "cilk_spawn").expect("spawn node");
+        let spawn = ps
+            .nodes
+            .iter()
+            .find(|n| n.label == "cilk_spawn")
+            .expect("spawn node");
         assert!(matches!(spawn.kind, NodeKind::Hierarchical { .. }));
-        let sync = ps.nodes.iter().find(|n| n.label == "cilk_sync").expect("sync node");
+        let sync = ps
+            .nodes
+            .iter()
+            .find(|n| n.label == "cilk_sync")
+            .expect("sync node");
         assert!(matches!(sync.kind, NodeKind::Hierarchical { .. }));
         // Independence: no memory dependence survives between the spawned
         // call and the continuation call (both are opaque calls, so the
         // plain PDG *would* serialize them). Edges from the spawn region to
         // code *after* the sync (e.g. `return x + y`) legitimately remain.
         let spawn_node = crate::graph::NodeId(
-            ps.nodes.iter().position(|n| n.label == "cilk_spawn").unwrap() as u32,
+            ps.nodes
+                .iter()
+                .position(|n| n.label == "cilk_spawn")
+                .unwrap() as u32,
         );
         let spawn_insts = ps.node_insts(spawn_node);
         // The spawned call must not be serialized against the continuation
@@ -88,12 +102,20 @@ mod tests {
         let _ = spawned_call;
         let surviving = ps.effective.edges.iter().any(|e| {
             e.kind.is_memory()
-                && spawn_insts.binary_search(&e.src).is_ok() != spawn_insts.binary_search(&e.dst).is_ok()
+                && spawn_insts.binary_search(&e.src).is_ok()
+                    != spawn_insts.binary_search(&e.dst).is_ok()
                 && {
                     // other endpoint in the continuation region (before sync)
-                    let other = if spawn_insts.binary_search(&e.src).is_ok() { e.dst } else { e.src };
+                    let other = if spawn_insts.binary_search(&e.src).is_ok() {
+                        e.dst
+                    } else {
+                        e.src
+                    };
                     let sync_node = crate::graph::NodeId(
-                        ps.nodes.iter().position(|n| n.label == "cilk_sync").unwrap() as u32,
+                        ps.nodes
+                            .iter()
+                            .position(|n| n.label == "cilk_sync")
+                            .unwrap() as u32,
                     );
                     let sync_first = *ps.node_insts(sync_node).first().unwrap();
                     other < sync_first && !spawn_insts.contains(&other)
@@ -120,8 +142,14 @@ mod tests {
             "#,
             "k",
         );
-        let scope = ps.nodes.iter().find(|n| n.label == "cilk_scope").expect("scope node");
-        let NodeKind::Hierarchical { context, .. } = &scope.kind else { panic!() };
+        let scope = ps
+            .nodes
+            .iter()
+            .find(|n| n.label == "cilk_scope")
+            .expect("scope node");
+        let NodeKind::Hierarchical { context, .. } = &scope.kind else {
+            panic!()
+        };
         assert!(context.is_some(), "cilk_scope is labeled (a context)");
     }
 
@@ -140,7 +168,10 @@ mod tests {
         );
         let l = a.forest.loop_ids().next().unwrap();
         let blocking = blocking_carried_edges(&ps, &p.module, &a, l);
-        assert!(blocking.is_empty(), "cilk_for declares independence: {blocking:?}");
+        assert!(
+            blocking.is_empty(),
+            "cilk_for declares independence: {blocking:?}"
+        );
     }
 
     #[test]
@@ -168,7 +199,10 @@ mod tests {
             var.kind,
             crate::graph::VariableKind::Reducible(ReductionOp::Custom { .. })
         ));
-        assert_eq!(hyperobject_mapping(ReductionOp::Add), vec![PsElement::VariableReducible]);
+        assert_eq!(
+            hyperobject_mapping(ReductionOp::Add),
+            vec![PsElement::VariableReducible]
+        );
     }
 
     #[test]

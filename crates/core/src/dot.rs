@@ -29,7 +29,11 @@ pub fn to_dot(pspdg: &PsPdg, title: &str) -> String {
                 "    label=\"{}{}{}\"; style=rounded;",
                 n.label,
                 ctx,
-                if traits.is_empty() { String::new() } else { format!(" [{}]", traits.join(",")) }
+                if traits.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", traits.join(","))
+                }
             );
             for c in children {
                 if matches!(pspdg.node(*c).kind, NodeKind::Instruction(_)) {
@@ -42,7 +46,13 @@ pub fn to_dot(pspdg: &PsPdg, title: &str) -> String {
     // Edges.
     for e in &pspdg.edges {
         match e {
-            PsEdge::Directed { src, dst, dep, selector, .. } => {
+            PsEdge::Directed {
+                src,
+                dst,
+                dep,
+                selector,
+                ..
+            } => {
                 let mut label = dep.name().to_string();
                 if !dep.carried().is_empty() {
                     label.push_str(" carried");

@@ -62,7 +62,7 @@ pub mod graph;
 pub mod openmp;
 pub mod query;
 
-pub use build::{build_pspdg, variables_by_base, UNKNOWN_LOOP};
+pub use build::{build_pspdg, build_pspdg_module, variables_by_base, FunctionPsPdg, UNKNOWN_LOOP};
 pub use features::{Feature, FeatureSet};
 pub use graph::{
     Context, ContextId, ContextOrigin, DataSelector, Node, NodeId, NodeKind, NodeTrait, PsEdge,

@@ -64,7 +64,12 @@ pub fn openmp_mapping(kind: &DirectiveKind) -> Vec<PsElement> {
         DirectiveKind::Sections => vec![HierarchicalNode, DependenceRemoval],
         DirectiveKind::Section => vec![HierarchicalNode, TraitOrderless],
         DirectiveKind::Task { .. } => {
-            vec![HierarchicalNode, TraitOrderless, DependenceRemoval, DirectedEdge]
+            vec![
+                HierarchicalNode,
+                TraitOrderless,
+                DependenceRemoval,
+                DirectedEdge,
+            ]
         }
         DirectiveKind::Barrier | DirectiveKind::Taskwait => {
             vec![HierarchicalNode, DirectedEdge]
@@ -76,7 +81,12 @@ pub fn openmp_mapping(kind: &DirectiveKind) -> Vec<PsElement> {
         }
         // §5.3 — ordering
         DirectiveKind::Critical { .. } | DirectiveKind::Atomic => {
-            vec![HierarchicalNode, TraitAtomic, TraitOrderless, UndirectedEdge]
+            vec![
+                HierarchicalNode,
+                TraitAtomic,
+                TraitOrderless,
+                UndirectedEdge,
+            ]
         }
         DirectiveKind::Ordered => vec![DirectedEdge],
         // Appendix A — Cilk (see `crate::cilk`)
@@ -187,10 +197,18 @@ mod tests {
             int main() { k(); return 0; }
             "#,
         );
-        let single = ps.nodes.iter().find(|n| n.label == "single").expect("single node");
+        let single = ps
+            .nodes
+            .iter()
+            .find(|n| n.label == "single")
+            .expect("single node");
         assert!(single.has_trait(TraitKind::Singular));
         // trait context = the enclosing parallel region
-        let t = single.traits.iter().find(|t| t.kind == TraitKind::Singular).unwrap();
+        let t = single
+            .traits
+            .iter()
+            .find(|t| t.kind == TraitKind::Singular)
+            .unwrap();
         let ctx = t.context.expect("trait has context");
         assert!(matches!(
             ps.context(ctx).origin,
@@ -241,7 +259,9 @@ mod tests {
         assert!(ps
             .variables
             .iter()
-            .any(|v| matches!(v.kind, crate::graph::VariableKind::Privatizable) && v.name == "tmp"));
+            .any(
+                |v| matches!(v.kind, crate::graph::VariableKind::Privatizable) && v.name == "tmp"
+            ));
     }
 
     #[test]
@@ -264,7 +284,10 @@ mod tests {
                 PsEdge::Directed { selector: Some(s), .. } if s.kind == SelectorKind::LastProducer
             )
         });
-        assert!(has_last, "lastprivate live-out needs a LastProducer selector");
+        assert!(
+            has_last,
+            "lastprivate live-out needs a LastProducer selector"
+        );
     }
 
     #[test]
@@ -426,7 +449,11 @@ mod tests {
         use pspdg_parallel::Schedule;
         let kinds = [
             DirectiveKind::Parallel,
-            DirectiveKind::For { schedule: Schedule::default(), nowait: false, ordered: false },
+            DirectiveKind::For {
+                schedule: Schedule::default(),
+                nowait: false,
+                ordered: false,
+            },
             DirectiveKind::Sections,
             DirectiveKind::Section,
             DirectiveKind::Single { nowait: false },

@@ -2,8 +2,10 @@
 //! consumes (paper §6.1: "we utilize any PS-PDG features within the SCC to
 //! determine if the loop-carried dependences can be removed").
 
-use pspdg_ir::{LoopId, Module};
-use pspdg_pdg::{DepKind, FunctionAnalyses, Pdg, PdgEdge, SccDag};
+use std::collections::BTreeSet;
+
+use pspdg_ir::{InstId, LoopId, Module};
+use pspdg_pdg::{DepKind, FunctionAnalyses, MemBase, Pdg, PdgEdge, SccDag};
 
 use crate::build::UNKNOWN_LOOP;
 use crate::graph::{ContextOrigin, PsPdg, VariableKind};
@@ -53,37 +55,88 @@ pub fn edge_removable_by_variables(
     edge: &PdgEdge,
     l: LoopId,
 ) -> bool {
-    let Some(base) = edge.base else { return false };
-    for (i, v) in pspdg.variables.iter().enumerate() {
-        if v.base != base || !variable_applies_to_loop(pspdg, analyses, i, l) {
-            continue;
-        }
-        match v.kind {
-            VariableKind::Reducible(_) => return true,
-            VariableKind::Privatizable => {
-                if matches!(edge.kind, DepKind::Anti { .. } | DepKind::Output { .. }) {
-                    return true;
+    RemovableBases::for_loop(pspdg, analyses, l).removes(edge)
+}
+
+/// The bases whose carried dependences loop `l` can discharge through
+/// parallel semantic variables: reducible variables discharge everything on
+/// the base, privatizable ones only anti/output.
+struct RemovableBases {
+    reducible: BTreeSet<MemBase>,
+    privatizable: BTreeSet<MemBase>,
+}
+
+impl RemovableBases {
+    fn for_loop(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> RemovableBases {
+        let mut out = RemovableBases {
+            reducible: BTreeSet::new(),
+            privatizable: BTreeSet::new(),
+        };
+        for (i, v) in pspdg.variables.iter().enumerate() {
+            if !variable_applies_to_loop(pspdg, analyses, i, l) {
+                continue;
+            }
+            match v.kind {
+                VariableKind::Reducible(_) => {
+                    out.reducible.insert(v.base);
+                }
+                VariableKind::Privatizable => {
+                    out.privatizable.insert(v.base);
                 }
             }
         }
+        out
     }
-    false
+
+    fn removes(&self, edge: &PdgEdge) -> bool {
+        let Some(base) = edge.base else { return false };
+        self.reducible.contains(&base)
+            || (self.privatizable.contains(&base)
+                && matches!(edge.kind, DepKind::Anti { .. } | DepKind::Output { .. }))
+    }
 }
 
 /// The dependence graph to use when parallelizing loop `l` with the full
-/// power of the PS-PDG: the effective graph, minus carried edges removable
-/// through parallel semantic variables, with the context-ablation sentinel
-/// resolved conservatively to "carried at `l`".
+/// power of the PS-PDG: the effective graph restricted to the loop (plus
+/// sentinel-carried edges, which constrain every loop), minus carried edges
+/// removable through parallel semantic variables, with the
+/// context-ablation sentinel resolved conservatively to "carried at `l`".
+///
+/// The view is *loop-local*: it contains exactly the edges the per-loop
+/// consumers ([`loop_sccs`], [`blocking_carried_edges`], technique
+/// assessment) inspect, gathered through the effective graph's adjacency
+/// and carried indexes instead of a full edge-arena clone.
 pub fn loop_view(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> Pdg {
-    let n = pspdg.effective.len();
+    let eff = &pspdg.effective;
+    let n = eff.len();
+    let removable = RemovableBases::for_loop(pspdg, analyses, l);
+    let insts = analyses.loop_insts(l);
+    let inst_set: BTreeSet<InstId> = insts.iter().copied().collect();
+    let mut taken = vec![false; eff.edges.len()];
     let mut edges: Vec<PdgEdge> = Vec::new();
-    for e in &pspdg.effective.edges {
-        if carried_at(&e.kind, l) && edge_removable_by_variables(pspdg, analyses, e, l) {
-            continue;
+    let mut consider = |ei: u32, edges: &mut Vec<PdgEdge>| {
+        let e = &eff.edges[ei as usize];
+        if std::mem::replace(&mut taken[ei as usize], true) {
+            return;
+        }
+        if carried_at(&e.kind, l) && removable.removes(e) {
+            return;
         }
         let mut e2 = e.clone();
         resolve_sentinel(&mut e2.kind, l);
         edges.push(e2);
+    };
+    // Loop-internal edges, via per-source adjacency.
+    for &i in &insts {
+        for &ei in eff.edge_indices_from(i) {
+            if inst_set.contains(&eff.edges[ei as usize].dst) {
+                consider(ei, &mut edges);
+            }
+        }
+    }
+    // Sentinel-carried edges constrain every loop regardless of location.
+    for &ei in eff.carried_edge_indices(UNKNOWN_LOOP) {
+        consider(ei, &mut edges);
     }
     Pdg::from_edges(pspdg.func, n, edges)
 }
@@ -119,15 +172,26 @@ pub fn blocking_carried_edges(
 ) -> Vec<PdgEdge> {
     let _ = module;
     let iv = analyses.canonical_of(l).map(|c| c.iv_alloca);
-    loop_view(pspdg, analyses, l)
-        .edges
-        .iter()
-        .filter(|e| carried_at(&e.kind, l))
+    let eff = &pspdg.effective;
+    let removable = RemovableBases::for_loop(pspdg, analyses, l);
+    // Candidates come straight from the carried indexes (the edges carried
+    // at `l`, plus sentinel-carried edges that count as carried everywhere).
+    let mut ids: Vec<u32> = eff.carried_edge_indices(l).to_vec();
+    ids.extend_from_slice(eff.carried_edge_indices(UNKNOWN_LOOP));
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .map(|ei| &eff.edges[ei as usize])
+        .filter(|e| !removable.removes(e))
         .filter(|e| match (e.base, iv) {
             (Some(pspdg_pdg::MemBase::Alloca(a)), Some(iv)) => a != iv,
             _ => true,
         })
-        .cloned()
+        .map(|e| {
+            let mut e2 = e.clone();
+            resolve_sentinel(&mut e2.kind, l);
+            e2
+        })
         .collect()
 }
 
@@ -139,7 +203,10 @@ mod tests {
     use pspdg_frontend::compile;
     use pspdg_pdg::Pdg;
 
-    fn pspdg_of(src: &str, name: &str) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, PsPdg) {
+    fn pspdg_of(
+        src: &str,
+        name: &str,
+    ) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, PsPdg) {
         let p = compile(src).unwrap();
         let f = p.module.function_by_name(name).unwrap();
         let a = FunctionAnalyses::compute(&p.module, f);
@@ -294,13 +361,52 @@ mod tests {
     }
 
     #[test]
+    fn parallel_module_driver_matches_sequential_builds() {
+        let p = compile(
+            r#"
+            int key[64]; int hist[64]; int v[64];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 64; i++) { hist[key[i]] += 1; }
+            }
+            void m() { int i; for (i = 1; i < 64; i++) { v[i] = v[i - 1]; } }
+            int main() { k(); m(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let built = crate::build::build_pspdg_module(&p, FeatureSet::all());
+        assert_eq!(built.len(), p.module.function_ids().count());
+        for fp in &built {
+            let a = FunctionAnalyses::compute(&p.module, fp.func);
+            let pdg = Pdg::build(&p.module, fp.func, &a);
+            let ps = build_pspdg(&p, fp.func, &a, &pdg, FeatureSet::all());
+            assert_eq!(fp.pdg.edges.len(), pdg.edges.len());
+            assert_eq!(fp.pspdg.edges.len(), ps.edges.len());
+            assert_eq!(fp.pspdg.effective.edges.len(), ps.effective.edges.len());
+            for l in a.forest.loop_ids() {
+                assert_eq!(
+                    blocking_carried_edges(&fp.pspdg, &p.module, &fp.analyses, l).len(),
+                    blocking_carried_edges(&ps, &p.module, &a, l).len()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sentinel_counts_as_carried_everywhere() {
         use crate::build::UNKNOWN_LOOP;
         use pspdg_ir::LoopId;
-        let kind = DepKind::Flow { carried: vec![UNKNOWN_LOOP], intra: false };
+        let kind = DepKind::Flow {
+            carried: vec![UNKNOWN_LOOP],
+            intra: false,
+        };
         assert!(carried_at(&kind, LoopId(0)));
         assert!(carried_at(&kind, LoopId(7)));
-        let none = DepKind::Flow { carried: vec![], intra: true };
+        let none = DepKind::Flow {
+            carried: vec![],
+            intra: true,
+        };
         assert!(!carried_at(&none, LoopId(0)));
     }
 

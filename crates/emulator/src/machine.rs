@@ -34,7 +34,10 @@ impl EmulationResult {
 /// # Errors
 ///
 /// Propagates interpreter faults (out-of-bounds, undef reads, fuel).
-pub fn emulate(program: &ParallelProgram, plan: &ProgramPlan) -> Result<EmulationResult, ExecError> {
+pub fn emulate(
+    program: &ParallelProgram,
+    plan: &ProgramPlan,
+) -> Result<EmulationResult, ExecError> {
     let mut machine = IdealMachine::new(program, plan);
     let mut interp = Interpreter::new(&program.module);
     interp.run_main(&mut machine)?;
@@ -307,7 +310,10 @@ impl IdealMachine {
 
     /// The measurement after the run completes.
     pub fn result(&self) -> EmulationResult {
-        EmulationResult { critical_path: self.global_max, total_steps: self.finish.len() as u64 }
+        EmulationResult {
+            critical_path: self.global_max,
+            total_steps: self.finish.len() as u64,
+        }
     }
 
     /// Lane of a frame's current (planned) activation stack; `inst` selects
@@ -320,9 +326,7 @@ impl IdealMachine {
             }
             let p = &self.plans[act.plan as usize];
             let key = match p.tech {
-                Tech::Dswp => inst
-                    .and_then(|i| p.stage_of.get(&i).copied())
-                    .unwrap_or(0) as u64,
+                Tech::Dswp => inst.and_then(|i| p.stage_of.get(&i).copied()).unwrap_or(0) as u64,
                 _ => act.iter as u64,
             };
             lane = mix(lane, act.uid as u64, key);
@@ -331,7 +335,9 @@ impl IdealMachine {
     }
 
     fn pop_activation(&mut self, frame_id: u64) {
-        let Some(frame) = self.frames.get_mut(&frame_id) else { return };
+        let Some(frame) = self.frames.get_mut(&frame_id) else {
+            return;
+        };
         let Some(act) = frame.stack.pop() else { return };
         if act.plan == NO_PLAN {
             return;
@@ -388,7 +394,9 @@ impl TraceSink for IdealMachine {
                 .find(|act| {
                     act.plan != NO_PLAN
                         && matches!(self.plans[act.plan as usize].tech, Tech::Helix)
-                        && self.plans[act.plan as usize].sequential_insts.contains(&inst)
+                        && self.plans[act.plan as usize]
+                            .sequential_insts
+                            .contains(&inst)
                 })
                 .map(|act| (caller, act.uid));
             (lane, Some(caller), spawned, seq_owner)
@@ -412,7 +420,9 @@ impl TraceSink for IdealMachine {
         while self.frames.get(&frame).is_some_and(|f| !f.stack.is_empty()) {
             self.pop_activation(frame);
         }
-        let Some(state) = self.frames.remove(&frame) else { return };
+        let Some(state) = self.frames.remove(&frame) else {
+            return;
+        };
         let fin = self.finish[ret_step as usize];
         if state.spawned {
             if let Some(parent) = state.parent {
@@ -446,7 +456,9 @@ impl TraceSink for IdealMachine {
         }
         // Pop activations that ended.
         loop {
-            let Some(state) = self.frames.get(&frame) else { return };
+            let Some(state) = self.frames.get(&frame) else {
+                return;
+            };
             match state.stack.last() {
                 Some(top) if !nest.contains(&top.loop_id) => self.pop_activation(frame),
                 _ => break,
@@ -518,7 +530,9 @@ impl TraceSink for IdealMachine {
             (lane, pairs, overflow)
         };
 
-        let mut start = self.floor.max(self.lane_last.get(&lane).copied().unwrap_or(0));
+        let mut start = self
+            .floor
+            .max(self.lane_last.get(&lane).copied().unwrap_or(0));
 
         // Register dependences.
         for &d in step.reg_deps {
@@ -527,31 +541,31 @@ impl TraceSink for IdealMachine {
 
         // Memory flow dependences (with plan discharges).
         for addr in step.loads {
-            let Some(&(widx, wkey)) = self.last_writer.get(addr) else { continue };
-            let dropped = !overflow
-                && wkey.is_some()
-                && {
-                    let wpairs = self.act_pairs[widx as usize];
-                    let mut drop = false;
-                    for i in 0..2 {
-                        let act = pairs[i * 2];
-                        if act == NO_PAIR {
-                            break;
-                        }
-                        // Same activation, different iteration?
-                        for j in 0..2 {
-                            if wpairs[j * 2] == act && wpairs[j * 2 + 1] != pairs[i * 2 + 1] {
-                                let plan = self.act_plan[act as usize];
-                                if plan != NO_PLAN
-                                    && self.plans[plan as usize].ignored.contains(&wkey.unwrap())
-                                {
-                                    drop = true;
-                                }
+            let Some(&(widx, wkey)) = self.last_writer.get(addr) else {
+                continue;
+            };
+            let dropped = !overflow && wkey.is_some() && {
+                let wpairs = self.act_pairs[widx as usize];
+                let mut drop = false;
+                for i in 0..2 {
+                    let act = pairs[i * 2];
+                    if act == NO_PAIR {
+                        break;
+                    }
+                    // Same activation, different iteration?
+                    for j in 0..2 {
+                        if wpairs[j * 2] == act && wpairs[j * 2 + 1] != pairs[i * 2 + 1] {
+                            let plan = self.act_plan[act as usize];
+                            if plan != NO_PLAN
+                                && self.plans[plan as usize].ignored.contains(&wkey.unwrap())
+                            {
+                                drop = true;
                             }
                         }
                     }
-                    drop
-                };
+                }
+                drop
+            };
             if !dropped {
                 start = start.max(self.finish[widx as usize]);
             }
@@ -784,8 +798,8 @@ mod tests {
             "#,
         );
         let (_, omp) = results[0]; // "as written" plan honors spawn
-        // The two heavy calls overlap: the critical path is roughly half
-        // the dynamic instruction count (each call is ~half the program).
+                                   // The two heavy calls overlap: the critical path is roughly half
+                                   // the dynamic instruction count (each call is ~half the program).
         assert!(
             omp.critical_path < omp.total_steps * 6 / 10,
             "spawn should roughly halve the critical path: cp {} total {}",
@@ -835,7 +849,10 @@ mod tests {
         let spec = LoopPlanSpec {
             func: f,
             loop_id: l,
-            technique: PlannedTechnique::Dswp { stage_of, stages: 2 },
+            technique: PlannedTechnique::Dswp {
+                stage_of,
+                stages: 2,
+            },
             ignored_bases: BTreeSet::new(),
             reduction_bases: BTreeSet::new(),
             end_barrier: true,
@@ -863,7 +880,10 @@ mod tests {
             r.critical_path,
             r_seq.critical_path
         );
-        assert!(r.critical_path > r_seq.critical_path / 4, "only 2 stages exist");
+        assert!(
+            r.critical_path > r_seq.critical_path / 4,
+            "only 2 stages exist"
+        );
     }
 
     #[test]

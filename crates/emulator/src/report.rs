@@ -53,7 +53,10 @@ pub fn compare_plans(name: &str, program: &ParallelProgram) -> Result<CriticalPa
         let plan = build_plan(program, &profile, a, 0.01);
         results.push((a, emulate(program, &plan)?));
     }
-    Ok(CriticalPathRow { name: name.to_string(), results })
+    Ok(CriticalPathRow {
+        name: name.to_string(),
+        results,
+    })
 }
 
 #[cfg(test)]

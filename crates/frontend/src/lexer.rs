@@ -116,7 +116,11 @@ pub struct Lexer<'s> {
 impl<'s> Lexer<'s> {
     /// Create a lexer over `source`.
     pub fn new(source: &'s str) -> Lexer<'s> {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Lex the entire input.
@@ -199,11 +203,14 @@ impl<'s> Lexer<'s> {
                 while self.peek() != b'\n' && self.peek() != 0 {
                     self.bump();
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("source is valid utf-8");
+                let text =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("source is valid utf-8");
                 let text = text.strip_prefix('#').unwrap_or(text).trim();
                 let Some(rest) = text.strip_prefix("pragma") else {
-                    return Err(FrontendError::new(line, format!("unknown preprocessor line: {text}")));
+                    return Err(FrontendError::new(
+                        line,
+                        format!("unknown preprocessor line: {text}"),
+                    ));
                 };
                 tok(TokenKind::Pragma(rest.trim().to_string()))
             }
@@ -212,7 +219,9 @@ impl<'s> Lexer<'s> {
                 while matches!(self.peek(), b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_') {
                     self.bump();
                 }
-                let word = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+                let word = std::str::from_utf8(&self.src[start..self.pos])
+                    .unwrap()
+                    .to_string();
                 tok(TokenKind::Ident(word))
             }
             b'0'..=b'9' => {
@@ -240,9 +249,9 @@ impl<'s> Lexer<'s> {
                 }
                 let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
                 if is_float {
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| FrontendError::new(line, format!("bad float literal {text}")))?;
+                    let v: f64 = text.parse().map_err(|_| {
+                        FrontendError::new(line, format!("bad float literal {text}"))
+                    })?;
                     tok(TokenKind::FloatLit(v))
                 } else {
                     let v: i64 = text
@@ -328,7 +337,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -354,9 +368,33 @@ mod tests {
         assert_eq!(
             k,
             vec![
-                Plus, PlusAssign, PlusPlus, Minus, MinusAssign, MinusMinus, EqEq, Assign, NotEq,
-                Lt, Le, Shl, Gt, Ge, Shr, AndAnd, Amp, OrOr, Pipe, Caret, Bang, Star, StarAssign,
-                Slash, SlashAssign, Percent, Eof,
+                Plus,
+                PlusAssign,
+                PlusPlus,
+                Minus,
+                MinusAssign,
+                MinusMinus,
+                EqEq,
+                Assign,
+                NotEq,
+                Lt,
+                Le,
+                Shl,
+                Gt,
+                Ge,
+                Shr,
+                AndAnd,
+                Amp,
+                OrOr,
+                Pipe,
+                Caret,
+                Bang,
+                Star,
+                StarAssign,
+                Slash,
+                SlashAssign,
+                Percent,
+                Eof,
             ]
         );
     }
@@ -364,7 +402,10 @@ mod tests {
     #[test]
     fn lexes_pragma_lines() {
         let k = kinds("#pragma omp parallel for private(x)\nint y;");
-        assert_eq!(k[0], TokenKind::Pragma("omp parallel for private(x)".into()));
+        assert_eq!(
+            k[0],
+            TokenKind::Pragma("omp parallel for private(x)".into())
+        );
         assert_eq!(k[1], TokenKind::Ident("int".into()));
     }
 
@@ -373,7 +414,11 @@ mod tests {
         let k = kinds("a // line comment\n /* block \n comment */ b");
         assert_eq!(
             k,
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -14,10 +14,11 @@
 //! * statements: declarations, assignments (including `+=`, `-=`, `*=`,
 //!   `/=`, `++`, `--`), `if`/`else`, `for`, `while`, `return`, blocks,
 //!   expression statements;
-//! * expressions: C operators with C precedence (`|| && | ^ & == != < <= >
-//!   >= << >> + - * / %`), unary `-`/`!`, calls, indexing, casts
-//!   `(int)`/`(double)`; `&&`/`||` do **not** short-circuit (both sides are
-//!   evaluated — documented deviation, irrelevant for the kernels);
+//! * expressions: C operators with C precedence
+//!   (`|| && | ^ & == != < <= > >= << >> + - * / %`), unary `-`/`!`,
+//!   calls, indexing, casts
+//!   `(int)`/`(double)`; `&&`/`||` do **not** short-circuit (both sides
+//!   are evaluated — documented deviation, irrelevant for the kernels);
 //! * built-ins: `sqrt fabs sin cos exp log pow fmax fmin imax imin iabs
 //!   print_i64 print_f64`;
 //! * pragmas: `parallel`, `for`, `parallel for`, `sections`/`section`,
@@ -69,7 +70,10 @@ pub struct FrontendError {
 impl FrontendError {
     /// Construct an error at `line`.
     pub fn new(line: u32, message: impl Into<String>) -> FrontendError {
-        FrontendError { line, message: message.into() }
+        FrontendError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

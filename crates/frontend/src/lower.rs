@@ -37,7 +37,10 @@ pub fn lower(unit: &Unit) -> Result<ParallelProgram, FrontendError> {
     let mut globals = HashMap::new();
     for g in &unit.globals {
         if globals.contains_key(&g.name) {
-            return Err(FrontendError::new(g.line, format!("duplicate global '{}'", g.name)));
+            return Err(FrontendError::new(
+                g.line,
+                format!("duplicate global '{}'", g.name),
+            ));
         }
         let ty = build_type(g.ty, &g.dims);
         let id = module.declare_global(g.name.clone(), ty, GlobalInit::Zero);
@@ -47,7 +50,10 @@ pub fn lower(unit: &Unit) -> Result<ParallelProgram, FrontendError> {
     let mut sigs: HashMap<String, (FuncId, TypeSpec, Vec<ParamDecl>)> = HashMap::new();
     for f in &unit.functions {
         if sigs.contains_key(&f.name) {
-            return Err(FrontendError::new(f.line, format!("duplicate function '{}'", f.name)));
+            return Err(FrontendError::new(
+                f.line,
+                format!("duplicate function '{}'", f.name),
+            ));
         }
         if Intrinsic::by_name(&f.name).is_some() {
             return Err(FrontendError::new(
@@ -60,7 +66,11 @@ pub fn lower(unit: &Unit) -> Result<ParallelProgram, FrontendError> {
             .iter()
             .map(|p| Param {
                 name: p.name.clone(),
-                ty: if p.is_array { Type::Ptr } else { scalar_type(p.ty) },
+                ty: if p.is_array {
+                    Type::Ptr
+                } else {
+                    scalar_type(p.ty)
+                },
             })
             .collect();
         let id = module.declare_function(f.name.clone(), params, ret_type(f.ret));
@@ -139,8 +149,15 @@ impl Ty {
 /// How a name resolves.
 #[derive(Debug, Clone)]
 enum VarKind {
-    Local { ptr: Value, alloca: InstId },
-    Param { index: usize, is_array: bool, shadow: Option<(Value, InstId)> },
+    Local {
+        ptr: Value,
+        alloca: InstId,
+    },
+    Param {
+        index: usize,
+        is_array: bool,
+        shadow: Option<(Value, InstId)>,
+    },
     Global(pspdg_ir::GlobalId),
 }
 
@@ -166,7 +183,10 @@ struct FnLower<'a> {
 
 impl FnLower<'_> {
     fn err(&self, line: u32, msg: impl Into<String>) -> FrontendError {
-        FrontendError::new(line, format!("in function '{}': {}", self.decl.name, msg.into()))
+        FrontendError::new(
+            line,
+            format!("in function '{}': {}", self.decl.name, msg.into()),
+        )
     }
 
     /// A builder positioned at the persisted insertion point. Position
@@ -211,7 +231,11 @@ impl FnLower<'_> {
             self.scopes.last_mut().unwrap().insert(
                 p.name.clone(),
                 VarInfo {
-                    kind: VarKind::Param { index, is_array: p.is_array, shadow },
+                    kind: VarKind::Param {
+                        index,
+                        is_array: p.is_array,
+                        shadow,
+                    },
                     ty: p.ty,
                     dims: Vec::new(),
                 },
@@ -244,9 +268,11 @@ impl FnLower<'_> {
                 return Some(v.clone());
             }
         }
-        self.globals
-            .get(name)
-            .map(|(id, ty, dims)| VarInfo { kind: VarKind::Global(*id), ty: *ty, dims: dims.clone() })
+        self.globals.get(name).map(|(id, ty, dims)| VarInfo {
+            kind: VarKind::Global(*id),
+            ty: *ty,
+            dims: dims.clone(),
+        })
     }
 
     fn fresh_block(&mut self, name: &str) -> BlockId {
@@ -282,7 +308,11 @@ impl FnLower<'_> {
             }
             StmtKind::Decl(decl, init) => self.decl_stmt(decl, init.as_ref()),
             StmtKind::Assign { target, op, value } => self.assign(target, *op, value, s.line),
-            StmtKind::If { cond, then_stmt, else_stmt } => {
+            StmtKind::If {
+                cond,
+                then_stmt,
+                else_stmt,
+            } => {
                 let c = self.cond(cond)?;
                 let (then_bb, else_bb, join) = {
                     let mut b = self.builder();
@@ -426,7 +456,9 @@ impl FnLower<'_> {
     /// All block ids in `[start, end)` — the region created between two
     /// `fresh_block` calls.
     fn block_range(&self, start: BlockId, end: BlockId) -> Vec<BlockId> {
-        (start.index()..end.index()).map(BlockId::from_index).collect()
+        (start.index()..end.index())
+            .map(BlockId::from_index)
+            .collect()
     }
 
     fn decl_stmt(&mut self, decl: &VarDecl, init: Option<&Expr>) -> Result<(), FrontendError> {
@@ -445,7 +477,11 @@ impl FnLower<'_> {
         };
         self.scopes.last_mut().unwrap().insert(
             decl.name.clone(),
-            VarInfo { kind: VarKind::Local { ptr, alloca }, ty: decl.ty, dims: decl.dims.clone() },
+            VarInfo {
+                kind: VarKind::Local { ptr, alloca },
+                ty: decl.ty,
+                dims: decl.dims.clone(),
+            },
         );
         if let Some(e) = init {
             let (v, vty) = self.expr(e)?;
@@ -548,7 +584,9 @@ impl FnLower<'_> {
                 self.region_directive(DirectiveKind::Section, stmt, &[], line, "omp.section")
             }
             PragmaAst::Single(clauses) => self.region_directive(
-                DirectiveKind::Single { nowait: has_nowait(clauses) },
+                DirectiveKind::Single {
+                    nowait: has_nowait(clauses),
+                },
                 stmt,
                 clauses,
                 line,
@@ -634,13 +672,26 @@ impl FnLower<'_> {
             .lookup(name)
             .ok_or_else(|| self.err(line, format!("unknown variable '{name}' in clause")))?;
         Ok(match info.kind {
-            VarKind::Local { alloca, .. } => VarRef::Alloca { func: self.func_id, inst: alloca },
-            VarKind::Param { index, is_array, shadow } => {
+            VarKind::Local { alloca, .. } => VarRef::Alloca {
+                func: self.func_id,
+                inst: alloca,
+            },
+            VarKind::Param {
+                index,
+                is_array,
+                shadow,
+            } => {
                 if is_array {
-                    VarRef::Param { func: self.func_id, index }
+                    VarRef::Param {
+                        func: self.func_id,
+                        index,
+                    }
                 } else {
                     let (_, alloca) = shadow.expect("scalar params have shadows");
-                    VarRef::Alloca { func: self.func_id, inst: alloca }
+                    VarRef::Alloca {
+                        func: self.func_id,
+                        inst: alloca,
+                    }
                 }
             }
             VarKind::Global(g) => VarRef::Global(g),
@@ -692,7 +743,10 @@ impl FnLower<'_> {
                         }
                     };
                     for v in vars {
-                        out.push(DataClause::Reduction { op: rop, var: self.resolve_var(v, line)? });
+                        out.push(DataClause::Reduction {
+                            op: rop,
+                            var: self.resolve_var(v, line)?,
+                        });
                     }
                 }
                 ClauseAst::Schedule { .. }
@@ -718,12 +772,13 @@ impl FnLower<'_> {
                     "in" => DependKind::In,
                     "out" => DependKind::Out,
                     "inout" => DependKind::Inout,
-                    other => {
-                        return Err(self.err(line, format!("unknown depend kind '{other}'")))
-                    }
+                    other => return Err(self.err(line, format!("unknown depend kind '{other}'"))),
                 };
                 for v in vars {
-                    out.push(Depend { kind: k, var: self.resolve_var(v, line)? });
+                    out.push(Depend {
+                        kind: k,
+                        var: self.resolve_var(v, line)?,
+                    });
                 }
             }
         }
@@ -733,7 +788,14 @@ impl FnLower<'_> {
     // ---- loops --------------------------------------------------------------
 
     fn lower_for(&mut self, s: &Stmt) -> Result<ForInfo, FrontendError> {
-        let StmtKind::For { init, cond, step, body, is_cilk } = &s.kind else {
+        let StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+            is_cilk,
+        } = &s.kind
+        else {
             unreachable!("lower_for on non-for");
         };
         // Preheader: a fresh block holding the init assignment.
@@ -767,7 +829,12 @@ impl FnLower<'_> {
         }
         self.seek(exit);
         let cont = self.fresh_block("for.cont");
-        Ok(ForInfo { region_start, header, cont, is_cilk: *is_cilk })
+        Ok(ForInfo {
+            region_start,
+            header,
+            cont,
+            is_cilk: *is_cilk,
+        })
     }
 
     // ---- expressions ---------------------------------------------------------
@@ -816,7 +883,11 @@ impl FnLower<'_> {
             lt
         };
         let rt2 = if rt == Ty::Bool { Ty::Int } else { rt };
-        let r = if rt == Ty::Bool { self.coerce(r, Ty::Bool, Ty::Int, line)? } else { r };
+        let r = if rt == Ty::Bool {
+            self.coerce(r, Ty::Bool, Ty::Int, line)?
+        } else {
+            r
+        };
         match (lt, rt2) {
             (Ty::Int, Ty::Int) => Ok((l, r, Ty::Int)),
             (Ty::Double, Ty::Double) => Ok((l, r, Ty::Double)),
@@ -842,7 +913,10 @@ impl FnLower<'_> {
     ) -> Result<(Value, Ty), FrontendError> {
         let int_only = |this: &Self| -> Result<(), FrontendError> {
             if ty != Ty::Int {
-                Err(this.err(line, format!("operator requires integer operands, got {}", ty.name())))
+                Err(this.err(
+                    line,
+                    format!("operator requires integer operands, got {}", ty.name()),
+                ))
             } else {
                 Ok(())
             }
@@ -923,7 +997,11 @@ impl FnLower<'_> {
                 // Non-short-circuit logical ops on bools.
                 let lc = self.cond(l)?;
                 let rc = self.cond(r)?;
-                let op = if *bk == BinKind::LogAnd { BinOp::And } else { BinOp::Or };
+                let op = if *bk == BinKind::LogAnd {
+                    BinOp::And
+                } else {
+                    BinOp::Or
+                };
                 Ok((self.builder().binary(op, lc, rc), Ty::Bool))
             }
             ExprKind::Binary(bk, l, r) => {
@@ -946,13 +1024,19 @@ impl FnLower<'_> {
 
     /// Lower a call; `as_stmt` permits void calls.
     fn call_expr(&mut self, e: &Expr, as_stmt: bool) -> Result<(Value, Option<Ty>), FrontendError> {
-        let ExprKind::Call(name, args) = &e.kind else { unreachable!() };
+        let ExprKind::Call(name, args) = &e.kind else {
+            unreachable!()
+        };
         // Built-in?
         if let Some(intr) = Intrinsic::by_name(name) {
             if args.len() != intr.arity() {
                 return Err(self.err(
                     e.line,
-                    format!("built-in '{name}' takes {} args, got {}", intr.arity(), args.len()),
+                    format!(
+                        "built-in '{name}' takes {} args, got {}",
+                        intr.arity(),
+                        args.len()
+                    ),
                 ));
             }
             let mut vals = Vec::new();
@@ -1038,7 +1122,9 @@ impl FnLower<'_> {
                 }
                 Ok(Value::Global(g))
             }
-            VarKind::Param { index, is_array, .. } => {
+            VarKind::Param {
+                index, is_array, ..
+            } => {
                 if !is_array {
                     return Err(self.err(a.line, format!("'{name}' is a scalar, expected array")));
                 }
@@ -1060,9 +1146,13 @@ impl FnLower<'_> {
                 match info.kind {
                     VarKind::Local { ptr, .. } => Ok((ptr, Ty::of(info.ty))),
                     VarKind::Global(g) => Ok((Value::Global(g), Ty::of(info.ty))),
-                    VarKind::Param { is_array, shadow, .. } => {
+                    VarKind::Param {
+                        is_array, shadow, ..
+                    } => {
                         if is_array {
-                            return Err(self.err(e.line, format!("array '{name}' used as a scalar")));
+                            return Err(
+                                self.err(e.line, format!("array '{name}' used as a scalar"))
+                            );
                         }
                         let (ptr, _) = shadow.expect("scalar params have shadows");
                         Ok((ptr, Ty::of(info.ty)))
@@ -1109,7 +1199,9 @@ impl FnLower<'_> {
                         }
                         Ok((Value::Global(g), info.ty, info.dims[1..].to_vec()))
                     }
-                    VarKind::Param { index, is_array, .. } => {
+                    VarKind::Param {
+                        index, is_array, ..
+                    } => {
                         if !is_array {
                             return Err(self.err(e.line, format!("'{name}' is not an array")));
                         }
@@ -1179,7 +1271,10 @@ fn schedule_of(clauses: &[ClauseAst]) -> Schedule {
                 "auto" => ScheduleKind::Auto,
                 _ => ScheduleKind::Static,
             };
-            return Schedule { kind, chunk: *chunk };
+            return Schedule {
+                kind,
+                chunk: *chunk,
+            };
         }
     }
     Schedule::default()

@@ -14,7 +14,10 @@ use crate::FrontendError;
 ///
 /// Returns the first syntax error with its source line.
 pub fn parse(tokens: &[Token]) -> Result<Unit, FrontendError> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     p.unit()
 }
 
@@ -92,9 +95,8 @@ impl<'t> Parser<'t> {
         let mut unit = Unit::default();
         while self.peek() != &TokenKind::Eof {
             let line = self.line();
-            let Some(ty) = Self::type_word(self.peek()).map(|t| {
+            let Some(ty) = Self::type_word(self.peek()).inspect(|_| {
                 self.bump();
-                t
             }) else {
                 return Err(self.err(format!("expected declaration, found {:?}", self.peek())));
             };
@@ -109,7 +111,12 @@ impl<'t> Parser<'t> {
                 let mut current = name;
                 loop {
                     let dims = self.dims()?;
-                    unit.globals.push(VarDecl { name: current, ty, dims, line });
+                    unit.globals.push(VarDecl {
+                        name: current,
+                        ty,
+                        dims,
+                        line,
+                    });
                     if self.eat(&TokenKind::Comma) {
                         current = self.ident("name")?;
                         continue;
@@ -137,14 +144,18 @@ impl<'t> Parser<'t> {
         Ok(dims)
     }
 
-    fn function(&mut self, ret: TypeSpec, name: String, line: u32) -> Result<FuncDecl, FrontendError> {
+    fn function(
+        &mut self,
+        ret: TypeSpec,
+        name: String,
+        line: u32,
+    ) -> Result<FuncDecl, FrontendError> {
         self.expect(&TokenKind::LParen, "'('")?;
         let mut params = Vec::new();
         if !self.eat(&TokenKind::RParen) {
             loop {
-                let Some(ty) = Self::type_word(self.peek()).map(|t| {
+                let Some(ty) = Self::type_word(self.peek()).inspect(|_| {
                     self.bump();
-                    t
                 }) else {
                     return Err(self.err("expected parameter type"));
                 };
@@ -158,7 +169,11 @@ impl<'t> Parser<'t> {
                 } else {
                     false
                 };
-                params.push(ParamDecl { name: pname, ty, is_array });
+                params.push(ParamDecl {
+                    name: pname,
+                    ty,
+                    is_array,
+                });
                 if self.eat(&TokenKind::Comma) {
                     continue;
                 }
@@ -167,7 +182,13 @@ impl<'t> Parser<'t> {
             }
         }
         let body = self.block()?;
-        Ok(FuncDecl { name, ret, params, body, line })
+        Ok(FuncDecl {
+            name,
+            ret,
+            params,
+            body,
+            line,
+        })
     }
 
     // ---- statements --------------------------------------------------------
@@ -196,7 +217,13 @@ impl<'t> Parser<'t> {
                 }
                 // `parallel for` & friends annotate the next statement.
                 let stmt = self.stmt()?;
-                Ok(Stmt::new(StmtKind::Pragma { pragma, stmt: Box::new(stmt) }, line))
+                Ok(Stmt::new(
+                    StmtKind::Pragma {
+                        pragma,
+                        stmt: Box::new(stmt),
+                    },
+                    line,
+                ))
             }
             TokenKind::LBrace => self.block(),
             TokenKind::Ident(w) if w == "if" => {
@@ -211,7 +238,14 @@ impl<'t> Parser<'t> {
                 } else {
                     None
                 };
-                Ok(Stmt::new(StmtKind::If { cond, then_stmt, else_stmt }, line))
+                Ok(Stmt::new(
+                    StmtKind::If {
+                        cond,
+                        then_stmt,
+                        else_stmt,
+                    },
+                    line,
+                ))
             }
             TokenKind::Ident(w) if w == "while" => {
                 self.bump();
@@ -227,7 +261,11 @@ impl<'t> Parser<'t> {
             }
             TokenKind::Ident(w) if w == "return" => {
                 self.bump();
-                let value = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi, "';'")?;
                 Ok(Stmt::new(StmtKind::Return(value), line))
             }
@@ -260,7 +298,12 @@ impl<'t> Parser<'t> {
                 loop {
                     let name = self.ident("variable name")?;
                     let dims = self.dims()?;
-                    let decl = VarDecl { name, ty, dims, line };
+                    let decl = VarDecl {
+                        name,
+                        ty,
+                        dims,
+                        line,
+                    };
                     let init = if self.eat(&TokenKind::Assign) {
                         if !decl.dims.is_empty() {
                             return Err(self.err("array declarations cannot have initializers"));
@@ -299,7 +342,16 @@ impl<'t> Parser<'t> {
         let step = Box::new(self.simple_stmt()?);
         self.expect(&TokenKind::RParen, "')'")?;
         let body = Box::new(self.stmt()?);
-        Ok(Stmt::new(StmtKind::For { init, cond, step, body, is_cilk }, line))
+        Ok(Stmt::new(
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                is_cilk,
+            },
+            line,
+        ))
     }
 
     /// Assignment / compound assignment / increment / call — the statement
@@ -333,7 +385,11 @@ impl<'t> Parser<'t> {
                 self.bump();
                 let one = Expr::new(ExprKind::IntLit(1), line);
                 return Ok(Stmt::new(
-                    StmtKind::Assign { target, op: Some(BinKind::Add), value: one },
+                    StmtKind::Assign {
+                        target,
+                        op: Some(BinKind::Add),
+                        value: one,
+                    },
                     line,
                 ));
             }
@@ -341,7 +397,11 @@ impl<'t> Parser<'t> {
                 self.bump();
                 let one = Expr::new(ExprKind::IntLit(1), line);
                 return Ok(Stmt::new(
-                    StmtKind::Assign { target, op: Some(BinKind::Sub), value: one },
+                    StmtKind::Assign {
+                        target,
+                        op: Some(BinKind::Sub),
+                        value: one,
+                    },
                     line,
                 ));
             }
@@ -360,7 +420,13 @@ impl<'t> Parser<'t> {
             if !matches!(call.kind, ExprKind::Call(..)) {
                 return Err(self.err("cilk_spawn must spawn a call"));
             }
-            return Ok(Stmt::new(StmtKind::CilkSpawn { target: Some(target), call }, line));
+            return Ok(Stmt::new(
+                StmtKind::CilkSpawn {
+                    target: Some(target),
+                    call,
+                },
+                line,
+            ));
         }
         let value = self.expr()?;
         Ok(Stmt::new(StmtKind::Assign { target, op, value }, line))
@@ -380,15 +446,24 @@ impl<'t> Parser<'t> {
             &[(TokenKind::Pipe, BinKind::BitOr)],
             &[(TokenKind::Caret, BinKind::BitXor)],
             &[(TokenKind::Amp, BinKind::BitAnd)],
-            &[(TokenKind::EqEq, BinKind::Eq), (TokenKind::NotEq, BinKind::Ne)],
+            &[
+                (TokenKind::EqEq, BinKind::Eq),
+                (TokenKind::NotEq, BinKind::Ne),
+            ],
             &[
                 (TokenKind::Lt, BinKind::Lt),
                 (TokenKind::Le, BinKind::Le),
                 (TokenKind::Gt, BinKind::Gt),
                 (TokenKind::Ge, BinKind::Ge),
             ],
-            &[(TokenKind::Shl, BinKind::Shl), (TokenKind::Shr, BinKind::Shr)],
-            &[(TokenKind::Plus, BinKind::Add), (TokenKind::Minus, BinKind::Sub)],
+            &[
+                (TokenKind::Shl, BinKind::Shl),
+                (TokenKind::Shr, BinKind::Shr),
+            ],
+            &[
+                (TokenKind::Plus, BinKind::Add),
+                (TokenKind::Minus, BinKind::Sub),
+            ],
             &[
                 (TokenKind::Star, BinKind::Mul),
                 (TokenKind::Slash, BinKind::Div),
@@ -535,10 +610,16 @@ mod tests {
     fn precedence_is_c_like() {
         let u = parse_src("int f() { return 1 + 2 * 3 < 4 & 5 == 6; }");
         let f = &u.functions[0];
-        let StmtKind::Block(stmts) = &f.body.kind else { panic!() };
-        let StmtKind::Return(Some(e)) = &stmts[0].kind else { panic!() };
+        let StmtKind::Block(stmts) = &f.body.kind else {
+            panic!()
+        };
+        let StmtKind::Return(Some(e)) = &stmts[0].kind else {
+            panic!()
+        };
         // Top must be BitAnd of (Lt ..) and (Eq ..).
-        let ExprKind::Binary(BinKind::BitAnd, l, r) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinKind::BitAnd, l, r) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(l.kind, ExprKind::Binary(BinKind::Lt, ..)));
         assert!(matches!(r.kind, ExprKind::Binary(BinKind::Eq, ..)));
     }
@@ -546,11 +627,27 @@ mod tests {
     #[test]
     fn parses_for_with_increment() {
         let u = parse_src("void f() { int i; for (i = 0; i < 10; i++) { i = i; } }");
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
-        let StmtKind::For { init, step, is_cilk, .. } = &stmts[1].kind else { panic!() };
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
+        let StmtKind::For {
+            init,
+            step,
+            is_cilk,
+            ..
+        } = &stmts[1].kind
+        else {
+            panic!()
+        };
         assert!(!is_cilk);
         assert!(matches!(init.kind, StmtKind::Assign { op: None, .. }));
-        assert!(matches!(step.kind, StmtKind::Assign { op: Some(BinKind::Add), .. }));
+        assert!(matches!(
+            step.kind,
+            StmtKind::Assign {
+                op: Some(BinKind::Add),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -558,8 +655,12 @@ mod tests {
         let u = parse_src(
             "void f() { int i;\n#pragma omp parallel for\nfor (i = 0; i < 4; i++) { i = i; } }",
         );
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
-        let StmtKind::Pragma { pragma, stmt } = &stmts[1].kind else { panic!("{:?}", stmts[1]) };
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
+        let StmtKind::Pragma { pragma, stmt } = &stmts[1].kind else {
+            panic!("{:?}", stmts[1])
+        };
         assert!(matches!(pragma, PragmaAst::ParallelFor(_)));
         assert!(matches!(stmt.kind, StmtKind::For { .. }));
     }
@@ -570,43 +671,73 @@ mod tests {
             "int fib(int n) { int x; int y; if (n < 2) { return n; } \
              x = cilk_spawn fib(n - 1); y = fib(n - 2); cilk_sync; return x + y; }",
         );
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
-        assert!(matches!(&stmts[3].kind, StmtKind::CilkSpawn { target: Some(_), .. }));
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
+        assert!(matches!(
+            &stmts[3].kind,
+            StmtKind::CilkSpawn {
+                target: Some(_),
+                ..
+            }
+        ));
         assert!(matches!(&stmts[5].kind, StmtKind::CilkSync));
     }
 
     #[test]
     fn parses_cilk_for_and_scope() {
-        let u = parse_src(
-            "void f() { int i; cilk_scope { cilk_for (i = 0; i < 4; i++) { i = i; } } }",
-        );
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
-        let StmtKind::CilkScope(inner) = &stmts[1].kind else { panic!() };
-        let StmtKind::Block(inner_stmts) = &inner.kind else { panic!() };
-        assert!(matches!(inner_stmts[0].kind, StmtKind::For { is_cilk: true, .. }));
+        let u =
+            parse_src("void f() { int i; cilk_scope { cilk_for (i = 0; i < 4; i++) { i = i; } } }");
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
+        let StmtKind::CilkScope(inner) = &stmts[1].kind else {
+            panic!()
+        };
+        let StmtKind::Block(inner_stmts) = &inner.kind else {
+            panic!()
+        };
+        assert!(matches!(
+            inner_stmts[0].kind,
+            StmtKind::For { is_cilk: true, .. }
+        ));
     }
 
     #[test]
     fn parses_casts_and_indexing() {
         let u = parse_src("double g[4][4]; void f() { g[1][2] = (double) 3 + g[0][0]; }");
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
-        let StmtKind::Assign { target, value, .. } = &stmts[0].kind else { panic!() };
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
+        let StmtKind::Assign { target, value, .. } = &stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(target.kind, ExprKind::Index(..)));
-        let ExprKind::Binary(BinKind::Add, l, _) = &value.kind else { panic!() };
+        let ExprKind::Binary(BinKind::Add, l, _) = &value.kind else {
+            panic!()
+        };
         assert!(matches!(l.kind, ExprKind::Cast(TypeSpec::Double, _)));
     }
 
     #[test]
     fn compound_assignment() {
         let u = parse_src("int s; void f() { s += 2; s *= 3; }");
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
         assert!(matches!(
             &stmts[0].kind,
-            StmtKind::Assign { op: Some(BinKind::Add), .. }
+            StmtKind::Assign {
+                op: Some(BinKind::Add),
+                ..
+            }
         ));
         assert!(matches!(
             &stmts[1].kind,
-            StmtKind::Assign { op: Some(BinKind::Mul), .. }
+            StmtKind::Assign {
+                op: Some(BinKind::Mul),
+                ..
+            }
         ));
     }
 
@@ -625,8 +756,12 @@ mod tests {
     #[test]
     fn multi_declarators_in_locals() {
         let u = parse_src("void f() { int i = 0, j = 1; }");
-        let StmtKind::Block(stmts) = &u.functions[0].body.kind else { panic!() };
-        let StmtKind::Block(decls) = &stmts[0].kind else { panic!() };
+        let StmtKind::Block(stmts) = &u.functions[0].body.kind else {
+            panic!()
+        };
+        let StmtKind::Block(decls) = &stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(decls.len(), 2);
     }
 }

@@ -176,7 +176,11 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<PragmaAst, FrontendError> {
     let err = |msg: String| FrontendError::new(line, msg);
     match lex.next()? {
         PTok::Word(w) if w == "omp" => {}
-        other => return Err(err(format!("expected 'omp' after #pragma, found {other:?}"))),
+        other => {
+            return Err(err(format!(
+                "expected 'omp' after #pragma, found {other:?}"
+            )))
+        }
     }
     let head = match lex.next()? {
         PTok::Word(w) => w,
@@ -205,7 +209,9 @@ pub fn parse_pragma(text: &str, line: u32) -> Result<PragmaAst, FrontendError> {
                     lex.next()?;
                     let n = match lex.next()? {
                         PTok::Word(w) => w,
-                        other => return Err(err(format!("expected critical name, found {other:?}"))),
+                        other => {
+                            return Err(err(format!("expected critical name, found {other:?}")))
+                        }
                     };
                     match lex.next()? {
                         PTok::Punct(')') => {}
@@ -306,7 +312,9 @@ fn parse_clauses(lex: &mut PragmaLexer<'_>, line: u32) -> Result<Vec<ClauseAst>,
                     PTok::Punct(',') => {
                         let n = match lex.next()? {
                             PTok::Num(n) => n,
-                            other => return Err(err(format!("expected chunk size, found {other:?}"))),
+                            other => {
+                                return Err(err(format!("expected chunk size, found {other:?}")))
+                            }
                         };
                         match lex.next()? {
                             PTok::Punct(')') => {}
@@ -385,19 +393,28 @@ mod tests {
 
     #[test]
     fn parses_parallel_for_with_clauses() {
-        let p = parse_pragma("omp parallel for private(a, b) reduction(+: s) schedule(static, 4)", 1)
-            .unwrap();
+        let p = parse_pragma(
+            "omp parallel for private(a, b) reduction(+: s) schedule(static, 4)",
+            1,
+        )
+        .unwrap();
         match p {
             PragmaAst::ParallelFor(clauses) => {
                 assert_eq!(clauses.len(), 3);
                 assert_eq!(clauses[0], ClauseAst::Private(vec!["a".into(), "b".into()]));
                 assert_eq!(
                     clauses[1],
-                    ClauseAst::Reduction { op: "+".into(), vars: vec!["s".into()] }
+                    ClauseAst::Reduction {
+                        op: "+".into(),
+                        vars: vec!["s".into()]
+                    }
                 );
                 assert_eq!(
                     clauses[2],
-                    ClauseAst::Schedule { kind: "static".into(), chunk: Some(4) }
+                    ClauseAst::Schedule {
+                        kind: "static".into(),
+                        chunk: Some(4)
+                    }
                 );
             }
             other => panic!("wrong pragma {other:?}"),
@@ -410,7 +427,10 @@ mod tests {
             parse_pragma("omp critical (histlock)", 3).unwrap(),
             PragmaAst::Critical(Some("histlock".into()))
         );
-        assert_eq!(parse_pragma("omp critical", 3).unwrap(), PragmaAst::Critical(None));
+        assert_eq!(
+            parse_pragma("omp critical", 3).unwrap(),
+            PragmaAst::Critical(None)
+        );
     }
 
     #[test]
@@ -427,11 +447,17 @@ mod tests {
             PragmaAst::Task(clauses) => {
                 assert_eq!(
                     clauses[0],
-                    ClauseAst::Depend { kind: "in".into(), vars: vec!["x".into(), "y".into()] }
+                    ClauseAst::Depend {
+                        kind: "in".into(),
+                        vars: vec!["x".into(), "y".into()]
+                    }
                 );
                 assert_eq!(
                     clauses[1],
-                    ClauseAst::Depend { kind: "out".into(), vars: vec!["z".into()] }
+                    ClauseAst::Depend {
+                        kind: "out".into(),
+                        vars: vec!["z".into()]
+                    }
                 );
             }
             other => panic!("wrong pragma {other:?}"),
@@ -444,7 +470,13 @@ mod tests {
             let p = parse_pragma(&format!("omp for reduction({op}: s)"), 1).unwrap();
             match p {
                 PragmaAst::For(c) => {
-                    assert_eq!(c[0], ClauseAst::Reduction { op: op.into(), vars: vec!["s".into()] });
+                    assert_eq!(
+                        c[0],
+                        ClauseAst::Reduction {
+                            op: op.into(),
+                            vars: vec!["s".into()]
+                        }
+                    );
                 }
                 other => panic!("wrong pragma {other:?}"),
             }

@@ -181,7 +181,9 @@ fn for_loops_are_canonical() {
     let forest = LoopForest::new(func, &cfg, &dom);
     assert_eq!(forest.len(), 1);
     let l = forest.loop_ids().next().unwrap();
-    let canon = forest.canonical(func, l).expect("frontend loops are canonical");
+    let canon = forest
+        .canonical(func, l)
+        .expect("frontend loops are canonical");
     assert_eq!(canon.step, 2);
 }
 
@@ -381,8 +383,14 @@ fn rejects_semantic_errors() {
     for (src, needle) in [
         ("int main() { return y; }", "unknown variable"),
         ("int main() { foo(); return 0; }", "unknown function"),
-        ("int f(int x) { return x; } int main() { return f(); }", "takes 1 args"),
-        ("int main() { int x; int x; return 0; }", "duplicate variable"),
+        (
+            "int f(int x) { return x; } int main() { return f(); }",
+            "takes 1 args",
+        ),
+        (
+            "int main() { int x; int x; return 0; }",
+            "duplicate variable",
+        ),
         (
             "void k() { int i;\n#pragma omp for\ni = 3; }\nint main() { return 0; }",
             "must annotate a for loop",
@@ -422,7 +430,9 @@ fn schedule_and_collapse_clauses_lower() {
         .find(|(_, d)| matches!(d.kind, DirectiveKind::For { .. }))
         .unwrap()
         .1;
-    let DirectiveKind::For { schedule, .. } = &for_dir.kind else { panic!() };
+    let DirectiveKind::For { schedule, .. } = &for_dir.kind else {
+        panic!()
+    };
     assert_eq!(schedule.kind, pspdg_parallel::ScheduleKind::Dynamic);
     assert_eq!(schedule.chunk, Some(16));
     let (r, _) = run_main(&p);

@@ -39,7 +39,10 @@ pub struct FunctionBuilder<'f> {
 impl<'f> FunctionBuilder<'f> {
     /// Start building into `func`.
     pub fn new(func: &'f mut Function) -> FunctionBuilder<'f> {
-        FunctionBuilder { func, current: None }
+        FunctionBuilder {
+            func,
+            current: None,
+        }
     }
 
     /// The function being built.
@@ -50,7 +53,10 @@ impl<'f> FunctionBuilder<'f> {
     /// Create a new, empty block.
     pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
         let id = BlockId::from_index(self.func.blocks.len());
-        self.func.blocks.push(Block { name: name.into(), insts: Vec::new() });
+        self.func.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+        });
         id
     }
 
@@ -95,13 +101,25 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Allocate a stack object and yield its address.
     pub fn alloca(&mut self, ty: Type, name: impl Into<String>) -> Value {
-        let id = self.append(Inst::Alloca { ty, name: name.into() }, Type::Ptr);
+        let id = self.append(
+            Inst::Alloca {
+                ty,
+                name: name.into(),
+            },
+            Type::Ptr,
+        );
         Value::Inst(id)
     }
 
     /// Load a scalar of type `ty` from `ptr`.
     pub fn load(&mut self, ptr: Value, ty: Type) -> Value {
-        let id = self.append(Inst::Load { ptr, ty: ty.clone() }, ty);
+        let id = self.append(
+            Inst::Load {
+                ptr,
+                ty: ty.clone(),
+            },
+            ty,
+        );
         Value::Inst(id)
     }
 
@@ -112,7 +130,14 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Address of the `index`-th element (of type `elem_ty`) from `base`.
     pub fn gep(&mut self, base: Value, index: Value, elem_ty: Type) -> Value {
-        let id = self.append(Inst::Gep { base, index, elem_ty }, Type::Ptr);
+        let id = self.append(
+            Inst::Gep {
+                base,
+                index,
+                elem_ty,
+            },
+            Type::Ptr,
+        );
         Value::Inst(id)
     }
 
@@ -171,7 +196,14 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Conditional branch.
     pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) -> InstId {
-        self.append(Inst::CondBr { cond, then_bb, else_bb }, Type::Void)
+        self.append(
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            },
+            Type::Void,
+        )
     }
 
     /// Return.

@@ -47,12 +47,21 @@ impl Cfg {
                 }
             }
         }
-        let rpo = if n == 0 { Vec::new() } else { compute_rpo(&succs, BlockId(0)) };
+        let rpo = if n == 0 {
+            Vec::new()
+        } else {
+            compute_rpo(&succs, BlockId(0))
+        };
         let mut rpo_pos = vec![None; n];
         for (i, &bb) in rpo.iter().enumerate() {
             rpo_pos[bb.index()] = Some(i);
         }
-        Cfg { succs, preds, rpo, rpo_pos }
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_pos,
+        }
     }
 
     /// Successor blocks of `bb`.

@@ -86,7 +86,11 @@ impl fmt::Display for InstDisplay<'_> {
             Inst::Alloca { ty, name } => write!(f, "{id} = alloca {ty} ; {name}"),
             Inst::Load { ptr, ty } => write!(f, "{id} = load {ty}, {ptr}"),
             Inst::Store { ptr, value } => write!(f, "store {ptr}, {value}"),
-            Inst::Gep { base, index, elem_ty } => {
+            Inst::Gep {
+                base,
+                index,
+                elem_ty,
+            } => {
                 write!(f, "{id} = gep {base}, {index} x {elem_ty}")
             }
             Inst::Binary { op, lhs, rhs } => {
@@ -126,7 +130,11 @@ impl fmt::Display for InstDisplay<'_> {
                 write!(f, ")")
             }
             Inst::Br { target } => write!(f, "br {target}"),
-            Inst::CondBr { cond, then_bb, else_bb } => {
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 write!(f, "condbr {cond}, {then_bb}, {else_bb}")
             }
             Inst::Ret { value } => match value {
@@ -161,7 +169,11 @@ mod tests {
     #[test]
     fn prints_function() {
         let mut m = Module::new("demo");
-        m.declare_global("tab", Type::array(Type::I64, 2), GlobalInit::Data(vec![Constant::Int(1), Constant::Int(2)]));
+        m.declare_global(
+            "tab",
+            Type::array(Type::I64, 2),
+            GlobalInit::Data(vec![Constant::Int(1), Constant::Int(2)]),
+        );
         let f = m.declare_function_with("f", &[("n", Type::I64)], Type::I64);
         {
             let mut b = FunctionBuilder::new(m.function_mut(f));
@@ -177,7 +189,10 @@ mod tests {
         }
         let text = m.to_string();
         assert!(text.contains("; module demo"), "{text}");
-        assert!(text.contains("global @g0 : [i64; 2] ; tab = [1, 2]"), "{text}");
+        assert!(
+            text.contains("global @g0 : [i64; 2] ; tab = [1, 2]"),
+            "{text}"
+        );
         assert!(text.contains("func @f(%arg0: i64) -> i64 {"), "{text}");
         assert!(text.contains("%0 = add %arg0, 1"), "{text}");
         assert!(text.contains("%1 = cmp.gt %0, 0"), "{text}");
@@ -201,7 +216,10 @@ mod tests {
             b.ret(None);
         }
         let func = m.function(f);
-        assert_eq!(inst_to_string(func, InstId(0)), "%0 = alloca [f64; 8] ; buf");
+        assert_eq!(
+            inst_to_string(func, InstId(0)),
+            "%0 = alloca [f64; 8] ; buf"
+        );
         assert_eq!(inst_to_string(func, InstId(1)), "%1 = gep %0, 3 x f64");
         assert_eq!(inst_to_string(func, InstId(2)), "%2 = load f64, %1");
         assert_eq!(inst_to_string(func, InstId(3)), "store %1, %2");

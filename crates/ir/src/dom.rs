@@ -21,7 +21,12 @@ struct DomCore {
     tout: Vec<usize>,
 }
 
-fn dom_core(n: usize, entry: usize, order: &[usize], preds: &dyn Fn(usize) -> Vec<usize>) -> DomCore {
+fn dom_core(
+    n: usize,
+    entry: usize,
+    order: &[usize],
+    preds: &dyn Fn(usize) -> Vec<usize>,
+) -> DomCore {
     // `order` must be a reverse post-order starting at `entry`.
     let mut pos = vec![usize::MAX; n];
     for (i, &b) in order.iter().enumerate() {
@@ -53,11 +58,11 @@ fn dom_core(n: usize, entry: usize, order: &[usize], preds: &dyn Fn(usize) -> Ve
     }
     // Build children lists and DFS-number the dominator tree.
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for b in 0..n {
+    for (b, parent) in idom.iter().enumerate() {
         if b == entry {
             continue;
         }
-        if let Some(p) = idom[b] {
+        if let Some(p) = *parent {
             children[p].push(b);
         }
     }
@@ -136,7 +141,9 @@ impl DomTree {
                 .map(|p| p.index())
                 .collect()
         };
-        DomTree { core: dom_core(n, 0, &order, &preds) }
+        DomTree {
+            core: dom_core(n, 0, &order, &preds),
+        }
     }
 
     /// Immediate dominator of `bb` (`None` for the entry and for unreachable
@@ -190,6 +197,7 @@ impl PostDomTree {
         // Build reverse-graph successor lists for RPO computation.
         let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
         rsuccs[virtual_exit] = exits.clone();
+        #[allow(clippy::needless_range_loop)] // `rsuccs` has n + 1 slots, iterate only n
         for b in 0..n {
             let bb = BlockId::from_index(b);
             if !cfg.is_reachable(bb) {

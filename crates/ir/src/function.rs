@@ -64,7 +64,13 @@ pub struct Function {
 impl Function {
     /// Create an empty function shell (no blocks yet).
     pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Function {
-        Function { name: name.into(), params, ret_ty, blocks: Vec::new(), insts: Vec::new() }
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: Vec::new(),
+            insts: Vec::new(),
+        }
     }
 
     /// The entry block.
@@ -73,7 +79,11 @@ impl Function {
     ///
     /// Panics if no block has been created yet.
     pub fn entry(&self) -> BlockId {
-        assert!(!self.blocks.is_empty(), "function {} has no blocks", self.name);
+        assert!(
+            !self.blocks.is_empty(),
+            "function {} has no blocks",
+            self.name
+        );
         BlockId(0)
     }
 
@@ -155,7 +165,11 @@ pub struct Module {
 impl Module {
     /// Create an empty module.
     pub fn new(name: impl Into<String>) -> Module {
-        Module { name: name.into(), functions: Vec::new(), globals: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+        }
     }
 
     /// Declare a new function and return its id.
@@ -178,7 +192,11 @@ impl Module {
         init: GlobalInit,
     ) -> GlobalId {
         let id = GlobalId::from_index(self.globals.len());
-        self.globals.push(Global { name: name.into(), ty, init });
+        self.globals.push(Global {
+            name: name.into(),
+            ty,
+            init,
+        });
         id
     }
 
@@ -258,7 +276,10 @@ impl Module {
     ) -> FuncId {
         let params = params
             .iter()
-            .map(|(n, t)| Param { name: (*n).to_string(), ty: t.clone() })
+            .map(|(n, t)| Param {
+                name: (*n).to_string(),
+                ty: t.clone(),
+            })
             .collect();
         self.declare_function(name, params, ret_ty)
     }

@@ -210,7 +210,11 @@ impl Intrinsic {
     /// Number of arguments the intrinsic expects.
     pub fn arity(self) -> usize {
         match self {
-            Intrinsic::Pow | Intrinsic::Fmax | Intrinsic::Fmin | Intrinsic::Imax | Intrinsic::Imin => 2,
+            Intrinsic::Pow
+            | Intrinsic::Fmax
+            | Intrinsic::Fmin
+            | Intrinsic::Imax
+            | Intrinsic::Imin => 2,
             _ => 1,
         }
     }
@@ -367,7 +371,10 @@ pub enum Inst {
 impl Inst {
     /// Whether the instruction ends a block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. }
+        )
     }
 
     /// Whether the instruction reads memory.
@@ -386,7 +393,10 @@ impl Inst {
         matches!(self, Inst::Call { .. })
             || matches!(
                 self,
-                Inst::IntrinsicCall { intrinsic: Intrinsic::PrintI64 | Intrinsic::PrintF64, .. }
+                Inst::IntrinsicCall {
+                    intrinsic: Intrinsic::PrintI64 | Intrinsic::PrintF64,
+                    ..
+                }
             )
     }
 
@@ -413,7 +423,9 @@ impl Inst {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Inst::Br { target } => vec![*target],
-            Inst::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Inst::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             _ => vec![],
         }
     }
@@ -438,12 +450,19 @@ mod tests {
     fn terminator_classification() {
         assert!(Inst::Br { target: BlockId(0) }.is_terminator());
         assert!(Inst::Ret { value: None }.is_terminator());
-        assert!(!Inst::Alloca { ty: Type::I64, name: "x".into() }.is_terminator());
+        assert!(!Inst::Alloca {
+            ty: Type::I64,
+            name: "x".into()
+        }
+        .is_terminator());
     }
 
     #[test]
     fn operands_enumeration() {
-        let store = Inst::Store { ptr: Value::Inst(InstId(0)), value: Value::const_int(1) };
+        let store = Inst::Store {
+            ptr: Value::Inst(InstId(0)),
+            value: Value::const_int(1),
+        };
         assert_eq!(store.operands().len(), 2);
         let br = Inst::Br { target: BlockId(1) };
         assert!(br.operands().is_empty());
@@ -483,11 +502,20 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        let load = Inst::Load { ptr: Value::Param(0), ty: Type::I64 };
+        let load = Inst::Load {
+            ptr: Value::Param(0),
+            ty: Type::I64,
+        };
         assert!(load.reads_memory() && !load.writes_memory());
-        let store = Inst::Store { ptr: Value::Param(0), value: Value::const_int(0) };
+        let store = Inst::Store {
+            ptr: Value::Param(0),
+            value: Value::const_int(0),
+        };
         assert!(store.writes_memory() && !store.reads_memory());
-        let call = Inst::Call { callee: FuncId(0), args: vec![] };
+        let call = Inst::Call {
+            callee: FuncId(0),
+            args: vec![],
+        };
         assert!(call.is_memory_opaque());
     }
 

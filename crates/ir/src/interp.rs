@@ -143,8 +143,16 @@ pub struct Profile {
 impl Profile {
     fn new(module: &Module) -> Profile {
         Profile {
-            inst_count: module.functions.iter().map(|f| vec![0; f.insts.len()]).collect(),
-            block_count: module.functions.iter().map(|f| vec![0; f.blocks.len()]).collect(),
+            inst_count: module
+                .functions
+                .iter()
+                .map(|f| vec![0; f.insts.len()])
+                .collect(),
+            block_count: module
+                .functions
+                .iter()
+                .map(|f| vec![0; f.blocks.len()])
+                .collect(),
             total: 0,
         }
     }
@@ -260,7 +268,12 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::OutOfFuel => write!(f, "interpreter ran out of fuel"),
-            ExecError::OutOfBounds { func, inst, off, size } => write!(
+            ExecError::OutOfBounds {
+                func,
+                inst,
+                off,
+                size,
+            } => write!(
                 f,
                 "out-of-bounds access in @{func} at {inst}: offset {off} of {size}-cell object"
             ),
@@ -270,8 +283,16 @@ impl fmt::Display for ExecError {
             ExecError::DivByZero { func, inst } => {
                 write!(f, "division by zero in @{func} at {inst}")
             }
-            ExecError::TypeMismatch { func, inst, expected, got } => {
-                write!(f, "type mismatch in @{func} at {inst}: expected {expected}, got {got}")
+            ExecError::TypeMismatch {
+                func,
+                inst,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in @{func} at {inst}: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -336,7 +357,10 @@ impl<'m> Interpreter<'m> {
                 GlobalInit::Data(data) => data.iter().map(|c| const_val(*c)).collect(),
             };
             let obj = ObjId(interp.objects.len() as u32);
-            interp.objects.push(Object { origin: ObjOrigin::Global(g), cells });
+            interp.objects.push(Object {
+                origin: ObjOrigin::Global(g),
+                cells,
+            });
             interp.globals.insert(g, obj);
         }
         interp
@@ -376,7 +400,10 @@ impl<'m> Interpreter<'m> {
     ///
     /// [`ExecError`] from execution; panics if no `main` exists.
     pub fn run_main(&mut self, sink: &mut dyn TraceSink) -> Result<Option<RtVal>, ExecError> {
-        let main = self.module.function_by_name("main").expect("module has a main function");
+        let main = self
+            .module
+            .function_by_name("main")
+            .expect("module has a main function");
         self.run_traced(main, &[], sink)
     }
 
@@ -486,7 +513,10 @@ impl<'m> Interpreter<'m> {
                 match &data.inst {
                     Inst::Alloca { ty, .. } => {
                         let obj = ObjId(self.objects.len() as u32);
-                        let origin = ObjOrigin::Alloca { func: func_id, inst: inst_id };
+                        let origin = ObjOrigin::Alloca {
+                            func: func_id,
+                            inst: inst_id,
+                        };
                         self.objects.push(Object {
                             origin,
                             cells: vec![RtVal::Undef; ty.flat_len() as usize],
@@ -498,7 +528,10 @@ impl<'m> Interpreter<'m> {
                         let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
                         let v = self.objects[addr.obj.index()].cells[addr.off as usize];
                         if matches!(v, RtVal::Undef) {
-                            return Err(ExecError::UndefRead { func: err_func(), inst: inst_id });
+                            return Err(ExecError::UndefRead {
+                                func: err_func(),
+                                inst: inst_id,
+                            });
                         }
                         loads.push(addr);
                         result = v;
@@ -509,7 +542,11 @@ impl<'m> Interpreter<'m> {
                         self.objects[addr.obj.index()].cells[addr.off as usize] = v;
                         stores.push(addr);
                     }
-                    Inst::Gep { base, index, elem_ty } => {
+                    Inst::Gep {
+                        base,
+                        index,
+                        elem_ty,
+                    } => {
                         let b = eval!(*base);
                         let idx = self.expect_int(eval!(*index), &err_func(), inst_id)?;
                         match b {
@@ -599,14 +636,21 @@ impl<'m> Interpreter<'m> {
                             frame.regs[inst_id.index()] = v;
                         }
                         // The call result's producer is the callee's ret.
-                        frame.last_def[inst_id.index()] =
-                            if ret_step == NO_DEP { my_index } else { ret_step };
+                        frame.last_def[inst_id.index()] = if ret_step == NO_DEP {
+                            my_index
+                        } else {
+                            ret_step
+                        };
                         continue;
                     }
                     Inst::Br { target } => {
                         next_block = Some(*target);
                     }
-                    Inst::CondBr { cond, then_bb, else_bb } => {
+                    Inst::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         let c = eval!(*cond);
                         let c = match c {
                             RtVal::Bool(b) => b,
@@ -657,7 +701,10 @@ impl<'m> Interpreter<'m> {
             Value::Const(c) => const_val(c),
             Value::Inst(i) => frame.regs[i.index()],
             Value::Param(p) => frame.args[p],
-            Value::Global(g) => RtVal::Ptr { obj: self.globals[&g], off: 0 },
+            Value::Global(g) => RtVal::Ptr {
+                obj: self.globals[&g],
+                off: 0,
+            },
         }
     }
 
@@ -673,7 +720,10 @@ impl<'m> Interpreter<'m> {
                         size,
                     });
                 }
-                Ok(MemAddr { obj, off: off as u32 })
+                Ok(MemAddr {
+                    obj,
+                    off: off as u32,
+                })
             }
             other => Err(ExecError::TypeMismatch {
                 func: func.to_string(),
@@ -709,13 +759,19 @@ impl<'m> Interpreter<'m> {
                 Mul => a.wrapping_mul(b),
                 Div => {
                     if b == 0 {
-                        return Err(ExecError::DivByZero { func: func.to_string(), inst });
+                        return Err(ExecError::DivByZero {
+                            func: func.to_string(),
+                            inst,
+                        });
                     }
                     a.wrapping_div(b)
                 }
                 Rem => {
                     if b == 0 {
-                        return Err(ExecError::DivByZero { func: func.to_string(), inst });
+                        return Err(ExecError::DivByZero {
+                            func: func.to_string(),
+                            inst,
+                        });
                     }
                     a.wrapping_rem(b)
                 }
@@ -763,7 +819,14 @@ impl<'m> Interpreter<'m> {
         })
     }
 
-    fn cmp(&self, op: CmpOp, l: RtVal, r: RtVal, func: &str, inst: InstId) -> Result<bool, ExecError> {
+    fn cmp(
+        &self,
+        op: CmpOp,
+        l: RtVal,
+        r: RtVal,
+        func: &str,
+        inst: InstId,
+    ) -> Result<bool, ExecError> {
         use CmpOp::*;
         Ok(match (l, r) {
             (RtVal::Int(a), RtVal::Int(b)) => match op {
@@ -1005,7 +1068,10 @@ mod tests {
             b.ret(Some(v));
         }
         let mut interp = Interpreter::new(&m);
-        assert!(matches!(interp.run(f, &[]).unwrap_err(), ExecError::UndefRead { .. }));
+        assert!(matches!(
+            interp.run(f, &[]).unwrap_err(),
+            ExecError::UndefRead { .. }
+        ));
     }
 
     #[test]
@@ -1064,6 +1130,7 @@ mod tests {
     /// A sink that records steps so tests can inspect dependence wiring.
     #[derive(Default)]
     struct Recorder {
+        #[allow(clippy::type_complexity)]
         steps: Vec<(u64, InstId, Vec<u64>, Vec<MemAddr>, Vec<MemAddr>)>,
         enters: Vec<(u64, FuncId, u64)>,
         exits: Vec<(u64, FuncId, u64)>,

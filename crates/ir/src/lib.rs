@@ -69,7 +69,7 @@ pub use cfg::Cfg;
 pub use dom::{DomTree, PostDomTree};
 pub use function::{Block, Function, Global, GlobalInit, Module, Param};
 pub use inst::{BinOp, CastKind, CmpOp, Inst, InstData, Intrinsic, UnOp};
-pub use loops::{CanonicalLoop, Bound, LoopForest, LoopId, LoopInfo};
+pub use loops::{Bound, CanonicalLoop, LoopForest, LoopId, LoopInfo};
 pub use parse::{parse_module, ParseIrError};
 pub use types::Type;
 pub use value::{BlockId, Constant, FuncId, GlobalId, InstId, Value};

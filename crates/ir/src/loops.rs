@@ -168,7 +168,11 @@ impl LoopForest {
                 if contains {
                     best = Some(match best {
                         None => b,
-                        Some(cur) if loops[b.index()].blocks.len() < loops[cur.index()].blocks.len() => b,
+                        Some(cur)
+                            if loops[b.index()].blocks.len() < loops[cur.index()].blocks.len() =>
+                        {
+                            b
+                        }
                         Some(cur) => cur,
                     });
                 }
@@ -293,10 +297,15 @@ impl LoopForest {
         // Header terminator: CondBr with exactly one in-loop target.
         let term = func.terminator(l.header)?;
         let (cond, then_bb, else_bb) = match term {
-            Inst::CondBr { cond, then_bb, else_bb } => (*cond, *then_bb, *else_bb),
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => (*cond, *then_bb, *else_bb),
             _ => return None,
         };
-        let (body_entry, _exit_bb, exit_on_false) = match (l.contains(then_bb), l.contains(else_bb)) {
+        let (body_entry, _exit_bb, exit_on_false) = match (l.contains(then_bb), l.contains(else_bb))
+        {
             (true, false) => (then_bb, else_bb, true),
             (false, true) => (else_bb, then_bb, false),
             _ => return None,
@@ -356,7 +365,11 @@ impl LoopForest {
                 }
                 let vi = value.as_inst()?;
                 let s = match &func.inst(vi).inst {
-                    Inst::Binary { op: BinOp::Add, lhs, rhs } => {
+                    Inst::Binary {
+                        op: BinOp::Add,
+                        lhs,
+                        rhs,
+                    } => {
                         if load_of_alloca(*lhs) == Some(iv_alloca) {
                             rhs.as_const_int()?
                         } else if load_of_alloca(*rhs) == Some(iv_alloca) {
@@ -365,13 +378,11 @@ impl LoopForest {
                             return None;
                         }
                     }
-                    Inst::Binary { op: BinOp::Sub, lhs, rhs } => {
-                        if load_of_alloca(*lhs) == Some(iv_alloca) {
-                            -(rhs.as_const_int()?)
-                        } else {
-                            return None;
-                        }
-                    }
+                    Inst::Binary {
+                        op: BinOp::Sub,
+                        lhs,
+                        rhs,
+                    } if load_of_alloca(*lhs) == Some(iv_alloca) => -(rhs.as_const_int()?),
                     _ => return None,
                 };
                 step = Some(s);
@@ -416,7 +427,9 @@ impl LoopForest {
                             };
                             base_is_slot
                                 && func.inst_ids().all(|s| {
-                                    let Some(bb) = owner[s.index()] else { return true };
+                                    let Some(bb) = owner[s.index()] else {
+                                        return true;
+                                    };
                                     if !l.contains(bb) {
                                         return true;
                                     }
@@ -434,7 +447,15 @@ impl LoopForest {
         if !invariant {
             return None;
         }
-        Some(CanonicalLoop { loop_id: id, iv_alloca, init, step, cmp_op, bound: Bound(bound), body_entry })
+        Some(CanonicalLoop {
+            loop_id: id,
+            iv_alloca,
+            init,
+            step,
+            cmp_op,
+            bound: Bound(bound),
+            body_entry,
+        })
     }
 }
 

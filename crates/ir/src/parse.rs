@@ -84,11 +84,17 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Parser<'a> {
-        Parser { lines: text.lines().collect(), pos: 0 }
+        Parser {
+            lines: text.lines().collect(),
+            pos: 0,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseIrError {
-        ParseIrError { line: self.pos + 1, message: message.into() }
+        ParseIrError {
+            line: self.pos + 1,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&'a str> {
@@ -160,20 +166,30 @@ impl<'a> Parser<'a> {
     fn function(&mut self, module: &mut Module) -> Result<(), ParseIrError> {
         // `func @NAME(%arg0: T, ...) -> RET {`
         let header = self.bump().unwrap().trim();
-        let rest = header.strip_prefix("func @").ok_or_else(|| self.err("expected `func @`"))?;
-        let (name, rest) =
-            rest.split_once('(').ok_or_else(|| self.err("expected parameter list"))?;
-        let (params_text, rest) =
-            rest.split_once(')').ok_or_else(|| self.err("unterminated parameter list"))?;
+        let rest = header
+            .strip_prefix("func @")
+            .ok_or_else(|| self.err("expected `func @`"))?;
+        let (name, rest) = rest
+            .split_once('(')
+            .ok_or_else(|| self.err("expected parameter list"))?;
+        let (params_text, rest) = rest
+            .split_once(')')
+            .ok_or_else(|| self.err("unterminated parameter list"))?;
         let ret_text = rest
             .trim()
             .strip_prefix("->")
             .and_then(|s| s.trim().strip_suffix('{'))
             .ok_or_else(|| self.err("expected `-> <type> {{`"))?;
         let mut params = Vec::new();
-        for (i, p) in params_text.split(',').map(str::trim).filter(|s| !s.is_empty()).enumerate() {
-            let (pname, pty) =
-                p.split_once(':').ok_or_else(|| self.err("expected `%argN: <type>`"))?;
+        for (i, p) in params_text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .enumerate()
+        {
+            let (pname, pty) = p
+                .split_once(':')
+                .ok_or_else(|| self.err("expected `%argN: <type>`"))?;
             if pname.trim() != format!("%arg{i}") {
                 return Err(self.err(format!("expected %arg{i}, found {pname}")));
             }
@@ -216,7 +232,10 @@ impl<'a> Parser<'a> {
             }
         }
         debug_assert_eq!(labels.len(), block_count);
-        let blocks: Vec<BlockId> = labels.iter().map(|l| builder.create_block(l.clone())).collect();
+        let blocks: Vec<BlockId> = labels
+            .iter()
+            .map(|l| builder.create_block(l.clone()))
+            .collect();
 
         // Second pass: instructions.
         let mut names: HashMap<u32, Value> = HashMap::new();
@@ -269,7 +288,10 @@ impl<'a> Parser<'a> {
                 .strip_prefix("bb")
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| self.err(format!("bad block ref {text}")))?;
-            blocks.get(n).copied().ok_or_else(|| self.err(format!("block {text} out of range")))
+            blocks
+                .get(n)
+                .copied()
+                .ok_or_else(|| self.err(format!("block {text} out of range")))
         };
         let (op, rest) = body.split_once(' ').unwrap_or((body, ""));
         let result: Option<Value> = match op {
@@ -277,25 +299,35 @@ impl<'a> Parser<'a> {
                 let (ty_text, name) = rest
                     .split_once(" ; ")
                     .ok_or_else(|| self.err("alloca needs `; <name>`"))?;
-                Some(b.alloca(parse_type(ty_text.trim()).map_err(|m| self.err(m))?, name.trim()))
+                Some(b.alloca(
+                    parse_type(ty_text.trim()).map_err(|m| self.err(m))?,
+                    name.trim(),
+                ))
             }
             "load" => {
-                let (ty_text, ptr) =
-                    rest.split_once(", ").ok_or_else(|| self.err("load needs two operands"))?;
-                Some(b.load(value(ptr)?, parse_type(ty_text.trim()).map_err(|m| self.err(m))?))
+                let (ty_text, ptr) = rest
+                    .split_once(", ")
+                    .ok_or_else(|| self.err("load needs two operands"))?;
+                Some(b.load(
+                    value(ptr)?,
+                    parse_type(ty_text.trim()).map_err(|m| self.err(m))?,
+                ))
             }
             "store" => {
-                let (ptr, v) =
-                    rest.split_once(", ").ok_or_else(|| self.err("store needs two operands"))?;
+                let (ptr, v) = rest
+                    .split_once(", ")
+                    .ok_or_else(|| self.err("store needs two operands"))?;
                 b.store(value(ptr)?, value(v)?);
                 None
             }
             "gep" => {
                 // `gep BASE, INDEX x TYPE`
-                let (base, rest2) =
-                    rest.split_once(", ").ok_or_else(|| self.err("gep needs operands"))?;
-                let (index, ty_text) =
-                    rest2.split_once(" x ").ok_or_else(|| self.err("gep needs ` x <type>`"))?;
+                let (base, rest2) = rest
+                    .split_once(", ")
+                    .ok_or_else(|| self.err("gep needs operands"))?;
+                let (index, ty_text) = rest2
+                    .split_once(" x ")
+                    .ok_or_else(|| self.err("gep needs ` x <type>`"))?;
                 Some(b.gep(
                     value(base)?,
                     value(index)?,
@@ -315,8 +347,9 @@ impl<'a> Parser<'a> {
                     "shl" => BinOp::Shl,
                     _ => BinOp::Shr,
                 };
-                let (l, r) =
-                    rest.split_once(", ").ok_or_else(|| self.err("binary needs two operands"))?;
+                let (l, r) = rest
+                    .split_once(", ")
+                    .ok_or_else(|| self.err("binary needs two operands"))?;
                 Some(b.binary(bin, value(l)?, value(r)?))
             }
             "neg" => Some(b.unary(UnOp::Neg, value(rest)?)),
@@ -358,8 +391,9 @@ impl<'a> Parser<'a> {
                         .ok_or_else(|| self.err(format!("unknown intrinsic {intr_name}")))?;
                     Some(b.intrinsic(intr, args))
                 } else if let Some(fid) = callee.strip_prefix("@f") {
-                    let fid: u32 =
-                        fid.parse().map_err(|_| self.err(format!("bad callee {callee}")))?;
+                    let fid: u32 = fid
+                        .parse()
+                        .map_err(|_| self.err(format!("bad callee {callee}")))?;
                     // Return type recovered on re-print via the callee; use
                     // a placeholder matched by whether the call has a def.
                     let ret_ty = if def.is_some() { Type::I64 } else { Type::Void };
@@ -378,8 +412,9 @@ impl<'a> Parser<'a> {
                     "ge" => CmpOp::Ge,
                     bad => return Err(self.err(format!("unknown predicate {bad}"))),
                 };
-                let (l, r) =
-                    rest.split_once(", ").ok_or_else(|| self.err("cmp needs two operands"))?;
+                let (l, r) = rest
+                    .split_once(", ")
+                    .ok_or_else(|| self.err("cmp needs two operands"))?;
                 Some(b.cmp(cmp, value(l)?, value(r)?))
             }
             other => return Err(self.err(format!("unknown opcode {other:?}"))),
@@ -404,9 +439,13 @@ fn parse_type(text: &str) -> Result<Type, String> {
                 .strip_prefix('[')
                 .and_then(|s| s.strip_suffix(']'))
                 .ok_or_else(|| format!("unknown type {text:?}"))?;
-            let (elem, len) =
-                body.rsplit_once("; ").ok_or_else(|| format!("malformed array type {text:?}"))?;
-            let len: u64 = len.trim().parse().map_err(|_| format!("bad array length in {text:?}"))?;
+            let (elem, len) = body
+                .rsplit_once("; ")
+                .ok_or_else(|| format!("malformed array type {text:?}"))?;
+            let len: u64 = len
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad array length in {text:?}"))?;
             Ok(Type::array(parse_type(elem)?, len))
         }
     }
@@ -421,9 +460,14 @@ fn parse_constant(text: &str) -> Result<Constant, String> {
         return Ok(Constant::Bool(false));
     }
     if t.contains('.') || t.contains('e') || t.contains("inf") || t.contains("NaN") {
-        return t.parse::<f64>().map(Constant::Float).map_err(|_| format!("bad float {t:?}"));
+        return t
+            .parse::<f64>()
+            .map(Constant::Float)
+            .map_err(|_| format!("bad float {t:?}"));
     }
-    t.parse::<i64>().map(Constant::Int).map_err(|_| format!("bad constant {t:?}"))
+    t.parse::<i64>()
+        .map(Constant::Int)
+        .map_err(|_| format!("bad constant {t:?}"))
 }
 
 fn parse_value(text: &str, names: &HashMap<u32, Value>) -> Result<Value, String> {
@@ -438,7 +482,10 @@ fn parse_value(text: &str, names: &HashMap<u32, Value>) -> Result<Value, String>
     }
     if let Some(rest) = t.strip_prefix('%') {
         let i: u32 = rest.parse().map_err(|_| format!("bad name {t:?}"))?;
-        return names.get(&i).copied().ok_or_else(|| format!("undefined name %{i}"));
+        return names
+            .get(&i)
+            .copied()
+            .ok_or_else(|| format!("undefined name %{i}"));
     }
     parse_constant(t).map(Value::Const)
 }
@@ -483,11 +530,11 @@ mod tests {
     #[test]
     fn roundtrip_memory_and_globals() {
         let mut m = Module::new("rt");
-        m.declare_global("tab", Type::array(Type::I64, 3), GlobalInit::Data(vec![
-            Constant::Int(1),
-            Constant::Int(2),
-            Constant::Int(3),
-        ]));
+        m.declare_global(
+            "tab",
+            Type::array(Type::I64, 3),
+            GlobalInit::Data(vec![Constant::Int(1), Constant::Int(2), Constant::Int(3)]),
+        );
         m.declare_global("buf", Type::array(Type::F64, 100), GlobalInit::Zero);
         let f = m.declare_function("f", vec![], Type::Void);
         {

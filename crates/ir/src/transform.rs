@@ -263,7 +263,11 @@ mod tests {
             let d = b.binary(BinOp::Div, Value::const_int(1), Value::const_int(0));
             b.ret(Some(d));
         }
-        assert_eq!(fold_constants(m.function_mut(f)), 0, "div by zero must not fold");
+        assert_eq!(
+            fold_constants(m.function_mut(f)),
+            0,
+            "div by zero must not fold"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Type {
     /// assert_eq!(Type::array(Type::I64, 4).flat_len(), 4);
     /// ```
     pub fn array(elem: Type, len: u64) -> Type {
-        Type::Array { elem: Box::new(elem), len }
+        Type::Array {
+            elem: Box::new(elem),
+            len,
+        }
     }
 
     /// Number of scalar cells this type occupies in flattened object memory.

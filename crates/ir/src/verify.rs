@@ -100,7 +100,12 @@ pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
 /// Returns the first violation found in this function.
 pub fn verify_function(module: &Module, func_id: FuncId) -> Result<(), VerifyError> {
     let func = module.function(func_id);
-    let mut chk = Checker { module, func_name: func.name.clone(), block: None, inst: None };
+    let mut chk = Checker {
+        module,
+        func_name: func.name.clone(),
+        block: None,
+        inst: None,
+    };
 
     if func.blocks.is_empty() {
         return Err(chk.fail("function has no blocks"));
@@ -117,7 +122,9 @@ pub fn verify_function(module: &Module, func_id: FuncId) -> Result<(), VerifyErr
         }
     }
     if let Some(pos) = seen.iter().position(|&c| c > 1) {
-        return Err(chk.fail(format!("instruction %{pos} appears in more than one block position")));
+        return Err(chk.fail(format!(
+            "instruction %{pos} appears in more than one block position"
+        )));
     }
 
     for bb in func.block_ids() {
@@ -175,7 +182,9 @@ fn verify_dominance(chk: &mut Checker<'_>, func: &Function) -> Result<(), Verify
                     dom.dominates(def_bb, bb)
                 };
                 if !ok {
-                    return Err(chk.fail(format!("use of {def} is not dominated by its definition")));
+                    return Err(
+                        chk.fail(format!("use of {def} is not dominated by its definition"))
+                    );
                 }
             }
         }
@@ -247,7 +256,11 @@ fn verify_inst(chk: &Checker<'_>, func: &Function, inst: &Inst) -> Result<(), Ve
                 return Err(chk.fail(format!("store of non-scalar type {vt}")));
             }
         }
-        Inst::Gep { base, index, elem_ty } => {
+        Inst::Gep {
+            base,
+            index,
+            elem_ty,
+        } => {
             let bt = value_ok(chk, func, *base)?;
             expect_ty(chk, "gep base", &bt, &Type::Ptr)?;
             let it = value_ok(chk, func, *index)?;
@@ -334,7 +347,11 @@ fn verify_inst(chk: &Checker<'_>, func: &Function, inst: &Inst) -> Result<(), Ve
             }
         }
         Inst::Br { target } => block_ok(chk, func, *target)?,
-        Inst::CondBr { cond, then_bb, else_bb } => {
+        Inst::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             let t = value_ok(chk, func, *cond)?;
             expect_ty(chk, "branch condition", &t, &Type::Bool)?;
             block_ok(chk, func, *then_bb)?;
@@ -485,7 +502,10 @@ mod tests {
             let func = m.function_mut(f);
             use crate::inst::{Inst, InstData};
             use crate::value::InstId;
-            func.blocks.push(crate::function::Block { name: "entry".into(), insts: vec![] });
+            func.blocks.push(crate::function::Block {
+                name: "entry".into(),
+                insts: vec![],
+            });
             // %0 = add %1, 1   (uses %1 before it exists)
             func.insts.push(InstData {
                 inst: Inst::Binary {
@@ -497,10 +517,17 @@ mod tests {
             });
             // %1 = add 1, 1
             func.insts.push(InstData {
-                inst: Inst::Binary { op: BinOp::Add, lhs: Value::const_int(1), rhs: Value::const_int(1) },
+                inst: Inst::Binary {
+                    op: BinOp::Add,
+                    lhs: Value::const_int(1),
+                    rhs: Value::const_int(1),
+                },
                 ty: Type::I64,
             });
-            func.insts.push(InstData { inst: Inst::Ret { value: None }, ty: Type::Void });
+            func.insts.push(InstData {
+                inst: Inst::Ret { value: None },
+                ty: Type::Void,
+            });
             func.blocks[0].insts = vec![InstId(0), InstId(1), InstId(2)];
         }
         let err = m.verify().unwrap_err();

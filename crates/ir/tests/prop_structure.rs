@@ -33,7 +33,9 @@ fn build(terms: &[Term]) -> Module {
     let f = m.declare_function_with("f", &[("c", Type::Bool)], Type::Void);
     {
         let mut b = FunctionBuilder::new(m.function_mut(f));
-        let blocks: Vec<_> = (0..terms.len()).map(|i| b.create_block(format!("b{i}"))).collect();
+        let blocks: Vec<_> = (0..terms.len())
+            .map(|i| b.create_block(format!("b{i}")))
+            .collect();
         for (i, t) in terms.iter().enumerate() {
             b.switch_to_block(blocks[i]);
             match t {
@@ -106,6 +108,7 @@ proptest! {
         let dom = DomTree::new(&cfg);
         let n = terms.len();
         let reference = reference_dominators(&cfg, n);
+        #[allow(clippy::needless_range_loop)] // a/b index two structures symmetrically
         for a in 0..n {
             for b in 0..n {
                 use pspdg_ir::BlockId;

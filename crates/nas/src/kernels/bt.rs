@@ -102,8 +102,7 @@ mod tests {
             .find(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. }))
             .unwrap()
             .1;
-        let privs: Vec<String> =
-            for_dir.privatized_vars().map(|v| p.var_name(v)).collect();
+        let privs: Vec<String> = for_dir.privatized_vars().map(|v| p.var_name(v)).collect();
         assert!(privs.contains(&"workc".to_string()));
         assert!(privs.contains(&"workd".to_string()));
     }

@@ -53,7 +53,8 @@ int main() {{
     );
     Benchmark {
         name: "IS",
-        description: "bucket counting: private histogram, indirect subscript, prefix sum, critical merge",
+        description:
+            "bucket counting: private histogram, indirect subscript, prefix sum, critical merge",
         source,
     }
 }

@@ -86,8 +86,7 @@ mod tests {
             .find(|(_, d)| matches!(d.kind, pspdg_parallel::DirectiveKind::For { .. }))
             .expect("annotated line loop")
             .1;
-        let privs: Vec<String> =
-            for_dir.privatized_vars().map(|v| p.var_name(v)).collect();
+        let privs: Vec<String> = for_dir.privatized_vars().map(|v| p.var_name(v)).collect();
         assert!(privs.contains(&"work".to_string()));
     }
 }

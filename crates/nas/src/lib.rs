@@ -86,7 +86,9 @@ pub fn suite(class: Class) -> Vec<Benchmark> {
 
 /// Look a benchmark up by (case-insensitive) name.
 pub fn benchmark(name: &str, class: Class) -> Option<Benchmark> {
-    suite(class).into_iter().find(|b| b.name.eq_ignore_ascii_case(name))
+    suite(class)
+        .into_iter()
+        .find(|b| b.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

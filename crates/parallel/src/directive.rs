@@ -199,7 +199,10 @@ impl DirectiveKind {
     pub fn is_loop_construct(&self) -> bool {
         matches!(
             self,
-            DirectiveKind::For { .. } | DirectiveKind::Taskloop | DirectiveKind::Simd | DirectiveKind::CilkFor
+            DirectiveKind::For { .. }
+                | DirectiveKind::Taskloop
+                | DirectiveKind::Simd
+                | DirectiveKind::CilkFor
         )
     }
 
@@ -267,7 +270,11 @@ impl Region {
     pub fn new(func: FuncId, mut blocks: Vec<BlockId>, entry: BlockId) -> Region {
         blocks.sort();
         blocks.dedup();
-        Region { func, blocks, entry }
+        Region {
+            func,
+            blocks,
+            entry,
+        }
     }
 
     /// Whether `bb` belongs to the region.
@@ -297,7 +304,12 @@ pub struct Directive {
 impl Directive {
     /// Generic constructor.
     pub fn new(kind: DirectiveKind, region: Region) -> Directive {
-        Directive { kind, region, loop_header: None, clauses: Vec::new() }
+        Directive {
+            kind,
+            region,
+            loop_header: None,
+            clauses: Vec::new(),
+        }
     }
 
     /// `#pragma omp parallel` over `region`.
@@ -308,7 +320,11 @@ impl Directive {
     /// `#pragma omp for` over the loop with header `header`.
     pub fn omp_for(region: Region, header: BlockId) -> Directive {
         Directive {
-            kind: DirectiveKind::For { schedule: Schedule::default(), nowait: false, ordered: false },
+            kind: DirectiveKind::For {
+                schedule: Schedule::default(),
+                nowait: false,
+                ordered: false,
+            },
             region,
             loop_header: Some(header),
             clauses: Vec::new(),
@@ -340,7 +356,10 @@ impl Directive {
 
     /// Clauses that privatize a variable, with the variable.
     pub fn privatized_vars(&self) -> impl Iterator<Item = VarRef> + '_ {
-        self.clauses.iter().filter(|c| c.privatizes()).map(|c| c.var())
+        self.clauses
+            .iter()
+            .filter(|c| c.privatizes())
+            .map(|c| c.var())
     }
 
     /// Reduction clauses `(op, var)`.
@@ -362,7 +381,12 @@ impl Directive {
 
 impl std::fmt::Display for Directive {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "#pragma {} on {} blocks", self.kind.name(), self.region.blocks.len())?;
+        write!(
+            f,
+            "#pragma {} on {} blocks",
+            self.kind.name(),
+            self.region.blocks.len()
+        )?;
         if let Some(h) = self.loop_header {
             write!(f, " (loop @ {h})")?;
         }
@@ -397,17 +421,27 @@ mod tests {
 
     #[test]
     fn region_dedups_blocks() {
-        let r = Region::new(FuncId(0), vec![BlockId(3), BlockId(1), BlockId(3)], BlockId(1));
+        let r = Region::new(
+            FuncId(0),
+            vec![BlockId(3), BlockId(1), BlockId(3)],
+            BlockId(1),
+        );
         assert_eq!(r.blocks, vec![BlockId(1), BlockId(3)]);
     }
 
     #[test]
     fn directive_clause_queries() {
         let v = VarRef::Global(GlobalId(0));
-        let w = VarRef::Alloca { func: FuncId(0), inst: InstId(5) };
+        let w = VarRef::Alloca {
+            func: FuncId(0),
+            inst: InstId(5),
+        };
         let d = Directive::parallel_for(region(&[1, 2]), BlockId(1))
             .with_clause(DataClause::Private(v))
-            .with_clause(DataClause::Reduction { op: ReductionOp::Add, var: w });
+            .with_clause(DataClause::Reduction {
+                op: ReductionOp::Add,
+                var: w,
+            });
         let priv_vars: Vec<_> = d.privatized_vars().collect();
         assert_eq!(priv_vars, vec![v, w]);
         let reds: Vec<_> = d.reductions().collect();

@@ -18,7 +18,10 @@ pub struct ParallelProgram {
 impl ParallelProgram {
     /// Wrap a module with no directives yet.
     pub fn new(module: Module) -> ParallelProgram {
-        ParallelProgram { module, directives: Vec::new() }
+        ParallelProgram {
+            module,
+            directives: Vec::new(),
+        }
     }
 
     /// Append a directive, returning its id.
@@ -52,8 +55,12 @@ impl ParallelProgram {
     }
 
     /// Directives annotating function `func`.
-    pub fn directives_in(&self, func: FuncId) -> impl Iterator<Item = (DirectiveId, &Directive)> + '_ {
-        self.directives().filter(move |(_, d)| d.region.func == func)
+    pub fn directives_in(
+        &self,
+        func: FuncId,
+    ) -> impl Iterator<Item = (DirectiveId, &Directive)> + '_ {
+        self.directives()
+            .filter(move |(_, d)| d.region.func == func)
     }
 
     /// The innermost directive whose region encloses that of `id`
@@ -72,7 +79,11 @@ impl ParallelProgram {
             }
             best = Some(match best {
                 None => other_id,
-                Some(cur) if self.directive(cur).region.blocks.len() > other.region.blocks.len() => other_id,
+                Some(cur)
+                    if self.directive(cur).region.blocks.len() > other.region.blocks.len() =>
+                {
+                    other_id
+                }
                 Some(cur) => cur,
             });
         }
@@ -90,7 +101,12 @@ impl ParallelProgram {
         self.directives_in(func)
             .find(|(_, d)| {
                 d.loop_header == Some(header)
-                    && matches!(d.kind, DirectiveKind::For { .. } | DirectiveKind::CilkFor | DirectiveKind::Taskloop)
+                    && matches!(
+                        d.kind,
+                        DirectiveKind::For { .. }
+                            | DirectiveKind::CilkFor
+                            | DirectiveKind::Taskloop
+                    )
             })
             .map(|(id, _)| id)
     }
@@ -101,11 +117,15 @@ impl ParallelProgram {
     ///
     /// Returns the first malformed directive found.
     pub fn validate(&self) -> Result<(), ParallelError> {
-        self.module
-            .verify()
-            .map_err(|e| ParallelError { directive: None, message: e.to_string() })?;
+        self.module.verify().map_err(|e| ParallelError {
+            directive: None,
+            message: e.to_string(),
+        })?;
         for (id, d) in self.directives() {
-            let err = |message: String| ParallelError { directive: Some(id), message };
+            let err = |message: String| ParallelError {
+                directive: Some(id),
+                message,
+            };
             let func_id = d.region.func;
             if func_id.index() >= self.module.functions.len() {
                 return Err(err(format!("region references unknown function {func_id}")));
@@ -126,15 +146,15 @@ impl ParallelProgram {
             // are covered by the directive region.
             if d.kind.is_loop_construct() {
                 let Some(header) = d.loop_header else {
-                    return Err(err(format!("{} directive has no associated loop", d.kind.name())));
+                    return Err(err(format!(
+                        "{} directive has no associated loop",
+                        d.kind.name()
+                    )));
                 };
                 let cfg = Cfg::new(func);
                 let dom = DomTree::new(&cfg);
                 let forest = LoopForest::new(func, &cfg, &dom);
-                let Some(lid) = forest
-                    .loop_ids()
-                    .find(|l| forest.info(*l).header == header)
-                else {
+                let Some(lid) = forest.loop_ids().find(|l| forest.info(*l).header == header) else {
                     return Err(err(format!(
                         "{} directive: block {header} is not a loop header",
                         d.kind.name()
@@ -160,9 +180,7 @@ impl ParallelProgram {
                         }
                         let data = &self.module.function(vf).insts[inst.index()];
                         if !matches!(data.inst, Inst::Alloca { .. }) {
-                            return Err(err(format!(
-                                "clause variable {inst} is not an alloca"
-                            )));
+                            return Err(err(format!("clause variable {inst} is not an alloca")));
                         }
                     }
                     VarRef::Global(g) => {
@@ -186,16 +204,12 @@ impl ParallelProgram {
     /// Human-readable description of a variable reference (diagnostics).
     pub fn var_name(&self, var: VarRef) -> String {
         match var {
-            VarRef::Alloca { func, inst } => {
-                match &self.module.function(func).inst(inst).inst {
-                    Inst::Alloca { name, .. } => name.clone(),
-                    _ => format!("{inst}"),
-                }
-            }
+            VarRef::Alloca { func, inst } => match &self.module.function(func).inst(inst).inst {
+                Inst::Alloca { name, .. } => name.clone(),
+                _ => format!("{inst}"),
+            },
             VarRef::Global(g) => self.module.global(g).name.clone(),
-            VarRef::Param { func, index } => {
-                self.module.function(func).params[index].name.clone()
-            }
+            VarRef::Param { func, index } => self.module.function(func).params[index].name.clone(),
         }
     }
 }
@@ -299,7 +313,10 @@ mod tests {
         let (mut p, f) = loop_program();
         let d = Directive::parallel_for(loop_region(f), BlockId(1)).with_clause(
             // Instruction 2 is the `store`, not an alloca.
-            DataClause::Private(VarRef::Alloca { func: f, inst: InstId(2) }),
+            DataClause::Private(VarRef::Alloca {
+                func: f,
+                inst: InstId(2),
+            }),
         );
         p.add(d);
         let err = p.validate().unwrap_err();
@@ -332,11 +349,18 @@ mod tests {
     #[test]
     fn var_name_resolution() {
         let (mut p, f) = loop_program();
-        let d = Directive::parallel_for(loop_region(f), BlockId(1))
-            .with_clause(DataClause::Private(VarRef::Alloca { func: f, inst: InstId(0) }));
+        let d = Directive::parallel_for(loop_region(f), BlockId(1)).with_clause(
+            DataClause::Private(VarRef::Alloca {
+                func: f,
+                inst: InstId(0),
+            }),
+        );
         p.add(d);
         assert_eq!(
-            p.var_name(VarRef::Alloca { func: f, inst: InstId(0) }),
+            p.var_name(VarRef::Alloca {
+                func: f,
+                inst: InstId(0)
+            }),
             "a"
         );
     }

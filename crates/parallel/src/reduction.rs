@@ -96,10 +96,22 @@ mod tests {
 
     #[test]
     fn identities() {
-        assert_eq!(ReductionOp::Add.identity(&Type::I64), Some(Constant::Int(0)));
-        assert_eq!(ReductionOp::Mul.identity(&Type::F64), Some(Constant::Float(1.0)));
-        assert_eq!(ReductionOp::Min.identity(&Type::I64), Some(Constant::Int(i64::MAX)));
-        assert_eq!(ReductionOp::LogAnd.identity(&Type::Bool), Some(Constant::Bool(true)));
+        assert_eq!(
+            ReductionOp::Add.identity(&Type::I64),
+            Some(Constant::Int(0))
+        );
+        assert_eq!(
+            ReductionOp::Mul.identity(&Type::F64),
+            Some(Constant::Float(1.0))
+        );
+        assert_eq!(
+            ReductionOp::Min.identity(&Type::I64),
+            Some(Constant::Int(i64::MAX))
+        );
+        assert_eq!(
+            ReductionOp::LogAnd.identity(&Type::Bool),
+            Some(Constant::Bool(true))
+        );
         // no float bitand
         assert_eq!(ReductionOp::BitAnd.identity(&Type::F64), None);
         let custom = ReductionOp::Custom { merger: FuncId(0) };

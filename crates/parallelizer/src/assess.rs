@@ -61,10 +61,7 @@ pub fn assess_loop(
 }
 
 /// Canonical IV slots of `loop_id` and all loops nested within it.
-pub fn nested_canonical_ivs(
-    analyses: &FunctionAnalyses,
-    loop_id: LoopId,
-) -> Vec<pspdg_ir::InstId> {
+pub fn nested_canonical_ivs(analyses: &FunctionAnalyses, loop_id: LoopId) -> Vec<pspdg_ir::InstId> {
     let mut out = Vec::new();
     let mut stack = vec![loop_id];
     while let Some(l) = stack.pop() {
@@ -85,7 +82,12 @@ mod tests {
 
     fn setup(
         src: &str,
-    ) -> (pspdg_parallel::ParallelProgram, FunctionAnalyses, Pdg, pspdg_core::PsPdg) {
+    ) -> (
+        pspdg_parallel::ParallelProgram,
+        FunctionAnalyses,
+        Pdg,
+        pspdg_core::PsPdg,
+    ) {
         let p = compile(src).unwrap();
         let f = p.module.function_by_name("k").unwrap();
         let a = FunctionAnalyses::compute(&p.module, f);
@@ -130,7 +132,10 @@ mod tests {
         assert!(base.seq_sccs >= 1);
         let view = query::loop_view(&ps, &a, l);
         let psa = assess_loop(&p.module, &view, &a, l);
-        assert!(psa.doall, "PS-PDG knows the programmer declared independence");
+        assert!(
+            psa.doall,
+            "PS-PDG knows the programmer declared independence"
+        );
     }
 
     #[test]

@@ -12,11 +12,12 @@
 
 use std::collections::BTreeMap;
 
-use pspdg_core::{build_pspdg, query, FeatureSet};
+use pspdg_core::{build_pspdg, build_pspdg_module, query, FeatureSet, FunctionPsPdg};
 use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, LoopId};
 use pspdg_parallel::ParallelProgram;
 use pspdg_pdg::{FunctionAnalyses, Pdg};
+use rayon::prelude::*;
 
 use crate::assess::assess_loop;
 use crate::hotloops::hot_loops;
@@ -58,7 +59,14 @@ pub fn enumerate_function(
     machine: &MachineModel,
     threshold: f64,
 ) -> FunctionOptions {
-    enumerate_function_with_features(program, func, profile, machine, threshold, FeatureSet::all())
+    enumerate_function_with_features(
+        program,
+        func,
+        profile,
+        machine,
+        threshold,
+        FeatureSet::all(),
+    )
 }
 
 /// Enumerate options for one function, building the PS-PDG with an ablated
@@ -75,9 +83,34 @@ pub fn enumerate_function_with_features(
     let analyses = FunctionAnalyses::compute(&program.module, func);
     let pdg = Pdg::build(&program.module, func, &analyses);
     let pspdg = build_pspdg(program, func, &analyses, &pdg, features);
-    let jk = jk_view(program, &analyses, &pdg);
+    let prepared = FunctionPsPdg {
+        func,
+        analyses,
+        pdg,
+        pspdg,
+    };
+    enumerate_prepared(program, &prepared, profile, machine, threshold)
+}
 
-    let hot = hot_loops(&program.module, func, &analyses, profile, threshold);
+/// Enumerate options for one function whose analyses/PDG/PS-PDG were
+/// already built (by [`build_pspdg_module`]'s parallel driver).
+fn enumerate_prepared(
+    program: &ParallelProgram,
+    prepared: &FunctionPsPdg,
+    profile: &Profile,
+    machine: &MachineModel,
+    threshold: f64,
+) -> FunctionOptions {
+    let FunctionPsPdg {
+        func,
+        analyses,
+        pdg,
+        pspdg,
+    } = prepared;
+    let func = *func;
+    let jk = jk_view(program, analyses, pdg);
+
+    let hot = hot_loops(&program.module, func, analyses, profile, threshold);
     let mut totals: BTreeMap<Abstraction, u64> = BTreeMap::new();
     let mut per_loop = Vec::new();
 
@@ -92,23 +125,27 @@ pub fn enumerate_function_with_features(
         }
         // Non-canonical loops (unknown trip count) are still HELIX/DSWP
         // candidates; only DOALL requires the canonical shape.
+        let ps_view = query::loop_view(pspdg, analyses, l);
         for (abstraction, view) in [
-            (Abstraction::Pdg, pdg.clone()),
-            (Abstraction::Jk, jk.clone()),
-            (Abstraction::PsPdg, query::loop_view(&pspdg, &analyses, l)),
+            (Abstraction::Pdg, pdg),
+            (Abstraction::Jk, &jk),
+            (Abstraction::PsPdg, &ps_view),
         ] {
-            let a = assess_loop(&program.module, &view, &analyses, l);
+            let a = assess_loop(&program.module, view, analyses, l);
             let n = if a.doall {
                 machine.doall_options()
             } else {
-                machine.helix_options(a.seq_sccs as u64)
-                    + machine.dswp_options(a.total_sccs as u64)
+                machine.helix_options(a.seq_sccs as u64) + machine.dswp_options(a.total_sccs as u64)
             };
             *totals.entry(abstraction).or_insert(0) += n;
             per_loop.push((l, abstraction, n));
         }
     }
-    FunctionOptions { func, totals, per_loop }
+    FunctionOptions {
+        func,
+        totals,
+        per_loop,
+    }
 }
 
 /// Enumerate options for every function of a program (the per-benchmark
@@ -123,6 +160,11 @@ pub fn enumerate_program(
 }
 
 /// [`enumerate_program`] with an ablated PS-PDG feature set.
+///
+/// Analyses, PDGs, and PS-PDGs are built for all functions through the
+/// parallel module driver, and per-function enumeration also fans out
+/// across threads; the returned totals and per-function order are
+/// deterministic (module function order).
 pub fn enumerate_program_with_features(
     program: &ParallelProgram,
     profile: &Profile,
@@ -130,12 +172,14 @@ pub fn enumerate_program_with_features(
     threshold: f64,
     features: FeatureSet,
 ) -> ProgramOptions {
+    // `build_pspdg_module` already skips declared-but-bodyless functions.
+    let built = build_pspdg_module(program, features);
+    let functions: Vec<FunctionOptions> = built
+        .par_iter()
+        .map(|prepared| enumerate_prepared(program, prepared, profile, machine, threshold))
+        .collect();
     let mut out = ProgramOptions::default();
-    for func in program.module.function_ids() {
-        if program.module.function(func).blocks.is_empty() {
-            continue;
-        }
-        let f = enumerate_function_with_features(program, func, profile, machine, threshold, features);
+    for f in functions {
         for (a, n) in &f.totals {
             *out.totals.entry(*a).or_insert(0) += n;
         }
@@ -181,7 +225,10 @@ mod tests {
         assert_eq!(o.total(Abstraction::PsPdg), m.doall_options());
         assert_eq!(o.total(Abstraction::Jk), m.doall_options());
         assert!(o.total(Abstraction::Pdg) < o.total(Abstraction::PsPdg));
-        assert!(o.total(Abstraction::Pdg) > 0, "HELIX/DSWP still offer options");
+        assert!(
+            o.total(Abstraction::Pdg) > 0,
+            "HELIX/DSWP still offer options"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn hot_loops(
     for l in analyses.forest.loop_ids() {
         let info = analyses.forest.info(l);
         let cost = profile.block_set_cost(module, func, &info.blocks);
-        let coverage = if profile.total == 0 { 0.0 } else { cost as f64 / profile.total as f64 };
+        let coverage = if profile.total == 0 {
+            0.0
+        } else {
+            cost as f64 / profile.total as f64
+        };
         if coverage < threshold {
             continue;
         }

@@ -14,7 +14,10 @@ pub struct MachineModel {
 impl MachineModel {
     /// The paper's 56-core evaluation machine with 8 chunk sizes.
     pub fn paper() -> MachineModel {
-        MachineModel { cores: 56, chunk_sizes: 8 }
+        MachineModel {
+            cores: 56,
+            chunk_sizes: 8,
+        }
     }
 
     /// Options for one DOALL-parallelizable loop.

@@ -14,11 +14,12 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use pspdg_core::{build_pspdg, query, FeatureSet, PsEdge, PsPdg};
+use pspdg_core::{build_pspdg_module, query, FeatureSet, FunctionPsPdg, PsEdge, PsPdg};
 use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, InstId, LoopId};
 use pspdg_parallel::{DirectiveKind, ParallelProgram};
 use pspdg_pdg::{FunctionAnalyses, MemBase, Pdg};
+use rayon::prelude::*;
 
 use crate::assess::assess_loop;
 use crate::hotloops::hot_loops;
@@ -131,32 +132,57 @@ pub fn build_plan(
     threshold: f64,
 ) -> ProgramPlan {
     let parallel_spawns = matches!(abstraction, Abstraction::OpenMp | Abstraction::PsPdg);
-    let mut plan =
-        ProgramPlan { abstraction, loops: HashMap::new(), mutexes: Vec::new(), parallel_spawns };
-    for func in program.module.function_ids() {
-        if program.module.function(func).blocks.is_empty() {
-            continue;
-        }
-        plan_function(program, func, profile, abstraction, threshold, &mut plan);
+    let mut plan = ProgramPlan {
+        abstraction,
+        loops: HashMap::new(),
+        mutexes: Vec::new(),
+        parallel_spawns,
+    };
+    // Per-function planning is independent: build every function's
+    // analyses/PDG/PS-PDG through the parallel module driver, plan each
+    // function concurrently, and merge in module function order so the
+    // plan is deterministic.
+    let built = build_pspdg_module(program, FeatureSet::all());
+    let parts: Vec<FunctionPlanParts> = built
+        .par_iter()
+        .map(|prepared| plan_function(program, prepared, profile, abstraction, threshold))
+        .collect();
+    for part in parts {
+        plan.loops.extend(part.loops);
+        plan.mutexes.extend(part.mutexes);
     }
     plan
 }
 
+/// One function's contribution to a [`ProgramPlan`].
+#[derive(Debug, Default)]
+struct FunctionPlanParts {
+    loops: Vec<((FuncId, LoopId), LoopPlanSpec)>,
+    mutexes: Vec<MutexSpec>,
+}
+
 fn plan_function(
     program: &ParallelProgram,
-    func: FuncId,
+    prepared: &FunctionPsPdg,
     profile: &Profile,
     abstraction: Abstraction,
     threshold: f64,
-    plan: &mut ProgramPlan,
-) {
-    let analyses = FunctionAnalyses::compute(&program.module, func);
-    let pdg = Pdg::build(&program.module, func, &analyses);
-    let pspdg = build_pspdg(program, func, &analyses, &pdg, FeatureSet::all());
+) -> FunctionPlanParts {
+    let mut plan = FunctionPlanParts::default();
+    let FunctionPsPdg {
+        func,
+        analyses,
+        pdg,
+        pspdg,
+    } = prepared;
+    let func = *func;
 
     // --- developer-expressed loops (OpenMP plan; also nested into J&K and
     //     PS-PDG plans) -----------------------------------------------------
-    if matches!(abstraction, Abstraction::OpenMp | Abstraction::Jk | Abstraction::PsPdg) {
+    if matches!(
+        abstraction,
+        Abstraction::OpenMp | Abstraction::Jk | Abstraction::PsPdg
+    ) {
         for (_, d) in program.directives_in(func) {
             let is_ws = matches!(
                 d.kind,
@@ -165,23 +191,30 @@ fn plan_function(
             if !is_ws {
                 continue;
             }
-            let Some(header) = d.loop_header else { continue };
-            let Some(l) =
-                analyses.forest.loop_ids().find(|l| analyses.forest.info(*l).header == header)
+            let Some(header) = d.loop_header else {
+                continue;
+            };
+            let Some(l) = analyses
+                .forest
+                .loop_ids()
+                .find(|l| analyses.forest.info(*l).header == header)
             else {
                 continue;
             };
             let nowait = matches!(d.kind, DirectiveKind::For { nowait: true, .. });
-            let spec = developer_loop_spec(program, func, &analyses, &pdg, &pspdg, l, nowait);
-            plan.loops.insert((func, l), spec);
+            let spec = developer_loop_spec(program, func, analyses, pdg, pspdg, l, nowait);
+            plan.loops.push(((func, l), spec));
         }
     }
 
     // --- compiler-discovered loops ----------------------------------------
-    if matches!(abstraction, Abstraction::Pdg | Abstraction::Jk | Abstraction::PsPdg) {
-        let hot = hot_loops(&program.module, func, &analyses, profile, threshold);
+    if matches!(
+        abstraction,
+        Abstraction::Pdg | Abstraction::Jk | Abstraction::PsPdg
+    ) {
+        let hot = hot_loops(&program.module, func, analyses, profile, threshold);
         let hot_set: BTreeSet<LoopId> = hot.iter().map(|h| h.loop_id).collect();
-        let jk = jk_view(program, &analyses, &pdg);
+        let jk = jk_view(program, analyses, pdg);
         // Outermost-first: parallelize the outermost hot canonical loop of
         // each nest; descend only when a loop is not plannable.
         let mut stack: Vec<LoopId> = analyses.forest.top_level();
@@ -190,16 +223,20 @@ fn plan_function(
                 stack.extend(analyses.forest.info(l).children.iter().copied());
                 continue;
             }
-            if plan.loops.contains_key(&(func, l)) {
+            if plan.loops.iter().any(|(k, _)| *k == (func, l)) {
                 continue; // already planned as a developer loop
             }
-            let view = match abstraction {
-                Abstraction::Pdg => pdg.clone(),
-                Abstraction::Jk => jk.clone(),
-                Abstraction::PsPdg => query::loop_view(&pspdg, &analyses, l),
+            let ps_view;
+            let view: &Pdg = match abstraction {
+                Abstraction::Pdg => pdg,
+                Abstraction::Jk => &jk,
+                Abstraction::PsPdg => {
+                    ps_view = query::loop_view(pspdg, analyses, l);
+                    &ps_view
+                }
                 Abstraction::OpenMp => unreachable!(),
             };
-            let assessment = assess_loop(&program.module, &view, &analyses, l);
+            let assessment = assess_loop(&program.module, view, analyses, l);
             let technique = if assessment.doall {
                 PlannedTechnique::Doall
             } else if assessment.par_sccs > 0 {
@@ -213,9 +250,9 @@ fn plan_function(
                 stack.extend(analyses.forest.info(l).children.iter().copied());
                 continue;
             };
-            let ignored = removed_bases(&pdg, &view, &analyses, l);
-            let reductions = reduction_bases(&pspdg, &analyses, l, &ignored, abstraction);
-            plan.loops.insert(
+            let ignored = removed_bases(pdg, view, analyses, l);
+            let reductions = reduction_bases(pspdg, analyses, l, &ignored, abstraction);
+            plan.loops.push((
                 (func, l),
                 LoopPlanSpec {
                     func,
@@ -226,7 +263,7 @@ fn plan_function(
                     // Compiler-generated parallel loops are fork-join.
                     end_barrier: true,
                 },
-            );
+            ));
         }
     }
 
@@ -270,6 +307,7 @@ fn plan_function(
         }
         Abstraction::Pdg => {}
     }
+    plan
 }
 
 /// Plan spec of a developer-annotated worksharing loop: DOALL with the

@@ -34,7 +34,10 @@ pub fn realize_plan(program: &ParallelProgram, plan: &ProgramPlan) -> (ParallelP
         let func: FuncId = spec.func;
         let analyses = FunctionAnalyses::compute(&program.module, func);
         let info = analyses.forest.info(spec.loop_id);
-        if program.worksharing_loop_directive(func, info.header).is_some() {
+        if program
+            .worksharing_loop_directive(func, info.header)
+            .is_some()
+        {
             continue; // the programmer already expressed this one
         }
         let region = Region::new(func, info.blocks.clone(), info.header);
@@ -71,10 +74,16 @@ mod tests {
         let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
         let (realized, added) = realize_plan(&p, &plan);
         assert_eq!(added, 2, "both loops are DOALL and previously unannotated");
-        realized.validate().expect("realized program is well-formed");
+        realized
+            .validate()
+            .expect("realized program is well-formed");
         let mut interp2 = Interpreter::new(&realized.module);
         interp2.run_main(&mut NullSink).unwrap();
-        assert_eq!(interp.steps(), interp2.steps(), "directives never change semantics");
+        assert_eq!(
+            interp.steps(),
+            interp2.steps(),
+            "directives never change semantics"
+        );
     }
 
     #[test]

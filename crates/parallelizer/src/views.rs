@@ -26,8 +26,12 @@ pub enum Abstraction {
 
 impl Abstraction {
     /// All four, in the paper's legend order.
-    pub const ALL: [Abstraction; 4] =
-        [Abstraction::OpenMp, Abstraction::Pdg, Abstraction::Jk, Abstraction::PsPdg];
+    pub const ALL: [Abstraction; 4] = [
+        Abstraction::OpenMp,
+        Abstraction::Pdg,
+        Abstraction::Jk,
+        Abstraction::PsPdg,
+    ];
 }
 
 impl fmt::Display for Abstraction {
@@ -71,12 +75,20 @@ pub fn jk_view(program: &ParallelProgram, analyses: &FunctionAnalyses, pdg: &Pdg
     for (_, d) in program.directives_in(func) {
         if !matches!(
             d.kind,
-            DirectiveKind::For { .. } | DirectiveKind::CilkFor | DirectiveKind::Taskloop | DirectiveKind::Simd
+            DirectiveKind::For { .. }
+                | DirectiveKind::CilkFor
+                | DirectiveKind::Taskloop
+                | DirectiveKind::Simd
         ) {
             continue;
         }
-        let Some(header) = d.loop_header else { continue };
-        let Some(l) = analyses.forest.loop_ids().find(|l| analyses.forest.info(*l).header == header)
+        let Some(header) = d.loop_header else {
+            continue;
+        };
+        let Some(l) = analyses
+            .forest
+            .loop_ids()
+            .find(|l| analyses.forest.info(*l).header == header)
         else {
             continue;
         };
@@ -150,7 +162,10 @@ mod tests {
         let before = pdg.carried_edges(l).count();
         let jk = jk_view(&p, &a, &pdg);
         let after = jk.carried_edges(l).count();
-        assert!(after < before, "J&K must remove the histogram's carried deps");
+        assert!(
+            after < before,
+            "J&K must remove the histogram's carried deps"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub struct Affine {
 impl Affine {
     /// The constant `c`.
     pub fn constant(c: i64) -> Affine {
-        Affine { constant: c, ..Default::default() }
+        Affine {
+            constant: c,
+            ..Default::default()
+        }
     }
 
     /// The single IV term `iv(l)`.
@@ -121,7 +124,13 @@ pub fn affine_of(
     region: Option<LoopId>,
     value: Value,
 ) -> Option<Affine> {
-    let mut ctx = AffineCx { func, analyses, stores_by_base, region, depth: 0 };
+    let mut ctx = AffineCx {
+        func,
+        analyses,
+        stores_by_base,
+        region,
+        depth: 0,
+    };
     ctx.eval(value)
 }
 
@@ -229,9 +238,10 @@ impl AffineCx<'_> {
                     _ => None,
                 }
             }
-            Inst::Unary { op: pspdg_ir::UnOp::Neg, operand } => {
-                Some(self.eval(*operand)?.scale(-1))
-            }
+            Inst::Unary {
+                op: pspdg_ir::UnOp::Neg,
+                operand,
+            } => Some(self.eval(*operand)?.scale(-1)),
             _ => None,
         }
     }

@@ -30,7 +30,10 @@ pub enum MemBase {
 impl MemBase {
     /// Whether this base refers to a concrete object (not `Io`/`Unknown`).
     pub fn is_object(self) -> bool {
-        matches!(self, MemBase::Alloca(_) | MemBase::Global(_) | MemBase::Param(_))
+        matches!(
+            self,
+            MemBase::Alloca(_) | MemBase::Global(_) | MemBase::Param(_)
+        )
     }
 }
 

@@ -61,7 +61,10 @@ mod tests {
             .map(|bb| {
                 (
                     func.block(bb).name.clone(),
-                    deps[bb.index()].iter().map(|d| func.block(*d).name.clone()).collect(),
+                    deps[bb.index()]
+                        .iter()
+                        .map(|d| func.block(*d).name.clone())
+                        .collect(),
                 )
             })
             .collect()

@@ -8,8 +8,6 @@
 //! for harder cases, mirroring a production dependence analysis's
 //! conservative ladder.
 
-use std::collections::BTreeMap;
-
 use pspdg_ir::{BlockId, InstId, LoopId};
 
 use crate::affine::Affine;
@@ -50,7 +48,11 @@ impl DepTestResult {
     }
 
     fn conservative(common: &[LoopId]) -> DepTestResult {
-        DepTestResult { dependent: true, carried: common.to_vec(), intra: true }
+        DepTestResult {
+            dependent: true,
+            carried: common.to_vec(),
+            intra: true,
+        }
     }
 }
 
@@ -84,25 +86,55 @@ pub fn test_dependence(
     if fa.sym_terms != fb.sym_terms {
         return DepTestResult::conservative(common);
     }
-    let c = fb.constant - fa.constant; // Σ aᵏ·dᵏ = c with d = i_a - i_b
-    // Union of loops whose IVs appear.
-    let mut coeffs: BTreeMap<LoopId, (i64, i64)> = BTreeMap::new();
-    for (l, v) in &fa.iv_terms {
-        coeffs.entry(*l).or_insert((0, 0)).0 = *v;
-    }
-    for (l, v) in &fb.iv_terms {
-        coeffs.entry(*l).or_insert((0, 0)).1 = *v;
+    // Σ aᵏ·dᵏ = c with d = i_a - i_b.
+    let c = fb.constant - fa.constant;
+    // Union of loops whose IVs appear: a sorted-merge walk over the two
+    // (already ordered) coefficient maps — no per-pair map allocation, as
+    // this runs once per may-aliasing reference pair.
+    let mut coeffs: Vec<(LoopId, i64, i64)> =
+        Vec::with_capacity(fa.iv_terms.len() + fb.iv_terms.len());
+    {
+        let mut ia = fa.iv_terms.iter().peekable();
+        let mut ib = fb.iv_terms.iter().peekable();
+        loop {
+            match (ia.peek(), ib.peek()) {
+                (Some((la, va)), Some((lb, vb))) => match la.cmp(lb) {
+                    std::cmp::Ordering::Less => {
+                        coeffs.push((**la, **va, 0));
+                        ia.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        coeffs.push((**lb, 0, **vb));
+                        ib.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        coeffs.push((**la, **va, **vb));
+                        ia.next();
+                        ib.next();
+                    }
+                },
+                (Some((la, va)), None) => {
+                    coeffs.push((**la, **va, 0));
+                    ia.next();
+                }
+                (None, Some((lb, vb))) => {
+                    coeffs.push((**lb, 0, **vb));
+                    ib.next();
+                }
+                (None, None) => break,
+            }
+        }
     }
     // IVs of loops that do not enclose both accesses range independently on
     // each side; give up precision (their ranges are not coupled).
-    if coeffs.keys().any(|l| !common.contains(l)) {
+    if coeffs.iter().any(|(l, _, _)| !common.contains(l)) {
         return DepTestResult::conservative(common);
     }
-    let aligned = coeffs.values().all(|(x, y)| x == y);
+    let aligned = coeffs.iter().all(|(_, x, y)| x == y);
     if !aligned {
         // General (weak/MIV) case: GCD feasibility test over all
         // coefficients; if gcd ∤ c there is no solution at all.
-        let g = coeffs.values().fold(0i64, |g, (x, y)| gcd(gcd(g, *x), *y));
+        let g = coeffs.iter().fold(0i64, |g, (_, x, y)| gcd(gcd(g, *x), *y));
         if g != 0 && c % g != 0 {
             return DepTestResult::independent();
         }
@@ -111,8 +143,8 @@ pub fn test_dependence(
     // Aligned: Σ a_K·d_K = c, |d_K| ≤ trip_K − 1.
     let nonzero: Vec<(LoopId, i64)> = coeffs
         .iter()
-        .filter(|(_, (x, _))| *x != 0)
-        .map(|(l, (x, _))| (*l, *x))
+        .filter(|(_, x, _)| *x != 0)
+        .map(|(l, x, _)| (*l, *x))
         .collect();
     let trip = |l: LoopId| -> Option<i64> { analyses.canonical_of(l).and_then(|c| c.trip_count()) };
 
@@ -121,8 +153,16 @@ pub fn test_dependence(
         if c != 0 {
             return DepTestResult::independent();
         }
-        let carried = common.iter().copied().filter(|l| trip(*l).is_none_or(|t| t >= 2)).collect();
-        return DepTestResult { dependent: true, carried, intra: true };
+        let carried = common
+            .iter()
+            .copied()
+            .filter(|l| trip(*l).is_none_or(|t| t >= 2))
+            .collect();
+        return DepTestResult {
+            dependent: true,
+            carried,
+            intra: true,
+        };
     }
     if nonzero.len() == 1 {
         // Strong SIV.
@@ -149,7 +189,11 @@ pub fn test_dependence(
                 }
             }
         }
-        return DepTestResult { dependent: true, carried, intra: d == 0 };
+        return DepTestResult {
+            dependent: true,
+            carried,
+            intra: d == 0,
+        };
     }
     // Multiple coupled IVs: GCD feasibility, then conservative carried info.
     let g = nonzero.iter().fold(0i64, |g0, (_, a0)| gcd(g0, *a0));
@@ -257,7 +301,10 @@ mod tests {
         let l = LoopId(0);
         // 2i vs 2i+1: odd vs even cells.
         let r1 = fake_ref(Some(Affine::iv(l).scale(2)), Some(l));
-        let r2 = fake_ref(Some(Affine::iv(l).scale(2).add(&Affine::constant(1))), Some(l));
+        let r2 = fake_ref(
+            Some(Affine::iv(l).scale(2).add(&Affine::constant(1))),
+            Some(l),
+        );
         let res = test_dependence(&a, &r1, &r2, &[l]);
         assert!(!res.dependent);
     }

@@ -1,10 +1,25 @@
 //! The Program Dependence Graph.
+//!
+//! Memory-dependence construction is *bucketed by base object*: the
+//! all-pairs O(R²) sweep over memory references is replaced by pair
+//! enumeration within [`MemBase`] buckets, plus the two cross-bucket
+//! families the alias lattice allows (`Unknown` against every non-I/O
+//! bucket, and pointer parameters against globals). The naive sweep is kept
+//! as an oracle behind `cfg(any(test, feature = "oracle"))` and property
+//! tests assert both builders emit identical edge sets.
+//!
+//! Edges are stored once in a flat arena and served through an
+//! [`EdgeIndex`]: CSR-style per-source and per-destination adjacency, a
+//! per-base-object index, and a per-loop carried-dependence index, so the
+//! PS-PDG directive passes and per-loop queries never rescan the full edge
+//! list.
 
 use std::collections::{BTreeMap, HashMap};
 
 use pspdg_ir::{FuncId, Inst, InstId, Intrinsic, LoopId, Module, Type, Value};
+use rayon::prelude::*;
 
-use crate::affine::{affine_of, stores_by_base_in, Affine};
+use crate::affine::{affine_of, Affine};
 use crate::alias::{may_alias, trace_base, MemBase};
 use crate::control::control_dependences;
 use crate::ddtest::{test_dependence, DepTestResult, MemRef};
@@ -46,7 +61,10 @@ pub enum DepKind {
 impl DepKind {
     /// Whether this is a memory dependence (flow/anti/output).
     pub fn is_memory(&self) -> bool {
-        matches!(self, DepKind::Flow { .. } | DepKind::Anti { .. } | DepKind::Output { .. })
+        matches!(
+            self,
+            DepKind::Flow { .. } | DepKind::Anti { .. } | DepKind::Output { .. }
+        )
     }
 
     /// Loops this dependence is carried at (empty for control/register).
@@ -89,95 +107,169 @@ pub struct PdgEdge {
     pub base: Option<MemBase>,
 }
 
+const NO_EDGES: &[u32] = &[];
+
+/// Secondary indexes over a [`Pdg`]'s edge arena: CSR adjacency by source
+/// and destination instruction, edges grouped by base object, and memory
+/// edges grouped by the loop carrying them.
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    /// CSR offsets into `succ` (length `n_insts + 1`).
+    succ_off: Vec<u32>,
+    /// Edge ids ordered by source instruction.
+    succ: Vec<u32>,
+    /// CSR offsets into `pred` (length `n_insts + 1`).
+    pred_off: Vec<u32>,
+    /// Edge ids ordered by destination instruction.
+    pred: Vec<u32>,
+    /// Memory-edge ids per base object.
+    by_base: BTreeMap<MemBase, Vec<u32>>,
+    /// Memory-edge ids per carrying loop (includes sentinel loop ids used
+    /// by ablated PS-PDGs).
+    carried: BTreeMap<LoopId, Vec<u32>>,
+    /// Memory-edge ids with a non-empty carried set.
+    carried_any: Vec<u32>,
+}
+
+impl EdgeIndex {
+    /// Index `edges` over `n_insts` instruction nodes.
+    pub fn build(n_insts: usize, edges: &[PdgEdge]) -> EdgeIndex {
+        let mut succ_off = vec![0u32; n_insts + 1];
+        let mut pred_off = vec![0u32; n_insts + 1];
+        for e in edges {
+            succ_off[e.src.index() + 1] += 1;
+            pred_off[e.dst.index() + 1] += 1;
+        }
+        for i in 0..n_insts {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ = vec![0u32; edges.len()];
+        let mut pred = vec![0u32; edges.len()];
+        let mut succ_cur = succ_off.clone();
+        let mut pred_cur = pred_off.clone();
+        let mut by_base: BTreeMap<MemBase, Vec<u32>> = BTreeMap::new();
+        let mut carried: BTreeMap<LoopId, Vec<u32>> = BTreeMap::new();
+        let mut carried_any = Vec::new();
+        for (idx, e) in edges.iter().enumerate() {
+            let idx = idx as u32;
+            succ[succ_cur[e.src.index()] as usize] = idx;
+            succ_cur[e.src.index()] += 1;
+            pred[pred_cur[e.dst.index()] as usize] = idx;
+            pred_cur[e.dst.index()] += 1;
+            if let Some(base) = e.base {
+                by_base.entry(base).or_default().push(idx);
+            }
+            let carried_at = e.kind.carried();
+            if !carried_at.is_empty() {
+                carried_any.push(idx);
+                for &l in carried_at {
+                    carried.entry(l).or_default().push(idx);
+                }
+            }
+        }
+        EdgeIndex {
+            succ_off,
+            succ,
+            pred_off,
+            pred,
+            by_base,
+            carried,
+            carried_any,
+        }
+    }
+}
+
 /// The Program Dependence Graph of one function: a node per instruction and
-/// control/register/memory dependence edges.
+/// control/register/memory dependence edges, with secondary indexes for
+/// adjacency, base-object, and carried-loop queries.
 #[derive(Debug, Clone)]
 pub struct Pdg {
     /// The function this PDG describes.
     pub func: FuncId,
     /// All edges.
     pub edges: Vec<PdgEdge>,
-    /// Outgoing edge indices per instruction.
-    succs: Vec<Vec<u32>>,
+    index: EdgeIndex,
     n_insts: usize,
 }
 
+/// One function's PDG together with the structural analyses it was built
+/// from (the unit [`Pdg::build_module`] produces per function).
+#[derive(Debug, Clone)]
+pub struct FunctionPdg {
+    /// The analyzed function.
+    pub func: FuncId,
+    /// Its structural analyses.
+    pub analyses: FunctionAnalyses,
+    /// Its dependence graph.
+    pub pdg: Pdg,
+}
+
 impl Pdg {
-    /// Build the PDG of `func`.
+    /// Build the PDG of `func` with base-object-bucketed dependence
+    /// testing.
     pub fn build(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Pdg {
         let f = module.function(func);
-        let mut edges: Vec<PdgEdge> = Vec::new();
-
-        // 1. Register dependences.
-        for i in f.inst_ids() {
-            for op in f.inst(i).inst.operands() {
-                if let Value::Inst(d) = op {
-                    edges.push(PdgEdge { src: d, dst: i, kind: DepKind::Register, base: None });
-                }
-            }
-        }
-
-        // 2. Control dependences: the branch terminator of each controlling
-        // block → every instruction of the dependent block.
-        let block_deps = control_dependences(f, &analyses.cfg, &analyses.postdom);
-        for bb in f.block_ids() {
-            for &ctrl in &block_deps[bb.index()] {
-                let Some(term) = f.block(ctrl).insts.last().copied() else { continue };
-                for &i in &f.block(bb).insts {
-                    if i != term {
-                        edges.push(PdgEdge {
-                            src: term,
-                            dst: i,
-                            kind: DepKind::Control,
-                            base: None,
-                        });
-                    }
-                }
-            }
-        }
-
-        // 3. Memory dependences.
+        let mut edges = non_memory_edges(module, func, analyses);
         let refs = collect_mem_refs(module, func, analyses);
-        for (ai, a) in refs.iter().enumerate() {
-            for b in refs.iter().skip(ai) {
-                if !a.is_write && !b.is_write {
+        bucketed_memory_edges(analyses, &refs, &mut edges);
+        Pdg::from_edges(func, f.insts.len(), edges)
+    }
+
+    /// Build the PDG of `func` with the naive all-pairs dependence sweep.
+    ///
+    /// This is the oracle the bucketed builder is property-tested against
+    /// (and benchmarked against in `BENCH_pdg.json`); both must produce the
+    /// same edge *set* (order may differ).
+    #[cfg(any(test, feature = "oracle"))]
+    pub fn build_naive(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Pdg {
+        let f = module.function(func);
+        let mut edges = non_memory_edges(module, func, analyses);
+        let refs = collect_mem_refs(module, func, analyses);
+        let mut tester = PairTester::new(analyses, &refs);
+        for ai in 0..refs.len() {
+            for bi in ai..refs.len() {
+                if !may_alias(refs[ai].base, refs[bi].base) {
                     continue;
                 }
-                if a.inst == b.inst && !(a.is_write && b.is_write) {
-                    continue;
-                }
-                if !may_alias(a.base, b.base) {
-                    continue;
-                }
-                let common: Vec<LoopId> = analyses
-                    .forest
-                    .nest_of(a.block)
-                    .into_iter()
-                    .filter(|l| analyses.forest.info(*l).contains(b.block))
-                    .collect();
-                let res = test_dependence(analyses, a, b, &common);
-                if !res.dependent {
-                    continue;
-                }
-                push_memory_edges(&mut edges, a, b, &res);
+                tester.test_pair(ai, bi, &mut edges);
             }
         }
+        Pdg::from_edges(func, f.insts.len(), edges)
+    }
 
-        let mut succs = vec![Vec::new(); f.insts.len()];
-        for (idx, e) in edges.iter().enumerate() {
-            succs[e.src.index()].push(idx as u32);
-        }
-        Pdg { func, edges, succs, n_insts: f.insts.len() }
+    /// Build analyses and PDGs for every function of `module` that has a
+    /// body, distributing functions across threads. Declared-but-bodyless
+    /// functions are skipped (the structural analyses require an entry
+    /// block).
+    pub fn build_module(module: &Module) -> Vec<FunctionPdg> {
+        module
+            .function_ids()
+            .filter(|f| !module.function(*f).blocks.is_empty())
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|func| {
+                let analyses = FunctionAnalyses::compute(module, func);
+                let pdg = Pdg::build(module, func, &analyses);
+                FunctionPdg {
+                    func,
+                    analyses,
+                    pdg,
+                }
+            })
+            .collect()
     }
 
     /// Assemble a PDG from an explicit edge list (used by abstractions that
     /// transform a base PDG, e.g. the PS-PDG's effective graph).
     pub fn from_edges(func: FuncId, n_insts: usize, edges: Vec<PdgEdge>) -> Pdg {
-        let mut succs = vec![Vec::new(); n_insts];
-        for (idx, e) in edges.iter().enumerate() {
-            succs[e.src.index()].push(idx as u32);
+        let index = EdgeIndex::build(n_insts, &edges);
+        Pdg {
+            func,
+            edges,
+            index,
+            n_insts,
         }
-        Pdg { func, edges, succs, n_insts }
     }
 
     /// Number of instruction nodes.
@@ -190,30 +282,241 @@ impl Pdg {
         self.n_insts == 0
     }
 
+    /// The edge with arena id `idx`.
+    pub fn edge(&self, idx: u32) -> &PdgEdge {
+        &self.edges[idx as usize]
+    }
+
+    /// Ids of edges leaving `inst`.
+    pub fn edge_indices_from(&self, inst: InstId) -> &[u32] {
+        let i = inst.index();
+        &self.index.succ[self.index.succ_off[i] as usize..self.index.succ_off[i + 1] as usize]
+    }
+
     /// Outgoing edges of `inst`.
     pub fn edges_from(&self, inst: InstId) -> impl Iterator<Item = &PdgEdge> + '_ {
-        self.succs[inst.index()].iter().map(move |i| &self.edges[*i as usize])
+        self.edge_indices_from(inst)
+            .iter()
+            .map(move |i| &self.edges[*i as usize])
+    }
+
+    /// Ids of edges entering `inst`.
+    pub fn edge_indices_to(&self, inst: InstId) -> &[u32] {
+        let i = inst.index();
+        &self.index.pred[self.index.pred_off[i] as usize..self.index.pred_off[i + 1] as usize]
+    }
+
+    /// Incoming edges of `inst`.
+    pub fn edges_to(&self, inst: InstId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edge_indices_to(inst)
+            .iter()
+            .map(move |i| &self.edges[*i as usize])
+    }
+
+    /// Ids of memory edges through base object `base`.
+    pub fn edge_indices_with_base(&self, base: MemBase) -> &[u32] {
+        self.index
+            .by_base
+            .get(&base)
+            .map(Vec::as_slice)
+            .unwrap_or(NO_EDGES)
+    }
+
+    /// Memory edges through base object `base`.
+    pub fn edges_with_base(&self, base: MemBase) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edge_indices_with_base(base)
+            .iter()
+            .map(move |i| &self.edges[*i as usize])
+    }
+
+    /// Ids of memory edges carried at `l`.
+    pub fn carried_edge_indices(&self, l: LoopId) -> &[u32] {
+        self.index
+            .carried
+            .get(&l)
+            .map(Vec::as_slice)
+            .unwrap_or(NO_EDGES)
+    }
+
+    /// Edges carried at `l` (the loop-carried dependences of that loop).
+    pub fn carried_edges(&self, l: LoopId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.carried_edge_indices(l)
+            .iter()
+            .map(move |i| &self.edges[*i as usize])
+    }
+
+    /// Ids of memory edges carried at any loop.
+    pub fn carried_any_indices(&self) -> &[u32] {
+        &self.index.carried_any
     }
 
     /// A copy of this PDG keeping only edges satisfying `keep` (used by the
     /// J&K and PS-PDG refinements to drop dependences).
     pub fn filtered(&self, keep: impl Fn(&PdgEdge) -> bool) -> Pdg {
         let edges: Vec<PdgEdge> = self.edges.iter().filter(|e| keep(e)).cloned().collect();
-        let mut succs = vec![Vec::new(); self.n_insts];
-        for (idx, e) in edges.iter().enumerate() {
-            succs[e.src.index()].push(idx as u32);
-        }
-        Pdg { func: self.func, edges, succs, n_insts: self.n_insts }
-    }
-
-    /// Edges carried at `l` (the loop-carried dependences of that loop).
-    pub fn carried_edges(&self, l: LoopId) -> impl Iterator<Item = &PdgEdge> + '_ {
-        self.edges.iter().filter(move |e| e.kind.carried_at(l))
+        Pdg::from_edges(self.func, self.n_insts, edges)
     }
 
     /// The SCC DAG of loop `l`'s body under this PDG.
     pub fn loop_sccs(&self, analyses: &FunctionAnalyses, l: LoopId) -> SccDag {
         crate::scc::loop_scc_dag(self, analyses, l)
+    }
+}
+
+/// Register and control dependence edges of `func` (the non-memory part of
+/// the PDG, shared by the bucketed and naive builders).
+fn non_memory_edges(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Vec<PdgEdge> {
+    let f = module.function(func);
+    let mut edges: Vec<PdgEdge> = Vec::new();
+
+    // 1. Register dependences.
+    for i in f.inst_ids() {
+        for op in f.inst(i).inst.operands() {
+            if let Value::Inst(d) = op {
+                edges.push(PdgEdge {
+                    src: d,
+                    dst: i,
+                    kind: DepKind::Register,
+                    base: None,
+                });
+            }
+        }
+    }
+
+    // 2. Control dependences: the branch terminator of each controlling
+    // block → every instruction of the dependent block.
+    let block_deps = control_dependences(f, &analyses.cfg, &analyses.postdom);
+    for bb in f.block_ids() {
+        for &ctrl in &block_deps[bb.index()] {
+            let Some(term) = f.block(ctrl).insts.last().copied() else {
+                continue;
+            };
+            for &i in &f.block(bb).insts {
+                if i != term {
+                    edges.push(PdgEdge {
+                        src: term,
+                        dst: i,
+                        kind: DepKind::Control,
+                        base: None,
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Tests one (ordered-by-ref-index) pair of memory references and appends
+/// the resulting dependence edges. The loop nest of every reference is
+/// precomputed once so the per-pair common-loop computation is a couple of
+/// slice probes instead of a forest walk and block-list searches.
+struct PairTester<'a> {
+    analyses: &'a FunctionAnalyses,
+    refs: &'a [MemRef],
+    /// `nests[i]` = loops containing `refs[i]`, innermost first.
+    nests: Vec<Vec<LoopId>>,
+    /// Scratch buffer for the common-loop set, reused across pairs.
+    common: Vec<LoopId>,
+}
+
+impl<'a> PairTester<'a> {
+    fn new(analyses: &'a FunctionAnalyses, refs: &'a [MemRef]) -> PairTester<'a> {
+        let nests = refs
+            .iter()
+            .map(|r| analyses.forest.nest_of(r.block))
+            .collect();
+        PairTester {
+            analyses,
+            refs,
+            nests,
+            common: Vec::new(),
+        }
+    }
+
+    fn test_pair(&mut self, ai: usize, bi: usize, edges: &mut Vec<PdgEdge>) {
+        let (a, b) = (&self.refs[ai], &self.refs[bi]);
+        if !a.is_write && !b.is_write {
+            return;
+        }
+        if a.inst == b.inst && !(a.is_write && b.is_write) {
+            return;
+        }
+        debug_assert!(may_alias(a.base, b.base), "bucketing must imply may-alias");
+        // Loops containing both references: a's nest filtered by membership
+        // in b's nest (a loop contains b.block iff it is in b's nest).
+        let b_nest = &self.nests[bi];
+        self.common.clear();
+        self.common
+            .extend(self.nests[ai].iter().filter(|l| b_nest.contains(l)));
+        let res = test_dependence(self.analyses, a, b, &self.common);
+        if !res.dependent {
+            return;
+        }
+        push_memory_edges(edges, a, b, &res);
+    }
+}
+
+/// Memory dependence edges via per-base-object bucketing.
+///
+/// Pairs are enumerated (a) within each base's bucket, (b) between the
+/// `Unknown` bucket and every non-I/O bucket, and (c) between each pointer
+/// parameter bucket and each global bucket — exactly the pairs
+/// [`may_alias`] admits, so the edge set matches the all-pairs oracle while
+/// skipping every provably disjoint pair.
+fn bucketed_memory_edges(analyses: &FunctionAnalyses, refs: &[MemRef], edges: &mut Vec<PdgEdge>) {
+    let mut tester = PairTester::new(analyses, refs);
+    let mut buckets: BTreeMap<MemBase, Vec<u32>> = BTreeMap::new();
+    for (i, r) in refs.iter().enumerate() {
+        buckets.entry(r.base).or_default().push(i as u32);
+    }
+
+    // (a) Same base object: every base may alias itself.
+    for members in buckets.values() {
+        for (i, &ai) in members.iter().enumerate() {
+            for &bi in &members[i..] {
+                tester.test_pair(ai as usize, bi as usize, edges);
+            }
+        }
+    }
+
+    // (b) Unknown provenance (calls) conflicts with every object bucket and
+    // with I/O-free `Unknown` handled above; `Io` never aliases `Unknown`.
+    if let Some(unknown) = buckets.get(&MemBase::Unknown) {
+        for (base, members) in &buckets {
+            if matches!(base, MemBase::Unknown | MemBase::Io) {
+                continue;
+            }
+            for &u in unknown {
+                for &m in members {
+                    let (x, y) = if u <= m { (u, m) } else { (m, u) };
+                    tester.test_pair(x as usize, y as usize, edges);
+                }
+            }
+        }
+    }
+
+    // (c) A pointer parameter may be bound to a global at the call site.
+    let params: Vec<&Vec<u32>> = buckets
+        .iter()
+        .filter(|(b, _)| matches!(b, MemBase::Param(_)))
+        .map(|(_, m)| m)
+        .collect();
+    if !params.is_empty() {
+        let globals: Vec<&Vec<u32>> = buckets
+            .iter()
+            .filter(|(b, _)| matches!(b, MemBase::Global(_)))
+            .map(|(_, m)| m)
+            .collect();
+        for pm in params {
+            for gm in &globals {
+                for &p in pm {
+                    for &g in gm.iter() {
+                        let (x, y) = if p <= g { (p, g) } else { (g, p) };
+                        tester.test_pair(x as usize, y as usize, edges);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -233,13 +536,19 @@ fn push_memory_edges(edges: &mut Vec<PdgEdge>, a: &MemRef, b: &MemRef, res: &Dep
             edges.push(PdgEdge {
                 src: a.inst,
                 dst: b.inst,
-                kind: DepKind::Flow { carried: res.carried.clone(), intra },
+                kind: DepKind::Flow {
+                    carried: res.carried.clone(),
+                    intra,
+                },
                 base: Some(a.base),
             });
             edges.push(PdgEdge {
                 src: b.inst,
                 dst: a.inst,
-                kind: DepKind::Anti { carried: res.carried.clone(), intra },
+                kind: DepKind::Anti {
+                    carried: res.carried.clone(),
+                    intra,
+                },
                 base: Some(a.base),
             });
         }
@@ -247,13 +556,19 @@ fn push_memory_edges(edges: &mut Vec<PdgEdge>, a: &MemRef, b: &MemRef, res: &Dep
             edges.push(PdgEdge {
                 src: b.inst,
                 dst: a.inst,
-                kind: DepKind::Flow { carried: res.carried.clone(), intra },
+                kind: DepKind::Flow {
+                    carried: res.carried.clone(),
+                    intra,
+                },
                 base: Some(b.base),
             });
             edges.push(PdgEdge {
                 src: a.inst,
                 dst: b.inst,
-                kind: DepKind::Anti { carried: res.carried.clone(), intra },
+                kind: DepKind::Anti {
+                    carried: res.carried.clone(),
+                    intra,
+                },
                 base: Some(b.base),
             });
         }
@@ -266,15 +581,32 @@ pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalys
     let f = module.function(func);
     let owner = f.inst_blocks();
     // Pre-compute per-region invariance maps: one per top-level loop plus
-    // one for code outside loops.
+    // one for code outside loops. A single pass over the stores fills every
+    // region's map (each store lands in the whole-function map and, if
+    // inside a loop, its top-level region's map) — O(insts) instead of the
+    // per-region rescan `stores_by_base_in` would cost.
     let mut region_stores: HashMap<Option<LoopId>, BTreeMap<MemBase, u32>> = HashMap::new();
-    region_stores.insert(None, stores_by_base_in(f, &analyses.forest, None));
+    region_stores.insert(None, BTreeMap::new());
     for t in analyses.forest.top_level() {
-        region_stores.insert(Some(t), stores_by_base_in(f, &analyses.forest, Some(t)));
+        region_stores.insert(Some(t), BTreeMap::new());
     }
-    let region_of = |bb: pspdg_ir::BlockId| -> Option<LoopId> {
-        analyses.forest.nest_of(bb).last().copied()
-    };
+    for i in f.inst_ids() {
+        if let Inst::Store { ptr, .. } = &f.inst(i).inst {
+            let Some(bb) = owner[i.index()] else { continue };
+            let base = trace_base(f, *ptr);
+            if let Some(m) = region_stores.get_mut(&None) {
+                *m.entry(base).or_insert(0) += 1;
+            }
+            let top = analyses.forest.nest_of(bb).last().copied();
+            if top.is_some() {
+                if let Some(m) = region_stores.get_mut(&top) {
+                    *m.entry(base).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let region_of =
+        |bb: pspdg_ir::BlockId| -> Option<LoopId> { analyses.forest.nest_of(bb).last().copied() };
 
     let mut refs = Vec::new();
     for i in f.inst_ids() {
@@ -284,13 +616,27 @@ pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalys
         match &f.inst(i).inst {
             Inst::Load { ptr, .. } => {
                 let base = trace_base(f, *ptr);
-                let subscript = address_affine(module, f, analyses, stores, region, *ptr);
-                refs.push(MemRef { inst: i, base, is_write: false, subscript, block: bb, region });
+                let subscript = address_affine(f, analyses, stores, region, *ptr);
+                refs.push(MemRef {
+                    inst: i,
+                    base,
+                    is_write: false,
+                    subscript,
+                    block: bb,
+                    region,
+                });
             }
             Inst::Store { ptr, .. } => {
                 let base = trace_base(f, *ptr);
-                let subscript = address_affine(module, f, analyses, stores, region, *ptr);
-                refs.push(MemRef { inst: i, base, is_write: true, subscript, block: bb, region });
+                let subscript = address_affine(f, analyses, stores, region, *ptr);
+                refs.push(MemRef {
+                    inst: i,
+                    base,
+                    is_write: true,
+                    subscript,
+                    block: bb,
+                    region,
+                });
             }
             Inst::Call { .. } => {
                 // Unknown side effects: reads and writes everything.
@@ -323,7 +669,6 @@ pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalys
 
 /// Affine cell offset of an address value relative to its base object.
 fn address_affine(
-    module: &Module,
     f: &pspdg_ir::Function,
     analyses: &FunctionAnalyses,
     stores: &BTreeMap<MemBase, u32>,
@@ -334,8 +679,12 @@ fn address_affine(
         Value::Global(_) | Value::Param(_) => Some(Affine::constant(0)),
         Value::Inst(i) => match &f.inst(i).inst {
             Inst::Alloca { .. } => Some(Affine::constant(0)),
-            Inst::Gep { base, index, elem_ty } => {
-                let b = address_affine(module, f, analyses, stores, region, *base)?;
+            Inst::Gep {
+                base,
+                index,
+                elem_ty,
+            } => {
+                let b = address_affine(f, analyses, stores, region, *base)?;
                 let idx = affine_of(f, analyses, stores, region, *index)?;
                 Some(b.add(&idx.scale(elem_ty.flat_len() as i64)))
             }
@@ -380,6 +729,30 @@ mod tests {
         let a = FunctionAnalyses::compute(&p.module, f);
         let pdg = Pdg::build(&p.module, f, &a);
         (p, a, pdg)
+    }
+
+    /// Canonical, order-independent rendering of an edge set.
+    fn edge_set(pdg: &Pdg) -> Vec<String> {
+        let mut s: Vec<String> = pdg.edges.iter().map(|e| format!("{e:?}")).collect();
+        s.sort();
+        s
+    }
+
+    /// The bucketed builder and the naive all-pairs oracle must agree on
+    /// every function of a program.
+    fn assert_matches_oracle(src: &str) {
+        let p = compile(src).unwrap();
+        for f in p.module.function_ids() {
+            let a = FunctionAnalyses::compute(&p.module, f);
+            let bucketed = Pdg::build(&p.module, f, &a);
+            let naive = Pdg::build_naive(&p.module, f, &a);
+            assert_eq!(
+                edge_set(&bucketed),
+                edge_set(&naive),
+                "edge sets diverge for {}",
+                p.module.function(f).name
+            );
+        }
     }
 
     #[test]
@@ -476,10 +849,13 @@ mod tests {
             "k",
         );
         let l = a.forest.loop_ids().next().unwrap();
-        let has_carried_hist = pdg.carried_edges(l).any(|e| {
-            matches!(e.base, Some(MemBase::Global(g)) if g.index() == 1)
-        });
-        assert!(has_carried_hist, "hist[key[i]] must be conservatively carried");
+        let has_carried_hist = pdg
+            .carried_edges(l)
+            .any(|e| matches!(e.base, Some(MemBase::Global(g)) if g.index() == 1));
+        assert!(
+            has_carried_hist,
+            "hist[key[i]] must be conservatively carried"
+        );
     }
 
     #[test]
@@ -544,5 +920,285 @@ mod tests {
         let no_mem = pdg.filtered(|e| !e.kind.is_memory());
         assert!(no_mem.edges.len() < total);
         assert!(no_mem.edges.iter().all(|e| !e.kind.is_memory()));
+    }
+
+    #[test]
+    fn adjacency_indexes_cover_every_edge() {
+        let (_, _, pdg) = pdg_for(
+            r#"
+            int v[64]; int s;
+            void k() { int i; for (i = 0; i < 64; i++) { s += v[i]; v[i] = s; } }
+            int main() { k(); return 0; }
+            "#,
+            "k",
+        );
+        let mut from_succ = 0usize;
+        let mut from_pred = 0usize;
+        for i in 0..pdg.len() {
+            let inst = InstId::from_index(i);
+            for e in pdg.edges_from(inst) {
+                assert_eq!(e.src, inst);
+                from_succ += 1;
+            }
+            for e in pdg.edges_to(inst) {
+                assert_eq!(e.dst, inst);
+                from_pred += 1;
+            }
+        }
+        assert_eq!(from_succ, pdg.edges.len());
+        assert_eq!(from_pred, pdg.edges.len());
+        // The base index partitions exactly the memory edges.
+        let mem_edges = pdg.edges.iter().filter(|e| e.base.is_some()).count();
+        let indexed: usize = pdg
+            .edges
+            .iter()
+            .filter_map(|e| e.base)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|b| pdg.edge_indices_with_base(b).len())
+            .sum();
+        assert_eq!(mem_edges, indexed);
+    }
+
+    #[test]
+    fn unknown_call_refs_depend_on_every_bucket() {
+        // Regression: a call (MemBase::Unknown) must still conflict with
+        // every object bucket under bucketed pair enumeration — globals,
+        // locals, and other calls — but not with I/O.
+        const KERNEL: &str = r#"
+            int g[16];
+            void touch() { g[0] = 1; }
+            void k() {
+                int i; int local = 0;
+                for (i = 0; i < 8; i++) {
+                    touch();
+                    g[i] = local;
+                    local = local + 1;
+                    print_i64(local);
+                }
+            }
+            int main() { k(); return 0; }
+            "#;
+        let (_, a, pdg) = pdg_for(KERNEL, "k");
+        let l = a.forest.loop_ids().next().unwrap();
+        let call_edges: Vec<&PdgEdge> = pdg
+            .edges
+            .iter()
+            .filter(|e| e.base == Some(MemBase::Unknown) && e.kind.is_memory())
+            .collect();
+        assert!(
+            !call_edges.is_empty(),
+            "the call must produce Unknown-based edges"
+        );
+        // The call conflicts with the global stores (carried at the loop).
+        assert!(
+            pdg.carried_edges(l)
+                .any(|e| e.base == Some(MemBase::Unknown)),
+            "Unknown refs must be carried against the loop's memory traffic"
+        );
+        // And never against I/O: the call instruction (the Unknown
+        // self-dependence) has no memory edge to any print instruction.
+        let call_inst = call_edges
+            .iter()
+            .find(|e| e.src == e.dst)
+            .map(|e| e.src)
+            .expect("call self-dependence");
+        let io_insts: Vec<InstId> = pdg
+            .edges
+            .iter()
+            .filter(|e| e.base == Some(MemBase::Io))
+            .flat_map(|e| [e.src, e.dst])
+            .collect();
+        for e in pdg.edges.iter().filter(|e| e.kind.is_memory()) {
+            let touches_call = e.src == call_inst || e.dst == call_inst;
+            let touches_io = io_insts.contains(&e.src) || io_insts.contains(&e.dst);
+            assert!(
+                !(touches_call && touches_io) || e.src == e.dst,
+                "calls must not serialize against the I/O stream: {e:?}"
+            );
+        }
+        assert_matches_oracle(KERNEL);
+    }
+
+    #[test]
+    fn bucketed_matches_oracle_on_mixed_kernels() {
+        assert_matches_oracle(
+            r#"
+            int a[64]; int b[64]; int s; int key[64];
+            void k(int n) {
+                int i; int t = 0;
+                for (i = 0; i < 64; i++) {
+                    a[i] = b[i] + 1;
+                    s += a[key[i]];
+                    t = t + i;
+                }
+                b[0] = t + n;
+            }
+            int main() { k(3); return 0; }
+            "#,
+        );
+        assert_matches_oracle(
+            r#"
+            int v[128];
+            void k() {
+                int i; int j;
+                for (i = 0; i < 8; i++) {
+                    for (j = 1; j < 16; j++) { v[16 * i + j] = v[16 * i + j - 1]; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+        );
+    }
+
+    mod generated_kernels {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One statement of a generated kernel loop body. Subscript
+        /// coefficients are bounded so every rendered subscript stays well
+        /// inside the declared array size (the programs are only compiled
+        /// and analyzed, never run, but keep them plausible).
+        #[derive(Debug, Clone)]
+        enum Stmt {
+            /// `A[s·i + c] = B[s'·i + c'] + 1;`
+            Copy {
+                dst: usize,
+                src: usize,
+                ds: i64,
+                dc: i64,
+                ss: i64,
+                sc: i64,
+            },
+            /// `s += A[i + c];`
+            Accum { arr: usize, c: i64 },
+            /// `A[B[i]] += 1;` (indirect, conservatively carried)
+            Indirect { dst: usize, idx: usize },
+            /// `A[i] = n + i;` (parameter symbol in the stored value)
+            Param { dst: usize },
+            /// `touch();` (opaque call — `MemBase::Unknown`)
+            Call,
+            /// `print_i64(i);` (`MemBase::Io`)
+            Print,
+        }
+
+        const ARRAYS: [&str; 3] = ["ga", "gb", "gc"];
+
+        impl Stmt {
+            fn render(&self, iv: &str) -> String {
+                match self {
+                    Stmt::Copy {
+                        dst,
+                        src,
+                        ds,
+                        dc,
+                        ss,
+                        sc,
+                    } => format!(
+                        "{}[{} * {iv} + {}] = {}[{} * {iv} + {}] + 1;",
+                        ARRAYS[*dst], ds, dc, ARRAYS[*src], ss, sc
+                    ),
+                    Stmt::Accum { arr, c } => format!("s += {}[{iv} + {}];", ARRAYS[*arr], c),
+                    Stmt::Indirect { dst, idx } => {
+                        format!("{}[{}[{iv}]] += 1;", ARRAYS[*dst], ARRAYS[*idx])
+                    }
+                    Stmt::Param { dst } => format!("{}[{iv}] = n + {iv};", ARRAYS[*dst]),
+                    Stmt::Call => "touch();".to_string(),
+                    Stmt::Print => format!("print_i64({iv});"),
+                }
+            }
+        }
+
+        fn arb_stmt() -> impl Strategy<Value = Stmt> {
+            prop_oneof![
+                3 => (0usize..3, 0usize..3, 1i64..4, 0i64..8, 1i64..4, 0i64..8)
+                    .prop_map(|(dst, src, ds, dc, ss, sc)| Stmt::Copy { dst, src, ds, dc, ss, sc }),
+                2 => (0usize..3, 0i64..8).prop_map(|(arr, c)| Stmt::Accum { arr, c }),
+                2 => (0usize..3, 0usize..3).prop_map(|(dst, idx)| Stmt::Indirect { dst, idx }),
+                1 => (0usize..3).prop_map(|dst| Stmt::Param { dst }),
+                1 => Just(Stmt::Call),
+                1 => Just(Stmt::Print),
+            ]
+        }
+
+        fn render_kernel(trip: i64, body: &[Stmt], inner: &[Stmt]) -> String {
+            let mut loop_body = String::new();
+            for s in body {
+                loop_body.push_str(&s.render("i"));
+                loop_body.push('\n');
+            }
+            if !inner.is_empty() {
+                loop_body.push_str("for (j = 1; j < 8; j++) {\n");
+                for s in inner {
+                    loop_body.push_str(&s.render("j"));
+                    loop_body.push('\n');
+                }
+                loop_body.push_str("}\n");
+            }
+            format!(
+                r#"
+                int ga[256]; int gb[256]; int gc[256]; int s;
+                void touch() {{ ga[0] = 1; }}
+                void k(int n) {{
+                    int i; int j;
+                    for (i = 0; i < {trip}; i++) {{
+                        {loop_body}
+                    }}
+                }}
+                int main() {{ k(2); return 0; }}
+                "#
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// The bucketed builder and the all-pairs oracle emit identical
+            /// edge sets on randomly generated kernels mixing affine
+            /// copies, reductions, indirect subscripts, parameter symbols,
+            /// opaque calls, and I/O — across every function of the
+            /// program (kernel, helper, and main).
+            #[test]
+            fn bucketed_equals_naive_on_generated_kernels(
+                trip in 4i64..32,
+                body in proptest::collection::vec(arb_stmt(), 1..5),
+                inner in proptest::collection::vec(arb_stmt(), 0..3),
+            ) {
+                let src = render_kernel(trip, &body, &inner);
+                let p = compile(&src).expect("generated kernel compiles");
+                for f in p.module.function_ids() {
+                    let a = FunctionAnalyses::compute(&p.module, f);
+                    let bucketed = Pdg::build(&p.module, f, &a);
+                    let naive = Pdg::build_naive(&p.module, f, &a);
+                    prop_assert_eq!(
+                        edge_set(&bucketed),
+                        edge_set(&naive),
+                        "edge sets diverge for {} in:\n{}",
+                        p.module.function(f).name,
+                        src
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_module_matches_per_function_builds() {
+        let p = compile(
+            r#"
+            int v[32]; int s;
+            void a() { int i; for (i = 0; i < 32; i++) { v[i] = i; } }
+            void b() { int i; for (i = 0; i < 32; i++) { s += v[i]; } }
+            int main() { a(); b(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let built = Pdg::build_module(&p.module);
+        assert_eq!(built.len(), p.module.function_ids().count());
+        for fp in &built {
+            let a = FunctionAnalyses::compute(&p.module, fp.func);
+            let seq = Pdg::build(&p.module, fp.func, &a);
+            assert_eq!(edge_set(&fp.pdg), edge_set(&seq));
+        }
     }
 }

@@ -58,7 +58,7 @@ pub use affine::{Affine, SymBase};
 pub use alias::{base_of_varref, may_alias, trace_base, MemBase};
 pub use control::control_dependences;
 pub use ddtest::{DepTestResult, MemRef};
-pub use graph::{collect_mem_refs, DepKind, Pdg, PdgEdge};
+pub use graph::{collect_mem_refs, DepKind, EdgeIndex, FunctionPdg, Pdg, PdgEdge};
 pub use scc::{LoopScc, SccDag};
 
 use pspdg_ir::{Cfg, DomTree, FuncId, LoopForest, Module, PostDomTree};
@@ -94,7 +94,15 @@ impl FunctionAnalyses {
         let forest = LoopForest::new(f, &cfg, &dom);
         let canonical = forest.loop_ids().map(|l| forest.canonical(f, l)).collect();
         let block_insts = f.blocks.iter().map(|b| b.insts.clone()).collect();
-        FunctionAnalyses { func, cfg, dom, postdom, forest, canonical, block_insts }
+        FunctionAnalyses {
+            func,
+            cfg,
+            dom,
+            postdom,
+            forest,
+            canonical,
+            block_insts,
+        }
     }
 
     /// The canonical descriptor of `loop_id`, if the loop is canonical.

@@ -62,39 +62,29 @@ impl SccDag {
 
 /// Compute the SCC DAG of loop `l` under `pdg`.
 pub fn loop_scc_dag(pdg: &Pdg, analyses: &FunctionAnalyses, l: LoopId) -> SccDag {
-    let info = analyses.forest.info(l);
-    // Instructions of the loop (via block membership).
+    // Instructions of the loop (via the block lists captured at
+    // construction). The caller guarantees `pdg.func` matches.
     let mut in_loop: HashMap<InstId, u32> = HashMap::new();
     let mut nodes: Vec<InstId> = Vec::new();
-    {
-        // We need the function body; the forest doesn't hold it, so recover
-        // membership from the block lists recorded in the loop info through
-        // the PDG's edge endpoints is insufficient — walk blocks directly.
-        // `FunctionAnalyses` has no module reference; store membership via
-        // cfg block count. The caller guarantees `pdg.func` matches.
-        let _ = &analyses.cfg;
-    }
-    // Collect instructions per block through the loop's blocks: we can't
-    // reach the Function from here, so membership is derived from edges and
-    // the loop's block set via a callback on the analyses.
-    // To keep the API simple, `loop_insts` is recomputed by the caller-side
-    // helper below.
     let insts = loop_insts(analyses, l);
     for (idx, &i) in insts.iter().enumerate() {
         in_loop.insert(i, idx as u32);
         nodes.push(i);
     }
-    let _ = info;
     let n = nodes.len();
-    // Adjacency within the loop.
+    // Adjacency within the loop, via the PDG's per-source index — only the
+    // loop instructions' out-edges are touched, not the full edge arena.
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut edge_refs: Vec<(u32, u32, usize)> = Vec::new(); // (from,to,edge idx)
-    for (ei, e) in pdg.edges.iter().enumerate() {
-        let (Some(&s), Some(&d)) = (in_loop.get(&e.src), in_loop.get(&e.dst)) else {
-            continue;
-        };
-        adj[s as usize].push(d);
-        edge_refs.push((s, d, ei));
+    for (s, &inst) in nodes.iter().enumerate() {
+        for &ei in pdg.edge_indices_from(inst) {
+            let e = &pdg.edges[ei as usize];
+            let Some(&d) = in_loop.get(&e.dst) else {
+                continue;
+            };
+            adj[s].push(d);
+            edge_refs.push((s as u32, d, ei as usize));
+        }
     }
 
     // Tarjan (iterative).
@@ -167,7 +157,11 @@ pub fn loop_scc_dag(pdg: &Pdg, analyses: &FunctionAnalyses, l: LoopId) -> SccDag
         .map(|members| {
             let mut insts: Vec<InstId> = members.iter().map(|m| nodes[*m as usize]).collect();
             insts.sort();
-            LoopScc { insts, sequential: false, carried_bases: Vec::new() }
+            LoopScc {
+                insts,
+                sequential: false,
+                carried_bases: Vec::new(),
+            }
         })
         .collect();
     let mut dag_edges: Vec<(usize, usize)> = Vec::new();
@@ -190,7 +184,10 @@ pub fn loop_scc_dag(pdg: &Pdg, analyses: &FunctionAnalyses, l: LoopId) -> SccDag
     }
     // A single-instruction SCC with a carried self-edge is also sequential
     // (handled above since cs == cd).
-    SccDag { sccs, edges: dag_edges }
+    SccDag {
+        sccs,
+        edges: dag_edges,
+    }
 }
 
 /// The instructions belonging to loop `l` (in its blocks).
@@ -270,7 +267,12 @@ mod tests {
         let rec = dag
             .sccs
             .iter()
-            .find(|s| s.sequential && s.carried_bases.iter().any(|b| matches!(b, MemBase::Global(_))))
+            .find(|s| {
+                s.sequential
+                    && s.carried_bases
+                        .iter()
+                        .any(|b| matches!(b, MemBase::Global(_)))
+            })
             .expect("recurrence SCC");
         assert!(rec.insts.len() >= 2);
     }
@@ -286,7 +288,10 @@ mod tests {
             "k",
         );
         for &(s, d) in &dag.edges {
-            assert!(s < d, "edges must go forward in topological order: {s} -> {d}");
+            assert!(
+                s < d,
+                "edges must go forward in topological order: {s} -> {d}"
+            );
         }
     }
 }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use pspdg_frontend::compile;
-use pspdg_pdg::{Affine, DepKind, FunctionAnalyses, MemBase, Pdg, SymBase};
 use pspdg_ir::LoopId;
+use pspdg_pdg::{Affine, DepKind, FunctionAnalyses, MemBase, Pdg, SymBase};
 
 fn arb_affine() -> impl Strategy<Value = Affine> {
     (

@@ -7,9 +7,9 @@
 //! ```
 
 use pspdg::emulator::compare_plans;
+use pspdg::ir::interp::{Interpreter, NullSink};
 use pspdg::nas::{benchmark, Class};
 use pspdg::parallelizer::{build_plan, Abstraction};
-use pspdg::ir::interp::{Interpreter, NullSink};
 
 fn main() {
     let is = benchmark("IS", Class::Test).expect("IS exists");
@@ -26,7 +26,11 @@ fn main() {
     // What each abstraction plans for the kernel's loops.
     for a in Abstraction::ALL {
         let plan = build_plan(&program, &profile, a, 0.01);
-        println!("{a} plan: {} parallel loops, {} mutex groups", plan.len(), plan.mutexes.len());
+        println!(
+            "{a} plan: {} parallel loops, {} mutex groups",
+            plan.len(),
+            plan.mutexes.len()
+        );
         let mut specs: Vec<_> = plan.loops.values().collect();
         specs.sort_by_key(|s| (s.func.0, s.loop_id.0));
         for spec in specs {
@@ -37,7 +41,11 @@ fn main() {
                 spec.loop_id.0,
                 spec.technique.name(),
                 spec.ignored_bases.len(),
-                if spec.reduction_bases.is_empty() { "" } else { ", reduction merge" },
+                if spec.reduction_bases.is_empty() {
+                    ""
+                } else {
+                    ", reduction merge"
+                },
             );
         }
     }

@@ -50,18 +50,38 @@ fn main() {
     let l_full = signature(left, full);
     let r_full = signature(right, full);
     println!("With node traits (full PS-PDG):");
-    println!("  signatures {}", if l_full == r_full { "IDENTICAL" } else { "differ" });
-    for line in l_full.lines().filter(|l| l.contains("singular") || l.contains("atomic")) {
+    println!(
+        "  signatures {}",
+        if l_full == r_full {
+            "IDENTICAL"
+        } else {
+            "differ"
+        }
+    );
+    for line in l_full
+        .lines()
+        .filter(|l| l.contains("singular") || l.contains("atomic"))
+    {
         println!("    left:  {line}");
     }
-    for line in r_full.lines().filter(|l| l.contains("singular") || l.contains("atomic")) {
+    for line in r_full
+        .lines()
+        .filter(|l| l.contains("singular") || l.contains("atomic"))
+    {
         println!("    right: {line}");
     }
     println!();
     let l_ab = signature(left, ablated);
     let r_ab = signature(right, ablated);
     println!("Without node traits ({ablated}):");
-    println!("  signatures {}", if l_ab == r_ab { "IDENTICAL — the semantics is lost" } else { "differ" });
+    println!(
+        "  signatures {}",
+        if l_ab == r_ab {
+            "IDENTICAL — the semantics is lost"
+        } else {
+            "differ"
+        }
+    );
     println!();
     println!("That is §4.2's argument: no other PS-PDG element can recover the");
     println!("single-execution semantics, so the trait extension is necessary.");

@@ -15,7 +15,11 @@ fn main() {
     let Some(b) = benchmark(&which, Class::Test) else {
         eprintln!(
             "unknown benchmark '{which}'; available: {}",
-            suite(Class::Test).iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+            suite(Class::Test)
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(1);
     };

@@ -31,12 +31,20 @@ fn main() {
     "#;
 
     let program = compile(source).expect("ParC compiles");
-    println!("compiled: {} IR instructions, {} directives", program.module.size(), program.len());
+    println!(
+        "compiled: {} IR instructions, {} directives",
+        program.module.size(),
+        program.len()
+    );
 
     // Run it (the interpreter doubles as the profiler).
     let mut interp = Interpreter::new(&program.module);
     interp.run_main(&mut NullSink).expect("executes");
-    println!("executed {} dynamic instructions, printed: {:?}", interp.steps(), interp.output());
+    println!(
+        "executed {} dynamic instructions, printed: {:?}",
+        interp.steps(),
+        interp.output()
+    );
 
     // Build the PDG and the PS-PDG for the kernel.
     let f = program.module.function_by_name("kernel").unwrap();

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_pdg.json (naive-oracle vs bucketed PDG construction on
+# the NAS Class::Test suite) and run the Criterion construction benches.
+set -e
+cd "$(dirname "$0")/.."
+cargo run --release -p pspdg-bench --bin bench_pdg_json -- BENCH_pdg.json
+cargo bench -p pspdg-bench --bench pdg_construction
+cargo bench -p pspdg-bench --bench pspdg_construction

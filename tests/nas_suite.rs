@@ -12,7 +12,8 @@ fn all_benchmarks_execute_deterministically() {
     for b in suite(Class::Test) {
         let p = b.program();
         let mut i1 = Interpreter::new(&p.module);
-        i1.run_main(&mut NullSink).unwrap_or_else(|e| panic!("{} fails: {e}", b.name));
+        i1.run_main(&mut NullSink)
+            .unwrap_or_else(|e| panic!("{} fails: {e}", b.name));
         let mut i2 = Interpreter::new(&p.module);
         i2.run_main(&mut NullSink).unwrap();
         assert_eq!(i1.output(), i2.output(), "{} must be deterministic", b.name);
@@ -107,5 +108,8 @@ fn ep_preserves_programmer_parallelism_exactly() {
     let b = pspdg::nas::benchmark("EP", Class::Test).unwrap();
     let row = compare_plans("EP", &b.program()).unwrap();
     let r = row.reduction_over_openmp(Abstraction::PsPdg);
-    assert!((0.999..=1.5).contains(&r), "EP PS-PDG reduction {r} should be ≈ 1");
+    assert!(
+        (0.999..=1.5).contains(&r),
+        "EP PS-PDG reduction {r} should be ≈ 1"
+    );
 }

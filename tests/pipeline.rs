@@ -87,8 +87,9 @@ fn plans_agree_with_views_on_doall() {
 
 #[test]
 fn sequential_program_has_trivial_plans() {
-    let p = compile("int main() { int x = 0; int i; for (i = 0; i < 4; i++) { x += i; } return x; }")
-        .unwrap();
+    let p =
+        compile("int main() { int x = 0; int i; for (i = 0; i < 4; i++) { x += i; } return x; }")
+            .unwrap();
     let mut interp = Interpreter::new(&p.module);
     interp.run_main(&mut NullSink).unwrap();
     // The OpenMP plan is empty (no pragmas).
@@ -143,16 +144,23 @@ fn fig2_full_circle_realize_then_replan() {
 
     let ps_plan = build_plan(&p, &profile, Abstraction::PsPdg, 0.01);
     let cp_pspdg = emulate(&p, &ps_plan).unwrap().critical_path;
-    let cp_openmp_before =
-        emulate(&p, &build_plan(&p, &profile, Abstraction::OpenMp, 0.01)).unwrap().critical_path;
-
-    let (realized, added) = pspdg::parallelizer::realize_plan(&p, &ps_plan);
-    assert!(added > 0);
-    let cp_openmp_after = emulate(&realized, &build_plan(&realized, &profile, Abstraction::OpenMp, 0.01))
+    let cp_openmp_before = emulate(&p, &build_plan(&p, &profile, Abstraction::OpenMp, 0.01))
         .unwrap()
         .critical_path;
 
-    assert!(cp_openmp_after < cp_openmp_before, "realization must help the source plan");
+    let (realized, added) = pspdg::parallelizer::realize_plan(&p, &ps_plan);
+    assert!(added > 0);
+    let cp_openmp_after = emulate(
+        &realized,
+        &build_plan(&realized, &profile, Abstraction::OpenMp, 0.01),
+    )
+    .unwrap()
+    .critical_path;
+
+    assert!(
+        cp_openmp_after < cp_openmp_before,
+        "realization must help the source plan"
+    );
     // All planned loops were DOALL, so the realized source plan matches the
     // compiler plan's quality (joins included).
     assert_eq!(cp_openmp_after, cp_pspdg);

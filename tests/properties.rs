@@ -50,11 +50,19 @@ impl Expr {
             Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
             Expr::Div(a, b) => {
                 let d = b.eval();
-                if d == 0 { 0 } else { a.eval().wrapping_div(d) }
+                if d == 0 {
+                    0
+                } else {
+                    a.eval().wrapping_div(d)
+                }
             }
             Expr::Rem(a, b) => {
                 let d = b.eval();
-                if d == 0 { 0 } else { a.eval().wrapping_rem(d) }
+                if d == 0 {
+                    0
+                } else {
+                    a.eval().wrapping_rem(d)
+                }
             }
             Expr::Neg(a) => a.eval().wrapping_neg(),
             Expr::Min(a, b) => a.eval().min(b.eval()),
@@ -69,9 +77,11 @@ impl Expr {
             Expr::Div(a, b) | Expr::Rem(a, b) => {
                 b.eval() == 0 || a.divides_by_zero() || b.divides_by_zero()
             }
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
-                a.divides_by_zero() || b.divides_by_zero()
-            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => a.divides_by_zero() || b.divides_by_zero(),
             Expr::Neg(a) => a.divides_by_zero(),
         }
     }

@@ -15,10 +15,16 @@ fn nas_modules_roundtrip_to_a_normal_form() {
         let p = b.program();
         let text0 = p.module.to_string();
         let m1 = parse_module(&text0).unwrap_or_else(|e| panic!("{}: reparse failed: {e}", b.name));
-        m1.verify().unwrap_or_else(|e| panic!("{}: reparsed verify: {e}", b.name));
+        m1.verify()
+            .unwrap_or_else(|e| panic!("{}: reparsed verify: {e}", b.name));
         let text1 = m1.to_string();
         let m2 = parse_module(&text1).unwrap();
-        assert_eq!(m2.to_string(), text1, "{}: normal form must be stable", b.name);
+        assert_eq!(
+            m2.to_string(),
+            text1,
+            "{}: normal form must be stable",
+            b.name
+        );
     }
 }
 
@@ -31,7 +37,17 @@ fn reparsed_modules_execute_identically() {
         i1.run_main(&mut NullSink).unwrap();
         let mut i2 = Interpreter::new(&reparsed);
         i2.run_main(&mut NullSink).unwrap();
-        assert_eq!(i1.output(), i2.output(), "{}: outputs differ after reparse", b.name);
-        assert_eq!(i1.steps(), i2.steps(), "{}: step counts differ after reparse", b.name);
+        assert_eq!(
+            i1.output(),
+            i2.output(),
+            "{}: outputs differ after reparse",
+            b.name
+        );
+        assert_eq!(
+            i1.steps(),
+            i2.steps(),
+            "{}: step counts differ after reparse",
+            b.name
+        );
     }
 }

@@ -28,7 +28,12 @@ fn folding_preserves_nas_semantics_and_directives() {
             .unwrap_or_else(|e| panic!("{}: directives broke: {e}", b.name));
         let mut after = Interpreter::new(&transformed.module);
         after.run_main(&mut NullSink).unwrap();
-        assert_eq!(before.output(), after.output(), "{}: output changed", b.name);
+        assert_eq!(
+            before.output(),
+            after.output(),
+            "{}: output changed",
+            b.name
+        );
         assert!(
             after.steps() <= before.steps(),
             "{}: transformation must not add work",

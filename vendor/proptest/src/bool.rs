@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy for an unbiased boolean.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The unbiased boolean strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+}

@@ -1,0 +1,199 @@
+//! An offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this shim provides exactly the surface the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`/
+//! `prop_recursive`, range and tuple strategies, `collection::vec`,
+//! `bool::ANY`, `Just`, the `proptest!`/`prop_oneof!` macros, and the
+//! `prop_assert*`/`prop_assume!` assertion forms.
+//!
+//! Differences from real proptest: no shrinking (failing inputs are
+//! reported verbatim), and generation is driven by a deterministic
+//! xorshift RNG seeded from the test name (override with the
+//! `PROPTEST_SEED` environment variable for exploration).
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+
+mod rng;
+#[cfg(test)]
+mod tests;
+
+pub use rng::TestRng;
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// Why a generated test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (does not count as a run).
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Result type threaded through the body of a `proptest!` case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Construct the deterministic RNG for one named test.
+pub fn rng_for(test_name: &str) -> TestRng {
+    TestRng::for_test(test_name)
+}
+
+/// Generates each strategy, runs the body, and reports failures with the
+/// generated inputs. Used by [`proptest!`]; not public API in real
+/// proptest, but harmless to expose.
+#[macro_export]
+macro_rules! __proptest_case_runner {
+    ($config:expr, $name:expr, |$rng:ident| $gen:block) => {{
+        let config: $crate::ProptestConfig = $config;
+        let mut $rng = $crate::rng_for($name);
+        let mut ran: u32 = 0;
+        let mut attempts: u32 = 0;
+        let max_attempts = config.cases.saturating_mul(20).saturating_add(100);
+        while ran < config.cases && attempts < max_attempts {
+            attempts += 1;
+            let outcome: $crate::TestCaseResult = $gen;
+            match outcome {
+                Ok(()) => ran += 1,
+                Err($crate::TestCaseError::Reject(_)) => {}
+                Err($crate::TestCaseError::Fail(msg)) => panic!("{}", msg),
+            }
+        }
+        if ran == 0 && config.cases > 0 {
+            panic!("proptest {}: every generated case was rejected", $name);
+        }
+    }};
+}
+
+/// The proptest entry-point macro: wraps each `fn name(arg in strategy)`
+/// into a `#[test]` that repeatedly generates inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_case_runner!($config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let case_desc = format!(concat!($(stringify!($arg), " = {:?}, ",)+ ""), $(&$arg),+);
+                    let run = move || -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    match run() {
+                        Err($crate::TestCaseError::Fail(msg)) => Err($crate::TestCaseError::Fail(
+                            format!("{}\n  with inputs: {}", msg, case_desc),
+                        )),
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}

@@ -1,0 +1,7 @@
+//! The usual `use proptest::prelude::*` surface.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig, TestCaseError,
+    TestCaseResult,
+};

@@ -1,0 +1,77 @@
+//! Self-tests for the shim: the runner must actually execute cases, honor
+//! rejection, and report failures with inputs.
+
+use std::cell::Cell;
+
+use crate::prelude::*;
+
+thread_local! {
+    static COUNTER: Cell<u32> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(17))]
+
+    #[test]
+    fn runner_executes_requested_cases(x in 0i64..100) {
+        prop_assert!((0..100).contains(&x));
+        COUNTER.with(|c| c.set(c.get() + 1));
+    }
+}
+
+#[test]
+fn requested_cases_ran() {
+    runner_executes_requested_cases();
+    COUNTER.with(|c| assert_eq!(c.get(), 17));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn assume_rejects_without_failing(x in 0i64..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    #[test]
+    fn tuples_ranges_and_vecs_generate(
+        pair in (0u32..4, -6i64..6),
+        v in crate::collection::vec(0usize..3, 0..5),
+        b in crate::bool::ANY,
+    ) {
+        prop_assert!(pair.0 < 4);
+        prop_assert!((-6..6).contains(&pair.1));
+        prop_assert!(v.len() < 5);
+        prop_assert!(v.iter().all(|e| *e < 3));
+        let _ = b;
+    }
+
+    #[test]
+    fn oneof_recursive_and_flat_map_compose(
+        n in (1usize..4).prop_flat_map(|n| crate::collection::vec(0usize..n, n)),
+        tag in prop_oneof![2 => Just("a"), 1 => Just("b")],
+    ) {
+        prop_assert!(!n.is_empty());
+        prop_assert!(tag == "a" || tag == "b");
+    }
+}
+
+#[test]
+fn failures_report_the_inputs() {
+    let result = std::panic::catch_unwind(|| {
+        crate::__proptest_case_runner!(ProptestConfig::with_cases(4), "always_fails", |rng| {
+            let x = Strategy::generate(&(5i64..6), &mut rng);
+            let run = move || -> crate::TestCaseResult {
+                prop_assert_eq!(x, 99, "x should never be 99");
+                Ok(())
+            };
+            run()
+        });
+    });
+    let err = result.expect_err("the failing case must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .expect("panic carries a message");
+    assert!(msg.contains("x should never be 99"), "got: {msg}");
+}

@@ -1,0 +1,284 @@
+//! An offline, API-compatible subset of the `rayon` data-parallelism crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! slice of rayon's API the workspace uses — `par_iter`/`into_par_iter`
+//! with `map`/`filter_map`/`for_each`/`collect`, plus `join` — implemented
+//! over `std::thread::scope` with one chunk per available core. Swap this
+//! path dependency for the real crates.io `rayon` when network access is
+//! available; no call sites need to change.
+
+use std::num::NonZeroUsize;
+
+/// The usual `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel evaluation.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Evaluate `f` over `items` on up to [`current_num_threads`] threads,
+/// preserving input order in the output.
+fn par_apply<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    // Hand each worker a chunk of inputs and the matching output slots.
+    let mut item_chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    {
+        let mut items = items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk.min(items.len()));
+            item_chunks.push(items);
+            items = rest;
+        }
+    }
+    std::thread::scope(|s| {
+        let mut remaining: &mut [Option<U>] = &mut slots;
+        for chunk_items in item_chunks {
+            let (head, tail) = remaining.split_at_mut(chunk_items.len());
+            remaining = tail;
+            s.spawn(move || {
+                for (item, slot) in chunk_items.into_iter().zip(head.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// A parallel iterator: a source of items plus a processing pipeline.
+///
+/// Unlike real rayon this is not lazy per-element across combinators other
+/// than the ones provided; the supported pipeline shapes are what the
+/// workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing out of this stage.
+    type Item: Send;
+
+    /// Evaluate the pipeline into an ordered `Vec`.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Parallel map.
+    fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync + Send,
+    {
+        ParMap { base: self, f }
+    }
+
+    /// Parallel filter-map.
+    fn filter_map<U, F>(self, f: F) -> ParFilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Sync + Send,
+    {
+        ParFilterMap { base: self, f }
+    }
+
+    /// Parallel side-effecting traversal.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let source = self.run();
+        par_apply(source, &|item| f(item));
+    }
+
+    /// Collect results, preserving input order.
+    fn collect<C: FromParallelOutput<Self::Item>>(self) -> C {
+        C::from_vec(self.run())
+    }
+}
+
+/// Containers a parallel pipeline can collect into.
+pub trait FromParallelOutput<T> {
+    /// Build from the ordered results.
+    fn from_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelOutput<T> for Vec<T> {
+    fn from_vec(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// Leaf stage: a materialized list of items.
+pub struct ParSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParSource<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Map stage; the first map in a pipeline is where parallel evaluation
+/// happens.
+pub struct ParMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for ParMap<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> U + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+/// Filter-map stage.
+pub struct ParFilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> ParallelIterator for ParFilterMap<B, F>
+where
+    B: ParallelIterator,
+    U: Send,
+    F: Fn(B::Item) -> Option<U> + Sync + Send,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        par_apply(self.base.run(), &self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParSource<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParSource<T> {
+        ParSource { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParSource<usize> {
+        ParSource {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Types whose references convert into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Convert.
+    fn par_iter(&'a self) -> ParSource<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParSource<&'a T> {
+        ParSource {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParSource<&'a T> {
+        ParSource {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v = vec![1i64, 2, 3, 4];
+        let out: Vec<i64> = v.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn filter_map_drops_nones() {
+        let out: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+}
