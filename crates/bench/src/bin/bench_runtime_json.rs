@@ -1,0 +1,139 @@
+//! Writes `BENCH_runtime.json`: per-kernel predicted-vs-measured numbers
+//! for the parallel runtime — the sequential interpreter's wall time, the
+//! plan-driven runtime's wall time under the PS-PDG best plan, the
+//! ideal-machine emulator's predicted parallelism for the same plan, and
+//! the plan's realization (how many loops chunked / pipelined / fell back
+//! to sequential).
+//!
+//! Run from the repository root (or pass an output path):
+//!
+//! ```text
+//! cargo run --release -p pspdg-bench --bin bench_runtime_json [-- OUT.json [--smoke]]
+//! ```
+//!
+//! `--smoke` runs the `Class::Test` suite with one sample (CI wiring);
+//! the default measures `Class::Mini` with interleaved best-of sampling.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pspdg_emulator::{emulate, PredictedVsMeasured};
+use pspdg_ir::interp::{Interpreter, NullSink};
+use pspdg_nas::{suite, Class};
+use pspdg_parallelizer::{build_plan, realize_executable, Abstraction};
+use pspdg_runtime::{globals_mismatch, observable_globals, Runtime};
+
+fn one_run_ns<T>(f: &mut impl FnMut() -> T) -> u64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_nanos() as u64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let (class, samples) = if smoke {
+        (Class::Test, 1)
+    } else {
+        (Class::Mini, 5)
+    };
+    let class_name = match class {
+        Class::Test => "Test",
+        Class::Mini => "Mini",
+    };
+    let workers = rayon::current_num_threads().max(2);
+
+    let mut rows = String::new();
+    for (bi, b) in suite(class).iter().enumerate() {
+        let p = b.program();
+        // Profile once for plan construction and as the differential
+        // oracle.
+        let mut oracle = Interpreter::new(&p.module);
+        oracle.run_main(&mut NullSink).expect("kernel runs");
+        let plan = build_plan(&p, oracle.profile(), Abstraction::PsPdg, 0.01);
+        let predicted = emulate(&p, &plan).expect("kernel emulates").parallelism();
+        let exec = realize_executable(&p, &plan);
+        let realization = exec.stats();
+        let rt = Runtime::with_executable(&p, exec.clone()).workers(workers);
+        // The sequential baseline is the *same* engine with one worker
+        // (every loop falls back), so the speedup isolates parallel
+        // execution from engine overhead differences against the tracing
+        // interpreter.
+        let rt_seq = Runtime::with_executable(&p, exec.clone()).workers(1);
+
+        // Correctness gate before timing anything.
+        let outcome = rt.run_main().expect("runtime runs");
+        let seq_globals = observable_globals(&p.module, oracle.mem());
+        let par_globals = observable_globals(&p.module, &outcome.mem);
+        assert_eq!(
+            globals_mismatch(&seq_globals, &par_globals),
+            None,
+            "{}: runtime diverged from the sequential interpreter",
+            b.name
+        );
+
+        // Interleaved best-of timing: interpreter, one-worker runtime,
+        // parallel runtime.
+        let (mut interp_ns, mut seq_ns, mut par_ns) = (u64::MAX, u64::MAX, u64::MAX);
+        for _ in 0..samples {
+            interp_ns = interp_ns.min(one_run_ns(&mut || {
+                let mut i = Interpreter::new(&p.module);
+                i.run_main(&mut NullSink).expect("kernel runs");
+            }));
+            seq_ns = seq_ns.min(one_run_ns(&mut || {
+                rt_seq.run_main().expect("runtime runs");
+            }));
+            par_ns = par_ns.min(one_run_ns(&mut || {
+                rt.run_main().expect("runtime runs");
+            }));
+        }
+        let row = PredictedVsMeasured {
+            name: b.name.to_string(),
+            predicted_parallelism: predicted,
+            sequential_ns: seq_ns,
+            parallel_ns: par_ns,
+        };
+        println!(
+            "{:<4} interp {:>11} ns  seq {:>11} ns  par {:>11} ns  speedup {:>6.3}x  predicted {:>8.2}x  loops: {} chunked / {} pipelined / {} sequential",
+            row.name,
+            interp_ns,
+            row.sequential_ns,
+            row.parallel_ns,
+            row.measured_speedup(),
+            row.predicted_parallelism,
+            realization.chunked,
+            realization.pipeline,
+            realization.sequential,
+        );
+        if bi > 0 {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "    {{\"kernel\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}}}",
+            row.name,
+            interp_ns,
+            row.sequential_ns,
+            row.parallel_ns,
+            row.measured_speedup(),
+            row.predicted_parallelism,
+            realization.chunked,
+            realization.pipeline,
+            realization.sequential,
+            outcome.stats.chunked_loops,
+            outcome.stats.pipelined_loops,
+            outcome.stats.sequential_fallbacks,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"suite\": \"NAS Class::{class_name}\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_runtime.json");
+    println!("wrote {out_path}");
+}

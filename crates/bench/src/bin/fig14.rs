@@ -10,6 +10,7 @@
 use pspdg_emulator::compare_plans;
 use pspdg_nas::{suite, Class};
 use pspdg_parallelizer::Abstraction;
+use rayon::prelude::*;
 
 fn main() {
     println!("Fig. 14 — Critical-path reduction over the OpenMP plan (ideal machine)");
@@ -19,11 +20,16 @@ fn main() {
         "bench", "CP(OpenMP)", "CP(PDG)", "CP(J&K)", "CP(PS-PDG)", "PDG×", "J&K×", "PS-PDG×"
     );
     println!("{}", "-".repeat(92));
-    for b in suite(Class::Mini) {
-        let row = compare_plans(b.name, &b.program()).expect("benchmark emulates");
+    // Every (benchmark, plan) replay is independent: sweep the suite
+    // across the rayon pool, printing in deterministic suite order.
+    let rows: Vec<_> = suite(Class::Mini)
+        .into_par_iter()
+        .map(|b| compare_plans(b.name, &b.program()).expect("benchmark emulates"))
+        .collect();
+    for row in rows {
         println!(
             "{:<6} {:>12} {:>12} {:>12} {:>12}   {:>9.3} {:>9.3} {:>9.3}",
-            b.name,
+            row.name,
             row.critical_path(Abstraction::OpenMp),
             row.critical_path(Abstraction::Pdg),
             row.critical_path(Abstraction::Jk),

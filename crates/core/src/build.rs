@@ -54,6 +54,9 @@ pub struct FunctionPsPdg {
     pub pdg: Pdg,
     /// Its PS-PDG.
     pub pspdg: PsPdg,
+    /// The memory references the PDG and the PS-PDG variables pass were
+    /// computed from (collected once, threaded through both).
+    pub mem_refs: Vec<pspdg_pdg::MemRef>,
 }
 
 /// Build analyses, PDG, and PS-PDG for every function of `program` that
@@ -69,19 +72,24 @@ pub fn build_pspdg_module(program: &ParallelProgram, features: FeatureSet) -> Ve
         .into_par_iter()
         .map(|func| {
             let analyses = FunctionAnalyses::compute(&program.module, func);
-            let pdg = Pdg::build(&program.module, func, &analyses);
-            let pspdg = build_pspdg(program, func, &analyses, &pdg, features);
+            let (pdg, mem_refs) = Pdg::build_with_refs(&program.module, func, &analyses);
+            let pspdg = build_pspdg_with_refs(program, func, &analyses, &pdg, &mem_refs, features);
             FunctionPsPdg {
                 func,
                 analyses,
                 pdg,
                 pspdg,
+                mem_refs,
             }
         })
         .collect()
 }
 
-/// Build the PS-PDG of `func`.
+/// Build the PS-PDG of `func`, collecting the memory references afresh.
+///
+/// Callers that already hold the references the PDG was built from (the
+/// module driver, anything using [`Pdg::build_with_refs`]) should use
+/// [`build_pspdg_with_refs`] to avoid the second collection pass.
 pub fn build_pspdg(
     program: &ParallelProgram,
     func: FuncId,
@@ -89,11 +97,25 @@ pub fn build_pspdg(
     pdg: &Pdg,
     features: FeatureSet,
 ) -> PsPdg {
+    let refs = collect_mem_refs(&program.module, func, analyses);
+    build_pspdg_with_refs(program, func, analyses, pdg, &refs, features)
+}
+
+/// Build the PS-PDG of `func` from pre-collected memory references.
+pub fn build_pspdg_with_refs(
+    program: &ParallelProgram,
+    func: FuncId,
+    analyses: &FunctionAnalyses,
+    pdg: &Pdg,
+    mem_refs: &[pspdg_pdg::MemRef],
+    features: FeatureSet,
+) -> PsPdg {
     Builder {
         program,
         func,
         analyses,
         pdg,
+        mem_refs,
         features,
     }
     .run()
@@ -104,6 +126,7 @@ struct Builder<'a> {
     func: FuncId,
     analyses: &'a FunctionAnalyses,
     pdg: &'a Pdg,
+    mem_refs: &'a [pspdg_pdg::MemRef],
     features: FeatureSet,
 }
 
@@ -275,7 +298,7 @@ impl Builder<'_> {
         // ---- variables ------------------------------------------------------
         let mut variables: Vec<Variable> = Vec::new();
         let mut accesses: Vec<VariableAccess> = Vec::new();
-        let refs = collect_mem_refs(&self.program.module, self.func, self.analyses);
+        let refs = self.mem_refs;
         if vars_on {
             // Per-base reference index so each clause touches only its own
             // variable's accesses instead of rescanning every reference.

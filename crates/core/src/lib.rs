@@ -62,7 +62,10 @@ pub mod graph;
 pub mod openmp;
 pub mod query;
 
-pub use build::{build_pspdg, build_pspdg_module, variables_by_base, FunctionPsPdg, UNKNOWN_LOOP};
+pub use build::{
+    build_pspdg, build_pspdg_module, build_pspdg_with_refs, variables_by_base, FunctionPsPdg,
+    UNKNOWN_LOOP,
+};
 pub use features::{Feature, FeatureSet};
 pub use graph::{
     Context, ContextId, ContextOrigin, DataSelector, Node, NodeId, NodeKind, NodeTrait, PsEdge,

@@ -38,4 +38,4 @@ pub mod machine;
 pub mod report;
 
 pub use machine::{emulate, EmulationResult, IdealMachine};
-pub use report::{compare_plans, CriticalPathRow};
+pub use report::{compare_plans, CriticalPathRow, PredictedVsMeasured};

@@ -3,6 +3,7 @@
 use pspdg_ir::interp::{ExecError, Interpreter, NullSink};
 use pspdg_parallel::ParallelProgram;
 use pspdg_parallelizer::{build_plan, Abstraction};
+use rayon::prelude::*;
 
 use crate::machine::{emulate, EmulationResult};
 
@@ -39,7 +40,9 @@ impl CriticalPathRow {
     }
 }
 
-/// Profile `program`, build all four plans, and emulate each.
+/// Profile `program`, build all four plans, and emulate each. The four
+/// plan emulations are independent trace replays, so they run across the
+/// rayon pool (result order stays [`Abstraction::ALL`] order).
 ///
 /// # Errors
 ///
@@ -48,15 +51,60 @@ pub fn compare_plans(name: &str, program: &ParallelProgram) -> Result<CriticalPa
     let mut interp = Interpreter::new(&program.module);
     interp.run_main(&mut NullSink)?;
     let profile = interp.profile().clone();
-    let mut results = Vec::new();
-    for a in Abstraction::ALL {
-        let plan = build_plan(program, &profile, a, 0.01);
-        results.push((a, emulate(program, &plan)?));
-    }
+    let results: Result<Vec<(Abstraction, EmulationResult)>, ExecError> = Abstraction::ALL
+        .to_vec()
+        .into_par_iter()
+        .map(|a| {
+            let plan = build_plan(program, &profile, a, 0.01);
+            emulate(program, &plan).map(|r| (a, r))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
     Ok(CriticalPathRow {
         name: name.to_string(),
-        results,
+        results: results?,
     })
+}
+
+/// One benchmark's predicted-vs-measured comparison: the emulator's
+/// ideal-machine parallelism next to real wall-clock numbers from the
+/// `pspdg-runtime` executor. Kept as plain data so the emulator does not
+/// depend on the runtime crate; `pspdg-bench`'s `bench_runtime_json`
+/// assembles the rows.
+#[derive(Debug, Clone)]
+pub struct PredictedVsMeasured {
+    /// Benchmark name.
+    pub name: String,
+    /// Parallelism the ideal machine predicts for the executed plan
+    /// (total dynamic instructions / plan-constrained critical path).
+    pub predicted_parallelism: f64,
+    /// Sequential interpreter wall time.
+    pub sequential_ns: u64,
+    /// Parallel runtime wall time under the same plan.
+    pub parallel_ns: u64,
+}
+
+impl PredictedVsMeasured {
+    /// Measured wall-clock speedup (sequential / parallel).
+    pub fn measured_speedup(&self) -> f64 {
+        if self.parallel_ns == 0 {
+            1.0
+        } else {
+            self.sequential_ns as f64 / self.parallel_ns as f64
+        }
+    }
+
+    /// Fraction of the ideal-machine prediction the real execution
+    /// achieved (1.0 = the hardware kept up with the ideal machine; real
+    /// interpreter runs land far below on loop-level parallelism).
+    pub fn efficiency(&self) -> f64 {
+        if self.predicted_parallelism <= 0.0 {
+            0.0
+        } else {
+            self.measured_speedup() / self.predicted_parallelism
+        }
+    }
 }
 
 #[cfg(test)]

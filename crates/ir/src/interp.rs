@@ -73,7 +73,8 @@ pub enum RtVal {
 }
 
 impl RtVal {
-    fn type_name(&self) -> &'static str {
+    /// Short name of the value's runtime type (diagnostics).
+    pub fn type_name(&self) -> &'static str {
         match self {
             RtVal::Int(_) => "i64",
             RtVal::Float(_) => "f64",
@@ -123,10 +124,112 @@ pub enum ObjOrigin {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Object {
     origin: ObjOrigin,
     cells: Vec<RtVal>,
+}
+
+/// The interpreter heap: every live runtime object (globals plus stack
+/// objects), separated from the [`Interpreter`] so execution engines can
+/// *fork* a consistent snapshot per worker and *commit* write logs back —
+/// the memory substrate of the `pspdg-runtime` parallel executor.
+#[derive(Debug, Clone, Default)]
+pub struct MemState {
+    objects: Vec<Object>,
+    globals: HashMap<GlobalId, ObjId>,
+}
+
+impl MemState {
+    /// A heap holding `module`'s initialized globals and nothing else.
+    pub fn for_module(module: &Module) -> MemState {
+        let mut mem = MemState::default();
+        for g in module.global_ids() {
+            let global = module.global(g);
+            let cells = match &global.init {
+                GlobalInit::Zero => {
+                    let zero = zero_of(global.ty.scalar_elem());
+                    vec![zero; global.ty.flat_len() as usize]
+                }
+                GlobalInit::Data(data) => data.iter().map(|c| const_val(*c)).collect(),
+            };
+            let obj = ObjId(mem.objects.len() as u32);
+            mem.objects.push(Object {
+                origin: ObjOrigin::Global(g),
+                cells,
+            });
+            mem.globals.insert(g, obj);
+        }
+        mem
+    }
+
+    /// Create a new object of `cells` uninitialized cells.
+    pub fn alloc(&mut self, origin: ObjOrigin, cells: usize) -> ObjId {
+        let obj = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            origin,
+            cells: vec![RtVal::Undef; cells],
+        });
+        obj
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether no objects exist.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Whether `obj` names a live object of this heap.
+    pub fn has_object(&self, obj: ObjId) -> bool {
+        obj.index() < self.objects.len()
+    }
+
+    /// Size of `obj` in cells.
+    pub fn object_len(&self, obj: ObjId) -> usize {
+        self.objects[obj.index()].cells.len()
+    }
+
+    /// Origin of `obj`.
+    pub fn origin(&self, obj: ObjId) -> ObjOrigin {
+        self.objects[obj.index()].origin
+    }
+
+    /// Read one cell.
+    pub fn read(&self, addr: MemAddr) -> RtVal {
+        self.objects[addr.obj.index()].cells[addr.off as usize]
+    }
+
+    /// Write one cell.
+    pub fn write(&mut self, addr: MemAddr, v: RtVal) {
+        self.objects[addr.obj.index()].cells[addr.off as usize] = v;
+    }
+
+    /// The runtime object backing global `g`.
+    pub fn global_object(&self, g: GlobalId) -> ObjId {
+        self.globals[&g]
+    }
+
+    /// Every live object with its origin (in allocation order).
+    pub fn objects(&self) -> impl Iterator<Item = (ObjId, ObjOrigin)> + '_ {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o.origin))
+    }
+
+    /// Apply a write log in order, skipping writes to objects this heap
+    /// does not hold (a forked worker's loop-local stack objects).
+    pub fn apply(&mut self, writes: &[(MemAddr, RtVal)]) {
+        for (addr, v) in writes {
+            if self.has_object(addr.obj) {
+                self.write(*addr, *v);
+            }
+        }
+    }
 }
 
 /// Per-function execution counts.
@@ -300,13 +403,239 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A context-free evaluation fault, raised by the shared instruction
+/// semantics ([`eval_binop`] and friends) and wrapped into an
+/// [`ExecError`] (with function/instruction context) by whichever engine
+/// hit it. Both the sequential [`Interpreter`] and the `pspdg-runtime`
+/// parallel executor evaluate instructions through these helpers, so the
+/// two engines cannot drift apart on arithmetic semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalFault {
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// An operand had an unexpected runtime type.
+    TypeMismatch {
+        /// Expected type name.
+        expected: &'static str,
+        /// Actual type name.
+        got: &'static str,
+    },
+}
+
+impl EvalFault {
+    /// Attach function/instruction context, producing an [`ExecError`].
+    pub fn at(self, func: &str, inst: InstId) -> ExecError {
+        match self {
+            EvalFault::DivByZero => ExecError::DivByZero {
+                func: func.to_string(),
+                inst,
+            },
+            EvalFault::TypeMismatch { expected, got } => ExecError::TypeMismatch {
+                func: func.to_string(),
+                inst,
+                expected,
+                got,
+            },
+        }
+    }
+}
+
+/// Evaluate a binary operation on runtime values.
+///
+/// # Errors
+///
+/// [`EvalFault`] on division by zero or operand type mismatch.
+pub fn eval_binop(op: BinOp, l: RtVal, r: RtVal) -> Result<RtVal, EvalFault> {
+    use BinOp::*;
+    Ok(match (l, r) {
+        (RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    return Err(EvalFault::DivByZero);
+                }
+                a.wrapping_div(b)
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(EvalFault::DivByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            Shl => a.wrapping_shl(b as u32),
+            Shr => a.wrapping_shr(b as u32),
+        }),
+        (RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(match op {
+            Add => a + b,
+            Sub => a - b,
+            Mul => a * b,
+            Div => a / b,
+            _ => {
+                return Err(EvalFault::TypeMismatch {
+                    expected: "i64",
+                    got: "f64",
+                })
+            }
+        }),
+        (RtVal::Bool(a), RtVal::Bool(b)) => RtVal::Bool(match op {
+            And => a && b,
+            Or => a || b,
+            _ => {
+                return Err(EvalFault::TypeMismatch {
+                    expected: "i64",
+                    got: "bool",
+                })
+            }
+        }),
+        (_, b) => {
+            return Err(EvalFault::TypeMismatch {
+                expected: "matching numeric operands",
+                got: b.type_name(),
+            })
+        }
+    })
+}
+
+/// Evaluate a unary operation on a runtime value.
+///
+/// # Errors
+///
+/// [`EvalFault::TypeMismatch`] on a non-numeric operand.
+pub fn eval_unop(op: UnOp, v: RtVal) -> Result<RtVal, EvalFault> {
+    Ok(match (op, v) {
+        (UnOp::Neg, RtVal::Int(x)) => RtVal::Int(x.wrapping_neg()),
+        (UnOp::Neg, RtVal::Float(x)) => RtVal::Float(-x),
+        (UnOp::Not, RtVal::Bool(x)) => RtVal::Bool(!x),
+        (UnOp::Not, RtVal::Int(x)) => RtVal::Int(!x),
+        (_, other) => {
+            return Err(EvalFault::TypeMismatch {
+                expected: "numeric",
+                got: other.type_name(),
+            })
+        }
+    })
+}
+
+/// Evaluate a comparison on runtime values.
+///
+/// # Errors
+///
+/// [`EvalFault::TypeMismatch`] on mismatched operand types.
+pub fn eval_cmp(op: CmpOp, l: RtVal, r: RtVal) -> Result<bool, EvalFault> {
+    use CmpOp::*;
+    Ok(match (l, r) {
+        (RtVal::Int(a), RtVal::Int(b)) => match op {
+            Eq => a == b,
+            Ne => a != b,
+            Lt => a < b,
+            Le => a <= b,
+            Gt => a > b,
+            Ge => a >= b,
+        },
+        (RtVal::Float(a), RtVal::Float(b)) => match op {
+            Eq => a == b,
+            Ne => a != b,
+            Lt => a < b,
+            Le => a <= b,
+            Gt => a > b,
+            Ge => a >= b,
+        },
+        (RtVal::Bool(a), RtVal::Bool(b)) => match op {
+            Eq => a == b,
+            Ne => a != b,
+            _ => {
+                return Err(EvalFault::TypeMismatch {
+                    expected: "numeric",
+                    got: "bool",
+                })
+            }
+        },
+        (_, b) => {
+            return Err(EvalFault::TypeMismatch {
+                expected: "matching operands",
+                got: b.type_name(),
+            })
+        }
+    })
+}
+
+/// Evaluate a scalar cast.
+///
+/// # Errors
+///
+/// [`EvalFault::TypeMismatch`] when the value does not fit the cast.
+pub fn eval_cast(kind: CastKind, v: RtVal) -> Result<RtVal, EvalFault> {
+    Ok(match (kind, v) {
+        (CastKind::IntToFloat, RtVal::Int(x)) => RtVal::Float(x as f64),
+        (CastKind::FloatToInt, RtVal::Float(x)) => RtVal::Int(x as i64),
+        (CastKind::BoolToInt, RtVal::Bool(x)) => RtVal::Int(x as i64),
+        (_, other) => {
+            return Err(EvalFault::TypeMismatch {
+                expected: "castable scalar",
+                got: other.type_name(),
+            })
+        }
+    })
+}
+
+/// Evaluate an intrinsic call; `print_*` intrinsics append to `output`.
+///
+/// # Errors
+///
+/// [`EvalFault::TypeMismatch`] on badly typed arguments.
+pub fn eval_intrinsic(
+    intr: Intrinsic,
+    args: &[RtVal],
+    output: &mut Vec<String>,
+) -> Result<RtVal, EvalFault> {
+    let f = |i: usize| -> Result<f64, EvalFault> {
+        args[i].as_float().ok_or(EvalFault::TypeMismatch {
+            expected: "f64",
+            got: args[i].type_name(),
+        })
+    };
+    let n = |i: usize| -> Result<i64, EvalFault> {
+        args[i].as_int().ok_or(EvalFault::TypeMismatch {
+            expected: "i64",
+            got: args[i].type_name(),
+        })
+    };
+    Ok(match intr {
+        Intrinsic::Sqrt => RtVal::Float(f(0)?.sqrt()),
+        Intrinsic::Fabs => RtVal::Float(f(0)?.abs()),
+        Intrinsic::Sin => RtVal::Float(f(0)?.sin()),
+        Intrinsic::Cos => RtVal::Float(f(0)?.cos()),
+        Intrinsic::Exp => RtVal::Float(f(0)?.exp()),
+        Intrinsic::Log => RtVal::Float(f(0)?.ln()),
+        Intrinsic::Pow => RtVal::Float(f(0)?.powf(f(1)?)),
+        Intrinsic::Fmax => RtVal::Float(f(0)?.max(f(1)?)),
+        Intrinsic::Fmin => RtVal::Float(f(0)?.min(f(1)?)),
+        Intrinsic::Imax => RtVal::Int(n(0)?.max(n(1)?)),
+        Intrinsic::Imin => RtVal::Int(n(0)?.min(n(1)?)),
+        Intrinsic::Iabs => RtVal::Int(n(0)?.abs()),
+        Intrinsic::PrintI64 => {
+            output.push(n(0)?.to_string());
+            RtVal::Undef
+        }
+        Intrinsic::PrintF64 => {
+            let v = f(0)?;
+            output.push(format!("{v:.6}"));
+            RtVal::Undef
+        }
+    })
+}
+
 /// The interpreter. Owns the heap (globals + live stack objects), the
 /// profile, and the captured output of `print_*` intrinsics.
 #[derive(Debug)]
 pub struct Interpreter<'m> {
     module: &'m Module,
-    objects: Vec<Object>,
-    globals: HashMap<GlobalId, ObjId>,
+    mem: MemState,
     profile: Profile,
     output: Vec<String>,
     steps: u64,
@@ -337,33 +666,15 @@ impl<'m> Interpreter<'m> {
 
     /// Create an interpreter with an explicit step budget.
     pub fn with_fuel(module: &'m Module, fuel: u64) -> Interpreter<'m> {
-        let mut interp = Interpreter {
+        Interpreter {
             module,
-            objects: Vec::new(),
-            globals: HashMap::new(),
+            mem: MemState::for_module(module),
             profile: Profile::new(module),
             output: Vec::new(),
             steps: 0,
             fuel,
             next_frame: 0,
-        };
-        for g in module.global_ids() {
-            let global = module.global(g);
-            let cells = match &global.init {
-                GlobalInit::Zero => {
-                    let zero = zero_of(global.ty.scalar_elem());
-                    vec![zero; global.ty.flat_len() as usize]
-                }
-                GlobalInit::Data(data) => data.iter().map(|c| const_val(*c)).collect(),
-            };
-            let obj = ObjId(interp.objects.len() as u32);
-            interp.objects.push(Object {
-                origin: ObjOrigin::Global(g),
-                cells,
-            });
-            interp.globals.insert(g, obj);
         }
-        interp
     }
 
     /// Execute `func` with `args`, discarding trace events.
@@ -386,8 +697,8 @@ impl<'m> Interpreter<'m> {
         args: &[RtVal],
         sink: &mut dyn TraceSink,
     ) -> Result<Option<RtVal>, ExecError> {
-        for (i, obj) in self.objects.iter().enumerate() {
-            sink.on_alloc(ObjId(i as u32), obj.origin);
+        for (obj, origin) in self.mem.objects() {
+            sink.on_alloc(obj, origin);
         }
         let arg_deps = vec![NO_DEP; args.len()];
         let (ret, _ret_step) = self.exec_function(func, args.to_vec(), arg_deps, NO_DEP, sink)?;
@@ -424,17 +735,23 @@ impl<'m> Interpreter<'m> {
 
     /// Origin of a runtime object (for mapping addresses to variables).
     pub fn object_origin(&self, obj: ObjId) -> ObjOrigin {
-        self.objects[obj.index()].origin
+        self.mem.origin(obj)
     }
 
     /// Read one cell of an object (test/inspection helper).
     pub fn read_cell(&self, addr: MemAddr) -> RtVal {
-        self.objects[addr.obj.index()].cells[addr.off as usize]
+        self.mem.read(addr)
     }
 
     /// The runtime object backing a global.
     pub fn global_object(&self, g: GlobalId) -> ObjId {
-        self.globals[&g]
+        self.mem.global_object(g)
+    }
+
+    /// The interpreter's heap (final-memory inspection, differential
+    /// testing against the parallel runtime).
+    pub fn mem(&self) -> &MemState {
+        &self.mem
     }
 
     fn exec_function(
@@ -512,21 +829,17 @@ impl<'m> Interpreter<'m> {
 
                 match &data.inst {
                     Inst::Alloca { ty, .. } => {
-                        let obj = ObjId(self.objects.len() as u32);
                         let origin = ObjOrigin::Alloca {
                             func: func_id,
                             inst: inst_id,
                         };
-                        self.objects.push(Object {
-                            origin,
-                            cells: vec![RtVal::Undef; ty.flat_len() as usize],
-                        });
+                        let obj = self.mem.alloc(origin, ty.flat_len() as usize);
                         sink.on_alloc(obj, origin);
                         result = RtVal::Ptr { obj, off: 0 };
                     }
                     Inst::Load { ptr, .. } => {
                         let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
-                        let v = self.objects[addr.obj.index()].cells[addr.off as usize];
+                        let v = self.mem.read(addr);
                         if matches!(v, RtVal::Undef) {
                             return Err(ExecError::UndefRead {
                                 func: err_func(),
@@ -539,7 +852,7 @@ impl<'m> Interpreter<'m> {
                     Inst::Store { ptr, value } => {
                         let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
                         let v = eval!(*value);
-                        self.objects[addr.obj.index()].cells[addr.off as usize] = v;
+                        self.mem.write(addr, v);
                         stores.push(addr);
                     }
                     Inst::Gep {
@@ -569,49 +882,27 @@ impl<'m> Interpreter<'m> {
                     Inst::Binary { op, lhs, rhs } => {
                         let l = eval!(*lhs);
                         let r = eval!(*rhs);
-                        result = self.binop(*op, l, r, &err_func(), inst_id)?;
+                        result = eval_binop(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?;
                     }
                     Inst::Unary { op, operand } => {
                         let v = eval!(*operand);
-                        result = match (op, v) {
-                            (UnOp::Neg, RtVal::Int(x)) => RtVal::Int(x.wrapping_neg()),
-                            (UnOp::Neg, RtVal::Float(x)) => RtVal::Float(-x),
-                            (UnOp::Not, RtVal::Bool(x)) => RtVal::Bool(!x),
-                            (UnOp::Not, RtVal::Int(x)) => RtVal::Int(!x),
-                            (_, other) => {
-                                return Err(ExecError::TypeMismatch {
-                                    func: err_func(),
-                                    inst: inst_id,
-                                    expected: "numeric",
-                                    got: other.type_name(),
-                                })
-                            }
-                        };
+                        result = eval_unop(*op, v).map_err(|e| e.at(&err_func(), inst_id))?;
                     }
                     Inst::Cmp { op, lhs, rhs } => {
                         let l = eval!(*lhs);
                         let r = eval!(*rhs);
-                        result = RtVal::Bool(self.cmp(*op, l, r, &err_func(), inst_id)?);
+                        result = RtVal::Bool(
+                            eval_cmp(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?,
+                        );
                     }
                     Inst::Cast { kind, value } => {
                         let v = eval!(*value);
-                        result = match (kind, v) {
-                            (CastKind::IntToFloat, RtVal::Int(x)) => RtVal::Float(x as f64),
-                            (CastKind::FloatToInt, RtVal::Float(x)) => RtVal::Int(x as i64),
-                            (CastKind::BoolToInt, RtVal::Bool(x)) => RtVal::Int(x as i64),
-                            (_, other) => {
-                                return Err(ExecError::TypeMismatch {
-                                    func: err_func(),
-                                    inst: inst_id,
-                                    expected: "castable scalar",
-                                    got: other.type_name(),
-                                })
-                            }
-                        };
+                        result = eval_cast(*kind, v).map_err(|e| e.at(&err_func(), inst_id))?;
                     }
                     Inst::IntrinsicCall { intrinsic, args } => {
                         let vals: Vec<RtVal> = args.iter().map(|a| self.eval(&frame, *a)).collect();
-                        result = self.intrinsic(*intrinsic, &vals, &err_func(), inst_id)?;
+                        result = eval_intrinsic(*intrinsic, &vals, &mut self.output)
+                            .map_err(|e| e.at(&err_func(), inst_id))?;
                     }
                     Inst::Call { callee, args } => {
                         let vals: Vec<RtVal> = args.iter().map(|a| self.eval(&frame, *a)).collect();
@@ -702,7 +993,7 @@ impl<'m> Interpreter<'m> {
             Value::Inst(i) => frame.regs[i.index()],
             Value::Param(p) => frame.args[p],
             Value::Global(g) => RtVal::Ptr {
-                obj: self.globals[&g],
+                obj: self.mem.global_object(g),
                 off: 0,
             },
         }
@@ -711,7 +1002,7 @@ impl<'m> Interpreter<'m> {
     fn deref(&self, v: RtVal, func: &str, inst: InstId) -> Result<MemAddr, ExecError> {
         match v {
             RtVal::Ptr { obj, off } => {
-                let size = self.objects[obj.index()].cells.len();
+                let size = self.mem.object_len(obj);
                 if off < 0 || off as usize >= size {
                     return Err(ExecError::OutOfBounds {
                         func: func.to_string(),
@@ -742,183 +1033,10 @@ impl<'m> Interpreter<'m> {
             got: v.type_name(),
         })
     }
-
-    fn binop(
-        &self,
-        op: BinOp,
-        l: RtVal,
-        r: RtVal,
-        func: &str,
-        inst: InstId,
-    ) -> Result<RtVal, ExecError> {
-        use BinOp::*;
-        Ok(match (l, r) {
-            (RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(match op {
-                Add => a.wrapping_add(b),
-                Sub => a.wrapping_sub(b),
-                Mul => a.wrapping_mul(b),
-                Div => {
-                    if b == 0 {
-                        return Err(ExecError::DivByZero {
-                            func: func.to_string(),
-                            inst,
-                        });
-                    }
-                    a.wrapping_div(b)
-                }
-                Rem => {
-                    if b == 0 {
-                        return Err(ExecError::DivByZero {
-                            func: func.to_string(),
-                            inst,
-                        });
-                    }
-                    a.wrapping_rem(b)
-                }
-                And => a & b,
-                Or => a | b,
-                Xor => a ^ b,
-                Shl => a.wrapping_shl(b as u32),
-                Shr => a.wrapping_shr(b as u32),
-            }),
-            (RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(match op {
-                Add => a + b,
-                Sub => a - b,
-                Mul => a * b,
-                Div => a / b,
-                _ => {
-                    return Err(ExecError::TypeMismatch {
-                        func: func.to_string(),
-                        inst,
-                        expected: "i64",
-                        got: "f64",
-                    })
-                }
-            }),
-            (RtVal::Bool(a), RtVal::Bool(b)) => RtVal::Bool(match op {
-                And => a && b,
-                Or => a || b,
-                _ => {
-                    return Err(ExecError::TypeMismatch {
-                        func: func.to_string(),
-                        inst,
-                        expected: "i64",
-                        got: "bool",
-                    })
-                }
-            }),
-            (a, b) => {
-                let _ = a;
-                return Err(ExecError::TypeMismatch {
-                    func: func.to_string(),
-                    inst,
-                    expected: "matching numeric operands",
-                    got: b.type_name(),
-                });
-            }
-        })
-    }
-
-    fn cmp(
-        &self,
-        op: CmpOp,
-        l: RtVal,
-        r: RtVal,
-        func: &str,
-        inst: InstId,
-    ) -> Result<bool, ExecError> {
-        use CmpOp::*;
-        Ok(match (l, r) {
-            (RtVal::Int(a), RtVal::Int(b)) => match op {
-                Eq => a == b,
-                Ne => a != b,
-                Lt => a < b,
-                Le => a <= b,
-                Gt => a > b,
-                Ge => a >= b,
-            },
-            (RtVal::Float(a), RtVal::Float(b)) => match op {
-                Eq => a == b,
-                Ne => a != b,
-                Lt => a < b,
-                Le => a <= b,
-                Gt => a > b,
-                Ge => a >= b,
-            },
-            (RtVal::Bool(a), RtVal::Bool(b)) => match op {
-                Eq => a == b,
-                Ne => a != b,
-                _ => {
-                    return Err(ExecError::TypeMismatch {
-                        func: func.to_string(),
-                        inst,
-                        expected: "numeric",
-                        got: "bool",
-                    })
-                }
-            },
-            (_, b) => {
-                return Err(ExecError::TypeMismatch {
-                    func: func.to_string(),
-                    inst,
-                    expected: "matching operands",
-                    got: b.type_name(),
-                })
-            }
-        })
-    }
-
-    fn intrinsic(
-        &mut self,
-        intr: Intrinsic,
-        args: &[RtVal],
-        func: &str,
-        inst: InstId,
-    ) -> Result<RtVal, ExecError> {
-        let f = |i: usize| -> Result<f64, ExecError> {
-            args[i].as_float().ok_or_else(|| ExecError::TypeMismatch {
-                func: func.to_string(),
-                inst,
-                expected: "f64",
-                got: args[i].type_name(),
-            })
-        };
-        let n = |i: usize| -> Result<i64, ExecError> {
-            args[i].as_int().ok_or_else(|| ExecError::TypeMismatch {
-                func: func.to_string(),
-                inst,
-                expected: "i64",
-                got: args[i].type_name(),
-            })
-        };
-        Ok(match intr {
-            Intrinsic::Sqrt => RtVal::Float(f(0)?.sqrt()),
-            Intrinsic::Fabs => RtVal::Float(f(0)?.abs()),
-            Intrinsic::Sin => RtVal::Float(f(0)?.sin()),
-            Intrinsic::Cos => RtVal::Float(f(0)?.cos()),
-            Intrinsic::Exp => RtVal::Float(f(0)?.exp()),
-            Intrinsic::Log => RtVal::Float(f(0)?.ln()),
-            Intrinsic::Pow => RtVal::Float(f(0)?.powf(f(1)?)),
-            Intrinsic::Fmax => RtVal::Float(f(0)?.max(f(1)?)),
-            Intrinsic::Fmin => RtVal::Float(f(0)?.min(f(1)?)),
-            Intrinsic::Imax => RtVal::Int(n(0)?.max(n(1)?)),
-            Intrinsic::Imin => RtVal::Int(n(0)?.min(n(1)?)),
-            Intrinsic::Iabs => RtVal::Int(n(0)?.abs()),
-            Intrinsic::PrintI64 => {
-                let v = n(0)?;
-                self.output.push(v.to_string());
-                RtVal::Undef
-            }
-            Intrinsic::PrintF64 => {
-                let v = f(0)?;
-                self.output.push(format!("{v:.6}"));
-                RtVal::Undef
-            }
-        })
-    }
 }
 
-fn const_val(c: Constant) -> RtVal {
+/// The runtime value of a constant.
+pub fn const_val(c: Constant) -> RtVal {
     match c {
         Constant::Int(v) => RtVal::Int(v),
         Constant::Float(v) => RtVal::Float(v),
@@ -926,7 +1044,8 @@ fn const_val(c: Constant) -> RtVal {
     }
 }
 
-fn zero_of(ty: &Type) -> RtVal {
+/// The zero value of a scalar type (`Undef` for aggregates).
+pub fn zero_of(ty: &Type) -> RtVal {
     match ty {
         Type::I64 => RtVal::Int(0),
         Type::F64 => RtVal::Float(0.0),

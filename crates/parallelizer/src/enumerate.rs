@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use pspdg_core::{build_pspdg, build_pspdg_module, query, FeatureSet, FunctionPsPdg};
+use pspdg_core::{build_pspdg_module, build_pspdg_with_refs, query, FeatureSet, FunctionPsPdg};
 use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, LoopId};
 use pspdg_parallel::ParallelProgram;
@@ -81,13 +81,14 @@ pub fn enumerate_function_with_features(
     features: FeatureSet,
 ) -> FunctionOptions {
     let analyses = FunctionAnalyses::compute(&program.module, func);
-    let pdg = Pdg::build(&program.module, func, &analyses);
-    let pspdg = build_pspdg(program, func, &analyses, &pdg, features);
+    let (pdg, mem_refs) = Pdg::build_with_refs(&program.module, func, &analyses);
+    let pspdg = build_pspdg_with_refs(program, func, &analyses, &pdg, &mem_refs, features);
     let prepared = FunctionPsPdg {
         func,
         analyses,
         pdg,
         pspdg,
+        mem_refs,
     };
     enumerate_prepared(program, &prepared, profile, machine, threshold)
 }
@@ -106,6 +107,7 @@ fn enumerate_prepared(
         analyses,
         pdg,
         pspdg,
+        ..
     } = prepared;
     let func = *func;
     let jk = jk_view(program, analyses, pdg);

@@ -25,6 +25,7 @@ pub mod hotloops;
 pub mod machine;
 pub mod plan;
 pub mod realize;
+pub mod schedule;
 pub mod views;
 
 pub use assess::{assess_loop, nested_canonical_ivs, LoopAssessment};
@@ -36,4 +37,8 @@ pub use hotloops::{hot_loops, HotLoop};
 pub use machine::MachineModel;
 pub use plan::{build_plan, LoopPlanSpec, MutexSpec, PlannedTechnique, ProgramPlan};
 pub use realize::realize_plan;
+pub use schedule::{
+    realize_executable, ChunkedLoop, ExecutablePlan, LoopExec, LoopSchedule, PipelineLoop,
+    RealizationStats,
+};
 pub use views::{jk_view, pdg_view, Abstraction};

@@ -174,6 +174,7 @@ fn plan_function(
         analyses,
         pdg,
         pspdg,
+        ..
     } = prepared;
     let func = *func;
 

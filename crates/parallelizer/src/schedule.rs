@@ -1,0 +1,797 @@
+//! Executable plan realization: lowering a [`ProgramPlan`] into the
+//! [`LoopSchedule`]s the `pspdg-runtime` parallel executor runs.
+//!
+//! [`realize_plan`](crate::realize::realize_plan) re-encodes DOALL
+//! decisions as directives; this module goes the rest of the way and
+//! produces something *executable* for every planned loop:
+//!
+//! * **DOALL** loops with a canonical induction structure become
+//!   [`LoopExec::Chunked`] — iteration ranges split across workers, with
+//!   per-worker forked heaps and the plan's reduction bases merged by
+//!   their declared operator;
+//! * **DSWP** plans (and HELIX plans whose SCC DAG admits a forward-only
+//!   stage assignment) become [`LoopExec::Pipeline`] — a bounded-channel
+//!   stage pipeline where stage 0 drives control and later stages replay
+//!   the recorded path executing only their own instructions;
+//! * everything else falls back to [`LoopExec::Sequential`] with a
+//!   recorded reason, so reports can say *why* a loop did not speed up.
+//!
+//! Every lowering is **validated** against the loop's dependence structure
+//! before it is emitted; a schedule that cannot be proven safe under the
+//! runtime's execution model degrades to sequential instead of executing
+//! incorrectly.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use pspdg_ir::{BlockId, CmpOp, FuncId, Inst, InstId, LoopId, Value};
+use pspdg_parallel::{DataClause, ParallelProgram, ReductionOp};
+use pspdg_pdg::{base_of_varref, DepKind, FunctionAnalyses, MemBase, Pdg};
+
+use crate::plan::{LoopPlanSpec, PlannedTechnique, ProgramPlan};
+
+/// Cap on pipeline depth: merging SCCs into at most this many stages keeps
+/// per-stage work coarse enough to amortize the channel hops.
+pub const MAX_PIPELINE_STAGES: usize = 4;
+
+/// A DOALL loop lowered to chunked execution.
+#[derive(Debug, Clone)]
+pub struct ChunkedLoop {
+    /// The induction variable's stack slot.
+    pub iv_alloca: InstId,
+    /// Constant per-iteration increment.
+    pub step: i64,
+    /// Continue-predicate `iv <cmp_op> bound`.
+    pub cmp_op: CmpOp,
+    /// Loop-invariant bound value.
+    pub bound: Value,
+    /// First in-loop block executed when the predicate holds.
+    pub body_entry: BlockId,
+    /// Reduction bases with their merge operators: worker copies start at
+    /// the operator identity and partial results merge in chunk order.
+    pub reductions: Vec<(MemBase, ReductionOp)>,
+}
+
+/// A pipelined loop: each instruction belongs to a stage; stage 0 drives
+/// control and owns every terminator.
+#[derive(Debug, Clone)]
+pub struct PipelineLoop {
+    /// Stage of each loop instruction.
+    pub stage_of: HashMap<InstId, u32>,
+    /// Number of stages (≥ 2).
+    pub stages: u32,
+}
+
+/// How the runtime executes one planned loop.
+#[derive(Debug, Clone)]
+pub enum LoopExec {
+    /// Iteration ranges split across workers (DOALL).
+    Chunked(ChunkedLoop),
+    /// Bounded-channel stage pipeline (DSWP).
+    Pipeline(PipelineLoop),
+    /// Sequential fallback, with the reason the loop could not be lowered.
+    Sequential {
+        /// Why the loop executes sequentially.
+        reason: String,
+    },
+}
+
+impl LoopExec {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoopExec::Chunked(_) => "chunked",
+            LoopExec::Pipeline(_) => "pipeline",
+            LoopExec::Sequential { .. } => "sequential",
+        }
+    }
+}
+
+/// One planned loop, lowered for execution.
+#[derive(Debug, Clone)]
+pub struct LoopSchedule {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// The loop.
+    pub loop_id: LoopId,
+    /// Header block (the runtime's trigger point).
+    pub header: BlockId,
+    /// All loop blocks, sorted.
+    pub blocks: Vec<BlockId>,
+    /// The planned technique this schedule realizes (`DOALL`, `HELIX`,
+    /// `DSWP`).
+    pub planned: &'static str,
+    /// The executable lowering.
+    pub exec: LoopExec,
+}
+
+impl LoopSchedule {
+    /// Whether `bb` belongs to the loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.blocks.binary_search(&bb).is_ok()
+    }
+}
+
+/// Realization counts (reporting; the runtime records these per run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RealizationStats {
+    /// Loops lowered to chunked DOALL execution.
+    pub chunked: usize,
+    /// Loops lowered to a stage pipeline.
+    pub pipeline: usize,
+    /// Loops falling back to sequential execution.
+    pub sequential: usize,
+}
+
+/// A [`ProgramPlan`] lowered to executable loop schedules, keyed by the
+/// loop header the runtime triggers on.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutablePlan {
+    schedules: HashMap<(FuncId, BlockId), LoopSchedule>,
+}
+
+impl ExecutablePlan {
+    /// The schedule triggered at `(func, header)`, if that block heads a
+    /// planned loop.
+    pub fn schedule_at(&self, func: FuncId, header: BlockId) -> Option<&LoopSchedule> {
+        self.schedules.get(&(func, header))
+    }
+
+    /// All schedules, ordered by (function, header).
+    pub fn schedules(&self) -> Vec<&LoopSchedule> {
+        let mut v: Vec<&LoopSchedule> = self.schedules.values().collect();
+        v.sort_by_key(|s| (s.func.0, s.header.index()));
+        v
+    }
+
+    /// Number of scheduled loops.
+    pub fn len(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// Whether no loop is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.schedules.is_empty()
+    }
+
+    /// Count lowerings by kind.
+    pub fn stats(&self) -> RealizationStats {
+        let mut out = RealizationStats::default();
+        for s in self.schedules.values() {
+            match s.exec {
+                LoopExec::Chunked(_) => out.chunked += 1,
+                LoopExec::Pipeline(_) => out.pipeline += 1,
+                LoopExec::Sequential { .. } => out.sequential += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Lower every loop of `plan` into an executable schedule.
+pub fn realize_executable(program: &ParallelProgram, plan: &ProgramPlan) -> ExecutablePlan {
+    let mut out = ExecutablePlan::default();
+    // Group specs per function so analyses/PDG are computed once each.
+    let mut by_func: BTreeMap<FuncId, Vec<&LoopPlanSpec>> = BTreeMap::new();
+    for spec in plan.loops.values() {
+        by_func.entry(spec.func).or_default().push(spec);
+    }
+    for (func, specs) in by_func {
+        let analyses = FunctionAnalyses::compute(&program.module, func);
+        let cx = FuncRealizer::new(program, plan, func, &analyses);
+        for spec in specs {
+            let schedule = cx.lower(spec);
+            out.schedules.insert((func, schedule.header), schedule);
+        }
+    }
+    out
+}
+
+/// Per-function realization context.
+struct FuncRealizer<'a> {
+    program: &'a ParallelProgram,
+    func: FuncId,
+    analyses: &'a FunctionAnalyses,
+    /// Block of each instruction.
+    owner: Vec<Option<BlockId>>,
+    /// Instructions covered by a surviving mutual-exclusion group.
+    mutex_insts: BTreeSet<InstId>,
+    /// Reduction merge operator declared for each base in this function.
+    red_ops: BTreeMap<MemBase, ReductionOp>,
+    /// Lazily built dependence graph (pipeline validation only).
+    pdg: std::cell::OnceCell<Pdg>,
+}
+
+impl<'a> FuncRealizer<'a> {
+    fn new(
+        program: &'a ParallelProgram,
+        plan: &ProgramPlan,
+        func: FuncId,
+        analyses: &'a FunctionAnalyses,
+    ) -> FuncRealizer<'a> {
+        let f = program.module.function(func);
+        let owner = f.inst_blocks();
+        let mutex_insts = plan
+            .mutexes
+            .iter()
+            .filter(|m| m.func == func)
+            .flat_map(|m| m.insts.iter().copied())
+            .collect();
+        let mut red_ops = BTreeMap::new();
+        for (_, d) in program.directives_in(func) {
+            for clause in &d.clauses {
+                if let DataClause::Reduction { op, var } = clause {
+                    if let Some(base) = base_of_varref(func, *var) {
+                        red_ops.entry(base).or_insert(*op);
+                    }
+                }
+            }
+        }
+        FuncRealizer {
+            program,
+            func,
+            analyses,
+            owner,
+            mutex_insts,
+            red_ops,
+            pdg: std::cell::OnceCell::new(),
+        }
+    }
+
+    fn pdg(&self) -> &Pdg {
+        self.pdg
+            .get_or_init(|| Pdg::build(&self.program.module, self.func, self.analyses))
+    }
+
+    fn lower(&self, spec: &LoopPlanSpec) -> LoopSchedule {
+        let l = spec.loop_id;
+        let info = self.analyses.forest.info(l);
+        let mk = |exec: LoopExec| LoopSchedule {
+            func: self.func,
+            loop_id: l,
+            header: info.header,
+            blocks: info.blocks.clone(),
+            planned: spec.technique.name(),
+            exec,
+        };
+        let seq = |reason: &str| {
+            mk(LoopExec::Sequential {
+                reason: reason.to_string(),
+            })
+        };
+
+        let loop_insts: BTreeSet<InstId> = self.analyses.loop_insts(l).into_iter().collect();
+        // Surviving mutual exclusion inside the body: the runtime's forked
+        // heaps cannot express cross-worker locking, so serialize.
+        if loop_insts.iter().any(|i| self.mutex_insts.contains(i)) {
+            return seq("mutual exclusion inside the loop body");
+        }
+        // Register live-outs: the master resumes at the exit block without
+        // the workers' register files, so loop-defined registers must die
+        // inside the loop. (Front-end output always passes loop results
+        // through memory; this guards hand-built IR.)
+        let f = self.program.module.function(self.func);
+        for i in f.inst_ids() {
+            let Some(bb) = self.owner[i.index()] else {
+                continue;
+            };
+            if info.contains(bb) {
+                continue;
+            }
+            for op in f.inst(i).inst.operands() {
+                if let Value::Inst(d) = op {
+                    if loop_insts.contains(&d) {
+                        return seq("loop-defined register used after the loop");
+                    }
+                }
+            }
+        }
+
+        match &spec.technique {
+            PlannedTechnique::Doall => {
+                let Some(canon) = self.analyses.canonical_of(l) else {
+                    return seq("DOALL loop is not canonical");
+                };
+                let mut reductions = Vec::new();
+                for base in &spec.reduction_bases {
+                    match self.red_ops.get(base) {
+                        Some(ReductionOp::Custom { .. }) => {
+                            return seq("custom reduction merge function")
+                        }
+                        Some(op) => reductions.push((*base, *op)),
+                        None => return seq("reduction base without a declared operator"),
+                    }
+                }
+                // Discharged bases with a *real* carried flow (typically a
+                // region-privatized accumulator like IS's private
+                // histogram): last-writer commit would drop contributions,
+                // so they must be recognizably accumulative — then the
+                // forks start from the operator identity and merge exactly
+                // like a declared reduction.
+                let iv_base = MemBase::Alloca(canon.iv_alloca);
+                for base in &spec.ignored_bases {
+                    if *base == iv_base || spec.reduction_bases.contains(base) {
+                        continue;
+                    }
+                    let carried_flow = self.pdg().carried_edges(l).any(|e| {
+                        matches!(e.kind, DepKind::Flow { .. })
+                            && e.base == Some(*base)
+                            && loop_insts.contains(&e.src)
+                            && loop_insts.contains(&e.dst)
+                    });
+                    if !carried_flow {
+                        continue;
+                    }
+                    if let Some(op) = self.accumulator_op(&loop_insts, *base) {
+                        reductions.push((*base, op));
+                    }
+                    // Otherwise the privatization declaration promises
+                    // write-before-read per iteration; last-writer commit
+                    // then reproduces the sequential final state.
+                }
+                mk(LoopExec::Chunked(ChunkedLoop {
+                    iv_alloca: canon.iv_alloca,
+                    step: canon.step,
+                    cmp_op: canon.cmp_op,
+                    bound: canon.bound.0,
+                    body_entry: canon.body_entry,
+                    reductions,
+                }))
+            }
+            PlannedTechnique::Dswp { stage_of, stages } => {
+                let stage_of: HashMap<InstId, u32> =
+                    stage_of.iter().map(|(k, v)| (*k, *v)).collect();
+                match self.validate_pipeline(spec.loop_id, &loop_insts, &stage_of, *stages) {
+                    Ok(()) => mk(LoopExec::Pipeline(PipelineLoop {
+                        stage_of,
+                        stages: *stages,
+                    })),
+                    Err(reason) => seq(reason),
+                }
+            }
+            PlannedTechnique::Helix { .. } => {
+                // HELIX has no direct runtime realization; its SCC DAG may
+                // still admit a forward-only pipeline (DSWP over the same
+                // partition), so try that before giving up.
+                match self.pipeline_from_sccs(spec.loop_id, &loop_insts) {
+                    Ok(pipe) => mk(LoopExec::Pipeline(pipe)),
+                    Err(reason) => seq(reason),
+                }
+            }
+        }
+    }
+
+    /// Recognize a pure accumulator over `base` inside the loop: every
+    /// in-loop store to the base is `*p = *p ⊕ e` (the front-end computes
+    /// the lvalue once, so the feedback load shares the store's pointer
+    /// value), every in-loop load of the base is such a feedback load,
+    /// and the loaded value feeds nothing but its own update. The loop's
+    /// net effect on each cell is then `cell ⊕ C` for a chunk-independent
+    /// `C`, so identity-started forks merged with `⊕` reproduce the
+    /// sequential result (exactly for integers).
+    fn accumulator_op(&self, loop_insts: &BTreeSet<InstId>, base: MemBase) -> Option<ReductionOp> {
+        let f = self.program.module.function(self.func);
+        let is_base_load = |i: InstId| -> Option<Value> {
+            match &f.inst(i).inst {
+                Inst::Load { ptr, .. } if pspdg_pdg::trace_base(f, *ptr) == base => Some(*ptr),
+                _ => None,
+            }
+        };
+        let mut op: Option<ReductionOp> = None;
+        let mut feedback_loads: BTreeSet<InstId> = BTreeSet::new();
+        let mut update_binops: BTreeSet<InstId> = BTreeSet::new();
+        let mut update_stores: BTreeSet<InstId> = BTreeSet::new();
+        for &i in loop_insts {
+            let Inst::Store { ptr, value } = &f.inst(i).inst else {
+                continue;
+            };
+            if pspdg_pdg::trace_base(f, *ptr) != base {
+                continue;
+            }
+            let vi = value.as_inst()?;
+            let Inst::Binary { op: bop, lhs, rhs } = &f.inst(vi).inst else {
+                return None;
+            };
+            let this_op = match bop {
+                pspdg_ir::BinOp::Add | pspdg_ir::BinOp::Sub => ReductionOp::Add,
+                pspdg_ir::BinOp::Mul => ReductionOp::Mul,
+                _ => return None,
+            };
+            let feeds_back = |v: Value| -> Option<InstId> {
+                let li = v.as_inst()?;
+                (loop_insts.contains(&li) && is_base_load(li) == Some(*ptr)).then_some(li)
+            };
+            // Exactly one operand is the feedback load (both would make
+            // the update non-affine in the old value); subtraction only
+            // accumulates with the old value on the left.
+            let (fb, other) = match (feeds_back(*lhs), feeds_back(*rhs)) {
+                (Some(fl), None) => (fl, *rhs),
+                (None, Some(fr)) if !matches!(bop, pspdg_ir::BinOp::Sub) => (fr, *lhs),
+                _ => return None,
+            };
+            // The other operand must not observe the base at all.
+            if other.as_inst().is_some_and(|oi| is_base_load(oi).is_some()) {
+                return None;
+            }
+            match op {
+                None => op = Some(this_op),
+                Some(o) if o == this_op => {}
+                _ => return None,
+            }
+            feedback_loads.insert(fb);
+            update_binops.insert(vi);
+            update_stores.insert(i);
+        }
+        op?;
+        // Every in-loop load of the base is a feedback load, and feedback
+        // values flow only into their updates.
+        for &i in loop_insts {
+            if is_base_load(i).is_some() && !feedback_loads.contains(&i) {
+                return None;
+            }
+        }
+        for i in f.inst_ids() {
+            for v in f.inst(i).inst.operands() {
+                let Value::Inst(d) = v else { continue };
+                if feedback_loads.contains(&d) && !update_binops.contains(&i) {
+                    return None;
+                }
+                if update_binops.contains(&d) && !update_stores.contains(&i) {
+                    return None;
+                }
+            }
+        }
+        op
+    }
+
+    /// Derive a pipeline stage assignment from the loop's SCC DAG (the
+    /// HELIX → DSWP fallback). Stage 0 is the control slice — every SCC
+    /// from which a conditional branch's SCC is reachable — and the
+    /// remaining SCCs become up to [`MAX_PIPELINE_STAGES`] − 1 stages in
+    /// topological order.
+    fn pipeline_from_sccs(
+        &self,
+        l: LoopId,
+        loop_insts: &BTreeSet<InstId>,
+    ) -> Result<PipelineLoop, &'static str> {
+        // The runtime pipeline privatizes nothing (unlike chunked DOALL,
+        // whose forks discharge privatized bases), so stages are built
+        // from the *raw* dependence structure: every carried dependence —
+        // including the induction chain — stays within one stage.
+        let dag = self.pdg().loop_sccs(self.analyses, l);
+        if dag.sccs.len() < 2 {
+            return Err("single dependence SCC");
+        }
+        let f = self.program.module.function(self.func);
+        // SCCs containing a conditional branch, and everything reaching
+        // them in the SCC DAG, drive control: stage 0.
+        let has_condbr: Vec<bool> = dag
+            .sccs
+            .iter()
+            .map(|s| {
+                s.insts
+                    .iter()
+                    .any(|i| matches!(f.inst(*i).inst, Inst::CondBr { .. }))
+            })
+            .collect();
+        let n = dag.sccs.len();
+        let mut reaches_control = has_condbr.clone();
+        // Topological order lets one reverse sweep propagate reachability.
+        for idx in (0..n).rev() {
+            if reaches_control[idx] {
+                continue;
+            }
+            if dag
+                .edges
+                .iter()
+                .any(|(from, to)| *from == idx && reaches_control[*to])
+            {
+                reaches_control[idx] = true;
+            }
+        }
+        let tail: Vec<usize> = (0..n).filter(|i| !reaches_control[*i]).collect();
+        if tail.is_empty() {
+            return Err("every SCC feeds the control slice");
+        }
+        let groups = tail.len().min(MAX_PIPELINE_STAGES - 1);
+        let mut stage_of: HashMap<InstId, u32> = HashMap::new();
+        for (idx, scc) in dag.sccs.iter().enumerate() {
+            let stage = if reaches_control[idx] {
+                0
+            } else {
+                let pos = tail.iter().position(|t| *t == idx).expect("tail member");
+                (pos * groups / tail.len()) as u32 + 1
+            };
+            for &i in &scc.insts {
+                stage_of.insert(i, stage);
+            }
+        }
+        // Terminators are always driven by stage 0 (unconditional branches
+        // have no data flow, so reassigning them is safe).
+        for &bb in &self.analyses.forest.info(l).blocks {
+            if let Some(&term) = f.block(bb).insts.last() {
+                stage_of.insert(term, 0);
+            }
+        }
+        let stages = groups as u32 + 1;
+        self.validate_pipeline(l, loop_insts, &stage_of, stages)?;
+        Ok(PipelineLoop { stage_of, stages })
+    }
+
+    /// Check a stage assignment against the runtime pipeline's execution
+    /// model. Rules:
+    ///
+    /// 1. every loop instruction has a stage and every terminator is in
+    ///    stage 0 (stage 0 drives control; later stages replay its path);
+    /// 2. no calls or allocations inside the loop (callee stack objects
+    ///    would diverge between per-stage heaps);
+    /// 3. every dependence runs forward: `stage(src) ≤ stage(dst)`, and
+    ///    dependences carried at the pipelined loop stay within one stage
+    ///    (the pipeline privatizes nothing, so no dependence is exempt);
+    /// 4. cross-stage dependences never touch instructions of nested
+    ///    loops (stages exchange state once per iteration of the
+    ///    *pipelined* loop, so multi-instance dependences cannot be
+    ///    interleaved correctly).
+    fn validate_pipeline(
+        &self,
+        l: LoopId,
+        loop_insts: &BTreeSet<InstId>,
+        stage_of: &HashMap<InstId, u32>,
+        stages: u32,
+    ) -> Result<(), &'static str> {
+        if stages < 2 {
+            return Err("fewer than two pipeline stages");
+        }
+        let f = self.program.module.function(self.func);
+        let info = self.analyses.forest.info(l);
+        for &i in loop_insts {
+            let Some(&stage) = stage_of.get(&i) else {
+                return Err("loop instruction without a stage");
+            };
+            if stage >= stages {
+                return Err("stage index out of range");
+            }
+            match &f.inst(i).inst {
+                Inst::Call { .. } => return Err("call inside a pipelined loop"),
+                Inst::Alloca { .. } => return Err("allocation inside a pipelined loop"),
+                _ => {}
+            }
+        }
+        for &bb in &info.blocks {
+            if let Some(&term) = f.block(bb).insts.last() {
+                if stage_of.get(&term) != Some(&0) {
+                    return Err("terminator outside stage 0");
+                }
+            }
+        }
+        // Instructions of nested loops (multi-instance per pipelined
+        // iteration).
+        let mut nested: BTreeSet<InstId> = BTreeSet::new();
+        let mut stack = info.children.clone();
+        while let Some(c) = stack.pop() {
+            nested.extend(self.analyses.loop_insts(c));
+            stack.extend(self.analyses.forest.info(c).children.iter().copied());
+        }
+        for e in &self.pdg().edges {
+            if !loop_insts.contains(&e.src) || !loop_insts.contains(&e.dst) {
+                continue;
+            }
+            let (ss, ds) = (stage_of[&e.src], stage_of[&e.dst]);
+            let (constrains, carried_here) = match &e.kind {
+                DepKind::Register | DepKind::Control => (true, false),
+                DepKind::Flow { carried, intra }
+                | DepKind::Anti { carried, intra }
+                | DepKind::Output { carried, intra } => {
+                    let carried_here = carried.contains(&l);
+                    // Instances within one activation of `l`: equal
+                    // iteration or carried by a nested loop.
+                    let within = *intra
+                        || carried
+                            .iter()
+                            .any(|c| *c != l && self.analyses.forest.loop_contains(l, *c));
+                    (carried_here || within, carried_here)
+                }
+            };
+            if !constrains {
+                continue;
+            }
+            if carried_here && ss != ds {
+                return Err("loop-carried dependence crosses stages");
+            }
+            if ss > ds {
+                return Err("dependence runs backward across stages");
+            }
+            if ss != ds && (nested.contains(&e.src) || nested.contains(&e.dst)) {
+                return Err("cross-stage dependence inside a nested loop");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_plan;
+    use crate::views::Abstraction;
+    use pspdg_frontend::compile;
+    use pspdg_ir::interp::{Interpreter, NullSink};
+
+    fn plan_of(src: &str, a: Abstraction) -> (ParallelProgram, ProgramPlan) {
+        let p = compile(src).unwrap();
+        let mut interp = Interpreter::new(&p.module);
+        interp.run_main(&mut NullSink).unwrap();
+        let plan = build_plan(&p, interp.profile(), a, 0.01);
+        (p, plan)
+    }
+
+    #[test]
+    fn independent_loop_lowers_to_chunked() {
+        let (p, plan) = plan_of(
+            r#"
+            int v[128];
+            void k() { int i; for (i = 0; i < 128; i++) { v[i] = i * 2; } }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        assert_eq!(exec.len(), 1);
+        let s = exec.schedules()[0];
+        assert!(matches!(s.exec, LoopExec::Chunked(_)), "{:?}", s.exec);
+        assert_eq!(exec.stats().chunked, 1);
+    }
+
+    #[test]
+    fn declared_reduction_resolves_operator() {
+        let (p, plan) = plan_of(
+            r#"
+            double s; double v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for reduction(+: s)
+                for (i = 0; i < 128; i++) { s += v[i]; }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        match &s.exec {
+            LoopExec::Chunked(c) => {
+                assert_eq!(c.reductions.len(), 1);
+                assert_eq!(c.reductions[0].1, ReductionOp::Add);
+            }
+            other => panic!("expected chunked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recurrence_with_parallel_work_pipelines() {
+        // t's recurrence is one sequential SCC; the w[i] store consumes it.
+        // HELIX plan → SCC pipeline: stage 0 control, later stages work.
+        let (p, plan) = plan_of(
+            r#"
+            int t; int v[256]; int w[256];
+            void k() {
+                int i;
+                for (i = 0; i < 256; i++) {
+                    t = t + v[i];
+                    w[i] = t * 2;
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        assert_eq!(plan.len(), 1);
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        match &s.exec {
+            LoopExec::Pipeline(pipe) => {
+                assert!(pipe.stages >= 2);
+                // Terminators are in stage 0.
+                let f = p.module.function(s.func);
+                for &bb in &s.blocks {
+                    let term = *f.block(bb).insts.last().unwrap();
+                    assert_eq!(pipe.stage_of[&term], 0);
+                }
+            }
+            other => panic!("expected pipeline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_in_loop_body_falls_back_to_sequential() {
+        let (p, plan) = plan_of(
+            r#"
+            int t; int v[128];
+            void touch() { v[0] = v[0] + 1; }
+            void k() {
+                int i;
+                for (i = 0; i < 128; i++) { t = t + i; touch(); }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        for s in exec.schedules() {
+            assert!(
+                matches!(s.exec, LoopExec::Sequential { .. }),
+                "call-bearing loop must not parallelize: {:?}",
+                s.exec
+            );
+        }
+    }
+
+    #[test]
+    fn surviving_mutex_forces_sequential() {
+        let (p, plan) = plan_of(
+            r#"
+            int key[128]; int hist[16];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp atomic
+                    hist[key[i]] += 1;
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        assert!(!plan.mutexes.is_empty(), "the atomic must survive");
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        assert!(
+            matches!(s.exec, LoopExec::Sequential { .. }),
+            "mutex-bearing DOALL must serialize: {:?}",
+            s.exec
+        );
+    }
+
+    #[test]
+    fn invalid_hand_built_dswp_degrades_to_sequential() {
+        use std::collections::BTreeMap as Map;
+        let p = compile(
+            r#"
+            int v[64];
+            void k() { int i; for (i = 0; i < 64; i++) { v[i] = i; } }
+            int main() { k(); return 0; }
+            "#,
+        )
+        .unwrap();
+        let func = p.module.function_by_name("k").unwrap();
+        let analyses = FunctionAnalyses::compute(&p.module, func);
+        let l = analyses.forest.loop_ids().next().unwrap();
+        // Nonsensical stage map: everything in stage 1 (terminators not in
+        // stage 0).
+        let mut stage_of: Map<InstId, u32> = Map::new();
+        for i in analyses.loop_insts(l) {
+            stage_of.insert(i, 1);
+        }
+        let spec = LoopPlanSpec {
+            func,
+            loop_id: l,
+            technique: PlannedTechnique::Dswp {
+                stage_of,
+                stages: 2,
+            },
+            ignored_bases: BTreeSet::new(),
+            reduction_bases: BTreeSet::new(),
+            end_barrier: true,
+        };
+        let mut plan = ProgramPlan {
+            abstraction: Abstraction::PsPdg,
+            loops: HashMap::new(),
+            mutexes: vec![],
+            parallel_spawns: false,
+        };
+        plan.loops.insert((func, l), spec);
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        assert!(matches!(s.exec, LoopExec::Sequential { .. }));
+    }
+}

@@ -23,15 +23,187 @@ pub enum SymBase {
     ParamVal(usize),
 }
 
+/// Terms kept inline before spilling to the heap. Real subscripts almost
+/// never involve more than a two-deep loop nest plus a symbol or two, so
+/// four inline slots cover the hot path without any allocation.
+const INLINE_TERMS: usize = 4;
+
+/// A sorted coefficient map `K → i64` with inline storage for small forms.
+///
+/// Replaces the per-pair `BTreeMap`s the dependence tester used to build:
+/// terms are kept sorted by key in a fixed inline array (spilling to a
+/// `Vec` only past [`INLINE_TERMS`] entries), so `test_dependence`'s
+/// merge walks run over contiguous memory and constructing a form performs
+/// no allocation at all in the common case.
+#[derive(Debug, Clone)]
+pub struct TermVec<K: Copy + Ord> {
+    len: u32,
+    inline: [Option<(K, i64)>; INLINE_TERMS],
+    spill: Vec<(K, i64)>,
+}
+
+impl<K: Copy + Ord> Default for TermVec<K> {
+    fn default() -> TermVec<K> {
+        TermVec::new()
+    }
+}
+
+impl<K: Copy + Ord> TermVec<K> {
+    /// The empty form.
+    pub fn new() -> TermVec<K> {
+        TermVec {
+            len: 0,
+            inline: [None; INLINE_TERMS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// The single-term form `coeff·k`.
+    pub fn singleton(k: K, coeff: i64) -> TermVec<K> {
+        let mut out = TermVec::new();
+        if coeff != 0 {
+            out.push(k, coeff);
+        }
+        out
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no terms are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a term; keys must arrive in strictly ascending order and
+    /// coefficients must be non-zero (builder invariant).
+    fn push(&mut self, k: K, v: i64) {
+        debug_assert!(v != 0, "zero coefficients are never stored");
+        let n = self.len as usize;
+        if self.spill.is_empty() && n < INLINE_TERMS {
+            debug_assert!(n == 0 || self.inline[n - 1].is_some_and(|(pk, _)| pk < k));
+            self.inline[n] = Some((k, v));
+        } else {
+            if self.spill.is_empty() {
+                self.spill = self.inline.iter_mut().map(|s| s.take().unwrap()).collect();
+            }
+            debug_assert!(self.spill.last().is_none_or(|(pk, _)| *pk < k));
+            self.spill.push((k, v));
+        }
+        self.len += 1;
+    }
+
+    /// Iterate terms in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, i64)> + '_ {
+        let (inline, spill) = if self.spill.is_empty() {
+            (&self.inline[..self.len as usize], &self.spill[..])
+        } else {
+            (&self.inline[..0], &self.spill[..])
+        };
+        inline
+            .iter()
+            .map(|t| t.expect("inline prefix is populated"))
+            .chain(spill.iter().copied())
+    }
+
+    /// Iterate coefficients in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = i64> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// The coefficient of `k` (0 when absent).
+    pub fn get(&self, k: K) -> i64 {
+        if self.spill.is_empty() {
+            self.inline[..self.len as usize]
+                .iter()
+                .find_map(|t| t.and_then(|(tk, v)| (tk == k).then_some(v)))
+                .unwrap_or(0)
+        } else {
+            match self.spill.binary_search_by_key(&k, |(tk, _)| *tk) {
+                Ok(i) => self.spill[i].1,
+                Err(_) => 0,
+            }
+        }
+    }
+
+    /// `self + scale·other`, dropping cancelled terms (a single sorted
+    /// merge; no intermediate maps).
+    pub fn merge_scaled(&self, other: &TermVec<K>, scale: i64) -> TermVec<K> {
+        let mut out = TermVec::new();
+        let mut ia = self.iter().peekable();
+        let mut ib = other.iter().peekable();
+        loop {
+            match (ia.peek().copied(), ib.peek().copied()) {
+                (Some((ka, va)), Some((kb, vb))) => match ka.cmp(&kb) {
+                    std::cmp::Ordering::Less => {
+                        out.push(ka, va);
+                        ia.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let v = vb * scale;
+                        if v != 0 {
+                            out.push(kb, v);
+                        }
+                        ib.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let v = va + vb * scale;
+                        if v != 0 {
+                            out.push(ka, v);
+                        }
+                        ia.next();
+                        ib.next();
+                    }
+                },
+                (Some((ka, va)), None) => {
+                    out.push(ka, va);
+                    ia.next();
+                }
+                (None, Some((kb, vb))) => {
+                    let v = vb * scale;
+                    if v != 0 {
+                        out.push(kb, v);
+                    }
+                    ib.next();
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// `scale·self`.
+    pub fn scaled(&self, scale: i64) -> TermVec<K> {
+        let mut out = TermVec::new();
+        if scale != 0 {
+            for (k, v) in self.iter() {
+                out.push(k, v * scale);
+            }
+        }
+        out
+    }
+}
+
+impl<K: Copy + Ord> PartialEq for TermVec<K> {
+    fn eq(&self, other: &TermVec<K>) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<K: Copy + Ord> Eq for TermVec<K> {}
+
 /// An affine expression over induction variables and invariant symbols.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Affine {
     /// Constant term.
     pub constant: i64,
-    /// Per-loop induction-variable coefficients (absent = 0).
-    pub iv_terms: BTreeMap<LoopId, i64>,
-    /// Invariant-symbol coefficients (absent = 0).
-    pub sym_terms: BTreeMap<SymBase, i64>,
+    /// Per-loop induction-variable coefficients (absent = 0), sorted by
+    /// loop id.
+    pub iv_terms: TermVec<LoopId>,
+    /// Invariant-symbol coefficients (absent = 0), sorted by symbol.
+    pub sym_terms: TermVec<SymBase>,
 }
 
 impl Affine {
@@ -45,51 +217,47 @@ impl Affine {
 
     /// The single IV term `iv(l)`.
     pub fn iv(l: LoopId) -> Affine {
-        let mut a = Affine::default();
-        a.iv_terms.insert(l, 1);
-        a
+        Affine {
+            constant: 0,
+            iv_terms: TermVec::singleton(l, 1),
+            sym_terms: TermVec::new(),
+        }
     }
 
     /// The single symbol term `sym`.
     pub fn sym(s: SymBase) -> Affine {
-        let mut a = Affine::default();
-        a.sym_terms.insert(s, 1);
-        a
+        Affine {
+            constant: 0,
+            iv_terms: TermVec::new(),
+            sym_terms: TermVec::singleton(s, 1),
+        }
     }
 
     /// `self + other`.
     pub fn add(&self, other: &Affine) -> Affine {
-        let mut out = self.clone();
-        out.constant += other.constant;
-        for (k, v) in &other.iv_terms {
-            *out.iv_terms.entry(*k).or_insert(0) += v;
+        Affine {
+            constant: self.constant + other.constant,
+            iv_terms: self.iv_terms.merge_scaled(&other.iv_terms, 1),
+            sym_terms: self.sym_terms.merge_scaled(&other.sym_terms, 1),
         }
-        for (k, v) in &other.sym_terms {
-            *out.sym_terms.entry(*k).or_insert(0) += v;
-        }
-        out.normalize();
-        out
     }
 
     /// `self - other`.
     pub fn sub(&self, other: &Affine) -> Affine {
-        self.add(&other.scale(-1))
+        Affine {
+            constant: self.constant - other.constant,
+            iv_terms: self.iv_terms.merge_scaled(&other.iv_terms, -1),
+            sym_terms: self.sym_terms.merge_scaled(&other.sym_terms, -1),
+        }
     }
 
     /// `self * k`.
     pub fn scale(&self, k: i64) -> Affine {
-        let mut out = Affine {
+        Affine {
             constant: self.constant * k,
-            iv_terms: self.iv_terms.iter().map(|(l, v)| (*l, v * k)).collect(),
-            sym_terms: self.sym_terms.iter().map(|(s, v)| (*s, v * k)).collect(),
-        };
-        out.normalize();
-        out
-    }
-
-    fn normalize(&mut self) {
-        self.iv_terms.retain(|_, v| *v != 0);
-        self.sym_terms.retain(|_, v| *v != 0);
+            iv_terms: self.iv_terms.scaled(k),
+            sym_terms: self.sym_terms.scaled(k),
+        }
     }
 
     /// Whether the form is a pure constant.
@@ -99,7 +267,7 @@ impl Affine {
 
     /// Coefficient of loop `l`'s IV.
     pub fn iv_coeff(&self, l: LoopId) -> i64 {
-        self.iv_terms.get(&l).copied().unwrap_or(0)
+        self.iv_terms.get(l)
     }
 
     /// Whether any symbolic (non-IV) term is present.
@@ -423,6 +591,50 @@ mod tests {
         let stores = stores_by_base_in(func, &a.forest, Some(l));
         let idx = gep_index_of_store(&module, &a, 0);
         assert!(affine_of(func, &a, &stores, Some(l), idx).is_none());
+    }
+
+    #[test]
+    fn termvec_spills_past_inline_capacity() {
+        // Build a form with more IV terms than the inline capacity and
+        // check every operation still behaves like a sorted map.
+        let mut a = Affine::default();
+        for l in 0..(INLINE_TERMS as u32 + 3) {
+            a = a.add(&Affine::iv(LoopId(l)).scale(l as i64 + 1));
+        }
+        assert_eq!(a.iv_terms.len(), INLINE_TERMS + 3);
+        for l in 0..(INLINE_TERMS as u32 + 3) {
+            assert_eq!(a.iv_coeff(LoopId(l)), l as i64 + 1);
+        }
+        assert_eq!(a.iv_coeff(LoopId(99)), 0);
+        // Subtraction cancels exactly, spilled or not.
+        let z = a.sub(&a);
+        assert!(z.is_constant());
+        // Keys stay sorted through merges in both directions.
+        let keys: Vec<u32> = a.iv_terms.iter().map(|(l, _)| l.0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn termvec_merge_cancels_middle_term() {
+        let a = Affine::iv(LoopId(0))
+            .add(&Affine::iv(LoopId(1)).scale(2))
+            .add(&Affine::iv(LoopId(2)).scale(3));
+        let b = Affine::iv(LoopId(1)).scale(2);
+        let d = a.sub(&b);
+        assert_eq!(d.iv_coeff(LoopId(0)), 1);
+        assert_eq!(d.iv_coeff(LoopId(1)), 0);
+        assert_eq!(d.iv_coeff(LoopId(2)), 3);
+        assert_eq!(d.iv_terms.len(), 2);
+    }
+
+    #[test]
+    fn termvec_scale_by_zero_empties() {
+        let a = Affine::iv(LoopId(3)).add(&Affine::sym(SymBase::ParamVal(1)));
+        let z = a.scale(0);
+        assert!(z.is_constant());
+        assert_eq!(z.constant, 0);
     }
 
     #[test]

@@ -89,36 +89,36 @@ pub fn test_dependence(
     // Σ aᵏ·dᵏ = c with d = i_a - i_b.
     let c = fb.constant - fa.constant;
     // Union of loops whose IVs appear: a sorted-merge walk over the two
-    // (already ordered) coefficient maps — no per-pair map allocation, as
-    // this runs once per may-aliasing reference pair.
+    // (already ordered, inline-stored) coefficient vectors — no per-pair
+    // allocation beyond the small union buffer.
     let mut coeffs: Vec<(LoopId, i64, i64)> =
         Vec::with_capacity(fa.iv_terms.len() + fb.iv_terms.len());
     {
         let mut ia = fa.iv_terms.iter().peekable();
         let mut ib = fb.iv_terms.iter().peekable();
         loop {
-            match (ia.peek(), ib.peek()) {
-                (Some((la, va)), Some((lb, vb))) => match la.cmp(lb) {
+            match (ia.peek().copied(), ib.peek().copied()) {
+                (Some((la, va)), Some((lb, vb))) => match la.cmp(&lb) {
                     std::cmp::Ordering::Less => {
-                        coeffs.push((**la, **va, 0));
+                        coeffs.push((la, va, 0));
                         ia.next();
                     }
                     std::cmp::Ordering::Greater => {
-                        coeffs.push((**lb, 0, **vb));
+                        coeffs.push((lb, 0, vb));
                         ib.next();
                     }
                     std::cmp::Ordering::Equal => {
-                        coeffs.push((**la, **va, **vb));
+                        coeffs.push((la, va, vb));
                         ia.next();
                         ib.next();
                     }
                 },
                 (Some((la, va)), None) => {
-                    coeffs.push((**la, **va, 0));
+                    coeffs.push((la, va, 0));
                     ia.next();
                 }
                 (None, Some((lb, vb))) => {
-                    coeffs.push((**lb, 0, **vb));
+                    coeffs.push((lb, 0, vb));
                     ib.next();
                 }
                 (None, None) => break,

@@ -209,11 +209,22 @@ impl Pdg {
     /// Build the PDG of `func` with base-object-bucketed dependence
     /// testing.
     pub fn build(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Pdg {
+        Pdg::build_with_refs(module, func, analyses).0
+    }
+
+    /// [`Pdg::build`], also returning the collected memory references so
+    /// callers that need them (the PS-PDG variables pass, the module
+    /// drivers) do not collect them a second time.
+    pub fn build_with_refs(
+        module: &Module,
+        func: FuncId,
+        analyses: &FunctionAnalyses,
+    ) -> (Pdg, Vec<MemRef>) {
         let f = module.function(func);
         let mut edges = non_memory_edges(module, func, analyses);
         let refs = collect_mem_refs(module, func, analyses);
         bucketed_memory_edges(analyses, &refs, &mut edges);
-        Pdg::from_edges(func, f.insts.len(), edges)
+        (Pdg::from_edges(func, f.insts.len(), edges), refs)
     }
 
     /// Build the PDG of `func` with the naive all-pairs dependence sweep.

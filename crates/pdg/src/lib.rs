@@ -54,7 +54,7 @@ pub mod ddtest;
 pub mod graph;
 pub mod scc;
 
-pub use affine::{Affine, SymBase};
+pub use affine::{Affine, SymBase, TermVec};
 pub use alias::{base_of_varref, may_alias, trace_base, MemBase};
 pub use control::control_dependences;
 pub use ddtest::{DepTestResult, MemRef};

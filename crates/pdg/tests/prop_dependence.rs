@@ -52,8 +52,8 @@ proptest! {
 
     #[test]
     fn affine_normalization_drops_zero_terms(a in arb_affine()) {
-        prop_assert!(a.iv_terms.values().all(|v| *v != 0));
-        prop_assert!(a.sym_terms.values().all(|v| *v != 0));
+        prop_assert!(a.iv_terms.values().all(|v| v != 0));
+        prop_assert!(a.sym_terms.values().all(|v| v != 0));
     }
 }
 

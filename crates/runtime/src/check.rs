@@ -1,0 +1,107 @@
+//! Observable-state extraction and comparison helpers for differential
+//! testing (runtime vs sequential interpreter) and reporting.
+
+use pspdg_ir::interp::{MemAddr, MemState, RtVal};
+use pspdg_ir::Module;
+
+/// Relative tolerance used for floating-point comparison. Parallel
+/// reductions associate differently from the sequential loop (as in any
+/// real OpenMP runtime), so float cells match up to rounding, not
+/// bit-for-bit.
+pub const FLOAT_RTOL: f64 = 1e-9;
+
+/// Snapshot every global object's cells (the observable final memory; a
+/// program's stack objects die with it, its globals do not).
+pub fn observable_globals(module: &Module, mem: &MemState) -> Vec<(String, Vec<RtVal>)> {
+    module
+        .global_ids()
+        .map(|g| {
+            let obj = mem.global_object(g);
+            let cells = (0..mem.object_len(obj) as u32)
+                .map(|off| mem.read(MemAddr { obj, off }))
+                .collect();
+            (module.global(g).name.clone(), cells)
+        })
+        .collect()
+}
+
+/// Whether two runtime values are equal, with floats compared under
+/// [`FLOAT_RTOL`].
+pub fn rtval_equivalent(a: RtVal, b: RtVal) -> bool {
+    match (a, b) {
+        (RtVal::Float(x), RtVal::Float(y)) => float_equivalent(x, y),
+        _ => a == b,
+    }
+}
+
+/// Whether two printed lines match: exact, or both parse as floats within
+/// [`FLOAT_RTOL`].
+pub fn line_equivalent(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => float_equivalent(x, y),
+        _ => false,
+    }
+}
+
+/// Compare observable global snapshots; returns the first mismatch as
+/// `(global, cell index)` or `None` when equivalent.
+pub fn globals_mismatch(
+    a: &[(String, Vec<RtVal>)],
+    b: &[(String, Vec<RtVal>)],
+) -> Option<(String, usize)> {
+    if a.len() != b.len() {
+        return Some(("<global count>".to_string(), 0));
+    }
+    for ((name, ca), (_, cb)) in a.iter().zip(b) {
+        if ca.len() != cb.len() {
+            return Some((name.clone(), usize::MAX));
+        }
+        for (i, (&x, &y)) in ca.iter().zip(cb).enumerate() {
+            if !rtval_equivalent(x, y) {
+                return Some((name.clone(), i));
+            }
+        }
+    }
+    None
+}
+
+fn float_equivalent(x: f64, y: f64) -> bool {
+    if x == y {
+        return true;
+    }
+    if x.is_nan() && y.is_nan() {
+        return true;
+    }
+    let scale = x.abs().max(y.abs());
+    (x - y).abs() <= FLOAT_RTOL * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ints_required() {
+        assert!(rtval_equivalent(RtVal::Int(3), RtVal::Int(3)));
+        assert!(!rtval_equivalent(RtVal::Int(3), RtVal::Int(4)));
+    }
+
+    #[test]
+    fn floats_tolerate_rounding() {
+        let a = 0.1 + 0.2;
+        let b = 0.3;
+        assert!(rtval_equivalent(RtVal::Float(a), RtVal::Float(b)));
+        assert!(!rtval_equivalent(RtVal::Float(1.0), RtVal::Float(1.1)));
+    }
+
+    #[test]
+    fn lines_compare_numerically() {
+        assert!(line_equivalent("0.300000", "0.300000"));
+        assert!(line_equivalent("42", "42"));
+        assert!(!line_equivalent("42", "43"));
+        assert!(!line_equivalent("abc", "abd"));
+    }
+}

@@ -1,0 +1,1030 @@
+//! The plan-driven parallel execution engine.
+//!
+//! [`Runtime`] executes a [`ParallelProgram`] under a [`ProgramPlan`] on
+//! real threads. The master thread interprets the program sequentially;
+//! whenever control reaches the header of a scheduled loop it consults the
+//! [`ExecutablePlan`] and either
+//!
+//! * **chunks** a DOALL loop — the iteration space splits into one range
+//!   per worker, each worker runs its range on a *forked heap* recording a
+//!   write log, and the master commits the logs back in chunk order
+//!   (reduction bases start from the operator identity in each fork and
+//!   merge with the declared operator);
+//! * **pipelines** a DSWP loop — one thread per stage connected by bounded
+//!   channels; stage 0 drives real control flow and records the block path
+//!   of each iteration, later stages replay the path executing only their
+//!   own instructions, and the cumulative write log reaches the master in
+//!   iteration order;
+//! * **falls back** to sequential execution (HELIX plans, non-canonical
+//!   loops, trips too short to split, or any safety condition the
+//!   realization or the runtime itself could not discharge).
+//!
+//! ## Safety argument (why chunked DOALL is sound)
+//!
+//! A loop is only scheduled `Chunked` when the plan proved (or the
+//! programmer declared) that every cross-iteration dependence flows
+//! through a *discharged* base: the induction variable (recomputed per
+//! chunk), a privatized object (each fork has its own copy), or a
+//! reduction (merged associatively at commit). All remaining writes of
+//! distinct iterations target distinct cells, so per-cell last-writer-wins
+//! commit in chunk order reproduces exactly the sequential final memory;
+//! worker-local stack objects (callee frames) are dropped at commit. Any
+//! run-time surprise — irregular control leaving the loop, a fault inside
+//! a worker — discards every fork untouched and re-runs the loop
+//! sequentially on the master heap, so faulting programs behave exactly
+//! as they do under the sequential interpreter. Parallel floating-point
+//! reductions are deterministic (fixed chunk count, chunk-order merge)
+//! but associate differently from the sequential loop, like any real
+//! OpenMP reduction.
+
+use std::collections::HashMap;
+
+use pspdg_ir::interp::{
+    const_val, eval_binop, eval_cast, eval_cmp, eval_intrinsic, eval_unop, ExecError, MemAddr,
+    MemState, ObjOrigin, RtVal,
+};
+use pspdg_ir::loops::trip_count_from;
+use pspdg_ir::{BlockId, FuncId, Function, Inst, InstId, Module, Value};
+use pspdg_parallel::{ParallelProgram, ReductionOp};
+use pspdg_parallelizer::{
+    realize_executable, ChunkedLoop, ExecutablePlan, LoopExec, LoopSchedule, PipelineLoop,
+    ProgramPlan, RealizationStats,
+};
+use pspdg_pdg::MemBase;
+
+use crate::channel::Channel;
+
+/// In-flight packets per pipeline stage link (the DSWP decoupling buffer).
+const PIPE_CAPACITY: usize = 8;
+
+/// Dynamic execution counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Loop activations executed as chunked DOALL.
+    pub chunked_loops: u64,
+    /// Loop activations executed as a stage pipeline.
+    pub pipelined_loops: u64,
+    /// Loop activations that fell back to sequential execution (scheduled
+    /// sequential, short trips, or aborted parallel attempts).
+    pub sequential_fallbacks: u64,
+}
+
+/// The result of one runtime execution.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The executed function's return value.
+    pub ret: Option<RtVal>,
+    /// Lines printed by `print_*` intrinsics, in sequential order.
+    pub output: Vec<String>,
+    /// Final memory (globals plus surviving stack objects).
+    pub mem: MemState,
+    /// Total dynamic instructions executed (master plus workers).
+    pub steps: u64,
+    /// Dynamic loop counters.
+    pub stats: RunStats,
+}
+
+/// The plan-driven parallel runtime for one program.
+pub struct Runtime<'p> {
+    program: &'p ParallelProgram,
+    plan: ExecutablePlan,
+    workers: usize,
+    fuel: u64,
+}
+
+impl<'p> Runtime<'p> {
+    /// Prepare a runtime executing `program` under `plan` (lowered through
+    /// [`realize_executable`]). Worker count defaults to the rayon pool
+    /// width.
+    pub fn new(program: &'p ParallelProgram, plan: &ProgramPlan) -> Runtime<'p> {
+        Runtime::with_executable(program, realize_executable(program, plan))
+    }
+
+    /// Prepare a runtime from an already-lowered plan.
+    pub fn with_executable(program: &'p ParallelProgram, plan: ExecutablePlan) -> Runtime<'p> {
+        Runtime {
+            program,
+            plan,
+            workers: rayon::current_num_threads().max(1),
+            fuel: 1 << 48,
+        }
+    }
+
+    /// Override the worker count. Chunked loops split into at most this
+    /// many ranges; pipelines whose stage count exceeds it fall back to
+    /// sequential execution.
+    pub fn workers(mut self, n: usize) -> Runtime<'p> {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Override the dynamic-instruction budget. Under parallel execution
+    /// the budget is approximate: each worker checks it independently.
+    pub fn fuel(mut self, fuel: u64) -> Runtime<'p> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The lowered plan (schedules per loop).
+    pub fn executable(&self) -> &ExecutablePlan {
+        &self.plan
+    }
+
+    /// Static realization counts.
+    pub fn realization(&self) -> RealizationStats {
+        self.plan.stats()
+    }
+
+    /// Execute the program's `main`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] sequential execution would raise; parallel
+    /// attempts that fault internally fall back to sequential execution
+    /// first, so error behavior matches the sequential interpreter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module has no `main` function.
+    pub fn run_main(&self) -> Result<RunOutcome, ExecError> {
+        let main = self
+            .program
+            .module
+            .function_by_name("main")
+            .expect("module has a main function");
+        self.run(main, &[])
+    }
+
+    /// Execute `func` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runtime::run_main`].
+    pub fn run(&self, func: FuncId, args: &[RtVal]) -> Result<RunOutcome, ExecError> {
+        let mut engine = Engine {
+            module: &self.program.module,
+            plan: Some(&self.plan),
+            workers: self.workers,
+            mem: MemState::for_module(&self.program.module),
+            output: Vec::new(),
+            steps: 0,
+            fuel: self.fuel,
+            log: None,
+            stats: RunStats::default(),
+        };
+        let ret = engine.exec_function(func, args.to_vec())?;
+        Ok(RunOutcome {
+            ret,
+            output: engine.output,
+            mem: engine.mem,
+            steps: engine.steps,
+            stats: engine.stats,
+        })
+    }
+}
+
+/// One activation's registers and arguments.
+struct Frame {
+    regs: Vec<RtVal>,
+    args: Vec<RtVal>,
+}
+
+/// Where control goes after an instruction.
+enum Flow {
+    Next,
+    Jump(BlockId),
+    Return(Option<RtVal>),
+}
+
+/// Why a parallel attempt was abandoned (the loop then re-runs
+/// sequentially on the master's untouched state).
+enum ParAbort {
+    /// Control left the loop other than through the counted exit.
+    Irregular,
+    /// A worker faulted; the sequential re-run reproduces (or avoids) the
+    /// fault in sequential order.
+    Exec(#[allow(dead_code)] ExecError),
+}
+
+/// The interpreter core shared by the master, chunk workers, and pipeline
+/// stages. Exactly one of them holds `plan: Some(..)` (the master); forks
+/// never trigger nested parallelism.
+struct Engine<'a> {
+    module: &'a Module,
+    plan: Option<&'a ExecutablePlan>,
+    workers: usize,
+    mem: MemState,
+    output: Vec<String>,
+    steps: u64,
+    fuel: u64,
+    /// Write log (workers and stages only).
+    log: Option<Vec<(MemAddr, RtVal)>>,
+    stats: RunStats,
+}
+
+impl<'a> Engine<'a> {
+    fn exec_function(
+        &mut self,
+        func_id: FuncId,
+        args: Vec<RtVal>,
+    ) -> Result<Option<RtVal>, ExecError> {
+        let f = self.module.function(func_id);
+        let mut frame = Frame {
+            regs: vec![RtVal::Undef; f.insts.len()],
+            args,
+        };
+        // Headers currently executing sequentially (either mid-activation
+        // after a fallback, or re-run once to exit after a parallel
+        // completion); pruned when control leaves the loop.
+        let mut no_par: Vec<BlockId> = Vec::new();
+        let mut block = f.entry();
+        loop {
+            if let Some(plan) = self.plan {
+                no_par.retain(|h| {
+                    plan.schedule_at(func_id, *h)
+                        .is_some_and(|s| s.contains(block))
+                });
+                if !no_par.contains(&block) {
+                    if let Some(sched) = plan.schedule_at(func_id, block) {
+                        match &sched.exec {
+                            LoopExec::Chunked(c) => {
+                                if self.run_chunked(func_id, f, &mut frame, sched, c)? {
+                                    self.stats.chunked_loops += 1;
+                                } else {
+                                    self.stats.sequential_fallbacks += 1;
+                                }
+                                // Either way the master now executes the
+                                // header sequentially (a completed chunked
+                                // run exits through it immediately).
+                                no_par.push(block);
+                            }
+                            LoopExec::Pipeline(p) => {
+                                match self.run_pipeline(func_id, f, &mut frame, sched, p)? {
+                                    Some(exit) => {
+                                        self.stats.pipelined_loops += 1;
+                                        block = exit;
+                                        continue;
+                                    }
+                                    None => {
+                                        self.stats.sequential_fallbacks += 1;
+                                        no_par.push(block);
+                                    }
+                                }
+                            }
+                            LoopExec::Sequential { .. } => {
+                                self.stats.sequential_fallbacks += 1;
+                                no_par.push(block);
+                            }
+                        }
+                    }
+                }
+            }
+            match self.exec_block(func_id, f, &mut frame, block)? {
+                Flow::Jump(b) => block = b,
+                Flow::Return(v) => return Ok(v),
+                Flow::Next => unreachable!("blocks end in terminators"),
+            }
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        bb: BlockId,
+    ) -> Result<Flow, ExecError> {
+        for &i in &f.block(bb).insts {
+            match self.exec_inst(func_id, f, frame, i)? {
+                Flow::Next => {}
+                other => return Ok(other),
+            }
+        }
+        unreachable!("block without terminator survived verification")
+    }
+
+    fn exec_inst(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        inst_id: InstId,
+    ) -> Result<Flow, ExecError> {
+        if self.steps >= self.fuel {
+            return Err(ExecError::OutOfFuel);
+        }
+        self.steps += 1;
+        let err_func = || f.name.clone();
+        let mut result = RtVal::Undef;
+        match &f.inst(inst_id).inst {
+            Inst::Alloca { ty, .. } => {
+                let origin = ObjOrigin::Alloca {
+                    func: func_id,
+                    inst: inst_id,
+                };
+                let obj = self.mem.alloc(origin, ty.flat_len() as usize);
+                result = RtVal::Ptr { obj, off: 0 };
+            }
+            Inst::Load { ptr, .. } => {
+                let addr = self.deref(self.eval(frame, *ptr), &err_func(), inst_id)?;
+                let v = self.mem.read(addr);
+                if matches!(v, RtVal::Undef) {
+                    return Err(ExecError::UndefRead {
+                        func: err_func(),
+                        inst: inst_id,
+                    });
+                }
+                result = v;
+            }
+            Inst::Store { ptr, value } => {
+                let addr = self.deref(self.eval(frame, *ptr), &err_func(), inst_id)?;
+                let v = self.eval(frame, *value);
+                self.mem.write(addr, v);
+                if let Some(log) = &mut self.log {
+                    log.push((addr, v));
+                }
+            }
+            Inst::Gep {
+                base,
+                index,
+                elem_ty,
+            } => {
+                let b = self.eval(frame, *base);
+                let idx = self.eval(frame, *index);
+                let Some(idx) = idx.as_int() else {
+                    return Err(ExecError::TypeMismatch {
+                        func: err_func(),
+                        inst: inst_id,
+                        expected: "i64",
+                        got: idx.type_name(),
+                    });
+                };
+                match b {
+                    RtVal::Ptr { obj, off } => {
+                        result = RtVal::Ptr {
+                            obj,
+                            off: off + idx * elem_ty.flat_len() as i64,
+                        };
+                    }
+                    other => {
+                        return Err(ExecError::TypeMismatch {
+                            func: err_func(),
+                            inst: inst_id,
+                            expected: "ptr",
+                            got: other.type_name(),
+                        })
+                    }
+                }
+            }
+            Inst::Binary { op, lhs, rhs } => {
+                let (l, r) = (self.eval(frame, *lhs), self.eval(frame, *rhs));
+                result = eval_binop(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::Unary { op, operand } => {
+                let v = self.eval(frame, *operand);
+                result = eval_unop(*op, v).map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::Cmp { op, lhs, rhs } => {
+                let (l, r) = (self.eval(frame, *lhs), self.eval(frame, *rhs));
+                result = RtVal::Bool(eval_cmp(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?);
+            }
+            Inst::Cast { kind, value } => {
+                let v = self.eval(frame, *value);
+                result = eval_cast(*kind, v).map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::IntrinsicCall { intrinsic, args } => {
+                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(frame, *a)).collect();
+                result = eval_intrinsic(*intrinsic, &vals, &mut self.output)
+                    .map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::Call { callee, args } => {
+                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(frame, *a)).collect();
+                if let Some(v) = self.exec_function(*callee, vals)? {
+                    result = v;
+                }
+            }
+            Inst::Br { target } => return Ok(Flow::Jump(*target)),
+            Inst::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.eval(frame, *cond);
+                let RtVal::Bool(c) = c else {
+                    return Err(ExecError::TypeMismatch {
+                        func: err_func(),
+                        inst: inst_id,
+                        expected: "bool",
+                        got: c.type_name(),
+                    });
+                };
+                return Ok(Flow::Jump(if c { *then_bb } else { *else_bb }));
+            }
+            Inst::Ret { value } => {
+                let v = value.map(|v| self.eval(frame, v));
+                return Ok(Flow::Return(v));
+            }
+        }
+        frame.regs[inst_id.index()] = result;
+        Ok(Flow::Next)
+    }
+
+    fn eval(&self, frame: &Frame, v: Value) -> RtVal {
+        match v {
+            Value::Const(c) => const_val(c),
+            Value::Inst(i) => frame.regs[i.index()],
+            Value::Param(p) => frame.args[p],
+            Value::Global(g) => RtVal::Ptr {
+                obj: self.mem.global_object(g),
+                off: 0,
+            },
+        }
+    }
+
+    fn deref(&self, v: RtVal, func: &str, inst: InstId) -> Result<MemAddr, ExecError> {
+        match v {
+            RtVal::Ptr { obj, off } => {
+                let size = self.mem.object_len(obj);
+                if off < 0 || off as usize >= size {
+                    return Err(ExecError::OutOfBounds {
+                        func: func.to_string(),
+                        inst,
+                        off,
+                        size,
+                    });
+                }
+                Ok(MemAddr {
+                    obj,
+                    off: off as u32,
+                })
+            }
+            other => Err(ExecError::TypeMismatch {
+                func: func.to_string(),
+                inst,
+                expected: "ptr",
+                got: other.type_name(),
+            }),
+        }
+    }
+
+    // ---- chunked DOALL ---------------------------------------------------
+
+    /// Try to execute a chunked DOALL activation in parallel. Returns
+    /// `Ok(false)` (master state untouched) when the loop should instead
+    /// run sequentially.
+    #[allow(clippy::too_many_lines)]
+    fn run_chunked(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        sched: &LoopSchedule,
+        c: &ChunkedLoop,
+    ) -> Result<bool, ExecError> {
+        // Resolve the induction slot: its alloca must have executed.
+        let RtVal::Ptr { obj: iv_obj, .. } = frame.regs[c.iv_alloca.index()] else {
+            return Ok(false);
+        };
+        let iv_addr = MemAddr {
+            obj: iv_obj,
+            off: 0,
+        };
+        let Some(init) = self.mem.read(iv_addr).as_int() else {
+            return Ok(false);
+        };
+        let Some(bound) = self.eval_bound(f, frame, sched, c) else {
+            return Ok(false);
+        };
+        let trip = trip_count_from(init, bound, c.step, c.cmp_op);
+        if trip < 2 {
+            return Ok(false);
+        }
+        let chunks = self.workers.min(trip as usize);
+        if chunks < 2 {
+            return Ok(false);
+        }
+        // The final induction value must fail the continue predicate, or
+        // sequential execution would keep looping (`!=` bounds that the
+        // step jumps over).
+        let final_iv = init as i128 + trip as i128 * c.step as i128;
+        let Ok(final_iv) = i64::try_from(final_iv) else {
+            return Ok(false);
+        };
+        if eval_cmp(c.cmp_op, RtVal::Int(final_iv), RtVal::Int(bound)) != Ok(false) {
+            return Ok(false);
+        }
+
+        // Reduction objects, with worker forks starting from the operator
+        // identity. A base that cannot be resolved to a live object means
+        // its partial results could not be merged — fall back rather than
+        // silently committing last-writer-wins.
+        let mut red_objs: HashMap<u32, ReductionOp> = HashMap::new();
+        for (base, op) in &c.reductions {
+            let obj = match base {
+                MemBase::Global(g) => Some(self.mem.global_object(*g)),
+                MemBase::Alloca(i) => match frame.regs[i.index()] {
+                    RtVal::Ptr { obj, .. } => Some(obj),
+                    _ => None,
+                },
+                MemBase::Param(p) => match frame.args.get(*p) {
+                    Some(RtVal::Ptr { obj, .. }) => Some(*obj),
+                    _ => None,
+                },
+                _ => None,
+            };
+            match obj {
+                Some(obj) => {
+                    red_objs.insert(obj.0, *op);
+                }
+                None => return Ok(false),
+            }
+        }
+        let mut fork_base = self.mem.clone();
+        for (&obj, &op) in &red_objs {
+            let obj = pspdg_ir::interp::ObjId(obj);
+            for off in 0..fork_base.object_len(obj) as u32 {
+                let addr = MemAddr { obj, off };
+                let v = fork_base.read(addr);
+                fork_base.write(addr, reduction_identity(op, v));
+            }
+        }
+
+        let fork_len = self.mem.len();
+        let fuel_left = self.fuel.saturating_sub(self.steps);
+        let ranges: Vec<(i64, i64)> = (0..chunks as i64)
+            .map(|k| (trip * k / chunks as i64, trip * (k + 1) / chunks as i64))
+            .collect();
+
+        struct ChunkOut {
+            log: Vec<(MemAddr, RtVal)>,
+            output: Vec<String>,
+            steps: u64,
+        }
+        let module = self.module;
+        let results: Vec<Result<ChunkOut, ParAbort>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let fork = fork_base.clone();
+                    let regs = frame.regs.clone();
+                    let args = frame.args.clone();
+                    scope.spawn(move || {
+                        let mut worker = Engine {
+                            module,
+                            plan: None,
+                            workers: 1,
+                            mem: fork,
+                            output: Vec::new(),
+                            steps: 0,
+                            fuel: fuel_left,
+                            log: Some(Vec::new()),
+                            stats: RunStats::default(),
+                        };
+                        let mut wframe = Frame { regs, args };
+                        for iter in lo..hi {
+                            worker.mem.write(iv_addr, RtVal::Int(init + iter * c.step));
+                            worker.run_iteration(func_id, f, &mut wframe, sched)?;
+                        }
+                        Ok(ChunkOut {
+                            log: worker.log.take().unwrap_or_default(),
+                            output: worker.output,
+                            steps: worker.steps,
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chunk worker panicked"))
+                .collect()
+        });
+        let mut outs = Vec::with_capacity(results.len());
+        for r in results {
+            match r {
+                Ok(out) => outs.push(out),
+                // Fall back with the master heap untouched: the sequential
+                // re-run reproduces faults in sequential order.
+                Err(_) => return Ok(false),
+            }
+        }
+
+        // Commit in chunk order: per-cell last-writer-wins equals the
+        // sequential final state (see module-level safety argument);
+        // reduction cells merge their chunk-final values instead.
+        for out in outs {
+            let mut red_final: HashMap<MemAddr, RtVal> = HashMap::new();
+            for (addr, v) in out.log {
+                if addr.obj == iv_obj || addr.obj.index() >= fork_len {
+                    continue;
+                }
+                if red_objs.contains_key(&addr.obj.0) {
+                    red_final.insert(addr, v);
+                } else {
+                    self.mem.write(addr, v);
+                }
+            }
+            for (addr, v) in red_final {
+                let op = red_objs[&addr.obj.0];
+                let cur = self.mem.read(addr);
+                self.mem.write(addr, reduction_merge(op, cur, v));
+            }
+            self.output.extend(out.output);
+            self.steps = self.steps.saturating_add(out.steps);
+        }
+        self.mem.write(iv_addr, RtVal::Int(final_iv));
+        Ok(true)
+    }
+
+    /// Evaluate a canonical loop's invariant bound at loop entry.
+    fn eval_bound(
+        &self,
+        f: &Function,
+        frame: &Frame,
+        sched: &LoopSchedule,
+        c: &ChunkedLoop,
+    ) -> Option<i64> {
+        match c.bound {
+            Value::Const(k) => const_val(k).as_int(),
+            Value::Param(p) => frame.args.get(p).and_then(RtVal::as_int),
+            Value::Global(_) => None,
+            Value::Inst(i) => {
+                let owner = f.inst_blocks();
+                let in_loop = owner[i.index()].is_some_and(|bb| sched.contains(bb));
+                if !in_loop {
+                    return frame.regs[i.index()].as_int();
+                }
+                // In-loop bound: canonicality guarantees it is a load of a
+                // slot the loop never stores to; read the slot directly.
+                match &f.inst(i).inst {
+                    Inst::Load { ptr, .. } => {
+                        let obj = match ptr {
+                            Value::Global(g) => self.mem.global_object(*g),
+                            Value::Inst(a) => match frame.regs[a.index()] {
+                                RtVal::Ptr { obj, .. } => obj,
+                                _ => return None,
+                            },
+                            _ => return None,
+                        };
+                        self.mem.read(MemAddr { obj, off: 0 }).as_int()
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Execute one iteration of a chunked loop: from the header until
+    /// control returns to it. Any other escape is irregular.
+    fn run_iteration(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        sched: &LoopSchedule,
+    ) -> Result<(), ParAbort> {
+        let mut block = sched.header;
+        loop {
+            match self
+                .exec_block(func_id, f, frame, block)
+                .map_err(ParAbort::Exec)?
+            {
+                Flow::Jump(t) if t == sched.header => return Ok(()),
+                Flow::Jump(t) => {
+                    if !sched.contains(t) {
+                        return Err(ParAbort::Irregular);
+                    }
+                    block = t;
+                }
+                Flow::Return(_) => return Err(ParAbort::Irregular),
+                Flow::Next => unreachable!(),
+            }
+        }
+    }
+
+    // ---- DSWP pipeline ---------------------------------------------------
+
+    /// Try to execute a pipelined activation. Returns `Ok(Some(exit))`
+    /// (memory, output, and steps already folded into the master) on
+    /// success, `Ok(None)` (master untouched) to fall back.
+    fn run_pipeline(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        sched: &LoopSchedule,
+        p: &PipelineLoop,
+    ) -> Result<Option<BlockId>, ExecError> {
+        let stages = p.stages as usize;
+        // The worker count bounds concurrency for pipelines too: a
+        // pipeline needing more stage threads than workers falls back.
+        if stages < 2 || stages > self.workers {
+            return Ok(None);
+        }
+        let fuel_left = self.fuel.saturating_sub(self.steps);
+        let chans: Vec<Channel<PipeMsg>> = (0..stages)
+            .map(|_| Channel::bounded(PIPE_CAPACITY))
+            .collect();
+        // Register indices each stage must import from upstream packets.
+        let upstream: Vec<Vec<usize>> = (0..stages)
+            .map(|s| {
+                p.stage_of
+                    .iter()
+                    .filter(|(_, st)| (**st as usize) < s)
+                    .map(|(i, _)| i.index())
+                    .collect()
+            })
+            .collect();
+        let module = self.module;
+        let master_mem = &self.mem;
+        let result: Result<(MemState, Vec<String>, u64, BlockId), ()> =
+            std::thread::scope(|scope| {
+                for s in 0..stages {
+                    let input = (s > 0).then(|| chans[s - 1].clone());
+                    let output = chans[s].clone();
+                    let mem = master_mem.clone();
+                    let regs = frame.regs.clone();
+                    let args = frame.args.clone();
+                    let imports = upstream[s].clone();
+                    scope.spawn(move || {
+                        let mut engine = Engine {
+                            module,
+                            plan: None,
+                            workers: 1,
+                            mem,
+                            output: Vec::new(),
+                            steps: 0,
+                            fuel: fuel_left,
+                            log: Some(Vec::new()),
+                            stats: RunStats::default(),
+                        };
+                        let mut sframe = Frame { regs, args };
+                        match input {
+                            None => {
+                                engine.pipeline_drive(func_id, f, &mut sframe, sched, p, &output)
+                            }
+                            Some(input) => engine.pipeline_replay(
+                                func_id,
+                                f,
+                                &mut sframe,
+                                p,
+                                s as u32,
+                                &imports,
+                                &input,
+                                &output,
+                            ),
+                        }
+                    });
+                }
+                // Master collector: stage writes into a staging heap so an
+                // abort leaves the real heap untouched.
+                let input = chans[stages - 1].clone();
+                let mut staging = master_mem.clone();
+                let mut lines = Vec::new();
+                let mut steps = 0u64;
+                loop {
+                    match input.recv() {
+                        None => {
+                            input.close();
+                            return Err(());
+                        }
+                        Some(PipeMsg::Abort) => {
+                            input.close();
+                            return Err(());
+                        }
+                        Some(PipeMsg::Iter(pkt)) => {
+                            staging.apply(&pkt.writes);
+                            lines.extend(pkt.output);
+                            steps = steps.saturating_add(pkt.steps);
+                        }
+                        Some(PipeMsg::Exit { packet, exit }) => {
+                            staging.apply(&packet.writes);
+                            lines.extend(packet.output);
+                            steps = steps.saturating_add(packet.steps);
+                            return Ok((staging, lines, steps, exit));
+                        }
+                    }
+                }
+            });
+        match result {
+            Ok((mem, lines, steps, exit)) => {
+                self.mem = mem;
+                self.output.extend(lines);
+                self.steps = self.steps.saturating_add(steps);
+                Ok(Some(exit))
+            }
+            Err(()) => Ok(None),
+        }
+    }
+
+    /// Stage 0: drive real control flow, record each iteration's block
+    /// path, and execute only stage-0 instructions.
+    fn pipeline_drive(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        sched: &LoopSchedule,
+        p: &PipelineLoop,
+        out: &Channel<PipeMsg>,
+    ) {
+        let mut sent_steps = 0u64;
+        let mut block = sched.header;
+        loop {
+            let mut path: Vec<BlockId> = Vec::new();
+            let mut cur = block;
+            let end: Result<Option<BlockId>, ()> = 'iter: loop {
+                path.push(cur);
+                let mut flow = Flow::Next;
+                for &i in &f.block(cur).insts {
+                    if p.stage_of.get(&i) != Some(&0) {
+                        continue;
+                    }
+                    match self.exec_inst(func_id, f, frame, i) {
+                        Ok(fl) => {
+                            if !matches!(fl, Flow::Next) {
+                                flow = fl;
+                            }
+                        }
+                        Err(_) => break 'iter Err(()),
+                    }
+                }
+                match flow {
+                    Flow::Jump(t) if t == sched.header => break Ok(None),
+                    Flow::Jump(t) if !sched.contains(t) => break Ok(Some(t)),
+                    Flow::Jump(t) => cur = t,
+                    // A `ret` inside the loop (or a block whose terminator
+                    // is missing from stage 0) cannot be pipelined.
+                    Flow::Return(_) | Flow::Next => break Err(()),
+                }
+            };
+            let packet = Packet {
+                path,
+                regs: frame.regs.clone(),
+                writes: self.log.as_mut().map(std::mem::take).unwrap_or_default(),
+                output: std::mem::take(&mut self.output),
+                steps: self.steps - sent_steps,
+            };
+            sent_steps = self.steps;
+            match end {
+                Ok(None) => {
+                    if out.send(PipeMsg::Iter(packet)).is_err() {
+                        return; // downstream aborted
+                    }
+                    block = sched.header;
+                }
+                Ok(Some(exit)) => {
+                    let _ = out.send(PipeMsg::Exit { packet, exit });
+                    return;
+                }
+                Err(()) => {
+                    let _ = out.send(PipeMsg::Abort);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stages ≥ 1: replay recorded paths, executing only this stage's
+    /// instructions, and extend the cumulative packet.
+    #[allow(clippy::too_many_arguments)]
+    fn pipeline_replay(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        p: &PipelineLoop,
+        stage: u32,
+        imports: &[usize],
+        input: &Channel<PipeMsg>,
+        out: &Channel<PipeMsg>,
+    ) {
+        let mut sent_steps = 0u64;
+        loop {
+            let msg = match input.recv() {
+                None => return,
+                Some(m) => m,
+            };
+            let (mut packet, exit) = match msg {
+                PipeMsg::Abort => {
+                    input.close();
+                    let _ = out.send(PipeMsg::Abort);
+                    return;
+                }
+                PipeMsg::Iter(pkt) => (pkt, None),
+                PipeMsg::Exit { packet, exit } => (packet, Some(exit)),
+            };
+            // Import upstream register values and memory effects.
+            for &idx in imports {
+                frame.regs[idx] = packet.regs[idx];
+            }
+            self.mem.apply(&packet.writes);
+            let mut failed = false;
+            'replay: for &bb in &packet.path {
+                for &i in &f.block(bb).insts {
+                    if p.stage_of.get(&i) != Some(&stage) {
+                        continue;
+                    }
+                    match self.exec_inst(func_id, f, frame, i) {
+                        Ok(Flow::Next) => {}
+                        // Stage > 0 never owns terminators/calls
+                        // (validated); anything else is a fault.
+                        _ => {
+                            failed = true;
+                            break 'replay;
+                        }
+                    }
+                }
+            }
+            if failed {
+                input.close();
+                let _ = out.send(PipeMsg::Abort);
+                return;
+            }
+            if let Some(log) = &mut self.log {
+                packet.writes.append(log);
+            }
+            packet.output.extend(std::mem::take(&mut self.output));
+            packet.steps = packet.steps.saturating_add(self.steps - sent_steps);
+            sent_steps = self.steps;
+            packet.regs.clone_from(&frame.regs);
+            match exit {
+                None => {
+                    if out.send(PipeMsg::Iter(packet)).is_err() {
+                        input.close();
+                        return;
+                    }
+                }
+                Some(exit) => {
+                    let _ = out.send(PipeMsg::Exit { packet, exit });
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One pipeline iteration's state in flight.
+struct Packet {
+    /// Blocks the iteration executed, in order (starts at the header).
+    path: Vec<BlockId>,
+    /// Register file after the sending stage ran the iteration.
+    regs: Vec<RtVal>,
+    /// Cumulative writes of all stages so far, in execution order.
+    writes: Vec<(MemAddr, RtVal)>,
+    /// Cumulative output lines.
+    output: Vec<String>,
+    /// Cumulative dynamic instructions.
+    steps: u64,
+}
+
+enum PipeMsg {
+    Iter(Packet),
+    Exit { packet: Packet, exit: BlockId },
+    Abort,
+}
+
+/// The identity a worker-fork cell starts from under a reduction operator,
+/// typed by the cell's current value (`Undef` cells stay undefined — a
+/// well-formed reduction initializes before reducing).
+fn reduction_identity(op: ReductionOp, v: RtVal) -> RtVal {
+    match (op, v) {
+        (ReductionOp::Add, RtVal::Int(_)) => RtVal::Int(0),
+        (ReductionOp::Add, RtVal::Float(_)) => RtVal::Float(0.0),
+        (ReductionOp::Mul, RtVal::Int(_)) => RtVal::Int(1),
+        (ReductionOp::Mul, RtVal::Float(_)) => RtVal::Float(1.0),
+        (ReductionOp::Min, RtVal::Int(_)) => RtVal::Int(i64::MAX),
+        (ReductionOp::Min, RtVal::Float(_)) => RtVal::Float(f64::INFINITY),
+        (ReductionOp::Max, RtVal::Int(_)) => RtVal::Int(i64::MIN),
+        (ReductionOp::Max, RtVal::Float(_)) => RtVal::Float(f64::NEG_INFINITY),
+        (ReductionOp::BitAnd, RtVal::Int(_)) => RtVal::Int(-1),
+        (ReductionOp::BitOr | ReductionOp::BitXor, RtVal::Int(_)) => RtVal::Int(0),
+        (ReductionOp::LogAnd, RtVal::Bool(_)) => RtVal::Bool(true),
+        (ReductionOp::LogOr, RtVal::Bool(_)) => RtVal::Bool(false),
+        (_, other) => other,
+    }
+}
+
+/// Merge a chunk's final reduction value into the master's (chunk order,
+/// so the result is deterministic).
+fn reduction_merge(op: ReductionOp, master: RtVal, chunk: RtVal) -> RtVal {
+    match (op, master, chunk) {
+        (ReductionOp::Add, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a.wrapping_add(b)),
+        (ReductionOp::Add, RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(a + b),
+        (ReductionOp::Mul, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a.wrapping_mul(b)),
+        (ReductionOp::Mul, RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(a * b),
+        (ReductionOp::Min, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a.min(b)),
+        (ReductionOp::Min, RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(a.min(b)),
+        (ReductionOp::Max, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a.max(b)),
+        (ReductionOp::Max, RtVal::Float(a), RtVal::Float(b)) => RtVal::Float(a.max(b)),
+        (ReductionOp::BitAnd, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a & b),
+        (ReductionOp::BitOr, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a | b),
+        (ReductionOp::BitXor, RtVal::Int(a), RtVal::Int(b)) => RtVal::Int(a ^ b),
+        (ReductionOp::LogAnd, RtVal::Bool(a), RtVal::Bool(b)) => RtVal::Bool(a && b),
+        (ReductionOp::LogOr, RtVal::Bool(a), RtVal::Bool(b)) => RtVal::Bool(a || b),
+        // A master cell the loop never initialized: take the chunk value.
+        (_, RtVal::Undef, b) => b,
+        // Type confusion cannot arise from verified programs; prefer the
+        // chunk's value (what last-writer commit would have done).
+        (_, _, b) => b,
+    }
+}

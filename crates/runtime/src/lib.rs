@@ -1,0 +1,41 @@
+//! # pspdg-runtime — the plan-driven multi-threaded executor
+//!
+//! Closes the loop of the paper's Fig. 2 pipeline: the chosen parallel
+//! execution plan is not only *emulated* on an ideal machine
+//! (`pspdg-emulator`) but *executed* on real threads, turning predicted
+//! parallelism into measured wall-clock behavior with the sequential
+//! interpreter as the correctness oracle.
+//!
+//! ```text
+//!   ParallelProgram ──▶ ProgramPlan ──▶ realize_executable ──▶ LoopSchedule*
+//!                                                        │
+//!                        ┌───────────────────────────────┘
+//!                        ▼
+//!                  Runtime::run_main
+//!                        │ master thread interprets sequentially
+//!                        │
+//!         ┌──────────────┼──────────────────┐
+//!         ▼              ▼                  ▼
+//!     Chunked        Pipeline          Sequential
+//!   (DOALL: forked  (DSWP: stage     (HELIX & anything
+//!    heaps + write   threads over     unproven: exact
+//!    -log commit)    bounded chans)   sequential order)
+//! ```
+//!
+//! Correctness contract: for any program, `Runtime` produces the same
+//! output and the same observable final memory as
+//! [`pspdg_ir::interp::Interpreter`] — exactly for integers and booleans,
+//! and up to reduction re-association ([`check::FLOAT_RTOL`]) for floats.
+//! The differential test suite (`tests/differential.rs`) enforces this
+//! over the whole NAS suite and generated kernels.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod check;
+pub mod exec;
+
+pub use check::{
+    globals_mismatch, line_equivalent, observable_globals, rtval_equivalent, FLOAT_RTOL,
+};
+pub use exec::{RunOutcome, RunStats, Runtime};

@@ -1,0 +1,321 @@
+//! Differential tests: the parallel runtime must match the sequential
+//! interpreter — same output, same observable final memory (global
+//! objects), same return value, same errors — on every NAS `Class::Test`
+//! kernel under its best (PS-PDG) plan and under the programmer's OpenMP
+//! plan, and on generated kernels mixing DOALL loops, reductions,
+//! privatized temporaries, critical sections, and recurrences.
+//!
+//! Integers compare exactly; floats compare under
+//! [`pspdg_runtime::FLOAT_RTOL`] because parallel reductions associate
+//! differently (chunk-order merge), as in any real OpenMP runtime.
+
+use pspdg_frontend::compile;
+use pspdg_ir::interp::{Interpreter, NullSink};
+use pspdg_nas::{benchmark, Class};
+use pspdg_parallel::ParallelProgram;
+use pspdg_parallelizer::{build_plan, Abstraction};
+use pspdg_runtime::{
+    globals_mismatch, line_equivalent, observable_globals, rtval_equivalent, RunStats, Runtime,
+};
+
+/// Run `program` sequentially and under `abstraction`'s plan with
+/// `workers` workers; assert observable equivalence and return the
+/// runtime's dynamic stats.
+fn assert_differential(
+    name: &str,
+    program: &ParallelProgram,
+    abstraction: Abstraction,
+    workers: usize,
+) -> RunStats {
+    let mut interp = Interpreter::new(&program.module);
+    let seq_ret = interp
+        .run_main(&mut NullSink)
+        .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
+    let plan = build_plan(program, interp.profile(), abstraction, 0.01);
+    let rt = Runtime::new(program, &plan).workers(workers);
+    let out = rt
+        .run_main()
+        .unwrap_or_else(|e| panic!("{name}: runtime failed: {e}"));
+    match (seq_ret, out.ret) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert!(
+            rtval_equivalent(a, b),
+            "{name}: return value diverged: {a:?} vs {b:?}"
+        ),
+        (a, b) => panic!("{name}: return shape diverged: {a:?} vs {b:?}"),
+    }
+    assert_eq!(
+        interp.output().len(),
+        out.output.len(),
+        "{name}: output line count diverged"
+    );
+    for (i, (a, b)) in interp.output().iter().zip(&out.output).enumerate() {
+        assert!(
+            line_equivalent(a, b),
+            "{name}: output line {i} diverged: {a:?} vs {b:?}"
+        );
+    }
+    let seq_globals = observable_globals(&program.module, interp.mem());
+    let par_globals = observable_globals(&program.module, &out.mem);
+    assert_eq!(
+        globals_mismatch(&seq_globals, &par_globals),
+        None,
+        "{name}: observable memory diverged"
+    );
+    out.stats
+}
+
+fn nas_differential(name: &str) -> RunStats {
+    let b = benchmark(name, Class::Test).expect("known NAS kernel");
+    let p = b.program();
+    // The paper's best plan, with several worker counts (including an odd
+    // one, so chunk boundaries vary), plus the programmer-encoded plan.
+    let stats = assert_differential(name, &p, Abstraction::PsPdg, 4);
+    assert_differential(name, &p, Abstraction::PsPdg, 3);
+    assert_differential(name, &p, Abstraction::OpenMp, 4);
+    stats
+}
+
+#[test]
+fn nas_bt_matches_sequential() {
+    nas_differential("BT");
+}
+
+#[test]
+fn nas_cg_matches_sequential() {
+    let stats = nas_differential("CG");
+    assert!(
+        stats.chunked_loops > 0,
+        "CG's dot products should chunk: {stats:?}"
+    );
+}
+
+#[test]
+fn nas_ep_matches_sequential() {
+    nas_differential("EP");
+}
+
+#[test]
+fn nas_ft_matches_sequential() {
+    nas_differential("FT");
+}
+
+#[test]
+fn nas_is_matches_sequential() {
+    let stats = nas_differential("IS");
+    assert!(
+        stats.chunked_loops > 0,
+        "IS's counting loop should chunk: {stats:?}"
+    );
+}
+
+#[test]
+fn nas_lu_matches_sequential() {
+    nas_differential("LU");
+}
+
+#[test]
+fn nas_mg_matches_sequential() {
+    nas_differential("MG");
+}
+
+#[test]
+fn nas_sp_matches_sequential() {
+    nas_differential("SP");
+}
+
+#[test]
+fn error_parity_with_sequential_interpreter() {
+    // A DOALL-looking loop that faults out of bounds mid-iteration-space:
+    // the parallel attempt aborts, the sequential re-run reproduces the
+    // exact fault the interpreter raises.
+    let p = compile(
+        r#"
+        int v[64];
+        void k(int n) {
+            int i;
+            for (i = 0; i < 128; i++) { v[i * n] = i; }
+        }
+        int main() { k(1); return 0; }
+        "#,
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_err = interp.run_main(&mut NullSink).unwrap_err();
+    // The partial profile of the faulted run still marks the loop hot.
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4);
+    let par_err = rt.run_main().unwrap_err();
+    assert_eq!(seq_err, par_err);
+}
+
+#[test]
+fn param_array_reduction_matches_sequential() {
+    // A reduction over an *array parameter* resolves to MemBase::Param;
+    // the runtime must either merge it through the argument's object or
+    // fall back — never commit partial sums last-writer-wins.
+    let p = compile(
+        r#"
+        double acc[4]; double v[128];
+        void k(double a[], double src[]) {
+            int i;
+            #pragma omp parallel for reduction(+: a)
+            for (i = 0; i < 128; i++) { a[0] += src[i]; }
+        }
+        int main() {
+            int i;
+            for (i = 0; i < 128; i++) { v[i] = (double)(i % 9) * 0.5; }
+            k(acc, v);
+            print_f64(acc[0]);
+            return 0;
+        }
+        "#,
+    )
+    .unwrap();
+    assert_differential("param-reduction", &p, Abstraction::PsPdg, 4);
+    assert_differential("param-reduction", &p, Abstraction::OpenMp, 4);
+}
+
+#[test]
+fn single_worker_degenerates_to_sequential() {
+    let b = benchmark("IS", Class::Test).unwrap();
+    let p = b.program();
+    let stats = assert_differential("IS/1", &p, Abstraction::PsPdg, 1);
+    assert_eq!(stats.chunked_loops, 0, "one worker cannot chunk: {stats:?}");
+}
+
+mod generated {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One loop of a generated kernel. Constants are bounded so every
+    /// subscript stays in range and integer arithmetic cannot overflow.
+    #[derive(Debug, Clone)]
+    enum GenLoop {
+        /// `w[i] = v[i] * k1 + k2;` (annotated DOALL)
+        Map { k1: i64, k2: i64 },
+        /// `s += v[i] + k1;` under `reduction(+: s)`
+        RedInt { k1: i64 },
+        /// `d += dv[i] * 0.5;` under `reduction(+: d)`
+        RedDouble,
+        /// `t = t + v[i]; w[i] = t + k1;` (unannotated recurrence →
+        /// pipeline)
+        Recurrence { k1: i64 },
+        /// `critical { c[i] = c[i] + 1; }` inside an annotated loop: the
+        /// PS-PDG proves the cells disjoint and drops the mutex.
+        DisjointCritical,
+        /// `atomic s += v[i];` inside an annotated loop: the mutex
+        /// survives, forcing the sequential fallback.
+        AtomicShared,
+        /// `t = v[i] * 2; w[i] = t + 1;` under `private(t)`
+        PrivateTemp,
+        /// `c[v[i] % 16] += 1;` inside an annotated loop: an indirect
+        /// accumulator (the IS pattern) — merged as an auto-reduction.
+        IndirectAccum,
+        /// `if (v[i] > k1) { w[i] = v[i]; }` (annotated, branchy body)
+        Branchy { k1: i64 },
+    }
+
+    impl GenLoop {
+        fn render(&self, trip: i64) -> String {
+            match self {
+                GenLoop::Map { k1, k2 } => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{ w[i] = v[i] * {k1} + {k2}; }}\n"
+                ),
+                GenLoop::RedInt { k1 } => format!(
+                    "#pragma omp parallel for reduction(+: s)\nfor (i = 0; i < {trip}; i++) {{ s += v[i] + {k1}; }}\n"
+                ),
+                GenLoop::RedDouble => format!(
+                    "#pragma omp parallel for reduction(+: d)\nfor (i = 0; i < {trip}; i++) {{ d += dv[i] * 0.5; }}\n"
+                ),
+                GenLoop::Recurrence { k1 } => format!(
+                    "for (i = 0; i < {trip}; i++) {{ t = t + v[i]; w[i] = t + {k1}; }}\n"
+                ),
+                GenLoop::DisjointCritical => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ c[i] = c[i] + 1; }}\n}}\n"
+                ),
+                GenLoop::AtomicShared => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp atomic\ns += v[i];\n}}\n"
+                ),
+                GenLoop::PrivateTemp => format!(
+                    "#pragma omp parallel for private(t)\nfor (i = 0; i < {trip}; i++) {{ t = v[i] * 2; w[i] = t + 1; }}\n"
+                ),
+                GenLoop::IndirectAccum => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{ c[v[i] % 16] += 1; }}\n"
+                ),
+                GenLoop::Branchy { k1 } => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{ if (v[i] > {k1}) {{ w[i] = v[i]; }} }}\n"
+                ),
+            }
+        }
+    }
+
+    fn arb_loop() -> impl Strategy<Value = GenLoop> {
+        prop_oneof![
+            (1i64..5, 0i64..9).prop_map(|(k1, k2)| GenLoop::Map { k1, k2 }),
+            (0i64..9).prop_map(|k1| GenLoop::RedInt { k1 }),
+            Just(GenLoop::RedDouble),
+            (0i64..9).prop_map(|k1| GenLoop::Recurrence { k1 }),
+            Just(GenLoop::DisjointCritical),
+            Just(GenLoop::AtomicShared),
+            Just(GenLoop::PrivateTemp),
+            Just(GenLoop::IndirectAccum),
+            (0i64..50).prop_map(|k1| GenLoop::Branchy { k1 }),
+        ]
+    }
+
+    fn render_program(trip: i64, loops: &[GenLoop]) -> String {
+        let body: String = loops.iter().map(|l| l.render(trip)).collect();
+        format!(
+            r#"
+            int v[96]; int w[96]; int c[96]; int s; int t; double d; double dv[96];
+            void init() {{
+                int i;
+                for (i = 0; i < 96; i++) {{
+                    v[i] = (i * 37 + 11) % 50;
+                    w[i] = 0;
+                    c[i] = i % 7;
+                    dv[i] = (double)(i % 13) * 0.25;
+                }}
+                s = 3; t = 1; d = 0.5;
+            }}
+            void k() {{
+                int i;
+                {body}
+            }}
+            int main() {{
+                int i; int chk;
+                init();
+                k();
+                print_i64(s);
+                print_i64(t);
+                print_f64(d);
+                chk = 0;
+                for (i = 0; i < 96; i++) {{ chk += v[i] + w[i] * 3 + c[i] * 7; }}
+                print_i64(chk);
+                return chk % 251;
+            }}
+            "#
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Generated kernels with reductions, critical sections,
+        /// privatized temporaries, indirect accumulators, and
+        /// recurrences: runtime == sequential interpreter under both the
+        /// PS-PDG and OpenMP plans, across worker counts.
+        #[test]
+        fn generated_kernels_match_sequential(
+            trip in 8i64..96,
+            loops in proptest::collection::vec(arb_loop(), 1..4),
+            workers in 2usize..6,
+        ) {
+            let src = render_program(trip, &loops);
+            let p = compile(&src).expect("generated kernel compiles");
+            assert_differential("gen/pspdg", &p, Abstraction::PsPdg, workers);
+            assert_differential("gen/openmp", &p, Abstraction::OpenMp, workers);
+        }
+    }
+}

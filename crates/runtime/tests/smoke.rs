@@ -1,0 +1,117 @@
+use pspdg_frontend::compile;
+use pspdg_ir::interp::{Interpreter, NullSink};
+use pspdg_parallelizer::{build_plan, Abstraction};
+use pspdg_runtime::{globals_mismatch, observable_globals, Runtime};
+
+#[test]
+fn doall_smoke() {
+    let p = compile(
+        r#"
+        int v[256]; int w[256];
+        void k() {
+            int i;
+            for (i = 0; i < 256; i++) { v[i] = i * 3; }
+            for (i = 0; i < 256; i++) { w[i] = v[i] + 1; print_i64(w[i]); }
+        }
+        int main() { k(); return w[255]; }
+        "#,
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_ret = interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4);
+    // The first loop chunks; the print-bearing second loop carries an I/O
+    // dependence, so it realizes as a pipeline with the prints serialized
+    // in one stage.
+    let stats = rt.realization();
+    assert_eq!(
+        (stats.chunked, stats.pipeline),
+        (1, 1),
+        "{:?} {:?}",
+        stats,
+        rt.executable()
+            .schedules()
+            .iter()
+            .map(|s| s.exec.name())
+            .collect::<Vec<_>>()
+    );
+    let out = rt.run_main().unwrap();
+    assert_eq!(out.ret, seq_ret);
+    assert_eq!(out.output, interp.output());
+    assert_eq!(out.stats.chunked_loops, 1, "{:?}", out.stats);
+    assert_eq!(out.stats.pipelined_loops, 1, "{:?}", out.stats);
+    let a = observable_globals(&p.module, interp.mem());
+    let b = observable_globals(&p.module, &out.mem);
+    assert_eq!(globals_mismatch(&a, &b), None);
+}
+
+#[test]
+fn pipeline_smoke() {
+    let p = compile(
+        r#"
+        int t; int v[256]; int w[256];
+        void k() {
+            int i;
+            for (i = 0; i < 256; i++) {
+                t = t + v[i] + i;
+                w[i] = t * 2;
+            }
+        }
+        int main() { k(); return w[200]; }
+        "#,
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_ret = interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4);
+    assert_eq!(
+        rt.realization().pipeline,
+        1,
+        "{:?}",
+        rt.executable()
+            .schedules()
+            .iter()
+            .map(|s| (s.exec.name(), format!("{:?}", s.exec)))
+            .collect::<Vec<_>>()
+    );
+    let out = rt.run_main().unwrap();
+    assert_eq!(out.ret, seq_ret);
+    assert_eq!(out.stats.pipelined_loops, 1, "{:?}", out.stats);
+    let a = observable_globals(&p.module, interp.mem());
+    let b = observable_globals(&p.module, &out.mem);
+    assert_eq!(globals_mismatch(&a, &b), None);
+}
+
+#[test]
+fn reduction_smoke() {
+    let p = compile(
+        r#"
+        double s; double v[512];
+        void init() { int i; for (i = 0; i < 512; i++) { v[i] = 0.5; } }
+        void k() {
+            int i;
+            #pragma omp parallel for reduction(+: s)
+            for (i = 0; i < 512; i++) { s += v[i] * 2.0; }
+        }
+        int main() { init(); k(); print_f64(s); return 0; }
+        "#,
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4);
+    let out = rt.run_main().unwrap();
+    assert!(
+        out.stats.chunked_loops >= 1,
+        "{:?} realization {:?}",
+        out.stats,
+        rt.realization()
+    );
+    assert_eq!(out.output.len(), interp.output().len());
+    for (a, b) in out.output.iter().zip(interp.output()) {
+        assert!(pspdg_runtime::line_equivalent(a, b), "{a} vs {b}");
+    }
+}

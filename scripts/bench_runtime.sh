@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_runtime.json: predicted-vs-measured numbers for the
+# plan-driven parallel runtime over the NAS Class::Mini suite.
+#
+# Usage: scripts/bench_runtime.sh [OUT.json] [--smoke]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p pspdg-bench --bin bench_runtime_json -- "${@:-BENCH_runtime.json}"
