@@ -1,9 +1,12 @@
 //! Writes `BENCH_runtime.json`: per-kernel predicted-vs-measured numbers
 //! for the parallel runtime — the sequential interpreter's wall time, the
 //! plan-driven runtime's wall time under the PS-PDG best plan, the
-//! ideal-machine emulator's predicted parallelism for the same plan, and
-//! the plan's realization (how many loops chunked / pipelined / fell back
-//! to sequential).
+//! ideal-machine emulator's predicted parallelism for the same plan, the
+//! plan's realization (how many loops chunked / pipelined / fell back to
+//! sequential), and the runtime-overhead counters introduced with the
+//! persistent-pool/CoW substrate: per-cause dynamic fallback counts, pool
+//! dispatches, copy-on-write fork volume, and replayed critical-update
+//! instances.
 //!
 //! Run from the repository root (or pass an output path):
 //!
@@ -34,7 +37,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
         .iter()
-        .find(|a| *a != "--smoke")
+        .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "BENCH_runtime.json".to_string());
     let (class, samples) = if smoke {
@@ -49,6 +52,8 @@ fn main() {
     let workers = rayon::current_num_threads().max(2);
 
     let mut rows = String::new();
+    let mut speedup_ln_sum = 0.0f64;
+    let mut kernels = 0u32;
     for (bi, b) in suite(class).iter().enumerate() {
         let p = b.program();
         // Profile once for plan construction and as the differential
@@ -92,14 +97,21 @@ fn main() {
                 rt.run_main().expect("runtime runs");
             }));
         }
+        let stats = outcome.stats;
         let row = PredictedVsMeasured {
             name: b.name.to_string(),
             predicted_parallelism: predicted,
             sequential_ns: seq_ns,
             parallel_ns: par_ns,
+            fallback_reasons: stats
+                .fallbacks
+                .nonzero()
+                .into_iter()
+                .map(|(r, n)| (r.to_string(), n))
+                .collect(),
         };
         println!(
-            "{:<4} interp {:>11} ns  seq {:>11} ns  par {:>11} ns  speedup {:>6.3}x  predicted {:>8.2}x  loops: {} chunked / {} pipelined / {} sequential",
+            "{:<4} interp {:>11} ns  seq {:>11} ns  par {:>11} ns  speedup {:>6.3}x  predicted {:>8.2}x  loops: {} chunked / {} pipelined / {} sequential  dyn: {} chunked / {} pipelined / {} replays / {} pool jobs / {} fallbacks [{}]",
             row.name,
             interp_ns,
             row.sequential_ns,
@@ -109,13 +121,27 @@ fn main() {
             realization.chunked,
             realization.pipeline,
             realization.sequential,
+            stats.chunked_loops,
+            stats.pipelined_loops,
+            stats.critical_replays,
+            stats.pool_dispatches,
+            stats.sequential_fallbacks,
+            row.fallback_summary(),
         );
+        speedup_ln_sum += row.measured_speedup().max(1e-12).ln();
+        kernels += 1;
         if bi > 0 {
             rows.push_str(",\n");
         }
+        let reasons: String = row
+            .fallback_reasons
+            .iter()
+            .map(|(r, n)| format!("\"{r}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = write!(
             rows,
-            "    {{\"kernel\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}}}",
+            "    {{\"kernel\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}, \"dyn_fallback_reasons\": {{{}}}, \"pool_dispatches\": {}, \"critical_replays\": {}, \"fork_cells_committed\": {}, \"cow_pages\": {}, \"fork_bytes\": {}}}",
             row.name,
             interp_ns,
             row.sequential_ns,
@@ -125,14 +151,22 @@ fn main() {
             realization.chunked,
             realization.pipeline,
             realization.sequential,
-            outcome.stats.chunked_loops,
-            outcome.stats.pipelined_loops,
-            outcome.stats.sequential_fallbacks,
+            stats.chunked_loops,
+            stats.pipelined_loops,
+            stats.sequential_fallbacks,
+            reasons,
+            stats.pool_dispatches,
+            stats.critical_replays,
+            stats.fork_cells_committed,
+            stats.cow_pages,
+            stats.fork_bytes(),
         );
     }
 
+    let geomean = (speedup_ln_sum / f64::from(kernels.max(1))).exp();
+    println!("geomean measured speedup: {geomean:.3}x over {kernels} kernels");
     let json = format!(
-        "{{\n  \"suite\": \"NAS Class::{class_name}\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"suite\": \"NAS Class::{class_name}\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_runtime.json");
     println!("wrote {out_path}");

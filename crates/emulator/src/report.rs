@@ -83,6 +83,13 @@ pub struct PredictedVsMeasured {
     pub sequential_ns: u64,
     /// Parallel runtime wall time under the same plan.
     pub parallel_ns: u64,
+    /// Why measured activations ran sequentially: `(reason, count)`
+    /// pairs from the runtime's fallback counters (empty when every
+    /// scheduled activation parallelized). This is what turns "the
+    /// speedup fell short of the prediction" into an actionable
+    /// diagnosis — cost-gated short activations, worker faults, pipeline
+    /// aborts, … each count its own cause.
+    pub fallback_reasons: Vec<(String, u64)>,
 }
 
 impl PredictedVsMeasured {
@@ -104,6 +111,23 @@ impl PredictedVsMeasured {
         } else {
             self.measured_speedup() / self.predicted_parallelism
         }
+    }
+
+    /// Total sequential-fallback activations across all causes.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.fallback_reasons.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Compact `reason:count` summary (`"-"` when nothing fell back).
+    pub fn fallback_summary(&self) -> String {
+        if self.fallback_reasons.is_empty() {
+            return "-".to_string();
+        }
+        self.fallback_reasons
+            .iter()
+            .map(|(r, n)| format!("{r}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 

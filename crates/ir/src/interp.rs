@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::function::{GlobalInit, Module};
 use crate::inst::{BinOp, CastKind, CmpOp, Inst, Intrinsic, UnOp};
@@ -124,20 +125,63 @@ pub enum ObjOrigin {
     },
 }
 
+/// Cells per copy-on-write page. 64 cells lets one `u64` word serve as a
+/// page's dirty-cell bitmask.
+pub const PAGE_CELLS: usize = 64;
+
+/// Bytes of cell payload per page (for fork/commit volume reporting).
+pub const PAGE_BYTES: usize = PAGE_CELLS * std::mem::size_of::<RtVal>();
+
+/// One object's cells, stored as `Arc`-shared pages of [`PAGE_CELLS`]
+/// cells. Cloning an object bumps page refcounts; the first write to a
+/// shared page materializes a private copy (copy-on-write).
 #[derive(Debug, Clone)]
 struct Object {
     origin: ObjOrigin,
-    cells: Vec<RtVal>,
+    /// Size in cells (the last page may be partial).
+    len: u32,
+    pages: Vec<Arc<[RtVal]>>,
+    /// One dirty word per page (bit = cell written since the fork).
+    /// `None` until the first tracked write to this object.
+    dirty: Option<Box<[u64]>>,
+}
+
+impl Object {
+    fn new(origin: ObjOrigin, cells: Vec<RtVal>) -> Object {
+        let len = cells.len() as u32;
+        let pages = cells.chunks(PAGE_CELLS).map(Arc::<[RtVal]>::from).collect();
+        Object {
+            origin,
+            len,
+            pages,
+            dirty: None,
+        }
+    }
 }
 
 /// The interpreter heap: every live runtime object (globals plus stack
 /// objects), separated from the [`Interpreter`] so execution engines can
-/// *fork* a consistent snapshot per worker and *commit* write logs back —
-/// the memory substrate of the `pspdg-runtime` parallel executor.
+/// *fork* a consistent snapshot per worker and *commit* the written cells
+/// back — the memory substrate of the `pspdg-runtime` parallel executor.
+///
+/// Storage is paged ([`PAGE_CELLS`] cells per page) with `Arc`-shared
+/// pages: [`MemState::clone`] and [`MemState::fork`] are O(pages) pointer
+/// bumps, not O(cells) copies, and a worker fork pays for exactly the
+/// pages it writes (copy-on-write). A fork additionally tracks *which*
+/// cells it wrote (one bit per cell), so committing a fork back walks only
+/// written pages — see [`MemState::for_each_dirty`].
 #[derive(Debug, Clone, Default)]
 pub struct MemState {
     objects: Vec<Object>,
     globals: HashMap<GlobalId, ObjId>,
+    /// Dirty-cell tracking applies to objects below this index (the
+    /// objects that existed at [`MemState::fork`] time); `0` — the
+    /// default — disables tracking entirely (non-fork states).
+    track_below: usize,
+    /// Objects with an allocated dirty mask, in first-write order.
+    touched: Vec<u32>,
+    /// Pages privately materialized by copy-on-write since the fork.
+    cow_pages: u64,
 }
 
 impl MemState {
@@ -154,10 +198,7 @@ impl MemState {
                 GlobalInit::Data(data) => data.iter().map(|c| const_val(*c)).collect(),
             };
             let obj = ObjId(mem.objects.len() as u32);
-            mem.objects.push(Object {
-                origin: ObjOrigin::Global(g),
-                cells,
-            });
+            mem.objects.push(Object::new(ObjOrigin::Global(g), cells));
             mem.globals.insert(g, obj);
         }
         mem
@@ -166,10 +207,8 @@ impl MemState {
     /// Create a new object of `cells` uninitialized cells.
     pub fn alloc(&mut self, origin: ObjOrigin, cells: usize) -> ObjId {
         let obj = ObjId(self.objects.len() as u32);
-        self.objects.push(Object {
-            origin,
-            cells: vec![RtVal::Undef; cells],
-        });
+        self.objects
+            .push(Object::new(origin, vec![RtVal::Undef; cells]));
         obj
     }
 
@@ -190,7 +229,7 @@ impl MemState {
 
     /// Size of `obj` in cells.
     pub fn object_len(&self, obj: ObjId) -> usize {
-        self.objects[obj.index()].cells.len()
+        self.objects[obj.index()].len as usize
     }
 
     /// Origin of `obj`.
@@ -200,12 +239,35 @@ impl MemState {
 
     /// Read one cell.
     pub fn read(&self, addr: MemAddr) -> RtVal {
-        self.objects[addr.obj.index()].cells[addr.off as usize]
+        let off = addr.off as usize;
+        self.objects[addr.obj.index()].pages[off / PAGE_CELLS][off % PAGE_CELLS]
     }
 
-    /// Write one cell.
+    /// Write one cell (copy-on-write if the containing page is shared).
     pub fn write(&mut self, addr: MemAddr, v: RtVal) {
-        self.objects[addr.obj.index()].cells[addr.off as usize] = v;
+        let oi = addr.obj.index();
+        let off = addr.off as usize;
+        let (p, b) = (off / PAGE_CELLS, off % PAGE_CELLS);
+        let page = &mut self.objects[oi].pages[p];
+        match Arc::get_mut(page) {
+            Some(cells) => cells[b] = v,
+            None => {
+                let mut copy: Vec<RtVal> = page.to_vec();
+                copy[b] = v;
+                *page = Arc::from(copy);
+                self.cow_pages += 1;
+            }
+        }
+        if oi < self.track_below {
+            if self.objects[oi].dirty.is_none() {
+                let pages = self.objects[oi].pages.len();
+                self.objects[oi].dirty = Some(vec![0u64; pages].into_boxed_slice());
+                self.touched.push(oi as u32);
+            }
+            if let Some(masks) = self.objects[oi].dirty.as_mut() {
+                masks[p] |= 1 << b;
+            }
+        }
     }
 
     /// The runtime object backing global `g`.
@@ -229,6 +291,62 @@ impl MemState {
                 self.write(*addr, *v);
             }
         }
+    }
+
+    /// A worker fork of this heap: shares every page (O(pages), no cell
+    /// copies) and tracks which cells the fork writes, so the fork can be
+    /// committed back cell-exactly via [`MemState::for_each_dirty`].
+    /// Objects the fork allocates after this point (worker-local stack
+    /// objects) are not tracked — they die with the fork.
+    pub fn fork(&self) -> MemState {
+        let mut m = self.clone();
+        for &oi in &m.touched {
+            m.objects[oi as usize].dirty = None;
+        }
+        m.touched.clear();
+        m.track_below = m.objects.len();
+        m.cow_pages = 0;
+        m
+    }
+
+    /// Visit every cell this fork wrote since [`MemState::fork`] with its
+    /// current (fork-final) value, grouped by object in first-write order.
+    /// Cells written more than once appear once, with the last value —
+    /// exactly what a per-cell last-writer-wins commit needs.
+    pub fn for_each_dirty(&self, mut f: impl FnMut(MemAddr, RtVal)) {
+        for &oi in &self.touched {
+            let o = &self.objects[oi as usize];
+            let Some(masks) = &o.dirty else { continue };
+            for (p, &mask) in masks.iter().enumerate() {
+                let mut m = mask;
+                while m != 0 {
+                    let b = m.trailing_zeros();
+                    m &= m - 1;
+                    let addr = MemAddr {
+                        obj: ObjId(oi),
+                        off: (p * PAGE_CELLS) as u32 + b,
+                    };
+                    f(addr, self.read(addr));
+                }
+            }
+        }
+    }
+
+    /// Number of distinct cells this fork has written.
+    pub fn dirty_cells(&self) -> u64 {
+        self.touched
+            .iter()
+            .filter_map(|&oi| self.objects[oi as usize].dirty.as_ref())
+            .flat_map(|masks| masks.iter())
+            .map(|m| u64::from(m.count_ones()))
+            .sum()
+    }
+
+    /// Pages this state privately materialized through copy-on-write
+    /// (reset by [`MemState::fork`]); `pages × PAGE_BYTES` approximates
+    /// the bytes actually copied for this fork.
+    pub fn cow_pages(&self) -> u64 {
+        self.cow_pages
     }
 }
 
@@ -1098,6 +1216,65 @@ mod tests {
         }
         m.verify().expect("verifies");
         (m, f)
+    }
+
+    #[test]
+    fn fork_tracks_dirty_cells_and_cow_pages() {
+        let mut m = Module::new("m");
+        let g = m.declare_global("a", Type::array(Type::I64, 200), GlobalInit::Zero);
+        let mut base = MemState::for_module(&m);
+        let obj = base.global_object(g);
+        // Base writes are not tracked.
+        base.write(MemAddr { obj, off: 0 }, RtVal::Int(7));
+        assert_eq!(base.dirty_cells(), 0);
+
+        let mut fork = base.fork();
+        assert_eq!(fork.dirty_cells(), 0);
+        assert_eq!(fork.cow_pages(), 0);
+        // Two writes on one page, one on another.
+        fork.write(MemAddr { obj, off: 3 }, RtVal::Int(30));
+        fork.write(MemAddr { obj, off: 5 }, RtVal::Int(50));
+        fork.write(MemAddr { obj, off: 130 }, RtVal::Int(99));
+        assert_eq!(fork.dirty_cells(), 3);
+        assert_eq!(fork.cow_pages(), 2, "two shared pages materialized");
+        // Rewriting a dirty cell does not double-count.
+        fork.write(MemAddr { obj, off: 3 }, RtVal::Int(31));
+        assert_eq!(fork.dirty_cells(), 3);
+
+        let mut seen = Vec::new();
+        fork.for_each_dirty(|addr, v| seen.push((addr.off, v)));
+        seen.sort_by_key(|(off, _)| *off);
+        assert_eq!(
+            seen,
+            vec![
+                (3, RtVal::Int(31)),
+                (5, RtVal::Int(50)),
+                (130, RtVal::Int(99)),
+            ]
+        );
+        // The base heap never observed the fork's writes.
+        assert_eq!(base.read(MemAddr { obj, off: 3 }), RtVal::Int(0));
+        assert_eq!(base.read(MemAddr { obj, off: 0 }), RtVal::Int(7));
+    }
+
+    #[test]
+    fn fork_allocations_are_untracked() {
+        let m = Module::new("m");
+        let base = MemState::for_module(&m);
+        let mut fork = base.fork();
+        let obj = fork.alloc(
+            ObjOrigin::Alloca {
+                func: FuncId(0),
+                inst: InstId(0),
+            },
+            4,
+        );
+        fork.write(MemAddr { obj, off: 1 }, RtVal::Int(1));
+        assert_eq!(
+            fork.dirty_cells(),
+            0,
+            "worker-local objects die with the fork"
+        );
     }
 
     #[test]

@@ -23,8 +23,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use pspdg_ir::{BlockId, CmpOp, FuncId, Inst, InstId, LoopId, Value};
-use pspdg_parallel::{DataClause, ParallelProgram, ReductionOp};
+use pspdg_ir::{BinOp, BlockId, CmpOp, FuncId, Inst, InstId, Intrinsic, LoopId, Value};
+use pspdg_parallel::{DataClause, DirectiveKind, ParallelProgram, ReductionOp};
 use pspdg_pdg::{base_of_varref, DepKind, FunctionAnalyses, MemBase, Pdg};
 
 use crate::plan::{LoopPlanSpec, PlannedTechnique, ProgramPlan};
@@ -49,6 +49,35 @@ pub struct ChunkedLoop {
     /// Reduction bases with their merge operators: worker copies start at
     /// the operator identity and partial results merge in chunk order.
     pub reductions: Vec<(MemBase, ReductionOp)>,
+    /// Surviving critical/atomic updates, validated as *deferrable*
+    /// read-modify-writes: each worker logs one `(address, op, operand)`
+    /// instance per dynamic execution of the store, and the master replays
+    /// the logged instances in chunk order at commit time — a
+    /// deterministic serialization equal to sequential iteration order,
+    /// so protected cells finish **bit-identical** to the sequential
+    /// interpreter (see [`CriticalUpdate`]).
+    pub criticals: Vec<CriticalUpdate>,
+    /// Bases touched only inside the critical/atomic regions (within the
+    /// loop). Their fork-local values are *discarded* at commit; their
+    /// sole committed mutations are the replayed [`CriticalUpdate`]s.
+    pub protected: Vec<MemBase>,
+}
+
+/// One store inside a surviving critical/atomic region, proven to be a
+/// pure read-modify-write `*p = *p ⟨op⟩ operand` whose feedback value
+/// never escapes the update chain. Executing the region in a forked
+/// worker is then safe: everything except the protected cells is real,
+/// and the protected mutation is captured as a *delta* the master replays
+/// serially at commit — the runtime realization of the PS-PDG's
+/// first-class (orderless, mutually exclusive) atomic-update semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriticalUpdate {
+    /// The protected store instruction (the worker's log trigger).
+    pub store: InstId,
+    /// RMW operator (`Add`, `Sub`, or `Mul`).
+    pub op: BinOp,
+    /// The non-feedback operand, evaluated in the worker at store time.
+    pub operand: Value,
 }
 
 /// A pipelined loop: each instruction belongs to a stage; stage 0 drives
@@ -100,6 +129,11 @@ pub struct LoopSchedule {
     /// The planned technique this schedule realizes (`DOALL`, `HELIX`,
     /// `DSWP`).
     pub planned: &'static str,
+    /// Static instruction count of the loop body (all loop blocks) — the
+    /// size term of the runtime's activation cost model: an activation
+    /// whose `trip × body_insts` falls below the runtime's threshold
+    /// skips parallel setup entirely.
+    pub body_insts: u32,
     /// The executable lowering.
     pub exec: LoopExec,
 }
@@ -245,12 +279,19 @@ impl<'a> FuncRealizer<'a> {
     fn lower(&self, spec: &LoopPlanSpec) -> LoopSchedule {
         let l = spec.loop_id;
         let info = self.analyses.forest.info(l);
+        let f = self.program.module.function(self.func);
+        let body_insts: u32 = info
+            .blocks
+            .iter()
+            .map(|bb| f.block(*bb).insts.len() as u32)
+            .sum();
         let mk = |exec: LoopExec| LoopSchedule {
             func: self.func,
             loop_id: l,
             header: info.header,
             blocks: info.blocks.clone(),
             planned: spec.technique.name(),
+            body_insts,
             exec,
         };
         let seq = |reason: &str| {
@@ -260,16 +301,16 @@ impl<'a> FuncRealizer<'a> {
         };
 
         let loop_insts: BTreeSet<InstId> = self.analyses.loop_insts(l).into_iter().collect();
-        // Surviving mutual exclusion inside the body: the runtime's forked
-        // heaps cannot express cross-worker locking, so serialize.
-        if loop_insts.iter().any(|i| self.mutex_insts.contains(i)) {
-            return seq("mutual exclusion inside the loop body");
-        }
+        // Surviving mutual exclusion inside the body. Chunked DOALL can
+        // still execute it when every protected mutation is a deferrable
+        // RMW (logged by the workers, replayed serially by the master at
+        // commit — see [`CriticalUpdate`]); pipelines cannot, and
+        // anything the deferral analysis rejects serializes.
+        let has_mutex = loop_insts.iter().any(|i| self.mutex_insts.contains(i));
         // Register live-outs: the master resumes at the exit block without
         // the workers' register files, so loop-defined registers must die
         // inside the loop. (Front-end output always passes loop results
         // through memory; this guards hand-built IR.)
-        let f = self.program.module.function(self.func);
         for i in f.inst_ids() {
             let Some(bb) = self.owner[i.index()] else {
                 continue;
@@ -291,8 +332,25 @@ impl<'a> FuncRealizer<'a> {
                 let Some(canon) = self.analyses.canonical_of(l) else {
                     return seq("DOALL loop is not canonical");
                 };
+                // Surviving critical/atomic regions: prove every protected
+                // mutation deferrable, or serialize.
+                let (criticals, protected) = if has_mutex {
+                    match self.deferred_criticals(&loop_insts, info) {
+                        Ok(pair) => pair,
+                        Err(reason) => return seq(reason),
+                    }
+                } else {
+                    (Vec::new(), BTreeSet::new())
+                };
+                let iv_base = MemBase::Alloca(canon.iv_alloca);
+                if protected.contains(&iv_base) {
+                    return seq("critical region protects the induction variable");
+                }
                 let mut reductions = Vec::new();
                 for base in &spec.reduction_bases {
+                    if protected.contains(base) {
+                        return seq("reduction base inside a critical region");
+                    }
                     match self.red_ops.get(base) {
                         Some(ReductionOp::Custom { .. }) => {
                             return seq("custom reduction merge function")
@@ -306,10 +364,14 @@ impl<'a> FuncRealizer<'a> {
                 // histogram): last-writer commit would drop contributions,
                 // so they must be recognizably accumulative — then the
                 // forks start from the operator identity and merge exactly
-                // like a declared reduction.
-                let iv_base = MemBase::Alloca(canon.iv_alloca);
+                // like a declared reduction. Bases protected by a critical
+                // region are excluded: their carried flow is discharged by
+                // the commit-time replay instead.
                 for base in &spec.ignored_bases {
-                    if *base == iv_base || spec.reduction_bases.contains(base) {
+                    if *base == iv_base
+                        || spec.reduction_bases.contains(base)
+                        || protected.contains(base)
+                    {
                         continue;
                     }
                     let carried_flow = self.pdg().carried_edges(l).any(|e| {
@@ -335,7 +397,16 @@ impl<'a> FuncRealizer<'a> {
                     bound: canon.bound.0,
                     body_entry: canon.body_entry,
                     reductions,
+                    criticals,
+                    protected: protected.into_iter().collect(),
                 }))
+            }
+            PlannedTechnique::Dswp { stage_of, stages } if has_mutex => {
+                let _ = (stage_of, stages);
+                seq("mutual exclusion inside a pipelined loop")
+            }
+            PlannedTechnique::Helix { .. } if has_mutex => {
+                seq("mutual exclusion inside a HELIX loop")
             }
             PlannedTechnique::Dswp { stage_of, stages } => {
                 let stage_of: HashMap<InstId, u32> =
@@ -358,6 +429,178 @@ impl<'a> FuncRealizer<'a> {
                 }
             }
         }
+    }
+
+    /// Prove the loop's surviving critical/atomic regions *deferrable*, so
+    /// a chunked DOALL activation can execute them without a lock. The
+    /// contract, checked here and relied on by the runtime:
+    ///
+    /// 1. every surviving-mutex instruction of the loop belongs to a
+    ///    `critical`/`atomic` directive region entirely inside the loop;
+    /// 2. regions contain no calls, allocations, returns, or `print_*`
+    ///    intrinsics (their effects could not be deferred);
+    /// 3. the *protected bases* — bases stored to inside a region — are
+    ///    resolvable (no `Unknown`) and untouched by any loop instruction
+    ///    outside the regions, so protected cells influence nothing a
+    ///    worker computes;
+    /// 4. every region store is a read-modify-write `*p = *p ⟨op⟩ e` with
+    ///    `op ∈ {+,-,×}` whose feedback load shares the store's pointer,
+    ///    every region load of a protected base *is* such a feedback load,
+    ///    and feedback values flow only into their own update chain.
+    ///
+    /// Under 1–4 a worker executes regions normally on its fork (all
+    /// non-protected dataflow — addresses, operands, branches — is exactly
+    /// sequential), logs one `(address, op, e)` delta per store instance,
+    /// and the master replays the deltas in chunk order = sequential
+    /// iteration order, leaving protected cells bit-identical to the
+    /// sequential interpreter.
+    fn deferred_criticals(
+        &self,
+        loop_insts: &BTreeSet<InstId>,
+        info: &pspdg_ir::loops::LoopInfo,
+    ) -> Result<(Vec<CriticalUpdate>, BTreeSet<MemBase>), &'static str> {
+        let f = self.program.module.function(self.func);
+        let loop_mutex: BTreeSet<InstId> = loop_insts
+            .iter()
+            .copied()
+            .filter(|i| self.mutex_insts.contains(i))
+            .collect();
+        // Collect the critical/atomic regions overlapping the surviving
+        // mutex instructions.
+        let mut region_insts: BTreeSet<InstId> = BTreeSet::new();
+        let mut region_stores: Vec<InstId> = Vec::new();
+        for (_, d) in self.program.directives_in(self.func) {
+            if !matches!(
+                d.kind,
+                DirectiveKind::Critical { .. } | DirectiveKind::Atomic
+            ) {
+                continue;
+            }
+            let insts: BTreeSet<InstId> = d
+                .region
+                .blocks
+                .iter()
+                .flat_map(|bb| f.block(*bb).insts.iter().copied())
+                .collect();
+            if insts.is_disjoint(&loop_mutex) {
+                continue;
+            }
+            if d.region.blocks.iter().any(|bb| !info.contains(*bb)) {
+                return Err("critical region extends beyond the loop");
+            }
+            region_insts.extend(&insts);
+            for &i in &insts {
+                match &f.inst(i).inst {
+                    Inst::Call { .. } => return Err("call inside a critical region"),
+                    Inst::Alloca { .. } => return Err("allocation inside a critical region"),
+                    Inst::Ret { .. } => return Err("return inside a critical region"),
+                    Inst::IntrinsicCall {
+                        intrinsic: Intrinsic::PrintI64 | Intrinsic::PrintF64,
+                        ..
+                    } => return Err("print inside a critical region"),
+                    Inst::Store { .. } => region_stores.push(i),
+                    _ => {}
+                }
+            }
+        }
+        if !loop_mutex.is_subset(&region_insts) {
+            return Err("surviving mutex outside any critical/atomic region");
+        }
+        // Protected bases: everything stored to inside the regions.
+        let mut protected: BTreeSet<MemBase> = BTreeSet::new();
+        for &i in &region_stores {
+            let Inst::Store { ptr, .. } = &f.inst(i).inst else {
+                unreachable!()
+            };
+            let base = pspdg_pdg::trace_base(f, *ptr);
+            if matches!(base, MemBase::Unknown) {
+                return Err("critical store to an unresolvable base");
+            }
+            protected.insert(base);
+        }
+        // Every region store is a deferrable RMW. `feedback_of` /
+        // `store_of` record each chain's *owner*, so the escape scan
+        // below can insist a feedback value feeds only its own update
+        // and an update value only its own store — a load serving as
+        // feedback for one store and operand of another would replay
+        // with a fork-local (non-sequential) value.
+        let mut updates = Vec::new();
+        let mut feedback_of: BTreeMap<InstId, InstId> = BTreeMap::new();
+        let mut store_of: BTreeMap<InstId, InstId> = BTreeMap::new();
+        for &i in &region_stores {
+            let Inst::Store { ptr, value } = &f.inst(i).inst else {
+                unreachable!()
+            };
+            let Some(vi) = value.as_inst() else {
+                return Err("critical store is not a read-modify-write");
+            };
+            let Inst::Binary { op, lhs, rhs } = &f.inst(vi).inst else {
+                return Err("critical store is not a read-modify-write");
+            };
+            if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
+                return Err("critical update operator is not +, -, or *");
+            }
+            let feeds_back = |v: Value| -> Option<InstId> {
+                let li = v.as_inst()?;
+                match &f.inst(li).inst {
+                    Inst::Load { ptr: lp, .. } if lp == ptr && region_insts.contains(&li) => {
+                        Some(li)
+                    }
+                    _ => None,
+                }
+            };
+            let (fb, operand) = match (feeds_back(*lhs), feeds_back(*rhs)) {
+                (Some(fl), None) => (fl, *rhs),
+                (None, Some(fr)) if !matches!(op, BinOp::Sub) => (fr, *lhs),
+                _ => return Err("critical update has no unique feedback load"),
+            };
+            if feedback_of.insert(fb, vi).is_some() {
+                return Err("critical feedback load shared between updates");
+            }
+            if store_of.insert(vi, i).is_some() {
+                return Err("critical update value shared between stores");
+            }
+            updates.push(CriticalUpdate {
+                store: i,
+                op: *op,
+                operand,
+            });
+        }
+        let feedback_loads: BTreeSet<InstId> = feedback_of.keys().copied().collect();
+        // Every region load of a protected base is one of the feedback
+        // loads; protected bases are untouched outside the regions.
+        for &i in loop_insts {
+            let base = match &f.inst(i).inst {
+                Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => pspdg_pdg::trace_base(f, *ptr),
+                _ => continue,
+            };
+            if !protected.contains(&base) {
+                continue;
+            }
+            let in_region = region_insts.contains(&i);
+            let is_load = matches!(f.inst(i).inst, Inst::Load { .. });
+            match (in_region, is_load) {
+                (true, true) if feedback_loads.contains(&i) => {}
+                (true, true) => return Err("critical load of a protected base is not a feedback"),
+                (true, false) => {} // validated as an RMW store above
+                (false, _) => return Err("protected base accessed outside the critical region"),
+            }
+        }
+        // Feedback values flow only into *their own* update; update
+        // values only into *their own* store (so protected data never
+        // escapes its chain — not even into a sibling chain's operand).
+        for i in f.inst_ids() {
+            for v in f.inst(i).inst.operands() {
+                let Value::Inst(d) = v else { continue };
+                if feedback_of.get(&d).is_some_and(|owner| *owner != i) {
+                    return Err("critical feedback value escapes its update");
+                }
+                if store_of.get(&d).is_some_and(|owner| *owner != i) {
+                    return Err("critical update value escapes its store");
+                }
+            }
+        }
+        Ok((updates, protected))
     }
 
     /// Recognize a pure accumulator over `base` inside the loop: every
@@ -726,7 +969,7 @@ mod tests {
     }
 
     #[test]
-    fn surviving_mutex_forces_sequential() {
+    fn surviving_atomic_rmw_defers_to_commit_replay() {
         let (p, plan) = plan_of(
             r#"
             int key[128]; int hist[16];
@@ -745,11 +988,110 @@ mod tests {
         assert!(!plan.mutexes.is_empty(), "the atomic must survive");
         let exec = realize_executable(&p, &plan);
         let s = exec.schedules()[0];
-        assert!(
-            matches!(s.exec, LoopExec::Sequential { .. }),
-            "mutex-bearing DOALL must serialize: {:?}",
-            s.exec
+        match &s.exec {
+            LoopExec::Chunked(c) => {
+                assert_eq!(c.criticals.len(), 1, "one deferred RMW store");
+                assert_eq!(c.criticals[0].op, BinOp::Add);
+                assert_eq!(
+                    c.protected,
+                    vec![MemBase::Global(pspdg_ir::GlobalId(1))],
+                    "hist is the protected base"
+                );
+            }
+            other => panic!("deferrable atomic must still chunk: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn critical_with_escaping_read_falls_back_to_sequential() {
+        // The critical reads the protected cell into a normal store —
+        // the value escapes the RMW chain, so deferral must refuse.
+        let (p, plan) = plan_of(
+            r#"
+            int key[128]; int hist[16]; int seen[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical
+                    { seen[i] = hist[key[i]]; hist[key[i]] += 1; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
         );
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        if !plan.mutexes.is_empty() {
+            assert!(
+                matches!(s.exec, LoopExec::Sequential { .. }),
+                "escaping protected read must serialize: {:?}",
+                s.exec
+            );
+        }
+    }
+
+    #[test]
+    fn critical_value_feeding_sibling_update_falls_back() {
+        // Two protected chains where one update's operand reads the
+        // other chain's base: the worker would log fork-local (non-
+        // sequential) operand values, so deferral must refuse.
+        let (p, plan) = plan_of(
+            r#"
+            int v[128]; int s; int t;
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical
+                    { s += v[i]; t += s; }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        if !plan.mutexes.is_empty() {
+            assert!(
+                matches!(s.exec, LoopExec::Sequential { .. }),
+                "cross-chain protected read must serialize: {:?}",
+                s.exec
+            );
+        }
+    }
+
+    #[test]
+    fn mutex_in_pipelined_loop_still_serializes() {
+        // A recurrence keeps the loop off the DOALL path; the surviving
+        // atomic then forbids the pipeline lowering too.
+        let (p, plan) = plan_of(
+            r#"
+            int t; int v[256]; int w[256]; int s;
+            void k() {
+                int i;
+                for (i = 0; i < 256; i++) {
+                    t = t + v[i];
+                    w[i] = t * 2;
+                    #pragma omp atomic
+                    s += v[i];
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        for s in exec.schedules() {
+            assert!(
+                !matches!(s.exec, LoopExec::Pipeline(_)),
+                "mutex-bearing loop must not pipeline: {:?}",
+                s.exec
+            );
+        }
+        let _ = plan;
     }
 
     #[test]

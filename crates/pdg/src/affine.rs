@@ -32,7 +32,7 @@ const INLINE_TERMS: usize = 4;
 ///
 /// Replaces the per-pair `BTreeMap`s the dependence tester used to build:
 /// terms are kept sorted by key in a fixed inline array (spilling to a
-/// `Vec` only past [`INLINE_TERMS`] entries), so `test_dependence`'s
+/// `Vec` only past `INLINE_TERMS` (4) entries), so `test_dependence`'s
 /// merge walks run over contiguous memory and constructing a form performs
 /// no allocation at all in the common case.
 #[derive(Debug, Clone)]

@@ -6,45 +6,81 @@
 //! [`ExecutablePlan`] and either
 //!
 //! * **chunks** a DOALL loop — the iteration space splits into one range
-//!   per worker, each worker runs its range on a *forked heap* recording a
-//!   write log, and the master commits the logs back in chunk order
-//!   (reduction bases start from the operator identity in each fork and
-//!   merge with the declared operator);
+//!   per worker, each worker runs its range on a *copy-on-write forked
+//!   heap* that tracks written cells, and the master commits the forks'
+//!   dirty sets back in chunk order (reduction bases start from the
+//!   operator identity in each fork and merge with the declared
+//!   operator; deferred critical updates replay serially — see below);
 //! * **pipelines** a DSWP loop — one thread per stage connected by bounded
 //!   channels; stage 0 drives real control flow and records the block path
 //!   of each iteration, later stages replay the path executing only their
 //!   own instructions, and the cumulative write log reaches the master in
 //!   iteration order;
 //! * **falls back** to sequential execution (HELIX plans, non-canonical
-//!   loops, trips too short to split, or any safety condition the
-//!   realization or the runtime itself could not discharge).
+//!   loops, trips too short — or too cheap, under the activation cost
+//!   model — to split, or any safety condition the realization or the
+//!   runtime itself could not discharge), recording *why* in
+//!   [`FallbackCounts`].
+//!
+//! ## Execution substrate
+//!
+//! Three mechanisms keep per-activation overhead low enough for measured
+//! speedups to track predicted parallelism:
+//!
+//! * a **persistent worker pool** ([`crate::pool::WorkerPool`]) created
+//!   once per [`Runtime`] — activations enqueue jobs instead of spawning
+//!   OS threads;
+//! * **copy-on-write heap forks** — [`MemState::fork`] shares pages and
+//!   tracks written cells, so forking is O(pages) and commit walks only
+//!   the cells a worker actually wrote
+//!   ([`MemState::for_each_dirty`]);
+//! * an **activation cost model** — `trip × body_insts` below
+//!   [`Runtime::cost_threshold`] skips parallel setup entirely.
 //!
 //! ## Safety argument (why chunked DOALL is sound)
 //!
 //! A loop is only scheduled `Chunked` when the plan proved (or the
 //! programmer declared) that every cross-iteration dependence flows
 //! through a *discharged* base: the induction variable (recomputed per
-//! chunk), a privatized object (each fork has its own copy), or a
-//! reduction (merged associatively at commit). All remaining writes of
-//! distinct iterations target distinct cells, so per-cell last-writer-wins
-//! commit in chunk order reproduces exactly the sequential final memory;
-//! worker-local stack objects (callee frames) are dropped at commit. Any
-//! run-time surprise — irregular control leaving the loop, a fault inside
-//! a worker — discards every fork untouched and re-runs the loop
-//! sequentially on the master heap, so faulting programs behave exactly
-//! as they do under the sequential interpreter. Parallel floating-point
-//! reductions are deterministic (fixed chunk count, chunk-order merge)
-//! but associate differently from the sequential loop, like any real
-//! OpenMP reduction.
+//! chunk), a privatized object (each fork has its own copy), a
+//! reduction (merged associatively at commit), or a critical/atomic
+//! region's protected base (mutated only through deferred
+//! read-modify-writes the master replays serially — see below). All
+//! remaining writes of distinct iterations target distinct cells, so
+//! per-cell last-writer-wins commit in chunk order reproduces exactly the
+//! sequential final memory; worker-local stack objects (callee frames)
+//! are dropped at commit. Any run-time surprise — irregular control
+//! leaving the loop, a fault inside a worker, a fault while replaying
+//! criticals — discards every fork (and the staging heap) untouched and
+//! re-runs the loop sequentially on the master heap, so faulting programs
+//! behave exactly as they do under the sequential interpreter. Parallel
+//! floating-point reductions are deterministic (fixed chunk count,
+//! chunk-order merge) but associate differently from the sequential loop,
+//! like any real OpenMP reduction.
+//!
+//! ## Critical sections: commit-time replay
+//!
+//! A surviving `critical`/`atomic` region no longer forces the whole loop
+//! sequential. When the realization proves every protected mutation is a
+//! deferrable read-modify-write
+//! ([`pspdg_parallelizer::CriticalUpdate`]), workers execute the region
+//! normally on their forks but additionally log one `(address, op,
+//! operand)` delta per protected store; the protected objects' fork-local
+//! cells are *discarded* at commit and the master replays the logged
+//! deltas in chunk order — which equals sequential iteration order — so
+//! the protected cells finish **bit-identical** to the sequential
+//! interpreter (even for floats: the replay preserves sequential
+//! association).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 use pspdg_ir::interp::{
     const_val, eval_binop, eval_cast, eval_cmp, eval_intrinsic, eval_unop, ExecError, MemAddr,
     MemState, ObjOrigin, RtVal,
 };
 use pspdg_ir::loops::trip_count_from;
-use pspdg_ir::{BlockId, FuncId, Function, Inst, InstId, Module, Value};
+use pspdg_ir::{BinOp, BlockId, FuncId, Function, Inst, InstId, Module, Value};
 use pspdg_parallel::{ParallelProgram, ReductionOp};
 use pspdg_parallelizer::{
     realize_executable, ChunkedLoop, ExecutablePlan, LoopExec, LoopSchedule, PipelineLoop,
@@ -53,9 +89,79 @@ use pspdg_parallelizer::{
 use pspdg_pdg::MemBase;
 
 use crate::channel::Channel;
+use crate::pool::WorkerPool;
 
 /// In-flight packets per pipeline stage link (the DSWP decoupling buffer).
 const PIPE_CAPACITY: usize = 8;
+
+/// Default [`Runtime::cost_threshold`]: activations whose estimated
+/// dynamic size (`trip × body_insts`) falls below this skip parallel
+/// setup. Roughly the break-even point where fork + dispatch + commit
+/// overhead matches the interpreter's work on one chunk.
+pub const DEFAULT_COST_THRESHOLD: u64 = 4096;
+
+/// Default [`Runtime::pipeline_min_body`]: pipelines pay a channel hop
+/// per iteration, so bodies below this static instruction count are not
+/// worth decoupling.
+pub const DEFAULT_PIPELINE_MIN_BODY: u32 = 24;
+
+/// Why a loop activation executed sequentially instead of in parallel —
+/// one counter per cause, so predicted-vs-measured reports can say *why*
+/// a kernel fell short (see [`RunStats::fallbacks`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FallbackCounts {
+    /// The plan itself scheduled the loop sequential (realization-time
+    /// reason recorded in the [`LoopSchedule`]).
+    pub scheduled_sequential: u64,
+    /// Trip count under 2 (or fewer chunks than 2) — nothing to split.
+    pub short_trip: u64,
+    /// The runtime has a single worker, so no activation can split.
+    pub single_worker: u64,
+    /// The host has a single hardware lane: decoupled pipeline stages
+    /// would timeshare one core plus channel-hop overhead.
+    pub single_lane: u64,
+    /// The activation cost model predicted parallel setup would cost more
+    /// than it saves (`trip × body_insts` under the threshold).
+    pub below_cost_threshold: u64,
+    /// The loop bound (or induction slot) could not be evaluated at the
+    /// header, or a reduction/protected base had no live object.
+    pub unevaluable: u64,
+    /// A worker observed control leaving the loop irregularly.
+    pub irregular_control: u64,
+    /// A worker faulted; the sequential re-run reproduces the fault in
+    /// sequential order.
+    pub worker_fault: u64,
+    /// Replaying deferred critical updates faulted; the sequential re-run
+    /// reproduces the fault in order.
+    pub replay_fault: u64,
+    /// A pipeline needed more stage threads than the pool has workers
+    /// even after stage compression (fewer than two effective stages).
+    pub pipeline_overflow: u64,
+    /// A pipeline stage aborted (fault or unreplayable control).
+    pub pipeline_abort: u64,
+}
+
+impl FallbackCounts {
+    /// `(reason, count)` pairs for the non-zero counters, in field order.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        [
+            ("scheduled_sequential", self.scheduled_sequential),
+            ("short_trip", self.short_trip),
+            ("single_worker", self.single_worker),
+            ("single_lane", self.single_lane),
+            ("below_cost_threshold", self.below_cost_threshold),
+            ("unevaluable", self.unevaluable),
+            ("irregular_control", self.irregular_control),
+            ("worker_fault", self.worker_fault),
+            ("replay_fault", self.replay_fault),
+            ("pipeline_overflow", self.pipeline_overflow),
+            ("pipeline_abort", self.pipeline_abort),
+        ]
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .collect()
+    }
+}
 
 /// Dynamic execution counters of one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,9 +170,67 @@ pub struct RunStats {
     pub chunked_loops: u64,
     /// Loop activations executed as a stage pipeline.
     pub pipelined_loops: u64,
-    /// Loop activations that fell back to sequential execution (scheduled
-    /// sequential, short trips, or aborted parallel attempts).
+    /// Loop activations that fell back to sequential execution (the sum
+    /// of [`RunStats::fallbacks`]).
     pub sequential_fallbacks: u64,
+    /// Per-cause breakdown of `sequential_fallbacks`.
+    pub fallbacks: FallbackCounts,
+    /// Jobs handed to the persistent worker pool (chunk workers plus
+    /// pipeline stages across all activations — pool reuse means this can
+    /// far exceed the pool size without spawning a single thread).
+    pub pool_dispatches: u64,
+    /// Deferred critical/atomic update instances replayed at commit time.
+    pub critical_replays: u64,
+    /// Cells committed from worker forks (the dirty-set walk — compare
+    /// with `cow_pages × 64` for per-page write density).
+    pub fork_cells_committed: u64,
+    /// Heap pages privately materialized by copy-on-write across all
+    /// worker forks (`× PAGE_BYTES` ≈ bytes actually copied; everything
+    /// else was shared).
+    pub cow_pages: u64,
+}
+
+impl RunStats {
+    /// Approximate bytes of heap actually copied for worker forks
+    /// (copy-on-write pages materialized × page payload size). Before
+    /// CoW forks this was the whole heap per worker per activation.
+    pub fn fork_bytes(&self) -> u64 {
+        self.cow_pages * pspdg_ir::interp::PAGE_BYTES as u64
+    }
+}
+
+/// A chunk worker's view of the loop's deferred critical updates: the
+/// function owning the protected stores, and each store's operator and
+/// non-feedback operand.
+type CritUpdates<'a> = (FuncId, &'a HashMap<InstId, (BinOp, Value)>);
+
+/// Hardware threads available to this process (cached). The pipeline
+/// cost gate uses it: decoupled stages cannot outrun sequential
+/// execution while timesharing a single core.
+fn hardware_lanes() -> usize {
+    static LANES: OnceLock<usize> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Why a parallel attempt fell back (maps onto one [`FallbackCounts`]
+/// field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FallbackWhy {
+    ScheduledSequential,
+    ShortTrip,
+    SingleWorker,
+    SingleLane,
+    BelowCostThreshold,
+    Unevaluable,
+    Irregular,
+    WorkerFault,
+    ReplayFault,
+    PipelineOverflow,
+    PipelineAbort,
 }
 
 /// The result of one runtime execution.
@@ -85,11 +249,22 @@ pub struct RunOutcome {
 }
 
 /// The plan-driven parallel runtime for one program.
+///
+/// Holds the lowered plan, the tuning knobs of the activation cost model,
+/// and the **persistent worker pool**: the pool's threads are created on
+/// the first parallel activation and reused by every later one (across
+/// `run` calls too), so activation-heavy kernels no longer pay a
+/// thread-spawn per loop entry.
 pub struct Runtime<'p> {
     program: &'p ParallelProgram,
     plan: ExecutablePlan,
     workers: usize,
     fuel: u64,
+    cost_threshold: u64,
+    pipeline_min_body: u32,
+    /// Created lazily on the first parallel activation; lives as long as
+    /// the `Runtime`.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl<'p> Runtime<'p> {
@@ -107,14 +282,20 @@ impl<'p> Runtime<'p> {
             plan,
             workers: rayon::current_num_threads().max(1),
             fuel: 1 << 48,
+            cost_threshold: DEFAULT_COST_THRESHOLD,
+            pipeline_min_body: DEFAULT_PIPELINE_MIN_BODY,
+            pool: OnceLock::new(),
         }
     }
 
     /// Override the worker count. Chunked loops split into at most this
-    /// many ranges; pipelines whose stage count exceeds it fall back to
-    /// sequential execution.
+    /// many ranges; pipelines compress their stages down to it (and fall
+    /// back to sequential execution if fewer than two stages remain).
+    /// Resets the worker pool; the next parallel activation re-creates it
+    /// at the new width.
     pub fn workers(mut self, n: usize) -> Runtime<'p> {
         self.workers = n.max(1);
+        self.pool = OnceLock::new();
         self
     }
 
@@ -122,6 +303,26 @@ impl<'p> Runtime<'p> {
     /// the budget is approximate: each worker checks it independently.
     pub fn fuel(mut self, fuel: u64) -> Runtime<'p> {
         self.fuel = fuel;
+        self
+    }
+
+    /// Override the activation cost model's threshold
+    /// ([`DEFAULT_COST_THRESHOLD`]): a chunked activation runs in
+    /// parallel only when `trip × body_insts` reaches the threshold.
+    /// `0` disables the gate (every eligible activation parallelizes).
+    pub fn cost_threshold(mut self, threshold: u64) -> Runtime<'p> {
+        self.cost_threshold = threshold;
+        self
+    }
+
+    /// Override the pipeline body-size floor
+    /// ([`DEFAULT_PIPELINE_MIN_BODY`]): loops with fewer static body
+    /// instructions are not worth one channel hop per iteration. `0`
+    /// disables the gate entirely, including its hardware-lane check
+    /// (pipelines then run even on a single-core host — useful for
+    /// exercising the pipeline paths in tests).
+    pub fn pipeline_min_body(mut self, min_body: u32) -> Runtime<'p> {
+        self.pipeline_min_body = min_body;
         self
     }
 
@@ -133,6 +334,18 @@ impl<'p> Runtime<'p> {
     /// Static realization counts.
     pub fn realization(&self) -> RealizationStats {
         self.plan.stats()
+    }
+
+    /// The persistent worker pool (created on first use).
+    fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::new(self.workers))
+    }
+
+    /// OS thread identities of the persistent worker pool (creating it if
+    /// needed). Stable across activations *and* across `run` calls —
+    /// regression tests assert the same threads serve every activation.
+    pub fn worker_thread_ids(&self) -> Vec<std::thread::ThreadId> {
+        self.pool().thread_ids()
     }
 
     /// Execute the program's `main`.
@@ -164,12 +377,17 @@ impl<'p> Runtime<'p> {
         let mut engine = Engine {
             module: &self.program.module,
             plan: Some(&self.plan),
+            pool: (self.workers >= 2).then(|| self.pool()),
             workers: self.workers,
+            cost_threshold: self.cost_threshold,
+            pipeline_min_body: self.pipeline_min_body,
             mem: MemState::for_module(&self.program.module),
             output: Vec::new(),
             steps: 0,
             fuel: self.fuel,
             log: None,
+            crit: None,
+            crit_log: Vec::new(),
             stats: RunStats::default(),
         };
         let ret = engine.exec_function(func, args.to_vec())?;
@@ -212,17 +430,47 @@ enum ParAbort {
 struct Engine<'a> {
     module: &'a Module,
     plan: Option<&'a ExecutablePlan>,
+    /// The persistent worker pool (master only, with ≥ 2 workers).
+    pool: Option<&'a WorkerPool>,
     workers: usize,
+    cost_threshold: u64,
+    pipeline_min_body: u32,
     mem: MemState,
     output: Vec<String>,
     steps: u64,
     fuel: u64,
-    /// Write log (workers and stages only).
+    /// Ordered write log (pipeline stages only; chunk workers commit
+    /// through the fork's dirty set instead).
     log: Option<Vec<(MemAddr, RtVal)>>,
+    /// Deferred critical updates of the active chunked loop (chunk
+    /// workers only).
+    crit: Option<CritUpdates<'a>>,
+    /// Logged critical instances `(address, op, operand value)` in
+    /// execution order (chunk workers only).
+    crit_log: Vec<(MemAddr, BinOp, RtVal)>,
     stats: RunStats,
 }
 
 impl<'a> Engine<'a> {
+    /// Record one sequential fallback and its cause.
+    fn note_fallback(&mut self, why: FallbackWhy) {
+        self.stats.sequential_fallbacks += 1;
+        let c = &mut self.stats.fallbacks;
+        match why {
+            FallbackWhy::ScheduledSequential => c.scheduled_sequential += 1,
+            FallbackWhy::ShortTrip => c.short_trip += 1,
+            FallbackWhy::SingleWorker => c.single_worker += 1,
+            FallbackWhy::SingleLane => c.single_lane += 1,
+            FallbackWhy::BelowCostThreshold => c.below_cost_threshold += 1,
+            FallbackWhy::Unevaluable => c.unevaluable += 1,
+            FallbackWhy::Irregular => c.irregular_control += 1,
+            FallbackWhy::WorkerFault => c.worker_fault += 1,
+            FallbackWhy::ReplayFault => c.replay_fault += 1,
+            FallbackWhy::PipelineOverflow => c.pipeline_overflow += 1,
+            FallbackWhy::PipelineAbort => c.pipeline_abort += 1,
+        }
+    }
+
     fn exec_function(
         &mut self,
         func_id: FuncId,
@@ -248,10 +496,9 @@ impl<'a> Engine<'a> {
                     if let Some(sched) = plan.schedule_at(func_id, block) {
                         match &sched.exec {
                             LoopExec::Chunked(c) => {
-                                if self.run_chunked(func_id, f, &mut frame, sched, c)? {
-                                    self.stats.chunked_loops += 1;
-                                } else {
-                                    self.stats.sequential_fallbacks += 1;
+                                match self.run_chunked(func_id, f, &mut frame, sched, c)? {
+                                    None => self.stats.chunked_loops += 1,
+                                    Some(why) => self.note_fallback(why),
                                 }
                                 // Either way the master now executes the
                                 // header sequentially (a completed chunked
@@ -260,19 +507,19 @@ impl<'a> Engine<'a> {
                             }
                             LoopExec::Pipeline(p) => {
                                 match self.run_pipeline(func_id, f, &mut frame, sched, p)? {
-                                    Some(exit) => {
+                                    Ok(exit) => {
                                         self.stats.pipelined_loops += 1;
                                         block = exit;
                                         continue;
                                     }
-                                    None => {
-                                        self.stats.sequential_fallbacks += 1;
+                                    Err(why) => {
+                                        self.note_fallback(why);
                                         no_par.push(block);
                                     }
                                 }
                             }
                             LoopExec::Sequential { .. } => {
-                                self.stats.sequential_fallbacks += 1;
+                                self.note_fallback(FallbackWhy::ScheduledSequential);
                                 no_par.push(block);
                             }
                         }
@@ -342,6 +589,17 @@ impl<'a> Engine<'a> {
                 self.mem.write(addr, v);
                 if let Some(log) = &mut self.log {
                     log.push((addr, v));
+                }
+                // A deferred critical store: the fork's write above is
+                // scratch (protected cells are discarded at commit); what
+                // commits is this delta, replayed serially by the master.
+                if let Some((crit_func, updates)) = self.crit {
+                    if crit_func == func_id {
+                        if let Some(&(op, operand)) = updates.get(&inst_id) {
+                            let e = self.eval(frame, operand);
+                            self.crit_log.push((addr, op, e));
+                        }
+                    }
                 }
             }
             Inst::Gep {
@@ -469,9 +727,25 @@ impl<'a> Engine<'a> {
 
     // ---- chunked DOALL ---------------------------------------------------
 
+    /// Resolve a discharged base to its live runtime object, if any.
+    fn resolve_base(&self, frame: &Frame, base: &MemBase) -> Option<pspdg_ir::interp::ObjId> {
+        match base {
+            MemBase::Global(g) => Some(self.mem.global_object(*g)),
+            MemBase::Alloca(i) => match frame.regs[i.index()] {
+                RtVal::Ptr { obj, .. } => Some(obj),
+                _ => None,
+            },
+            MemBase::Param(p) => match frame.args.get(*p) {
+                Some(RtVal::Ptr { obj, .. }) => Some(*obj),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
     /// Try to execute a chunked DOALL activation in parallel. Returns
-    /// `Ok(false)` (master state untouched) when the loop should instead
-    /// run sequentially.
+    /// `Ok(Some(why))` (master state untouched) when the loop should
+    /// instead run sequentially, `Ok(None)` on parallel success.
     #[allow(clippy::too_many_lines)]
     fn run_chunked(
         &mut self,
@@ -480,38 +754,46 @@ impl<'a> Engine<'a> {
         frame: &mut Frame,
         sched: &LoopSchedule,
         c: &ChunkedLoop,
-    ) -> Result<bool, ExecError> {
+    ) -> Result<Option<FallbackWhy>, ExecError> {
+        let Some(pool) = self.pool else {
+            return Ok(Some(FallbackWhy::SingleWorker));
+        };
         // Resolve the induction slot: its alloca must have executed.
         let RtVal::Ptr { obj: iv_obj, .. } = frame.regs[c.iv_alloca.index()] else {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::Unevaluable));
         };
         let iv_addr = MemAddr {
             obj: iv_obj,
             off: 0,
         };
         let Some(init) = self.mem.read(iv_addr).as_int() else {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::Unevaluable));
         };
         let Some(bound) = self.eval_bound(f, frame, sched, c) else {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::Unevaluable));
         };
         let trip = trip_count_from(init, bound, c.step, c.cmp_op);
         if trip < 2 {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::ShortTrip));
+        }
+        // Activation cost model: when the whole activation is cheaper
+        // than parallel setup (fork + dispatch + commit), run it inline.
+        if (trip as u64).saturating_mul(u64::from(sched.body_insts)) < self.cost_threshold {
+            return Ok(Some(FallbackWhy::BelowCostThreshold));
         }
         let chunks = self.workers.min(trip as usize);
         if chunks < 2 {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::ShortTrip));
         }
         // The final induction value must fail the continue predicate, or
         // sequential execution would keep looping (`!=` bounds that the
         // step jumps over).
         let final_iv = init as i128 + trip as i128 * c.step as i128;
         let Ok(final_iv) = i64::try_from(final_iv) else {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::Unevaluable));
         };
         if eval_cmp(c.cmp_op, RtVal::Int(final_iv), RtVal::Int(bound)) != Ok(false) {
-            return Ok(false);
+            return Ok(Some(FallbackWhy::Unevaluable));
         }
 
         // Reduction objects, with worker forks starting from the operator
@@ -520,25 +802,30 @@ impl<'a> Engine<'a> {
         // silently committing last-writer-wins.
         let mut red_objs: HashMap<u32, ReductionOp> = HashMap::new();
         for (base, op) in &c.reductions {
-            let obj = match base {
-                MemBase::Global(g) => Some(self.mem.global_object(*g)),
-                MemBase::Alloca(i) => match frame.regs[i.index()] {
-                    RtVal::Ptr { obj, .. } => Some(obj),
-                    _ => None,
-                },
-                MemBase::Param(p) => match frame.args.get(*p) {
-                    Some(RtVal::Ptr { obj, .. }) => Some(*obj),
-                    _ => None,
-                },
-                _ => None,
-            };
-            match obj {
+            match self.resolve_base(frame, base) {
                 Some(obj) => {
                     red_objs.insert(obj.0, *op);
                 }
-                None => return Ok(false),
+                None => return Ok(Some(FallbackWhy::Unevaluable)),
             }
         }
+        // Protected objects (deferred criticals): their fork-local cells
+        // are discarded at commit; only the replayed deltas mutate them.
+        let mut prot_objs: HashSet<u32> = HashSet::new();
+        for base in &c.protected {
+            match self.resolve_base(frame, base) {
+                Some(obj) => {
+                    prot_objs.insert(obj.0);
+                }
+                None => return Ok(Some(FallbackWhy::Unevaluable)),
+            }
+        }
+        let crit_map: HashMap<InstId, (BinOp, Value)> = c
+            .criticals
+            .iter()
+            .map(|u| (u.store, (u.op, u.operand)))
+            .collect();
+
         let mut fork_base = self.mem.clone();
         for (&obj, &op) in &red_objs {
             let obj = pspdg_ir::interp::ObjId(obj);
@@ -549,90 +836,131 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let fork_len = self.mem.len();
         let fuel_left = self.fuel.saturating_sub(self.steps);
         let ranges: Vec<(i64, i64)> = (0..chunks as i64)
             .map(|k| (trip * k / chunks as i64, trip * (k + 1) / chunks as i64))
             .collect();
 
         struct ChunkOut {
-            log: Vec<(MemAddr, RtVal)>,
+            mem: MemState,
+            crit_log: Vec<(MemAddr, BinOp, RtVal)>,
             output: Vec<String>,
             steps: u64,
         }
         let module = self.module;
-        let results: Vec<Result<ChunkOut, ParAbort>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(lo, hi)| {
-                    let fork = fork_base.clone();
-                    let regs = frame.regs.clone();
-                    let args = frame.args.clone();
-                    scope.spawn(move || {
-                        let mut worker = Engine {
-                            module,
-                            plan: None,
-                            workers: 1,
-                            mem: fork,
-                            output: Vec::new(),
-                            steps: 0,
-                            fuel: fuel_left,
-                            log: Some(Vec::new()),
-                            stats: RunStats::default(),
-                        };
-                        let mut wframe = Frame { regs, args };
+        let crit_map_ref = &crit_map;
+        let mut slots: Vec<Option<Result<ChunkOut, ParAbort>>> =
+            ranges.iter().map(|_| None).collect();
+        pool.scope(|scope| {
+            for (slot, &(lo, hi)) in slots.iter_mut().zip(&ranges) {
+                // O(pages) fork: pages stay shared until a worker writes
+                // them; the fork records which cells it writes.
+                let fork = fork_base.fork();
+                let regs = frame.regs.clone();
+                let args = frame.args.clone();
+                scope.spawn(move || {
+                    let mut worker = Engine {
+                        module,
+                        plan: None,
+                        pool: None,
+                        workers: 1,
+                        cost_threshold: 0,
+                        pipeline_min_body: 0,
+                        mem: fork,
+                        output: Vec::new(),
+                        steps: 0,
+                        fuel: fuel_left,
+                        log: None,
+                        crit: (!crit_map_ref.is_empty()).then_some((func_id, crit_map_ref)),
+                        crit_log: Vec::new(),
+                        stats: RunStats::default(),
+                    };
+                    let mut wframe = Frame { regs, args };
+                    let result = (|| -> Result<(), ParAbort> {
                         for iter in lo..hi {
                             worker.mem.write(iv_addr, RtVal::Int(init + iter * c.step));
                             worker.run_iteration(func_id, f, &mut wframe, sched)?;
                         }
-                        Ok(ChunkOut {
-                            log: worker.log.take().unwrap_or_default(),
-                            output: worker.output,
-                            steps: worker.steps,
-                        })
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("chunk worker panicked"))
-                .collect()
+                        Ok(())
+                    })();
+                    *slot = Some(result.map(|()| ChunkOut {
+                        mem: worker.mem,
+                        crit_log: std::mem::take(&mut worker.crit_log),
+                        output: std::mem::take(&mut worker.output),
+                        steps: worker.steps,
+                    }));
+                });
+            }
         });
-        let mut outs = Vec::with_capacity(results.len());
-        for r in results {
-            match r {
+        self.stats.pool_dispatches += ranges.len() as u64;
+        let mut outs = Vec::with_capacity(slots.len());
+        for s in slots {
+            match s.expect("pool scope joined every chunk") {
                 Ok(out) => outs.push(out),
                 // Fall back with the master heap untouched: the sequential
                 // re-run reproduces faults in sequential order.
-                Err(_) => return Ok(false),
+                Err(ParAbort::Irregular) => return Ok(Some(FallbackWhy::Irregular)),
+                Err(ParAbort::Exec(_)) => return Ok(Some(FallbackWhy::WorkerFault)),
             }
         }
 
-        // Commit in chunk order: per-cell last-writer-wins equals the
-        // sequential final state (see module-level safety argument);
-        // reduction cells merge their chunk-final values instead.
-        for out in outs {
-            let mut red_final: HashMap<MemAddr, RtVal> = HashMap::new();
-            for (addr, v) in out.log {
-                if addr.obj == iv_obj || addr.obj.index() >= fork_len {
-                    continue;
+        // Commit into a staging heap (an O(pages) clone) so a replay
+        // fault can still fall back with the master untouched. In chunk
+        // order: per-cell last-writer-wins over each fork's dirty set
+        // equals the sequential final state (see module-level safety
+        // argument); reduction cells merge their chunk-final values; the
+        // protected cells skip the dirty commit and receive the deferred
+        // critical deltas instead — chunk order = iteration order, so the
+        // replay is the exact sequential serialization.
+        let mut staging = self.mem.clone();
+        let mut committed = 0u64;
+        let mut replayed = 0u64;
+        let mut cow_pages = 0u64;
+        let mut replay_fault = false;
+        for out in &outs {
+            cow_pages += out.mem.cow_pages();
+            out.mem.for_each_dirty(|addr, v| {
+                if addr.obj == iv_obj || prot_objs.contains(&addr.obj.0) {
+                    return;
                 }
-                if red_objs.contains_key(&addr.obj.0) {
-                    red_final.insert(addr, v);
+                committed += 1;
+                if let Some(&op) = red_objs.get(&addr.obj.0) {
+                    let cur = staging.read(addr);
+                    staging.write(addr, reduction_merge(op, cur, v));
                 } else {
-                    self.mem.write(addr, v);
+                    staging.write(addr, v);
                 }
+            });
+            for &(addr, op, e) in &out.crit_log {
+                let cur = staging.read(addr);
+                match eval_binop(op, cur, e) {
+                    Ok(v) => staging.write(addr, v),
+                    // E.g. an uninitialized protected cell: sequential
+                    // execution faults at this instance in order.
+                    Err(_) => {
+                        replay_fault = true;
+                        break;
+                    }
+                }
+                replayed += 1;
             }
-            for (addr, v) in red_final {
-                let op = red_objs[&addr.obj.0];
-                let cur = self.mem.read(addr);
-                self.mem.write(addr, reduction_merge(op, cur, v));
+            if replay_fault {
+                break;
             }
+        }
+        if replay_fault {
+            return Ok(Some(FallbackWhy::ReplayFault));
+        }
+        staging.write(iv_addr, RtVal::Int(final_iv));
+        self.mem = staging;
+        for out in outs {
             self.output.extend(out.output);
             self.steps = self.steps.saturating_add(out.steps);
         }
-        self.mem.write(iv_addr, RtVal::Int(final_iv));
-        Ok(true)
+        self.stats.fork_cells_committed += committed;
+        self.stats.critical_replays += replayed;
+        self.stats.cow_pages += cow_pages;
+        Ok(None)
     }
 
     /// Evaluate a canonical loop's invariant bound at loop entry.
@@ -703,9 +1031,9 @@ impl<'a> Engine<'a> {
 
     // ---- DSWP pipeline ---------------------------------------------------
 
-    /// Try to execute a pipelined activation. Returns `Ok(Some(exit))`
+    /// Try to execute a pipelined activation. Returns `Ok(Ok(exit))`
     /// (memory, output, and steps already folded into the master) on
-    /// success, `Ok(None)` (master untouched) to fall back.
+    /// success, `Ok(Err(why))` (master untouched) to fall back.
     fn run_pipeline(
         &mut self,
         func_id: FuncId,
@@ -713,13 +1041,43 @@ impl<'a> Engine<'a> {
         frame: &mut Frame,
         sched: &LoopSchedule,
         p: &PipelineLoop,
-    ) -> Result<Option<BlockId>, ExecError> {
-        let stages = p.stages as usize;
-        // The worker count bounds concurrency for pipelines too: a
-        // pipeline needing more stage threads than workers falls back.
-        if stages < 2 || stages > self.workers {
-            return Ok(None);
+    ) -> Result<Result<BlockId, FallbackWhy>, ExecError> {
+        let Some(pool) = self.pool else {
+            return Ok(Err(FallbackWhy::SingleWorker));
+        };
+        // Pipeline cost gate: channel hops cost real time per *iteration*
+        // (unlike chunking's per-activation overhead), so tiny bodies are
+        // not worth decoupling — and without at least two hardware lanes
+        // the stages only timeshare one core plus hop overhead, so the
+        // gate also requires real parallel hardware. Each refusal records
+        // its own cause. Setting `pipeline_min_body(0)` disables both
+        // checks (tests use this to exercise the pipeline paths on any
+        // machine).
+        if self.pipeline_min_body > 0 {
+            if sched.body_insts < self.pipeline_min_body {
+                return Ok(Err(FallbackWhy::BelowCostThreshold));
+            }
+            if hardware_lanes() < 2 {
+                return Ok(Err(FallbackWhy::SingleLane));
+            }
         }
+        // The worker count bounds stage concurrency. A pipeline needing
+        // more stage threads than the pool has workers is *compressed*:
+        // stage `s` maps to `min(s, workers − 1)`. The map is monotone,
+        // keeps stage 0 intact, and maps equal stages to equal stages, so
+        // every validated constraint (terminators in stage 0, forward
+        // dependences, carried deps same-stage) is preserved.
+        let stages = (p.stages as usize).min(self.workers);
+        if stages < 2 {
+            return Ok(Err(FallbackWhy::PipelineOverflow));
+        }
+        let compressed: Option<HashMap<InstId, u32>> = (stages < p.stages as usize).then(|| {
+            p.stage_of
+                .iter()
+                .map(|(i, s)| (*i, (*s).min(stages as u32 - 1)))
+                .collect()
+        });
+        let stage_of: &HashMap<InstId, u32> = compressed.as_ref().unwrap_or(&p.stage_of);
         let fuel_left = self.fuel.saturating_sub(self.steps);
         let chans: Vec<Channel<PipeMsg>> = (0..stages)
             .map(|_| Channel::bounded(PIPE_CAPACITY))
@@ -727,7 +1085,7 @@ impl<'a> Engine<'a> {
         // Register indices each stage must import from upstream packets.
         let upstream: Vec<Vec<usize>> = (0..stages)
             .map(|s| {
-                p.stage_of
+                stage_of
                     .iter()
                     .filter(|(_, st)| (**st as usize) < s)
                     .map(|(i, _)| i.index())
@@ -736,83 +1094,86 @@ impl<'a> Engine<'a> {
             .collect();
         let module = self.module;
         let master_mem = &self.mem;
-        let result: Result<(MemState, Vec<String>, u64, BlockId), ()> =
-            std::thread::scope(|scope| {
-                for s in 0..stages {
-                    let input = (s > 0).then(|| chans[s - 1].clone());
-                    let output = chans[s].clone();
-                    let mem = master_mem.clone();
-                    let regs = frame.regs.clone();
-                    let args = frame.args.clone();
-                    let imports = upstream[s].clone();
-                    scope.spawn(move || {
-                        let mut engine = Engine {
-                            module,
-                            plan: None,
-                            workers: 1,
-                            mem,
-                            output: Vec::new(),
-                            steps: 0,
-                            fuel: fuel_left,
-                            log: Some(Vec::new()),
-                            stats: RunStats::default(),
-                        };
-                        let mut sframe = Frame { regs, args };
-                        match input {
-                            None => {
-                                engine.pipeline_drive(func_id, f, &mut sframe, sched, p, &output)
-                            }
-                            Some(input) => engine.pipeline_replay(
-                                func_id,
-                                f,
-                                &mut sframe,
-                                p,
-                                s as u32,
-                                &imports,
-                                &input,
-                                &output,
-                            ),
-                        }
-                    });
-                }
-                // Master collector: stage writes into a staging heap so an
-                // abort leaves the real heap untouched.
-                let input = chans[stages - 1].clone();
-                let mut staging = master_mem.clone();
-                let mut lines = Vec::new();
-                let mut steps = 0u64;
-                loop {
-                    match input.recv() {
+        let cost_threshold = self.cost_threshold;
+        let result: Result<(MemState, Vec<String>, u64, BlockId), ()> = pool.scope(|scope| {
+            for (s, chan) in chans.iter().enumerate() {
+                let input = (s > 0).then(|| chans[s - 1].clone());
+                let output = chan.clone();
+                let mem = master_mem.clone();
+                let regs = frame.regs.clone();
+                let args = frame.args.clone();
+                let imports = upstream[s].clone();
+                scope.spawn(move || {
+                    let mut engine = Engine {
+                        module,
+                        plan: None,
+                        pool: None,
+                        workers: 1,
+                        cost_threshold,
+                        pipeline_min_body: 0,
+                        mem,
+                        output: Vec::new(),
+                        steps: 0,
+                        fuel: fuel_left,
+                        log: Some(Vec::new()),
+                        crit: None,
+                        crit_log: Vec::new(),
+                        stats: RunStats::default(),
+                    };
+                    let mut sframe = Frame { regs, args };
+                    match input {
                         None => {
-                            input.close();
-                            return Err(());
+                            engine.pipeline_drive(func_id, f, &mut sframe, sched, stage_of, &output)
                         }
-                        Some(PipeMsg::Abort) => {
-                            input.close();
-                            return Err(());
-                        }
-                        Some(PipeMsg::Iter(pkt)) => {
-                            staging.apply(&pkt.writes);
-                            lines.extend(pkt.output);
-                            steps = steps.saturating_add(pkt.steps);
-                        }
-                        Some(PipeMsg::Exit { packet, exit }) => {
-                            staging.apply(&packet.writes);
-                            lines.extend(packet.output);
-                            steps = steps.saturating_add(packet.steps);
-                            return Ok((staging, lines, steps, exit));
-                        }
+                        Some(input) => engine.pipeline_replay(
+                            func_id,
+                            f,
+                            &mut sframe,
+                            stage_of,
+                            s as u32,
+                            &imports,
+                            &input,
+                            &output,
+                        ),
+                    }
+                });
+            }
+            // Master collector (runs on the master thread, concurrently
+            // with the stage jobs): stage writes land in a staging heap so
+            // an abort leaves the real heap untouched.
+            let input = chans[stages - 1].clone();
+            let mut staging = master_mem.clone();
+            let mut lines = Vec::new();
+            let mut steps = 0u64;
+            loop {
+                match input.recv() {
+                    None | Some(PipeMsg::Abort) => {
+                        input.close();
+                        return Err(());
+                    }
+                    Some(PipeMsg::Iter(pkt)) => {
+                        staging.apply(&pkt.writes);
+                        lines.extend(pkt.output);
+                        steps = steps.saturating_add(pkt.steps);
+                    }
+                    Some(PipeMsg::Exit { packet, exit }) => {
+                        staging.apply(&packet.writes);
+                        lines.extend(packet.output);
+                        steps = steps.saturating_add(packet.steps);
+                        return Ok((staging, lines, steps, exit));
                     }
                 }
-            });
+            }
+        });
+        self.stats.pool_dispatches += stages as u64;
         match result {
             Ok((mem, lines, steps, exit)) => {
                 self.mem = mem;
                 self.output.extend(lines);
                 self.steps = self.steps.saturating_add(steps);
-                Ok(Some(exit))
+                Ok(Ok(exit))
             }
-            Err(()) => Ok(None),
+            Err(()) => Ok(Err(FallbackWhy::PipelineAbort)),
         }
     }
 
@@ -824,7 +1185,7 @@ impl<'a> Engine<'a> {
         f: &Function,
         frame: &mut Frame,
         sched: &LoopSchedule,
-        p: &PipelineLoop,
+        stage_of: &HashMap<InstId, u32>,
         out: &Channel<PipeMsg>,
     ) {
         let mut sent_steps = 0u64;
@@ -836,7 +1197,7 @@ impl<'a> Engine<'a> {
                 path.push(cur);
                 let mut flow = Flow::Next;
                 for &i in &f.block(cur).insts {
-                    if p.stage_of.get(&i) != Some(&0) {
+                    if stage_of.get(&i) != Some(&0) {
                         continue;
                     }
                     match self.exec_inst(func_id, f, frame, i) {
@@ -892,7 +1253,7 @@ impl<'a> Engine<'a> {
         func_id: FuncId,
         f: &Function,
         frame: &mut Frame,
-        p: &PipelineLoop,
+        stage_of: &HashMap<InstId, u32>,
         stage: u32,
         imports: &[usize],
         input: &Channel<PipeMsg>,
@@ -921,7 +1282,7 @@ impl<'a> Engine<'a> {
             let mut failed = false;
             'replay: for &bb in &packet.path {
                 for &i in &f.block(bb).insts {
-                    if p.stage_of.get(&i) != Some(&stage) {
+                    if stage_of.get(&i) != Some(&stage) {
                         continue;
                     }
                     match self.exec_inst(func_id, f, frame, i) {

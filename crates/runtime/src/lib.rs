@@ -12,30 +12,48 @@
 //!                        ┌───────────────────────────────┘
 //!                        ▼
 //!                  Runtime::run_main
-//!                        │ master thread interprets sequentially
-//!                        │
+//!                        │ master thread interprets sequentially;
+//!                        │ a persistent WorkerPool serves every
+//!                        │ parallel activation (no per-loop spawns)
 //!         ┌──────────────┼──────────────────┐
 //!         ▼              ▼                  ▼
 //!     Chunked        Pipeline          Sequential
-//!   (DOALL: forked  (DSWP: stage     (HELIX & anything
-//!    heaps + write   threads over     unproven: exact
-//!    -log commit)    bounded chans)   sequential order)
+//!   (DOALL: CoW     (DSWP: stage     (anything unproven
+//!    forks, dirty-   jobs over        or under the cost
+//!    set commit,     bounded chans,   threshold: exact
+//!    critical        stages com-      sequential order,
+//!    commit replay)  pressed to       with the cause
+//!                    the pool width)  counted)
 //! ```
 //!
 //! Correctness contract: for any program, `Runtime` produces the same
 //! output and the same observable final memory as
 //! [`pspdg_ir::interp::Interpreter`] — exactly for integers and booleans,
-//! and up to reduction re-association ([`check::FLOAT_RTOL`]) for floats.
-//! The differential test suite (`tests/differential.rs`) enforces this
-//! over the whole NAS suite and generated kernels.
+//! and up to reduction re-association ([`check::FLOAT_RTOL`]) for floats;
+//! cells protected by critical/atomic regions are reproduced
+//! **bit-identically** through the deferred-RMW commit replay. The
+//! differential test suite (`tests/differential.rs`) enforces this over
+//! the whole NAS suite and generated kernels, including criticals through
+//! the replay path, and a pool-reuse regression test asserts the worker
+//! threads survive across activations.
+//!
+//! Module map: [`exec`] — the engine ([`Runtime`], [`RunStats`],
+//! [`FallbackCounts`]); [`pool`] — the persistent scoped worker pool;
+//! [`channel`] — the bounded DSWP decoupling buffer; [`check`] —
+//! observable-state extraction for differential testing.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod check;
 pub mod exec;
+pub mod pool;
 
 pub use check::{
     globals_mismatch, line_equivalent, observable_globals, rtval_equivalent, FLOAT_RTOL,
 };
-pub use exec::{RunOutcome, RunStats, Runtime};
+pub use exec::{
+    FallbackCounts, RunOutcome, RunStats, Runtime, DEFAULT_COST_THRESHOLD,
+    DEFAULT_PIPELINE_MIN_BODY,
+};
+pub use pool::WorkerPool;

@@ -21,6 +21,11 @@ use pspdg_runtime::{
 /// Run `program` sequentially and under `abstraction`'s plan with
 /// `workers` workers; assert observable equivalence and return the
 /// runtime's dynamic stats.
+///
+/// The cost-model gates are disabled so every eligible loop actually
+/// exercises its parallel path (a gated loop is trivially equivalent);
+/// `nas_differential` additionally runs each kernel once with the default
+/// gates on.
 fn assert_differential(
     name: &str,
     program: &ParallelProgram,
@@ -32,7 +37,10 @@ fn assert_differential(
         .run_main(&mut NullSink)
         .unwrap_or_else(|e| panic!("{name}: sequential run failed: {e}"));
     let plan = build_plan(program, interp.profile(), abstraction, 0.01);
-    let rt = Runtime::new(program, &plan).workers(workers);
+    let rt = Runtime::new(program, &plan)
+        .workers(workers)
+        .cost_threshold(0)
+        .pipeline_min_body(0);
     let out = rt
         .run_main()
         .unwrap_or_else(|e| panic!("{name}: runtime failed: {e}"));
@@ -73,6 +81,20 @@ fn nas_differential(name: &str) -> RunStats {
     let stats = assert_differential(name, &p, Abstraction::PsPdg, 4);
     assert_differential(name, &p, Abstraction::PsPdg, 3);
     assert_differential(name, &p, Abstraction::OpenMp, 4);
+    // Once more with the default cost-model gates: the mix of gated and
+    // parallel activations must stay equivalent too.
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4);
+    let out = rt.run_main().unwrap();
+    let seq = observable_globals(&p.module, interp.mem());
+    let par = observable_globals(&p.module, &out.mem);
+    assert_eq!(
+        globals_mismatch(&seq, &par),
+        None,
+        "{name}: default-gate run diverged"
+    );
     stats
 }
 
@@ -92,7 +114,17 @@ fn nas_cg_matches_sequential() {
 
 #[test]
 fn nas_ep_matches_sequential() {
-    nas_differential("EP");
+    let stats = nas_differential("EP");
+    // EP's atomic histogram bins must execute *in parallel* through the
+    // deferred-critical replay path — not serialize on the mutex rule.
+    assert!(
+        stats.chunked_loops > 0,
+        "EP's main loop should chunk through the replay path: {stats:?}"
+    );
+    assert!(
+        stats.critical_replays > 0,
+        "EP's atomic bins should be replayed at commit: {stats:?}"
+    );
 }
 
 #[test]
@@ -205,7 +237,7 @@ mod generated {
         /// PS-PDG proves the cells disjoint and drops the mutex.
         DisjointCritical,
         /// `atomic s += v[i];` inside an annotated loop: the mutex
-        /// survives, forcing the sequential fallback.
+        /// survives and executes through the deferred-RMW commit replay.
         AtomicShared,
         /// `t = v[i] * 2; w[i] = t + 1;` under `private(t)`
         PrivateTemp,
@@ -318,4 +350,150 @@ mod generated {
             assert_differential("gen/openmp", &p, Abstraction::OpenMp, workers);
         }
     }
+}
+
+mod criticals {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One critical/atomic RMW loop; every variant keeps a surviving
+    /// mutex under the OpenMP plan (criticals always serialize there), so
+    /// equivalence is only reachable through the commit-replay path.
+    #[derive(Debug, Clone, Copy)]
+    enum CritLoop {
+        /// `atomic s += v[i] + k;` — scalar integer delta.
+        AtomicAddScalar { k: i64 },
+        /// `atomic d += dv[i];` — float deltas; the replay preserves
+        /// sequential association, so this compares *bit-identically*.
+        AtomicAddDouble,
+        /// `atomic c[v[i] % 16] += v[i];` — the EP/IS indirect-bin shape.
+        AtomicIndirect,
+        /// `critical { s -= v[i]; }` — subtraction (feedback on the left).
+        CriticalSub,
+        /// `critical { c[i % 8] *= 2; }` — multiplicative update.
+        CriticalMul,
+    }
+
+    impl CritLoop {
+        fn render(self, trip: i64) -> String {
+            match self {
+                CritLoop::AtomicAddScalar { k } => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp atomic\ns += v[i] + {k};\n}}\n"
+                ),
+                CritLoop::AtomicAddDouble => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp atomic\nd += dv[i];\n}}\n"
+                ),
+                CritLoop::AtomicIndirect => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp atomic\nc[v[i] % 16] += v[i];\n}}\n"
+                ),
+                CritLoop::CriticalSub => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ s -= v[i]; }}\n}}\n"
+                ),
+                CritLoop::CriticalMul => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ c[i % 8] *= 2; }}\n}}\n"
+                ),
+            }
+        }
+    }
+
+    fn arb_crit() -> impl Strategy<Value = CritLoop> {
+        prop_oneof![
+            (0i64..5).prop_map(|k| CritLoop::AtomicAddScalar { k }),
+            Just(CritLoop::AtomicAddDouble),
+            Just(CritLoop::AtomicIndirect),
+            Just(CritLoop::CriticalSub),
+            Just(CritLoop::CriticalMul),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        /// Critical/atomic kernels must run their loops in *parallel*
+        /// via the deferred-RMW replay (no mutex-rule fallback) and stay
+        /// equivalent to the interpreter under both plans.
+        #[test]
+        fn critical_kernels_execute_through_replay(
+            trip in 8i64..96,
+            loops in proptest::collection::vec(arb_crit(), 1..3),
+            workers in 2usize..5,
+        ) {
+            let body: String = loops.iter().map(|l| l.render(trip)).collect();
+            let src = format!(
+                r#"
+                int v[96]; int c[96]; int s; double d; double dv[96];
+                void init() {{
+                    int i;
+                    for (i = 0; i < 96; i++) {{
+                        v[i] = (i * 29 + 7) % 23;
+                        c[i] = 1 + i % 5;
+                        dv[i] = (double)(i % 11) * 0.125;
+                    }}
+                    s = 2; d = 0.25;
+                }}
+                void k() {{
+                    int i;
+                    {body}
+                }}
+                int main() {{
+                    int i; int chk;
+                    init();
+                    k();
+                    print_i64(s);
+                    print_f64(d);
+                    chk = 0;
+                    for (i = 0; i < 96; i++) {{ chk += c[i]; }}
+                    print_i64(chk);
+                    return 0;
+                }}
+                "#
+            );
+            let p = compile(&src).expect("critical kernel compiles");
+            // Under the OpenMP plan every critical/atomic survives, so
+            // the only parallel route is the replay path.
+            let stats = assert_differential("crit/openmp", &p, Abstraction::OpenMp, workers);
+            prop_assert_eq!(
+                stats.chunked_loops,
+                loops.len() as u64,
+                "every critical loop must chunk through replay: {:?}",
+                stats
+            );
+            prop_assert!(stats.critical_replays > 0, "no deltas replayed: {:?}", stats);
+            assert_differential("crit/pspdg", &p, Abstraction::PsPdg, workers);
+        }
+    }
+}
+
+#[test]
+fn pool_threads_survive_across_activations_and_runs() {
+    // IS has many loop activations; the pool must serve all of them (and
+    // a second run) with the same OS threads, created exactly once.
+    let b = benchmark("IS", Class::Test).unwrap();
+    let p = b.program();
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan)
+        .workers(3)
+        .cost_threshold(0)
+        .pipeline_min_body(0);
+    let ids = rt.worker_thread_ids();
+    assert_eq!(ids.len(), 3);
+    let out = rt.run_main().unwrap();
+    assert!(
+        out.stats.pool_dispatches > ids.len() as u64,
+        "many activations must reuse the few pool threads: {:?}",
+        out.stats
+    );
+    assert_eq!(
+        rt.worker_thread_ids(),
+        ids,
+        "activations must not respawn workers"
+    );
+    rt.run_main().unwrap();
+    assert_eq!(
+        rt.worker_thread_ids(),
+        ids,
+        "the pool persists across runs of the same Runtime"
+    );
 }

@@ -20,7 +20,11 @@ fn doall_smoke() {
     let mut interp = Interpreter::new(&p.module);
     let seq_ret = interp.run_main(&mut NullSink).unwrap();
     let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
-    let rt = Runtime::new(&p, &plan).workers(4);
+    // Gates off: this test asserts the parallel paths themselves.
+    let rt = Runtime::new(&p, &plan)
+        .workers(4)
+        .cost_threshold(0)
+        .pipeline_min_body(0);
     // The first loop chunks; the print-bearing second loop carries an I/O
     // dependence, so it realizes as a pipeline with the prints serialized
     // in one stage.
@@ -65,7 +69,10 @@ fn pipeline_smoke() {
     let mut interp = Interpreter::new(&p.module);
     let seq_ret = interp.run_main(&mut NullSink).unwrap();
     let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
-    let rt = Runtime::new(&p, &plan).workers(4);
+    let rt = Runtime::new(&p, &plan)
+        .workers(4)
+        .cost_threshold(0)
+        .pipeline_min_body(0);
     assert_eq!(
         rt.realization().pipeline,
         1,
@@ -102,7 +109,7 @@ fn reduction_smoke() {
     let mut interp = Interpreter::new(&p.module);
     interp.run_main(&mut NullSink).unwrap();
     let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
-    let rt = Runtime::new(&p, &plan).workers(4);
+    let rt = Runtime::new(&p, &plan).workers(4).cost_threshold(0);
     let out = rt.run_main().unwrap();
     assert!(
         out.stats.chunked_loops >= 1,
@@ -114,4 +121,36 @@ fn reduction_smoke() {
     for (a, b) in out.output.iter().zip(interp.output()) {
         assert!(pspdg_runtime::line_equivalent(a, b), "{a} vs {b}");
     }
+}
+
+#[test]
+fn cost_model_gates_short_activations() {
+    // 16 iterations of a tiny body: far below the default threshold, so
+    // the activation must run inline — and say why.
+    let p = compile(
+        r#"
+        int v[16];
+        void k() { int i; for (i = 0; i < 16; i++) { v[i] = i; } }
+        int main() { k(); return v[3]; }
+        "#,
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_ret = interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4);
+    let out = rt.run_main().unwrap();
+    assert_eq!(out.ret, seq_ret);
+    assert_eq!(out.stats.chunked_loops, 0, "{:?}", out.stats);
+    assert!(
+        out.stats.fallbacks.below_cost_threshold >= 1,
+        "the gate must record its reason: {:?}",
+        out.stats
+    );
+    assert_eq!(out.stats.pool_dispatches, 0, "no parallel setup paid");
+    // The same activation parallelizes once the gate is off.
+    let rt = Runtime::new(&p, &plan).workers(4).cost_threshold(0);
+    let out = rt.run_main().unwrap();
+    assert_eq!(out.stats.chunked_loops, 1, "{:?}", out.stats);
+    assert!(out.stats.pool_dispatches >= 2);
 }

@@ -1,13 +1,55 @@
 //! # pspdg — facade crate for the PS-PDG reproduction
 //!
 //! Re-exports every crate of the workspace under one roof so examples and
-//! downstream users can depend on a single crate:
+//! downstream users can depend on a single crate. See `ARCHITECTURE.md`
+//! at the repository root for the crate map and pipeline walkthrough.
+//!
+//! # Example: compile, plan, and execute a program end-to-end
+//!
+//! The whole Fig. 2 loop in one doctest — compile ParC source, profile it
+//! sequentially, build the PS-PDG plan, and execute the plan on the
+//! multi-threaded runtime, checking the result against the interpreter:
 //!
 //! ```
-//! use pspdg::ir::Module;
-//! let m = Module::new("hello");
-//! assert_eq!(m.size(), 0);
+//! use pspdg::frontend::compile;
+//! use pspdg::ir::interp::{Interpreter, NullSink};
+//! use pspdg::parallelizer::{build_plan, Abstraction};
+//! use pspdg::runtime::{observable_globals, Runtime};
+//!
+//! let program = compile(
+//!     r#"
+//!     int v[64]; int s;
+//!     void k() {
+//!         int i;
+//!         #pragma omp parallel for reduction(+: s)
+//!         for (i = 0; i < 64; i++) { v[i] = i * 2; s += i; }
+//!     }
+//!     int main() { k(); return s; }
+//!     "#,
+//! )
+//! .unwrap();
+//!
+//! // 1. Profile sequentially (drives hot-loop selection) — and keep the
+//! //    interpreter around as the correctness oracle.
+//! let mut interp = Interpreter::new(&program.module);
+//! let seq_ret = interp.run_main(&mut NullSink).unwrap();
+//!
+//! // 2. Build the best plan under the PS-PDG abstraction.
+//! let plan = build_plan(&program, interp.profile(), Abstraction::PsPdg, 0.01);
+//!
+//! // 3. Execute the plan on real threads (cost gates off so the tiny
+//! //    example actually parallelizes).
+//! let rt = Runtime::new(&program, &plan).workers(2).cost_threshold(0);
+//! let out = rt.run_main().unwrap();
+//!
+//! assert_eq!(out.ret, seq_ret);
+//! assert!(out.stats.chunked_loops >= 1, "the loop ran in parallel");
+//! let seq = observable_globals(&program.module, interp.mem());
+//! let par = observable_globals(&program.module, &out.mem);
+//! assert_eq!(pspdg::runtime::globals_mismatch(&seq, &par), None);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use pspdg_core as core;
 pub use pspdg_emulator as emulator;
@@ -17,3 +59,4 @@ pub use pspdg_nas as nas;
 pub use pspdg_parallel as parallel;
 pub use pspdg_parallelizer as parallelizer;
 pub use pspdg_pdg as pdg;
+pub use pspdg_runtime as runtime;

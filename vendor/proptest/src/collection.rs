@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::rng::TestRng;
 use crate::strategy::Strategy;
 
-/// Anything usable as the size argument of [`vec`].
+/// Anything usable as the size argument of [`vec()`].
 pub trait SizeRange {
     /// Pick a concrete length.
     fn pick(&self, rng: &mut TestRng) -> usize;
@@ -33,7 +33,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, R> {
     element: S,
     size: R,
