@@ -1,72 +1,79 @@
-//! Writes `BENCH_pdg.json`: per-kernel PDG-construction timings for the
-//! NAS `Class::Test` suite, comparing the naive all-pairs oracle against
-//! the bucketed builder and the rayon-parallel module driver.
+//! Writes `BENCH_pdg.json`: per-kernel PDG-construction and PS-PDG
+//! assemble timings for the NAS `Class::Test` suite plus the statically
+//! scaled SYNTH widths, comparing
+//!
+//! * the naive all-pairs dependence oracle vs the bucketed builder vs the
+//!   rayon-parallel module driver (PDG construction), and
+//! * re-assembling the PS-PDG's effective graph after a directive-set
+//!   change through the [`pspdg_pdg::EffectiveView`] **overlay** vs
+//!   materializing an owned graph (the old clone-every-edge assemble).
+//!
+//! The overlay's per-edge clone count (`overlay_clone_edges`, its sparse
+//! rewrite entries) is surfaced so CI can assert the rebuild path
+//! allocates no per-edge clones beyond what the directive set forces —
+//! zero for the directive-free SYNTH kernels.
 //!
 //! Run from the repository root (or pass an output path):
 //!
 //! ```text
-//! cargo run --release -p pspdg-bench --bin bench_pdg_json [-- OUT.json]
+//! cargo run --release -p pspdg-bench --bin bench_pdg_json [-- OUT.json [--smoke]]
 //! ```
+//!
+//! `--smoke` runs fewer samples and asserts the overlay invariants
+//! (SYNTH clone counts zero; overlay re-assemble at least 3x faster than
+//! the cloned re-assemble at the largest SYNTH width — a margin a
+//! regression to O(E) per-edge work in the overlay path would collapse).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use pspdg_frontend::compile;
-use pspdg_nas::{suite, Class};
+use pspdg_core::{build_pspdg_with_refs, FeatureSet};
+use pspdg_nas::{suite, synth, Class};
 use pspdg_parallel::ParallelProgram;
-use pspdg_pdg::{FunctionAnalyses, Pdg};
-
-/// A synthetic kernel with many distinct base objects (`n` arrays, each
-/// swept by its own loop). Cross-base reference pairs dominate here, so it
-/// exposes the asymptotic O(R²) → O(Σ bucket²) difference the NAS
-/// kernels (few dozen refs each) are too small to show.
-fn synthetic_wide(n: usize) -> ParallelProgram {
-    let mut src = String::new();
-    for k in 0..n {
-        src.push_str(&format!("int w{k}[64];\n"));
-    }
-    src.push_str("void k() {\n");
-    for k in 0..n {
-        src.push_str(&format!(
-            "int i{k}; for (i{k} = 1; i{k} < 64; i{k}++) {{ w{k}[i{k}] = w{k}[i{k} - 1] + {k}; }}\n"
-        ));
-    }
-    src.push_str("}\nint main() { k(); return 0; }\n");
-    compile(&src).expect("synthetic kernel compiles")
-}
+use pspdg_pdg::{FunctionAnalyses, MemRef, Pdg};
 
 /// One timed run of `f`, in nanoseconds.
-fn one_run_ns<T>(f: &mut impl FnMut() -> T) -> u64 {
+fn one_run_ns(f: &mut dyn FnMut()) -> u64 {
     let start = Instant::now();
-    std::hint::black_box(f());
+    f();
     start.elapsed().as_nanos() as u64
 }
 
-/// Best-of-`samples` wall time for each of three routines, sampled
-/// interleaved so machine noise (frequency scaling, other processes) hits
-/// all three equally instead of whichever ran last.
-fn time3<A, B, C>(
-    samples: usize,
-    mut a: impl FnMut() -> A,
-    mut b: impl FnMut() -> B,
-    mut c: impl FnMut() -> C,
-) -> (u64, u64, u64) {
-    // Warm-up round (page in code and data).
-    let _ = (one_run_ns(&mut a), one_run_ns(&mut b), one_run_ns(&mut c));
-    let (mut ta, mut tb, mut tc) = (u64::MAX, u64::MAX, u64::MAX);
-    for _ in 0..samples {
-        ta = ta.min(one_run_ns(&mut a));
-        tb = tb.min(one_run_ns(&mut b));
-        tc = tc.min(one_run_ns(&mut c));
+/// Best-of-`samples` wall time for each routine, sampled interleaved so
+/// machine noise (frequency scaling, other processes) hits all of them
+/// equally instead of whichever ran last.
+fn time_all(samples: usize, fns: &mut [&mut dyn FnMut()]) -> Vec<u64> {
+    for f in fns.iter_mut() {
+        one_run_ns(*f); // warm-up (page in code and data)
     }
-    (ta, tb, tc)
+    let mut best = vec![u64::MAX; fns.len()];
+    for _ in 0..samples {
+        for (b, f) in best.iter_mut().zip(fns.iter_mut()) {
+            *b = (*b).min(one_run_ns(*f));
+        }
+    }
+    best
+}
+
+/// Per-function inputs for the assemble timings: analyses, base PDG, and
+/// memory references built once (the assemble step is what varies).
+struct Prepared {
+    func: pspdg_ir::FuncId,
+    analyses: FunctionAnalyses,
+    pdg: Pdg,
+    refs: Vec<MemRef>,
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pdg.json".to_string());
-    let samples = 40;
+    let mut out_path = "BENCH_pdg.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+    let samples = if smoke { 4 } else { 40 };
     let mut rows = String::new();
 
     let mut programs: Vec<(String, ParallelProgram)> = suite(Class::Test)
@@ -74,61 +81,133 @@ fn main() {
         .map(|b| (b.name.to_string(), b.program()))
         .collect();
     for n in [48, 96, 192] {
-        programs.push((format!("SYNTH{n}"), synthetic_wide(n)));
+        programs.push((format!("SYNTH{n}"), synth::wide(n).program()));
     }
 
     for (bi, (name, p)) in programs.iter().enumerate() {
-        let funcs: Vec<_> = p
+        let prepared: Vec<Prepared> = p
             .module
             .function_ids()
-            .map(|f| (f, FunctionAnalyses::compute(&p.module, f)))
+            .filter(|f| !p.module.function(*f).blocks.is_empty())
+            .map(|func| {
+                let analyses = FunctionAnalyses::compute(&p.module, func);
+                let (pdg, refs) = Pdg::build_with_refs(&p.module, func, &analyses);
+                Prepared {
+                    func,
+                    analyses,
+                    pdg,
+                    refs,
+                }
+            })
             .collect();
-        let refs: usize = funcs
+        let refs: usize = prepared.iter().map(|x| x.refs.len()).sum();
+        let edges: usize = prepared.iter().map(|x| x.pdg.edges.len()).sum();
+        // Per-edge clones the overlay holds after a full-feature assemble
+        // (sparse rewrite entries — the only edges the assemble copied).
+        let overlay_clones: usize = prepared
             .iter()
-            .map(|(f, a)| pspdg_pdg::collect_mem_refs(&p.module, *f, a).len())
-            .sum();
-        let edges: usize = funcs
-            .iter()
-            .map(|(f, a)| Pdg::build(&p.module, *f, a).edges.len())
+            .map(|x| {
+                build_pspdg_with_refs(p, x.func, &x.analyses, &x.pdg, &x.refs, FeatureSet::all())
+                    .effective
+                    .rewrite_count()
+            })
             .sum();
 
         // The module driver also recomputes the analyses, so it is not
         // directly comparable to the two rows before it; it is reported for
         // the end-to-end (analyses + PDG, all functions) pipeline.
-        let (naive, bucketed, module_parallel) = time3(
+        let mut run_naive = || {
+            for x in &prepared {
+                std::hint::black_box(Pdg::build_naive(&p.module, x.func, &x.analyses));
+            }
+        };
+        let mut run_bucketed = || {
+            for x in &prepared {
+                std::hint::black_box(Pdg::build(&p.module, x.func, &x.analyses));
+            }
+        };
+        let mut run_module = || {
+            std::hint::black_box(Pdg::build_module(&p.module));
+        };
+        // Re-assemble after a directive-set change: base PDG, analyses,
+        // and refs already exist, only the PS-PDG assemble re-runs. The
+        // overlay path is the new cost; `+ materialize()` reproduces the
+        // old clone-every-surviving-edge assemble on top of it.
+        let mut run_overlay = || {
+            for x in &prepared {
+                std::hint::black_box(build_pspdg_with_refs(
+                    p,
+                    x.func,
+                    &x.analyses,
+                    &x.pdg,
+                    &x.refs,
+                    FeatureSet::all(),
+                ));
+            }
+        };
+        let mut run_cloned = || {
+            for x in &prepared {
+                let ps = build_pspdg_with_refs(
+                    p,
+                    x.func,
+                    &x.analyses,
+                    &x.pdg,
+                    &x.refs,
+                    FeatureSet::all(),
+                );
+                std::hint::black_box(ps.effective.materialize());
+            }
+        };
+        let times = time_all(
             samples,
-            || {
-                for (f, a) in &funcs {
-                    std::hint::black_box(Pdg::build_naive(&p.module, *f, a));
-                }
-            },
-            || {
-                for (f, a) in &funcs {
-                    std::hint::black_box(Pdg::build(&p.module, *f, a));
-                }
-            },
-            || {
-                std::hint::black_box(Pdg::build_module(&p.module));
-            },
+            &mut [
+                &mut run_naive,
+                &mut run_bucketed,
+                &mut run_module,
+                &mut run_overlay,
+                &mut run_cloned,
+            ],
         );
+        let (naive, bucketed, module_parallel, overlay, cloned) =
+            (times[0], times[1], times[2], times[3], times[4]);
 
         let speedup = naive as f64 / bucketed as f64;
+        let assemble_speedup = cloned as f64 / overlay as f64;
         println!(
-            "{:<4} refs {:>5}  edges {:>6}  naive {:>10} ns  bucketed {:>10} ns  speedup {:>5.2}x  module_parallel {:>10} ns",
-            name, refs, edges, naive, bucketed, speedup, module_parallel
+            "{:<8} refs {:>5}  edges {:>6}  naive {:>10} ns  bucketed {:>10} ns  speedup {:>5.2}x  module_parallel {:>10} ns  reassemble overlay {:>9} ns  cloned {:>9} ns  ({:>4.2}x, {} clones)",
+            name, refs, edges, naive, bucketed, speedup, module_parallel, overlay, cloned, assemble_speedup, overlay_clones
         );
         if bi > 0 {
             rows.push_str(",\n");
         }
         let _ = write!(
             rows,
-            "    {{\"kernel\": \"{}\", \"mem_refs\": {}, \"pdg_edges\": {}, \"naive_all_pairs_ns\": {}, \"bucketed_ns\": {}, \"speedup\": {:.3}, \"module_parallel_ns\": {}}}",
-            name, refs, edges, naive, bucketed, speedup, module_parallel
+            "    {{\"kernel\": \"{}\", \"mem_refs\": {}, \"pdg_edges\": {}, \"naive_all_pairs_ns\": {}, \"bucketed_ns\": {}, \"speedup\": {:.3}, \"module_parallel_ns\": {}, \"reassemble_overlay_ns\": {}, \"reassemble_cloned_ns\": {}, \"assemble_speedup\": {:.3}, \"overlay_clone_edges\": {}}}",
+            name, refs, edges, naive, bucketed, speedup, module_parallel, overlay, cloned, assemble_speedup, overlay_clones
         );
+
+        if smoke && name.starts_with("SYNTH") {
+            assert_eq!(
+                overlay_clones, 0,
+                "{name}: a directive-free kernel must re-assemble with zero per-edge clones"
+            );
+            if name == "SYNTH192" {
+                // `cloned` = the overlay assemble + materialize(), so a bare
+                // `overlay < cloned` would hold by construction. Demanding a
+                // 3x gap gives the check teeth: if the overlay assemble ever
+                // regresses to O(E) per-edge work (an internal clone outside
+                // the rewrite map), the ratio collapses toward ~2 and this
+                // fires. Currently ~15x; 3x leaves ample noise margin.
+                assert!(
+                    overlay.saturating_mul(3) < cloned,
+                    "{name}: overlay re-assemble must beat the cloned assemble by >= 3x ({overlay} ns vs {cloned} ns)"
+                );
+            }
+        }
     }
 
     let json = format!(
-        "{{\n  \"suite\": \"NAS Class::Test\",\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples, all functions per kernel\",\n  \"naive\": \"Pdg::build_naive (all-pairs, feature oracle)\",\n  \"bucketed\": \"Pdg::build (per-MemBase buckets)\",\n  \"module_parallel\": \"Pdg::build_module (analyses + PDG, rayon)\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"suite\": \"NAS Class::Test + SYNTH static-scaling widths\",\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples, all functions per kernel\",\n  \"naive\": \"Pdg::build_naive (all-pairs, feature oracle)\",\n  \"bucketed\": \"Pdg::build (per-MemBase buckets)\",\n  \"module_parallel\": \"Pdg::build_module (analyses + PDG, rayon)\",\n  \"reassemble_overlay\": \"PS-PDG assemble after a directive-set change through the EffectiveView overlay (mask + sparse rewrites, no per-edge clone)\",\n  \"reassemble_cloned\": \"the same assemble plus materialize() -- the old clone-every-surviving-edge effective graph\",\n  \"overlay_clone_edges\": \"per-edge clones held by the overlay (sparse rewrites; 0 for directive-free kernels)\",\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_pdg.json");
     println!("wrote {out_path}");

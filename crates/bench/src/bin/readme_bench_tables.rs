@@ -56,15 +56,22 @@ fn ms(ns: &str) -> String {
     }
 }
 
+fn us(ns: &str) -> String {
+    match ns.parse::<f64>() {
+        Ok(v) => format!("{:.0}", v / 1e3),
+        Err(_) => "?".to_string(),
+    }
+}
+
 fn pdg_table(json: &str) -> String {
     let mut t = String::from(
-        "| kernel | mem refs | PDG edges | naive all-pairs (ms) | bucketed (ms) | speedup | module-parallel (ms) |\n|---|---|---|---|---|---|---|\n",
+        "| kernel | mem refs | PDG edges | naive all-pairs (ms) | bucketed (ms) | bucketing speedup | module-parallel (ms) | re-assemble cloned (µs) | overlay (µs) | assemble speedup | overlay clones |\n|---|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for l in kernel_lines(json) {
         let g = |k: &str| field(l, k).unwrap_or_default();
         let _ = writeln!(
             t,
-            "| {} | {} | {} | {} | {} | {}x | {} |",
+            "| {} | {} | {} | {} | {} | {}x | {} | {} | {} | {}x | {} |",
             g("kernel"),
             g("mem_refs"),
             g("pdg_edges"),
@@ -72,6 +79,10 @@ fn pdg_table(json: &str) -> String {
             ms(&g("bucketed_ns")),
             g("speedup"),
             ms(&g("module_parallel_ns")),
+            us(&g("reassemble_cloned_ns")),
+            us(&g("reassemble_overlay_ns")),
+            g("assemble_speedup"),
+            g("overlay_clone_edges"),
         );
     }
     t

@@ -28,7 +28,8 @@ use pspdg_parallel::{
     DataClause, Depend, DependKind, Directive, DirectiveId, DirectiveKind, ParallelProgram,
 };
 use pspdg_pdg::{
-    base_of_varref, collect_mem_refs, DepKind, FunctionAnalyses, MemBase, Pdg, PdgEdge,
+    base_of_varref, collect_mem_refs, DepKind, EffectiveView, FunctionAnalyses, MemBase, Pdg,
+    PdgEdge,
 };
 use rayon::prelude::*;
 
@@ -350,9 +351,9 @@ impl Builder<'_> {
         // Worksharing declarations *narrow* an edge's carried set (the
         // dependence may still be carried at other loops); an edge disappears
         // only when nothing remains.
-        let mut uncarried: HashMap<usize, BTreeSet<LoopId>> = HashMap::new();
+        let mut uncarried: BTreeMap<usize, BTreeSet<LoopId>> = BTreeMap::new();
         let mut undirected: Vec<PsEdge> = Vec::new();
-        let mut selectors: HashMap<usize, DataSelector> = HashMap::new();
+        let mut selectors: BTreeMap<u32, DataSelector> = BTreeMap::new();
 
         // Independence declarations and ordering conversions need the
         // protecting-region maps. Precompute instruction → (lock identity,
@@ -577,7 +578,7 @@ impl Builder<'_> {
                         }
                         if lastprivs.contains(&base) {
                             selectors.insert(
-                                ei,
+                                ei as u32,
                                 DataSelector {
                                     kind: SelectorKind::LastProducer,
                                     context: ctx,
@@ -585,7 +586,7 @@ impl Builder<'_> {
                             );
                         } else if self.scalar_base(base) && !reductions.contains(&base) {
                             selectors.insert(
-                                ei,
+                                ei as u32,
                                 DataSelector {
                                     kind: SelectorKind::AnyProducer,
                                     context: ctx,
@@ -608,7 +609,7 @@ impl Builder<'_> {
                         };
                         if !d.insts.contains(&e.src) && d.insts.contains(&e.dst) {
                             selectors.insert(
-                                ei,
+                                ei as u32,
                                 DataSelector {
                                     kind: SelectorKind::AllConsumers,
                                     context: ctx,
@@ -621,37 +622,44 @@ impl Builder<'_> {
         }
 
         // ---- assemble -------------------------------------------------------
-        let mut eff_edges: Vec<PdgEdge> = Vec::new();
-        let mut ps_edges: Vec<PsEdge> = Vec::new();
-        for (ei, e) in self.pdg.edges.iter().enumerate() {
+        // No per-edge clone of the surviving graph: the effective graph is
+        // an overlay (removal mask + sparse kind rewrites) on the base PDG.
+        // Only edges whose carried set actually changes — worksharing
+        // narrowing, or the context-ablation blur — are copied into the
+        // rewrite map; an edge narrowed to nothing is removed outright.
+        let mut rewrites: BTreeMap<u32, PdgEdge> = BTreeMap::new();
+        for (&ei, gone) in &uncarried {
             if removed[ei] {
                 continue;
             }
-            let mut e2 = e.clone();
-            if let Some(gone) = uncarried.get(&ei) {
-                if !narrow_carried(&mut e2.kind, gone) {
-                    continue; // nothing left of the dependence
-                }
+            let mut e2 = self.pdg.edges[ei].clone();
+            if !narrow_carried(&mut e2.kind, gone) {
+                removed[ei] = true; // nothing left of the dependence
+                continue;
             }
-            if !ctx_on {
+            rewrites.insert(ei as u32, e2);
+        }
+        if !ctx_on {
+            // Blurring touches exactly the carried edges; walk that index.
+            for &ei in self.pdg.carried_any_indices() {
+                if removed[ei as usize] {
+                    continue;
+                }
+                let e2 = rewrites
+                    .entry(ei)
+                    .or_insert_with(|| self.pdg.edges[ei as usize].clone());
                 blur_carried(&mut e2.kind);
             }
-            ps_edges.push(PsEdge::Directed {
-                src: inst_node[e2.src.index()],
-                dst: inst_node[e2.dst.index()],
-                dep: e2.kind.clone(),
-                base: e2.base,
-                selector: selectors.get(&ei).copied(),
-            });
-            eff_edges.push(e2);
         }
-        ps_edges.extend(undirected);
+        // Selectors attached to edges later narrowed away must not survive.
+        selectors.retain(|ei, _| !removed[*ei as usize]);
 
-        let effective = Pdg::from_edges(self.func, n_insts, eff_edges);
+        let effective = EffectiveView::new(self.pdg, &removed, rewrites);
         PsPdg {
             func: self.func,
             nodes,
-            edges: ps_edges,
+            undirected,
+            selectors,
             contexts,
             variables,
             accesses,

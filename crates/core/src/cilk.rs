@@ -100,7 +100,7 @@ mod tests {
             .find(|_| true)
             .expect("spawn region has instructions");
         let _ = spawned_call;
-        let surviving = ps.effective.edges.iter().any(|e| {
+        let surviving = ps.effective.edges().any(|e| {
             e.kind.is_memory()
                 && spawn_insts.binary_search(&e.src).is_ok()
                     != spawn_insts.binary_search(&e.dst).is_ok()

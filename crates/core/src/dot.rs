@@ -44,8 +44,8 @@ pub fn to_dot(pspdg: &PsPdg, title: &str) -> String {
         }
     }
     // Edges.
-    for e in &pspdg.edges {
-        match e {
+    for e in pspdg.edges() {
+        match &e {
             PsEdge::Directed {
                 src,
                 dst,

@@ -278,7 +278,7 @@ mod tests {
             int main() { k(); return 0; }
             "#,
         );
-        let has_last = ps.edges.iter().any(|e| {
+        let has_last = ps.edges().any(|e| {
             matches!(
                 e,
                 PsEdge::Directed { selector: Some(s), .. } if s.kind == SelectorKind::LastProducer
@@ -304,7 +304,7 @@ mod tests {
             int main() { k(); return 0; }
             "#,
         );
-        let has_any = ps.edges.iter().any(|e| {
+        let has_any = ps.edges().any(|e| {
             matches!(
                 e,
                 PsEdge::Directed { selector: Some(s), .. } if s.kind == SelectorKind::AnyProducer
@@ -327,7 +327,7 @@ mod tests {
             int main() { k(); return 0; }
             "#,
         );
-        let has_all = ps.edges.iter().any(|e| {
+        let has_all = ps.edges().any(|e| {
             matches!(
                 e,
                 PsEdge::Directed { selector: Some(s), .. } if s.kind == SelectorKind::AllConsumers
@@ -370,7 +370,7 @@ mod tests {
         assert_eq!(sections.len(), 2);
         let a = ps.node_insts(sections[0]);
         let b = ps.node_insts(sections[1]);
-        let connected = ps.effective.edges.iter().any(|e| {
+        let connected = ps.effective.edges().any(|e| {
             e.kind.is_memory()
                 && ((a.binary_search(&e.src).is_ok() && b.binary_search(&e.dst).is_ok())
                     || (b.binary_search(&e.src).is_ok() && a.binary_search(&e.dst).is_ok()))
@@ -404,7 +404,7 @@ mod tests {
         assert_eq!(tasks.len(), 2);
         let a = ps.node_insts(tasks[0]);
         let b = ps.node_insts(tasks[1]);
-        let connected = ps.effective.edges.iter().any(|e| {
+        let connected = ps.effective.edges().any(|e| {
             e.kind.is_memory()
                 && ((a.binary_search(&e.src).is_ok() && b.binary_search(&e.dst).is_ok())
                     || (b.binary_search(&e.src).is_ok() && a.binary_search(&e.dst).is_ok()))
@@ -436,7 +436,7 @@ mod tests {
         assert_eq!(tasks.len(), 2);
         let a = ps.node_insts(tasks[0]);
         let b = ps.node_insts(tasks[1]);
-        let connected = ps.effective.edges.iter().any(|e| {
+        let connected = ps.effective.edges().any(|e| {
             e.kind.is_memory()
                 && ((a.binary_search(&e.src).is_ok() && b.binary_search(&e.dst).is_ok())
                     || (b.binary_search(&e.src).is_ok() && a.binary_search(&e.dst).is_ok()))

@@ -104,18 +104,18 @@ impl RemovableBases {
 ///
 /// The view is *loop-local*: it contains exactly the edges the per-loop
 /// consumers ([`loop_sccs`], [`blocking_carried_edges`], technique
-/// assessment) inspect, gathered through the effective graph's adjacency
-/// and carried indexes instead of a full edge-arena clone.
+/// assessment) inspect, gathered through the effective overlay's masked
+/// adjacency and carried queries instead of a full edge-arena clone.
 pub fn loop_view(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> Pdg {
     let eff = &pspdg.effective;
     let n = eff.len();
     let removable = RemovableBases::for_loop(pspdg, analyses, l);
     let insts = analyses.loop_insts(l);
     let inst_set: BTreeSet<InstId> = insts.iter().copied().collect();
-    let mut taken = vec![false; eff.edges.len()];
+    let mut taken = vec![false; eff.base().edges.len()];
     let mut edges: Vec<PdgEdge> = Vec::new();
     let mut consider = |ei: u32, edges: &mut Vec<PdgEdge>| {
-        let e = &eff.edges[ei as usize];
+        let e = eff.edge(ei);
         if std::mem::replace(&mut taken[ei as usize], true) {
             return;
         }
@@ -126,16 +126,16 @@ pub fn loop_view(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> Pdg {
         resolve_sentinel(&mut e2.kind, l);
         edges.push(e2);
     };
-    // Loop-internal edges, via per-source adjacency.
+    // Loop-internal edges, via the masked per-source adjacency.
     for &i in &insts {
-        for &ei in eff.edge_indices_from(i) {
-            if inst_set.contains(&eff.edges[ei as usize].dst) {
+        for ei in eff.edge_ids_from(i) {
+            if inst_set.contains(&eff.edge(ei).dst) {
                 consider(ei, &mut edges);
             }
         }
     }
     // Sentinel-carried edges constrain every loop regardless of location.
-    for &ei in eff.carried_edge_indices(UNKNOWN_LOOP) {
+    for ei in eff.carried_edge_ids(UNKNOWN_LOOP) {
         consider(ei, &mut edges);
     }
     Pdg::from_edges(pspdg.func, n, edges)
@@ -174,14 +174,15 @@ pub fn blocking_carried_edges(
     let iv = analyses.canonical_of(l).map(|c| c.iv_alloca);
     let eff = &pspdg.effective;
     let removable = RemovableBases::for_loop(pspdg, analyses, l);
-    // Candidates come straight from the carried indexes (the edges carried
-    // at `l`, plus sentinel-carried edges that count as carried everywhere).
-    let mut ids: Vec<u32> = eff.carried_edge_indices(l).to_vec();
-    ids.extend_from_slice(eff.carried_edge_indices(UNKNOWN_LOOP));
+    // Candidates come straight from the overlay's carried queries (the
+    // edges carried at `l`, plus sentinel-carried edges that count as
+    // carried everywhere).
+    let mut ids: Vec<u32> = eff.carried_edge_ids(l).collect();
+    ids.extend(eff.carried_edge_ids(UNKNOWN_LOOP));
     ids.sort_unstable();
     ids.dedup();
     ids.into_iter()
-        .map(|ei| &eff.edges[ei as usize])
+        .map(|ei| eff.edge(ei))
         .filter(|e| !removable.removes(e))
         .filter(|e| match (e.base, iv) {
             (Some(pspdg_pdg::MemBase::Alloca(a)), Some(iv)) => a != iv,
@@ -382,8 +383,11 @@ mod tests {
             let pdg = Pdg::build(&p.module, fp.func, &a);
             let ps = build_pspdg(&p, fp.func, &a, &pdg, FeatureSet::all());
             assert_eq!(fp.pdg.edges.len(), pdg.edges.len());
-            assert_eq!(fp.pspdg.edges.len(), ps.edges.len());
-            assert_eq!(fp.pspdg.effective.edges.len(), ps.effective.edges.len());
+            assert_eq!(fp.pspdg.edge_count(), ps.edge_count());
+            assert_eq!(
+                fp.pspdg.effective.surviving_len(),
+                ps.effective.surviving_len()
+            );
             for l in a.forest.loop_ids() {
                 assert_eq!(
                     blocking_carried_edges(&fp.pspdg, &p.module, &fp.analyses, l).len(),

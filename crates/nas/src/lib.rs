@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod synth;
 
 use pspdg_frontend::compile;
 use pspdg_parallel::ParallelProgram;

@@ -1,0 +1,108 @@
+//! SYNTH — a statically-scaled dependence-analysis stress kernel.
+//!
+//! The NAS kernels scale *dynamically* with [`Class`] (trip counts grow,
+//! the static shape stays fixed at a few dozen memory references), so they
+//! cannot exhibit the asymptotic O(R²) → O(Σ bucket²) difference between
+//! the all-pairs dependence sweep and per-base-object bucketing. This
+//! generator scales the *static* reference count instead: `bases` distinct
+//! global arrays, each swept by its own recurrence loop plus a
+//! cross-statement accumulation — so R grows linearly with `bases` while
+//! every bucket stays O(1), making the bucketing win visible at benchmark
+//! scale (`BENCH_pdg.json`'s SYNTH rows).
+
+use crate::{Benchmark, Class};
+
+/// Number of distinct base objects (≈ R/3 static memory references) the
+/// class generates.
+pub fn bases_for(class: Class) -> usize {
+    match class {
+        Class::Test => 48,
+        Class::Mini => 192,
+    }
+}
+
+/// The SYNTH benchmark at the given class: static reference count scales
+/// with the class ([`bases_for`]), trip counts stay small.
+pub fn benchmark(class: Class) -> Benchmark {
+    wide(bases_for(class))
+}
+
+/// SYNTH with an explicit base-object count (the `BENCH_pdg.json` sweep
+/// uses several widths to show the asymptotic trend).
+pub fn wide(bases: usize) -> Benchmark {
+    let mut src = String::new();
+    for k in 0..bases {
+        src.push_str(&format!("int w{k}[64];\n"));
+    }
+    src.push_str("int acc;\n");
+    src.push_str("void k() {\n");
+    for k in 0..bases {
+        src.push_str(&format!(
+            "int i{k}; for (i{k} = 1; i{k} < 64; i{k}++) {{ w{k}[i{k}] = w{k}[i{k} - 1] + {k}; }}\n"
+        ));
+    }
+    // One accumulation per array, outside the loops: an extra static read
+    // per base without adding cross-base aliasing.
+    src.push_str("int j;\nfor (j = 0; j < 1; j++) {\n");
+    for k in 0..bases {
+        src.push_str(&format!("acc += w{k}[63];\n"));
+    }
+    src.push_str("}\n}\n");
+    src.push_str("int main() { k(); print_i64(acc); return acc % 251; }\n");
+    Benchmark {
+        name: "SYNTH",
+        description: "statically-scaled multi-array recurrences (bucketing stress)",
+        source: src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_pdg::{collect_mem_refs, FunctionAnalyses};
+
+    fn static_refs(b: &Benchmark) -> usize {
+        let p = b.program();
+        p.module
+            .function_ids()
+            .filter(|f| !p.module.function(*f).blocks.is_empty())
+            .map(|f| {
+                let a = FunctionAnalyses::compute(&p.module, f);
+                collect_mem_refs(&p.module, f, &a).len()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn compiles_and_runs_at_both_classes() {
+        for class in [Class::Test, Class::Mini] {
+            let b = benchmark(class);
+            let p = b.program();
+            let mut interp = pspdg_ir::interp::Interpreter::new(&p.module);
+            let ret = interp
+                .run_main(&mut pspdg_ir::interp::NullSink)
+                .expect("SYNTH runs");
+            assert!(ret.is_some());
+        }
+    }
+
+    #[test]
+    fn mini_scales_static_refs_not_just_trip_counts() {
+        let test_refs = static_refs(&benchmark(Class::Test));
+        let mini_refs = static_refs(&benchmark(Class::Mini));
+        assert!(
+            mini_refs >= test_refs * 3,
+            "Mini must grow the *static* reference count: {test_refs} -> {mini_refs}"
+        );
+    }
+
+    #[test]
+    fn wide_scales_linearly_in_bases() {
+        let a = static_refs(&wide(16));
+        let b = static_refs(&wide(32));
+        assert!(
+            b > a && b < a * 3,
+            "R grows ~linearly with bases: {a} -> {b}"
+        );
+    }
+}

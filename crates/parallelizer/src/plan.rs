@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use pspdg_core::{build_pspdg_module, query, FeatureSet, FunctionPsPdg, PsEdge, PsPdg};
+use pspdg_core::{build_pspdg_module, query, FeatureSet, FunctionPsPdg, PsPdg};
 use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, InstId, LoopId};
 use pspdg_parallel::{DirectiveKind, ParallelProgram};
@@ -383,19 +383,11 @@ fn reduction_bases(
 pub fn mutex_pressure(pspdg: &PsPdg, analyses: &FunctionAnalyses, l: LoopId) -> usize {
     let insts = analyses.loop_insts(l);
     pspdg
-        .edges
-        .iter()
-        .filter(|e| match e {
-            PsEdge::Undirected { a, b, .. } => {
-                let mut touched = false;
-                for n in [a, b] {
-                    if pspdg.node_insts(*n).iter().any(|i| insts.contains(i)) {
-                        touched = true;
-                    }
-                }
-                touched
-            }
-            _ => false,
+        .undirected_edges()
+        .filter(|(_, a, b)| {
+            [a, b]
+                .iter()
+                .any(|n| pspdg.node_insts(**n).iter().any(|i| insts.contains(i)))
         })
         .count()
 }

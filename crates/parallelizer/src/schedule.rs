@@ -63,19 +63,33 @@ pub struct ChunkedLoop {
     pub protected: Vec<MemBase>,
 }
 
+/// The operator of a deferred critical update (see [`CriticalUpdate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CritOp {
+    /// Arithmetic read-modify-write `*p = *p ⟨op⟩ e`, `op ∈ {+, -, ×}`.
+    Arith(BinOp),
+    /// Value-predicated min/max update `*p = min/max(*p, e)` through the
+    /// named intrinsic (`imin`/`imax`/`fmin`/`fmax`). The replay applies
+    /// the same intrinsic, keeping the cell bit-identical to sequential
+    /// execution (min/max instances commute, and chunk order equals
+    /// iteration order anyway).
+    Select(Intrinsic),
+}
+
 /// One store inside a surviving critical/atomic region, proven to be a
-/// pure read-modify-write `*p = *p ⟨op⟩ operand` whose feedback value
-/// never escapes the update chain. Executing the region in a forked
-/// worker is then safe: everything except the protected cells is real,
-/// and the protected mutation is captured as a *delta* the master replays
-/// serially at commit — the runtime realization of the PS-PDG's
-/// first-class (orderless, mutually exclusive) atomic-update semantics.
+/// pure read-modify-write `*p = *p ⟨op⟩ operand` (or a min/max intrinsic
+/// update `*p = min/max(*p, operand)`) whose feedback value never escapes
+/// the update chain. Executing the region in a forked worker is then
+/// safe: everything except the protected cells is real, and the protected
+/// mutation is captured as a *delta* the master replays serially at
+/// commit — the runtime realization of the PS-PDG's first-class
+/// (orderless, mutually exclusive) atomic-update semantics.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CriticalUpdate {
     /// The protected store instruction (the worker's log trigger).
     pub store: InstId,
-    /// RMW operator (`Add`, `Sub`, or `Mul`).
-    pub op: BinOp,
+    /// The deferred operator.
+    pub op: CritOp,
     /// The non-feedback operand, evaluated in the worker at store time.
     pub operand: Value,
 }
@@ -466,8 +480,10 @@ impl<'a> FuncRealizer<'a> {
             .filter(|i| self.mutex_insts.contains(i))
             .collect();
         // Collect the critical/atomic regions overlapping the surviving
-        // mutex instructions.
+        // mutex instructions (`regions` keeps each region's own
+        // instruction set for the guarded-min/max diagnosis below).
         let mut region_insts: BTreeSet<InstId> = BTreeSet::new();
+        let mut regions: Vec<BTreeSet<InstId>> = Vec::new();
         let mut region_stores: Vec<InstId> = Vec::new();
         for (_, d) in self.program.directives_in(self.func) {
             if !matches!(
@@ -485,7 +501,13 @@ impl<'a> FuncRealizer<'a> {
             if insts.is_disjoint(&loop_mutex) {
                 continue;
             }
-            if d.region.blocks.iter().any(|bb| !info.contains(*bb)) {
+            // Unreachable stub blocks (the empty else of an `if`) don't
+            // count against containment — they never execute.
+            if d.region
+                .blocks
+                .iter()
+                .any(|bb| self.analyses.cfg.is_reachable(*bb) && !info.contains(*bb))
+            {
                 return Err("critical region extends beyond the loop");
             }
             region_insts.extend(&insts);
@@ -502,6 +524,7 @@ impl<'a> FuncRealizer<'a> {
                     _ => {}
                 }
             }
+            regions.push(insts);
         }
         if !loop_mutex.is_subset(&region_insts) {
             return Err("surviving mutex outside any critical/atomic region");
@@ -518,12 +541,19 @@ impl<'a> FuncRealizer<'a> {
             }
             protected.insert(base);
         }
-        // Every region store is a deferrable RMW. `feedback_of` /
-        // `store_of` record each chain's *owner*, so the escape scan
-        // below can insist a feedback value feeds only its own update
-        // and an update value only its own store — a load serving as
-        // feedback for one store and operand of another would replay
-        // with a fork-local (non-sequential) value.
+        // Every region store is a deferrable RMW — arithmetic (`+`, `-`,
+        // `×`) or a min/max intrinsic update. `feedback_of` / `store_of`
+        // record each chain's *owner*, so the escape scan below can insist
+        // a feedback value feeds only its own update and an update value
+        // only its own store — a load serving as feedback for one store
+        // and operand of another would replay with a fork-local
+        // (non-sequential) value.
+        //
+        // A *guarded* min/max (`if (e > *p) *p = e;`) is NOT deferrable in
+        // this form: the store's execution is predicated on a fork-local
+        // read of the protected cell, so workers would log the wrong
+        // instance set. It serializes with a distinct cause so reports can
+        // tell "rewrite as fmax/imax" apart from genuinely opaque stores.
         let mut updates = Vec::new();
         let mut feedback_of: BTreeMap<InstId, InstId> = BTreeMap::new();
         let mut store_of: BTreeMap<InstId, InstId> = BTreeMap::new();
@@ -531,15 +561,38 @@ impl<'a> FuncRealizer<'a> {
             let Inst::Store { ptr, value } = &f.inst(i).inst else {
                 unreachable!()
             };
+            // The guarded min/max shape (`if (e > *p) { *p = e; }`): an
+            // *ordered* compare against a protected load in the *same*
+            // region as the failing store. Equality tests (test-and-set)
+            // and compares in unrelated regions keep the generic cause.
+            let guarded_or = |generic: &'static str| -> &'static str {
+                let base = pspdg_pdg::trace_base(f, *ptr);
+                let Some(region) = regions.iter().find(|r| r.contains(&i)) else {
+                    return generic;
+                };
+                let loads_protected = |v: Value| -> bool {
+                    v.as_inst().is_some_and(|li| {
+                        region.contains(&li)
+                            && matches!(&f.inst(li).inst,
+                                Inst::Load { ptr: lp, .. }
+                                    if pspdg_pdg::trace_base(f, *lp) == base)
+                    })
+                };
+                let guarded = region.iter().any(|&ci| {
+                    matches!(&f.inst(ci).inst,
+                        Inst::Cmp { op, lhs, rhs }
+                            if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+                                && (loads_protected(*lhs) || loads_protected(*rhs)))
+                });
+                if guarded {
+                    "guarded critical min/max update (conditional store; use fmax/fmin/imax/imin to defer)"
+                } else {
+                    generic
+                }
+            };
             let Some(vi) = value.as_inst() else {
-                return Err("critical store is not a read-modify-write");
+                return Err(guarded_or("critical store is not a read-modify-write"));
             };
-            let Inst::Binary { op, lhs, rhs } = &f.inst(vi).inst else {
-                return Err("critical store is not a read-modify-write");
-            };
-            if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
-                return Err("critical update operator is not +, -, or *");
-            }
             let feeds_back = |v: Value| -> Option<InstId> {
                 let li = v.as_inst()?;
                 match &f.inst(li).inst {
@@ -549,10 +602,34 @@ impl<'a> FuncRealizer<'a> {
                     _ => None,
                 }
             };
-            let (fb, operand) = match (feeds_back(*lhs), feeds_back(*rhs)) {
-                (Some(fl), None) => (fl, *rhs),
-                (None, Some(fr)) if !matches!(op, BinOp::Sub) => (fr, *lhs),
-                _ => return Err("critical update has no unique feedback load"),
+            let (op, fb, operand) = match &f.inst(vi).inst {
+                Inst::Binary { op, lhs, rhs } => {
+                    if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
+                        return Err("critical update operator is not +, -, or *");
+                    }
+                    let (fb, operand) = match (feeds_back(*lhs), feeds_back(*rhs)) {
+                        (Some(fl), None) => (fl, *rhs),
+                        (None, Some(fr)) if !matches!(op, BinOp::Sub) => (fr, *lhs),
+                        _ => return Err("critical update has no unique feedback load"),
+                    };
+                    (CritOp::Arith(*op), fb, operand)
+                }
+                Inst::IntrinsicCall { intrinsic, args }
+                    if matches!(
+                        intrinsic,
+                        Intrinsic::Imax | Intrinsic::Imin | Intrinsic::Fmax | Intrinsic::Fmin
+                    ) && args.len() == 2 =>
+                {
+                    // min/max are commutative: the feedback load may sit on
+                    // either side.
+                    let (fb, operand) = match (feeds_back(args[0]), feeds_back(args[1])) {
+                        (Some(fl), None) => (fl, args[1]),
+                        (None, Some(fr)) => (fr, args[0]),
+                        _ => return Err("critical update has no unique feedback load"),
+                    };
+                    (CritOp::Select(*intrinsic), fb, operand)
+                }
+                _ => return Err(guarded_or("critical store is not a read-modify-write")),
             };
             if feedback_of.insert(fb, vi).is_some() {
                 return Err("critical feedback load shared between updates");
@@ -562,7 +639,7 @@ impl<'a> FuncRealizer<'a> {
             }
             updates.push(CriticalUpdate {
                 store: i,
-                op: *op,
+                op,
                 operand,
             });
         }
@@ -814,7 +891,7 @@ impl<'a> FuncRealizer<'a> {
             nested.extend(self.analyses.loop_insts(c));
             stack.extend(self.analyses.forest.info(c).children.iter().copied());
         }
-        for e in &self.pdg().edges {
+        for e in self.pdg().edges.iter() {
             if !loop_insts.contains(&e.src) || !loop_insts.contains(&e.dst) {
                 continue;
             }
@@ -991,7 +1068,7 @@ mod tests {
         match &s.exec {
             LoopExec::Chunked(c) => {
                 assert_eq!(c.criticals.len(), 1, "one deferred RMW store");
-                assert_eq!(c.criticals[0].op, BinOp::Add);
+                assert_eq!(c.criticals[0].op, CritOp::Arith(BinOp::Add));
                 assert_eq!(
                     c.protected,
                     vec![MemBase::Global(pspdg_ir::GlobalId(1))],
@@ -999,6 +1076,144 @@ mod tests {
                 );
             }
             other => panic!("deferrable atomic must still chunk: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn critical_fmax_update_defers_to_commit_replay() {
+        // EP-style `best = fmax(best, e)`: a min/max intrinsic update is a
+        // deferrable RMW — the loop must still chunk, with the update
+        // captured as a value-predicated `CritOp::Select`.
+        let (p, plan) = plan_of(
+            r#"
+            double best; double v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical
+                    { best = fmax(best, v[i]); }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        assert!(!plan.mutexes.is_empty(), "the critical must survive");
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        match &s.exec {
+            LoopExec::Chunked(c) => {
+                assert_eq!(c.criticals.len(), 1, "one deferred min/max store");
+                assert_eq!(c.criticals[0].op, CritOp::Select(pspdg_ir::Intrinsic::Fmax));
+                assert_eq!(c.protected, vec![MemBase::Global(pspdg_ir::GlobalId(0))]);
+            }
+            other => panic!("deferrable fmax critical must still chunk: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_imin_with_swapped_operands_defers() {
+        // min/max are commutative: the feedback load may be either
+        // argument of the intrinsic.
+        let (p, plan) = plan_of(
+            r#"
+            int lo; int v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical
+                    { lo = imin(v[i], lo); }
+                }
+            }
+            int main() { lo = 1000; k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        if plan.mutexes.is_empty() {
+            return; // nothing survived to defer; other tests cover that
+        }
+        match &s.exec {
+            LoopExec::Chunked(c) => {
+                assert_eq!(c.criticals.len(), 1);
+                assert_eq!(c.criticals[0].op, CritOp::Select(pspdg_ir::Intrinsic::Imin));
+            }
+            other => panic!("swapped-operand imin must defer: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guarded_critical_minmax_serializes_with_distinct_cause() {
+        // MG-style `if (v > best) { best = v; }` inside the critical: the
+        // store is predicated on a fork-local read of the protected cell,
+        // so it must stay serialized — under a *distinct* fallback cause
+        // (telling "rewrite as fmax" apart from opaque critical stores).
+        let (p, plan) = plan_of(
+            r#"
+            double best; double v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical
+                    { if (v[i] > best) { best = v[i]; } }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        assert!(!plan.mutexes.is_empty(), "the critical must survive");
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        match &s.exec {
+            LoopExec::Sequential { reason } => {
+                assert!(
+                    reason.contains("guarded critical min/max"),
+                    "guarded form needs its distinct cause, got: {reason}"
+                );
+            }
+            other => panic!("guarded min/max must serialize: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn test_and_set_critical_keeps_generic_cause() {
+        // `if (flag == 0) { flag = 1; }` is a test-and-set, not a min/max:
+        // the equality guard must NOT be diagnosed as a guarded min/max
+        // (rewriting it as fmax would be wrong advice).
+        let (p, plan) = plan_of(
+            r#"
+            int flag; int v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    v[i] = i;
+                    #pragma omp critical
+                    { if (flag == 0) { flag = 1; } }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        if plan.mutexes.is_empty() {
+            return;
+        }
+        match &s.exec {
+            LoopExec::Sequential { reason } => {
+                assert!(
+                    !reason.contains("guarded critical min/max"),
+                    "test-and-set must keep the generic cause, got: {reason}"
+                );
+            }
+            other => panic!("test-and-set critical must serialize: {other:?}"),
         }
     }
 

@@ -101,7 +101,7 @@ pub fn jk_view(program: &ParallelProgram, analyses: &FunctionAnalyses, pdg: &Pdg
     // Narrow carried sets (a dependence may still be carried at loops the
     // programmer did not annotate); drop edges with nothing left.
     let mut edges = Vec::new();
-    for e in &pdg.edges {
+    for e in pdg.edges.iter() {
         let mut e2 = e.clone();
         let mut keep = true;
         if e2.kind.is_memory() && !synced.contains(&e2.src) && !synced.contains(&e2.dst) {

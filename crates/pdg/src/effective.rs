@@ -1,0 +1,258 @@
+//! A copy-on-write *effective graph*: a base [`Pdg`] overlaid with the
+//! edge removals and carried-set rewrites a semantic abstraction (the
+//! PS-PDG's directive passes) justifies.
+//!
+//! Re-assembling the effective graph after a directive-set change used to
+//! deep-clone every surviving edge into a fresh [`Pdg`] — an O(E) copy per
+//! build, paid once per candidate directive set by the enumeration sweep.
+//! An [`EffectiveView`] instead *borrows* the base graph's edge arena
+//! (shared through the `Pdg`'s reference-counted storage) and carries only
+//!
+//! * a **removed-edge bitmask** — one bit per base edge;
+//! * a **sparse rewrite map** — the few edges whose
+//!   [`DepKind`](crate::DepKind) changed
+//!   (a worksharing declaration *narrowing* the carried set, or the
+//!   context ablation *blurring* it to the sentinel loop);
+//! * small per-loop **carried deltas** derived from the rewrites, so
+//!   carried-loop queries stay index-driven even for loops (the blur
+//!   sentinel) absent from the base index.
+//!
+//! Every [`Pdg`]-style query (adjacency, per-base, per-carried-loop) is
+//! answered through the mask without rebuilding CSR indexes. Consumers
+//! that genuinely need an owned graph (none of the hot paths do) call
+//! [`EffectiveView::materialize`], which reproduces exactly the `Pdg` the
+//! old cloning assemble built.
+//!
+//! ## Invariants
+//!
+//! * A rewrite never changes an edge's `src`, `dst`, or `base` — only its
+//!   kind (checked in debug builds). Adjacency and per-base queries can
+//!   therefore filter the base indexes by the mask alone.
+//! * Rewrite keys are never removed edges.
+//! * A rewrite never turns an uncarried edge into a carried one except
+//!   through loops recorded in the carried deltas (the constructor derives
+//!   the deltas, so this holds by construction).
+
+use std::collections::BTreeMap;
+
+use pspdg_ir::{InstId, LoopId};
+
+use crate::alias::MemBase;
+use crate::graph::{Pdg, PdgEdge};
+
+/// A base [`Pdg`] plus the edge-overlay (removals, kind rewrites) of an
+/// effective dependence graph. See the module docs for the representation
+/// and its invariants.
+#[derive(Debug, Clone)]
+pub struct EffectiveView {
+    /// The base graph (shares the edge arena with whoever built it).
+    base: Pdg,
+    /// Removal bitmask over base edge ids.
+    removed: Box<[u64]>,
+    /// Number of set bits in `removed`.
+    removed_count: usize,
+    /// Sparse per-edge kind rewrites (same `src`/`dst`/`base` as the base
+    /// edge). Each entry is the overlay's only per-edge clone.
+    rewrites: BTreeMap<u32, PdgEdge>,
+    /// Rewritten edges carried at a loop the base index does not list them
+    /// under (the blur sentinel), per loop.
+    carried_added: BTreeMap<LoopId, Vec<u32>>,
+}
+
+impl EffectiveView {
+    /// Build a view of `base` removing the edges flagged in `removed` and
+    /// replacing the kinds of the `rewrites` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `removed` does not cover every base edge; debug builds
+    /// additionally assert the rewrite invariants (keys survive, only the
+    /// kind differs from the base edge).
+    pub fn new(base: &Pdg, removed: &[bool], rewrites: BTreeMap<u32, PdgEdge>) -> EffectiveView {
+        assert_eq!(removed.len(), base.edges.len(), "mask must cover the arena");
+        let mut mask = vec![0u64; removed.len().div_ceil(64)].into_boxed_slice();
+        let mut removed_count = 0usize;
+        for (i, &r) in removed.iter().enumerate() {
+            if r {
+                mask[i / 64] |= 1 << (i % 64);
+                removed_count += 1;
+            }
+        }
+        let mut carried_added: BTreeMap<LoopId, Vec<u32>> = BTreeMap::new();
+        for (&ei, e) in &rewrites {
+            let orig = &base.edges[ei as usize];
+            debug_assert!(!removed[ei as usize], "rewrite of a removed edge");
+            debug_assert_eq!((e.src, e.dst, e.base), (orig.src, orig.dst, orig.base));
+            for &l in e.kind.carried() {
+                if !orig.kind.carried_at(l) {
+                    carried_added.entry(l).or_default().push(ei);
+                }
+            }
+        }
+        EffectiveView {
+            base: base.clone(),
+            removed: mask,
+            removed_count,
+            rewrites,
+            carried_added,
+        }
+    }
+
+    /// A view that removes and rewrites nothing (the effective graph of an
+    /// abstraction with no applicable semantics).
+    pub fn identity(base: &Pdg) -> EffectiveView {
+        EffectiveView {
+            base: base.clone(),
+            removed: vec![0u64; base.edges.len().div_ceil(64)].into_boxed_slice(),
+            removed_count: 0,
+            rewrites: BTreeMap::new(),
+            carried_added: BTreeMap::new(),
+        }
+    }
+
+    /// The base graph the overlay refines.
+    pub fn base(&self) -> &Pdg {
+        &self.base
+    }
+
+    /// Number of instruction nodes (same as the base graph's).
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Whether base edge `ei` is removed in the effective graph.
+    pub fn is_removed(&self, ei: u32) -> bool {
+        self.removed[ei as usize / 64] & (1 << (ei % 64)) != 0
+    }
+
+    /// Number of surviving edges.
+    pub fn surviving_len(&self) -> usize {
+        self.base.edges.len() - self.removed_count
+    }
+
+    /// Number of removed edges.
+    pub fn removed_len(&self) -> usize {
+        self.removed_count
+    }
+
+    /// Number of per-edge clones the overlay carries (its rewrite entries)
+    /// — the *only* edges the assemble step copied. Surfaced by the bench
+    /// harness to certify the rebuild path allocates no per-edge clones
+    /// beyond the rewrites a directive set forces.
+    pub fn rewrite_count(&self) -> usize {
+        self.rewrites.len()
+    }
+
+    /// The effective edge with base-arena id `ei` (the rewritten kind if
+    /// the overlay changed it). Callable for removed ids too; pair with
+    /// [`EffectiveView::is_removed`] when that matters.
+    pub fn edge(&self, ei: u32) -> &PdgEdge {
+        self.rewrites
+            .get(&ei)
+            .unwrap_or_else(|| &self.base.edges[ei as usize])
+    }
+
+    /// Ids of every surviving edge, ascending.
+    pub fn edge_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.base.edges.len() as u32).filter(move |ei| !self.is_removed(*ei))
+    }
+
+    /// Every surviving edge (with rewrites applied), in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edge_ids().map(move |ei| self.edge(ei))
+    }
+
+    /// Ids of surviving edges leaving `inst`.
+    pub fn edge_ids_from(&self, inst: InstId) -> impl Iterator<Item = u32> + '_ {
+        self.base
+            .edge_indices_from(inst)
+            .iter()
+            .copied()
+            .filter(move |ei| !self.is_removed(*ei))
+    }
+
+    /// Surviving outgoing edges of `inst`.
+    pub fn edges_from(&self, inst: InstId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edge_ids_from(inst).map(move |ei| self.edge(ei))
+    }
+
+    /// Ids of surviving edges entering `inst`.
+    pub fn edge_ids_to(&self, inst: InstId) -> impl Iterator<Item = u32> + '_ {
+        self.base
+            .edge_indices_to(inst)
+            .iter()
+            .copied()
+            .filter(move |ei| !self.is_removed(*ei))
+    }
+
+    /// Surviving incoming edges of `inst`.
+    pub fn edges_to(&self, inst: InstId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edge_ids_to(inst).map(move |ei| self.edge(ei))
+    }
+
+    /// Ids of surviving memory edges through base object `mb`.
+    pub fn edge_ids_with_base(&self, mb: MemBase) -> impl Iterator<Item = u32> + '_ {
+        self.base
+            .edge_indices_with_base(mb)
+            .iter()
+            .copied()
+            .filter(move |ei| !self.is_removed(*ei))
+    }
+
+    /// Surviving memory edges through base object `mb`.
+    pub fn edges_with_base(&self, mb: MemBase) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.edge_ids_with_base(mb).map(move |ei| self.edge(ei))
+    }
+
+    /// Ids of surviving edges whose *effective* kind is carried at `l`:
+    /// the base per-loop index filtered by the mask and by rewrites that
+    /// narrowed `l` away, plus rewrites that made the edge carried at `l`
+    /// (the blur sentinel). No duplicates; order is unspecified.
+    pub fn carried_edge_ids(&self, l: LoopId) -> impl Iterator<Item = u32> + '_ {
+        let from_base = self
+            .base
+            .carried_edge_indices(l)
+            .iter()
+            .copied()
+            .filter(move |&ei| !self.is_removed(ei) && self.edge(ei).kind.carried_at(l));
+        let added = self
+            .carried_added
+            .get(&l)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&ei| !self.is_removed(ei));
+        from_base.chain(added)
+    }
+
+    /// Surviving edges carried at `l` under the effective kinds.
+    pub fn carried_edges(&self, l: LoopId) -> impl Iterator<Item = &PdgEdge> + '_ {
+        self.carried_edge_ids(l).map(move |ei| self.edge(ei))
+    }
+
+    /// Ids of surviving edges carried at *some* loop under the effective
+    /// kinds. (Rewrites only ever narrow or relabel carried sets, so the
+    /// base carried-any index is a superset of the effective one.)
+    pub fn carried_any_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.base
+            .carried_any_indices()
+            .iter()
+            .copied()
+            .filter(move |&ei| !self.is_removed(ei) && !self.edge(ei).kind.carried().is_empty())
+    }
+
+    /// Materialize the effective graph as an owned [`Pdg`] — exactly what
+    /// the pre-overlay assemble built. This pays the O(E) clone and CSR
+    /// rebuild the view exists to avoid; reach for it only at API
+    /// boundaries that require an owned graph (tests, oracles, exports).
+    pub fn materialize(&self) -> Pdg {
+        let edges: Vec<PdgEdge> = self.edges().cloned().collect();
+        Pdg::from_edges(self.base.func, self.base.len(), edges)
+    }
+}

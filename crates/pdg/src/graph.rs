@@ -15,6 +15,7 @@
 //! list.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use pspdg_ir::{FuncId, Inst, InstId, Intrinsic, LoopId, Module, Type, Value};
 use rayon::prelude::*;
@@ -183,13 +184,18 @@ impl EdgeIndex {
 /// The Program Dependence Graph of one function: a node per instruction and
 /// control/register/memory dependence edges, with secondary indexes for
 /// adjacency, base-object, and carried-loop queries.
+///
+/// The edge arena and its indexes are reference-counted: cloning a `Pdg`
+/// shares both in O(1) instead of copying every edge. Overlay abstractions
+/// (the PS-PDG's [`crate::EffectiveView`]) exploit this to keep a handle on
+/// their base graph without borrowing it.
 #[derive(Debug, Clone)]
 pub struct Pdg {
     /// The function this PDG describes.
     pub func: FuncId,
-    /// All edges.
-    pub edges: Vec<PdgEdge>,
-    index: EdgeIndex,
+    /// All edges (shared; a clone of the `Pdg` aliases the same arena).
+    pub edges: Arc<Vec<PdgEdge>>,
+    index: Arc<EdgeIndex>,
     n_insts: usize,
 }
 
@@ -277,8 +283,8 @@ impl Pdg {
         let index = EdgeIndex::build(n_insts, &edges);
         Pdg {
             func,
-            edges,
-            index,
+            edges: Arc::new(edges),
+            index: Arc::new(index),
             n_insts,
         }
     }
@@ -709,7 +715,7 @@ fn address_affine(
 pub fn edge_summary(pdg: &Pdg) -> String {
     let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
     let mut carried = 0usize;
-    for e in &pdg.edges {
+    for e in pdg.edges.iter() {
         *by_kind.entry(e.kind.name()).or_insert(0) += 1;
         if !e.kind.carried().is_empty() {
             carried += 1;

@@ -51,6 +51,7 @@ pub mod affine;
 pub mod alias;
 pub mod control;
 pub mod ddtest;
+pub mod effective;
 pub mod graph;
 pub mod scc;
 
@@ -58,6 +59,7 @@ pub use affine::{Affine, SymBase, TermVec};
 pub use alias::{base_of_varref, may_alias, trace_base, MemBase};
 pub use control::control_dependences;
 pub use ddtest::{DepTestResult, MemRef};
+pub use effective::EffectiveView;
 pub use graph::{collect_mem_refs, DepKind, EdgeIndex, FunctionPdg, Pdg, PdgEdge};
 pub use scc::{LoopScc, SccDag};
 

@@ -80,10 +80,10 @@ use pspdg_ir::interp::{
     MemState, ObjOrigin, RtVal,
 };
 use pspdg_ir::loops::trip_count_from;
-use pspdg_ir::{BinOp, BlockId, FuncId, Function, Inst, InstId, Module, Value};
+use pspdg_ir::{BlockId, FuncId, Function, Inst, InstId, Module, Value};
 use pspdg_parallel::{ParallelProgram, ReductionOp};
 use pspdg_parallelizer::{
-    realize_executable, ChunkedLoop, ExecutablePlan, LoopExec, LoopSchedule, PipelineLoop,
+    realize_executable, ChunkedLoop, CritOp, ExecutablePlan, LoopExec, LoopSchedule, PipelineLoop,
     ProgramPlan, RealizationStats,
 };
 use pspdg_pdg::MemBase;
@@ -200,9 +200,9 @@ impl RunStats {
 }
 
 /// A chunk worker's view of the loop's deferred critical updates: the
-/// function owning the protected stores, and each store's operator and
-/// non-feedback operand.
-type CritUpdates<'a> = (FuncId, &'a HashMap<InstId, (BinOp, Value)>);
+/// function owning the protected stores, and each store's operator
+/// (arithmetic RMW or value-predicated min/max) and non-feedback operand.
+type CritUpdates<'a> = (FuncId, &'a HashMap<InstId, (CritOp, Value)>);
 
 /// Hardware threads available to this process (cached). The pipeline
 /// cost gate uses it: decoupled stages cannot outrun sequential
@@ -447,7 +447,7 @@ struct Engine<'a> {
     crit: Option<CritUpdates<'a>>,
     /// Logged critical instances `(address, op, operand value)` in
     /// execution order (chunk workers only).
-    crit_log: Vec<(MemAddr, BinOp, RtVal)>,
+    crit_log: Vec<(MemAddr, CritOp, RtVal)>,
     stats: RunStats,
 }
 
@@ -820,7 +820,7 @@ impl<'a> Engine<'a> {
                 None => return Ok(Some(FallbackWhy::Unevaluable)),
             }
         }
-        let crit_map: HashMap<InstId, (BinOp, Value)> = c
+        let crit_map: HashMap<InstId, (CritOp, Value)> = c
             .criticals
             .iter()
             .map(|u| (u.store, (u.op, u.operand)))
@@ -843,7 +843,7 @@ impl<'a> Engine<'a> {
 
         struct ChunkOut {
             mem: MemState,
-            crit_log: Vec<(MemAddr, BinOp, RtVal)>,
+            crit_log: Vec<(MemAddr, CritOp, RtVal)>,
             output: Vec<String>,
             steps: u64,
         }
@@ -933,11 +933,11 @@ impl<'a> Engine<'a> {
             });
             for &(addr, op, e) in &out.crit_log {
                 let cur = staging.read(addr);
-                match eval_binop(op, cur, e) {
+                match replay_update(op, cur, e) {
                     Ok(v) => staging.write(addr, v),
                     // E.g. an uninitialized protected cell: sequential
                     // execution faults at this instance in order.
-                    Err(_) => {
+                    Err(()) => {
                         replay_fault = true;
                         break;
                     }
@@ -1342,6 +1342,21 @@ enum PipeMsg {
     Iter(Packet),
     Exit { packet: Packet, exit: BlockId },
     Abort,
+}
+
+/// Apply one deferred critical delta to the staging cell: arithmetic RMWs
+/// go through the interpreter's binop evaluator, min/max updates through
+/// the same intrinsic the sequential program executed — so replayed cells
+/// finish bit-identical to sequential execution in both cases.
+fn replay_update(op: CritOp, cur: RtVal, e: RtVal) -> Result<RtVal, ()> {
+    match op {
+        CritOp::Arith(b) => eval_binop(b, cur, e).map_err(|_| ()),
+        CritOp::Select(intr) => {
+            // Min/max intrinsics never print; the sink is unused.
+            let mut sink = Vec::new();
+            eval_intrinsic(intr, &[cur, e], &mut sink).map_err(|_| ())
+        }
+    }
 }
 
 /// The identity a worker-fork cell starts from under a reduction operator,

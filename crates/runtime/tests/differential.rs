@@ -372,6 +372,12 @@ mod criticals {
         CriticalSub,
         /// `critical { c[i % 8] *= 2; }` — multiplicative update.
         CriticalMul,
+        /// `critical { d = fmax(d, dv[i]); }` — float max (value-predicated
+        /// replay; compares bit-identically, min/max commute).
+        CriticalFmax,
+        /// `critical { s = imin(s, v[i] - k); }` — integer min with the
+        /// feedback load on either operand side.
+        CriticalImin { k: i64, swapped: bool },
     }
 
     impl CritLoop {
@@ -392,6 +398,19 @@ mod criticals {
                 CritLoop::CriticalMul => format!(
                     "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ c[i % 8] *= 2; }}\n}}\n"
                 ),
+                CritLoop::CriticalFmax => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ d = fmax(d, dv[i]); }}\n}}\n"
+                ),
+                CritLoop::CriticalImin { k, swapped } => {
+                    let call = if swapped {
+                        format!("imin(v[i] - {k}, s)")
+                    } else {
+                        format!("imin(s, v[i] - {k})")
+                    };
+                    format!(
+                        "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ s = {call}; }}\n}}\n"
+                    )
+                }
             }
         }
     }
@@ -403,6 +422,9 @@ mod criticals {
             Just(CritLoop::AtomicIndirect),
             Just(CritLoop::CriticalSub),
             Just(CritLoop::CriticalMul),
+            Just(CritLoop::CriticalFmax),
+            (0i64..5, proptest::bool::ANY)
+                .prop_map(|(k, swapped)| CritLoop::CriticalImin { k, swapped }),
         ]
     }
 
@@ -461,6 +483,61 @@ mod criticals {
             prop_assert!(stats.critical_replays > 0, "no deltas replayed: {:?}", stats);
             assert_differential("crit/pspdg", &p, Abstraction::PsPdg, workers);
         }
+    }
+}
+
+/// EP-style `best = max(best, e)` criticals: the min/max deferral must let
+/// the loop chunk with **zero** mutex-related fallbacks — no loop
+/// scheduled sequential, no replay fault — under both the OpenMP plan
+/// (where every critical survives) and the PS-PDG plan.
+#[test]
+fn ep_style_max_critical_chunks_with_zero_mutex_fallbacks() {
+    let src = r#"
+        double best; int bestbin; double dv[256];
+        void init() {
+            int i;
+            for (i = 0; i < 256; i++) {
+                dv[i] = (double)((i * 37 + 11) % 101) * 0.03125;
+            }
+            best = -1.0; bestbin = -1;
+        }
+        void k() {
+            int i;
+            #pragma omp parallel for
+            for (i = 0; i < 256; i++) {
+                #pragma omp critical
+                { best = fmax(best, dv[i]); }
+                #pragma omp critical(bin)
+                { bestbin = imax(bestbin, (i * 37 + 11) % 101); }
+            }
+        }
+        int main() {
+            init();
+            k();
+            print_f64(best);
+            print_i64(bestbin);
+            return bestbin % 101;
+        }
+        "#;
+    let p = compile(src).expect("EP-style max kernel compiles");
+    for abstraction in [Abstraction::OpenMp, Abstraction::PsPdg] {
+        let stats = assert_differential("ep-max", &p, abstraction, 4);
+        assert!(
+            stats.chunked_loops > 0,
+            "{abstraction:?}: the max-critical loop must chunk: {stats:?}"
+        );
+        assert!(
+            stats.critical_replays > 0,
+            "{abstraction:?}: min/max deltas must replay at commit: {stats:?}"
+        );
+        assert_eq!(
+            stats.fallbacks.scheduled_sequential, 0,
+            "{abstraction:?}: no loop may serialize on the mutex rule: {stats:?}"
+        );
+        assert_eq!(
+            stats.fallbacks.replay_fault, 0,
+            "{abstraction:?}: replay must not fault: {stats:?}"
+        );
     }
 }
 

@@ -63,7 +63,7 @@ fn main() {
     println!(
         "PS-PDG structure: {} nodes, {} edges, {} contexts, {} variables",
         pspdg.nodes.len(),
-        pspdg.edges.len(),
+        pspdg.edge_count(),
         pspdg.contexts.len(),
         pspdg.variables.len()
     );

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Regenerate BENCH_pdg.json (naive-oracle vs bucketed PDG construction on
-# the NAS Class::Test suite) and run the Criterion construction benches.
+# Regenerate BENCH_pdg.json (naive-oracle vs bucketed PDG construction,
+# plus overlay vs cloned effective-graph re-assemble, on the NAS
+# Class::Test suite + SYNTH widths) and run the Criterion benches.
 set -e
 cd "$(dirname "$0")/.."
 cargo run --release -p pspdg-bench --bin bench_pdg_json -- BENCH_pdg.json
