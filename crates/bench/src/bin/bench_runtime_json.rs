@@ -5,8 +5,17 @@
 //! plan's realization (how many loops chunked / pipelined / fell back to
 //! sequential), and the runtime-overhead counters introduced with the
 //! persistent-pool/CoW substrate: per-cause dynamic fallback counts, pool
-//! dispatches, copy-on-write fork volume, and replayed critical-update
-//! instances.
+//! dispatches, copy-on-write fork volume, and the critical-replay
+//! counters (operand packets logged, store instances applied).
+//!
+//! The measured suite is [`pspdg_nas::runtime_suite`]: the eight NAS
+//! kernels plus GMAX, whose guarded argmax/argmin criticals exercise the
+//! value-predicated replay-program path.
+//!
+//! A kernel that fails its correctness gate (or faults) is **skipped and
+//! recorded**, never silently folded into the geomean: the geomean is
+//! computed over the kernels actually timed, the skip list lands in the
+//! JSON, and `--smoke` fails on any skip.
 //!
 //! Run from the repository root (or pass an output path):
 //!
@@ -14,15 +23,17 @@
 //! cargo run --release -p pspdg-bench --bin bench_runtime_json [-- OUT.json [--smoke]]
 //! ```
 //!
-//! `--smoke` runs the `Class::Test` suite with one sample (CI wiring);
-//! the default measures `Class::Mini` with interleaved best-of sampling.
+//! `--smoke` runs the `Class::Test` suite with one sample (CI wiring) and
+//! additionally asserts the replay-program invariants on GMAX: both
+//! guarded-critical loops chunk with zero mutex fallbacks and replay
+//! packets flow at commit.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use pspdg_emulator::{emulate, PredictedVsMeasured};
 use pspdg_ir::interp::{Interpreter, NullSink};
-use pspdg_nas::{suite, Class};
+use pspdg_nas::{runtime_suite, Class};
 use pspdg_parallelizer::{build_plan, realize_executable, Abstraction};
 use pspdg_runtime::{globals_mismatch, observable_globals, Runtime};
 
@@ -32,6 +43,7 @@ fn one_run_ns<T>(f: &mut impl FnMut() -> T) -> u64 {
     start.elapsed().as_nanos() as u64
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -53,15 +65,26 @@ fn main() {
 
     let mut rows = String::new();
     let mut speedup_ln_sum = 0.0f64;
-    let mut kernels = 0u32;
-    for (bi, b) in suite(class).iter().enumerate() {
+    let mut timed = 0u32;
+    let mut skipped: Vec<(String, String)> = Vec::new();
+    let mut gmax_checked = false;
+    for b in &runtime_suite(class) {
         let p = b.program();
         // Profile once for plan construction and as the differential
         // oracle.
         let mut oracle = Interpreter::new(&p.module);
-        oracle.run_main(&mut NullSink).expect("kernel runs");
+        if let Err(e) = oracle.run_main(&mut NullSink) {
+            skipped.push((b.name.to_string(), format!("sequential oracle failed: {e}")));
+            continue;
+        }
         let plan = build_plan(&p, oracle.profile(), Abstraction::PsPdg, 0.01);
-        let predicted = emulate(&p, &plan).expect("kernel emulates").parallelism();
+        let predicted = match emulate(&p, &plan) {
+            Ok(r) => r.parallelism(),
+            Err(e) => {
+                skipped.push((b.name.to_string(), format!("emulation failed: {e}")));
+                continue;
+            }
+        };
         let exec = realize_executable(&p, &plan);
         let realization = exec.stats();
         let rt = Runtime::with_executable(&p, exec.clone()).workers(workers);
@@ -71,16 +94,52 @@ fn main() {
         // interpreter.
         let rt_seq = Runtime::with_executable(&p, exec.clone()).workers(1);
 
-        // Correctness gate before timing anything.
-        let outcome = rt.run_main().expect("runtime runs");
+        // Correctness gate before timing anything; a failing kernel is
+        // recorded and skipped so it cannot skew the geomean.
+        let outcome = match rt.run_main() {
+            Ok(o) => o,
+            Err(e) => {
+                skipped.push((b.name.to_string(), format!("runtime failed: {e}")));
+                continue;
+            }
+        };
         let seq_globals = observable_globals(&p.module, oracle.mem());
         let par_globals = observable_globals(&p.module, &outcome.mem);
-        assert_eq!(
-            globals_mismatch(&seq_globals, &par_globals),
-            None,
-            "{}: runtime diverged from the sequential interpreter",
-            b.name
-        );
+        if let Some((global, cell)) = globals_mismatch(&seq_globals, &par_globals) {
+            skipped.push((
+                b.name.to_string(),
+                format!("diverged from the sequential interpreter at {global}[{cell}]"),
+            ));
+            continue;
+        }
+        let stats = outcome.stats;
+        if b.name == "GMAX" && smoke {
+            // The replay-program acceptance gate: both guarded-critical
+            // loops chunk (no loop serialized on the mutex rule), packets
+            // flow, and nothing faulted out of the replay path.
+            assert!(
+                stats.chunked_loops >= 2,
+                "GMAX guarded loops must chunk: {stats:?}"
+            );
+            assert!(
+                stats.critical_packets > 0 && stats.critical_replays > 0,
+                "GMAX must replay critical packets at commit: {stats:?}"
+            );
+            assert_eq!(
+                realization.sequential, 0,
+                "GMAX must realize with zero mutex fallbacks: {realization:?}"
+            );
+            assert_eq!(
+                (
+                    stats.fallbacks.scheduled_sequential,
+                    stats.fallbacks.speculation_fault,
+                    stats.fallbacks.replay_fault
+                ),
+                (0, 0, 0),
+                "GMAX must run with zero mutex-related fallbacks: {stats:?}"
+            );
+            gmax_checked = true;
+        }
 
         // Interleaved best-of timing: interpreter, one-worker runtime,
         // parallel runtime.
@@ -97,7 +156,6 @@ fn main() {
                 rt.run_main().expect("runtime runs");
             }));
         }
-        let stats = outcome.stats;
         let row = PredictedVsMeasured {
             name: b.name.to_string(),
             predicted_parallelism: predicted,
@@ -111,7 +169,7 @@ fn main() {
                 .collect(),
         };
         println!(
-            "{:<4} interp {:>11} ns  seq {:>11} ns  par {:>11} ns  speedup {:>6.3}x  predicted {:>8.2}x  loops: {} chunked / {} pipelined / {} sequential  dyn: {} chunked / {} pipelined / {} replays / {} pool jobs / {} fallbacks [{}]",
+            "{:<4} interp {:>11} ns  seq {:>11} ns  par {:>11} ns  speedup {:>6.3}x  predicted {:>8.2}x  loops: {} chunked / {} pipelined / {} sequential  dyn: {} chunked / {} pipelined / {} packets / {} replays / {} pool jobs / {} fallbacks [{}]",
             row.name,
             interp_ns,
             row.sequential_ns,
@@ -123,14 +181,15 @@ fn main() {
             realization.sequential,
             stats.chunked_loops,
             stats.pipelined_loops,
+            stats.critical_packets,
             stats.critical_replays,
             stats.pool_dispatches,
             stats.sequential_fallbacks,
             row.fallback_summary(),
         );
         speedup_ln_sum += row.measured_speedup().max(1e-12).ln();
-        kernels += 1;
-        if bi > 0 {
+        timed += 1;
+        if !rows.is_empty() {
             rows.push_str(",\n");
         }
         let reasons: String = row
@@ -141,7 +200,7 @@ fn main() {
             .join(", ");
         let _ = write!(
             rows,
-            "    {{\"kernel\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}, \"dyn_fallback_reasons\": {{{}}}, \"pool_dispatches\": {}, \"critical_replays\": {}, \"fork_cells_committed\": {}, \"cow_pages\": {}, \"fork_bytes\": {}}}",
+            "    {{\"kernel\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}, \"dyn_fallback_reasons\": {{{}}}, \"pool_dispatches\": {}, \"critical_packets\": {}, \"critical_replays\": {}, \"fork_cells_committed\": {}, \"cow_pages\": {}, \"fork_bytes\": {}}}",
             row.name,
             interp_ns,
             row.sequential_ns,
@@ -156,6 +215,7 @@ fn main() {
             stats.sequential_fallbacks,
             reasons,
             stats.pool_dispatches,
+            stats.critical_packets,
             stats.critical_replays,
             stats.fork_cells_committed,
             stats.cow_pages,
@@ -163,11 +223,40 @@ fn main() {
         );
     }
 
-    let geomean = (speedup_ln_sum / f64::from(kernels.max(1))).exp();
-    println!("geomean measured speedup: {geomean:.3}x over {kernels} kernels");
+    // Geomean over the kernels actually timed — a skipped kernel must
+    // surface as a skip, not silently deflate the mean.
+    let geomean = if timed == 0 {
+        0.0
+    } else {
+        (speedup_ln_sum / f64::from(timed)).exp()
+    };
+    println!("geomean measured speedup: {geomean:.3}x over {timed} timed kernels");
+    for (name, why) in &skipped {
+        eprintln!("SKIPPED {name}: {why}");
+    }
+    // Reasons embed arbitrary error Display text; escape for JSON.
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let skipped_json: String = skipped
+        .iter()
+        .map(|(name, why)| {
+            format!(
+                "{{\"kernel\": \"{}\", \"reason\": \"{}\"}}",
+                esc(name),
+                esc(why)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"suite\": \"NAS Class::{class_name}\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"suite\": \"NAS Class::{class_name} + GMAX\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"critical_packets\": \"operand packets logged at critical-region entries and replayed at commit\",\n  \"critical_replays\": \"protected store instances applied by the value-predicated replay\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"kernels_timed\": {timed},\n  \"kernels_skipped\": [{skipped_json}],\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_runtime.json");
     println!("wrote {out_path}");
+    if smoke {
+        assert!(gmax_checked, "--smoke must exercise the GMAX replay gate");
+        assert!(
+            skipped.is_empty(),
+            "--smoke fails on skipped kernels: {skipped:?}"
+        );
+    }
 }

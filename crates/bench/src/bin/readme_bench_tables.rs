@@ -90,7 +90,7 @@ fn pdg_table(json: &str) -> String {
 
 fn runtime_table(json: &str) -> String {
     let mut t = String::from(
-        "| kernel | sequential (ms) | parallel (ms) | measured | predicted | dyn chunked | dyn pipelined | critical replays | fallbacks (by cause) |\n|---|---|---|---|---|---|---|---|---|\n",
+        "| kernel | sequential (ms) | parallel (ms) | measured | predicted | dyn chunked | dyn pipelined | critical packets | critical replays | fallbacks (by cause) |\n|---|---|---|---|---|---|---|---|---|---|\n",
     );
     for l in kernel_lines(json) {
         let g = |k: &str| field(l, k).unwrap_or_default();
@@ -107,7 +107,7 @@ fn runtime_table(json: &str) -> String {
         };
         let _ = writeln!(
             t,
-            "| {} | {} | {} | {}x | {}x | {} | {} | {} | {} |",
+            "| {} | {} | {} | {}x | {}x | {} | {} | {} | {} | {} |",
             g("kernel"),
             ms(&g("sequential_ns")),
             ms(&g("parallel_ns")),
@@ -115,6 +115,7 @@ fn runtime_table(json: &str) -> String {
             g("predicted_parallelism"),
             g("dyn_chunked"),
             g("dyn_pipelined"),
+            g("critical_packets"),
             g("critical_replays"),
             reasons,
         );

@@ -85,9 +85,20 @@ pub fn suite(class: Class) -> Vec<Benchmark> {
     ]
 }
 
-/// Look a benchmark up by (case-insensitive) name.
+/// The kernel set the *runtime* bench measures: the eight NAS kernels
+/// plus the SYNTH-family GMAX kernel, whose guarded argmax/argmin
+/// criticals are parallel only through the runtime's value-predicated
+/// replay programs (see [`synth::gmax`]).
+pub fn runtime_suite(class: Class) -> Vec<Benchmark> {
+    let mut v = suite(class);
+    v.push(synth::gmax(class));
+    v
+}
+
+/// Look a benchmark up by (case-insensitive) name, searching the runtime
+/// suite (the eight NAS kernels plus GMAX).
 pub fn benchmark(name: &str, class: Class) -> Option<Benchmark> {
-    suite(class)
+    runtime_suite(class)
         .into_iter()
         .find(|b| b.name.eq_ignore_ascii_case(name))
 }

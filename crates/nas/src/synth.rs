@@ -56,6 +56,86 @@ pub fn wide(bases: usize) -> Benchmark {
     }
 }
 
+/// Iteration count of the GMAX kernel at the given class.
+pub fn gmax_trip(class: Class) -> usize {
+    match class {
+        Class::Test => 384,
+        Class::Mini => 8192,
+    }
+}
+
+/// GMAX — the guarded-critical stress kernel: an argmax loop
+/// (`if (x > best) { best = x; best_idx = i; }` under one critical) and an
+/// argmin-plus-counter loop (a guarded two-cell update *chained* with an
+/// unconditional `hits += 1` in the same region). Neither loop is a plain
+/// read-modify-write, so both are parallel **only** through the runtime's
+/// value-predicated replay programs — the bench row that makes the
+/// guarded-critical win visible (`BENCH_runtime.json`, asserted by
+/// `bench_runtime_json --smoke`).
+pub fn gmax(class: Class) -> Benchmark {
+    let n = gmax_trip(class);
+    let source = format!(
+        r#"
+double gv[{n}];
+double gw[{n}];
+double best;
+int best_idx;
+double low;
+int low_idx;
+int hits;
+
+void init() {{
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        gv[i] = (double)((i * 131 + 29) % 509) * 0.03125;
+    }}
+    best = -1.0;
+    best_idx = -1;
+    low = 1000000.0;
+    low_idx = -1;
+    hits = 0;
+}}
+
+void kmax() {{
+    int i; double x;
+    #pragma omp parallel for private(x)
+    for (i = 0; i < {n}; i++) {{
+        x = gv[i] * 1.5 + 0.25;
+        gw[i] = x;
+        #pragma omp critical
+        {{ if (x > best) {{ best = x; best_idx = i; }} }}
+    }}
+}}
+
+void kmin() {{
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < {n}; i++) {{
+        #pragma omp critical
+        {{ if (gw[i] < low) {{ low = gw[i]; low_idx = i; }} hits = hits + 1; }}
+    }}
+}}
+
+int main() {{
+    init();
+    kmax();
+    kmin();
+    print_f64(best);
+    print_i64(best_idx);
+    print_f64(low);
+    print_i64(low_idx);
+    print_i64(hits);
+    return (best_idx + low_idx + hits) % 251;
+}}
+"#
+    );
+    Benchmark {
+        name: "GMAX",
+        description: "guarded argmax/argmin criticals (value-predicated replay stress)",
+        source,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +174,30 @@ mod tests {
             mini_refs >= test_refs * 3,
             "Mini must grow the *static* reference count: {test_refs} -> {mini_refs}"
         );
+    }
+
+    #[test]
+    fn gmax_compiles_runs_and_keeps_its_criticals() {
+        for class in [Class::Test, Class::Mini] {
+            let b = gmax(class);
+            let p = b.program();
+            let mut interp = pspdg_ir::interp::Interpreter::new(&p.module);
+            let ret = interp
+                .run_main(&mut pspdg_ir::interp::NullSink)
+                .expect("GMAX runs");
+            assert!(ret.is_some());
+            assert_eq!(interp.output().len(), 5);
+            // The guarded max over gv*1.5+0.25 and its index are coupled.
+            let best: f64 = interp.output()[0].parse().unwrap();
+            let best_idx: i64 = interp.output()[1].parse().unwrap();
+            assert!(best > 0.0 && best_idx >= 0);
+            // Both kernels carry a critical the plans must reckon with.
+            for name in ["kmax", "kmin"] {
+                let f = p.module.function_by_name(name).unwrap();
+                let kinds: Vec<&str> = p.directives_in(f).map(|(_, d)| d.kind.name()).collect();
+                assert!(kinds.contains(&"critical"), "{name}: {kinds:?}");
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use machine::MachineModel;
 pub use plan::{build_plan, LoopPlanSpec, MutexSpec, PlannedTechnique, ProgramPlan};
 pub use realize::realize_plan;
 pub use schedule::{
-    realize_executable, ChunkedLoop, CritOp, CriticalUpdate, ExecutablePlan, LoopExec,
-    LoopSchedule, PipelineLoop, RealizationStats,
+    realize_executable, ChunkedLoop, CriticalReplay, ExecutablePlan, LoopExec, LoopSchedule,
+    PipelineLoop, RealizationStats, ReplayOp, ReplayProgram, ReplayVal,
 };
 pub use views::{jk_view, pdg_view, Abstraction};

@@ -23,7 +23,9 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use pspdg_ir::{BinOp, BlockId, CmpOp, FuncId, Inst, InstId, Intrinsic, LoopId, Value};
+use pspdg_ir::{
+    BinOp, BlockId, CastKind, CmpOp, Constant, FuncId, Inst, InstId, Intrinsic, LoopId, UnOp, Value,
+};
 use pspdg_parallel::{DataClause, DirectiveKind, ParallelProgram, ReductionOp};
 use pspdg_pdg::{base_of_varref, DepKind, FunctionAnalyses, MemBase, Pdg};
 
@@ -49,49 +51,165 @@ pub struct ChunkedLoop {
     /// Reduction bases with their merge operators: worker copies start at
     /// the operator identity and partial results merge in chunk order.
     pub reductions: Vec<(MemBase, ReductionOp)>,
-    /// Surviving critical/atomic updates, validated as *deferrable*
-    /// read-modify-writes: each worker logs one `(address, op, operand)`
-    /// instance per dynamic execution of the store, and the master replays
-    /// the logged instances in chunk order at commit time — a
-    /// deterministic serialization equal to sequential iteration order,
-    /// so protected cells finish **bit-identical** to the sequential
-    /// interpreter (see [`CriticalUpdate`]).
-    pub criticals: Vec<CriticalUpdate>,
-    /// Bases touched only inside the critical/atomic regions (within the
-    /// loop). Their fork-local values are *discarded* at commit; their
-    /// sole committed mutations are the replayed [`CriticalUpdate`]s.
+    /// Surviving critical/atomic regions, each lowered to a **replay
+    /// program** (see [`CriticalReplay`]): workers execute the region's
+    /// protected-independent slice and log one operand packet per region
+    /// entry; the master replays each packet's program — value-predicated,
+    /// in chunk = iteration order — against the true heap at commit, so
+    /// protected cells finish **bit-identical** to the sequential
+    /// interpreter even for guarded (`if (v > best)`) updates.
+    pub criticals: Vec<CriticalReplay>,
+    /// Bases stored to inside the critical/atomic regions (within the
+    /// loop). Workers never touch them (protected loads and stores exist
+    /// only in the replay programs); their sole committed mutations are
+    /// the replayed packets.
     pub protected: Vec<MemBase>,
 }
 
-/// The operator of a deferred critical update (see [`CriticalUpdate`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CritOp {
-    /// Arithmetic read-modify-write `*p = *p ⟨op⟩ e`, `op ∈ {+, -, ×}`.
-    Arith(BinOp),
-    /// Value-predicated min/max update `*p = min/max(*p, e)` through the
-    /// named intrinsic (`imin`/`imax`/`fmin`/`fmax`). The replay applies
-    /// the same intrinsic, keeping the cell bit-identical to sequential
-    /// execution (min/max instances commute, and chunk order equals
-    /// iteration order anyway).
-    Select(Intrinsic),
+/// An operand of a [`ReplayOp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplayVal {
+    /// A compile-time constant.
+    Const(Constant),
+    /// The `k`-th fork-local value of the operand packet the worker logged
+    /// at region entry (addresses, loop-variant operands, fork-local guard
+    /// bits — everything the region computes *without* reading a protected
+    /// cell).
+    Operand(u32),
+    /// The result of op `k` of the same program (protected-cell loads and
+    /// everything data-dependent on them).
+    Temp(u32),
 }
 
-/// One store inside a surviving critical/atomic region, proven to be a
-/// pure read-modify-write `*p = *p ⟨op⟩ operand` (or a min/max intrinsic
-/// update `*p = min/max(*p, operand)`) whose feedback value never escapes
-/// the update chain. Executing the region in a forked worker is then
-/// safe: everything except the protected cells is real, and the protected
-/// mutation is captured as a *delta* the master replays serially at
-/// commit — the runtime realization of the PS-PDG's first-class
-/// (orderless, mutually exclusive) atomic-update semantics.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CriticalUpdate {
-    /// The protected store instruction (the worker's log trigger).
-    pub store: InstId,
-    /// The deferred operator.
-    pub op: CritOp,
-    /// The non-feedback operand, evaluated in the worker at store time.
-    pub operand: Value,
+/// One op of a replay program; op `k`'s result is [`ReplayVal::Temp`]`(k)`.
+/// The micro-IR mirrors the interpreter's scalar semantics exactly, so a
+/// replayed region computes bit-identical values to sequential execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayOp {
+    /// Read the protected cell `addr` points to, from the committed heap
+    /// (reading `Undef` is a replay fault: sequential execution would
+    /// fault at this instance, so the loop re-runs sequentially).
+    Load {
+        /// Cell address (a packet operand, or a replay-computed pointer).
+        addr: ReplayVal,
+    },
+    /// Element address arithmetic `base + index × elem_len`.
+    Gep {
+        /// Base pointer.
+        base: ReplayVal,
+        /// Element index.
+        index: ReplayVal,
+        /// Flattened element size (cells).
+        elem_len: i64,
+    },
+    /// Binary arithmetic (same evaluator as the interpreter).
+    Bin {
+        /// Opcode.
+        op: BinOp,
+        /// Left operand.
+        lhs: ReplayVal,
+        /// Right operand.
+        rhs: ReplayVal,
+    },
+    /// Unary arithmetic.
+    Un {
+        /// Opcode.
+        op: UnOp,
+        /// Operand.
+        operand: ReplayVal,
+    },
+    /// Ordered comparison (equality tests on protected values are rejected
+    /// at extraction — see [`CriticalReplay`]).
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Left operand.
+        lhs: ReplayVal,
+        /// Right operand.
+        rhs: ReplayVal,
+    },
+    /// Scalar conversion.
+    Cast {
+        /// Conversion kind.
+        kind: CastKind,
+        /// Operand.
+        value: ReplayVal,
+    },
+    /// Math intrinsic (min/max/abs/…; prints are rejected at extraction).
+    Intrinsic {
+        /// Which built-in.
+        intrinsic: Intrinsic,
+        /// Argument values.
+        args: Vec<ReplayVal>,
+    },
+    /// Conditionally store `value` to the protected cell at `addr`: the
+    /// store executes iff every `(pred, polarity)` pair evaluates to a
+    /// bool equal to its polarity — the value-predication that lets
+    /// guarded `if (v > best) { best = v; best_idx = i; }` criticals
+    /// replay with the *true* heap deciding each instance.
+    Store {
+        /// Cell address.
+        addr: ReplayVal,
+        /// Stored value.
+        value: ReplayVal,
+        /// Branch conditions (with polarity) controlling the store inside
+        /// the region; empty for unconditional read-modify-writes.
+        preds: Vec<(ReplayVal, bool)>,
+    },
+}
+
+/// The straight-line micro-program the master executes once per logged
+/// packet (see [`CriticalReplay`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplayProgram {
+    /// Ops in region order; op `k` defines [`ReplayVal::Temp`]`(k)`.
+    pub ops: Vec<ReplayOp>,
+}
+
+impl ReplayProgram {
+    /// The program's store ops (protected mutations).
+    pub fn stores(&self) -> impl Iterator<Item = &ReplayOp> {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, ReplayOp::Store { .. }))
+    }
+}
+
+/// One surviving critical/atomic region (nested or overlapping directive
+/// regions merged into a single unit), proven *deferrable* and lowered for
+/// split execution:
+///
+/// * the **worker**, when control reaches `entry`, executes
+///   `worker_insts` — the region's protected-*independent* instructions
+///   (unprotected loads, address arithmetic, plain compute) — in region
+///   order with guards suppressed (conditional blocks run speculatively;
+///   a fault aborts the parallel attempt), evaluates `operands` into a
+///   packet, logs it, and resumes at `exit` **without executing a single
+///   protected load or store**;
+/// * the **master**, at commit, replays `program` once per packet in
+///   chunk = sequential iteration order: protected loads read the true
+///   heap, guarded stores re-decide against the true values — so the
+///   protected cells finish bit-identical to the sequential interpreter.
+///
+/// This is the runtime realization of the PS-PDG's first-class (orderless,
+/// mutually exclusive) atomic-update semantics, generalizing the earlier
+/// single-op read-modify-write deferral to guarded min/max, multi-cell
+/// argmin/argmax, and chained updates in one region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalReplay {
+    /// Region entry block (the worker's detour trigger).
+    pub entry: BlockId,
+    /// Where worker control resumes: the region's unique successor block
+    /// outside it.
+    pub exit: BlockId,
+    /// Protected-independent region instructions the worker executes, in
+    /// region order, before logging the packet.
+    pub worker_insts: Vec<InstId>,
+    /// The values the worker evaluates into the operand packet (indexed by
+    /// [`ReplayVal::Operand`]).
+    pub operands: Vec<Value>,
+    /// The value-predicated program the master replays per packet.
+    pub program: ReplayProgram,
 }
 
 /// A pipelined loop: each instruction belongs to a stage; stage 0 drives
@@ -446,33 +564,42 @@ impl<'a> FuncRealizer<'a> {
     }
 
     /// Prove the loop's surviving critical/atomic regions *deferrable*, so
-    /// a chunked DOALL activation can execute them without a lock. The
-    /// contract, checked here and relied on by the runtime:
+    /// a chunked DOALL activation can execute them without a lock, and
+    /// lower each one to a [`CriticalReplay`]. The contract, checked here
+    /// and relied on by the runtime:
     ///
     /// 1. every surviving-mutex instruction of the loop belongs to a
     ///    `critical`/`atomic` directive region entirely inside the loop;
+    ///    nested/overlapping regions merge into one replay unit, so each
+    ///    store is judged against its full (innermost-through-outermost)
+    ///    protected scope;
     /// 2. regions contain no calls, allocations, returns, or `print_*`
-    ///    intrinsics (their effects could not be deferred);
+    ///    intrinsics (their effects could not be deferred), and a region's
+    ///    reachable control is acyclic with a single entry and a single
+    ///    outside successor;
     /// 3. the *protected bases* — bases stored to inside a region — are
     ///    resolvable (no `Unknown`) and untouched by any loop instruction
     ///    outside the regions, so protected cells influence nothing a
     ///    worker computes;
-    /// 4. every region store is a read-modify-write `*p = *p ⟨op⟩ e` with
-    ///    `op ∈ {+,-,×}` whose feedback load shares the store's pointer,
-    ///    every region load of a protected base *is* such a feedback load,
-    ///    and feedback values flow only into their own update chain.
+    /// 4. each region partitions into a protected-independent *worker
+    ///    slice* (executable speculatively on the fork) and a *replay
+    ///    slice* (everything data-dependent on a protected load, plus all
+    ///    stores); replay-slice values never escape their region, every
+    ///    store's execution predicate is an exact conjunction of region
+    ///    branch conditions, and no protected value feeds an equality test
+    ///    (test-and-set protocols stay serialized) or an unprotected
+    ///    load's address.
     ///
-    /// Under 1–4 a worker executes regions normally on its fork (all
-    /// non-protected dataflow — addresses, operands, branches — is exactly
-    /// sequential), logs one `(address, op, e)` delta per store instance,
-    /// and the master replays the deltas in chunk order = sequential
+    /// Under 1–4 a worker logs one operand packet per region entry and the
+    /// master replays each packet's program in chunk order = sequential
     /// iteration order, leaving protected cells bit-identical to the
-    /// sequential interpreter.
+    /// sequential interpreter — including guarded min/max, multi-cell
+    /// argmin/argmax, and chained updates.
     fn deferred_criticals(
         &self,
         loop_insts: &BTreeSet<InstId>,
         info: &pspdg_ir::loops::LoopInfo,
-    ) -> Result<(Vec<CriticalUpdate>, BTreeSet<MemBase>), &'static str> {
+    ) -> Result<(Vec<CriticalReplay>, BTreeSet<MemBase>), &'static str> {
         let f = self.program.module.function(self.func);
         let loop_mutex: BTreeSet<InstId> = loop_insts
             .iter()
@@ -480,11 +607,10 @@ impl<'a> FuncRealizer<'a> {
             .filter(|i| self.mutex_insts.contains(i))
             .collect();
         // Collect the critical/atomic regions overlapping the surviving
-        // mutex instructions (`regions` keeps each region's own
-        // instruction set for the guarded-min/max diagnosis below).
-        let mut region_insts: BTreeSet<InstId> = BTreeSet::new();
-        let mut regions: Vec<BTreeSet<InstId>> = Vec::new();
-        let mut region_stores: Vec<InstId> = Vec::new();
+        // mutex instructions. Unreachable stub blocks (the empty else of
+        // an `if`) are dropped up front — they never execute, so they
+        // count neither against containment nor into the replay unit.
+        let mut raw: Vec<BTreeSet<BlockId>> = Vec::new();
         for (_, d) in self.program.directives_in(self.func) {
             if !matches!(
                 d.kind,
@@ -492,192 +618,370 @@ impl<'a> FuncRealizer<'a> {
             ) {
                 continue;
             }
-            let insts: BTreeSet<InstId> = d
+            let blocks: BTreeSet<BlockId> = d
                 .region
                 .blocks
                 .iter()
-                .flat_map(|bb| f.block(*bb).insts.iter().copied())
+                .copied()
+                .filter(|bb| self.analyses.cfg.is_reachable(*bb))
                 .collect();
-            if insts.is_disjoint(&loop_mutex) {
+            let overlaps = blocks
+                .iter()
+                .flat_map(|bb| f.block(*bb).insts.iter())
+                .any(|i| loop_mutex.contains(i));
+            if !overlaps {
                 continue;
             }
-            // Unreachable stub blocks (the empty else of an `if`) don't
-            // count against containment — they never execute.
-            if d.region
-                .blocks
-                .iter()
-                .any(|bb| self.analyses.cfg.is_reachable(*bb) && !info.contains(*bb))
-            {
+            if blocks.iter().any(|bb| !info.contains(*bb)) {
                 return Err("critical region extends beyond the loop");
             }
-            region_insts.extend(&insts);
-            for &i in &insts {
-                match &f.inst(i).inst {
-                    Inst::Call { .. } => return Err("call inside a critical region"),
-                    Inst::Alloca { .. } => return Err("allocation inside a critical region"),
-                    Inst::Ret { .. } => return Err("return inside a critical region"),
-                    Inst::IntrinsicCall {
-                        intrinsic: Intrinsic::PrintI64 | Intrinsic::PrintF64,
-                        ..
-                    } => return Err("print inside a critical region"),
-                    Inst::Store { .. } => region_stores.push(i),
-                    _ => {}
-                }
-            }
-            regions.push(insts);
+            raw.push(blocks);
         }
+        // Merge overlapping/nested regions into disjoint groups: a store
+        // inside nested criticals belongs to exactly one replay unit (its
+        // innermost region dissolved into the full enclosing scope), so
+        // validity — and any fallback cause — is judged against the right
+        // region instead of whichever directive happened to come first.
+        let mut groups: Vec<BTreeSet<BlockId>> = Vec::new();
+        for r in raw {
+            let mut merged = r;
+            while let Some(pos) = groups.iter().position(|g| !g.is_disjoint(&merged)) {
+                merged.extend(groups.swap_remove(pos));
+            }
+            groups.push(merged);
+        }
+        groups.sort_by_key(|g| g.first().copied());
+        let region_insts: BTreeSet<InstId> = groups
+            .iter()
+            .flat_map(|g| g.iter())
+            .flat_map(|bb| f.block(*bb).insts.iter().copied())
+            .collect();
         if !loop_mutex.is_subset(&region_insts) {
             return Err("surviving mutex outside any critical/atomic region");
         }
-        // Protected bases: everything stored to inside the regions.
+        // Protected bases: everything stored to inside any region (across
+        // groups, so sibling regions updating the same scalar chain share
+        // one protected set).
         let mut protected: BTreeSet<MemBase> = BTreeSet::new();
-        for &i in &region_stores {
-            let Inst::Store { ptr, .. } = &f.inst(i).inst else {
-                unreachable!()
-            };
-            let base = pspdg_pdg::trace_base(f, *ptr);
-            if matches!(base, MemBase::Unknown) {
-                return Err("critical store to an unresolvable base");
-            }
-            protected.insert(base);
-        }
-        // Every region store is a deferrable RMW — arithmetic (`+`, `-`,
-        // `×`) or a min/max intrinsic update. `feedback_of` / `store_of`
-        // record each chain's *owner*, so the escape scan below can insist
-        // a feedback value feeds only its own update and an update value
-        // only its own store — a load serving as feedback for one store
-        // and operand of another would replay with a fork-local
-        // (non-sequential) value.
-        //
-        // A *guarded* min/max (`if (e > *p) *p = e;`) is NOT deferrable in
-        // this form: the store's execution is predicated on a fork-local
-        // read of the protected cell, so workers would log the wrong
-        // instance set. It serializes with a distinct cause so reports can
-        // tell "rewrite as fmax/imax" apart from genuinely opaque stores.
-        let mut updates = Vec::new();
-        let mut feedback_of: BTreeMap<InstId, InstId> = BTreeMap::new();
-        let mut store_of: BTreeMap<InstId, InstId> = BTreeMap::new();
-        for &i in &region_stores {
-            let Inst::Store { ptr, value } = &f.inst(i).inst else {
-                unreachable!()
-            };
-            // The guarded min/max shape (`if (e > *p) { *p = e; }`): an
-            // *ordered* compare against a protected load in the *same*
-            // region as the failing store. Equality tests (test-and-set)
-            // and compares in unrelated regions keep the generic cause.
-            let guarded_or = |generic: &'static str| -> &'static str {
+        for &i in &region_insts {
+            if let Inst::Store { ptr, .. } = &f.inst(i).inst {
                 let base = pspdg_pdg::trace_base(f, *ptr);
-                let Some(region) = regions.iter().find(|r| r.contains(&i)) else {
-                    return generic;
-                };
-                let loads_protected = |v: Value| -> bool {
-                    v.as_inst().is_some_and(|li| {
-                        region.contains(&li)
-                            && matches!(&f.inst(li).inst,
-                                Inst::Load { ptr: lp, .. }
-                                    if pspdg_pdg::trace_base(f, *lp) == base)
-                    })
-                };
-                let guarded = region.iter().any(|&ci| {
-                    matches!(&f.inst(ci).inst,
-                        Inst::Cmp { op, lhs, rhs }
-                            if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
-                                && (loads_protected(*lhs) || loads_protected(*rhs)))
-                });
-                if guarded {
-                    "guarded critical min/max update (conditional store; use fmax/fmin/imax/imin to defer)"
-                } else {
-                    generic
+                if matches!(base, MemBase::Unknown) {
+                    return Err("critical store to an unresolvable base");
                 }
-            };
-            let Some(vi) = value.as_inst() else {
-                return Err(guarded_or("critical store is not a read-modify-write"));
-            };
-            let feeds_back = |v: Value| -> Option<InstId> {
-                let li = v.as_inst()?;
-                match &f.inst(li).inst {
-                    Inst::Load { ptr: lp, .. } if lp == ptr && region_insts.contains(&li) => {
-                        Some(li)
-                    }
-                    _ => None,
-                }
-            };
-            let (op, fb, operand) = match &f.inst(vi).inst {
-                Inst::Binary { op, lhs, rhs } => {
-                    if !matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
-                        return Err("critical update operator is not +, -, or *");
-                    }
-                    let (fb, operand) = match (feeds_back(*lhs), feeds_back(*rhs)) {
-                        (Some(fl), None) => (fl, *rhs),
-                        (None, Some(fr)) if !matches!(op, BinOp::Sub) => (fr, *lhs),
-                        _ => return Err("critical update has no unique feedback load"),
-                    };
-                    (CritOp::Arith(*op), fb, operand)
-                }
-                Inst::IntrinsicCall { intrinsic, args }
-                    if matches!(
-                        intrinsic,
-                        Intrinsic::Imax | Intrinsic::Imin | Intrinsic::Fmax | Intrinsic::Fmin
-                    ) && args.len() == 2 =>
-                {
-                    // min/max are commutative: the feedback load may sit on
-                    // either side.
-                    let (fb, operand) = match (feeds_back(args[0]), feeds_back(args[1])) {
-                        (Some(fl), None) => (fl, args[1]),
-                        (None, Some(fr)) => (fr, args[0]),
-                        _ => return Err("critical update has no unique feedback load"),
-                    };
-                    (CritOp::Select(*intrinsic), fb, operand)
-                }
-                _ => return Err(guarded_or("critical store is not a read-modify-write")),
-            };
-            if feedback_of.insert(fb, vi).is_some() {
-                return Err("critical feedback load shared between updates");
+                protected.insert(base);
             }
-            if store_of.insert(vi, i).is_some() {
-                return Err("critical update value shared between stores");
-            }
-            updates.push(CriticalUpdate {
-                store: i,
-                op,
-                operand,
-            });
         }
-        let feedback_loads: BTreeSet<InstId> = feedback_of.keys().copied().collect();
-        // Every region load of a protected base is one of the feedback
-        // loads; protected bases are untouched outside the regions.
+        // Protected bases are untouched outside the regions: a protected
+        // cell read (or written) by ordinary loop code would observe
+        // fork-local instead of sequential values — the escaping-read
+        // shape, which stays serialized.
         for &i in loop_insts {
             let base = match &f.inst(i).inst {
                 Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => pspdg_pdg::trace_base(f, *ptr),
                 _ => continue,
             };
-            if !protected.contains(&base) {
-                continue;
-            }
-            let in_region = region_insts.contains(&i);
-            let is_load = matches!(f.inst(i).inst, Inst::Load { .. });
-            match (in_region, is_load) {
-                (true, true) if feedback_loads.contains(&i) => {}
-                (true, true) => return Err("critical load of a protected base is not a feedback"),
-                (true, false) => {} // validated as an RMW store above
-                (false, _) => return Err("protected base accessed outside the critical region"),
+            if protected.contains(&base) && !region_insts.contains(&i) {
+                return Err("protected base accessed outside the critical region");
             }
         }
-        // Feedback values flow only into *their own* update; update
-        // values only into *their own* store (so protected data never
-        // escapes its chain — not even into a sibling chain's operand).
+        // Lower each group to its replay program.
+        let mut replays = Vec::new();
+        let mut slices: Vec<(BTreeSet<InstId>, BTreeSet<InstId>)> = Vec::new();
+        for g in &groups {
+            let (replay, group_insts, slice) = self.extract_replay(g, &protected)?;
+            replays.push(replay);
+            slices.push((group_insts, slice));
+        }
+        // Replay-slice values never escape their region: any outside user
+        // would read a register the worker never computed (the slice is
+        // replayed by the master, not executed on the fork).
         for i in f.inst_ids() {
             for v in f.inst(i).inst.operands() {
                 let Value::Inst(d) = v else { continue };
-                if feedback_of.get(&d).is_some_and(|owner| *owner != i) {
-                    return Err("critical feedback value escapes its update");
-                }
-                if store_of.get(&d).is_some_and(|owner| *owner != i) {
-                    return Err("critical update value escapes its store");
+                for (group_insts, slice) in &slices {
+                    if slice.contains(&d) && !group_insts.contains(&i) {
+                        return Err("critical protected value escapes its region");
+                    }
                 }
             }
         }
-        Ok((updates, protected))
+        Ok((replays, protected))
+    }
+
+    /// Lower one merged critical-region group to a [`CriticalReplay`]:
+    /// validate its control shape, split its instructions into the worker
+    /// slice and the replay slice, derive exact store predicates from the
+    /// region's branches, and emit the replay micro-program. Returns the
+    /// lowering plus the group's instruction set and replay slice (for the
+    /// caller's escape scan).
+    #[allow(clippy::too_many_lines)]
+    fn extract_replay(
+        &self,
+        blocks: &BTreeSet<BlockId>,
+        protected: &BTreeSet<MemBase>,
+    ) -> Result<(CriticalReplay, BTreeSet<InstId>, BTreeSet<InstId>), &'static str> {
+        let f = self.program.module.function(self.func);
+        // Control shape: single entry, single outside successor, and all
+        // in-region edges strictly forward (block-index order is then a
+        // topological order of the region, which the classification pass
+        // below and the worker's straight-line execution both rely on).
+        let mut entry: Option<BlockId> = None;
+        let mut exit: Option<BlockId> = None;
+        for bb in f.block_ids() {
+            if !self.analyses.cfg.is_reachable(bb) {
+                continue;
+            }
+            let Some(&term) = f.block(bb).insts.last() else {
+                continue;
+            };
+            let inside = blocks.contains(&bb);
+            for succ in f.inst(term).inst.successors() {
+                match (inside, blocks.contains(&succ)) {
+                    (false, true) => {
+                        if entry.replace(succ).is_some_and(|e| e != succ) {
+                            return Err("critical region has multiple entries");
+                        }
+                    }
+                    (true, true) => {
+                        if succ.index() <= bb.index() {
+                            return Err("cyclic control inside a critical region");
+                        }
+                    }
+                    (true, false) => {
+                        if exit.replace(succ).is_some_and(|e| e != succ) {
+                            return Err("critical region has multiple exits");
+                        }
+                    }
+                    (false, false) => {}
+                }
+            }
+        }
+        let entry = entry.ok_or("critical region is never entered")?;
+        let exit = exit.ok_or("critical region has no exit")?;
+        // Per-block execution predicates, as (branch condition, polarity)
+        // conjunctions relative to region entry. A block's predicate is
+        // *exact* (`Some`) only when every path provably agrees: single
+        // in-region predecessor, unanimous candidates, or a two-way
+        // diamond join (same condition, opposite polarity → the common
+        // prefix). Anything else is `None`; stores there are rejected.
+        let blist: Vec<BlockId> = blocks.iter().copied().collect();
+        let mut pred_of: HashMap<BlockId, Option<Vec<(Value, bool)>>> = HashMap::new();
+        pred_of.insert(entry, Some(Vec::new()));
+        for &b in &blist {
+            if b == entry {
+                continue;
+            }
+            let mut cands: Vec<Option<Vec<(Value, bool)>>> = Vec::new();
+            for &p in &blist {
+                if p == b || !self.analyses.cfg.is_reachable(p) {
+                    continue;
+                }
+                let Some(&term) = f.block(p).insts.last() else {
+                    continue;
+                };
+                let succs = f.inst(term).inst.successors();
+                if !succs.contains(&b) {
+                    continue;
+                }
+                let base = pred_of.get(&p).cloned().flatten();
+                let cand = match (&f.inst(term).inst, base) {
+                    (_, None) => None,
+                    (
+                        Inst::CondBr {
+                            cond,
+                            then_bb,
+                            else_bb,
+                        },
+                        Some(mut pb),
+                    ) if then_bb != else_bb => {
+                        pb.push((*cond, *then_bb == b));
+                        Some(pb)
+                    }
+                    (_, Some(pb)) => Some(pb),
+                };
+                cands.push(cand);
+            }
+            let merged: Option<Vec<(Value, bool)>> = match cands.as_slice() {
+                [] => None, // a second entry would already have errored
+                [one] => one.clone(),
+                many if many.iter().all(|c| c == &many[0]) => many[0].clone(),
+                [Some(a), Some(b)]
+                    if a.len() == b.len()
+                        && !a.is_empty()
+                        && a[..a.len() - 1] == b[..b.len() - 1]
+                        && a.last().unwrap().0 == b.last().unwrap().0
+                        && a.last().unwrap().1 != b.last().unwrap().1 =>
+                {
+                    // If/else diamond join: both arms together are
+                    // unconditional, so the join inherits the prefix.
+                    Some(a[..a.len() - 1].to_vec())
+                }
+                _ => None,
+            };
+            pred_of.insert(b, merged);
+        }
+        // Classify each region instruction (in region order) as worker
+        // slice or replay slice and emit the program.
+        let group_insts: BTreeSet<InstId> = blist
+            .iter()
+            .flat_map(|bb| f.block(*bb).insts.iter().copied())
+            .collect();
+        let mut slice: BTreeSet<InstId> = BTreeSet::new();
+        let mut temp_of: BTreeMap<InstId, u32> = BTreeMap::new();
+        let mut worker_done: BTreeSet<InstId> = BTreeSet::new();
+        let mut worker_insts: Vec<InstId> = Vec::new();
+        let mut operands: Vec<Value> = Vec::new();
+        let mut ops: Vec<ReplayOp> = Vec::new();
+        for &b in &blist {
+            for &i in &f.block(b).insts {
+                let inst = &f.inst(i).inst;
+                if inst.is_terminator() {
+                    if matches!(inst, Inst::Ret { .. }) {
+                        return Err("return inside a critical region");
+                    }
+                    continue; // control is re-derived from the predicates
+                }
+                // A fork-local value the replay program consumes: pack it
+                // into the operand packet (deduplicated), or fold it when
+                // it is already a temp/constant.
+                let mut rv = |v: Value,
+                              temp_of: &BTreeMap<InstId, u32>|
+                 -> Result<ReplayVal, &'static str> {
+                    if let Value::Const(c) = v {
+                        return Ok(ReplayVal::Const(c));
+                    }
+                    if let Value::Inst(d) = v {
+                        if let Some(&t) = temp_of.get(&d) {
+                            return Ok(ReplayVal::Temp(t));
+                        }
+                        if group_insts.contains(&d) && !worker_done.contains(&d) {
+                            return Err("critical value used before its definition");
+                        }
+                    }
+                    let slot = operands.iter().position(|o| *o == v).unwrap_or_else(|| {
+                        operands.push(v);
+                        operands.len() - 1
+                    });
+                    Ok(ReplayVal::Operand(slot as u32))
+                };
+                let replay_dep = inst
+                    .operands()
+                    .iter()
+                    .any(|v| v.as_inst().is_some_and(|d| slice.contains(&d)));
+                match inst {
+                    Inst::Call { .. } => return Err("call inside a critical region"),
+                    Inst::Alloca { .. } => return Err("allocation inside a critical region"),
+                    Inst::IntrinsicCall {
+                        intrinsic: Intrinsic::PrintI64 | Intrinsic::PrintF64,
+                        ..
+                    } => return Err("print inside a critical region"),
+                    Inst::Store { ptr, value } => {
+                        let Some(pred) = pred_of.get(&b).cloned().flatten() else {
+                            return Err("critical store under irreducible region control");
+                        };
+                        let addr = rv(*ptr, &temp_of)?;
+                        let value = rv(*value, &temp_of)?;
+                        let preds = pred
+                            .iter()
+                            .map(|(v, pol)| rv(*v, &temp_of).map(|r| (r, *pol)))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        ops.push(ReplayOp::Store { addr, value, preds });
+                        slice.insert(i);
+                    }
+                    Inst::Load { ptr, .. } => {
+                        if protected.contains(&pspdg_pdg::trace_base(f, *ptr)) {
+                            let addr = rv(*ptr, &temp_of)?;
+                            temp_of.insert(i, ops.len() as u32);
+                            ops.push(ReplayOp::Load { addr });
+                            slice.insert(i);
+                        } else if replay_dep {
+                            // Replaying it would read unprotected memory
+                            // in its committed (not iteration-time) state.
+                            return Err("critical load address depends on a protected value");
+                        } else {
+                            worker_insts.push(i);
+                            worker_done.insert(i);
+                        }
+                    }
+                    _ if !replay_dep => {
+                        worker_insts.push(i);
+                        worker_done.insert(i);
+                    }
+                    Inst::Binary { op, lhs, rhs } => {
+                        let (lhs, rhs) = (rv(*lhs, &temp_of)?, rv(*rhs, &temp_of)?);
+                        temp_of.insert(i, ops.len() as u32);
+                        ops.push(ReplayOp::Bin { op: *op, lhs, rhs });
+                        slice.insert(i);
+                    }
+                    Inst::Unary { op, operand } => {
+                        let operand = rv(*operand, &temp_of)?;
+                        temp_of.insert(i, ops.len() as u32);
+                        ops.push(ReplayOp::Un { op: *op, operand });
+                        slice.insert(i);
+                    }
+                    Inst::Cmp { op, lhs, rhs } => {
+                        if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                            // Test-and-set / once-only protocols signal
+                            // through the equality; keep them serialized
+                            // rather than replay an order-sensitive
+                            // handshake.
+                            return Err(
+                                "critical equality test on a protected value (test-and-set)",
+                            );
+                        }
+                        let (lhs, rhs) = (rv(*lhs, &temp_of)?, rv(*rhs, &temp_of)?);
+                        temp_of.insert(i, ops.len() as u32);
+                        ops.push(ReplayOp::Cmp { op: *op, lhs, rhs });
+                        slice.insert(i);
+                    }
+                    Inst::Cast { kind, value } => {
+                        let value = rv(*value, &temp_of)?;
+                        temp_of.insert(i, ops.len() as u32);
+                        ops.push(ReplayOp::Cast { kind: *kind, value });
+                        slice.insert(i);
+                    }
+                    Inst::Gep {
+                        base,
+                        index,
+                        elem_ty,
+                    } => {
+                        let (base, index) = (rv(*base, &temp_of)?, rv(*index, &temp_of)?);
+                        temp_of.insert(i, ops.len() as u32);
+                        ops.push(ReplayOp::Gep {
+                            base,
+                            index,
+                            elem_len: elem_ty.flat_len() as i64,
+                        });
+                        slice.insert(i);
+                    }
+                    Inst::IntrinsicCall { intrinsic, args } => {
+                        let args = args
+                            .iter()
+                            .map(|a| rv(*a, &temp_of))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        temp_of.insert(i, ops.len() as u32);
+                        ops.push(ReplayOp::Intrinsic {
+                            intrinsic: *intrinsic,
+                            args,
+                        });
+                        slice.insert(i);
+                    }
+                    Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. } => unreachable!(),
+                }
+            }
+        }
+        Ok((
+            CriticalReplay {
+                entry,
+                exit,
+                worker_insts,
+                operands,
+                program: ReplayProgram { ops },
+            },
+            group_insts,
+            slice,
+        ))
     }
 
     /// Recognize a pure accumulator over `base` inside the loop: every
@@ -1045,6 +1349,27 @@ mod tests {
         }
     }
 
+    /// The chunked lowering of the only critical region, or a panic with
+    /// the sequential reason.
+    fn chunked_of(exec: &ExecutablePlan) -> ChunkedLoop {
+        let s = exec.schedules()[0];
+        match &s.exec {
+            LoopExec::Chunked(c) => c.clone(),
+            other => panic!("expected a chunked lowering, got {other:?}"),
+        }
+    }
+
+    /// The store ops of a replay program, with their predicate arity.
+    fn store_pred_arities(cr: &CriticalReplay) -> Vec<usize> {
+        cr.program
+            .stores()
+            .map(|op| match op {
+                ReplayOp::Store { preds, .. } => preds.len(),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
     #[test]
     fn surviving_atomic_rmw_defers_to_commit_replay() {
         let (p, plan) = plan_of(
@@ -1064,19 +1389,36 @@ mod tests {
         );
         assert!(!plan.mutexes.is_empty(), "the atomic must survive");
         let exec = realize_executable(&p, &plan);
-        let s = exec.schedules()[0];
-        match &s.exec {
-            LoopExec::Chunked(c) => {
-                assert_eq!(c.criticals.len(), 1, "one deferred RMW store");
-                assert_eq!(c.criticals[0].op, CritOp::Arith(BinOp::Add));
-                assert_eq!(
-                    c.protected,
-                    vec![MemBase::Global(pspdg_ir::GlobalId(1))],
-                    "hist is the protected base"
-                );
-            }
-            other => panic!("deferrable atomic must still chunk: {other:?}"),
-        }
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1, "one replayed region");
+        let cr = &c.criticals[0];
+        assert_eq!(
+            store_pred_arities(cr),
+            vec![0],
+            "a plain RMW replays unpredicated: {:?}",
+            cr.program
+        );
+        assert!(
+            cr.program
+                .ops
+                .iter()
+                .any(|op| matches!(op, ReplayOp::Bin { op: BinOp::Add, .. })),
+            "{:?}",
+            cr.program
+        );
+        assert!(
+            cr.program
+                .ops
+                .iter()
+                .any(|op| matches!(op, ReplayOp::Load { .. })),
+            "the feedback load reads the true heap: {:?}",
+            cr.program
+        );
+        assert_eq!(
+            c.protected,
+            vec![MemBase::Global(pspdg_ir::GlobalId(1))],
+            "hist is the protected base"
+        );
     }
 
     #[test]
@@ -1101,15 +1443,22 @@ mod tests {
         );
         assert!(!plan.mutexes.is_empty(), "the critical must survive");
         let exec = realize_executable(&p, &plan);
-        let s = exec.schedules()[0];
-        match &s.exec {
-            LoopExec::Chunked(c) => {
-                assert_eq!(c.criticals.len(), 1, "one deferred min/max store");
-                assert_eq!(c.criticals[0].op, CritOp::Select(pspdg_ir::Intrinsic::Fmax));
-                assert_eq!(c.protected, vec![MemBase::Global(pspdg_ir::GlobalId(0))]);
-            }
-            other => panic!("deferrable fmax critical must still chunk: {other:?}"),
-        }
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1, "one replayed min/max region");
+        let cr = &c.criticals[0];
+        assert_eq!(store_pred_arities(cr), vec![0]);
+        assert!(
+            cr.program.ops.iter().any(|op| matches!(
+                op,
+                ReplayOp::Intrinsic {
+                    intrinsic: pspdg_ir::Intrinsic::Fmax,
+                    ..
+                }
+            )),
+            "{:?}",
+            cr.program
+        );
+        assert_eq!(c.protected, vec![MemBase::Global(pspdg_ir::GlobalId(0))]);
     }
 
     #[test]
@@ -1132,25 +1481,31 @@ mod tests {
             Abstraction::PsPdg,
         );
         let exec = realize_executable(&p, &plan);
-        let s = exec.schedules()[0];
         if plan.mutexes.is_empty() {
             return; // nothing survived to defer; other tests cover that
         }
-        match &s.exec {
-            LoopExec::Chunked(c) => {
-                assert_eq!(c.criticals.len(), 1);
-                assert_eq!(c.criticals[0].op, CritOp::Select(pspdg_ir::Intrinsic::Imin));
-            }
-            other => panic!("swapped-operand imin must defer: {other:?}"),
-        }
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1);
+        assert!(
+            c.criticals[0].program.ops.iter().any(|op| matches!(
+                op,
+                ReplayOp::Intrinsic {
+                    intrinsic: pspdg_ir::Intrinsic::Imin,
+                    ..
+                }
+            )),
+            "{:?}",
+            c.criticals[0].program
+        );
     }
 
     #[test]
-    fn guarded_critical_minmax_serializes_with_distinct_cause() {
+    fn guarded_critical_minmax_chunks_via_replay_program() {
         // MG-style `if (v > best) { best = v; }` inside the critical: the
-        // store is predicated on a fork-local read of the protected cell,
-        // so it must stay serialized — under a *distinct* fallback cause
-        // (telling "rewrite as fmax" apart from opaque critical stores).
+        // guard compares against a protected cell, so the worker suppresses
+        // the whole protected slice and the master re-decides each instance
+        // against the *true* heap — the loop chunks, with the guard lowered
+        // to a store predicate.
         let (p, plan) = plan_of(
             r#"
             double best; double v[128];
@@ -1168,23 +1523,74 @@ mod tests {
         );
         assert!(!plan.mutexes.is_empty(), "the critical must survive");
         let exec = realize_executable(&p, &plan);
-        let s = exec.schedules()[0];
-        match &s.exec {
-            LoopExec::Sequential { reason } => {
-                assert!(
-                    reason.contains("guarded critical min/max"),
-                    "guarded form needs its distinct cause, got: {reason}"
-                );
-            }
-            other => panic!("guarded min/max must serialize: {other:?}"),
-        }
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1);
+        let cr = &c.criticals[0];
+        assert_eq!(
+            store_pred_arities(cr),
+            vec![1],
+            "the guard becomes a value predicate: {:?}",
+            cr.program
+        );
+        assert!(
+            cr.program
+                .ops
+                .iter()
+                .any(|op| matches!(op, ReplayOp::Cmp { op: CmpOp::Gt, .. })),
+            "{:?}",
+            cr.program
+        );
+        assert!(
+            !cr.worker_insts.is_empty(),
+            "the fork-local v[i] slice feeds the packet"
+        );
+        assert_eq!(c.protected, vec![MemBase::Global(pspdg_ir::GlobalId(0))]);
     }
 
     #[test]
-    fn test_and_set_critical_keeps_generic_cause() {
-        // `if (flag == 0) { flag = 1; }` is a test-and-set, not a min/max:
-        // the equality guard must NOT be diagnosed as a guarded min/max
-        // (rewriting it as fmax would be wrong advice).
+    fn guarded_argmax_multi_cell_chunks() {
+        // The argmax sibling: `best` *and* `best_idx` update under one
+        // guard — two predicated stores in one replay program.
+        let (p, plan) = plan_of(
+            r#"
+            double best; int best_idx; double v[128];
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical
+                    { if (v[i] > best) { best = v[i]; best_idx = i; } }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        assert!(!plan.mutexes.is_empty(), "the critical must survive");
+        let exec = realize_executable(&p, &plan);
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1);
+        let cr = &c.criticals[0];
+        assert_eq!(
+            store_pred_arities(cr),
+            vec![1, 1],
+            "both cells update under the same guard: {:?}",
+            cr.program
+        );
+        assert_eq!(
+            c.protected,
+            vec![
+                MemBase::Global(pspdg_ir::GlobalId(0)),
+                MemBase::Global(pspdg_ir::GlobalId(1))
+            ]
+        );
+    }
+
+    #[test]
+    fn test_and_set_critical_serializes() {
+        // `if (flag == 0) { flag = 1; }` is a test-and-set: the equality
+        // guard signals an order-sensitive protocol, which stays
+        // serialized (and must not be mistaken for a guarded min/max).
         let (p, plan) = plan_of(
             r#"
             int flag; int v[128];
@@ -1209,8 +1615,8 @@ mod tests {
         match &s.exec {
             LoopExec::Sequential { reason } => {
                 assert!(
-                    !reason.contains("guarded critical min/max"),
-                    "test-and-set must keep the generic cause, got: {reason}"
+                    reason.contains("test-and-set"),
+                    "equality guards keep their own cause, got: {reason}"
                 );
             }
             other => panic!("test-and-set critical must serialize: {other:?}"),
@@ -1218,18 +1624,95 @@ mod tests {
     }
 
     #[test]
-    fn critical_with_escaping_read_falls_back_to_sequential() {
-        // The critical reads the protected cell into a normal store —
-        // the value escapes the RMW chain, so deferral must refuse.
+    fn nested_critical_regions_merge_into_one_replay() {
+        // Nested criticals dissolve into one replay unit: the inner
+        // region's chained update (`t` fed by the outer chain's `s`) is
+        // judged against the full enclosing scope, not whichever directive
+        // region happened to come first.
         let (p, plan) = plan_of(
             r#"
-            int key[128]; int hist[16]; int seen[128];
+            int v[128]; int s; int t;
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical(outer)
+                    {
+                        s += v[i];
+                        #pragma omp critical(inner)
+                        { t = imax(t, s); }
+                    }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        if plan.mutexes.is_empty() {
+            return;
+        }
+        let exec = realize_executable(&p, &plan);
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1, "nested regions merge into one");
+        assert_eq!(c.criticals[0].program.stores().count(), 2);
+        assert_eq!(c.protected.len(), 2, "{:?}", c.protected);
+    }
+
+    #[test]
+    fn nested_test_and_set_reports_innermost_cause() {
+        // Regression: the fallback cause of a store inside *nested*
+        // regions must come from the store's own protected scope — the
+        // inner equality-guarded store, not a first-match region scan.
+        let (p, plan) = plan_of(
+            r#"
+            int v[128]; int s; int flag;
+            void k() {
+                int i;
+                #pragma omp parallel for
+                for (i = 0; i < 128; i++) {
+                    #pragma omp critical(outer)
+                    {
+                        s += v[i];
+                        #pragma omp critical(inner)
+                        { if (flag == 0) { flag = 1; } }
+                    }
+                }
+            }
+            int main() { k(); return 0; }
+            "#,
+            Abstraction::PsPdg,
+        );
+        if plan.mutexes.is_empty() {
+            return;
+        }
+        let exec = realize_executable(&p, &plan);
+        let s = exec.schedules()[0];
+        match &s.exec {
+            LoopExec::Sequential { reason } => {
+                assert!(
+                    reason.contains("test-and-set"),
+                    "nested diagnosis must attribute the inner store, got: {reason}"
+                );
+            }
+            other => panic!("nested test-and-set must serialize: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn critical_with_escaping_read_falls_back_to_sequential() {
+        // The protected cells are read by ordinary loop code outside the
+        // region — the value escapes the replayed scope, so deferral must
+        // refuse under the escaping-read cause.
+        let (p, plan) = plan_of(
+            r#"
+            int key[128]; int hist[16]; int seen[128]; int w[128];
             void k() {
                 int i;
                 #pragma omp parallel for
                 for (i = 0; i < 128; i++) {
                     #pragma omp critical
                     { seen[i] = hist[key[i]]; hist[key[i]] += 1; }
+                    w[i] = seen[i] * 2;
                 }
             }
             int main() { k(); return 0; }
@@ -1239,19 +1722,23 @@ mod tests {
         let exec = realize_executable(&p, &plan);
         let s = exec.schedules()[0];
         if !plan.mutexes.is_empty() {
-            assert!(
-                matches!(s.exec, LoopExec::Sequential { .. }),
-                "escaping protected read must serialize: {:?}",
-                s.exec
-            );
+            match &s.exec {
+                LoopExec::Sequential { reason } => {
+                    assert!(
+                        reason.contains("outside the critical region"),
+                        "escaping read keeps its cause: {reason}"
+                    );
+                }
+                other => panic!("escaping protected read must serialize: {other:?}"),
+            }
         }
     }
 
     #[test]
-    fn critical_value_feeding_sibling_update_falls_back() {
-        // Two protected chains where one update's operand reads the
-        // other chain's base: the worker would log fork-local (non-
-        // sequential) operand values, so deferral must refuse.
+    fn chained_critical_updates_chunk() {
+        // Two protected chains where one update's operand reads the other
+        // chain's base: the second load is just another replay op reading
+        // the true heap, so the whole region chunks.
         let (p, plan) = plan_of(
             r#"
             int v[128]; int s; int t;
@@ -1267,15 +1754,26 @@ mod tests {
             "#,
             Abstraction::PsPdg,
         );
-        let exec = realize_executable(&p, &plan);
-        let s = exec.schedules()[0];
-        if !plan.mutexes.is_empty() {
-            assert!(
-                matches!(s.exec, LoopExec::Sequential { .. }),
-                "cross-chain protected read must serialize: {:?}",
-                s.exec
-            );
+        if plan.mutexes.is_empty() {
+            return;
         }
+        let exec = realize_executable(&p, &plan);
+        let c = chunked_of(&exec);
+        assert_eq!(c.criticals.len(), 1);
+        let cr = &c.criticals[0];
+        assert_eq!(store_pred_arities(cr), vec![0, 0]);
+        assert_eq!(
+            cr.program
+                .ops
+                .iter()
+                .filter(|op| matches!(op, ReplayOp::Load { .. }))
+                .count(),
+            3,
+            "every protected load (s twice, t once) replays against the \
+             true heap: {:?}",
+            cr.program
+        );
+        assert_eq!(c.protected.len(), 2);
     }
 
     #[test]

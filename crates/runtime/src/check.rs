@@ -34,6 +34,32 @@ pub fn rtval_equivalent(a: RtVal, b: RtVal) -> bool {
     }
 }
 
+/// Whether two runtime values are **bit-identical** — floats compared by
+/// bit pattern, no tolerance. This is the stronger guarantee the
+/// critical-replay path makes for protected cells: the value-predicated
+/// replay preserves sequential association exactly, so `best`-style cells
+/// must match the interpreter to the last bit.
+pub fn rtval_identical(a: RtVal, b: RtVal) -> bool {
+    match (a, b) {
+        (RtVal::Float(x), RtVal::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+/// Snapshot one named global's cells, if the module defines it (used to
+/// pin protected cells bit-identically in differential tests).
+pub fn global_cells(module: &Module, mem: &MemState, name: &str) -> Option<Vec<RtVal>> {
+    let g = module
+        .global_ids()
+        .find(|g| module.global(*g).name == name)?;
+    let obj = mem.global_object(g);
+    Some(
+        (0..mem.object_len(obj) as u32)
+            .map(|off| mem.read(MemAddr { obj, off }))
+            .collect(),
+    )
+}
+
 /// Whether two printed lines match: exact, or both parse as floats within
 /// [`FLOAT_RTOL`].
 pub fn line_equivalent(a: &str, b: &str) -> bool {
@@ -95,6 +121,19 @@ mod tests {
         let b = 0.3;
         assert!(rtval_equivalent(RtVal::Float(a), RtVal::Float(b)));
         assert!(!rtval_equivalent(RtVal::Float(1.0), RtVal::Float(1.1)));
+    }
+
+    #[test]
+    fn identical_is_bitwise() {
+        let a = 0.1 + 0.2;
+        let b = 0.3;
+        assert!(rtval_equivalent(RtVal::Float(a), RtVal::Float(b)));
+        assert!(
+            !rtval_identical(RtVal::Float(a), RtVal::Float(b)),
+            "0.1 + 0.2 differs from 0.3 in the last bit"
+        );
+        assert!(rtval_identical(RtVal::Float(a), RtVal::Float(a)));
+        assert!(rtval_identical(RtVal::Int(7), RtVal::Int(7)));
     }
 
     #[test]

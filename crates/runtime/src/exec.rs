@@ -58,19 +58,25 @@
 //! chunk-order merge) but associate differently from the sequential loop,
 //! like any real OpenMP reduction.
 //!
-//! ## Critical sections: commit-time replay
+//! ## Critical sections: value-predicated replay programs
 //!
 //! A surviving `critical`/`atomic` region no longer forces the whole loop
-//! sequential. When the realization proves every protected mutation is a
-//! deferrable read-modify-write
-//! ([`pspdg_parallelizer::CriticalUpdate`]), workers execute the region
-//! normally on their forks but additionally log one `(address, op,
-//! operand)` delta per protected store; the protected objects' fork-local
-//! cells are *discarded* at commit and the master replays the logged
-//! deltas in chunk order — which equals sequential iteration order — so
-//! the protected cells finish **bit-identical** to the sequential
-//! interpreter (even for floats: the replay preserves sequential
-//! association).
+//! sequential. When the realization proves the region *deferrable*
+//! ([`pspdg_parallelizer::CriticalReplay`]), a chunk worker reaching the
+//! region executes only its protected-**independent** slice (unprotected
+//! loads, address arithmetic, plain compute — speculatively, with guards
+//! suppressed), logs one *operand packet* of fork-local values, and skips
+//! to the region's exit without touching a single protected cell. At
+//! commit the master replays each packet's micro-program — protected
+//! loads read the true heap, guarded stores re-decide their predicates
+//! against the true values — in chunk order, which equals sequential
+//! iteration order, so the protected cells finish **bit-identical** to
+//! the sequential interpreter (even for floats: the replay preserves
+//! sequential association). This covers plain read-modify-writes, min/max
+//! intrinsic updates, guarded `if (v > best)` min/max, multi-cell
+//! argmin/argmax, and chained updates in one region; equality-guarded
+//! test-and-set protocols and protected reads escaping the region still
+//! serialize at realization time.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
@@ -83,8 +89,8 @@ use pspdg_ir::loops::trip_count_from;
 use pspdg_ir::{BlockId, FuncId, Function, Inst, InstId, Module, Value};
 use pspdg_parallel::{ParallelProgram, ReductionOp};
 use pspdg_parallelizer::{
-    realize_executable, ChunkedLoop, CritOp, ExecutablePlan, LoopExec, LoopSchedule, PipelineLoop,
-    ProgramPlan, RealizationStats,
+    realize_executable, ChunkedLoop, CriticalReplay, ExecutablePlan, LoopExec, LoopSchedule,
+    PipelineLoop, ProgramPlan, RealizationStats, ReplayOp, ReplayProgram, ReplayVal,
 };
 use pspdg_pdg::MemBase;
 
@@ -131,7 +137,12 @@ pub struct FallbackCounts {
     /// A worker faulted; the sequential re-run reproduces the fault in
     /// sequential order.
     pub worker_fault: u64,
-    /// Replaying deferred critical updates faulted; the sequential re-run
+    /// A worker faulted while *speculatively* executing a critical
+    /// region's protected-independent slice (suppressed guards run
+    /// conditional code unconditionally, so a fault here may not exist
+    /// sequentially); the sequential re-run decides.
+    pub speculation_fault: u64,
+    /// Replaying deferred critical packets faulted; the sequential re-run
     /// reproduces the fault in order.
     pub replay_fault: u64,
     /// A pipeline needed more stage threads than the pool has workers
@@ -153,6 +164,7 @@ impl FallbackCounts {
             ("unevaluable", self.unevaluable),
             ("irregular_control", self.irregular_control),
             ("worker_fault", self.worker_fault),
+            ("speculation_fault", self.speculation_fault),
             ("replay_fault", self.replay_fault),
             ("pipeline_overflow", self.pipeline_overflow),
             ("pipeline_abort", self.pipeline_abort),
@@ -179,7 +191,12 @@ pub struct RunStats {
     /// pipeline stages across all activations — pool reuse means this can
     /// far exceed the pool size without spawning a single thread).
     pub pool_dispatches: u64,
-    /// Deferred critical/atomic update instances replayed at commit time.
+    /// Operand packets logged at critical/atomic region entries and
+    /// replayed at commit (one per dynamic region execution).
+    pub critical_packets: u64,
+    /// Protected store instances actually applied by the value-predicated
+    /// replay (guarded stores whose predicate failed against the true heap
+    /// are not counted).
     pub critical_replays: u64,
     /// Cells committed from worker forks (the dirty-set walk — compare
     /// with `cow_pages × 64` for per-page write density).
@@ -199,10 +216,12 @@ impl RunStats {
     }
 }
 
-/// A chunk worker's view of the loop's deferred critical updates: the
-/// function owning the protected stores, and each store's operator
-/// (arithmetic RMW or value-predicated min/max) and non-feedback operand.
-type CritUpdates<'a> = (FuncId, &'a HashMap<InstId, (CritOp, Value)>);
+/// A chunk worker's view of the loop's deferred critical regions: the
+/// function owning them, and each region's lowering keyed by its entry
+/// block (the value is the region's index into
+/// [`ChunkedLoop::criticals`] — the packet tag — plus the lowering
+/// itself).
+type CritRegions<'a> = (FuncId, &'a HashMap<BlockId, (u32, &'a CriticalReplay)>);
 
 /// Hardware threads available to this process (cached). The pipeline
 /// cost gate uses it: decoupled stages cannot outrun sequential
@@ -228,6 +247,7 @@ enum FallbackWhy {
     Unevaluable,
     Irregular,
     WorkerFault,
+    SpeculationFault,
     ReplayFault,
     PipelineOverflow,
     PipelineAbort,
@@ -422,6 +442,10 @@ enum ParAbort {
     /// A worker faulted; the sequential re-run reproduces (or avoids) the
     /// fault in sequential order.
     Exec(#[allow(dead_code)] ExecError),
+    /// A worker faulted inside a critical region's speculative slice
+    /// (suppressed guards execute conditional code unconditionally, so
+    /// this fault may not exist sequentially).
+    Spec(#[allow(dead_code)] ExecError),
 }
 
 /// The interpreter core shared by the master, chunk workers, and pipeline
@@ -442,12 +466,12 @@ struct Engine<'a> {
     /// Ordered write log (pipeline stages only; chunk workers commit
     /// through the fork's dirty set instead).
     log: Option<Vec<(MemAddr, RtVal)>>,
-    /// Deferred critical updates of the active chunked loop (chunk
-    /// workers only).
-    crit: Option<CritUpdates<'a>>,
-    /// Logged critical instances `(address, op, operand value)` in
-    /// execution order (chunk workers only).
-    crit_log: Vec<(MemAddr, CritOp, RtVal)>,
+    /// Deferred critical regions of the active chunked loop, keyed by
+    /// entry block (chunk workers only).
+    crit: Option<CritRegions<'a>>,
+    /// Logged operand packets `(region index, fork-local operand values)`
+    /// in execution order (chunk workers only).
+    crit_log: Vec<(u32, Vec<RtVal>)>,
     stats: RunStats,
 }
 
@@ -465,6 +489,7 @@ impl<'a> Engine<'a> {
             FallbackWhy::Unevaluable => c.unevaluable += 1,
             FallbackWhy::Irregular => c.irregular_control += 1,
             FallbackWhy::WorkerFault => c.worker_fault += 1,
+            FallbackWhy::SpeculationFault => c.speculation_fault += 1,
             FallbackWhy::ReplayFault => c.replay_fault += 1,
             FallbackWhy::PipelineOverflow => c.pipeline_overflow += 1,
             FallbackWhy::PipelineAbort => c.pipeline_abort += 1,
@@ -589,17 +614,6 @@ impl<'a> Engine<'a> {
                 self.mem.write(addr, v);
                 if let Some(log) = &mut self.log {
                     log.push((addr, v));
-                }
-                // A deferred critical store: the fork's write above is
-                // scratch (protected cells are discarded at commit); what
-                // commits is this delta, replayed serially by the master.
-                if let Some((crit_func, updates)) = self.crit {
-                    if crit_func == func_id {
-                        if let Some(&(op, operand)) = updates.get(&inst_id) {
-                            let e = self.eval(frame, operand);
-                            self.crit_log.push((addr, op, e));
-                        }
-                    }
                 }
             }
             Inst::Gep {
@@ -809,8 +823,9 @@ impl<'a> Engine<'a> {
                 None => return Ok(Some(FallbackWhy::Unevaluable)),
             }
         }
-        // Protected objects (deferred criticals): their fork-local cells
-        // are discarded at commit; only the replayed deltas mutate them.
+        // Protected objects (deferred criticals): workers never read or
+        // write them (the protected slice lives in the replay programs);
+        // the dirty-set skip below is defensive.
         let mut prot_objs: HashSet<u32> = HashSet::new();
         for base in &c.protected {
             match self.resolve_base(frame, base) {
@@ -820,10 +835,11 @@ impl<'a> Engine<'a> {
                 None => return Ok(Some(FallbackWhy::Unevaluable)),
             }
         }
-        let crit_map: HashMap<InstId, (CritOp, Value)> = c
+        let crit_map: HashMap<BlockId, (u32, &CriticalReplay)> = c
             .criticals
             .iter()
-            .map(|u| (u.store, (u.op, u.operand)))
+            .enumerate()
+            .map(|(k, cr)| (cr.entry, (k as u32, cr)))
             .collect();
 
         let mut fork_base = self.mem.clone();
@@ -843,7 +859,7 @@ impl<'a> Engine<'a> {
 
         struct ChunkOut {
             mem: MemState,
-            crit_log: Vec<(MemAddr, CritOp, RtVal)>,
+            crit_log: Vec<(u32, Vec<RtVal>)>,
             output: Vec<String>,
             steps: u64,
         }
@@ -901,6 +917,7 @@ impl<'a> Engine<'a> {
                 // re-run reproduces faults in sequential order.
                 Err(ParAbort::Irregular) => return Ok(Some(FallbackWhy::Irregular)),
                 Err(ParAbort::Exec(_)) => return Ok(Some(FallbackWhy::WorkerFault)),
+                Err(ParAbort::Spec(_)) => return Ok(Some(FallbackWhy::SpeculationFault)),
             }
         }
 
@@ -909,11 +926,13 @@ impl<'a> Engine<'a> {
         // order: per-cell last-writer-wins over each fork's dirty set
         // equals the sequential final state (see module-level safety
         // argument); reduction cells merge their chunk-final values; the
-        // protected cells skip the dirty commit and receive the deferred
-        // critical deltas instead — chunk order = iteration order, so the
-        // replay is the exact sequential serialization.
+        // protected cells receive only the replayed packets' predicated
+        // stores — chunk order = iteration order, so the replay is the
+        // exact sequential serialization, guards re-decided against the
+        // true heap.
         let mut staging = self.mem.clone();
         let mut committed = 0u64;
+        let mut packets = 0u64;
         let mut replayed = 0u64;
         let mut cow_pages = 0u64;
         let mut replay_fault = false;
@@ -931,10 +950,12 @@ impl<'a> Engine<'a> {
                     staging.write(addr, v);
                 }
             });
-            for &(addr, op, e) in &out.crit_log {
-                let cur = staging.read(addr);
-                match replay_update(op, cur, e) {
-                    Ok(v) => staging.write(addr, v),
+            for (idx, packet) in &out.crit_log {
+                match replay_packet(&c.criticals[*idx as usize].program, packet, &mut staging) {
+                    Ok(stores) => {
+                        packets += 1;
+                        replayed += stores;
+                    }
                     // E.g. an uninitialized protected cell: sequential
                     // execution faults at this instance in order.
                     Err(()) => {
@@ -942,7 +963,6 @@ impl<'a> Engine<'a> {
                         break;
                     }
                 }
-                replayed += 1;
             }
             if replay_fault {
                 break;
@@ -958,6 +978,7 @@ impl<'a> Engine<'a> {
             self.steps = self.steps.saturating_add(out.steps);
         }
         self.stats.fork_cells_committed += committed;
+        self.stats.critical_packets += packets;
         self.stats.critical_replays += replayed;
         self.stats.cow_pages += cow_pages;
         Ok(None)
@@ -1002,7 +1023,9 @@ impl<'a> Engine<'a> {
     }
 
     /// Execute one iteration of a chunked loop: from the header until
-    /// control returns to it. Any other escape is irregular.
+    /// control returns to it. Any other escape is irregular. Entering a
+    /// deferred critical region detours through
+    /// [`Engine::run_critical_region`] instead of its blocks.
     fn run_iteration(
         &mut self,
         func_id: FuncId,
@@ -1012,10 +1035,16 @@ impl<'a> Engine<'a> {
     ) -> Result<(), ParAbort> {
         let mut block = sched.header;
         loop {
-            match self
-                .exec_block(func_id, f, frame, block)
-                .map_err(ParAbort::Exec)?
-            {
+            let flow = match self.critical_region_at(func_id, block) {
+                Some((idx, cr)) => {
+                    self.run_critical_region(func_id, f, frame, idx, cr)?;
+                    Flow::Jump(cr.exit)
+                }
+                None => self
+                    .exec_block(func_id, f, frame, block)
+                    .map_err(ParAbort::Exec)?,
+            };
+            match flow {
                 Flow::Jump(t) if t == sched.header => return Ok(()),
                 Flow::Jump(t) => {
                     if !sched.contains(t) {
@@ -1027,6 +1056,48 @@ impl<'a> Engine<'a> {
                 Flow::Next => unreachable!(),
             }
         }
+    }
+
+    /// The deferred critical region entered at `block`, if any (chunk
+    /// workers only).
+    fn critical_region_at(
+        &self,
+        func_id: FuncId,
+        block: BlockId,
+    ) -> Option<(u32, &'a CriticalReplay)> {
+        let (crit_func, regions) = self.crit?;
+        if crit_func != func_id {
+            return None;
+        }
+        regions.get(&block).copied()
+    }
+
+    /// A chunk worker's detour through a deferred critical region: execute
+    /// the protected-independent slice in region order (speculatively —
+    /// guards are suppressed, so conditionally-executed fork-local code
+    /// runs unconditionally; any fault aborts the parallel attempt and the
+    /// sequential re-run decides), then evaluate and log the operand
+    /// packet the master will replay at commit. No protected cell is read
+    /// or written here.
+    fn run_critical_region(
+        &mut self,
+        func_id: FuncId,
+        f: &Function,
+        frame: &mut Frame,
+        idx: u32,
+        cr: &CriticalReplay,
+    ) -> Result<(), ParAbort> {
+        for &i in &cr.worker_insts {
+            match self.exec_inst(func_id, f, frame, i) {
+                Ok(Flow::Next) => {}
+                // The slice contains no terminators/returns (validated).
+                Ok(_) => return Err(ParAbort::Irregular),
+                Err(e) => return Err(ParAbort::Spec(e)),
+            }
+        }
+        let packet: Vec<RtVal> = cr.operands.iter().map(|v| self.eval(frame, *v)).collect();
+        self.crit_log.push((idx, packet));
+        Ok(())
     }
 
     // ---- DSWP pipeline ---------------------------------------------------
@@ -1344,19 +1415,109 @@ enum PipeMsg {
     Abort,
 }
 
-/// Apply one deferred critical delta to the staging cell: arithmetic RMWs
-/// go through the interpreter's binop evaluator, min/max updates through
-/// the same intrinsic the sequential program executed — so replayed cells
-/// finish bit-identical to sequential execution in both cases.
-fn replay_update(op: CritOp, cur: RtVal, e: RtVal) -> Result<RtVal, ()> {
-    match op {
-        CritOp::Arith(b) => eval_binop(b, cur, e).map_err(|_| ()),
-        CritOp::Select(intr) => {
-            // Min/max intrinsics never print; the sink is unused.
-            let mut sink = Vec::new();
-            eval_intrinsic(intr, &[cur, e], &mut sink).map_err(|_| ())
+/// Resolve a replayed pointer value against the staging heap (same bounds
+/// rule as [`Engine::deref`]); any mismatch is a replay fault.
+fn replay_deref(staging: &MemState, v: RtVal) -> Result<MemAddr, ()> {
+    match v {
+        RtVal::Ptr { obj, off } => {
+            let size = staging.object_len(obj);
+            if off < 0 || off as usize >= size {
+                return Err(());
+            }
+            Ok(MemAddr {
+                obj,
+                off: off as u32,
+            })
         }
+        _ => Err(()),
     }
+}
+
+/// Execute one logged packet's replay program against the staging heap:
+/// protected loads read the *true* (sequentially committed so far) cells,
+/// compute ops use the interpreter's own evaluators, and each store
+/// re-decides its predicates against the true values before writing —
+/// so replayed cells finish bit-identical to sequential execution,
+/// including guarded updates whose fork-local guess was wrong. Returns
+/// the number of stores applied; any fault (undef protected cell, bad
+/// address, evaluator error) aborts the whole activation's commit and the
+/// loop re-runs sequentially.
+fn replay_packet(
+    prog: &ReplayProgram,
+    packet: &[RtVal],
+    staging: &mut MemState,
+) -> Result<u64, ()> {
+    let mut temps: Vec<RtVal> = Vec::with_capacity(prog.ops.len());
+    let mut applied = 0u64;
+    for op in &prog.ops {
+        let val = |v: &ReplayVal| -> Result<RtVal, ()> {
+            match *v {
+                ReplayVal::Const(c) => Ok(const_val(c)),
+                ReplayVal::Operand(k) => packet.get(k as usize).copied().ok_or(()),
+                ReplayVal::Temp(t) => temps.get(t as usize).copied().ok_or(()),
+            }
+        };
+        let out = match op {
+            ReplayOp::Load { addr } => {
+                let a = replay_deref(staging, val(addr)?)?;
+                let v = staging.read(a);
+                if matches!(v, RtVal::Undef) {
+                    // Sequential execution reads the same undef cell at
+                    // this instance and faults; the re-run reproduces it.
+                    return Err(());
+                }
+                v
+            }
+            ReplayOp::Gep {
+                base,
+                index,
+                elem_len,
+            } => match (val(base)?, val(index)?) {
+                (RtVal::Ptr { obj, off }, RtVal::Int(i)) => RtVal::Ptr {
+                    obj,
+                    off: off + i * elem_len,
+                },
+                _ => return Err(()),
+            },
+            ReplayOp::Bin { op, lhs, rhs } => {
+                eval_binop(*op, val(lhs)?, val(rhs)?).map_err(|_| ())?
+            }
+            ReplayOp::Un { op, operand } => eval_unop(*op, val(operand)?).map_err(|_| ())?,
+            ReplayOp::Cmp { op, lhs, rhs } => {
+                RtVal::Bool(eval_cmp(*op, val(lhs)?, val(rhs)?).map_err(|_| ())?)
+            }
+            ReplayOp::Cast { kind, value } => eval_cast(*kind, val(value)?).map_err(|_| ())?,
+            ReplayOp::Intrinsic { intrinsic, args } => {
+                let vals = args.iter().map(&val).collect::<Result<Vec<_>, _>>()?;
+                // Prints are rejected at extraction; the sink is unused.
+                let mut sink = Vec::new();
+                eval_intrinsic(*intrinsic, &vals, &mut sink).map_err(|_| ())?
+            }
+            ReplayOp::Store { addr, value, preds } => {
+                let mut exec = true;
+                for (p, pol) in preds {
+                    match val(p)? {
+                        RtVal::Bool(b) => {
+                            if b != *pol {
+                                exec = false;
+                                break;
+                            }
+                        }
+                        _ => return Err(()),
+                    }
+                }
+                if exec {
+                    let a = replay_deref(staging, val(addr)?)?;
+                    let v = val(value)?;
+                    staging.write(a, v);
+                    applied += 1;
+                }
+                RtVal::Undef
+            }
+        };
+        temps.push(out);
+    }
+    Ok(applied)
 }
 
 /// The identity a worker-fork cell starts from under a reduction operator,

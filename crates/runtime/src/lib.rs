@@ -31,7 +31,9 @@
 //! [`pspdg_ir::interp::Interpreter`] — exactly for integers and booleans,
 //! and up to reduction re-association ([`check::FLOAT_RTOL`]) for floats;
 //! cells protected by critical/atomic regions are reproduced
-//! **bit-identically** through the deferred-RMW commit replay. The
+//! **bit-identically** through the value-predicated critical replay
+//! programs (guarded min/max, multi-cell argmin/argmax, and chained
+//! updates included — see [`pspdg_parallelizer::CriticalReplay`]). The
 //! differential test suite (`tests/differential.rs`) enforces this over
 //! the whole NAS suite and generated kernels, including criticals through
 //! the replay path, and a pool-reuse regression test asserts the worker
@@ -50,7 +52,8 @@ pub mod exec;
 pub mod pool;
 
 pub use check::{
-    globals_mismatch, line_equivalent, observable_globals, rtval_equivalent, FLOAT_RTOL,
+    global_cells, globals_mismatch, line_equivalent, observable_globals, rtval_equivalent,
+    rtval_identical, FLOAT_RTOL,
 };
 pub use exec::{
     FallbackCounts, RunOutcome, RunStats, Runtime, DEFAULT_COST_THRESHOLD,

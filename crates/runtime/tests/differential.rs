@@ -378,6 +378,19 @@ mod criticals {
         /// `critical { s = imin(s, v[i] - k); }` — integer min with the
         /// feedback load on either operand side.
         CriticalImin { k: i64, swapped: bool },
+        /// `critical { if (dv[i] > d) { d = dv[i]; } }` — the guarded
+        /// max: the store is value-predicated at replay.
+        GuardedMax,
+        /// `critical { if (v[i] > s) { s = v[i]; si = i; } }` — guarded
+        /// argmax: two cells update under one guard.
+        GuardedArgmax,
+        /// `critical { if (v[i] < s) { s = v[i]; } c[1] = c[1] + 1; }` —
+        /// a guarded min chained with an unconditional counter in the
+        /// same region (mixed predicated/unpredicated stores).
+        GuardedMinChained,
+        /// `critical { s += v[i]; c[2] += s; }` — chained updates: the
+        /// second chain's operand reads the first chain's cell.
+        ChainedAdd,
     }
 
     impl CritLoop {
@@ -411,6 +424,18 @@ mod criticals {
                         "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ s = {call}; }}\n}}\n"
                     )
                 }
+                CritLoop::GuardedMax => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ if (dv[i] > d) {{ d = dv[i]; }} }}\n}}\n"
+                ),
+                CritLoop::GuardedArgmax => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ if (v[i] > s) {{ s = v[i]; si = i; }} }}\n}}\n"
+                ),
+                CritLoop::GuardedMinChained => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ if (v[i] < s) {{ s = v[i]; }} c[1] = c[1] + 1; }}\n}}\n"
+                ),
+                CritLoop::ChainedAdd => format!(
+                    "#pragma omp parallel for\nfor (i = 0; i < {trip}; i++) {{\n#pragma omp critical\n{{ s += v[i]; c[2] += s; }}\n}}\n"
+                ),
             }
         }
     }
@@ -425,6 +450,10 @@ mod criticals {
             Just(CritLoop::CriticalFmax),
             (0i64..5, proptest::bool::ANY)
                 .prop_map(|(k, swapped)| CritLoop::CriticalImin { k, swapped }),
+            Just(CritLoop::GuardedMax),
+            Just(CritLoop::GuardedArgmax),
+            Just(CritLoop::GuardedMinChained),
+            Just(CritLoop::ChainedAdd),
         ]
     }
 
@@ -443,7 +472,7 @@ mod criticals {
             let body: String = loops.iter().map(|l| l.render(trip)).collect();
             let src = format!(
                 r#"
-                int v[96]; int c[96]; int s; double d; double dv[96];
+                int v[96]; int c[96]; int s; int si; double d; double dv[96];
                 void init() {{
                     int i;
                     for (i = 0; i < 96; i++) {{
@@ -451,7 +480,7 @@ mod criticals {
                         c[i] = 1 + i % 5;
                         dv[i] = (double)(i % 11) * 0.125;
                     }}
-                    s = 2; d = 0.25;
+                    s = 2; si = -1; d = 0.25;
                 }}
                 void k() {{
                     int i;
@@ -462,6 +491,7 @@ mod criticals {
                     init();
                     k();
                     print_i64(s);
+                    print_i64(si);
                     print_f64(d);
                     chk = 0;
                     for (i = 0; i < 96; i++) {{ chk += c[i]; }}
@@ -530,6 +560,10 @@ fn ep_style_max_critical_chunks_with_zero_mutex_fallbacks() {
             stats.critical_replays > 0,
             "{abstraction:?}: min/max deltas must replay at commit: {stats:?}"
         );
+        assert!(
+            stats.critical_packets >= stats.critical_replays,
+            "{abstraction:?}: every replayed store comes from a logged packet: {stats:?}"
+        );
         assert_eq!(
             stats.fallbacks.scheduled_sequential, 0,
             "{abstraction:?}: no loop may serialize on the mutex rule: {stats:?}"
@@ -539,6 +573,127 @@ fn ep_style_max_critical_chunks_with_zero_mutex_fallbacks() {
             "{abstraction:?}: replay must not fault: {stats:?}"
         );
     }
+}
+
+/// The PR's acceptance criterion: a guarded
+/// `if (v > best) { best = v; best_idx = i; }` critical loop executes
+/// *chunked* with zero mutex-related fallbacks, and the protected cells
+/// finish **bit-identical** to the sequential interpreter — the guard is
+/// re-decided against the true heap at commit, not trusted from the
+/// fork-local guess.
+#[test]
+fn guarded_argmax_chunks_bit_identical_with_zero_mutex_fallbacks() {
+    let src = r#"
+        double best; int best_idx; double dv[256];
+        void init() {
+            int i;
+            for (i = 0; i < 256; i++) {
+                dv[i] = (double)((i * 97 + 13) % 251) * 0.0078125
+                      + (double)(i % 7) * 0.015625;
+            }
+            best = -1.0; best_idx = -1;
+        }
+        void k() {
+            int i;
+            #pragma omp parallel for
+            for (i = 0; i < 256; i++) {
+                #pragma omp critical
+                { if (dv[i] > best) { best = dv[i]; best_idx = i; } }
+            }
+        }
+        int main() {
+            init();
+            k();
+            print_f64(best);
+            print_i64(best_idx);
+            return best_idx % 101;
+        }
+        "#;
+    let p = compile(src).expect("guarded argmax kernel compiles");
+    for abstraction in [Abstraction::OpenMp, Abstraction::PsPdg] {
+        for workers in [2, 3, 4] {
+            let mut interp = Interpreter::new(&p.module);
+            interp.run_main(&mut NullSink).unwrap();
+            let plan = build_plan(&p, interp.profile(), abstraction, 0.01);
+            let rt = Runtime::new(&p, &plan)
+                .workers(workers)
+                .cost_threshold(0)
+                .pipeline_min_body(0);
+            let out = rt.run_main().unwrap();
+            let stats = out.stats;
+            assert!(
+                stats.chunked_loops > 0,
+                "{abstraction:?}/{workers}: the guarded loop must chunk: {stats:?}"
+            );
+            assert!(
+                stats.critical_packets > 0,
+                "{abstraction:?}/{workers}: workers must log packets: {stats:?}"
+            );
+            assert!(
+                stats.critical_replays > 0,
+                "{abstraction:?}/{workers}: predicated stores must apply: {stats:?}"
+            );
+            assert!(
+                stats.critical_replays < stats.critical_packets,
+                "{abstraction:?}/{workers}: most guards fail against the true max, \
+                 so replayed stores must undercut packets: {stats:?}"
+            );
+            assert_eq!(
+                (
+                    stats.fallbacks.scheduled_sequential,
+                    stats.fallbacks.speculation_fault,
+                    stats.fallbacks.replay_fault
+                ),
+                (0, 0, 0),
+                "{abstraction:?}/{workers}: zero mutex-related fallbacks: {stats:?}"
+            );
+            // Protected cells: bit-identical, not merely within tolerance.
+            for name in ["best", "best_idx"] {
+                let seq = pspdg_runtime::global_cells(&p.module, interp.mem(), name).unwrap();
+                let par = pspdg_runtime::global_cells(&p.module, &out.mem, name).unwrap();
+                assert_eq!(seq.len(), par.len());
+                for (a, b) in seq.iter().zip(&par) {
+                    assert!(
+                        pspdg_runtime::rtval_identical(*a, *b),
+                        "{abstraction:?}/{workers}: {name} diverged: {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Equality-guarded test-and-set stays serialized (the realization keeps
+/// its own cause) yet remains observably equivalent.
+#[test]
+fn test_and_set_critical_stays_serialized_and_equivalent() {
+    let src = r#"
+        int flag; int winner; int v[128];
+        void init() {
+            int i;
+            for (i = 0; i < 128; i++) { v[i] = (i * 53 + 11) % 64; }
+            flag = 0; winner = -1;
+        }
+        void k() {
+            int i;
+            #pragma omp parallel for
+            for (i = 0; i < 128; i++) {
+                #pragma omp critical
+                { if (flag == 0) { flag = 1; winner = i; } }
+            }
+        }
+        int main() { init(); k(); print_i64(flag); print_i64(winner); return winner; }
+        "#;
+    let p = compile(src).expect("test-and-set kernel compiles");
+    let stats = assert_differential("test-and-set", &p, Abstraction::OpenMp, 4);
+    assert_eq!(
+        stats.critical_packets, 0,
+        "the equality guard must not reach the replay path: {stats:?}"
+    );
+    assert!(
+        stats.fallbacks.scheduled_sequential > 0,
+        "the loop must serialize at realization time: {stats:?}"
+    );
 }
 
 #[test]

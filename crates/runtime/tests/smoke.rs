@@ -124,6 +124,50 @@ fn reduction_smoke() {
 }
 
 #[test]
+fn gated_activation_pays_no_fork_traffic() {
+    // Regression: the activation cost gate must fire *before* worker
+    // heaps are forked or pool jobs dispatched — a gated activation
+    // contributes zero CoW pages, fork bytes, committed cells, and pool
+    // dispatches, so `BENCH_runtime.json`'s fork-volume counters can't
+    // report phantom traffic for kernels that run fully inline.
+    let p = compile(
+        r#"
+        int v[24]; int s;
+        void k() {
+            int i;
+            #pragma omp parallel for
+            for (i = 0; i < 24; i++) { v[i] = i * 3; s += i; }
+        }
+        int main() { k(); return v[7]; }
+        "#,
+    )
+    .unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_ret = interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::OpenMp, 0.01);
+    let rt = Runtime::new(&p, &plan).workers(4); // default gates on
+    let out = rt.run_main().unwrap();
+    assert_eq!(out.ret, seq_ret);
+    assert!(
+        out.stats.fallbacks.below_cost_threshold >= 1,
+        "the tiny activation must be gated: {:?}",
+        out.stats
+    );
+    assert_eq!(out.stats.chunked_loops, 0, "{:?}", out.stats);
+    assert_eq!(
+        (
+            out.stats.cow_pages,
+            out.stats.fork_bytes(),
+            out.stats.fork_cells_committed,
+            out.stats.pool_dispatches
+        ),
+        (0, 0, 0, 0),
+        "a gated activation must leave no fork/pool traces: {:?}",
+        out.stats
+    );
+}
+
+#[test]
 fn cost_model_gates_short_activations() {
     // 16 iterations of a tiny body: far below the default threshold, so
     // the activation must run inline — and say why.
