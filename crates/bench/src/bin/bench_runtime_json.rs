@@ -27,15 +27,24 @@
 //! additionally asserts the replay-program invariants on GMAX: both
 //! guarded-critical loops chunk with zero mutex fallbacks and replay
 //! packets flow at commit.
+//!
+//! The JSON also carries a `fault_injection` section: one seeded
+//! single-fault scenario per [`pspdg_runtime::FaultKind`], recording the
+//! injected-fault count, pool respawns, and per-cause fallback
+//! attribution, with `--smoke` asserting every scenario fires, recovers,
+//! and leaves a reusable runtime whose heap matches the interpreter.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use pspdg_emulator::{emulate, PredictedVsMeasured};
 use pspdg_ir::interp::{Interpreter, NullSink};
-use pspdg_nas::{runtime_suite, Class};
+use pspdg_nas::{benchmark, runtime_suite, Class};
 use pspdg_parallelizer::{build_plan, realize_executable, Abstraction};
-use pspdg_runtime::{globals_mismatch, observable_globals, Runtime};
+use pspdg_runtime::{
+    globals_mismatch, observable_globals, FaultInjector, FaultKind, FaultPlan, FaultSite, Runtime,
+};
 
 fn one_run_ns<T>(f: &mut impl FnMut() -> T) -> u64 {
     let start = Instant::now();
@@ -223,6 +232,142 @@ fn main() {
         );
     }
 
+    // Fault-injection demo: one seeded scenario per fault kind, each
+    // proving the self-healing contract — the injected fault fires exactly
+    // once, the run survives (falling back sequentially or respawning the
+    // dead pool thread), the final heap still matches the sequential
+    // interpreter, and a clean rerun on the *same* runtime is
+    // fault-free. The counts land in the JSON so a regression in any
+    // recovery path shows up in the smoke artifact.
+    let scenarios: [(&str, FaultSite, FaultKind, &str); 7] = [
+        (
+            "IS",
+            FaultSite::ChunkWorker(0),
+            FaultKind::WorkerPanic,
+            "worker_fault",
+        ),
+        (
+            "IS",
+            FaultSite::ChunkWorker(1),
+            FaultKind::WorkerFault,
+            "worker_fault",
+        ),
+        ("IS", FaultSite::PoolJob(0), FaultKind::ThreadDeath, ""),
+        (
+            "IS",
+            FaultSite::HeapCommit(0),
+            FaultKind::CommitFault,
+            "commit_fault",
+        ),
+        (
+            "GMAX",
+            FaultSite::CritSlice(0),
+            FaultKind::SpeculationFault,
+            "speculation_fault",
+        ),
+        (
+            "GMAX",
+            FaultSite::ReplayPacket(0),
+            FaultKind::ReplayFault,
+            "replay_fault",
+        ),
+        (
+            "PIPE",
+            FaultSite::StageRecv(0),
+            FaultKind::StageStall,
+            "stage_timeout",
+        ),
+    ];
+    let mut fault_rows = String::new();
+    for (name, site, kind, cause) in scenarios {
+        let b = benchmark(name, class).expect("fault-demo kernel exists");
+        let p = b.program();
+        let mut oracle = Interpreter::new(&p.module);
+        oracle
+            .run_main(&mut NullSink)
+            .expect("fault-demo oracle runs");
+        let plan = build_plan(&p, oracle.profile(), Abstraction::PsPdg, 0.01);
+        let inj = FaultInjector::arm(FaultPlan::single(site, kind));
+        // Zero activation gates so the targeted parallel construct (chunk,
+        // critical, pipeline stage) is reached deterministically at
+        // Class::Test sizes; a short watchdog keeps stall recovery fast.
+        let rt = Runtime::new(&p, &plan)
+            .workers(workers)
+            .cost_threshold(0)
+            .pipeline_min_body(0)
+            .stage_watchdog(Duration::from_millis(250))
+            .fault_injector(Arc::clone(&inj));
+        let faulted = rt.run_main().expect("faulted run recovers");
+        let seq_globals = observable_globals(&p.module, oracle.mem());
+        let heap_ok =
+            globals_mismatch(&seq_globals, &observable_globals(&p.module, &faulted.mem)).is_none();
+        let clean = rt.run_main().expect("post-fault rerun works");
+        let recovered = heap_ok
+            && clean.stats.injected_faults == 0
+            && globals_mismatch(&seq_globals, &observable_globals(&p.module, &clean.mem)).is_none();
+        let stats = &faulted.stats;
+        println!(
+            "FAULT {:<4} {:?}/{:?}: fired {}  respawns {}  fallbacks [{}]  recovered {}",
+            name,
+            site,
+            kind,
+            stats.injected_faults,
+            stats.pool_respawns,
+            stats
+                .fallbacks
+                .nonzero()
+                .iter()
+                .map(|(r, n)| format!("{r}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            recovered,
+        );
+        if smoke {
+            assert_eq!(
+                stats.injected_faults, 1,
+                "{name} {site:?}/{kind:?} must fire exactly once: {stats:?}"
+            );
+            if cause.is_empty() {
+                // Thread death heals inside the pool: the job is requeued
+                // on a respawned worker, no fallback is charged.
+                assert!(
+                    stats.pool_respawns >= 1,
+                    "{name} {site:?}/{kind:?} must respawn the dead thread: {stats:?}"
+                );
+            } else {
+                let n = stats
+                    .fallbacks
+                    .table()
+                    .iter()
+                    .find(|(r, _)| *r == cause)
+                    .map_or(0, |(_, n)| *n);
+                assert!(
+                    n >= 1,
+                    "{name} {site:?}/{kind:?} must attribute to {cause}: {stats:?}"
+                );
+            }
+            assert!(
+                recovered,
+                "{name} {site:?}/{kind:?} must leave a reusable runtime with an oracle-identical heap"
+            );
+        }
+        if !fault_rows.is_empty() {
+            fault_rows.push_str(",\n");
+        }
+        let causes: String = stats
+            .fallbacks
+            .nonzero()
+            .iter()
+            .map(|(r, n)| format!("\"{r}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = write!(
+            fault_rows,
+            "    {{\"kernel\": \"{name}\", \"site\": \"{site:?}\", \"kind\": \"{kind:?}\", \"injected_faults\": {}, \"pool_respawns\": {}, \"fallback_causes\": {{{causes}}}, \"recovered\": {recovered}}}",
+            stats.injected_faults, stats.pool_respawns,
+        );
+    }
+
     // Geomean over the kernels actually timed — a skipped kernel must
     // surface as a skip, not silently deflate the mean.
     let geomean = if timed == 0 {
@@ -248,7 +393,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"suite\": \"NAS Class::{class_name} + GMAX\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"critical_packets\": \"operand packets logged at critical-region entries and replayed at commit\",\n  \"critical_replays\": \"protected store instances applied by the value-predicated replay\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"kernels_timed\": {timed},\n  \"kernels_skipped\": [{skipped_json}],\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ]\n}}\n"
+        "{{\n  \"suite\": \"NAS Class::{class_name} + GMAX\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"critical_packets\": \"operand packets logged at critical-region entries and replayed at commit\",\n  \"critical_replays\": \"protected store instances applied by the value-predicated replay\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"kernels_timed\": {timed},\n  \"kernels_skipped\": [{skipped_json}],\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ],\n  \"fault_injection_note\": \"seeded single-fault scenarios (one per FaultKind): each fires exactly once, the run recovers, and the heap matches the sequential interpreter; recovered also requires a clean rerun on the same Runtime\",\n  \"fault_injection\": [\n{fault_rows}\n  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_runtime.json");
     println!("wrote {out_path}");

@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 use crate::function::{GlobalInit, Module};
@@ -314,6 +315,24 @@ impl MemState {
     /// Cells written more than once appear once, with the last value —
     /// exactly what a per-cell last-writer-wins commit needs.
     pub fn for_each_dirty(&self, mut f: impl FnMut(MemAddr, RtVal)) {
+        let _ = self.try_for_each_dirty(|addr, v| {
+            f(addr, v);
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// Abortable variant of [`MemState::for_each_dirty`] — the **commit
+    /// fault hook**: the visitor may abort the walk by returning
+    /// [`ControlFlow::Break`], and the walk stops at that cell. Execution
+    /// engines commit fork dirty sets into a *staging* heap through this,
+    /// so an abort mid-walk (a validation failure, or an injected commit
+    /// fault from the runtime's fault-injection layer) discards a
+    /// half-applied staging heap without the master state ever observing
+    /// it.
+    pub fn try_for_each_dirty(
+        &self,
+        mut f: impl FnMut(MemAddr, RtVal) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
         for &oi in &self.touched {
             let o = &self.objects[oi as usize];
             let Some(masks) = &o.dirty else { continue };
@@ -326,10 +345,11 @@ impl MemState {
                         obj: ObjId(oi),
                         off: (p * PAGE_CELLS) as u32 + b,
                     };
-                    f(addr, self.read(addr));
+                    f(addr, self.read(addr))?;
                 }
             }
         }
+        ControlFlow::Continue(())
     }
 
     /// Number of distinct cells this fork has written.
@@ -483,6 +503,12 @@ pub enum ExecError {
         /// Actual type name.
         got: &'static str,
     },
+    /// A synthetic fault injected by the runtime's deterministic
+    /// fault-injection layer (`pspdg-runtime`'s `fault` module). Never
+    /// raised by real program execution; exists so injected worker and
+    /// speculation faults flow through the same abort/fallback machinery
+    /// as organic [`ExecError`]s.
+    Injected,
 }
 
 impl fmt::Display for ExecError {
@@ -515,6 +541,7 @@ impl fmt::Display for ExecError {
                     "type mismatch in @{func} at {inst}: expected {expected}, got {got}"
                 )
             }
+            ExecError::Injected => write!(f, "injected fault (fault-injection testing)"),
         }
     }
 }
@@ -1255,6 +1282,35 @@ mod tests {
         // The base heap never observed the fork's writes.
         assert_eq!(base.read(MemAddr { obj, off: 3 }), RtVal::Int(0));
         assert_eq!(base.read(MemAddr { obj, off: 0 }), RtVal::Int(7));
+    }
+
+    #[test]
+    fn try_for_each_dirty_aborts_at_the_faulting_cell() {
+        let mut m = Module::new("m");
+        let g = m.declare_global("a", Type::array(Type::I64, 64), GlobalInit::Zero);
+        let base = MemState::for_module(&m);
+        let obj = base.global_object(g);
+        let mut fork = base.fork();
+        for off in [2u32, 9, 17] {
+            fork.write(MemAddr { obj, off }, RtVal::Int(i64::from(off)));
+        }
+        // The commit fault hook: the visitor aborts the walk partway and
+        // the walk reports the abort instead of finishing.
+        let mut visited = 0u32;
+        let r = fork.try_for_each_dirty(|_, _| {
+            visited += 1;
+            if visited == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(r.is_break());
+        assert_eq!(visited, 2, "the walk stops at the faulting cell");
+        // The infallible wrapper still sees everything.
+        let mut all = 0u32;
+        fork.for_each_dirty(|_, _| all += 1);
+        assert_eq!(all, 3);
     }
 
     #[test]

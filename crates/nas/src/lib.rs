@@ -95,10 +95,22 @@ pub fn runtime_suite(class: Class) -> Vec<Benchmark> {
     v
 }
 
-/// Look a benchmark up by (case-insensitive) name, searching the runtime
-/// suite (the eight NAS kernels plus GMAX).
+/// The kernel set the fault-injection fuzz suite drives: the runtime
+/// suite plus the SYNTH-family PIPE kernel, whose carried recurrence
+/// forces the DSWP pipeline path — so stage-level fault sites (sends,
+/// recvs, stalls, watchdog timeouts) are reachable deterministically
+/// rather than only on kernels that happen to pipeline (see
+/// [`synth::pipe`]).
+pub fn fault_suite(class: Class) -> Vec<Benchmark> {
+    let mut v = runtime_suite(class);
+    v.push(synth::pipe(class));
+    v
+}
+
+/// Look a benchmark up by (case-insensitive) name, searching the fault
+/// suite (the eight NAS kernels plus GMAX and PIPE).
 pub fn benchmark(name: &str, class: Class) -> Option<Benchmark> {
-    runtime_suite(class)
+    fault_suite(class)
         .into_iter()
         .find(|b| b.name.eq_ignore_ascii_case(name))
 }

@@ -136,6 +136,60 @@ int main() {{
     }
 }
 
+/// Iteration count of the PIPE kernel at the given class.
+pub fn pipe_trip(class: Class) -> usize {
+    match class {
+        Class::Test => 256,
+        Class::Mini => 4096,
+    }
+}
+
+/// PIPE — the DSWP stress kernel: a carried scalar recurrence
+/// (`t = t + pv[i] + i`) feeding an independent consumer statement
+/// (`pw[i] = t * 2`), the canonical two-stage decoupled-software-pipeline
+/// shape. Chunking is impossible (the recurrence is cross-iteration), so
+/// any parallelism must flow through the stage pipeline — which makes
+/// this the kernel of choice for exercising the pipeline's fault sites
+/// (stage sends/recvs, stalls, watchdog timeouts) deterministically in
+/// the fault-injection fuzz suite.
+pub fn pipe(class: Class) -> Benchmark {
+    let n = pipe_trip(class);
+    let source = format!(
+        r#"
+int t;
+int pv[{n}];
+int pw[{n}];
+
+void init() {{
+    int i;
+    for (i = 0; i < {n}; i++) {{ pv[i] = (i * 37 + 11) % 101; }}
+    t = 0;
+}}
+
+void k() {{
+    int i;
+    for (i = 0; i < {n}; i++) {{
+        t = t + pv[i] + i;
+        pw[i] = t * 2;
+    }}
+}}
+
+int main() {{
+    init();
+    k();
+    print_i64(t);
+    return pw[{last}] % 251;
+}}
+"#,
+        last = n - 1
+    );
+    Benchmark {
+        name: "PIPE",
+        description: "carried recurrence + consumer (DSWP pipeline stress)",
+        source,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +251,22 @@ mod tests {
                 let kinds: Vec<&str> = p.directives_in(f).map(|(_, d)| d.kind.name()).collect();
                 assert!(kinds.contains(&"critical"), "{name}: {kinds:?}");
             }
+        }
+    }
+
+    #[test]
+    fn pipe_compiles_runs_and_pipelines() {
+        for class in [Class::Test, Class::Mini] {
+            let b = pipe(class);
+            let p = b.program();
+            let mut interp = pspdg_ir::interp::Interpreter::new(&p.module);
+            let ret = interp
+                .run_main(&mut pspdg_ir::interp::NullSink)
+                .expect("PIPE runs");
+            assert!(ret.is_some());
+            assert_eq!(interp.output().len(), 1);
+            let t: i64 = interp.output()[0].parse().unwrap();
+            assert!(t > 0, "the recurrence accumulates");
         }
     }
 

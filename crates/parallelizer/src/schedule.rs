@@ -173,6 +173,15 @@ impl ReplayProgram {
             .iter()
             .filter(|op| matches!(op, ReplayOp::Store { .. }))
     }
+
+    /// Number of replay-time fault sites in this program: every op can
+    /// fault during commit replay (bad address, undef protected load,
+    /// failed evaluator), and each aborts the activation's commit with
+    /// the staging heap discarded. The runtime's fault-injection fuzzer
+    /// uses this to bound the packet ordinals worth addressing.
+    pub fn fault_sites(&self) -> usize {
+        self.ops.len()
+    }
 }
 
 /// One surviving critical/atomic region (nested or overlapping directive

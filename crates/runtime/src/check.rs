@@ -94,6 +94,32 @@ pub fn globals_mismatch(
     None
 }
 
+/// Like [`globals_mismatch`], but **bit-identical** ([`rtval_identical`]):
+/// no float tolerance. This is the oracle for runs where every parallel
+/// attempt fell back (or was faulted into falling back) — sequential
+/// execution on the master heap must reproduce the interpreter exactly,
+/// so the fault-injection fuzzer asserts it whenever a run reports zero
+/// chunked and zero pipelined activations.
+pub fn globals_identical_mismatch(
+    a: &[(String, Vec<RtVal>)],
+    b: &[(String, Vec<RtVal>)],
+) -> Option<(String, usize)> {
+    if a.len() != b.len() {
+        return Some(("<global count>".to_string(), 0));
+    }
+    for ((name, ca), (_, cb)) in a.iter().zip(b) {
+        if ca.len() != cb.len() {
+            return Some((name.clone(), usize::MAX));
+        }
+        for (i, (&x, &y)) in ca.iter().zip(cb).enumerate() {
+            if !rtval_identical(x, y) {
+                return Some((name.clone(), i));
+            }
+        }
+    }
+    None
+}
+
 fn float_equivalent(x: f64, y: f64) -> bool {
     if x == y {
         return true;
@@ -134,6 +160,19 @@ mod tests {
         );
         assert!(rtval_identical(RtVal::Float(a), RtVal::Float(a)));
         assert!(rtval_identical(RtVal::Int(7), RtVal::Int(7)));
+    }
+
+    #[test]
+    fn identical_mismatch_rejects_last_bit_drift() {
+        let a = vec![("g".to_string(), vec![RtVal::Float(0.1 + 0.2)])];
+        let b = vec![("g".to_string(), vec![RtVal::Float(0.3)])];
+        assert_eq!(globals_mismatch(&a, &b), None, "equivalent under rtol");
+        assert_eq!(
+            globals_identical_mismatch(&a, &b),
+            Some(("g".to_string(), 0)),
+            "but not bit-identical"
+        );
+        assert_eq!(globals_identical_mismatch(&a, &a), None);
     }
 
     #[test]

@@ -79,7 +79,9 @@
 //! serialize at realization time.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use std::ops::ControlFlow;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use pspdg_ir::interp::{
     const_val, eval_binop, eval_cast, eval_cmp, eval_intrinsic, eval_unop, ExecError, MemAddr,
@@ -94,7 +96,8 @@ use pspdg_parallelizer::{
 };
 use pspdg_pdg::MemBase;
 
-use crate::channel::Channel;
+use crate::channel::{Channel, RecvTimeout};
+use crate::fault::{FaultInjector, FaultKind};
 use crate::pool::WorkerPool;
 
 /// In-flight packets per pipeline stage link (the DSWP decoupling buffer).
@@ -110,6 +113,13 @@ pub const DEFAULT_COST_THRESHOLD: u64 = 4096;
 /// per iteration, so bodies below this static instruction count are not
 /// worth decoupling.
 pub const DEFAULT_PIPELINE_MIN_BODY: u32 = 24;
+
+/// Default [`Runtime::stage_watchdog`]: how long a pipeline stage (or the
+/// master collector) waits on a channel before declaring the peer stage
+/// dead and aborting the activation (`stage_timeout` fallback). Generous,
+/// because a healthy stage's hop latency is microseconds — only a dead or
+/// wedged stage ever gets near it; fault-injection tests shrink it.
+pub const DEFAULT_STAGE_WATCHDOG: Duration = Duration::from_secs(5);
 
 /// Why a loop activation executed sequentially instead of in parallel —
 /// one counter per cause, so predicted-vs-measured reports can say *why*
@@ -150,11 +160,25 @@ pub struct FallbackCounts {
     pub pipeline_overflow: u64,
     /// A pipeline stage aborted (fault or unreplayable control).
     pub pipeline_abort: u64,
+    /// A pipeline stage went silent — died or stalled without closing its
+    /// channels — and a watchdog timeout ([`Runtime::stage_watchdog`])
+    /// aborted the activation instead of hanging the master.
+    pub stage_timeout: u64,
+    /// Committing a fork's dirty set into the staging heap faulted
+    /// mid-walk; the half-applied staging heap is discarded and the loop
+    /// re-runs sequentially on the untouched master heap.
+    pub commit_fault: u64,
 }
 
 impl FallbackCounts {
-    /// `(reason, count)` pairs for the non-zero counters, in field order.
-    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+    /// Number of distinct fallback causes (fields of this struct).
+    pub const CAUSES: usize = 14;
+
+    /// All `(reason, count)` pairs, in field order — the single source of
+    /// truth for serialization (`BENCH_runtime.json`). A completeness
+    /// test pins this table against the struct layout so a new cause
+    /// cannot silently vanish from reports.
+    pub fn table(&self) -> [(&'static str, u64); Self::CAUSES] {
         [
             ("scheduled_sequential", self.scheduled_sequential),
             ("short_trip", self.short_trip),
@@ -168,10 +192,14 @@ impl FallbackCounts {
             ("replay_fault", self.replay_fault),
             ("pipeline_overflow", self.pipeline_overflow),
             ("pipeline_abort", self.pipeline_abort),
+            ("stage_timeout", self.stage_timeout),
+            ("commit_fault", self.commit_fault),
         ]
-        .into_iter()
-        .filter(|(_, n)| *n > 0)
-        .collect()
+    }
+
+    /// `(reason, count)` pairs for the non-zero counters, in field order.
+    pub fn nonzero(&self) -> Vec<(&'static str, u64)> {
+        self.table().into_iter().filter(|(_, n)| *n > 0).collect()
     }
 }
 
@@ -205,6 +233,14 @@ pub struct RunStats {
     /// worker forks (`× PAGE_BYTES` ≈ bytes actually copied; everything
     /// else was shared).
     pub cow_pages: u64,
+    /// Synthetic faults fired by an attached
+    /// [`FaultInjector`] during this run
+    /// (0 without one — real runs never inject).
+    pub injected_faults: u64,
+    /// Pool worker threads that died and were respawned during this run
+    /// (only fault injection kills workers; job panics are caught without
+    /// losing the thread).
+    pub pool_respawns: u64,
 }
 
 impl RunStats {
@@ -251,6 +287,8 @@ enum FallbackWhy {
     ReplayFault,
     PipelineOverflow,
     PipelineAbort,
+    StageTimeout,
+    CommitFault,
 }
 
 /// The result of one runtime execution.
@@ -282,6 +320,11 @@ pub struct Runtime<'p> {
     fuel: u64,
     cost_threshold: u64,
     pipeline_min_body: u32,
+    stage_watchdog: Duration,
+    /// Deterministic fault source for robustness testing; `None` (the
+    /// only production configuration) costs one never-taken branch on
+    /// each cold path.
+    faults: Option<Arc<FaultInjector>>,
     /// Created lazily on the first parallel activation; lives as long as
     /// the `Runtime`.
     pool: OnceLock<WorkerPool>,
@@ -304,6 +347,8 @@ impl<'p> Runtime<'p> {
             fuel: 1 << 48,
             cost_threshold: DEFAULT_COST_THRESHOLD,
             pipeline_min_body: DEFAULT_PIPELINE_MIN_BODY,
+            stage_watchdog: DEFAULT_STAGE_WATCHDOG,
+            faults: None,
             pool: OnceLock::new(),
         }
     }
@@ -346,6 +391,30 @@ impl<'p> Runtime<'p> {
         self
     }
 
+    /// Override the pipeline stage watchdog ([`DEFAULT_STAGE_WATCHDOG`]):
+    /// how long stages and the master collector wait on a channel before
+    /// presuming the peer stage dead and falling back (`stage_timeout`).
+    pub fn stage_watchdog(mut self, timeout: Duration) -> Runtime<'p> {
+        self.stage_watchdog = timeout.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Attach a deterministic fault injector (robustness testing only).
+    /// Its site counters are **cumulative across `run` calls** on this
+    /// runtime, so a schedule can address "the 7th chunk worker ever".
+    /// Resets the worker pool so pool-level sites
+    /// ([`FaultSite::PoolJob`](crate::fault::FaultSite)) are armed too.
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Runtime<'p> {
+        self.faults = Some(injector);
+        self.pool = OnceLock::new();
+        self
+    }
+
+    /// The attached fault injector, if any (to inspect what fired).
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
     /// The lowered plan (schedules per loop).
     pub fn executable(&self) -> &ExecutablePlan {
         &self.plan
@@ -358,7 +427,8 @@ impl<'p> Runtime<'p> {
 
     /// The persistent worker pool (created on first use).
     fn pool(&self) -> &WorkerPool {
-        self.pool.get_or_init(|| WorkerPool::new(self.workers))
+        self.pool
+            .get_or_init(|| WorkerPool::with_faults(self.workers, self.faults.clone()))
     }
 
     /// OS thread identities of the persistent worker pool (creating it if
@@ -394,6 +464,8 @@ impl<'p> Runtime<'p> {
     ///
     /// See [`Runtime::run_main`].
     pub fn run(&self, func: FuncId, args: &[RtVal]) -> Result<RunOutcome, ExecError> {
+        let fired_before = self.faults.as_ref().map_or(0, |fi| fi.fired_total());
+        let respawns_before = self.pool.get().map_or(0, WorkerPool::respawns);
         let mut engine = Engine {
             module: &self.program.module,
             plan: Some(&self.plan),
@@ -401,6 +473,8 @@ impl<'p> Runtime<'p> {
             workers: self.workers,
             cost_threshold: self.cost_threshold,
             pipeline_min_body: self.pipeline_min_body,
+            watchdog: self.stage_watchdog,
+            faults: self.faults.as_deref(),
             mem: MemState::for_module(&self.program.module),
             output: Vec::new(),
             steps: 0,
@@ -411,12 +485,18 @@ impl<'p> Runtime<'p> {
             stats: RunStats::default(),
         };
         let ret = engine.exec_function(func, args.to_vec())?;
+        let mut stats = engine.stats;
+        stats.injected_faults = self
+            .faults
+            .as_ref()
+            .map_or(0, |fi| fi.fired_total() - fired_before);
+        stats.pool_respawns = self.pool.get().map_or(0, WorkerPool::respawns) - respawns_before;
         Ok(RunOutcome {
             ret,
             output: engine.output,
             mem: engine.mem,
             steps: engine.steps,
-            stats: engine.stats,
+            stats,
         })
     }
 }
@@ -459,6 +539,11 @@ struct Engine<'a> {
     workers: usize,
     cost_threshold: u64,
     pipeline_min_body: u32,
+    /// Stage channel watchdog (pipeline activations).
+    watchdog: Duration,
+    /// Deterministic fault source; shared by the master, chunk workers,
+    /// and pipeline stages so site counters are global.
+    faults: Option<&'a FaultInjector>,
     mem: MemState,
     output: Vec<String>,
     steps: u64,
@@ -493,6 +578,8 @@ impl<'a> Engine<'a> {
             FallbackWhy::ReplayFault => c.replay_fault += 1,
             FallbackWhy::PipelineOverflow => c.pipeline_overflow += 1,
             FallbackWhy::PipelineAbort => c.pipeline_abort += 1,
+            FallbackWhy::StageTimeout => c.stage_timeout += 1,
+            FallbackWhy::CommitFault => c.commit_fault += 1,
         }
     }
 
@@ -865,9 +952,13 @@ impl<'a> Engine<'a> {
         }
         let module = self.module;
         let crit_map_ref = &crit_map;
+        let faults = self.faults;
+        let watchdog = self.watchdog;
         let mut slots: Vec<Option<Result<ChunkOut, ParAbort>>> =
             ranges.iter().map(|_| None).collect();
-        pool.scope(|scope| {
+        // `scope_catch`: a panicked chunk worker (organic or injected)
+        // must demote to a sequential fallback, not take the master down.
+        let ((), any_panicked) = pool.scope_catch(|scope| {
             for (slot, &(lo, hi)) in slots.iter_mut().zip(&ranges) {
                 // O(pages) fork: pages stay shared until a worker writes
                 // them; the fork records which cells it writes.
@@ -875,6 +966,14 @@ impl<'a> Engine<'a> {
                 let regs = frame.regs.clone();
                 let args = frame.args.clone();
                 scope.spawn(move || {
+                    match faults.and_then(FaultInjector::on_chunk_worker) {
+                        Some(FaultKind::WorkerPanic) => panic!("injected chunk worker panic"),
+                        Some(FaultKind::WorkerFault) => {
+                            *slot = Some(Err(ParAbort::Exec(ExecError::Injected)));
+                            return;
+                        }
+                        _ => {}
+                    }
                     let mut worker = Engine {
                         module,
                         plan: None,
@@ -882,6 +981,8 @@ impl<'a> Engine<'a> {
                         workers: 1,
                         cost_threshold: 0,
                         pipeline_min_body: 0,
+                        watchdog,
+                        faults,
                         mem: fork,
                         output: Vec::new(),
                         steps: 0,
@@ -910,15 +1011,27 @@ impl<'a> Engine<'a> {
         });
         self.stats.pool_dispatches += ranges.len() as u64;
         let mut outs = Vec::with_capacity(slots.len());
+        // First failing chunk (in chunk = iteration order) names the
+        // cause; a panicked worker never filled its slot and counts as a
+        // worker fault (its heap fork is simply discarded).
+        let mut fault_abort: Option<FallbackWhy> = None;
         for s in slots {
-            match s.expect("pool scope joined every chunk") {
-                Ok(out) => outs.push(out),
+            let why = match s {
+                None => Some(FallbackWhy::WorkerFault),
+                Some(Ok(out)) => {
+                    outs.push(out);
+                    None
+                }
                 // Fall back with the master heap untouched: the sequential
                 // re-run reproduces faults in sequential order.
-                Err(ParAbort::Irregular) => return Ok(Some(FallbackWhy::Irregular)),
-                Err(ParAbort::Exec(_)) => return Ok(Some(FallbackWhy::WorkerFault)),
-                Err(ParAbort::Spec(_)) => return Ok(Some(FallbackWhy::SpeculationFault)),
-            }
+                Some(Err(ParAbort::Irregular)) => Some(FallbackWhy::Irregular),
+                Some(Err(ParAbort::Exec(_))) => Some(FallbackWhy::WorkerFault),
+                Some(Err(ParAbort::Spec(_))) => Some(FallbackWhy::SpeculationFault),
+            };
+            fault_abort = fault_abort.or(why);
+        }
+        if let Some(why) = fault_abort.or(any_panicked.then_some(FallbackWhy::WorkerFault)) {
+            return Ok(Some(why));
         }
 
         // Commit into a staging heap (an O(pages) clone) so a replay
@@ -935,13 +1048,24 @@ impl<'a> Engine<'a> {
         let mut packets = 0u64;
         let mut replayed = 0u64;
         let mut cow_pages = 0u64;
-        let mut replay_fault = false;
+        let mut abort: Option<FallbackWhy> = None;
         for out in &outs {
             cow_pages += out.mem.cow_pages();
-            out.mem.for_each_dirty(|addr, v| {
+            // Injected commit fault: abort the dirty-set walk after one
+            // applied cell, leaving the staging heap *half-written* — the
+            // strongest possible probe that staging really isolates the
+            // master heap from a mid-commit fault.
+            let inject_commit =
+                self.faults.and_then(FaultInjector::on_heap_commit) == Some(FaultKind::CommitFault);
+            let mut commit_budget = if inject_commit { 1u64 } else { u64::MAX };
+            let walk = out.mem.try_for_each_dirty(|addr, v| {
                 if addr.obj == iv_obj || prot_objs.contains(&addr.obj.0) {
-                    return;
+                    return ControlFlow::Continue(());
                 }
+                if commit_budget == 0 {
+                    return ControlFlow::Break(());
+                }
+                commit_budget -= 1;
                 committed += 1;
                 if let Some(&op) = red_objs.get(&addr.obj.0) {
                     let cur = staging.read(addr);
@@ -949,8 +1073,22 @@ impl<'a> Engine<'a> {
                 } else {
                     staging.write(addr, v);
                 }
+                ControlFlow::Continue(())
             });
+            // An injected commit fault aborts even when the fork dirtied
+            // too few cells for the budget to trip mid-walk, so the
+            // injection's attribution is deterministic.
+            if walk.is_break() || inject_commit {
+                abort = Some(FallbackWhy::CommitFault);
+                break;
+            }
             for (idx, packet) in &out.crit_log {
+                if self.faults.and_then(FaultInjector::on_replay_packet)
+                    == Some(FaultKind::ReplayFault)
+                {
+                    abort = Some(FallbackWhy::ReplayFault);
+                    break;
+                }
                 match replay_packet(&c.criticals[*idx as usize].program, packet, &mut staging) {
                     Ok(stores) => {
                         packets += 1;
@@ -959,17 +1097,17 @@ impl<'a> Engine<'a> {
                     // E.g. an uninitialized protected cell: sequential
                     // execution faults at this instance in order.
                     Err(()) => {
-                        replay_fault = true;
+                        abort = Some(FallbackWhy::ReplayFault);
                         break;
                     }
                 }
             }
-            if replay_fault {
+            if abort.is_some() {
                 break;
             }
         }
-        if replay_fault {
-            return Ok(Some(FallbackWhy::ReplayFault));
+        if let Some(why) = abort {
+            return Ok(Some(why));
         }
         staging.write(iv_addr, RtVal::Int(final_iv));
         self.mem = staging;
@@ -1087,6 +1225,9 @@ impl<'a> Engine<'a> {
         idx: u32,
         cr: &CriticalReplay,
     ) -> Result<(), ParAbort> {
+        if self.faults.and_then(FaultInjector::on_crit_slice) == Some(FaultKind::SpeculationFault) {
+            return Err(ParAbort::Spec(ExecError::Injected));
+        }
         for &i in &cr.worker_insts {
             match self.exec_inst(func_id, f, frame, i) {
                 Ok(Flow::Next) => {}
@@ -1166,7 +1307,13 @@ impl<'a> Engine<'a> {
         let module = self.module;
         let master_mem = &self.mem;
         let cost_threshold = self.cost_threshold;
-        let result: Result<(MemState, Vec<String>, u64, BlockId), ()> = pool.scope(|scope| {
+        let watchdog = self.watchdog;
+        let faults = self.faults;
+        // `scope_catch`: a panicked stage (organic or injected) leaves its
+        // channels open and silent — the watchdog timeouts below turn
+        // that into a `stage_timeout` fallback instead of a wedged master
+        // or a master panic.
+        let (result, _stage_panicked): (PipeCollected, bool) = pool.scope_catch(|scope| {
             for (s, chan) in chans.iter().enumerate() {
                 let input = (s > 0).then(|| chans[s - 1].clone());
                 let output = chan.clone();
@@ -1182,6 +1329,8 @@ impl<'a> Engine<'a> {
                         workers: 1,
                         cost_threshold,
                         pipeline_min_body: 0,
+                        watchdog,
+                        faults,
                         mem,
                         output: Vec::new(),
                         steps: 0,
@@ -1210,24 +1359,40 @@ impl<'a> Engine<'a> {
                 });
             }
             // Master collector (runs on the master thread, concurrently
-            // with the stage jobs): stage writes land in a staging heap so
-            // an abort leaves the real heap untouched.
+            // with the stage jobs): stage writes land in a staging heap
+            // so an abort leaves the real heap untouched. Closing
+            // *every* channel on abort unblocks any stage still
+            // sending into a full queue, so the scope joins promptly
+            // even when a mid-pipeline stage died silently.
             let input = chans[stages - 1].clone();
+            let close_all = |chans: &[Channel<PipeMsg>]| {
+                for ch in chans {
+                    ch.close();
+                }
+            };
             let mut staging = master_mem.clone();
             let mut lines = Vec::new();
             let mut steps = 0u64;
             loop {
-                match input.recv() {
-                    None | Some(PipeMsg::Abort) => {
-                        input.close();
-                        return Err(());
+                match input.recv_deadline(watchdog) {
+                    Err(RecvTimeout::TimedOut) => {
+                        close_all(&chans);
+                        return Err(true);
                     }
-                    Some(PipeMsg::Iter(pkt)) => {
+                    Err(RecvTimeout::Closed) => {
+                        close_all(&chans);
+                        return Err(false);
+                    }
+                    Ok(PipeMsg::Abort { timeout }) => {
+                        close_all(&chans);
+                        return Err(timeout);
+                    }
+                    Ok(PipeMsg::Iter(pkt)) => {
                         staging.apply(&pkt.writes);
                         lines.extend(pkt.output);
                         steps = steps.saturating_add(pkt.steps);
                     }
-                    Some(PipeMsg::Exit { packet, exit }) => {
+                    Ok(PipeMsg::Exit { packet, exit }) => {
                         staging.apply(&packet.writes);
                         lines.extend(packet.output);
                         steps = steps.saturating_add(packet.steps);
@@ -1244,7 +1409,8 @@ impl<'a> Engine<'a> {
                 self.steps = self.steps.saturating_add(steps);
                 Ok(Ok(exit))
             }
-            Err(()) => Ok(Err(FallbackWhy::PipelineAbort)),
+            Err(true) => Ok(Err(FallbackWhy::StageTimeout)),
+            Err(false) => Ok(Err(FallbackWhy::PipelineAbort)),
         }
     }
 
@@ -1297,23 +1463,37 @@ impl<'a> Engine<'a> {
                 steps: self.steps - sent_steps,
             };
             sent_steps = self.steps;
+            match self.faults.and_then(FaultInjector::on_stage_send) {
+                // Stall: die silently — channels stay open, nothing is
+                // signalled. Only the downstream watchdog can notice.
+                Some(FaultKind::StageStall) => return,
+                Some(FaultKind::WorkerPanic) => panic!("injected stage panic (drive)"),
+                _ => {}
+            }
             match end {
                 Ok(None) => {
-                    if out.send(PipeMsg::Iter(packet)).is_err() {
-                        return; // downstream aborted
+                    if self.stage_send(out, PipeMsg::Iter(packet)).is_err() {
+                        return; // downstream aborted or dead
                     }
                     block = sched.header;
                 }
                 Ok(Some(exit)) => {
-                    let _ = out.send(PipeMsg::Exit { packet, exit });
+                    let _ = self.stage_send(out, PipeMsg::Exit { packet, exit });
                     return;
                 }
                 Err(()) => {
-                    let _ = out.send(PipeMsg::Abort);
+                    let _ = self.stage_send(out, PipeMsg::Abort { timeout: false });
                     return;
                 }
             }
         }
+    }
+
+    /// A stage's watchdog-guarded send: gives up (returning `Err`) when
+    /// the channel closed *or* stayed full past the watchdog — either way
+    /// the downstream consumer is gone and this stage should wind down.
+    fn stage_send(&self, out: &Channel<PipeMsg>, msg: PipeMsg) -> Result<(), ()> {
+        out.send_timeout(msg, self.watchdog).map_err(|_| ())
     }
 
     /// Stages ≥ 1: replay recorded paths, executing only this stage's
@@ -1332,14 +1512,29 @@ impl<'a> Engine<'a> {
     ) {
         let mut sent_steps = 0u64;
         loop {
-            let msg = match input.recv() {
-                None => return,
-                Some(m) => m,
+            match self.faults.and_then(FaultInjector::on_stage_recv) {
+                // Stall: stop receiving without closing anything — the
+                // upstream sender eventually blocks on a full channel and
+                // the downstream watchdog trips.
+                Some(FaultKind::StageStall) => return,
+                Some(FaultKind::WorkerPanic) => panic!("injected stage panic (replay)"),
+                _ => {}
+            }
+            let msg = match input.recv_deadline(self.watchdog) {
+                Err(RecvTimeout::Closed) => return,
+                // Upstream went silent: propagate a timeout abort so the
+                // master attributes the fallback to the watchdog.
+                Err(RecvTimeout::TimedOut) => {
+                    input.close();
+                    let _ = self.stage_send(out, PipeMsg::Abort { timeout: true });
+                    return;
+                }
+                Ok(m) => m,
             };
             let (mut packet, exit) = match msg {
-                PipeMsg::Abort => {
+                PipeMsg::Abort { timeout } => {
                     input.close();
-                    let _ = out.send(PipeMsg::Abort);
+                    let _ = self.stage_send(out, PipeMsg::Abort { timeout });
                     return;
                 }
                 PipeMsg::Iter(pkt) => (pkt, None),
@@ -1369,7 +1564,7 @@ impl<'a> Engine<'a> {
             }
             if failed {
                 input.close();
-                let _ = out.send(PipeMsg::Abort);
+                let _ = self.stage_send(out, PipeMsg::Abort { timeout: false });
                 return;
             }
             if let Some(log) = &mut self.log {
@@ -1381,13 +1576,13 @@ impl<'a> Engine<'a> {
             packet.regs.clone_from(&frame.regs);
             match exit {
                 None => {
-                    if out.send(PipeMsg::Iter(packet)).is_err() {
+                    if self.stage_send(out, PipeMsg::Iter(packet)).is_err() {
                         input.close();
                         return;
                     }
                 }
                 Some(exit) => {
-                    let _ = out.send(PipeMsg::Exit { packet, exit });
+                    let _ = self.stage_send(out, PipeMsg::Exit { packet, exit });
                     return;
                 }
             }
@@ -1409,10 +1604,23 @@ struct Packet {
     steps: u64,
 }
 
+/// What the pipeline master collector returns out of the stage scope: the
+/// staging heap, printed lines, dynamic steps, and the loop's exit block —
+/// or `Err(timed_out)`, where `true` means a watchdog expiry (vs an
+/// organic stage abort) for fallback attribution.
+type PipeCollected = Result<(MemState, Vec<String>, u64, BlockId), bool>;
+
 enum PipeMsg {
     Iter(Packet),
-    Exit { packet: Packet, exit: BlockId },
-    Abort,
+    Exit {
+        packet: Packet,
+        exit: BlockId,
+    },
+    /// The pipeline is dead; `timeout` records whether a watchdog (vs an
+    /// organic stage abort) detected it, for fallback attribution.
+    Abort {
+        timeout: bool,
+    },
 }
 
 /// Resolve a replayed pointer value against the staging heap (same bounds

@@ -39,24 +39,38 @@
 //! the replay path, and a pool-reuse regression test asserts the worker
 //! threads survive across activations.
 //!
+//! Every recovery path above is *provable on demand*: the [`fault`]
+//! module injects deterministic, site-addressed faults (worker panics,
+//! speculative-slice faults, replay faults, stage stalls, pool-thread
+//! deaths) behind a zero-cost-when-disabled hook, the pool **respawns**
+//! dead workers without losing jobs, and pipeline channels carry watchdog
+//! timeouts so a silent stage aborts the activation (`stage_timeout`)
+//! instead of hanging the master. The fault-schedule fuzz suite
+//! (`tests/fault_fuzz.rs`) drives random seeded schedules across every
+//! kernel and asserts the fallback-parity contract held.
+//!
 //! Module map: [`exec`] — the engine ([`Runtime`], [`RunStats`],
-//! [`FallbackCounts`]); [`pool`] — the persistent scoped worker pool;
-//! [`channel`] — the bounded DSWP decoupling buffer; [`check`] —
-//! observable-state extraction for differential testing.
+//! [`FallbackCounts`]); [`pool`] — the persistent, self-healing scoped
+//! worker pool; [`channel`] — the bounded DSWP decoupling buffer with
+//! watchdog sends/recvs; [`fault`] — deterministic fault injection
+//! ([`FaultPlan`], [`FaultInjector`]); [`check`] — observable-state
+//! extraction for differential testing.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod check;
 pub mod exec;
+pub mod fault;
 pub mod pool;
 
 pub use check::{
-    global_cells, globals_mismatch, line_equivalent, observable_globals, rtval_equivalent,
-    rtval_identical, FLOAT_RTOL,
+    global_cells, globals_identical_mismatch, globals_mismatch, line_equivalent,
+    observable_globals, rtval_equivalent, rtval_identical, FLOAT_RTOL,
 };
 pub use exec::{
     FallbackCounts, RunOutcome, RunStats, Runtime, DEFAULT_COST_THRESHOLD,
-    DEFAULT_PIPELINE_MIN_BODY,
+    DEFAULT_PIPELINE_MIN_BODY, DEFAULT_STAGE_WATCHDOG,
 };
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite, Injection, Rng64};
 pub use pool::WorkerPool;

@@ -1,4 +1,5 @@
-//! A persistent worker-thread pool with scoped, borrowing jobs.
+//! A persistent, self-healing worker-thread pool with scoped, borrowing
+//! jobs.
 //!
 //! PR 2's executor spawned fresh OS threads (`std::thread::scope`) for
 //! *every* loop activation; on activation-heavy kernels (LU's wavefront
@@ -23,6 +24,31 @@
 //! assert_eq!(results, vec![10, 20, 30, 40]);
 //! ```
 //!
+//! ## Self-healing
+//!
+//! Two failure modes are survived without shrinking the pool or wedging
+//! the completion latch:
+//!
+//! - **Job panics** are caught twice over: the scope wrapper catches the
+//!   job's unwind and still decrements the latch (so sibling and queued
+//!   jobs run and `scope` returns), and the worker loop catches anything
+//!   that escapes the wrapper so the thread itself survives to serve the
+//!   next job. [`WorkerPool::scope`] re-raises the panic after the join;
+//!   [`WorkerPool::scope_catch`] instead reports it as data — the
+//!   executor uses that to turn a panicked chunk worker into an ordinary
+//!   sequential fallback.
+//! - **Thread death** (injected via [`FaultKind::ThreadDeath`] on a
+//!   [`crate::fault::FaultSite::PoolJob`] site): the dying worker pushes its job back
+//!   to the *front* of the queue, spawns and registers a replacement
+//!   thread, and only then exits. The job is never lost, the pool width
+//!   never drops, and [`WorkerPool::respawns`] counts the event.
+//!
+//! Because replacements register themselves before the dying thread
+//! exits, the drop path joins in rounds — drain the handle registry, join
+//! each handle, repeat until a round finds the registry empty. Joining a
+//! thread happens-after everything it did, including registering its
+//! replacement, so no handle is ever orphaned.
+//!
 //! ## Safety
 //!
 //! Jobs borrow the scope's environment (`'env`), but pool threads are
@@ -32,9 +58,13 @@
 //! never returns (not even by unwinding) before every spawned job has
 //! finished**. [`WorkerPool::scope`] enforces this with a completion
 //! latch that is awaited on both the normal path and the unwind path.
+//! Thread death keeps the invariant because the requeued job still runs
+//! (on the replacement) before the latch releases.
 
+use crate::fault::{FaultInjector, FaultKind};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{JoinHandle, ThreadId};
 
@@ -50,22 +80,37 @@ struct PoolShared {
     state: Mutex<PoolState>,
     /// Signalled when a job arrives or the pool shuts down.
     work: Condvar,
+    /// Live (and recently-exited, not-yet-reaped) worker handles. Grows
+    /// when a dying worker registers its replacement; reaped lazily.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic worker name counter (`pspdg-worker-N`).
+    next_name: AtomicUsize,
+    /// Times a dead worker thread was replaced.
+    respawns: AtomicU64,
+    /// Panics that escaped a job and were caught by the worker loop
+    /// itself (the scope wrapper normally absorbs them first).
+    caught_panics: AtomicU64,
+    /// Optional deterministic fault source (checked once per job pickup).
+    faults: Option<Arc<FaultInjector>>,
 }
 
 /// A fixed-size pool of persistent worker threads.
 ///
 /// Created once (per [`Runtime`](crate::Runtime)) and reused by every
 /// parallel loop activation; dropped, it shuts its threads down and joins
-/// them.
+/// them. The pool *self-heals*: panicking jobs don't kill workers, and a
+/// worker that dies anyway (fault injection) is respawned without losing
+/// its job — see the module docs.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
+    threads: usize,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("threads", &self.handles.len())
+            .field("threads", &self.threads)
+            .field("respawns", &self.respawns())
             .finish()
     }
 }
@@ -73,40 +118,84 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Spawn a pool of `threads` persistent workers (at least one).
     pub fn new(threads: usize) -> WorkerPool {
+        WorkerPool::with_faults(threads, None)
+    }
+
+    /// Like [`WorkerPool::new`], with a fault injector consulted once per
+    /// job pickup ([`FaultSite::PoolJob`](crate::fault::FaultSite) sites).
+    pub fn with_faults(threads: usize, faults: Option<Arc<FaultInjector>>) -> WorkerPool {
+        let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 queue: VecDeque::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            next_name: AtomicUsize::new(0),
+            respawns: AtomicU64::new(0),
+            caught_panics: AtomicU64::new(0),
+            faults,
         });
-        let handles = (0..threads.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("pspdg-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        WorkerPool { shared, handles }
+        {
+            let mut handles = shared.handles.lock().expect("pool handles lock");
+            for _ in 0..threads {
+                handles.push(spawn_worker(&shared));
+            }
+        }
+        WorkerPool { shared, threads }
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the pool maintains (its width — constant
+    /// for the pool's life, even across respawns).
     pub fn size(&self) -> usize {
-        self.handles.len()
+        self.threads
     }
 
-    /// The OS thread identities of the workers — lets tests assert that
-    /// the *same* threads serve successive activations (pool reuse).
+    /// The OS thread identities of the *live* workers — lets tests assert
+    /// that the same threads serve successive activations (pool reuse)
+    /// and that a killed worker was replaced. Reaps exited threads as a
+    /// side effect, so after a respawn this settles back to exactly
+    /// [`size`](WorkerPool::size) entries.
     pub fn thread_ids(&self) -> Vec<ThreadId> {
-        self.handles.iter().map(|h| h.thread().id()).collect()
+        let mut handles = self.shared.handles.lock().expect("pool handles lock");
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        handles.iter().map(|h| h.thread().id()).collect()
+    }
+
+    /// Times a dead worker thread was detected and replaced.
+    pub fn respawns(&self) -> u64 {
+        self.shared.respawns.load(Ordering::Relaxed)
+    }
+
+    /// Panics that escaped a job's own wrapper and were absorbed by the
+    /// worker loop (the thread survived).
+    pub fn caught_panics(&self) -> u64 {
+        self.shared.caught_panics.load(Ordering::Relaxed)
     }
 
     /// Run `f`, which may [`Scope::spawn`] borrowing jobs onto the pool;
     /// returns only after every spawned job has completed. If a job
     /// panicked, the panic is re-raised here (after all jobs finished).
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+        let (r, panicked) = self.scope_catch(f);
+        assert!(!panicked, "pool worker job panicked");
+        r
+    }
+
+    /// Like [`scope`](WorkerPool::scope), but a panicking job is reported
+    /// as data instead of re-panicking the caller: returns `f`'s result
+    /// plus whether any spawned job panicked. The executor uses this to
+    /// demote a panicked chunk worker to a sequential fallback instead of
+    /// taking the master down.
+    pub fn scope_catch<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> (R, bool) {
         let scope = Scope {
             pool: self,
             state: Arc::new(ScopeState {
@@ -133,10 +222,7 @@ impl WorkerPool {
             p.panicked
         };
         match result {
-            Ok(r) => {
-                assert!(!panicked, "pool worker job panicked");
-                r
-            }
+            Ok(r) => (r, panicked),
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
@@ -149,10 +235,32 @@ impl Drop for WorkerPool {
             s.shutdown = true;
         }
         self.shared.work.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // Join in rounds: a dying worker registers its replacement before
+        // exiting, so joining a thread happens-after that registration —
+        // once a round drains the registry empty, no thread is left.
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut handles = self.shared.handles.lock().expect("pool handles lock");
+                handles.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            self.shared.work.notify_all();
+            for h in batch {
+                let _ = h.join();
+            }
         }
     }
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>) -> JoinHandle<()> {
+    let n = shared.next_name.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("pspdg-worker-{n}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn pool worker")
 }
 
 struct Progress {
@@ -196,7 +304,9 @@ impl<'pool, 'env> Scope<'pool, 'env> {
         });
         // SAFETY: `scope` joins every job (normal and unwind paths) before
         // returning, so the `'env` borrows inside `wrapped` cannot be
-        // observed dangling by the pool threads.
+        // observed dangling by the pool threads. A worker that dies on
+        // pickup requeues the job first, so "every job finishes" holds
+        // across respawns too.
         let erased: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
                 wrapped,
@@ -210,7 +320,7 @@ impl<'pool, 'env> Scope<'pool, 'env> {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &Arc<PoolShared>) {
     loop {
         let job = {
             let mut s = shared.state.lock().expect("pool lock poisoned");
@@ -224,15 +334,42 @@ fn worker_loop(shared: &PoolShared) {
                 s = shared.work.wait(s).expect("pool lock poisoned");
             }
         };
-        job();
+        if let Some(faults) = &shared.faults {
+            if faults.on_pool_job() == Some(FaultKind::ThreadDeath) {
+                // Die without running the job — but first register the
+                // replacement and the respawn count, *then* hand the job
+                // back (front of queue: it was next). Requeueing last
+                // means that by the time the job has run — which is
+                // before any scope it belongs to can complete — the
+                // respawn is fully recorded.
+                shared.respawns.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .handles
+                    .lock()
+                    .expect("pool handles lock")
+                    .push(spawn_worker(shared));
+                {
+                    let mut s = shared.state.lock().expect("pool lock poisoned");
+                    s.queue.push_front(job);
+                }
+                shared.work.notify_one();
+                return;
+            }
+        }
+        // The scope wrapper already catches the user job's panic; this
+        // second net is for anything that escapes it, so a worker thread
+        // can never be lost to an unwind.
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.caught_panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultSite};
     use std::collections::HashSet;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn jobs_run_and_scope_joins() {
@@ -314,5 +451,110 @@ mod tests {
             });
         });
         assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_catch_reports_panics_as_data() {
+        let pool = WorkerPool::new(2);
+        let (_, panicked) = pool.scope_catch(|s| {
+            s.spawn(|| panic!("caught"));
+        });
+        assert!(panicked);
+        let (_, panicked) = pool.scope_catch(|s| {
+            s.spawn(|| {});
+        });
+        assert!(!panicked, "a clean scope reports no panic");
+    }
+
+    #[test]
+    fn panicking_job_does_not_orphan_queued_jobs_or_hang_drop() {
+        // Regression (ISSUE 6 satellite): a single worker, a panicking
+        // job at the head of the queue, and a pile of jobs behind it —
+        // every queued job must still run, `scope_catch` must return (no
+        // wedged latch), and dropping the pool right after must join
+        // cleanly instead of hanging on an orphaned queue.
+        let pool = WorkerPool::new(1);
+        let ran = AtomicU64::new(0);
+        let (_, panicked) = pool.scope_catch(|s| {
+            s.spawn(|| panic!("head of queue"));
+            for _ in 0..16 {
+                s.spawn(|| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(panicked);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            16,
+            "jobs queued behind a panicking job must still run"
+        );
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn thread_death_respawns_and_requeues_the_job() {
+        let plan = FaultPlan::single(FaultSite::PoolJob(1), FaultKind::ThreadDeath);
+        let pool = WorkerPool::with_faults(2, Some(FaultInjector::arm(plan)));
+        let before: HashSet<ThreadId> = pool.thread_ids().into_iter().collect();
+        assert_eq!(before.len(), 2);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            8,
+            "the job whose worker died must be requeued and still run"
+        );
+        assert_eq!(pool.respawns(), 1);
+        // The replacement settles the pool back to full width, with one
+        // new thread identity.
+        let mut after: HashSet<ThreadId> = pool.thread_ids().into_iter().collect();
+        for _ in 0..200 {
+            if after.len() == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            after = pool.thread_ids().into_iter().collect();
+        }
+        assert_eq!(after.len(), 2, "pool width must be restored");
+        assert_eq!(
+            after.difference(&before).count(),
+            1,
+            "exactly one worker identity was replaced"
+        );
+        // And the healed pool keeps working.
+        let again = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    again.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(again.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn thread_death_during_drop_still_joins() {
+        // A ThreadDeath injection that fires while the pool is shutting
+        // down must not leak the replacement thread: drop joins in
+        // rounds until the registry is empty.
+        let plan = FaultPlan::single(FaultSite::PoolJob(0), FaultKind::ThreadDeath);
+        let pool = WorkerPool::with_faults(2, Some(FaultInjector::arm(plan)));
+        let ran = AtomicU64::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.respawns(), 1);
+        drop(pool); // joins original workers and the respawn
     }
 }
