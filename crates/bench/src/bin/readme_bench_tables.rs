@@ -92,7 +92,12 @@ fn runtime_table(json: &str) -> String {
     let mut t = String::from(
         "| kernel | sequential (ms) | parallel (ms) | measured | predicted | dyn chunked | dyn pipelined | critical packets | critical replays | fallbacks (by cause) |\n|---|---|---|---|---|---|---|---|---|---|\n",
     );
-    for l in kernel_lines(json) {
+    // The runtime JSON also has per-kernel fault-injection and profiling
+    // rows; only the timed rows carry `interpreter_ns`.
+    for l in kernel_lines(json)
+        .into_iter()
+        .filter(|l| l.contains("\"interpreter_ns\""))
+    {
         let g = |k: &str| field(l, k).unwrap_or_default();
         let reasons = g("dyn_fallback_reasons");
         let reasons = if reasons.is_empty() {

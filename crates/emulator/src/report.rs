@@ -90,6 +90,11 @@ pub struct PredictedVsMeasured {
     /// diagnosis — cost-gated short activations, worker faults, pipeline
     /// aborts, … each count its own cause.
     pub fallback_reasons: Vec<(String, u64)>,
+    /// State of the runtime's observability recorder during the
+    /// measured run (`"absent"`, `"disabled"`, or `"enabled"`), so a
+    /// published number carries its own instrumentation provenance —
+    /// an enabled recorder pays the profiling cost inside the loop.
+    pub recorder_state: &'static str,
 }
 
 impl PredictedVsMeasured {

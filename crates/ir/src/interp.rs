@@ -28,6 +28,8 @@ use std::fmt;
 use std::ops::ControlFlow;
 use std::sync::Arc;
 
+use pspdg_obs::{ObsHandle, Opcode, Recorder};
+
 use crate::function::{GlobalInit, Module};
 use crate::inst::{BinOp, CastKind, CmpOp, Inst, Intrinsic, UnOp};
 use crate::types::Type;
@@ -775,6 +777,28 @@ pub fn eval_intrinsic(
     })
 }
 
+/// The observability opcode of an instruction — the mapping from the
+/// IR's [`Inst`] forms onto the dense [`pspdg_obs::Opcode`] taxonomy
+/// both execution engines profile against.
+#[inline]
+pub fn opcode_of(inst: &Inst) -> Opcode {
+    match inst {
+        Inst::Alloca { .. } => Opcode::Alloca,
+        Inst::Load { .. } => Opcode::Load,
+        Inst::Store { .. } => Opcode::Store,
+        Inst::Gep { .. } => Opcode::Gep,
+        Inst::Binary { .. } => Opcode::Binary,
+        Inst::Unary { .. } => Opcode::Unary,
+        Inst::Cmp { .. } => Opcode::Cmp,
+        Inst::Cast { .. } => Opcode::Cast,
+        Inst::Call { .. } => Opcode::Call,
+        Inst::IntrinsicCall { .. } => Opcode::Intrinsic,
+        Inst::Br { .. } => Opcode::Br,
+        Inst::CondBr { .. } => Opcode::CondBr,
+        Inst::Ret { .. } => Opcode::Ret,
+    }
+}
+
 /// The interpreter. Owns the heap (globals + live stack objects), the
 /// profile, and the captured output of `print_*` intrinsics.
 #[derive(Debug)]
@@ -786,6 +810,7 @@ pub struct Interpreter<'m> {
     steps: u64,
     fuel: u64,
     next_frame: u64,
+    obs: Option<ObsHandle>,
 }
 
 /// Everything local to one activation.
@@ -819,7 +844,21 @@ impl<'m> Interpreter<'m> {
             steps: 0,
             fuel,
             next_frame: 0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability shard: every dynamic instruction is
+    /// counted (opcode frequency + consecutive pairs) into `ctx` of
+    /// `rec`. The shard flushes at the end of every traced run and on
+    /// drop. Disabled recorders attach as a no-op.
+    pub fn attach_obs(&mut self, rec: &Arc<Recorder>, ctx: &str) {
+        self.obs = rec.enabled().then(|| rec.attach(ctx));
+    }
+
+    /// Flush and detach the observability shard, if any.
+    pub fn detach_obs(&mut self) {
+        self.obs = None;
     }
 
     /// Execute `func` with `args`, discarding trace events.
@@ -846,7 +885,11 @@ impl<'m> Interpreter<'m> {
             sink.on_alloc(obj, origin);
         }
         let arg_deps = vec![NO_DEP; args.len()];
-        let (ret, _ret_step) = self.exec_function(func, args.to_vec(), arg_deps, NO_DEP, sink)?;
+        let res = self.exec_function(func, args.to_vec(), arg_deps, NO_DEP, sink);
+        if let Some(h) = self.obs.as_mut() {
+            h.flush();
+        }
+        let (ret, _ret_step) = res?;
         Ok(ret)
     }
 
@@ -951,6 +994,9 @@ impl<'m> Interpreter<'m> {
                 self.profile.inst_count[func_id.index()][inst_id.index()] += 1;
 
                 let data = func.inst(inst_id);
+                if let Some(h) = self.obs.as_mut() {
+                    h.op(opcode_of(&data.inst));
+                }
                 // Collect operand dependences.
                 reg_deps.clear();
                 loads.clear();
@@ -972,16 +1018,12 @@ impl<'m> Interpreter<'m> {
                 let mut next_block: Option<BlockId> = None;
                 let mut returned: Option<Option<RtVal>> = None;
 
+                // Arms ordered by measured dynamic frequency over the NAS
+                // suite (see the opcode profiler / BENCH_runtime.json
+                // `dispatch_reorder`): load > binary > gep > store > br >
+                // cmp > condbr > intrinsic > cast > unary > call >
+                // alloca > ret.
                 match &data.inst {
-                    Inst::Alloca { ty, .. } => {
-                        let origin = ObjOrigin::Alloca {
-                            func: func_id,
-                            inst: inst_id,
-                        };
-                        let obj = self.mem.alloc(origin, ty.flat_len() as usize);
-                        sink.on_alloc(obj, origin);
-                        result = RtVal::Ptr { obj, off: 0 };
-                    }
                     Inst::Load { ptr, .. } => {
                         let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
                         let v = self.mem.read(addr);
@@ -994,11 +1036,10 @@ impl<'m> Interpreter<'m> {
                         loads.push(addr);
                         result = v;
                     }
-                    Inst::Store { ptr, value } => {
-                        let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
-                        let v = eval!(*value);
-                        self.mem.write(addr, v);
-                        stores.push(addr);
+                    Inst::Binary { op, lhs, rhs } => {
+                        let l = eval!(*lhs);
+                        let r = eval!(*rhs);
+                        result = eval_binop(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?;
                     }
                     Inst::Gep {
                         base,
@@ -1024,14 +1065,14 @@ impl<'m> Interpreter<'m> {
                             }
                         }
                     }
-                    Inst::Binary { op, lhs, rhs } => {
-                        let l = eval!(*lhs);
-                        let r = eval!(*rhs);
-                        result = eval_binop(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?;
+                    Inst::Store { ptr, value } => {
+                        let addr = self.deref(eval!(*ptr), &err_func(), inst_id)?;
+                        let v = eval!(*value);
+                        self.mem.write(addr, v);
+                        stores.push(addr);
                     }
-                    Inst::Unary { op, operand } => {
-                        let v = eval!(*operand);
-                        result = eval_unop(*op, v).map_err(|e| e.at(&err_func(), inst_id))?;
+                    Inst::Br { target } => {
+                        next_block = Some(*target);
                     }
                     Inst::Cmp { op, lhs, rhs } => {
                         let l = eval!(*lhs);
@@ -1040,14 +1081,37 @@ impl<'m> Interpreter<'m> {
                             eval_cmp(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?,
                         );
                     }
-                    Inst::Cast { kind, value } => {
-                        let v = eval!(*value);
-                        result = eval_cast(*kind, v).map_err(|e| e.at(&err_func(), inst_id))?;
+                    Inst::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let c = eval!(*cond);
+                        let c = match c {
+                            RtVal::Bool(b) => b,
+                            other => {
+                                return Err(ExecError::TypeMismatch {
+                                    func: err_func(),
+                                    inst: inst_id,
+                                    expected: "bool",
+                                    got: other.type_name(),
+                                })
+                            }
+                        };
+                        next_block = Some(if c { *then_bb } else { *else_bb });
                     }
                     Inst::IntrinsicCall { intrinsic, args } => {
                         let vals: Vec<RtVal> = args.iter().map(|a| self.eval(&frame, *a)).collect();
                         result = eval_intrinsic(*intrinsic, &vals, &mut self.output)
                             .map_err(|e| e.at(&err_func(), inst_id))?;
+                    }
+                    Inst::Cast { kind, value } => {
+                        let v = eval!(*value);
+                        result = eval_cast(*kind, v).map_err(|e| e.at(&err_func(), inst_id))?;
+                    }
+                    Inst::Unary { op, operand } => {
+                        let v = eval!(*operand);
+                        result = eval_unop(*op, v).map_err(|e| e.at(&err_func(), inst_id))?;
                     }
                     Inst::Call { callee, args } => {
                         let vals: Vec<RtVal> = args.iter().map(|a| self.eval(&frame, *a)).collect();
@@ -1079,27 +1143,14 @@ impl<'m> Interpreter<'m> {
                         };
                         continue;
                     }
-                    Inst::Br { target } => {
-                        next_block = Some(*target);
-                    }
-                    Inst::CondBr {
-                        cond,
-                        then_bb,
-                        else_bb,
-                    } => {
-                        let c = eval!(*cond);
-                        let c = match c {
-                            RtVal::Bool(b) => b,
-                            other => {
-                                return Err(ExecError::TypeMismatch {
-                                    func: err_func(),
-                                    inst: inst_id,
-                                    expected: "bool",
-                                    got: other.type_name(),
-                                })
-                            }
+                    Inst::Alloca { ty, .. } => {
+                        let origin = ObjOrigin::Alloca {
+                            func: func_id,
+                            inst: inst_id,
                         };
-                        next_block = Some(if c { *then_bb } else { *else_bb });
+                        let obj = self.mem.alloc(origin, ty.flat_len() as usize);
+                        sink.on_alloc(obj, origin);
+                        result = RtVal::Ptr { obj, off: 0 };
                     }
                     Inst::Ret { value } => {
                         let v = value.map(|v| self.eval(&frame, v));

@@ -1,0 +1,278 @@
+//! Exporters: Chrome trace-event JSON (Perfetto-loadable), a metrics
+//! snapshot JSON, and a flat "top opcodes / top spans" text report.
+//!
+//! All output is hand-formatted (the workspace has no serde); the
+//! sibling [`crate::json`] parser round-trips it in the tests and the
+//! `profile_json --smoke` gate.
+
+use std::fmt::Write as _;
+
+use crate::opcode::{Opcode, OpcodeProfile};
+use crate::recorder::{ArgVal, Histogram, Snapshot};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn arg_json(v: &ArgVal) -> String {
+    match v {
+        ArgVal::I(i) => i.to_string(),
+        ArgVal::U(u) => u.to_string(),
+        ArgVal::F(f) if f.is_finite() => format!("{f}"),
+        ArgVal::F(_) => "null".to_string(),
+        ArgVal::S(s) => format!("\"{}\"", esc(s)),
+    }
+}
+
+impl Snapshot {
+    /// Chrome trace-event JSON: an object with a `traceEvents` array of
+    /// `"X"` complete spans and `"i"` instants (timestamps in
+    /// microseconds, as the format requires), plus `"M"` metadata
+    /// events naming the thread lanes. Loadable in Perfetto and
+    /// `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        for (tid, name) in self.threads.iter().enumerate() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            );
+        }
+        for e in &self.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let ts = e.ts_ns as f64 / 1000.0;
+            let _ = write!(
+                out,
+                "  {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3}",
+                esc(&e.name),
+                esc(e.cat),
+                e.ph,
+                e.tid
+            );
+            if e.ph == 'X' {
+                let dur = e.dur_ns as f64 / 1000.0;
+                let _ = write!(out, ",\"dur\":{dur:.3}");
+            }
+            if e.ph == 'i' {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":{}", esc(k), arg_json(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Metrics snapshot JSON: counters, histograms (non-empty buckets
+    /// as `[floor, count]` rows), per-context opcode profiles (counts +
+    /// top pairs), and the span summary.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {v}", esc(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"buckets\": [",
+                esc(name),
+                h.count,
+                h.sum,
+                h.mean()
+            );
+            let mut firstb = true;
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !firstb {
+                    out.push_str(", ");
+                }
+                firstb = false;
+                let _ = write!(out, "[{}, {c}]", Histogram::bucket_floor(b));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  },\n  \"contexts\": {");
+        let mut firstc = true;
+        for (name, prof) in &self.contexts {
+            if prof.is_empty() {
+                continue;
+            }
+            if !firstc {
+                out.push(',');
+            }
+            firstc = false;
+            let _ = write!(out, "\n    \"{}\": {}", esc(name), profile_json(prof, 8));
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        for (i, (name, count, total, max)) in self.span_summary().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {count}, \"total_ns\": {total}, \"max_ns\": {max}}}",
+                esc(name)
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Flat text report: top-`n` opcodes and opcode pairs of the merged
+    /// profile, then the top-`n` spans by total time.
+    pub fn text_report(&self, n: usize) -> String {
+        let total = self.total_opcodes();
+        let mut out = String::new();
+        let grand = total.total();
+        let _ = writeln!(out, "== top opcodes ({grand} dynamic instructions) ==");
+        for (op, c) in total.top(n) {
+            let pct = 100.0 * c as f64 / grand.max(1) as f64;
+            let _ = writeln!(out, "  {:<10} {c:>12}  {pct:5.1}%", op.name());
+        }
+        let _ = writeln!(out, "== top opcode pairs (superinstruction candidates) ==");
+        for (a, b, c) in total.top_pairs(n) {
+            let _ = writeln!(
+                out,
+                "  {:<21} {c:>12}",
+                format!("{}+{}", a.name(), b.name())
+            );
+        }
+        let _ = writeln!(out, "== top spans by total time ==");
+        for (name, count, tot, max) in self.span_summary().into_iter().take(n) {
+            let _ = writeln!(
+                out,
+                "  {name:<28} x{count:<6} total {:>10.3} ms   max {:>10.3} ms",
+                tot as f64 / 1e6,
+                max as f64 / 1e6
+            );
+        }
+        out
+    }
+}
+
+/// One profile as a JSON object: total, per-opcode counts (non-zero),
+/// and the top-`pairs_n` pairs as `["a+b", count]` rows.
+pub fn profile_json(prof: &OpcodeProfile, pairs_n: usize) -> String {
+    let mut out = String::from("{\"total\": ");
+    let _ = write!(out, "{}", prof.total());
+    out.push_str(", \"counts\": {");
+    let mut first = true;
+    for &op in Opcode::ALL.iter() {
+        let c = prof.counts[op.index()];
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{}\": {c}", op.name());
+    }
+    out.push_str("}, \"top_pairs\": [");
+    for (i, (a, b, c)) in prof.top_pairs(pairs_n).into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[\"{}+{}\", {c}]", a.name(), b.name());
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json;
+    use crate::{Opcode, Recorder};
+    use std::sync::Arc;
+
+    #[test]
+    fn exports_parse_as_json() {
+        let rec = Arc::new(Recorder::new());
+        {
+            let mut s = rec.span("pipeline/plan", "pipeline");
+            s.arg("kernel", "IS");
+            s.arg("loops", 3u64);
+        }
+        rec.instant("fault/worker_panic", "fault");
+        rec.add("pool/dispatches", 4);
+        rec.observe("runtime/activation_ns", 12345);
+        let mut h = rec.attach("kernel:IS");
+        h.op(Opcode::Load);
+        h.op(Opcode::Binary);
+        drop(h);
+        let snap = rec.snapshot();
+        let trace = json::parse(&snap.chrome_trace_json()).expect("trace parses");
+        assert!(trace
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .is_some());
+        let metrics = json::parse(&snap.metrics_json()).expect("metrics parse");
+        let ctxs = metrics.get("contexts").unwrap();
+        let is = ctxs.get("kernel:IS").unwrap();
+        assert_eq!(is.get("total").unwrap().as_f64(), Some(2.0));
+        let report = snap.text_report(5);
+        assert!(report.contains("load"));
+        assert!(report.contains("top spans"));
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let rec = Recorder::new();
+        {
+            let mut s = rec.span("weird \"name\"\n\\tab\t", "t");
+            s.arg("s", "a\"b\\c");
+        }
+        let parsed = json::parse(&rec.snapshot().chrome_trace_json()).expect("parses");
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        let e = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .unwrap();
+        assert_eq!(
+            e.get("name").unwrap().as_str(),
+            Some("weird \"name\"\n\\tab\t")
+        );
+    }
+}

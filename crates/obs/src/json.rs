@@ -1,0 +1,383 @@
+//! A small dependency-free JSON parser plus a Chrome-trace validator.
+//!
+//! The workspace vendors no serde; this parser exists so the tests and
+//! the `profile_json --smoke` / CI gates can assert that everything the
+//! exporters emit actually *parses* and that spans *nest* — a real
+//! round trip, not a string eyeball.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (JSON numbers are doubles here).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry a byte offset and a reason.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let b = src.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte {} in value position", self.i)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            self.i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.i - 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(items));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let val = self.value()?;
+            items.push((key, val));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(items));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceCheck {
+    /// Number of `"X"` complete spans.
+    pub spans: usize,
+    /// Number of `"i"` instants.
+    pub instants: usize,
+    /// Deepest nesting across all thread lanes.
+    pub max_depth: usize,
+}
+
+/// Parse a Chrome trace-event JSON document and check that, per thread
+/// lane, complete spans strictly nest (contained or disjoint — never
+/// partially overlapping). Returns counts on success.
+pub fn validate_chrome_trace(src: &str) -> Result<TraceCheck, String> {
+    let doc = parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut check = TraceCheck::default();
+    // (tid, ts, dur, name) for every complete span.
+    let mut spans: Vec<(i64, f64, f64, String)> = Vec::new();
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or("event missing ph")?;
+        match ph {
+            "X" => {
+                let tid = e
+                    .get("tid")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("span missing tid")? as i64;
+                let ts = e
+                    .get("ts")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("span missing ts")?;
+                let dur = e
+                    .get("dur")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("span missing dur")?;
+                let name = e
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("span missing name")?
+                    .to_string();
+                spans.push((tid, ts, dur, name));
+                check.spans += 1;
+            }
+            "i" => check.instants += 1,
+            "M" => {}
+            other => return Err(format!("unexpected phase {other:?}")),
+        }
+    }
+    // Per lane: sort by start (longer spans first on ties) and sweep a
+    // stack of open interval ends.
+    spans.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .then(b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut stack: Vec<(i64, f64)> = Vec::new(); // (tid, end)
+    for (tid, ts, dur, name) in &spans {
+        let end = ts + dur;
+        while let Some(&(t, e)) = stack.last() {
+            if t != *tid || e <= *ts {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(_, open_end)) = stack.last() {
+            // Tolerance of 1ns in µs units for the exporters' rounding.
+            if end > open_end + 0.001 {
+                return Err(format!(
+                    "span {name:?} [{ts}, {end}] partially overlaps an enclosing span ending at {open_end} on tid {tid}"
+                ));
+            }
+        }
+        stack.push((*tid, end));
+        check.max_depth = check.max_depth.max(stack.len());
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        let v = parse(r#"{"a": [1, -2.5, true, null, "x\n"], "b": {"c": 3e2}}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(-2.5));
+        assert_eq!(a[2], Value::Bool(true));
+        assert_eq!(a[3], Value::Null);
+        assert_eq!(a[4].as_str(), Some("x\n"));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_f64(), Some(300.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+    }
+
+    #[test]
+    fn utf8_passthrough() {
+        let v = parse("{\"k\": \"héllo ✓\"}").unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some("héllo ✓"));
+    }
+
+    #[test]
+    fn validator_accepts_nesting_rejects_overlap() {
+        let good = r#"{"traceEvents":[
+            {"name":"outer","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":100.0},
+            {"name":"inner","ph":"X","pid":1,"tid":0,"ts":10.0,"dur":20.0},
+            {"name":"other-lane","ph":"X","pid":1,"tid":1,"ts":50.0,"dur":500.0},
+            {"name":"tick","ph":"i","pid":1,"tid":0,"ts":5.0,"s":"t"}
+        ]}"#;
+        let c = validate_chrome_trace(good).unwrap();
+        assert_eq!(c.spans, 3);
+        assert_eq!(c.instants, 1);
+        assert_eq!(c.max_depth, 2);
+
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":1,"tid":0,"ts":0.0,"dur":100.0},
+            {"name":"b","ph":"X","pid":1,"tid":0,"ts":50.0,"dur":100.0}
+        ]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+}

@@ -1,0 +1,702 @@
+//! The thread-safe [`Recorder`], per-thread [`ObsHandle`] shards, RAII
+//! [`SpanGuard`]s, and the drained [`Snapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+use crate::opcode::{Opcode, OpcodeProfile};
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples with `i` significant bits: bucket 0 holds
+/// the value 0, bucket 1 holds 1, bucket 2 holds 2–3, bucket 3 holds
+/// 4–7, … bucket 64 holds the top half of the `u64` range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; 65],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples (for means).
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for `value` (its significant-bit count).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// One span/instant argument value.
+#[derive(Debug, Clone)]
+pub enum ArgVal {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer.
+    U(u64),
+    /// Float.
+    F(f64),
+    /// String.
+    S(String),
+}
+
+impl From<i64> for ArgVal {
+    fn from(v: i64) -> Self {
+        ArgVal::I(v)
+    }
+}
+impl From<u64> for ArgVal {
+    fn from(v: u64) -> Self {
+        ArgVal::U(v)
+    }
+}
+impl From<usize> for ArgVal {
+    fn from(v: usize) -> Self {
+        ArgVal::U(v as u64)
+    }
+}
+impl From<f64> for ArgVal {
+    fn from(v: f64) -> Self {
+        ArgVal::F(v)
+    }
+}
+impl From<&str> for ArgVal {
+    fn from(v: &str) -> Self {
+        ArgVal::S(v.to_string())
+    }
+}
+impl From<String> for ArgVal {
+    fn from(v: String) -> Self {
+        ArgVal::S(v)
+    }
+}
+
+/// One trace event: a Chrome trace-event `"X"` complete span or an
+/// `"i"` instant, timed in nanoseconds since the recorder's epoch.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (span taxonomy: `pipeline/…`, `runtime/…`, `fault/…`).
+    pub name: String,
+    /// Category (`"pipeline"`, `"runtime"`, `"fault"`, `"pool"`, …).
+    pub cat: &'static str,
+    /// Phase: `'X'` complete span, `'i'` instant.
+    pub ph: char,
+    /// Start, nanoseconds since the recorder epoch (monotonic).
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Interned thread lane (index into [`Snapshot::threads`]).
+    pub tid: u32,
+    /// Structured arguments.
+    pub args: Vec<(&'static str, ArgVal)>,
+}
+
+#[derive(Default)]
+struct Inner {
+    events: Vec<TraceEvent>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    contexts: Vec<String>,
+    opcodes: Vec<OpcodeProfile>,
+    threads: Vec<(ThreadId, String)>,
+}
+
+impl Inner {
+    fn tid(&mut self) -> u32 {
+        let cur = std::thread::current();
+        let id = cur.id();
+        if let Some(i) = self.threads.iter().position(|(t, _)| *t == id) {
+            return i as u32;
+        }
+        let name = cur.name().unwrap_or("thread").to_string();
+        self.threads.push((id, name));
+        (self.threads.len() - 1) as u32
+    }
+}
+
+/// Thread-safe recording sink: spans, instants, counters, histograms,
+/// and per-context opcode profiles, timed against one monotonic epoch.
+///
+/// Cheap when disabled: every recording entry point checks one relaxed
+/// atomic and returns without locking or allocating. Share it as
+/// `Arc<Recorder>` (the engines and the worker pool hold clones, the
+/// same way they hold `Arc<FaultInjector>`).
+pub struct Recorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A new, enabled recorder.
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A new recorder in the disabled state (attachable but inert).
+    pub fn disabled() -> Recorder {
+        let r = Recorder::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Off = every entry point is a
+    /// zero-allocation early return.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the recorder epoch (monotonic).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Intern a profile context (a kernel, a scheduled loop, an
+    /// interpreter run) and return its dense id. Re-interning the same
+    /// name returns the same id, so contexts aggregate across runs.
+    pub fn context(&self, name: &str) -> u32 {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(i) = inner.contexts.iter().position(|c| c == name) {
+            return i as u32;
+        }
+        inner.contexts.push(name.to_string());
+        inner.opcodes.push(OpcodeProfile::default());
+        (inner.contexts.len() - 1) as u32
+    }
+
+    /// Open a timed span; it records itself when dropped. No-op (and
+    /// allocation-free) when disabled.
+    #[must_use = "a span records when dropped; binding it to _ closes it immediately"]
+    pub fn span<'r>(&'r self, name: &str, cat: &'static str) -> SpanGuard<'r> {
+        if !self.enabled() {
+            return SpanGuard {
+                rec: None,
+                name: String::new(),
+                cat,
+                start_ns: 0,
+                args: Vec::new(),
+            };
+        }
+        SpanGuard {
+            rec: Some(self),
+            name: name.to_string(),
+            cat,
+            start_ns: self.now_ns(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Record a point event (fault injection, pool respawn, …).
+    pub fn instant(&self, name: &str, cat: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = self.now_ns();
+        let mut inner = self.inner.lock().unwrap();
+        let tid = inner.tid();
+        inner.events.push(TraceEvent {
+            name: name.to_string(),
+            cat,
+            ph: 'i',
+            ts_ns: ts,
+            dur_ns: 0,
+            tid,
+            args: Vec::new(),
+        });
+    }
+
+    /// Bump a named counter.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if !self.enabled() || delta == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Record a sample into a named log2 histogram.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Attach a per-thread shard profiling into context `ctx_name`.
+    /// The shard merges into this recorder on [`ObsHandle::flush`] or
+    /// drop. Call from the thread that will do the counting.
+    pub fn attach(self: &Arc<Self>, ctx_name: &str) -> ObsHandle {
+        let ctx = self.context(ctx_name);
+        self.attach_ctx(ctx)
+    }
+
+    /// Attach a per-thread shard profiling into an already-interned
+    /// context id (see [`Recorder::context`]).
+    pub fn attach_ctx(self: &Arc<Self>, ctx: u32) -> ObsHandle {
+        ObsHandle {
+            rec: Arc::clone(self),
+            ctx,
+            prev: None,
+            prof: OpcodeProfile::default(),
+            stash: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Clone out everything recorded so far (shards still attached have
+    /// not merged yet — flush or drop them first).
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            events: inner.events.clone(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            contexts: inner
+                .contexts
+                .iter()
+                .cloned()
+                .zip(inner.opcodes.iter().cloned())
+                .collect(),
+            threads: inner.threads.iter().map(|(_, n)| n.clone()).collect(),
+        }
+    }
+
+    /// Take everything recorded so far, leaving the recorder empty (the
+    /// context and thread interning tables survive so ids stay stable).
+    pub fn drain(&self) -> Snapshot {
+        let mut inner = self.inner.lock().unwrap();
+        let events = std::mem::take(&mut inner.events);
+        let counters = std::mem::take(&mut inner.counters);
+        let histograms = std::mem::take(&mut inner.histograms);
+        let names: Vec<String> = inner.contexts.clone();
+        let contexts = names
+            .into_iter()
+            .zip(inner.opcodes.iter_mut().map(std::mem::take))
+            .collect();
+        Snapshot {
+            events,
+            counters: counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            histograms: histograms
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            contexts,
+            threads: inner.threads.iter().map(|(_, n)| n.clone()).collect(),
+        }
+    }
+
+    fn merge_shard(
+        &self,
+        ctx: u32,
+        prof: &OpcodeProfile,
+        stash: &[(u32, OpcodeProfile)],
+        counters: &[(&'static str, u64)],
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        let need = stash
+            .iter()
+            .map(|(c, _)| *c)
+            .chain(std::iter::once(ctx))
+            .max()
+            .unwrap_or(0) as usize
+            + 1;
+        if inner.opcodes.len() < need {
+            inner.opcodes.resize_with(need, OpcodeProfile::default);
+            while inner.contexts.len() < need {
+                let i = inner.contexts.len();
+                inner.contexts.push(format!("ctx{i}"));
+            }
+        }
+        inner.opcodes[ctx as usize].merge(prof);
+        for (c, p) in stash {
+            inner.opcodes[*c as usize].merge(p);
+        }
+        for (name, delta) in counters {
+            if *delta > 0 {
+                *inner.counters.entry(name).or_insert(0) += delta;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII span: times from creation to drop, then records one `"X"`
+/// complete event. Obtained from [`Recorder::span`].
+pub struct SpanGuard<'r> {
+    rec: Option<&'r Recorder>,
+    name: String,
+    cat: &'static str,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgVal)>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a structured argument (shown in the Perfetto side panel).
+    pub fn arg(&mut self, key: &'static str, val: impl Into<ArgVal>) {
+        if self.rec.is_some() {
+            self.args.push((key, val.into()));
+        }
+    }
+
+    /// Nanoseconds elapsed since the span opened (0 when disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.rec
+            .map_or(0, |r| r.now_ns().saturating_sub(self.start_ns))
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec else { return };
+        let dur = rec.now_ns().saturating_sub(self.start_ns);
+        let mut inner = rec.inner.lock().unwrap();
+        let tid = inner.tid();
+        inner.events.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            ph: 'X',
+            ts_ns: self.start_ns,
+            dur_ns: dur,
+            tid,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Per-thread, lock-free profiling shard: opcode + pair counts for the
+/// current context, stashed profiles for contexts it switched away
+/// from, and local counters. Merges into its [`Recorder`] on
+/// [`flush`](ObsHandle::flush) or drop.
+///
+/// This is the per-instruction hot path: [`op`](ObsHandle::op) is two
+/// array stores and a register swap, no locking.
+pub struct ObsHandle {
+    rec: Arc<Recorder>,
+    ctx: u32,
+    prev: Option<Opcode>,
+    prof: OpcodeProfile,
+    stash: Vec<(u32, OpcodeProfile)>,
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl ObsHandle {
+    /// Record one executed instruction in the current context.
+    #[inline]
+    pub fn op(&mut self, op: Opcode) {
+        self.prof.record(self.prev.replace(op), op);
+    }
+
+    /// The current context id.
+    pub fn context_id(&self) -> u32 {
+        self.ctx
+    }
+
+    /// The recorder this shard merges into.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.rec
+    }
+
+    /// Switch attribution to another context (intern ids via
+    /// [`Recorder::context`]). The pair chain restarts — pairs never
+    /// span a context switch.
+    pub fn set_context(&mut self, ctx: u32) {
+        if ctx == self.ctx {
+            return;
+        }
+        let old = std::mem::take(&mut self.prof);
+        let restored = if let Some(i) = self.stash.iter().position(|(c, _)| *c == ctx) {
+            self.stash.swap_remove(i).1
+        } else {
+            OpcodeProfile::default()
+        };
+        self.stash.push((self.ctx, old));
+        self.prof = restored;
+        self.ctx = ctx;
+        self.prev = None;
+    }
+
+    /// Bump a local counter (merged on flush).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        if let Some(e) = self.counters.iter_mut().find(|(n, _)| *n == name) {
+            e.1 += delta;
+        } else {
+            self.counters.push((name, delta));
+        }
+    }
+
+    /// Merge everything local into the recorder and reset the shard.
+    pub fn flush(&mut self) {
+        if self.prof.is_empty() && self.stash.is_empty() && self.counters.is_empty() {
+            return;
+        }
+        self.rec
+            .merge_shard(self.ctx, &self.prof, &self.stash, &self.counters);
+        self.prof = OpcodeProfile::default();
+        self.stash.clear();
+        self.counters.clear();
+        self.prev = None;
+    }
+}
+
+impl Drop for ObsHandle {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl std::fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsHandle")
+            .field("ctx", &self.ctx)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Everything a recorder captured: the drained/cloned view the
+/// exporters ([`chrome_trace_json`](Snapshot::chrome_trace_json),
+/// [`metrics_json`](Snapshot::metrics_json),
+/// [`text_report`](Snapshot::text_report)) work from.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// All spans and instants, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Per-context opcode profiles: `(context name, profile)`.
+    pub contexts: Vec<(String, OpcodeProfile)>,
+    /// Thread-lane names; index = `TraceEvent::tid`.
+    pub threads: Vec<String>,
+}
+
+impl Snapshot {
+    /// All context profiles merged into one module-wide profile.
+    pub fn total_opcodes(&self) -> OpcodeProfile {
+        let mut total = OpcodeProfile::default();
+        for (_, p) in &self.contexts {
+            total.merge(p);
+        }
+        total
+    }
+
+    /// Per-span-name aggregates: `(name, count, total_ns, max_ns)`,
+    /// sorted by total time descending.
+    pub fn span_summary(&self) -> Vec<(String, u64, u64, u64)> {
+        let mut agg: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for e in self.events.iter().filter(|e| e.ph == 'X') {
+            let s = agg.entry(e.name.as_str()).or_insert((0, 0, 0));
+            s.0 += 1;
+            s.1 += e.dur_ns;
+            s.2 = s.2.max(e.dur_ns);
+        }
+        let mut v: Vec<(String, u64, u64, u64)> = agg
+            .into_iter()
+            .map(|(n, (c, t, m))| (n.to_string(), c, t, m))
+            .collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(5), 16);
+        let mut h = Histogram::default();
+        h.observe(6);
+        h.observe(2);
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 8);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let rec = Recorder::new();
+        {
+            let mut outer = rec.span("outer", "test");
+            outer.arg("k", 3u64);
+            let _inner = rec.span("inner", "test");
+        }
+        rec.instant("tick", "test");
+        let snap = rec.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        // Inner closes first (drop order), outer encloses it.
+        let inner = snap.events.iter().find(|e| e.name == "inner").unwrap();
+        let outer = snap.events.iter().find(|e| e.name == "outer").unwrap();
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(outer.ts_ns + outer.dur_ns >= inner.ts_ns + inner.dur_ns);
+        assert_eq!(snap.events.iter().filter(|e| e.ph == 'i').count(), 1);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let rec = Recorder::disabled();
+        {
+            let mut s = rec.span("x", "test");
+            s.arg("k", 1u64);
+        }
+        rec.instant("x", "test");
+        rec.add("c", 5);
+        rec.observe("h", 9);
+        let snap = rec.snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn shard_context_switch_attributes_correctly() {
+        let rec = Arc::new(Recorder::new());
+        let loop_ctx = rec.context("loop:a");
+        let mut h = rec.attach("main");
+        h.op(Opcode::Load);
+        h.op(Opcode::Store);
+        h.set_context(loop_ctx);
+        h.op(Opcode::Binary);
+        h.op(Opcode::Binary);
+        let main_ctx = h.context_id();
+        assert_eq!(main_ctx, loop_ctx);
+        h.set_context(rec.context("main"));
+        h.op(Opcode::Ret);
+        h.flush();
+        let snap = rec.snapshot();
+        let main = &snap.contexts.iter().find(|(n, _)| n == "main").unwrap().1;
+        let lp = &snap.contexts.iter().find(|(n, _)| n == "loop:a").unwrap().1;
+        assert_eq!(main.total(), 3);
+        assert_eq!(lp.total(), 2);
+        assert_eq!(lp.counts[Opcode::Binary.index()], 2);
+        // Pair chain restarts at a context switch: store→binary not counted.
+        assert_eq!(lp.pairs[Opcode::Store.index()][Opcode::Binary.index()], 0);
+        assert_eq!(lp.pairs[Opcode::Binary.index()][Opcode::Binary.index()], 1);
+        assert_eq!(snap.total_opcodes().total(), 5);
+    }
+
+    #[test]
+    fn drain_resets_but_keeps_interning() {
+        let rec = Arc::new(Recorder::new());
+        let c = rec.context("k");
+        let mut h = rec.attach("k");
+        h.op(Opcode::Br);
+        h.flush();
+        drop(h);
+        let first = rec.drain();
+        assert_eq!(first.total_opcodes().total(), 1);
+        let second = rec.snapshot();
+        assert_eq!(second.total_opcodes().total(), 0);
+        assert_eq!(rec.context("k"), c);
+    }
+
+    #[test]
+    fn counters_merge_across_shards() {
+        let rec = Arc::new(Recorder::new());
+        let mut a = rec.attach("a");
+        let mut b = rec.attach("b");
+        a.count("jobs", 2);
+        b.count("jobs", 3);
+        drop(a);
+        drop(b);
+        rec.add("jobs", 1);
+        let snap = rec.snapshot();
+        let jobs = snap.counters.iter().find(|(n, _)| n == "jobs").unwrap().1;
+        assert_eq!(jobs, 6);
+    }
+}

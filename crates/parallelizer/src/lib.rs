@@ -35,10 +35,12 @@ pub use enumerate::{
 };
 pub use hotloops::{hot_loops, HotLoop};
 pub use machine::MachineModel;
-pub use plan::{build_plan, LoopPlanSpec, MutexSpec, PlannedTechnique, ProgramPlan};
+pub use plan::{
+    build_plan, build_plan_recorded, LoopPlanSpec, MutexSpec, PlannedTechnique, ProgramPlan,
+};
 pub use realize::realize_plan;
 pub use schedule::{
-    realize_executable, ChunkedLoop, CriticalReplay, ExecutablePlan, LoopExec, LoopSchedule,
-    PipelineLoop, RealizationStats, ReplayOp, ReplayProgram, ReplayVal,
+    realize_executable, realize_executable_recorded, ChunkedLoop, CriticalReplay, ExecutablePlan,
+    LoopExec, LoopSchedule, PipelineLoop, RealizationStats, ReplayOp, ReplayProgram, ReplayVal,
 };
 pub use views::{jk_view, pdg_view, Abstraction};

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use pspdg_core::{build_pspdg_module, query, FeatureSet, FunctionPsPdg, PsPdg};
+use pspdg_core::{build_pspdg_module_recorded, query, FeatureSet, FunctionPsPdg, PsPdg};
 use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, InstId, LoopId};
 use pspdg_parallel::{DirectiveKind, ParallelProgram};
@@ -131,6 +131,20 @@ pub fn build_plan(
     abstraction: Abstraction,
     threshold: f64,
 ) -> ProgramPlan {
+    build_plan_recorded(program, profile, abstraction, threshold, None)
+}
+
+/// [`build_plan`] with optional pipeline tracing: the PS-PDG module
+/// build records its per-function `pspdg/*` spans, and each function's
+/// planning pass lands under a `plan/enumerate` span on whichever rayon
+/// worker ran it.
+pub fn build_plan_recorded(
+    program: &ParallelProgram,
+    profile: &Profile,
+    abstraction: Abstraction,
+    threshold: f64,
+    rec: Option<&pspdg_obs::Recorder>,
+) -> ProgramPlan {
     let parallel_spawns = matches!(abstraction, Abstraction::OpenMp | Abstraction::PsPdg);
     let mut plan = ProgramPlan {
         abstraction,
@@ -142,10 +156,17 @@ pub fn build_plan(
     // analyses/PDG/PS-PDG through the parallel module driver, plan each
     // function concurrently, and merge in module function order so the
     // plan is deterministic.
-    let built = build_pspdg_module(program, FeatureSet::all());
+    let built = build_pspdg_module_recorded(program, FeatureSet::all(), rec);
     let parts: Vec<FunctionPlanParts> = built
         .par_iter()
-        .map(|prepared| plan_function(program, prepared, profile, abstraction, threshold))
+        .map(|prepared| {
+            let _s = rec.map(|r| {
+                let mut s = r.span("plan/enumerate", "pipeline");
+                s.arg("func", program.module.function(prepared.func).name.as_str());
+                s
+            });
+            plan_function(program, prepared, profile, abstraction, threshold)
+        })
         .collect();
     for part in parts {
         plan.loops.extend(part.loops);

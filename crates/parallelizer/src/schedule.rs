@@ -344,6 +344,19 @@ impl ExecutablePlan {
 
 /// Lower every loop of `plan` into an executable schedule.
 pub fn realize_executable(program: &ParallelProgram, plan: &ProgramPlan) -> ExecutablePlan {
+    realize_executable_recorded(program, plan, None)
+}
+
+/// [`realize_executable`] with optional pipeline tracing: one
+/// `plan/schedule` span covers the whole lowering pass, and each loop's
+/// lowering gets a `plan/schedule_loop` span tagged with its function
+/// and the execution strategy it lowered to.
+pub fn realize_executable_recorded(
+    program: &ParallelProgram,
+    plan: &ProgramPlan,
+    rec: Option<&pspdg_obs::Recorder>,
+) -> ExecutablePlan {
+    let _all = rec.map(|r| r.span("plan/schedule", "pipeline"));
     let mut out = ExecutablePlan::default();
     // Group specs per function so analyses/PDG are computed once each.
     let mut by_func: BTreeMap<FuncId, Vec<&LoopPlanSpec>> = BTreeMap::new();
@@ -354,7 +367,16 @@ pub fn realize_executable(program: &ParallelProgram, plan: &ProgramPlan) -> Exec
         let analyses = FunctionAnalyses::compute(&program.module, func);
         let cx = FuncRealizer::new(program, plan, func, &analyses);
         for spec in specs {
+            let mut sp = rec.map(|r| {
+                let mut s = r.span("plan/schedule_loop", "pipeline");
+                s.arg("func", program.module.function(func).name.as_str());
+                s
+            });
             let schedule = cx.lower(spec);
+            if let Some(s) = sp.as_mut() {
+                s.arg("exec", schedule.exec.name());
+                s.arg("header", schedule.header.index() as u64);
+            }
             out.schedules.insert((func, schedule.header), schedule);
         }
     }

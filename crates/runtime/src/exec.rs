@@ -84,11 +84,12 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use pspdg_ir::interp::{
-    const_val, eval_binop, eval_cast, eval_cmp, eval_intrinsic, eval_unop, ExecError, MemAddr,
-    MemState, ObjOrigin, RtVal,
+    const_val, eval_binop, eval_cast, eval_cmp, eval_intrinsic, eval_unop, opcode_of, ExecError,
+    MemAddr, MemState, ObjOrigin, RtVal,
 };
 use pspdg_ir::loops::trip_count_from;
 use pspdg_ir::{BlockId, FuncId, Function, Inst, InstId, Module, Value};
+use pspdg_obs::{ObsHandle, Recorder, SpanGuard};
 use pspdg_parallel::{ParallelProgram, ReductionOp};
 use pspdg_parallelizer::{
     realize_executable, ChunkedLoop, CriticalReplay, ExecutablePlan, LoopExec, LoopSchedule,
@@ -252,6 +253,41 @@ impl RunStats {
     }
 }
 
+/// Human-readable table of the run's dynamic counters. Fallback causes
+/// come from [`FallbackCounts::table`] (non-zero rows only), so the
+/// vocabulary matches `BENCH_runtime.json` exactly.
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "run stats")?;
+        writeln!(f, "  chunked loops          {:>12}", self.chunked_loops)?;
+        writeln!(f, "  pipelined loops        {:>12}", self.pipelined_loops)?;
+        writeln!(
+            f,
+            "  sequential fallbacks   {:>12}",
+            self.sequential_fallbacks
+        )?;
+        for (cause, n) in self.fallbacks.nonzero() {
+            writeln!(f, "    {cause:<20} {n:>12}")?;
+        }
+        writeln!(f, "  pool dispatches        {:>12}", self.pool_dispatches)?;
+        writeln!(f, "  critical packets       {:>12}", self.critical_packets)?;
+        writeln!(f, "  critical replays       {:>12}", self.critical_replays)?;
+        writeln!(
+            f,
+            "  fork cells committed   {:>12}",
+            self.fork_cells_committed
+        )?;
+        writeln!(
+            f,
+            "  cow pages              {:>12}  (~{} KiB copied)",
+            self.cow_pages,
+            self.fork_bytes() / 1024
+        )?;
+        writeln!(f, "  injected faults        {:>12}", self.injected_faults)?;
+        write!(f, "  pool respawns          {:>12}", self.pool_respawns)
+    }
+}
+
 /// A chunk worker's view of the loop's deferred critical regions: the
 /// function owning them, and each region's lowering keyed by its entry
 /// block (the value is the region's index into
@@ -291,6 +327,29 @@ enum FallbackWhy {
     CommitFault,
 }
 
+impl FallbackWhy {
+    /// The cause's name in [`FallbackCounts::table`] vocabulary (span
+    /// args reuse it, so causes never fork spellings).
+    fn name(self) -> &'static str {
+        match self {
+            FallbackWhy::ScheduledSequential => "scheduled_sequential",
+            FallbackWhy::ShortTrip => "short_trip",
+            FallbackWhy::SingleWorker => "single_worker",
+            FallbackWhy::SingleLane => "single_lane",
+            FallbackWhy::BelowCostThreshold => "below_cost_threshold",
+            FallbackWhy::Unevaluable => "unevaluable",
+            FallbackWhy::Irregular => "irregular_control",
+            FallbackWhy::WorkerFault => "worker_fault",
+            FallbackWhy::SpeculationFault => "speculation_fault",
+            FallbackWhy::ReplayFault => "replay_fault",
+            FallbackWhy::PipelineOverflow => "pipeline_overflow",
+            FallbackWhy::PipelineAbort => "pipeline_abort",
+            FallbackWhy::StageTimeout => "stage_timeout",
+            FallbackWhy::CommitFault => "commit_fault",
+        }
+    }
+}
+
 /// The result of one runtime execution.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -325,6 +384,13 @@ pub struct Runtime<'p> {
     /// only production configuration) costs one never-taken branch on
     /// each cold path.
     faults: Option<Arc<FaultInjector>>,
+    /// Observability sink: spans per activation, opcode profiles per
+    /// scheduled loop, fault/respawn instants. `None` or disabled costs
+    /// one never-taken branch per instruction.
+    obs: Option<Arc<Recorder>>,
+    /// Context-name prefix for this runtime's recorder contexts
+    /// (typically the kernel name; defaults to `"run"`).
+    obs_label: String,
     /// Created lazily on the first parallel activation; lives as long as
     /// the `Runtime`.
     pool: OnceLock<WorkerPool>,
@@ -349,6 +415,8 @@ impl<'p> Runtime<'p> {
             pipeline_min_body: DEFAULT_PIPELINE_MIN_BODY,
             stage_watchdog: DEFAULT_STAGE_WATCHDOG,
             faults: None,
+            obs: None,
+            obs_label: "run".to_string(),
             pool: OnceLock::new(),
         }
     }
@@ -415,6 +483,32 @@ impl<'p> Runtime<'p> {
         self.faults.as_ref()
     }
 
+    /// Attach an observability recorder: every `run` then records
+    /// activation spans (strategy, trip, packets, fallback cause,
+    /// duration), per-loop opcode profiles, and fault/respawn instants
+    /// into it. A disabled recorder costs one never-taken branch per
+    /// instruction — the production configuration keeps it attached and
+    /// toggles [`Recorder::set_enabled`]. Resets the worker pool so
+    /// pool respawn events land in the same stream.
+    pub fn recorder(mut self, rec: Arc<Recorder>) -> Runtime<'p> {
+        self.obs = Some(rec);
+        self.pool = OnceLock::new();
+        self
+    }
+
+    /// Name this runtime's recorder contexts (typically the kernel
+    /// name): opcode profiles land in `"{label}"` (master) and
+    /// `"{label}/{func}.L{header}"` (per scheduled loop).
+    pub fn obs_label(mut self, label: impl Into<String>) -> Runtime<'p> {
+        self.obs_label = label.into();
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn obs(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
+    }
+
     /// The lowered plan (schedules per loop).
     pub fn executable(&self) -> &ExecutablePlan {
         &self.plan
@@ -427,8 +521,9 @@ impl<'p> Runtime<'p> {
 
     /// The persistent worker pool (created on first use).
     fn pool(&self) -> &WorkerPool {
-        self.pool
-            .get_or_init(|| WorkerPool::with_faults(self.workers, self.faults.clone()))
+        self.pool.get_or_init(|| {
+            WorkerPool::with_obs(self.workers, self.faults.clone(), self.obs.clone())
+        })
     }
 
     /// OS thread identities of the persistent worker pool (creating it if
@@ -466,6 +561,15 @@ impl<'p> Runtime<'p> {
     pub fn run(&self, func: FuncId, args: &[RtVal]) -> Result<RunOutcome, ExecError> {
         let fired_before = self.faults.as_ref().map_or(0, |fi| fi.fired_total());
         let respawns_before = self.pool.get().map_or(0, WorkerPool::respawns);
+        // A disabled recorder resolves to `None` here, so the per-
+        // instruction cost of "attached but off" and "absent" is the
+        // same never-taken branch.
+        let rec = self.obs.as_ref().filter(|r| r.enabled());
+        let mut run_span = rec.map(|r| {
+            let mut s = r.span(&format!("runtime/run/{}", self.obs_label), "runtime");
+            s.arg("workers", self.workers);
+            s
+        });
         let mut engine = Engine {
             module: &self.program.module,
             plan: Some(&self.plan),
@@ -475,6 +579,10 @@ impl<'p> Runtime<'p> {
             pipeline_min_body: self.pipeline_min_body,
             watchdog: self.stage_watchdog,
             faults: self.faults.as_deref(),
+            rec,
+            obs: rec.map(|r| r.attach(&self.obs_label)),
+            obs_label: &self.obs_label,
+            last_trip: 0,
             mem: MemState::for_module(&self.program.module),
             output: Vec::new(),
             steps: 0,
@@ -491,6 +599,14 @@ impl<'p> Runtime<'p> {
             .as_ref()
             .map_or(0, |fi| fi.fired_total() - fired_before);
         stats.pool_respawns = self.pool.get().map_or(0, WorkerPool::respawns) - respawns_before;
+        if let Some(sp) = run_span.as_mut() {
+            sp.arg("steps", engine.steps);
+            sp.arg("chunked", stats.chunked_loops);
+            sp.arg("pipelined", stats.pipelined_loops);
+            sp.arg("fallbacks", stats.sequential_fallbacks);
+        }
+        // The master shard must flush before the caller snapshots.
+        engine.obs = None;
         Ok(RunOutcome {
             ret,
             output: engine.output,
@@ -544,6 +660,18 @@ struct Engine<'a> {
     /// Deterministic fault source; shared by the master, chunk workers,
     /// and pipeline stages so site counters are global.
     faults: Option<&'a FaultInjector>,
+    /// Observability sink (already gated on [`Recorder::enabled`]:
+    /// `Some` here means record). Shared by master, chunk workers, and
+    /// pipeline stages so spans land in one stream.
+    rec: Option<&'a Arc<Recorder>>,
+    /// This engine's opcode shard (master: labeled context, switching
+    /// to the loop context during sequential loop execution; workers:
+    /// pinned to the loop context). Flushes on drop.
+    obs: Option<ObsHandle>,
+    /// Context-name prefix (the runtime's `obs_label`).
+    obs_label: &'a str,
+    /// Trip count of the most recent chunked attempt (span arg).
+    last_trip: u64,
     mem: MemState,
     output: Vec<String>,
     steps: u64,
@@ -561,6 +689,70 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
+    /// Intern the recorder context of the loop headed at `header`
+    /// (`"{label}/{func}.L{header}"`); 0 without a recorder.
+    fn loop_context(&self, f: &Function, header: BlockId) -> u32 {
+        match self.rec {
+            Some(r) if self.obs.is_some() => r.context(&format!(
+                "{}/{}.L{}",
+                self.obs_label,
+                f.name,
+                header.index()
+            )),
+            _ => 0,
+        }
+    }
+
+    /// Open the span covering one parallel-loop activation attempt.
+    fn activation_span(
+        &self,
+        f: &Function,
+        header: BlockId,
+        strategy: &'static str,
+    ) -> Option<SpanGuard<'a>> {
+        self.rec.map(|r| {
+            let mut s = r.span(
+                &format!("runtime/activation/{}.L{}", f.name, header.index()),
+                "runtime",
+            );
+            s.arg("strategy", strategy);
+            s
+        })
+    }
+
+    /// Close out an activation span: outcome, trip, and the volume
+    /// counters this attempt moved (packets, replays, fork commits,
+    /// CoW pages, pool jobs), plus the duration histogram sample.
+    fn finish_activation(
+        &self,
+        sp: Option<&mut SpanGuard<'_>>,
+        cause: Option<FallbackWhy>,
+        before: RunStats,
+    ) {
+        let Some(sp) = sp else { return };
+        let d = self.stats;
+        sp.arg("outcome", cause.map_or("parallel", FallbackWhy::name));
+        sp.arg("trip", self.last_trip);
+        sp.arg("pool_jobs", d.pool_dispatches - before.pool_dispatches);
+        sp.arg("packets", d.critical_packets - before.critical_packets);
+        sp.arg("replays", d.critical_replays - before.critical_replays);
+        sp.arg(
+            "fork_cells",
+            d.fork_cells_committed - before.fork_cells_committed,
+        );
+        sp.arg("cow_pages", d.cow_pages - before.cow_pages);
+        if let Some(r) = self.rec {
+            r.observe("runtime/activation_ns", sp.elapsed_ns());
+        }
+    }
+
+    /// Record a fault-injection instant in the trace stream.
+    fn fault_instant(&self, kind: FaultKind) {
+        if let Some(r) = self.rec {
+            r.instant(kind.label(), "fault");
+        }
+    }
+
     /// Record one sequential fallback and its cause.
     fn note_fallback(&mut self, why: FallbackWhy) {
         self.stats.sequential_fallbacks += 1;
@@ -595,30 +787,49 @@ impl<'a> Engine<'a> {
         };
         // Headers currently executing sequentially (either mid-activation
         // after a fallback, or re-run once to exit after a parallel
-        // completion); pruned when control leaves the loop.
-        let mut no_par: Vec<BlockId> = Vec::new();
+        // completion); pruned when control leaves the loop. Each entry
+        // carries the loop's recorder context so the master's opcode
+        // shard attributes its sequential instructions to the loop.
+        let mut no_par: Vec<(BlockId, u32)> = Vec::new();
+        let saved_ctx = self.obs.as_ref().map(ObsHandle::context_id);
         let mut block = f.entry();
         loop {
             if let Some(plan) = self.plan {
-                no_par.retain(|h| {
+                no_par.retain(|(h, _)| {
                     plan.schedule_at(func_id, *h)
                         .is_some_and(|s| s.contains(block))
                 });
-                if !no_par.contains(&block) {
+                // After `retain`, every surviving entry's loop contains
+                // `block`; the innermost (last pushed) wins attribution.
+                if let Some(h) = self.obs.as_mut() {
+                    h.set_context(no_par.last().map_or(saved_ctx.unwrap_or(0), |&(_, c)| c));
+                }
+                if no_par.iter().all(|&(h, _)| h != block) {
                     if let Some(sched) = plan.schedule_at(func_id, block) {
+                        let lctx = self.loop_context(f, block);
                         match &sched.exec {
                             LoopExec::Chunked(c) => {
-                                match self.run_chunked(func_id, f, &mut frame, sched, c)? {
+                                let before = self.stats;
+                                let mut sp = self.activation_span(f, block, "chunked");
+                                let outcome = self.run_chunked(func_id, f, &mut frame, sched, c)?;
+                                match outcome {
                                     None => self.stats.chunked_loops += 1,
                                     Some(why) => self.note_fallback(why),
                                 }
+                                self.finish_activation(sp.as_mut(), outcome, before);
+                                drop(sp);
                                 // Either way the master now executes the
                                 // header sequentially (a completed chunked
                                 // run exits through it immediately).
-                                no_par.push(block);
+                                no_par.push((block, lctx));
                             }
                             LoopExec::Pipeline(p) => {
-                                match self.run_pipeline(func_id, f, &mut frame, sched, p)? {
+                                let before = self.stats;
+                                let mut sp = self.activation_span(f, block, "pipeline");
+                                let res = self.run_pipeline(func_id, f, &mut frame, sched, p)?;
+                                self.finish_activation(sp.as_mut(), res.err(), before);
+                                drop(sp);
+                                match res {
                                     Ok(exit) => {
                                         self.stats.pipelined_loops += 1;
                                         block = exit;
@@ -626,13 +837,13 @@ impl<'a> Engine<'a> {
                                     }
                                     Err(why) => {
                                         self.note_fallback(why);
-                                        no_par.push(block);
+                                        no_par.push((block, lctx));
                                     }
                                 }
                             }
                             LoopExec::Sequential { .. } => {
                                 self.note_fallback(FallbackWhy::ScheduledSequential);
-                                no_par.push(block);
+                                no_par.push((block, lctx));
                             }
                         }
                     }
@@ -673,17 +884,16 @@ impl<'a> Engine<'a> {
             return Err(ExecError::OutOfFuel);
         }
         self.steps += 1;
+        if let Some(h) = self.obs.as_mut() {
+            h.op(opcode_of(&f.inst(inst_id).inst));
+        }
         let err_func = || f.name.clone();
         let mut result = RtVal::Undef;
+        // Arms ordered by measured dynamic frequency (same ranking as the
+        // sequential interpreter's dispatch — see BENCH_runtime.json
+        // `dispatch_reorder`): load > binary > gep > store > br > cmp >
+        // condbr > intrinsic > cast > unary > call > alloca > ret.
         match &f.inst(inst_id).inst {
-            Inst::Alloca { ty, .. } => {
-                let origin = ObjOrigin::Alloca {
-                    func: func_id,
-                    inst: inst_id,
-                };
-                let obj = self.mem.alloc(origin, ty.flat_len() as usize);
-                result = RtVal::Ptr { obj, off: 0 };
-            }
             Inst::Load { ptr, .. } => {
                 let addr = self.deref(self.eval(frame, *ptr), &err_func(), inst_id)?;
                 let v = self.mem.read(addr);
@@ -695,13 +905,9 @@ impl<'a> Engine<'a> {
                 }
                 result = v;
             }
-            Inst::Store { ptr, value } => {
-                let addr = self.deref(self.eval(frame, *ptr), &err_func(), inst_id)?;
-                let v = self.eval(frame, *value);
-                self.mem.write(addr, v);
-                if let Some(log) = &mut self.log {
-                    log.push((addr, v));
-                }
+            Inst::Binary { op, lhs, rhs } => {
+                let (l, r) = (self.eval(frame, *lhs), self.eval(frame, *rhs));
+                result = eval_binop(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?;
             }
             Inst::Gep {
                 base,
@@ -735,34 +941,19 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            Inst::Binary { op, lhs, rhs } => {
-                let (l, r) = (self.eval(frame, *lhs), self.eval(frame, *rhs));
-                result = eval_binop(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?;
+            Inst::Store { ptr, value } => {
+                let addr = self.deref(self.eval(frame, *ptr), &err_func(), inst_id)?;
+                let v = self.eval(frame, *value);
+                self.mem.write(addr, v);
+                if let Some(log) = &mut self.log {
+                    log.push((addr, v));
+                }
             }
-            Inst::Unary { op, operand } => {
-                let v = self.eval(frame, *operand);
-                result = eval_unop(*op, v).map_err(|e| e.at(&err_func(), inst_id))?;
-            }
+            Inst::Br { target } => return Ok(Flow::Jump(*target)),
             Inst::Cmp { op, lhs, rhs } => {
                 let (l, r) = (self.eval(frame, *lhs), self.eval(frame, *rhs));
                 result = RtVal::Bool(eval_cmp(*op, l, r).map_err(|e| e.at(&err_func(), inst_id))?);
             }
-            Inst::Cast { kind, value } => {
-                let v = self.eval(frame, *value);
-                result = eval_cast(*kind, v).map_err(|e| e.at(&err_func(), inst_id))?;
-            }
-            Inst::IntrinsicCall { intrinsic, args } => {
-                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(frame, *a)).collect();
-                result = eval_intrinsic(*intrinsic, &vals, &mut self.output)
-                    .map_err(|e| e.at(&err_func(), inst_id))?;
-            }
-            Inst::Call { callee, args } => {
-                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(frame, *a)).collect();
-                if let Some(v) = self.exec_function(*callee, vals)? {
-                    result = v;
-                }
-            }
-            Inst::Br { target } => return Ok(Flow::Jump(*target)),
             Inst::CondBr {
                 cond,
                 then_bb,
@@ -778,6 +969,33 @@ impl<'a> Engine<'a> {
                     });
                 };
                 return Ok(Flow::Jump(if c { *then_bb } else { *else_bb }));
+            }
+            Inst::IntrinsicCall { intrinsic, args } => {
+                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(frame, *a)).collect();
+                result = eval_intrinsic(*intrinsic, &vals, &mut self.output)
+                    .map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::Cast { kind, value } => {
+                let v = self.eval(frame, *value);
+                result = eval_cast(*kind, v).map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::Unary { op, operand } => {
+                let v = self.eval(frame, *operand);
+                result = eval_unop(*op, v).map_err(|e| e.at(&err_func(), inst_id))?;
+            }
+            Inst::Call { callee, args } => {
+                let vals: Vec<RtVal> = args.iter().map(|a| self.eval(frame, *a)).collect();
+                if let Some(v) = self.exec_function(*callee, vals)? {
+                    result = v;
+                }
+            }
+            Inst::Alloca { ty, .. } => {
+                let origin = ObjOrigin::Alloca {
+                    func: func_id,
+                    inst: inst_id,
+                };
+                let obj = self.mem.alloc(origin, ty.flat_len() as usize);
+                result = RtVal::Ptr { obj, off: 0 };
             }
             Inst::Ret { value } => {
                 let v = value.map(|v| self.eval(frame, v));
@@ -856,6 +1074,7 @@ impl<'a> Engine<'a> {
         sched: &LoopSchedule,
         c: &ChunkedLoop,
     ) -> Result<Option<FallbackWhy>, ExecError> {
+        self.last_trip = 0;
         let Some(pool) = self.pool else {
             return Ok(Some(FallbackWhy::SingleWorker));
         };
@@ -874,6 +1093,7 @@ impl<'a> Engine<'a> {
             return Ok(Some(FallbackWhy::Unevaluable));
         };
         let trip = trip_count_from(init, bound, c.step, c.cmp_op);
+        self.last_trip = trip.max(0) as u64;
         if trip < 2 {
             return Ok(Some(FallbackWhy::ShortTrip));
         }
@@ -953,6 +1173,11 @@ impl<'a> Engine<'a> {
         let module = self.module;
         let crit_map_ref = &crit_map;
         let faults = self.faults;
+        let rec = self.rec;
+        let obs_label = self.obs_label;
+        // Workers profile into the loop's context: their instructions
+        // are this loop's work, whichever thread ran them.
+        let obs_ctx = rec.map(|_| self.loop_context(f, sched.header));
         let watchdog = self.watchdog;
         let mut slots: Vec<Option<Result<ChunkOut, ParAbort>>> =
             ranges.iter().map(|_| None).collect();
@@ -966,9 +1191,23 @@ impl<'a> Engine<'a> {
                 let regs = frame.regs.clone();
                 let args = frame.args.clone();
                 scope.spawn(move || {
+                    let _job_span = rec.map(|r| {
+                        let mut s = r.span("runtime/chunk_worker", "runtime");
+                        s.arg("lo", lo);
+                        s.arg("hi", hi);
+                        s
+                    });
                     match faults.and_then(FaultInjector::on_chunk_worker) {
-                        Some(FaultKind::WorkerPanic) => panic!("injected chunk worker panic"),
-                        Some(FaultKind::WorkerFault) => {
+                        Some(kind @ FaultKind::WorkerPanic) => {
+                            if let Some(r) = rec {
+                                r.instant(kind.label(), "fault");
+                            }
+                            panic!("injected chunk worker panic")
+                        }
+                        Some(kind @ FaultKind::WorkerFault) => {
+                            if let Some(r) = rec {
+                                r.instant(kind.label(), "fault");
+                            }
                             *slot = Some(Err(ParAbort::Exec(ExecError::Injected)));
                             return;
                         }
@@ -983,6 +1222,10 @@ impl<'a> Engine<'a> {
                         pipeline_min_body: 0,
                         watchdog,
                         faults,
+                        rec,
+                        obs: rec.zip(obs_ctx).map(|(r, c)| r.attach_ctx(c)),
+                        obs_label,
+                        last_trip: 0,
                         mem: fork,
                         output: Vec::new(),
                         steps: 0,
@@ -1057,6 +1300,9 @@ impl<'a> Engine<'a> {
             // master heap from a mid-commit fault.
             let inject_commit =
                 self.faults.and_then(FaultInjector::on_heap_commit) == Some(FaultKind::CommitFault);
+            if inject_commit {
+                self.fault_instant(FaultKind::CommitFault);
+            }
             let mut commit_budget = if inject_commit { 1u64 } else { u64::MAX };
             let walk = out.mem.try_for_each_dirty(|addr, v| {
                 if addr.obj == iv_obj || prot_objs.contains(&addr.obj.0) {
@@ -1086,6 +1332,7 @@ impl<'a> Engine<'a> {
                 if self.faults.and_then(FaultInjector::on_replay_packet)
                     == Some(FaultKind::ReplayFault)
                 {
+                    self.fault_instant(FaultKind::ReplayFault);
                     abort = Some(FallbackWhy::ReplayFault);
                     break;
                 }
@@ -1226,6 +1473,7 @@ impl<'a> Engine<'a> {
         cr: &CriticalReplay,
     ) -> Result<(), ParAbort> {
         if self.faults.and_then(FaultInjector::on_crit_slice) == Some(FaultKind::SpeculationFault) {
+            self.fault_instant(FaultKind::SpeculationFault);
             return Err(ParAbort::Spec(ExecError::Injected));
         }
         for &i in &cr.worker_insts {
@@ -1309,6 +1557,9 @@ impl<'a> Engine<'a> {
         let cost_threshold = self.cost_threshold;
         let watchdog = self.watchdog;
         let faults = self.faults;
+        let rec = self.rec;
+        let obs_label = self.obs_label;
+        let obs_ctx = rec.map(|_| self.loop_context(f, sched.header));
         // `scope_catch`: a panicked stage (organic or injected) leaves its
         // channels open and silent — the watchdog timeouts below turn
         // that into a `stage_timeout` fallback instead of a wedged master
@@ -1322,6 +1573,11 @@ impl<'a> Engine<'a> {
                 let args = frame.args.clone();
                 let imports = upstream[s].clone();
                 scope.spawn(move || {
+                    let _stage_span = rec.map(|r| {
+                        let mut sp = r.span("runtime/stage", "runtime");
+                        sp.arg("stage", s);
+                        sp
+                    });
                     let mut engine = Engine {
                         module,
                         plan: None,
@@ -1331,6 +1587,10 @@ impl<'a> Engine<'a> {
                         pipeline_min_body: 0,
                         watchdog,
                         faults,
+                        rec,
+                        obs: rec.zip(obs_ctx).map(|(r, c)| r.attach_ctx(c)),
+                        obs_label,
+                        last_trip: 0,
                         mem,
                         output: Vec::new(),
                         steps: 0,
@@ -1466,8 +1726,14 @@ impl<'a> Engine<'a> {
             match self.faults.and_then(FaultInjector::on_stage_send) {
                 // Stall: die silently — channels stay open, nothing is
                 // signalled. Only the downstream watchdog can notice.
-                Some(FaultKind::StageStall) => return,
-                Some(FaultKind::WorkerPanic) => panic!("injected stage panic (drive)"),
+                Some(kind @ FaultKind::StageStall) => {
+                    self.fault_instant(kind);
+                    return;
+                }
+                Some(kind @ FaultKind::WorkerPanic) => {
+                    self.fault_instant(kind);
+                    panic!("injected stage panic (drive)")
+                }
                 _ => {}
             }
             match end {
@@ -1516,8 +1782,14 @@ impl<'a> Engine<'a> {
                 // Stall: stop receiving without closing anything — the
                 // upstream sender eventually blocks on a full channel and
                 // the downstream watchdog trips.
-                Some(FaultKind::StageStall) => return,
-                Some(FaultKind::WorkerPanic) => panic!("injected stage panic (replay)"),
+                Some(kind @ FaultKind::StageStall) => {
+                    self.fault_instant(kind);
+                    return;
+                }
+                Some(kind @ FaultKind::WorkerPanic) => {
+                    self.fault_instant(kind);
+                    panic!("injected stage panic (replay)")
+                }
                 _ => {}
             }
             let msg = match input.recv_deadline(self.watchdog) {

@@ -74,6 +74,20 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Trace-event name for this fault (the observability stream tags
+    /// every injection with an instant event under the `fault` category).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "fault/worker_panic",
+            FaultKind::WorkerFault => "fault/worker_fault",
+            FaultKind::SpeculationFault => "fault/speculation_fault",
+            FaultKind::ReplayFault => "fault/replay_fault",
+            FaultKind::CommitFault => "fault/commit_fault",
+            FaultKind::StageStall => "fault/stage_stall",
+            FaultKind::ThreadDeath => "fault/thread_death",
+        }
+    }
+
     /// Whether this fault may be injected at `site` (each site family
     /// supports the faults that can physically occur there).
     pub fn valid_at(self, site: FaultSite) -> bool {

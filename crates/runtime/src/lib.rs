@@ -74,3 +74,4 @@ pub use exec::{
 };
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite, Injection, Rng64};
 pub use pool::WorkerPool;
+pub use pspdg_obs::{Recorder, Snapshot};

@@ -62,6 +62,7 @@
 //! (on the replacement) before the latch releases.
 
 use crate::fault::{FaultInjector, FaultKind};
+use pspdg_obs::Recorder;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -92,6 +93,8 @@ struct PoolShared {
     caught_panics: AtomicU64,
     /// Optional deterministic fault source (checked once per job pickup).
     faults: Option<Arc<FaultInjector>>,
+    /// Optional recorder: respawn events land in the trace stream.
+    obs: Option<Arc<Recorder>>,
 }
 
 /// A fixed-size pool of persistent worker threads.
@@ -124,6 +127,16 @@ impl WorkerPool {
     /// Like [`WorkerPool::new`], with a fault injector consulted once per
     /// job pickup ([`FaultSite::PoolJob`](crate::fault::FaultSite) sites).
     pub fn with_faults(threads: usize, faults: Option<Arc<FaultInjector>>) -> WorkerPool {
+        WorkerPool::with_obs(threads, faults, None)
+    }
+
+    /// Like [`WorkerPool::with_faults`], with an optional [`Recorder`]
+    /// so worker respawns show up as instants in the trace stream.
+    pub fn with_obs(
+        threads: usize,
+        faults: Option<Arc<FaultInjector>>,
+        obs: Option<Arc<Recorder>>,
+    ) -> WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
@@ -136,6 +149,7 @@ impl WorkerPool {
             respawns: AtomicU64::new(0),
             caught_panics: AtomicU64::new(0),
             faults,
+            obs,
         });
         {
             let mut handles = shared.handles.lock().expect("pool handles lock");
@@ -343,6 +357,9 @@ fn worker_loop(shared: &Arc<PoolShared>) {
                 // before any scope it belongs to can complete — the
                 // respawn is fully recorded.
                 shared.respawns.fetch_add(1, Ordering::Relaxed);
+                if let Some(r) = &shared.obs {
+                    r.instant("pool/respawn", "pool");
+                }
                 shared
                     .handles
                     .lock()

@@ -1,0 +1,193 @@
+//! End-to-end observability contract: opcode accounting across the
+//! worker pool is conserved against the engine's own step counter,
+//! activation spans land in the trace with strategy/outcome args, fault
+//! injections surface as instants, and the emitted Chrome trace stays
+//! structurally valid under real concurrency.
+
+use std::sync::Arc;
+
+use pspdg_frontend::compile;
+use pspdg_ir::interp::{Interpreter, NullSink};
+use pspdg_obs::{json, Recorder};
+use pspdg_parallelizer::{build_plan, Abstraction};
+use pspdg_runtime::{FaultInjector, FaultKind, FaultPlan, FaultSite, Runtime};
+
+const DOALL_SRC: &str = r#"
+    int v[512]; int w[512];
+    void k() {
+        int i;
+        for (i = 0; i < 512; i++) { v[i] = i * 3 + 1; }
+        for (i = 0; i < 512; i++) { w[i] = v[i] * v[i] - i; }
+    }
+    int main() { k(); return w[511]; }
+"#;
+
+/// On a fault-free chunked run, every interpreted instruction is
+/// counted exactly once by the opcode profiler: the merged per-opcode
+/// totals equal the engine's `steps` counter, even though most of the
+/// work happened on pool workers with their own shards.
+#[test]
+fn opcode_totals_match_engine_steps() {
+    let p = compile(DOALL_SRC).unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_ret = interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+
+    let rec = Arc::new(Recorder::new());
+    let rt = Runtime::new(&p, &plan)
+        .workers(4)
+        .cost_threshold(0)
+        .pipeline_min_body(0)
+        .recorder(Arc::clone(&rec))
+        .obs_label("obs_it");
+    let out = rt.run_main().unwrap();
+    assert_eq!(out.ret, seq_ret);
+    assert_eq!(out.stats.chunked_loops, 2, "{:?}", out.stats);
+
+    let snap = rec.snapshot();
+    let total = snap.total_opcodes();
+    assert_eq!(
+        total.total(),
+        out.steps,
+        "merged opcode counts must equal interpreter steps"
+    );
+    // Loop bodies were attributed to per-loop contexts, not just the
+    // master lane, and the attributed share is the bulk of the run.
+    let loop_ops: u64 = snap
+        .contexts
+        .iter()
+        .filter(|(name, _)| name.contains(".L"))
+        .map(|(_, prof)| prof.total())
+        .sum();
+    assert!(
+        loop_ops > 0,
+        "per-loop contexts exist: {:?}",
+        snap.contexts.len()
+    );
+    assert!(
+        loop_ops * 2 > out.steps,
+        "most work attributed to loops: {loop_ops} of {}",
+        out.steps
+    );
+}
+
+/// Activation spans appear once per parallelized loop, carry the
+/// strategy and outcome args, and the whole trace passes the Chrome
+/// nesting validator.
+#[test]
+fn activation_spans_and_trace_validity() {
+    let p = compile(DOALL_SRC).unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+
+    let rec = Arc::new(Recorder::new());
+    Runtime::new(&p, &plan)
+        .workers(3)
+        .cost_threshold(0)
+        .pipeline_min_body(0)
+        .recorder(Arc::clone(&rec))
+        .run_main()
+        .unwrap();
+
+    let snap = rec.snapshot();
+    let activations: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("runtime/activation/"))
+        .collect();
+    assert_eq!(activations.len(), 2, "one span per chunked loop activation");
+    for a in &activations {
+        let strat = a.args.iter().find(|(k, _)| *k == "strategy");
+        assert!(strat.is_some(), "activation span missing strategy: {a:?}");
+        let outcome = a
+            .args
+            .iter()
+            .find(|(k, _)| *k == "outcome")
+            .map(|(_, v)| format!("{v:?}"));
+        assert_eq!(outcome.as_deref(), Some("S(\"parallel\")"), "{a:?}");
+    }
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.ph == 'X' && e.name == "runtime/chunk_worker"),
+        "worker job spans recorded"
+    );
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.ph == 'X' && e.name.starts_with("runtime/run/")),
+        "top-level run span recorded"
+    );
+
+    let check =
+        json::validate_chrome_trace(&snap.chrome_trace_json()).expect("trace parses and nests");
+    assert!(check.spans >= 3);
+}
+
+/// Injected faults are visible in the same stream: a chunk-worker panic
+/// shows up as a `fault/worker_panic` instant and the activation span
+/// reports the `worker_fault` fallback outcome instead of `parallel`.
+#[test]
+fn fault_instants_and_fallback_outcome() {
+    let p = compile(DOALL_SRC).unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    let seq_ret = interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+
+    let rec = Arc::new(Recorder::new());
+    let inj = FaultInjector::arm(FaultPlan::single(
+        FaultSite::ChunkWorker(0),
+        FaultKind::WorkerPanic,
+    ));
+    let out = Runtime::new(&p, &plan)
+        .workers(4)
+        .cost_threshold(0)
+        .pipeline_min_body(0)
+        .fault_injector(Arc::clone(&inj))
+        .recorder(Arc::clone(&rec))
+        .run_main()
+        .unwrap();
+    assert_eq!(out.ret, seq_ret, "self-healing still produces the answer");
+    assert_eq!(inj.fired_total(), 1);
+
+    let snap = rec.snapshot();
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.ph == 'i' && e.name == "fault/worker_panic"),
+        "fault instant recorded"
+    );
+    let fellback = snap
+        .events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("runtime/activation/"))
+        .any(|e| {
+            e.args
+                .iter()
+                .any(|(k, v)| *k == "outcome" && format!("{v:?}").contains("worker_fault"))
+        });
+    assert!(fellback, "one activation reports the worker_fault fallback");
+}
+
+/// A disabled recorder attached to the runtime records nothing at all —
+/// the engines treat `disabled` exactly like `absent`.
+#[test]
+fn disabled_recorder_records_nothing() {
+    let p = compile(DOALL_SRC).unwrap();
+    let mut interp = Interpreter::new(&p.module);
+    interp.run_main(&mut NullSink).unwrap();
+    let plan = build_plan(&p, interp.profile(), Abstraction::PsPdg, 0.01);
+
+    let rec = Arc::new(Recorder::disabled());
+    Runtime::new(&p, &plan)
+        .workers(4)
+        .cost_threshold(0)
+        .pipeline_min_body(0)
+        .recorder(Arc::clone(&rec))
+        .run_main()
+        .unwrap();
+    let snap = rec.snapshot();
+    assert!(snap.events.is_empty());
+    assert_eq!(snap.total_opcodes().total(), 0);
+}

@@ -8,7 +8,8 @@
 
 use pspdg::ir::interp::{Interpreter, NullSink};
 use pspdg::nas::{benchmark, suite, Class};
-use pspdg::parallelizer::{enumerate_function, Abstraction, MachineModel};
+use pspdg::parallelizer::{build_plan, enumerate_function, Abstraction, MachineModel};
+use pspdg::runtime::Runtime;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "MG".to_string());
@@ -62,4 +63,16 @@ fn main() {
     println!();
     println!("DOALL loops offer cores x chunk-sizes options; non-DOALL loops offer");
     println!("HELIX (sequential segments x cores) + DSWP (pipeline stages) options.");
+
+    // Run the PS-PDG best plan on the parallel runtime and report what
+    // the activations actually did (chunked / pipelined / fallbacks and
+    // the pool, replay, and copy-on-write volume behind them).
+    let plan = build_plan(&program, interp.profile(), Abstraction::PsPdg, 0.01);
+    let out = Runtime::new(&program, &plan)
+        .workers(4)
+        .run_main()
+        .expect("runtime executes the plan");
+    println!();
+    println!("executed under the PS-PDG plan (4 workers):");
+    println!("{}", out.stats);
 }

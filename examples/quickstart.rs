@@ -8,7 +8,9 @@
 use pspdg::core::{build_pspdg, query, FeatureSet};
 use pspdg::frontend::compile;
 use pspdg::ir::interp::{Interpreter, NullSink};
+use pspdg::parallelizer::{build_plan, Abstraction};
 use pspdg::pdg::{FunctionAnalyses, Pdg};
+use pspdg::runtime::Runtime;
 
 fn main() {
     // A histogram with an indirect subscript: no sequential compiler can
@@ -74,4 +76,22 @@ fn main() {
         println!("  {line}");
     }
     println!("  ...");
+
+    // Execute the plan on the parallel runtime and show what actually
+    // happened: how many activations chunked, pipelined, or fell back,
+    // and what the pool / critical-replay / CoW machinery did.
+    let plan = build_plan(&program, interp.profile(), Abstraction::PsPdg, 0.01);
+    let rt = Runtime::new(&program, &plan)
+        .workers(4)
+        .cost_threshold(0)
+        .pipeline_min_body(0);
+    let out = rt.run_main().expect("parallel run succeeds");
+    assert_eq!(
+        out.output,
+        interp.output(),
+        "runtime matches the interpreter"
+    );
+    println!();
+    println!("parallel execution (4 workers):");
+    println!("{}", out.stats);
 }

@@ -2,6 +2,12 @@
 # Regenerate BENCH_runtime.json: predicted-vs-measured numbers for the
 # plan-driven parallel runtime over the NAS Class::Mini suite.
 #
+# The timed rows run with no recorder attached (each row records
+# "recorder": "absent"); the JSON's `profiling` section re-runs the
+# suite with an enabled recorder and also measures the recorder's own
+# absent/disabled/enabled overhead. Use scripts/profile.sh for the
+# trace/metrics export.
+#
 # Usage: scripts/bench_runtime.sh [OUT.json] [--smoke]
 set -euo pipefail
 cd "$(dirname "$0")/.."

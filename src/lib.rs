@@ -56,6 +56,7 @@ pub use pspdg_emulator as emulator;
 pub use pspdg_frontend as frontend;
 pub use pspdg_ir as ir;
 pub use pspdg_nas as nas;
+pub use pspdg_obs as obs;
 pub use pspdg_parallel as parallel;
 pub use pspdg_parallelizer as parallelizer;
 pub use pspdg_pdg as pdg;
