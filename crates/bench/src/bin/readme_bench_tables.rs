@@ -92,11 +92,11 @@ fn runtime_table(json: &str) -> String {
     let mut t = String::from(
         "| kernel | sequential (ms) | parallel (ms) | measured | predicted | dyn chunked | dyn pipelined | critical packets | critical replays | fallbacks (by cause) |\n|---|---|---|---|---|---|---|---|---|---|\n",
     );
-    // The runtime JSON also has per-kernel fault-injection and profiling
-    // rows; only the timed rows carry `interpreter_ns`.
+    // The runtime JSON also has per-kernel fault-injection, compiled-tier,
+    // and profiling rows; only the timed rows carry `measured_speedup`.
     for l in kernel_lines(json)
         .into_iter()
-        .filter(|l| l.contains("\"interpreter_ns\""))
+        .filter(|l| l.contains("\"measured_speedup\""))
     {
         let g = |k: &str| field(l, k).unwrap_or_default();
         let reasons = g("dyn_fallback_reasons");
@@ -131,6 +131,42 @@ fn runtime_table(json: &str) -> String {
     t
 }
 
+fn compiled_table(json: &str) -> String {
+    let mut t = String::from(
+        "| kernel | interpreter (ms) | tier off (ms) | threaded (ms) | fused (ms) | fused vs off | fused vs interp | compiled blocks | bailouts |\n|---|---|---|---|---|---|---|---|---|\n",
+    );
+    // Compiled-tier rows are the ones carrying `tier_off_ns`.
+    for l in kernel_lines(json)
+        .into_iter()
+        .filter(|l| l.contains("\"tier_off_ns\""))
+    {
+        let g = |k: &str| field(l, k).unwrap_or_default();
+        let _ = writeln!(
+            t,
+            "| {} | {} | {} | {} | {} | {}x | {}x | {} | {} |",
+            g("kernel"),
+            ms(&g("interpreter_ns")),
+            ms(&g("tier_off_ns")),
+            ms(&g("tier_threaded_ns")),
+            ms(&g("tier_fused_ns")),
+            g("fused_vs_off"),
+            g("fused_vs_interp"),
+            g("compiled_blocks"),
+            g("compiled_bailouts"),
+        );
+    }
+    if let (Some(off), Some(interp)) = (
+        field(json, "fused_vs_off_geomean"),
+        field(json, "fused_vs_interp_geomean"),
+    ) {
+        let _ = writeln!(
+            t,
+            "\n**Fused-tier geomean (engaged kernels): {off}x vs the interpreted tier, {interp}x vs the sequential interpreter**"
+        );
+    }
+    t
+}
+
 /// Replace the region between `<!-- {marker}:BEGIN -->` and
 /// `<!-- {marker}:END -->` with `body`.
 fn splice(readme: &str, marker: &str, body: &str) -> String {
@@ -157,6 +193,7 @@ fn main() {
     let readme = std::fs::read_to_string("README.md").expect("read README.md");
     let readme = splice(&readme, "BENCH_PDG_TABLE", &pdg_table(&pdg));
     let readme = splice(&readme, "BENCH_RUNTIME_TABLE", &runtime_table(&runtime));
+    let readme = splice(&readme, "BENCH_COMPILED_TABLE", &compiled_table(&runtime));
     std::fs::write("README.md", readme).expect("write README.md");
     println!("README.md benchmark tables regenerated from BENCH_pdg.json + BENCH_runtime.json");
 }

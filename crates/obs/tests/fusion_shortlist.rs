@@ -1,0 +1,101 @@
+//! Pins the compiled tier's fusion shortlist to the *measured* pair
+//! ranking: the fusable pairs implemented by `pspdg-runtime`'s
+//! superinstructions must be exactly the hottest fusable entries of the
+//! checked-in `BENCH_runtime.json` 13×13 pair matrix, in measured order,
+//! and the shortlist derivation must be deterministic.
+
+use pspdg_obs::{json, Opcode, OpcodeProfile, FUSABLE_PAIRS};
+
+/// The aggregate `profiling.opcodes.top_pairs` table of the checked-in
+/// bench baseline, as `(prev, next, count)`.
+fn measured_top_pairs() -> Vec<(Opcode, Opcode, u64)> {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_runtime.json"
+    ))
+    .expect("checked-in bench baseline");
+    let root = json::parse(&src).expect("valid JSON");
+    let pairs = root
+        .get("profiling")
+        .and_then(|p| p.get("opcodes"))
+        .and_then(|o| o.get("top_pairs"))
+        .and_then(|t| t.as_array())
+        .expect("profiling.opcodes.top_pairs");
+    let by_name = |name: &str| {
+        Opcode::ALL
+            .into_iter()
+            .find(|op| op.name() == name)
+            .unwrap_or_else(|| panic!("unknown opcode {name}"))
+    };
+    pairs
+        .iter()
+        .map(|entry| {
+            let row = entry.as_array().expect("[name, count] entry");
+            let name = row[0].as_str().expect("pair name");
+            let count = row[1].as_f64().expect("pair count") as u64;
+            let (a, b) = name.split_once('+').expect("a+b");
+            (by_name(a), by_name(b), count)
+        })
+        .collect()
+}
+
+#[test]
+fn shortlist_matches_measured_ranking() {
+    let measured = measured_top_pairs();
+    assert!(measured.len() >= 4, "baseline records the top pairs");
+    // Strictly descending — the measured ranking is unambiguous.
+    for w in measured.windows(2) {
+        assert!(w[0].2 > w[1].2, "ranking not descending: {measured:?}");
+    }
+    let measured_fusable: Vec<(Opcode, Opcode)> = measured
+        .iter()
+        .filter(|&&(a, b, _)| FUSABLE_PAIRS.contains(&(a, b)))
+        .map(|&(a, b, _)| (a, b))
+        .collect();
+    // The three hottest fusable pairs in the measured aggregate, in
+    // measured order. (`gep+store` completes the shortlist but sits
+    // below the aggregate's top-10 cut, so it cannot appear here.)
+    assert_eq!(
+        measured_fusable,
+        vec![
+            (Opcode::Load, Opcode::Binary),
+            (Opcode::Gep, Opcode::Load),
+            (Opcode::Binary, Opcode::Store),
+        ],
+        "the implemented shortlist no longer matches the measured ranking; \
+         re-derive FUSABLE_PAIRS from the bench profile"
+    );
+    // And the measured top-3 overall must *start* with the hottest
+    // fusable pair — fusion targets the true head of the distribution.
+    assert_eq!(
+        (measured[0].0, measured[0].1),
+        (Opcode::Load, Opcode::Binary),
+        "load+binary must be the hottest measured pair: {measured:?}"
+    );
+}
+
+#[test]
+fn shortlist_derivation_is_deterministic() {
+    // Rebuild a profile from the measured counts; `fusion_shortlist()`
+    // must reproduce the measured fusable ranking exactly, twice.
+    let measured = measured_top_pairs();
+    let mut profile = OpcodeProfile::default();
+    for &(a, b, c) in &measured {
+        profile.pairs[a.index()][b.index()] = c;
+        profile.counts[a.index()] += c;
+    }
+    let first = profile.fusion_shortlist();
+    assert_eq!(first, profile.fusion_shortlist(), "must be deterministic");
+    let expected: Vec<(Opcode, Opcode, u64)> = measured
+        .iter()
+        .copied()
+        .filter(|&(a, b, _)| FUSABLE_PAIRS.contains(&(a, b)))
+        .collect();
+    assert_eq!(first, expected, "shortlist must follow the measured order");
+    // Every shortlist entry is implemented (member of FUSABLE_PAIRS) and
+    // every implemented pair is at least representable in the matrix.
+    for (a, b, _) in &first {
+        assert!(FUSABLE_PAIRS.contains(&(*a, *b)));
+    }
+    assert_eq!(FUSABLE_PAIRS.len(), 4);
+}

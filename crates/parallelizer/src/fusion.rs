@@ -1,0 +1,456 @@
+//! Superinstruction fusion over the straight-line replay micro-IR.
+//!
+//! The `pspdg_obs` opcode-pair matrix names the hottest dynamic pairs
+//! (`load+binary`, `gep+load`, `binary+store`, `gep+store` — see
+//! `pspdg_obs::FUSABLE_PAIRS` and the `profiling.opcodes.top_pairs`
+//! section of `BENCH_runtime.json`). [`fuse_replay_program`] pattern-
+//! matches exactly those pairs in a [`ReplayProgram`] and collapses each
+//! into a single fused dispatch arm, halving decode/temp traffic on the
+//! commit-replay hot path.
+//!
+//! Correctness contract (enforced by the seeded fuzz loop in
+//! `crates/runtime/tests/fusion_fuzz.rs`): a fused program, replayed
+//! against the same heap and packet, produces a **bit-identical** heap,
+//! the same applied-store count, and the same fault outcome (including
+//! undef-load replay faults) as the unfused program. The pass therefore
+//! only fuses a producer whose temp is used **exactly once**, by the
+//! immediately following op, in a fusable operand slot — and the fused
+//! arms in the runtime evaluate their halves in the original order.
+
+use crate::schedule::{ReplayOp, ReplayProgram, ReplayVal};
+
+/// Iterate over every operand of a replay op (including store predicates
+/// and intrinsic arguments).
+fn operands(op: &ReplayOp) -> Vec<ReplayVal> {
+    match op {
+        ReplayOp::Load { addr } => vec![*addr],
+        ReplayOp::Gep { base, index, .. } => vec![*base, *index],
+        ReplayOp::Bin { lhs, rhs, .. } | ReplayOp::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+        ReplayOp::Un { operand, .. } => vec![*operand],
+        ReplayOp::Cast { value, .. } => vec![*value],
+        ReplayOp::Intrinsic { args, .. } => args.clone(),
+        ReplayOp::Store { addr, value, preds } => {
+            let mut v = vec![*addr, *value];
+            v.extend(preds.iter().map(|(p, _)| *p));
+            v
+        }
+        ReplayOp::FusedGepLoad { base, index, .. } => vec![*base, *index],
+        ReplayOp::FusedLoadBin { addr, other, .. } => vec![*addr, *other],
+        ReplayOp::FusedBinStore {
+            lhs,
+            rhs,
+            addr,
+            preds,
+            ..
+        } => {
+            let mut v = vec![*lhs, *rhs, *addr];
+            v.extend(preds.iter().map(|(p, _)| *p));
+            v
+        }
+        ReplayOp::FusedGepStore {
+            base,
+            index,
+            value,
+            preds,
+            ..
+        } => {
+            let mut v = vec![*base, *index, *value];
+            v.extend(preds.iter().map(|(p, _)| *p));
+            v
+        }
+    }
+}
+
+/// Remap one operand through the old-temp → new-temp index map.
+fn remap_val(v: ReplayVal, map: &[Option<u32>]) -> ReplayVal {
+    match v {
+        ReplayVal::Temp(t) => {
+            ReplayVal::Temp(map[t as usize].expect("fused-away temp referenced elsewhere"))
+        }
+        other => other,
+    }
+}
+
+/// Rewrite every operand of `op` through the temp index map.
+fn remap_op(op: &ReplayOp, map: &[Option<u32>]) -> ReplayOp {
+    let r = |v: &ReplayVal| remap_val(*v, map);
+    let rp = |preds: &[(ReplayVal, bool)]| -> Vec<(ReplayVal, bool)> {
+        preds.iter().map(|(p, pol)| (r(p), *pol)).collect()
+    };
+    match op {
+        ReplayOp::Load { addr } => ReplayOp::Load { addr: r(addr) },
+        ReplayOp::Gep {
+            base,
+            index,
+            elem_len,
+        } => ReplayOp::Gep {
+            base: r(base),
+            index: r(index),
+            elem_len: *elem_len,
+        },
+        ReplayOp::Bin { op, lhs, rhs } => ReplayOp::Bin {
+            op: *op,
+            lhs: r(lhs),
+            rhs: r(rhs),
+        },
+        ReplayOp::Un { op, operand } => ReplayOp::Un {
+            op: *op,
+            operand: r(operand),
+        },
+        ReplayOp::Cmp { op, lhs, rhs } => ReplayOp::Cmp {
+            op: *op,
+            lhs: r(lhs),
+            rhs: r(rhs),
+        },
+        ReplayOp::Cast { kind, value } => ReplayOp::Cast {
+            kind: *kind,
+            value: r(value),
+        },
+        ReplayOp::Intrinsic { intrinsic, args } => ReplayOp::Intrinsic {
+            intrinsic: *intrinsic,
+            args: args.iter().map(r).collect(),
+        },
+        ReplayOp::Store { addr, value, preds } => ReplayOp::Store {
+            addr: r(addr),
+            value: r(value),
+            preds: rp(preds),
+        },
+        ReplayOp::FusedGepLoad {
+            base,
+            index,
+            elem_len,
+        } => ReplayOp::FusedGepLoad {
+            base: r(base),
+            index: r(index),
+            elem_len: *elem_len,
+        },
+        ReplayOp::FusedLoadBin {
+            op,
+            addr,
+            other,
+            load_lhs,
+        } => ReplayOp::FusedLoadBin {
+            op: *op,
+            addr: r(addr),
+            other: r(other),
+            load_lhs: *load_lhs,
+        },
+        ReplayOp::FusedBinStore {
+            op,
+            lhs,
+            rhs,
+            addr,
+            preds,
+        } => ReplayOp::FusedBinStore {
+            op: *op,
+            lhs: r(lhs),
+            rhs: r(rhs),
+            addr: r(addr),
+            preds: rp(preds),
+        },
+        ReplayOp::FusedGepStore {
+            base,
+            index,
+            elem_len,
+            value,
+            preds,
+        } => ReplayOp::FusedGepStore {
+            base: r(base),
+            index: r(index),
+            elem_len: *elem_len,
+            value: r(value),
+            preds: rp(preds),
+        },
+    }
+}
+
+/// Try to fuse adjacent ops `a` (defining `Temp(a_idx)`, used exactly
+/// once) and `b`. Both ops' *other* operands are remapped through `map`.
+/// Returns the fused op, which takes over `b`'s temp slot.
+fn try_fuse(a: &ReplayOp, b: &ReplayOp, a_idx: u32, map: &[Option<u32>]) -> Option<ReplayOp> {
+    let t = ReplayVal::Temp(a_idx);
+    let r = |v: &ReplayVal| remap_val(*v, map);
+    let rp = |preds: &[(ReplayVal, bool)]| -> Vec<(ReplayVal, bool)> {
+        preds.iter().map(|(p, pol)| (r(p), *pol)).collect()
+    };
+    match (a, b) {
+        // gep+load: the hottest address-then-read pair.
+        (
+            ReplayOp::Gep {
+                base,
+                index,
+                elem_len,
+            },
+            ReplayOp::Load { addr },
+        ) if *addr == t => Some(ReplayOp::FusedGepLoad {
+            base: r(base),
+            index: r(index),
+            elem_len: *elem_len,
+        }),
+        // load+binary: the single hottest measured pair.
+        (ReplayOp::Load { addr }, ReplayOp::Bin { op, lhs, rhs }) if *lhs == t || *rhs == t => {
+            let load_lhs = *lhs == t;
+            // A bin using the loaded value on *both* sides has two uses of
+            // the temp and is excluded by the single-use precondition.
+            let other = if load_lhs { rhs } else { lhs };
+            Some(ReplayOp::FusedLoadBin {
+                op: *op,
+                addr: r(addr),
+                other: r(other),
+                load_lhs,
+            })
+        }
+        // binary+store: compute then (conditionally) write.
+        (ReplayOp::Bin { op, lhs, rhs }, ReplayOp::Store { addr, value, preds })
+            if *value == t && *addr != t && preds.iter().all(|(p, _)| *p != t) =>
+        {
+            Some(ReplayOp::FusedBinStore {
+                op: *op,
+                lhs: r(lhs),
+                rhs: r(rhs),
+                addr: r(addr),
+                preds: rp(preds),
+            })
+        }
+        // gep+store: address then (conditionally) write.
+        (
+            ReplayOp::Gep {
+                base,
+                index,
+                elem_len,
+            },
+            ReplayOp::Store { addr, value, preds },
+        ) if *addr == t && *value != t && preds.iter().all(|(p, _)| *p != t) => {
+            Some(ReplayOp::FusedGepStore {
+                base: r(base),
+                index: r(index),
+                elem_len: *elem_len,
+                value: r(value),
+                preds: rp(preds),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Fuse the hottest measured opcode pairs of `prog` into superinstructions.
+///
+/// Deterministic, single greedy left-to-right pass: op `k` fuses with op
+/// `k+1` iff the pair matches a fusable pattern **and** `Temp(k)` is used
+/// exactly once in the whole program (necessarily by op `k+1`, in the
+/// matched slot). The fused op takes over op `k+1`'s temp slot; all later
+/// temp references are renumbered. Already-fused ops are never re-fused.
+pub fn fuse_replay_program(prog: &ReplayProgram) -> ReplayProgram {
+    let n = prog.ops.len();
+    let mut uses = vec![0u32; n];
+    for op in &prog.ops {
+        for v in operands(op) {
+            if let ReplayVal::Temp(t) = v {
+                uses[t as usize] += 1;
+            }
+        }
+    }
+    // map[k] = the fused program's temp index holding old Temp(k)'s value
+    // (None while unassigned, and permanently None for fused-away temps —
+    // single-use analysis guarantees nothing else references those).
+    let mut map: Vec<Option<u32>> = vec![None; n];
+    let mut out: Vec<ReplayOp> = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        if i + 1 < n && uses[i] == 1 {
+            if let Some(fused) = try_fuse(&prog.ops[i], &prog.ops[i + 1], i as u32, &map) {
+                map[i + 1] = Some(out.len() as u32);
+                out.push(fused);
+                i += 2;
+                continue;
+            }
+        }
+        map[i] = Some(out.len() as u32);
+        out.push(remap_op(&prog.ops[i], &map));
+        i += 1;
+    }
+    ReplayProgram { ops: out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_ir::{BinOp, CmpOp, Constant};
+
+    fn t(k: u32) -> ReplayVal {
+        ReplayVal::Temp(k)
+    }
+    fn o(k: u32) -> ReplayVal {
+        ReplayVal::Operand(k)
+    }
+    fn ci(v: i64) -> ReplayVal {
+        ReplayVal::Const(Constant::Int(v))
+    }
+
+    #[test]
+    fn gep_load_bin_store_chain_fuses_pairwise() {
+        // gep; load; bin; store  →  FusedGepLoad; FusedBinStore
+        let prog = ReplayProgram {
+            ops: vec![
+                ReplayOp::Gep {
+                    base: o(0),
+                    index: o(1),
+                    elem_len: 1,
+                },
+                ReplayOp::Load { addr: t(0) },
+                ReplayOp::Bin {
+                    op: BinOp::Add,
+                    lhs: t(1),
+                    rhs: ci(7),
+                },
+                ReplayOp::Store {
+                    addr: o(0),
+                    value: t(2),
+                    preds: vec![],
+                },
+            ],
+        };
+        let fused = fuse_replay_program(&prog);
+        assert_eq!(
+            fused.ops,
+            vec![
+                ReplayOp::FusedGepLoad {
+                    base: o(0),
+                    index: o(1),
+                    elem_len: 1
+                },
+                ReplayOp::FusedBinStore {
+                    op: BinOp::Add,
+                    lhs: t(0),
+                    rhs: ci(7),
+                    addr: o(0),
+                    preds: vec![],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_use_temps_are_never_fused() {
+        // The loaded value feeds both the bin and a cmp: two uses, so the
+        // load must survive unfused (and the cmp's temp ref renumbers).
+        let prog = ReplayProgram {
+            ops: vec![
+                ReplayOp::Load { addr: o(0) },
+                ReplayOp::Bin {
+                    op: BinOp::Add,
+                    lhs: t(0),
+                    rhs: o(1),
+                },
+                ReplayOp::Cmp {
+                    op: CmpOp::Lt,
+                    lhs: t(0),
+                    rhs: t(1),
+                },
+            ],
+        };
+        let fused = fuse_replay_program(&prog);
+        assert_eq!(fused.ops.len(), 3);
+        assert_eq!(fused.ops, prog.ops);
+    }
+
+    #[test]
+    fn gep_store_with_predicates_fuses_and_remaps_preds() {
+        let prog = ReplayProgram {
+            ops: vec![
+                ReplayOp::Cmp {
+                    op: CmpOp::Gt,
+                    lhs: o(0),
+                    rhs: o(1),
+                },
+                ReplayOp::Gep {
+                    base: o(2),
+                    index: o(3),
+                    elem_len: 2,
+                },
+                ReplayOp::Store {
+                    addr: t(1),
+                    value: o(0),
+                    preds: vec![(t(0), true)],
+                },
+            ],
+        };
+        let fused = fuse_replay_program(&prog);
+        assert_eq!(
+            fused.ops,
+            vec![
+                ReplayOp::Cmp {
+                    op: CmpOp::Gt,
+                    lhs: o(0),
+                    rhs: o(1),
+                },
+                ReplayOp::FusedGepStore {
+                    base: o(2),
+                    index: o(3),
+                    elem_len: 2,
+                    value: o(0),
+                    preds: vec![(t(0), true)],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn load_bin_fuses_on_either_side_and_renumbers_consumers() {
+        let prog = ReplayProgram {
+            ops: vec![
+                ReplayOp::Load { addr: o(0) },
+                ReplayOp::Bin {
+                    op: BinOp::Sub,
+                    lhs: o(1),
+                    rhs: t(0),
+                },
+                ReplayOp::Store {
+                    addr: o(0),
+                    value: t(1),
+                    preds: vec![],
+                },
+            ],
+        };
+        let fused = fuse_replay_program(&prog);
+        assert_eq!(
+            fused.ops,
+            vec![
+                ReplayOp::FusedLoadBin {
+                    op: BinOp::Sub,
+                    addr: o(0),
+                    other: o(1),
+                    load_lhs: false,
+                },
+                ReplayOp::Store {
+                    addr: o(0),
+                    value: t(0),
+                    preds: vec![],
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn fusion_is_idempotent_and_deterministic() {
+        let prog = ReplayProgram {
+            ops: vec![
+                ReplayOp::Gep {
+                    base: o(0),
+                    index: o(1),
+                    elem_len: 1,
+                },
+                ReplayOp::Load { addr: t(0) },
+                ReplayOp::Bin {
+                    op: BinOp::Mul,
+                    lhs: t(1),
+                    rhs: ci(3),
+                },
+            ],
+        };
+        let once = fuse_replay_program(&prog);
+        let twice = fuse_replay_program(&once);
+        assert_eq!(fuse_replay_program(&prog), once);
+        assert_eq!(twice, once, "fused ops never re-fuse");
+    }
+}

@@ -98,6 +98,9 @@ use pspdg_parallelizer::{
 use pspdg_pdg::MemBase;
 
 use crate::channel::{Channel, RecvTimeout};
+use crate::compiled::{
+    compile_program, CompiledBlock, CompiledBody, CompiledProgram, CompiledTier,
+};
 use crate::fault::{FaultInjector, FaultKind};
 use crate::pool::WorkerPool;
 
@@ -169,11 +172,16 @@ pub struct FallbackCounts {
     /// mid-walk; the half-applied staging heap is discarded and the loop
     /// re-runs sequentially on the untouched master heap.
     pub commit_fault: u64,
+    /// A chunk worker bailed out of a compiled (threaded-code /
+    /// superinstruction) slice — a mid-slice fault, fuel exhaustion, or
+    /// an injected compiled-slice fault — and the loop re-ran on the
+    /// interpreter, which reproduces any real fault in sequential order.
+    pub compiled_bailout: u64,
 }
 
 impl FallbackCounts {
     /// Number of distinct fallback causes (fields of this struct).
-    pub const CAUSES: usize = 14;
+    pub const CAUSES: usize = 15;
 
     /// All `(reason, count)` pairs, in field order — the single source of
     /// truth for serialization (`BENCH_runtime.json`). A completeness
@@ -195,6 +203,7 @@ impl FallbackCounts {
             ("pipeline_abort", self.pipeline_abort),
             ("stage_timeout", self.stage_timeout),
             ("commit_fault", self.commit_fault),
+            ("compiled_bailout", self.compiled_bailout),
         ]
     }
 
@@ -242,6 +251,10 @@ pub struct RunStats {
     /// (only fault injection kills workers; job panics are caught without
     /// losing the thread).
     pub pool_respawns: u64,
+    /// Straight-line blocks chunk workers executed through the compiled
+    /// tier (threaded code / fused superinstructions) in activations that
+    /// committed; 0 under [`CompiledTier::Off`].
+    pub compiled_blocks: u64,
 }
 
 impl RunStats {
@@ -284,7 +297,8 @@ impl std::fmt::Display for RunStats {
             self.fork_bytes() / 1024
         )?;
         writeln!(f, "  injected faults        {:>12}", self.injected_faults)?;
-        write!(f, "  pool respawns          {:>12}", self.pool_respawns)
+        writeln!(f, "  pool respawns          {:>12}", self.pool_respawns)?;
+        write!(f, "  compiled blocks        {:>12}", self.compiled_blocks)
     }
 }
 
@@ -325,6 +339,7 @@ enum FallbackWhy {
     PipelineAbort,
     StageTimeout,
     CommitFault,
+    CompiledBailout,
 }
 
 impl FallbackWhy {
@@ -346,6 +361,7 @@ impl FallbackWhy {
             FallbackWhy::PipelineAbort => "pipeline_abort",
             FallbackWhy::StageTimeout => "stage_timeout",
             FallbackWhy::CommitFault => "commit_fault",
+            FallbackWhy::CompiledBailout => "compiled_bailout",
         }
     }
 }
@@ -391,6 +407,13 @@ pub struct Runtime<'p> {
     /// Context-name prefix for this runtime's recorder contexts
     /// (typically the kernel name; defaults to `"run"`).
     obs_label: String,
+    /// Which execution tier chunk workers use for scheduled loop bodies
+    /// (default [`CompiledTier::Fused`]; [`CompiledTier::Off`] keeps
+    /// everything on the interpreter — the differential oracle).
+    tier: CompiledTier,
+    /// Threaded-code lowering of the plan's chunked loops, compiled
+    /// lazily on the first `run` (empty under [`CompiledTier::Off`]).
+    compiled: OnceLock<CompiledProgram>,
     /// Created lazily on the first parallel activation; lives as long as
     /// the `Runtime`.
     pool: OnceLock<WorkerPool>,
@@ -417,8 +440,32 @@ impl<'p> Runtime<'p> {
             faults: None,
             obs: None,
             obs_label: "run".to_string(),
+            tier: CompiledTier::default(),
+            compiled: OnceLock::new(),
             pool: OnceLock::new(),
         }
+    }
+
+    /// Select the chunk workers' execution tier
+    /// ([`CompiledTier::Fused`] by default). [`CompiledTier::Off`] forces
+    /// pure interpretation — the configuration differential tests compare
+    /// against. Resets the cached compiled program.
+    pub fn compiled_tier(mut self, tier: CompiledTier) -> Runtime<'p> {
+        self.tier = tier;
+        self.compiled = OnceLock::new();
+        self
+    }
+
+    /// The selected execution tier.
+    pub fn tier(&self) -> CompiledTier {
+        self.tier
+    }
+
+    /// The threaded-code lowering this runtime executes (compiling it now
+    /// if no `run` has; empty under [`CompiledTier::Off`]).
+    pub fn compiled(&self) -> &CompiledProgram {
+        self.compiled
+            .get_or_init(|| compile_program(&self.program.module, &self.plan, self.tier))
     }
 
     /// Override the worker count. Chunked loops split into at most this
@@ -570,9 +617,15 @@ impl<'p> Runtime<'p> {
             s.arg("workers", self.workers);
             s
         });
+        let compiled = match self.tier {
+            CompiledTier::Off => None,
+            _ => Some(self.compiled()),
+        };
         let mut engine = Engine {
             module: &self.program.module,
             plan: Some(&self.plan),
+            compiled,
+            cbody: None,
             pool: (self.workers >= 2).then(|| self.pool()),
             workers: self.workers,
             cost_threshold: self.cost_threshold,
@@ -642,6 +695,10 @@ enum ParAbort {
     /// (suppressed guards execute conditional code unconditionally, so
     /// this fault may not exist sequentially).
     Spec(#[allow(dead_code)] ExecError),
+    /// A worker bailed out of a compiled (threaded-code) slice; the
+    /// sequential re-run on the interpreter reproduces any real fault in
+    /// order (injected compiled faults simply vanish).
+    Compiled,
 }
 
 /// The interpreter core shared by the master, chunk workers, and pipeline
@@ -650,6 +707,11 @@ enum ParAbort {
 struct Engine<'a> {
     module: &'a Module,
     plan: Option<&'a ExecutablePlan>,
+    /// The compiled tier's lowerings (master only; looked up per chunked
+    /// activation and handed to workers as `cbody`).
+    compiled: Option<&'a CompiledProgram>,
+    /// The active chunked loop's compiled body (chunk workers only).
+    cbody: Option<&'a CompiledBody>,
     /// The persistent worker pool (master only, with ≥ 2 workers).
     pool: Option<&'a WorkerPool>,
     workers: usize,
@@ -772,6 +834,7 @@ impl<'a> Engine<'a> {
             FallbackWhy::PipelineAbort => c.pipeline_abort += 1,
             FallbackWhy::StageTimeout => c.stage_timeout += 1,
             FallbackWhy::CommitFault => c.commit_fault += 1,
+            FallbackWhy::CompiledBailout => c.compiled_bailout += 1,
         }
     }
 
@@ -1169,7 +1232,11 @@ impl<'a> Engine<'a> {
             crit_log: Vec<(u32, Vec<RtVal>)>,
             output: Vec<String>,
             steps: u64,
+            compiled_blocks: u64,
         }
+        // The loop's compiled body (threaded code / fused
+        // superinstructions), if the tier is on and any block compiled.
+        let cbody = self.compiled.and_then(|cp| cp.body(func_id, sched.header));
         let module = self.module;
         let crit_map_ref = &crit_map;
         let faults = self.faults;
@@ -1216,6 +1283,8 @@ impl<'a> Engine<'a> {
                     let mut worker = Engine {
                         module,
                         plan: None,
+                        compiled: None,
+                        cbody,
                         pool: None,
                         workers: 1,
                         cost_threshold: 0,
@@ -1248,6 +1317,7 @@ impl<'a> Engine<'a> {
                         crit_log: std::mem::take(&mut worker.crit_log),
                         output: std::mem::take(&mut worker.output),
                         steps: worker.steps,
+                        compiled_blocks: worker.stats.compiled_blocks,
                     }));
                 });
             }
@@ -1270,6 +1340,7 @@ impl<'a> Engine<'a> {
                 Some(Err(ParAbort::Irregular)) => Some(FallbackWhy::Irregular),
                 Some(Err(ParAbort::Exec(_))) => Some(FallbackWhy::WorkerFault),
                 Some(Err(ParAbort::Spec(_))) => Some(FallbackWhy::SpeculationFault),
+                Some(Err(ParAbort::Compiled)) => Some(FallbackWhy::CompiledBailout),
             };
             fault_abort = fault_abort.or(why);
         }
@@ -1336,7 +1407,14 @@ impl<'a> Engine<'a> {
                     abort = Some(FallbackWhy::ReplayFault);
                     break;
                 }
-                match replay_packet(&c.criticals[*idx as usize].program, packet, &mut staging) {
+                // Under the fused tier the pre-fused replay programs
+                // (bit-identical semantics, fewer dispatches) replace the
+                // canonical ones.
+                let prog = self
+                    .compiled
+                    .and_then(|cp| cp.fused_replays(func_id, sched.header))
+                    .map_or(&c.criticals[*idx as usize].program, |v| &v[*idx as usize]);
+                match replay_packet(prog, packet, &mut staging) {
                     Ok(stores) => {
                         packets += 1;
                         replayed += stores;
@@ -1361,6 +1439,7 @@ impl<'a> Engine<'a> {
         for out in outs {
             self.output.extend(out.output);
             self.steps = self.steps.saturating_add(out.steps);
+            self.stats.compiled_blocks += out.compiled_blocks;
         }
         self.stats.fork_cells_committed += committed;
         self.stats.critical_packets += packets;
@@ -1425,9 +1504,17 @@ impl<'a> Engine<'a> {
                     self.run_critical_region(func_id, f, frame, idx, cr)?;
                     Flow::Jump(cr.exit)
                 }
-                None => self
-                    .exec_block(func_id, f, frame, block)
-                    .map_err(ParAbort::Exec)?,
+                // Compiled tier: blocks with a threaded-code lowering run
+                // through it; everything else (and any bailout's re-run)
+                // stays on the interpreter.
+                None => match self.cbody.and_then(|b| b.block(block)) {
+                    Some(cb) => self
+                        .exec_compiled_block(frame, cb)
+                        .map_err(|()| ParAbort::Compiled)?,
+                    None => self
+                        .exec_block(func_id, f, frame, block)
+                        .map_err(ParAbort::Exec)?,
+                },
             };
             match flow {
                 Flow::Jump(t) if t == sched.header => return Ok(()),
@@ -1441,6 +1528,41 @@ impl<'a> Engine<'a> {
                 Flow::Next => unreachable!(),
             }
         }
+    }
+
+    /// Execute one block through the compiled tier. Steps, fuel, and the
+    /// opcode profile advance exactly as interpretation would (block
+    /// cost = original instruction count; opcodes fed in original order,
+    /// so merged profile totals still equal the engine step counter). Any
+    /// fault — injected compiled-slice fault, insufficient fuel margin,
+    /// or a mid-slice execution fault — returns `Err(())` and the caller
+    /// abandons the parallel attempt under `compiled_bailout`; the
+    /// sequential re-run reproduces real faults (including `OutOfFuel`)
+    /// in order, because worker-side steps are only folded in on success.
+    fn exec_compiled_block(&mut self, frame: &mut Frame, cb: &CompiledBlock) -> Result<Flow, ()> {
+        if self.faults.and_then(FaultInjector::on_compiled_slice) == Some(FaultKind::CompiledFault)
+        {
+            self.fault_instant(FaultKind::CompiledFault);
+            return Err(());
+        }
+        if self.steps.saturating_add(cb.cost) > self.fuel {
+            return Err(());
+        }
+        self.steps += cb.cost;
+        self.stats.compiled_blocks += 1;
+        if let Some(h) = self.obs.as_mut() {
+            for &op in &cb.opcodes {
+                h.op(op);
+            }
+        }
+        crate::compiled::run_block(
+            cb,
+            &mut frame.regs,
+            &frame.args,
+            &mut self.mem,
+            &mut self.output,
+        )
+        .map(Flow::Jump)
     }
 
     /// The deferred critical region entered at `block`, if any (chunk
@@ -1581,6 +1703,10 @@ impl<'a> Engine<'a> {
                     let mut engine = Engine {
                         module,
                         plan: None,
+                        // Pipeline stages stay interpreted: their write
+                        // logs and stage-replay semantics are the oracle.
+                        compiled: None,
+                        cbody: None,
                         pool: None,
                         workers: 1,
                         cost_threshold,
@@ -1922,7 +2048,13 @@ fn replay_deref(staging: &MemState, v: RtVal) -> Result<MemAddr, ()> {
 /// the number of stores applied; any fault (undef protected cell, bad
 /// address, evaluator error) aborts the whole activation's commit and the
 /// loop re-runs sequentially.
-fn replay_packet(
+///
+/// Fused superinstructions (`Fused*`, produced by
+/// `pspdg_parallelizer::fusion`) evaluate their two halves in the exact
+/// unfused order, so fusion changes neither results nor fault behavior —
+/// the contract the seeded fuzz loop in `tests/fusion_fuzz.rs` enforces.
+#[allow(clippy::result_unit_err)] // the fault is deliberately opaque: callers only discard and re-run
+pub fn replay_packet(
     prog: &ReplayProgram,
     packet: &[RtVal],
     staging: &mut MemState,
@@ -1988,6 +2120,107 @@ fn replay_packet(
                 }
                 if exec {
                     let a = replay_deref(staging, val(addr)?)?;
+                    let v = val(value)?;
+                    staging.write(a, v);
+                    applied += 1;
+                }
+                RtVal::Undef
+            }
+            ReplayOp::FusedGepLoad {
+                base,
+                index,
+                elem_len,
+            } => {
+                // Gep half first (its faults precede the load's).
+                let ptr = match (val(base)?, val(index)?) {
+                    (RtVal::Ptr { obj, off }, RtVal::Int(i)) => RtVal::Ptr {
+                        obj,
+                        off: off + i * elem_len,
+                    },
+                    _ => return Err(()),
+                };
+                let a = replay_deref(staging, ptr)?;
+                let v = staging.read(a);
+                if matches!(v, RtVal::Undef) {
+                    return Err(());
+                }
+                v
+            }
+            ReplayOp::FusedLoadBin {
+                op,
+                addr,
+                other,
+                load_lhs,
+            } => {
+                // Load half first — including its undef fault — exactly as
+                // the unfused pair orders it.
+                let a = replay_deref(staging, val(addr)?)?;
+                let loaded = staging.read(a);
+                if matches!(loaded, RtVal::Undef) {
+                    return Err(());
+                }
+                let o = val(other)?;
+                let (lhs, rhs) = if *load_lhs { (loaded, o) } else { (o, loaded) };
+                eval_binop(*op, lhs, rhs).map_err(|_| ())?
+            }
+            ReplayOp::FusedBinStore {
+                op,
+                lhs,
+                rhs,
+                addr,
+                preds,
+            } => {
+                // Arithmetic half is unconditional (it was a standalone op
+                // before the predicated store).
+                let v = eval_binop(*op, val(lhs)?, val(rhs)?).map_err(|_| ())?;
+                let mut exec = true;
+                for (p, pol) in preds {
+                    match val(p)? {
+                        RtVal::Bool(b) => {
+                            if b != *pol {
+                                exec = false;
+                                break;
+                            }
+                        }
+                        _ => return Err(()),
+                    }
+                }
+                if exec {
+                    let a = replay_deref(staging, val(addr)?)?;
+                    staging.write(a, v);
+                    applied += 1;
+                }
+                RtVal::Undef
+            }
+            ReplayOp::FusedGepStore {
+                base,
+                index,
+                elem_len,
+                value,
+                preds,
+            } => {
+                // Address arithmetic is unconditional, the store predicated.
+                let ptr = match (val(base)?, val(index)?) {
+                    (RtVal::Ptr { obj, off }, RtVal::Int(i)) => RtVal::Ptr {
+                        obj,
+                        off: off + i * elem_len,
+                    },
+                    _ => return Err(()),
+                };
+                let mut exec = true;
+                for (p, pol) in preds {
+                    match val(p)? {
+                        RtVal::Bool(b) => {
+                            if b != *pol {
+                                exec = false;
+                                break;
+                            }
+                        }
+                        _ => return Err(()),
+                    }
+                }
+                if exec {
+                    let a = replay_deref(staging, ptr)?;
                     let v = val(value)?;
                     staging.write(a, v);
                     applied += 1;

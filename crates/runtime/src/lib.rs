@@ -49,17 +49,29 @@
 //! (`tests/fault_fuzz.rs`) drives random seeded schedules across every
 //! kernel and asserts the fallback-parity contract held.
 //!
+//! Chunk workers additionally carry a **compiled execution tier**
+//! ([`compiled`]): scheduled loop bodies' straight-line blocks are
+//! pre-resolved to threaded code (operands bound to frame slots, no
+//! per-step decode) with fused superinstructions for the hottest
+//! measured opcode pairs, selected per activation behind the same cost
+//! gate; any unsupported shape or mid-slice fault falls back to the
+//! interpreter under the `compiled_bailout` cause, so the interpreter
+//! remains the bit-identical oracle (`tests/compiled_differential.rs`,
+//! `tests/fusion_fuzz.rs`).
+//!
 //! Module map: [`exec`] — the engine ([`Runtime`], [`RunStats`],
-//! [`FallbackCounts`]); [`pool`] — the persistent, self-healing scoped
-//! worker pool; [`channel`] — the bounded DSWP decoupling buffer with
-//! watchdog sends/recvs; [`fault`] — deterministic fault injection
-//! ([`FaultPlan`], [`FaultInjector`]); [`check`] — observable-state
-//! extraction for differential testing.
+//! [`FallbackCounts`]); [`compiled`] — the threaded-code /
+//! superinstruction tier ([`CompiledTier`]); [`pool`] — the persistent,
+//! self-healing scoped worker pool; [`channel`] — the bounded DSWP
+//! decoupling buffer with watchdog sends/recvs; [`fault`] —
+//! deterministic fault injection ([`FaultPlan`], [`FaultInjector`]);
+//! [`check`] — observable-state extraction for differential testing.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod check;
+pub mod compiled;
 pub mod exec;
 pub mod fault;
 pub mod pool;
@@ -68,8 +80,9 @@ pub use check::{
     global_cells, globals_identical_mismatch, globals_mismatch, line_equivalent,
     observable_globals, rtval_equivalent, rtval_identical, FLOAT_RTOL,
 };
+pub use compiled::{compile_program, CompiledProgram, CompiledTier};
 pub use exec::{
-    FallbackCounts, RunOutcome, RunStats, Runtime, DEFAULT_COST_THRESHOLD,
+    replay_packet, FallbackCounts, RunOutcome, RunStats, Runtime, DEFAULT_COST_THRESHOLD,
     DEFAULT_PIPELINE_MIN_BODY, DEFAULT_STAGE_WATCHDOG,
 };
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSite, Injection, Rng64};

@@ -1,0 +1,446 @@
+//! Seeded fusion fuzz: random straight-line replay micro-programs are
+//! fused (`pspdg_parallelizer::fuse_replay_program`) and both versions
+//! run over identical randomized heaps and packets — results
+//! (`Result<stores applied, fault>`) must match exactly and, on success,
+//! the two heaps must finish **bit-identical**. Faulting programs count
+//! too: fusion must fault iff the unfused program faults, including
+//! undef-cell loads and out-of-bounds addresses.
+//!
+//! Seed the loop via `FUSION_FUZZ_SEED` (CI pins it for determinism).
+
+use pspdg_frontend::compile;
+use pspdg_ir::interp::{MemAddr, MemState, ObjId, RtVal};
+use pspdg_ir::{BinOp, CastKind, CmpOp, Constant, Intrinsic, UnOp};
+use pspdg_parallelizer::{fuse_replay_program, ReplayOp, ReplayProgram, ReplayVal};
+use pspdg_runtime::{replay_packet, Rng64};
+
+/// A 32-cell global heap to aim loads/stores at.
+fn base_heap() -> (MemState, ObjId) {
+    let p = compile("int g[32]; int main() { return 0; }").unwrap();
+    let mem = MemState::for_module(&p.module);
+    let obj = mem
+        .objects()
+        .map(|(o, _)| o)
+        .next()
+        .expect("one global object");
+    (mem, obj)
+}
+
+/// Randomize the heap. Tame heaps are all small ints (every load feeds
+/// cleanly into integer arithmetic); wild heaps mix floats, bools, and —
+/// with `undef_holes` — `Undef` cells so loads can fault.
+fn randomize(mem: &mut MemState, obj: ObjId, rng: &mut Rng64, tame: bool, undef_holes: bool) {
+    for off in 0..32u32 {
+        let v = if tame && !undef_holes {
+            RtVal::Int(rng.below(50) as i64 - 10)
+        } else if tame {
+            match rng.below(10) {
+                0 => RtVal::Undef,
+                _ => RtVal::Int(rng.below(50) as i64 - 10),
+            }
+        } else {
+            match rng.below(10) {
+                0..=4 => RtVal::Int(rng.below(100) as i64 - 20),
+                5 => RtVal::Float(rng.below(64) as f64 * 0.25),
+                6 => RtVal::Bool(rng.below(2) == 1),
+                7 => RtVal::Int(1 + rng.below(8) as i64),
+                _ => RtVal::Undef,
+            }
+        };
+        mem.write(MemAddr { obj, off }, v);
+    }
+}
+
+/// A random packet. Tame packets pin slot 0 to a low in-range pointer
+/// and keep the rest small ints, so well-typed programs mostly succeed;
+/// wild packets mix in OOB pointers, floats, bools, and `Undef`.
+fn random_packet(rng: &mut Rng64, obj: ObjId, len: usize, tame: bool) -> Vec<RtVal> {
+    (0..len)
+        .map(|slot| {
+            if tame {
+                if slot == 0 {
+                    RtVal::Ptr {
+                        obj,
+                        off: rng.below(8) as i64,
+                    }
+                } else {
+                    RtVal::Int(rng.below(8) as i64)
+                }
+            } else {
+                match rng.below(10) {
+                    0..=3 => RtVal::Int(rng.below(40) as i64 - 8),
+                    4 | 5 => RtVal::Ptr {
+                        obj,
+                        off: rng.below(32) as i64,
+                    },
+                    6 => RtVal::Ptr {
+                        obj,
+                        off: rng.below(96) as i64 - 32,
+                    },
+                    7 => RtVal::Float(rng.below(32) as f64 * 0.5),
+                    8 => RtVal::Bool(rng.below(2) == 1),
+                    _ => RtVal::Undef,
+                }
+            }
+        })
+        .collect()
+}
+
+/// A random operand: a constant, a packet slot, or (when any exist) a
+/// previously defined temp — multi-use references arise naturally, which
+/// must *block* fusion without changing behavior.
+fn random_val(rng: &mut Rng64, defined: u32, packet_len: usize) -> ReplayVal {
+    match rng.below(if defined > 0 { 6 } else { 4 }) {
+        0 => ReplayVal::Const(Constant::Int(rng.below(16) as i64 - 2)),
+        1 => ReplayVal::Const(match rng.below(3) {
+            0 => Constant::Float(rng.below(16) as f64 * 0.5),
+            1 => Constant::Bool(rng.below(2) == 1),
+            _ => Constant::Int(1 + rng.below(4) as i64),
+        }),
+        2 | 3 => ReplayVal::Operand(rng.below(packet_len as u64) as u32),
+        _ => ReplayVal::Temp(rng.below(u64::from(defined)) as u32),
+    }
+}
+
+const BINOPS: [BinOp; 7] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+];
+
+fn random_binop(rng: &mut Rng64) -> BinOp {
+    BINOPS[rng.below(BINOPS.len() as u64) as usize]
+}
+
+fn random_preds(rng: &mut Rng64, defined: u32, packet_len: usize) -> Vec<(ReplayVal, bool)> {
+    (0..rng.below(3))
+        .map(|_| (random_val(rng, defined, packet_len), rng.below(2) == 1))
+        .collect()
+}
+
+/// Generate a random straight-line replay program of `len` ops. Half the
+/// time an op extends a fusable chain off the previous temp (gep→load,
+/// load→bin, bin→store, gep→store); otherwise it is an arbitrary op over
+/// arbitrary operands — so the stream mixes fusable pairs, multi-use
+/// temps, type errors, and address faults. Tame programs keep operands
+/// well-typed (pointers where pointers belong, small in-range indices,
+/// boolean predicates) so most runs *succeed* and exercise the heap-
+/// equality half of the contract; wild programs exercise the fault half.
+fn random_program(rng: &mut Rng64, len: usize, packet_len: usize, tame: bool) -> ReplayProgram {
+    // Tame operand pickers: slot 0 of a tame packet is a low in-range
+    // pointer; the other slots are small ints.
+    let ptr_val = |_rng: &mut Rng64| ReplayVal::Operand(0);
+    let int_val = |rng: &mut Rng64| -> ReplayVal {
+        if packet_len > 1 && rng.below(3) == 0 {
+            ReplayVal::Operand(1 + rng.below(packet_len as u64 - 1) as u32)
+        } else {
+            ReplayVal::Const(Constant::Int(rng.below(8) as i64))
+        }
+    };
+    let any = |rng: &mut Rng64, defined: u32| -> ReplayVal {
+        if tame {
+            int_val(rng)
+        } else {
+            random_val(rng, defined, packet_len)
+        }
+    };
+    let preds = |rng: &mut Rng64, defined: u32| -> Vec<(ReplayVal, bool)> {
+        if tame {
+            (0..rng.below(2))
+                .map(|_| {
+                    (
+                        ReplayVal::Const(Constant::Bool(rng.below(2) == 1)),
+                        rng.below(2) == 1,
+                    )
+                })
+                .collect()
+        } else {
+            random_preds(rng, defined, packet_len)
+        }
+    };
+    let mut ops: Vec<ReplayOp> = Vec::with_capacity(len);
+    for k in 0..len {
+        let defined = k as u32;
+        let prev = defined.checked_sub(1).map(ReplayVal::Temp);
+        let chain = rng.below(2) == 0;
+        let op = match (chain, prev, ops.last()) {
+            // Extend a chain: consume the previous op's temp in a
+            // fusable position.
+            (true, Some(t), Some(ReplayOp::Gep { .. } | ReplayOp::FusedGepLoad { .. })) => {
+                if rng.below(2) == 0 {
+                    ReplayOp::Load { addr: t }
+                } else {
+                    ReplayOp::Store {
+                        addr: t,
+                        value: any(rng, defined - 1),
+                        preds: preds(rng, defined - 1),
+                    }
+                }
+            }
+            (true, Some(t), Some(ReplayOp::Load { .. } | ReplayOp::FusedLoadBin { .. })) => {
+                let other = any(rng, defined - 1);
+                let (lhs, rhs) = if rng.below(2) == 0 {
+                    (t, other)
+                } else {
+                    (other, t)
+                };
+                ReplayOp::Bin {
+                    op: random_binop(rng),
+                    lhs,
+                    rhs,
+                }
+            }
+            (true, Some(t), Some(ReplayOp::Bin { .. })) => ReplayOp::Store {
+                addr: if tame {
+                    ptr_val(rng)
+                } else {
+                    random_val(rng, defined - 1, packet_len)
+                },
+                value: t,
+                preds: preds(rng, defined - 1),
+            },
+            // Start a chain or emit an arbitrary op.
+            _ => match rng.below(8) {
+                0 | 1 => ReplayOp::Gep {
+                    base: if tame {
+                        ptr_val(rng)
+                    } else {
+                        random_val(rng, defined, packet_len)
+                    },
+                    index: if tame {
+                        int_val(rng)
+                    } else {
+                        random_val(rng, defined, packet_len)
+                    },
+                    elem_len: 1,
+                },
+                2 => ReplayOp::Load {
+                    addr: if tame {
+                        ptr_val(rng)
+                    } else {
+                        random_val(rng, defined, packet_len)
+                    },
+                },
+                3 => ReplayOp::Bin {
+                    op: random_binop(rng),
+                    lhs: any(rng, defined),
+                    rhs: any(rng, defined),
+                },
+                4 => ReplayOp::Store {
+                    addr: if tame {
+                        ptr_val(rng)
+                    } else {
+                        random_val(rng, defined, packet_len)
+                    },
+                    value: any(rng, defined),
+                    preds: preds(rng, defined),
+                },
+                5 => ReplayOp::Cmp {
+                    op: if rng.below(2) == 0 {
+                        CmpOp::Lt
+                    } else {
+                        CmpOp::Gt
+                    },
+                    lhs: any(rng, defined),
+                    rhs: any(rng, defined),
+                },
+                6 => ReplayOp::Un {
+                    op: UnOp::Neg,
+                    operand: any(rng, defined),
+                },
+                _ => ReplayOp::Intrinsic {
+                    intrinsic: if rng.below(2) == 0 {
+                        Intrinsic::Imax
+                    } else {
+                        Intrinsic::Imin
+                    },
+                    args: vec![any(rng, defined), any(rng, defined)],
+                },
+            },
+        };
+        ops.push(op);
+    }
+    ReplayProgram { ops }
+}
+
+/// Read the whole heap object, bit-level (`RtVal` is `PartialEq`-exact
+/// for `Int`/`Bool`/`Ptr`/`Undef`; floats compare via bit pattern here).
+fn heap_cells(mem: &MemState, obj: ObjId) -> Vec<u64> {
+    (0..32u32)
+        .map(|off| match mem.read(MemAddr { obj, off }) {
+            RtVal::Int(i) => 0x1000_0000_0000_0000 ^ i as u64,
+            RtVal::Float(f) => 0x2000_0000_0000_0000 ^ f.to_bits(),
+            RtVal::Bool(b) => 0x3000_0000_0000_0000 | u64::from(b),
+            RtVal::Ptr { obj, off } => 0x4000_0000_0000_0000 ^ ((obj.0 as u64) << 32) ^ off as u64,
+            RtVal::Undef => 0x5000_0000_0000_0000,
+        })
+        .collect()
+}
+
+#[test]
+fn fuzz_fused_replay_matches_unfused_bit_for_bit() {
+    let seed: u64 = std::env::var("FUSION_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF05E_2026);
+    let (base, obj) = base_heap();
+    let mut rng = Rng64::new(seed);
+    let (mut fused_programs, mut fused_ops_removed) = (0u64, 0u64);
+    let (mut ok_runs, mut fault_runs) = (0u64, 0u64);
+    for round in 0..400u64 {
+        // Alternate well-typed ("tame") and adversarial ("wild") rounds:
+        // tame rounds mostly succeed and check heap equality; wild
+        // rounds mostly fault and check fault parity.
+        let tame = round % 2 == 0;
+        let undef_holes = !tame || round % 4 == 2;
+        let len = 2 + rng.below(10) as usize;
+        let packet_len = 1 + rng.below(6) as usize;
+        let prog = random_program(&mut rng, len, packet_len, tame);
+        let fused = fuse_replay_program(&prog);
+        assert!(
+            fused.ops.len() <= prog.ops.len(),
+            "round {round}: fusion must never grow a program"
+        );
+        assert_eq!(
+            fused,
+            fuse_replay_program(&prog),
+            "round {round}: fusion must be deterministic"
+        );
+        if fused.ops.len() < prog.ops.len() {
+            fused_programs += 1;
+            fused_ops_removed += (prog.ops.len() - fused.ops.len()) as u64;
+        }
+        for _ in 0..3 {
+            let mut heap_a = base.clone();
+            randomize(&mut heap_a, obj, &mut rng, tame, undef_holes);
+            let mut heap_b = heap_a.clone();
+            let packet = random_packet(&mut rng, obj, packet_len, tame);
+            let ra = replay_packet(&prog, &packet, &mut heap_a);
+            let rb = replay_packet(&fused, &packet, &mut heap_b);
+            assert_eq!(
+                ra, rb,
+                "round {round}: fused replay diverged\n  unfused: {:?}\n  fused: {:?}\n  packet: {packet:?}",
+                prog.ops, fused.ops
+            );
+            match ra {
+                Ok(_) => {
+                    ok_runs += 1;
+                    assert_eq!(
+                        heap_cells(&heap_a, obj),
+                        heap_cells(&heap_b, obj),
+                        "round {round}: heaps diverged after identical Ok\n  unfused: {:?}\n  fused: {:?}",
+                        prog.ops,
+                        fused.ops
+                    );
+                }
+                Err(()) => fault_runs += 1,
+            }
+        }
+    }
+    // The loop must actually exercise fusion and both outcomes — a fuzz
+    // harness that never fuses (or never faults) proves nothing.
+    assert!(
+        fused_programs >= 50,
+        "too few programs fused ({fused_programs}); generator drifted"
+    );
+    assert!(
+        fused_ops_removed >= fused_programs,
+        "fusion removed nothing"
+    );
+    assert!(ok_runs >= 100, "too few successful replays ({ok_runs})");
+    assert!(fault_runs >= 100, "too few faulting replays ({fault_runs})");
+}
+
+#[test]
+fn undef_load_faults_identically_through_fusion() {
+    // Directed: a gep+load chain aimed at an `Undef` cell must fault in
+    // both the unfused and the fused program — the load's undef check
+    // survives fusion.
+    let (base, obj) = base_heap();
+    let mut mem = base.clone();
+    for off in 0..32u32 {
+        mem.write(MemAddr { obj, off }, RtVal::Int(7));
+    }
+    mem.write(MemAddr { obj, off: 5 }, RtVal::Undef);
+    let prog = ReplayProgram {
+        ops: vec![
+            ReplayOp::Gep {
+                base: ReplayVal::Operand(0),
+                index: ReplayVal::Const(Constant::Int(5)),
+                elem_len: 1,
+            },
+            ReplayOp::Load {
+                addr: ReplayVal::Temp(0),
+            },
+            ReplayOp::Bin {
+                op: BinOp::Add,
+                lhs: ReplayVal::Temp(1),
+                rhs: ReplayVal::Const(Constant::Int(1)),
+            },
+            ReplayOp::Store {
+                addr: ReplayVal::Operand(0),
+                value: ReplayVal::Temp(2),
+                preds: vec![],
+            },
+        ],
+    };
+    let fused = fuse_replay_program(&prog);
+    assert_eq!(
+        fused.ops.len(),
+        2,
+        "the chain must fuse pairwise: {fused:?}"
+    );
+    let packet = vec![RtVal::Ptr { obj, off: 0 }];
+    let mut heap_a = mem.clone();
+    let mut heap_b = mem.clone();
+    assert_eq!(replay_packet(&prog, &packet, &mut heap_a), Err(()));
+    assert_eq!(replay_packet(&fused, &packet, &mut heap_b), Err(()));
+
+    // Patch the hole: both now succeed and agree bit-for-bit.
+    let mut heap_a = mem.clone();
+    let mut heap_b = mem;
+    heap_a.write(MemAddr { obj, off: 5 }, RtVal::Int(3));
+    heap_b.write(MemAddr { obj, off: 5 }, RtVal::Int(3));
+    assert_eq!(replay_packet(&prog, &packet, &mut heap_a), Ok(1));
+    assert_eq!(replay_packet(&fused, &packet, &mut heap_b), Ok(1));
+    assert_eq!(heap_cells(&heap_a, obj), heap_cells(&heap_b, obj));
+    assert_eq!(heap_a.read(MemAddr { obj, off: 0 }), RtVal::Int(4));
+}
+
+#[test]
+fn cast_kinds_flow_through_fusion_unchanged() {
+    // A cast between a load and a store is not fusable with either
+    // neighbor under the shortlist; the program must survive fusion
+    // verbatim and behave identically.
+    let (base, obj) = base_heap();
+    let mut mem = base;
+    for off in 0..32u32 {
+        mem.write(MemAddr { obj, off }, RtVal::Float(1.5));
+    }
+    let prog = ReplayProgram {
+        ops: vec![
+            ReplayOp::Load {
+                addr: ReplayVal::Operand(0),
+            },
+            ReplayOp::Cast {
+                kind: CastKind::FloatToInt,
+                value: ReplayVal::Temp(0),
+            },
+            ReplayOp::Store {
+                addr: ReplayVal::Operand(1),
+                value: ReplayVal::Temp(1),
+                preds: vec![],
+            },
+        ],
+    };
+    let fused = fuse_replay_program(&prog);
+    assert_eq!(fused, prog, "no shortlist pair applies");
+    let packet = vec![RtVal::Ptr { obj, off: 2 }, RtVal::Ptr { obj, off: 9 }];
+    let mut heap = mem.clone();
+    assert_eq!(replay_packet(&fused, &packet, &mut heap), Ok(1));
+    assert_eq!(heap.read(MemAddr { obj, off: 9 }), RtVal::Int(1));
+}
