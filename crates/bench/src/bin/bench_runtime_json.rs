@@ -79,7 +79,7 @@ fn main() {
         Class::Test => "Test",
         Class::Mini => "Mini",
     };
-    let workers = rayon::current_num_threads().max(2);
+    let workers = pspdg_pool::default_width().max(2);
 
     let mut rows = String::new();
     let mut speedup_ln_sum = 0.0f64;

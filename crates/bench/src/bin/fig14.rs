@@ -10,7 +10,6 @@
 use pspdg_emulator::compare_plans;
 use pspdg_nas::{suite, Class};
 use pspdg_parallelizer::Abstraction;
-use rayon::prelude::*;
 
 fn main() {
     println!("Fig. 14 — Critical-path reduction over the OpenMP plan (ideal machine)");
@@ -21,11 +20,10 @@ fn main() {
     );
     println!("{}", "-".repeat(92));
     // Every (benchmark, plan) replay is independent: sweep the suite
-    // across the rayon pool, printing in deterministic suite order.
-    let rows: Vec<_> = suite(Class::Mini)
-        .into_par_iter()
-        .map(|b| compare_plans(b.name, &b.program()).expect("benchmark emulates"))
-        .collect();
+    // across the shared worker pool, printing in deterministic suite order.
+    let rows: Vec<_> = pspdg_pool::par_map(suite(Class::Mini), |b| {
+        compare_plans(b.name, &b.program()).expect("benchmark emulates")
+    });
     for row in rows {
         println!(
             "{:<6} {:>12} {:>12} {:>12} {:>12}   {:>9.3} {:>9.3} {:>9.3}",

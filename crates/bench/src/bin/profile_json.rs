@@ -56,7 +56,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "target/profile".to_string());
     let class = if smoke { Class::Test } else { Class::Mini };
-    let workers = rayon::current_num_threads().max(2);
+    let workers = pspdg_pool::default_width().max(2);
 
     let rec = Arc::new(Recorder::new());
     for b in &runtime_suite(class) {

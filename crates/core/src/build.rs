@@ -31,7 +31,7 @@ use pspdg_pdg::{
     base_of_varref, collect_mem_refs, DepKind, EffectiveView, FunctionAnalyses, MemBase, Pdg,
     PdgEdge,
 };
-use rayon::prelude::*;
+use pspdg_pool::BitSet;
 
 use crate::features::{Feature, FeatureSet};
 use crate::graph::{
@@ -72,47 +72,45 @@ pub fn build_pspdg_module(program: &ParallelProgram, features: FeatureSet) -> Ve
 /// a `pspdg/pdg_build` span covers analyses + PDG construction and a
 /// `pspdg/overlay_assemble` span covers applying the declarations and
 /// re-assembling the effective view into the PS-PDG. Spans land on the
-/// rayon worker that ran the function, so the trace shows the module
+/// pool worker that ran the function, so the trace shows the module
 /// build's actual parallelism.
 pub fn build_pspdg_module_recorded(
     program: &ParallelProgram,
     features: FeatureSet,
     rec: Option<&pspdg_obs::Recorder>,
 ) -> Vec<FunctionPsPdg> {
-    program
+    let funcs: Vec<FuncId> = program
         .module
         .function_ids()
         .filter(|f| !program.module.function(*f).blocks.is_empty())
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|func| {
-            let fname = program.module.function(func).name.as_str();
-            let span = |name| {
-                rec.map(|r| {
-                    let mut s = r.span(name, "pipeline");
-                    s.arg("func", fname);
-                    s
-                })
-            };
-            let (analyses, pdg, mem_refs) = {
-                let _s = span("pspdg/pdg_build");
-                let analyses = FunctionAnalyses::compute(&program.module, func);
-                let (pdg, mem_refs) = Pdg::build_with_refs(&program.module, func, &analyses);
-                (analyses, pdg, mem_refs)
-            };
-            let pspdg = {
-                let _s = span("pspdg/overlay_assemble");
-                build_pspdg_with_refs(program, func, &analyses, &pdg, &mem_refs, features)
-            };
-            FunctionPsPdg {
-                func,
-                analyses,
-                pdg,
-                pspdg,
-                mem_refs,
-            }
-        })
-        .collect()
+        .collect();
+    pspdg_pool::par_map(funcs, |func| {
+        let fname = program.module.function(func).name.as_str();
+        let span = |name| {
+            rec.map(|r| {
+                let mut s = r.span(name, "pipeline");
+                s.arg("func", fname);
+                s
+            })
+        };
+        let (analyses, pdg, mem_refs) = {
+            let _s = span("pspdg/pdg_build");
+            let analyses = FunctionAnalyses::compute(&program.module, func);
+            let (pdg, mem_refs) = Pdg::build_with_refs(&program.module, func, &analyses);
+            (analyses, pdg, mem_refs)
+        };
+        let pspdg = {
+            let _s = span("pspdg/overlay_assemble");
+            build_pspdg_with_refs(program, func, &analyses, &pdg, &mem_refs, features)
+        };
+        FunctionPsPdg {
+            func,
+            analyses,
+            pdg,
+            pspdg,
+            mem_refs,
+        }
+    })
 }
 
 /// Build the PS-PDG of `func`, collecting the memory references afresh.
@@ -165,7 +163,8 @@ struct Builder<'a> {
 struct DirInfo {
     id: DirectiveId,
     kind: DirectiveKind,
-    insts: BTreeSet<InstId>,
+    /// Packed instruction-index set of the directive's region.
+    insts: BitSet,
     /// For loop constructs, the associated natural loop.
     loop_id: Option<LoopId>,
     clauses: Vec<DataClause>,
@@ -275,7 +274,7 @@ impl Builder<'_> {
                 };
                 nodes.push(Node {
                     kind: NodeKind::Hierarchical {
-                        children: d.insts.iter().map(|i| inst_node[i.index()]).collect(),
+                        children: d.insts.iter().map(|i| inst_node[i]).collect(),
                         context: ctx,
                     },
                     traits: Vec::new(),
@@ -397,8 +396,10 @@ impl Builder<'_> {
                 DirectiveKind::Atomic => format!("atomic:{}", d.first_block),
                 _ => continue,
             };
-            for &i in &d.insts {
-                lock_map.entry(i).or_insert_with(|| (lock.clone(), di));
+            for i in d.insts.iter() {
+                lock_map
+                    .entry(InstId::from_index(i))
+                    .or_insert_with(|| (lock.clone(), di));
             }
         }
         let lock_of = |inst: InstId| -> Option<(String, usize)> { lock_map.get(&inst).cloned() };
@@ -407,24 +408,33 @@ impl Builder<'_> {
         // dependence carried by a loop nested inside the critical region is
         // an ordinary within-instance sequential dependence. Unreachable
         // stub blocks (e.g. the empty else of an `if`) are ignored.
-        let reachable: BTreeSet<InstId> = {
+        let reachable: BitSet = {
             let f = self.program.module.function(self.func);
             let owner = f.inst_blocks();
             f.inst_ids()
                 .filter(|i| owner[i.index()].is_some_and(|bb| self.analyses.cfg.is_reachable(bb)))
+                .map(|i| i.index())
                 .collect()
         };
         // Loop-membership sets, computed once per loop rather than once per
         // (directive, edge) query. Only needed by `region_inside_loop`,
         // which is reachable only through lock-protected edges — skip the
         // whole computation for functions without critical/atomic regions.
-        let loop_inst_sets: HashMap<LoopId, BTreeSet<InstId>> = if lock_map.is_empty() {
+        let loop_inst_sets: HashMap<LoopId, BitSet> = if lock_map.is_empty() {
             HashMap::new()
         } else {
             self.analyses
                 .forest
                 .loop_ids()
-                .map(|l| (l, self.analyses.loop_insts(l).into_iter().collect()))
+                .map(|l| {
+                    let insts = self
+                        .analyses
+                        .loop_insts(l)
+                        .into_iter()
+                        .map(|i| i.index())
+                        .collect();
+                    (l, insts)
+                })
                 .collect()
         };
         let region_inside_loop = |di: usize, l: LoopId| -> bool {
@@ -432,19 +442,19 @@ impl Builder<'_> {
             dirs[di]
                 .insts
                 .iter()
-                .filter(|i| reachable.contains(i))
+                .filter(|&i| reachable.contains(i))
                 .all(|i| loop_insts.contains(i))
         };
         // The protecting region's node is the node of the lock directive.
         let region_node_of = |inst: InstId| -> Option<NodeId> {
             dir_node.get(&dirs[lock_map.get(&inst)?.1].id).copied()
         };
-        let ordered_insts: BTreeSet<InstId> = dirs
+        let ordered_insts: BitSet = dirs
             .iter()
             .filter(|d| matches!(d.kind, DirectiveKind::Ordered))
-            .flat_map(|d| d.insts.iter().copied())
+            .flat_map(|d| d.insts.iter())
             .collect();
-        let in_ordered = |inst: InstId| -> bool { ordered_insts.contains(&inst) };
+        let in_ordered = |inst: InstId| -> bool { ordered_insts.contains(inst.index()) };
 
         // 1. Worksharing independence: carried deps of worksharing loops.
         if ctx_on {
@@ -461,13 +471,12 @@ impl Builder<'_> {
                 let Some(l) = d.loop_id else { continue };
                 // Only edges carried at this worksharing loop are candidates:
                 // walk the per-loop carried index, not the full edge arena.
-                for &ei in self.pdg.carried_edge_indices(l) {
-                    let ei = ei as usize;
+                for ei in self.pdg.carried_edge_indices(l).iter() {
                     let e = &self.pdg.edges[ei];
                     if removed[ei] {
                         continue;
                     }
-                    if !d.insts.contains(&e.src) || !d.insts.contains(&e.dst) {
+                    if !d.insts.contains(e.src.index()) || !d.insts.contains(e.dst.index()) {
                         continue;
                     }
                     if in_ordered(e.src) && in_ordered(e.dst) {
@@ -507,8 +516,7 @@ impl Builder<'_> {
         if hn {
             // Candidates are exactly the carried memory edges: walk the
             // carried-anywhere index.
-            for &ei in self.pdg.carried_any_indices() {
-                let ei = ei as usize;
+            for ei in self.pdg.carried_any_indices().iter() {
                 let e = &self.pdg.edges[ei];
                 if removed[ei] {
                     continue;
@@ -591,8 +599,8 @@ impl Builder<'_> {
                 };
                 // Live-out flow edges leave the region: walk the out-edges
                 // of the region's instructions instead of every edge.
-                for &i in &d.insts {
-                    for &ei in self.pdg.edge_indices_from(i) {
+                for i in d.insts.iter() {
+                    for &ei in self.pdg.edge_indices_from(InstId::from_index(i)) {
                         let ei = ei as usize;
                         let e = &self.pdg.edges[ei];
                         if removed[ei] {
@@ -602,7 +610,7 @@ impl Builder<'_> {
                             continue;
                         };
                         let Some(base) = e.base else { continue };
-                        if d.insts.contains(&e.dst) {
+                        if d.insts.contains(e.dst.index()) {
                             continue; // region-internal, not a live-out
                         }
                         if lastprivs.contains(&base) {
@@ -627,8 +635,7 @@ impl Builder<'_> {
                 // Live-in flow edges only matter for firstprivate bases:
                 // walk the per-base edge index of each declared base.
                 for &base in &firstprivs {
-                    for &ei in self.pdg.edge_indices_with_base(base) {
-                        let ei = ei as usize;
+                    for ei in self.pdg.edge_indices_with_base(base).iter() {
                         let e = &self.pdg.edges[ei];
                         if removed[ei] {
                             continue;
@@ -636,7 +643,7 @@ impl Builder<'_> {
                         let DepKind::Flow { .. } = e.kind else {
                             continue;
                         };
-                        if !d.insts.contains(&e.src) && d.insts.contains(&e.dst) {
+                        if !d.insts.contains(e.src.index()) && d.insts.contains(e.dst.index()) {
                             selectors.insert(
                                 ei as u32,
                                 DataSelector {
@@ -670,13 +677,13 @@ impl Builder<'_> {
         }
         if !ctx_on {
             // Blurring touches exactly the carried edges; walk that index.
-            for &ei in self.pdg.carried_any_indices() {
-                if removed[ei as usize] {
+            for ei in self.pdg.carried_any_indices().iter() {
+                if removed[ei] {
                     continue;
                 }
                 let e2 = rewrites
-                    .entry(ei)
-                    .or_insert_with(|| self.pdg.edges[ei as usize].clone());
+                    .entry(ei as u32)
+                    .or_insert_with(|| self.pdg.edges[ei].clone());
                 blur_carried(&mut e2.kind);
             }
         }
@@ -701,9 +708,9 @@ impl Builder<'_> {
     /// Resolve a directive's region to instruction sets.
     fn resolve_dir(&self, id: DirectiveId, d: &Directive) -> DirInfo {
         let f = self.program.module.function(self.func);
-        let mut insts = BTreeSet::new();
+        let mut insts = BitSet::new();
         for &bb in &d.region.blocks {
-            insts.extend(f.block(bb).insts.iter().copied());
+            insts.extend(f.block(bb).insts.iter().map(|i| i.index()));
         }
         let loop_id = d.loop_header.and_then(|h| {
             self.analyses
@@ -783,9 +790,9 @@ impl Builder<'_> {
             return Some(c);
         }
         // Innermost enclosing loop.
-        let first = d.insts.iter().next()?;
+        let first = d.insts.first()?;
         let owner = self.program.module.function(self.func).inst_blocks();
-        let bb = owner[first.index()]?;
+        let bb = owner[first]?;
         self.analyses
             .forest
             .innermost(bb)
@@ -801,7 +808,7 @@ impl Builder<'_> {
     ) -> Option<ContextId> {
         dirs.iter()
             .filter(|d| matches!(d.kind, DirectiveKind::Parallel | DirectiveKind::CilkScope))
-            .filter(|d| d.insts.contains(&inst))
+            .filter(|d| d.insts.contains(inst.index()))
             .min_by_key(|d| d.insts.len())
             .and_then(|d| dir_ctx.get(&d.id).copied())
     }
@@ -865,7 +872,7 @@ impl Builder<'_> {
                 .unwrap_or(usize::MAX);
             let f = self.program.module.function(self.func);
             let owner = f.inst_blocks();
-            let continuation: BTreeSet<InstId> = f
+            let continuation: BitSet = f
                 .inst_ids()
                 .filter(|i| {
                     let Some(bb) = owner[i.index()] else {
@@ -873,8 +880,9 @@ impl Builder<'_> {
                     };
                     bb.index() > spawn_end
                         && bb.index() < next_sync_block
-                        && !spawn.insts.contains(i)
+                        && !spawn.insts.contains(i.index())
                 })
+                .map(|i| i.index())
                 .collect();
             self.remove_between(&spawn.insts, &continuation, removed, None);
         }
@@ -885,14 +893,14 @@ impl Builder<'_> {
     /// adjacency index rather than the whole edge arena.
     fn remove_between(
         &self,
-        a: &BTreeSet<InstId>,
-        b: &BTreeSet<InstId>,
+        a: &BitSet,
+        b: &BitSet,
         removed: &mut [bool],
         keep_base: Option<MemBase>,
     ) {
-        let mut sweep = |from: &BTreeSet<InstId>, to: &BTreeSet<InstId>| {
-            for &i in from {
-                for &ei in self.pdg.edge_indices_from(i) {
+        let mut sweep = |from: &BitSet, to: &BitSet| {
+            for i in from.iter() {
+                for &ei in self.pdg.edge_indices_from(InstId::from_index(i)) {
                     let ei = ei as usize;
                     let e = &self.pdg.edges[ei];
                     if removed[ei] || !e.kind.is_memory() {
@@ -901,7 +909,7 @@ impl Builder<'_> {
                     if keep_base.is_some() && e.base == keep_base {
                         continue;
                     }
-                    if to.contains(&e.dst) {
+                    if to.contains(e.dst.index()) {
                         removed[ei] = true;
                     }
                 }

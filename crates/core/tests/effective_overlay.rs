@@ -99,7 +99,12 @@ fn assert_view_matches_materialized(src: &str, features: FeatureSet) {
             );
         }
         let view_any = edge_set(view.carried_any_ids().map(|ei| view.edge(ei)));
-        let owned_any = edge_set(owned.carried_any_indices().iter().map(|&ei| owned.edge(ei)));
+        let owned_any = edge_set(
+            owned
+                .carried_any_indices()
+                .iter()
+                .map(|ei| owned.edge(ei as u32)),
+        );
         assert_eq!(view_any, owned_any, "carried-any diverges: {}", ctx());
 
         // Selector table: every key is a surviving flow edge, and the

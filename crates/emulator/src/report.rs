@@ -3,7 +3,6 @@
 use pspdg_ir::interp::{ExecError, Interpreter, NullSink};
 use pspdg_parallel::ParallelProgram;
 use pspdg_parallelizer::{build_plan, Abstraction};
-use rayon::prelude::*;
 
 use crate::machine::{emulate, EmulationResult};
 
@@ -42,7 +41,7 @@ impl CriticalPathRow {
 
 /// Profile `program`, build all four plans, and emulate each. The four
 /// plan emulations are independent trace replays, so they run across the
-/// rayon pool (result order stays [`Abstraction::ALL`] order).
+/// shared worker pool (result order stays [`Abstraction::ALL`] order).
 ///
 /// # Errors
 ///
@@ -51,14 +50,11 @@ pub fn compare_plans(name: &str, program: &ParallelProgram) -> Result<CriticalPa
     let mut interp = Interpreter::new(&program.module);
     interp.run_main(&mut NullSink)?;
     let profile = interp.profile().clone();
-    let results: Result<Vec<(Abstraction, EmulationResult)>, ExecError> = Abstraction::ALL
-        .to_vec()
-        .into_par_iter()
-        .map(|a| {
+    let results: Result<Vec<(Abstraction, EmulationResult)>, ExecError> =
+        pspdg_pool::par_map(Abstraction::ALL.to_vec(), |a| {
             let plan = build_plan(program, &profile, a, 0.01);
             emulate(program, &plan).map(|r| (a, r))
         })
-        .collect::<Vec<_>>()
         .into_iter()
         .collect();
     Ok(CriticalPathRow {

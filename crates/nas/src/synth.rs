@@ -56,6 +56,58 @@ pub fn wide(bases: usize) -> Benchmark {
     }
 }
 
+/// MODULE — a module-scale analysis-engine stress program: `n_funcs`
+/// functions over a shared pool of `bases` global arrays, each function
+/// touching three arrays (a recurrence, a derived copy, and a global
+/// accumulator) so the per-function dependence work is small but real.
+///
+/// Where [`wide`] scales the reference count of *one* function, `module`
+/// scales the *function count* — the axis the DAG-scheduled engine
+/// parallelizes over (`pspdg_pdg::build_module_with`). The
+/// `BENCH_pdg.json` module-scale section sweeps worker counts over this
+/// program.
+pub fn module(n_funcs: usize, bases: usize) -> Benchmark {
+    let bases = bases.max(1);
+    let mut src = String::new();
+    for k in 0..bases {
+        src.push_str(&format!("int m{k}[64];\n"));
+    }
+    src.push_str("int macc;\n");
+    for k in 0..n_funcs {
+        // Six arrays per function, offset so neighbouring functions share
+        // bases (function bodies stay distinct: the `+ i` constant and the
+        // array mix differ). A doubly-nested recurrence puts most of the
+        // references deep in the loop forest — the shape whose per-ref
+        // nest lookups the analysis engine amortizes per block.
+        let a = [k, k + 1, k + 2, k + 3, k + 5, k + 7].map(|x| x % bases);
+        let (a0, a1, a2, a3, a4, a5) = (a[0], a[1], a[2], a[3], a[4], a[5]);
+        src.push_str(&format!(
+            "void f{k}() {{ int i; int j;\n\
+             for (i = 1; i < 8; i++) {{\n\
+               for (j = 1; j < 8; j++) {{\n\
+                 m{a0}[j] = m{a0}[j - 1] + i;\n\
+                 m{a1}[j] = m{a0}[j] + m{a1}[j - 1];\n\
+                 m{a2}[j] = m{a1}[j] * 2 + m{a2}[j - 1] + {k};\n\
+               }}\n\
+               m{a3}[i] = m{a3}[i - 1] + m{a2}[7];\n\
+               m{a4}[i] = m{a4}[i - 1] + m{a0}[7];\n\
+             }}\n\
+             macc += m{a0}[7] + m{a1}[7] + m{a2}[7] + m{a3}[7] + m{a4}[7];\n\
+             m{a5}[0] = macc;\n\
+             }}\n"
+        ));
+    }
+    // Keep `main` tiny: calling every function would make it the module's
+    // largest function and distort the per-function scaling the engine
+    // section measures.
+    src.push_str("int main() { f0(); print_i64(macc); return macc % 251; }\n");
+    Benchmark {
+        name: "MODULE",
+        description: "module-scale many-function program (analysis-engine stress)",
+        source: src,
+    }
+}
+
 /// Iteration count of the GMAX kernel at the given class.
 pub fn gmax_trip(class: Class) -> usize {
     match class {
@@ -268,6 +320,34 @@ mod tests {
             let t: i64 = interp.output()[0].parse().unwrap();
             assert!(t > 0, "the recurrence accumulates");
         }
+    }
+
+    #[test]
+    fn module_scales_function_count_and_runs() {
+        let small = module(8, 4);
+        let big = module(16, 4);
+        // Function count scales with n_funcs (+1 for main).
+        let count = |b: &Benchmark| {
+            let p = b.program();
+            p.module
+                .function_ids()
+                .filter(|f| !p.module.function(*f).blocks.is_empty())
+                .count()
+        };
+        assert_eq!(count(&small), 9);
+        assert_eq!(count(&big), 17);
+        // Static reference totals scale ~linearly with the function count.
+        let a = static_refs(&small);
+        let b = static_refs(&big);
+        assert!(b > a && b < a * 3, "refs grow ~linearly: {a} -> {b}");
+        // The program actually runs (main calls only f0, so this stays
+        // cheap even at large n_funcs).
+        let p = small.program();
+        let mut interp = pspdg_ir::interp::Interpreter::new(&p.module);
+        let ret = interp
+            .run_main(&mut pspdg_ir::interp::NullSink)
+            .expect("MODULE runs");
+        assert!(ret.is_some());
     }
 
     #[test]

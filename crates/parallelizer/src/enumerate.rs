@@ -17,7 +17,6 @@ use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, LoopId};
 use pspdg_parallel::ParallelProgram;
 use pspdg_pdg::{FunctionAnalyses, Pdg};
-use rayon::prelude::*;
 
 use crate::assess::assess_loop;
 use crate::hotloops::hot_loops;
@@ -176,10 +175,9 @@ pub fn enumerate_program_with_features(
 ) -> ProgramOptions {
     // `build_pspdg_module` already skips declared-but-bodyless functions.
     let built = build_pspdg_module(program, features);
-    let functions: Vec<FunctionOptions> = built
-        .par_iter()
-        .map(|prepared| enumerate_prepared(program, prepared, profile, machine, threshold))
-        .collect();
+    let functions: Vec<FunctionOptions> = pspdg_pool::par_map(built.iter().collect(), |prepared| {
+        enumerate_prepared(program, prepared, profile, machine, threshold)
+    });
     let mut out = ProgramOptions::default();
     for f in functions {
         for (a, n) in &f.totals {

@@ -19,7 +19,6 @@ use pspdg_ir::interp::Profile;
 use pspdg_ir::{FuncId, InstId, LoopId};
 use pspdg_parallel::{DirectiveKind, ParallelProgram};
 use pspdg_pdg::{FunctionAnalyses, MemBase, Pdg};
-use rayon::prelude::*;
 
 use crate::assess::assess_loop;
 use crate::hotloops::hot_loops;
@@ -136,7 +135,7 @@ pub fn build_plan(
 
 /// [`build_plan`] with optional pipeline tracing: the PS-PDG module
 /// build records its per-function `pspdg/*` spans, and each function's
-/// planning pass lands under a `plan/enumerate` span on whichever rayon
+/// planning pass lands under a `plan/enumerate` span on whichever pool
 /// worker ran it.
 pub fn build_plan_recorded(
     program: &ParallelProgram,
@@ -157,17 +156,14 @@ pub fn build_plan_recorded(
     // function concurrently, and merge in module function order so the
     // plan is deterministic.
     let built = build_pspdg_module_recorded(program, FeatureSet::all(), rec);
-    let parts: Vec<FunctionPlanParts> = built
-        .par_iter()
-        .map(|prepared| {
-            let _s = rec.map(|r| {
-                let mut s = r.span("plan/enumerate", "pipeline");
-                s.arg("func", program.module.function(prepared.func).name.as_str());
-                s
-            });
-            plan_function(program, prepared, profile, abstraction, threshold)
-        })
-        .collect();
+    let parts: Vec<FunctionPlanParts> = pspdg_pool::par_map(built.iter().collect(), |prepared| {
+        let _s = rec.map(|r| {
+            let mut s = r.span("plan/enumerate", "pipeline");
+            s.arg("func", program.module.function(prepared.func).name.as_str());
+            s
+        });
+        plan_function(program, prepared, profile, abstraction, threshold)
+    });
     for part in parts {
         plan.loops.extend(part.loops);
         plan.mutexes.extend(part.mutexes);

@@ -36,6 +36,7 @@
 use std::collections::BTreeMap;
 
 use pspdg_ir::{InstId, LoopId};
+use pspdg_pool::BitSet;
 
 use crate::alias::MemBase;
 use crate::graph::{Pdg, PdgEdge};
@@ -47,10 +48,8 @@ use crate::graph::{Pdg, PdgEdge};
 pub struct EffectiveView {
     /// The base graph (shares the edge arena with whoever built it).
     base: Pdg,
-    /// Removal bitmask over base edge ids.
-    removed: Box<[u64]>,
-    /// Number of set bits in `removed`.
-    removed_count: usize,
+    /// Removed base edge ids, as a packed [`BitSet`] over the arena.
+    removed: BitSet,
     /// Sparse per-edge kind rewrites (same `src`/`dst`/`base` as the base
     /// edge). Each entry is the overlay's only per-edge clone.
     rewrites: BTreeMap<u32, PdgEdge>,
@@ -70,12 +69,10 @@ impl EffectiveView {
     /// kind differs from the base edge).
     pub fn new(base: &Pdg, removed: &[bool], rewrites: BTreeMap<u32, PdgEdge>) -> EffectiveView {
         assert_eq!(removed.len(), base.edges.len(), "mask must cover the arena");
-        let mut mask = vec![0u64; removed.len().div_ceil(64)].into_boxed_slice();
-        let mut removed_count = 0usize;
+        let mut mask = BitSet::with_capacity(removed.len());
         for (i, &r) in removed.iter().enumerate() {
             if r {
-                mask[i / 64] |= 1 << (i % 64);
-                removed_count += 1;
+                mask.insert(i);
             }
         }
         let mut carried_added: BTreeMap<LoopId, Vec<u32>> = BTreeMap::new();
@@ -92,7 +89,6 @@ impl EffectiveView {
         EffectiveView {
             base: base.clone(),
             removed: mask,
-            removed_count,
             rewrites,
             carried_added,
         }
@@ -103,8 +99,7 @@ impl EffectiveView {
     pub fn identity(base: &Pdg) -> EffectiveView {
         EffectiveView {
             base: base.clone(),
-            removed: vec![0u64; base.edges.len().div_ceil(64)].into_boxed_slice(),
-            removed_count: 0,
+            removed: BitSet::with_capacity(base.edges.len()),
             rewrites: BTreeMap::new(),
             carried_added: BTreeMap::new(),
         }
@@ -127,17 +122,17 @@ impl EffectiveView {
 
     /// Whether base edge `ei` is removed in the effective graph.
     pub fn is_removed(&self, ei: u32) -> bool {
-        self.removed[ei as usize / 64] & (1 << (ei % 64)) != 0
+        self.removed.contains(ei as usize)
     }
 
     /// Number of surviving edges.
     pub fn surviving_len(&self) -> usize {
-        self.base.edges.len() - self.removed_count
+        self.base.edges.len() - self.removed.len()
     }
 
     /// Number of removed edges.
     pub fn removed_len(&self) -> usize {
-        self.removed_count
+        self.removed.len()
     }
 
     /// Number of per-edge clones the overlay carries (its rewrite entries)
@@ -200,7 +195,7 @@ impl EffectiveView {
         self.base
             .edge_indices_with_base(mb)
             .iter()
-            .copied()
+            .map(|ei| ei as u32)
             .filter(move |ei| !self.is_removed(*ei))
     }
 
@@ -218,7 +213,7 @@ impl EffectiveView {
             .base
             .carried_edge_indices(l)
             .iter()
-            .copied()
+            .map(|ei| ei as u32)
             .filter(move |&ei| !self.is_removed(ei) && self.edge(ei).kind.carried_at(l));
         let added = self
             .carried_added
@@ -243,7 +238,7 @@ impl EffectiveView {
         self.base
             .carried_any_indices()
             .iter()
-            .copied()
+            .map(|ei| ei as u32)
             .filter(move |&ei| !self.is_removed(ei) && !self.edge(ei).kind.carried().is_empty())
     }
 

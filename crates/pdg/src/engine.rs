@@ -1,0 +1,625 @@
+//! The module-scale analysis engine.
+//!
+//! [`Pdg::build_module`] used to be a flat parallel map: one rayon task
+//! per function, each running the whole sequential builder. At module
+//! scale (thousands of functions, and single functions whose candidate
+//! pair count dwarfs the rest of the module) that shape wastes the pool
+//! twice over — tiny functions pay a dispatch each, and one huge
+//! function serializes the tail. The engine replaces it with a
+//! DAG-scheduled job plan on the shared [`pspdg_pool`] substrate:
+//!
+//! - **Granularity gate.** Each function gets a cost proxy
+//!   (`m·(m+1)/2 + insts` for `m` memory references — the candidate pair
+//!   count plus a linear term). When the whole module's cost is below
+//!   [`EngineConfig::inline_threshold`], or the pool has one thread, the
+//!   engine runs everything inline on the calling thread: small kernels
+//!   never pay a single dispatch, queue, or lock.
+//! - **Batched function jobs.** Cheap functions are grouped into
+//!   contiguous batches of at least [`EngineConfig::job_min_cost`], so a
+//!   ten-thousand-function module becomes hundreds of jobs, not ten
+//!   thousand.
+//! - **Split function chains.** A function whose pair count exceeds
+//!   [`EngineConfig::split_threshold`] becomes a *prepare* job (analyses,
+//!   reference collection, pair enumeration) that fans out *pairs* jobs
+//!   of [`EngineConfig::chunk_pairs`] candidate pairs each, joined by a
+//!   *merge* job — the DAG dependency [`pspdg_pool::run_dag`] schedules.
+//!
+//! Jobs reuse per-worker `FnScratch` buffers (thread-local), the
+//! per-block loop-nest cache of `PairTables`, and an alloc-free
+//! top-region table, so the engine's per-function constant factor is
+//! *below* the sequential builder's even before parallelism: the
+//! module-scale rows of `BENCH_pdg.json` hold on a single core.
+//!
+//! Every job funnels pair testing through the same
+//! `test_pair_nested` kernel in the same canonical order as the
+//! sequential [`Pdg::build`], so the engine's edge arenas are
+//! *Vec-equal* to the sequential builder's — asserted by the oracle
+//! property tests below and by `bench_pdg_json --smoke`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pspdg_ir::{BlockId, FuncId, Inst, Intrinsic, LoopId, Module};
+use pspdg_obs::Recorder;
+use pspdg_pool::{run_dag, WorkerPool};
+
+use crate::ddtest::MemRef;
+use crate::graph::{
+    collect_mem_refs_with, for_each_bucketed_pair, non_memory_edges_into, test_pair_nested,
+    Buckets, FunctionPdg, PairTables, Pdg, PdgEdge,
+};
+use crate::FunctionAnalyses;
+
+/// Granularity knobs of the analysis engine (see module docs).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Whole-module cost below which the engine runs inline on the
+    /// calling thread — no jobs, no locks, no queue traffic.
+    pub inline_threshold: usize,
+    /// Per-function cost above which pair testing is split into chunked
+    /// jobs behind a prepare job.
+    pub split_threshold: usize,
+    /// Candidate pairs per chunk job of a split function.
+    pub chunk_pairs: usize,
+    /// Minimum accumulated cost of a batched small-function job.
+    pub job_min_cost: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            inline_threshold: 32_768,
+            split_threshold: 16_384,
+            chunk_pairs: 8_192,
+            job_min_cost: 2_048,
+        }
+    }
+}
+
+/// Batches-per-worker target for adaptive batch sizing: enough batches
+/// that a straggler can be balanced around, few enough that job dispatch
+/// stays negligible next to the analysis work itself.
+const BATCHES_PER_WORKER: usize = 6;
+
+/// What one [`build_module_with`] call did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineReport {
+    /// Functions analyzed (those with a body).
+    pub functions: usize,
+    /// Total dependence edges across every function's arena.
+    pub total_edges: usize,
+    /// DAG jobs dispatched (0 when the gate ran everything inline).
+    pub jobs_dispatched: u64,
+    /// Whether the granularity gate chose the inline path.
+    pub gate_inline: bool,
+}
+
+/// Per-worker reusable buffers: one per pool thread (thread-local), so a
+/// worker chewing through a batch of functions allocates its reference
+/// vector, nest tables, and bucket arrays once.
+#[derive(Default)]
+struct FnScratch {
+    refs: Vec<MemRef>,
+    common: Vec<LoopId>,
+    tables: PairTables,
+    buckets: Buckets,
+    regions: Vec<Option<LoopId>>,
+    /// High-water mark of produced edge counts — the capacity hint for
+    /// the next function's edge arena.
+    edges_hint: usize,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<FnScratch> = RefCell::new(FnScratch::default());
+}
+
+/// The engine's cost proxy for `func`: candidate pair count of its
+/// memory references plus a linear instruction term.
+fn cost_of(module: &Module, func: FuncId) -> usize {
+    let f = module.function(func);
+    let m = f
+        .insts
+        .iter()
+        .filter(|d| {
+            matches!(
+                &d.inst,
+                Inst::Load { .. } | Inst::Store { .. } | Inst::Call { .. }
+            ) || matches!(
+                &d.inst,
+                Inst::IntrinsicCall {
+                    intrinsic: Intrinsic::PrintI64 | Intrinsic::PrintF64,
+                    ..
+                }
+            )
+        })
+        .count();
+    m * (m + 1) / 2 + f.insts.len()
+}
+
+/// Outermost loop containing `bb` (what `forest.nest_of(bb).last()`
+/// returns), without the per-call `Vec` that `nest_of` allocates.
+fn top_region(analyses: &FunctionAnalyses, bb: BlockId) -> Option<LoopId> {
+    let mut cur = analyses.forest.innermost(bb)?;
+    while let Some(p) = analyses.forest.info(cur).parent {
+        cur = p;
+    }
+    Some(cur)
+}
+
+/// Build one function's PDG through the amortized engine path: per-block
+/// region table, cached pair tables, and reused scratch buffers, but the
+/// exact pair order and edge arena of the sequential [`Pdg::build`].
+fn build_function(module: &Module, func: FuncId, scratch: &mut FnScratch) -> FunctionPdg {
+    let analyses = FunctionAnalyses::compute(module, func);
+    let f = module.function(func);
+    let FnScratch {
+        refs,
+        common,
+        tables,
+        buckets,
+        regions,
+        edges_hint,
+    } = scratch;
+    regions.clear();
+    regions.extend(f.block_ids().map(|bb| top_region(&analyses, bb)));
+    refs.clear();
+    collect_mem_refs_with(module, func, &analyses, &|bb| regions[bb.index()], refs);
+    let mut edges: Vec<PdgEdge> = Vec::with_capacity(*edges_hint);
+    non_memory_edges_into(module, func, &analyses, &mut edges);
+    tables.rebuild(&analyses, refs, f.blocks.len());
+    buckets.rebuild(refs);
+    for_each_bucketed_pair(buckets, |ai, bi| {
+        test_pair_nested(
+            &analyses,
+            refs,
+            tables.nest(ai),
+            tables.nest(bi),
+            ai,
+            bi,
+            common,
+            &mut edges,
+        )
+    });
+    *edges_hint = (*edges_hint).max(edges.len());
+    let pdg = Pdg::from_edges(func, f.insts.len(), edges);
+    FunctionPdg {
+        func,
+        analyses,
+        pdg,
+    }
+}
+
+/// Everything a split function's chunk and merge jobs share, produced by
+/// its prepare job.
+struct PrepData {
+    analyses: FunctionAnalyses,
+    refs: Vec<MemRef>,
+    tables: PairTables,
+    /// The canonical bucketed pair sequence; chunk job `k` tests the
+    /// `k`-th contiguous range, so concatenating chunk outputs in order
+    /// reproduces the sequential edge order.
+    pairs: Vec<(u32, u32)>,
+    /// Register + control edges, taken by the merge job as the head of
+    /// the final arena.
+    base_edges: Mutex<Option<Vec<PdgEdge>>>,
+}
+
+/// One function's finished build inside the DAG.
+// The variants are deliberately unboxed: one result lives per function
+// slot for the whole build either way, and boxing would charge every
+// batched function an extra allocation on the hot path.
+#[allow(clippy::large_enum_variant)]
+enum EngineResult {
+    Whole(FunctionPdg),
+    Split { prep: Arc<PrepData>, pdg: Pdg },
+}
+
+/// How the planner carved the function list into DAG jobs.
+enum Unit {
+    /// Consecutive cheap functions, one job.
+    Batch(std::ops::Range<usize>),
+    /// One expensive function, a prepare → pairs × N → merge chain.
+    Split(usize),
+}
+
+/// Build analyses and PDGs for every function of `module` with a body,
+/// on `pool` under the granularity plan of `cfg`. With `obs`, every DAG
+/// job records a `pdg/job/<family>` span.
+///
+/// The produced [`FunctionPdg`]s are in function-id order and their edge
+/// arenas are identical (order included) to a sequential loop of
+/// [`FunctionAnalyses::compute`] + [`Pdg::build`].
+pub fn build_module_with(
+    module: &Module,
+    pool: &WorkerPool,
+    cfg: &EngineConfig,
+    obs: Option<&Recorder>,
+) -> (Vec<FunctionPdg>, EngineReport) {
+    let funcs: Vec<FuncId> = module
+        .function_ids()
+        .filter(|f| !module.function(*f).blocks.is_empty())
+        .collect();
+    let costs: Vec<usize> = funcs.iter().map(|f| cost_of(module, *f)).collect();
+    let total: usize = costs.iter().sum();
+
+    let mut report = EngineReport {
+        functions: funcs.len(),
+        ..EngineReport::default()
+    };
+
+    if pool.size() <= 1 || total <= cfg.inline_threshold {
+        // Granularity gate: the module is too small (or the pool too
+        // narrow) for dispatch to pay — run the amortized builder inline.
+        report.gate_inline = true;
+        let mut scratch = FnScratch::default();
+        let out: Vec<FunctionPdg> = funcs
+            .iter()
+            .map(|&f| build_function(module, f, &mut scratch))
+            .collect();
+        report.total_edges = out.iter().map(|fp| fp.pdg.edges.len()).sum();
+        return (out, report);
+    }
+
+    // Plan: split the expensive functions, batch the cheap ones. The
+    // batch target adapts to the module: aim for a handful of batches per
+    // worker (enough slack for load balancing, few enough that dispatch
+    // overhead stays a rounding error), never below the configured floor.
+    let batch_target = cfg
+        .job_min_cost
+        .max(total / (pool.size() * BATCHES_PER_WORKER));
+    let mut units: Vec<Unit> = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for (i, &c) in costs.iter().enumerate() {
+        if c >= cfg.split_threshold {
+            if start < i {
+                units.push(Unit::Batch(start..i));
+            }
+            units.push(Unit::Split(i));
+            start = i + 1;
+            acc = 0;
+        } else {
+            acc += c;
+            if acc >= batch_target {
+                units.push(Unit::Batch(start..i + 1));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+    }
+    if start < funcs.len() {
+        units.push(Unit::Batch(start..funcs.len()));
+    }
+
+    let results: Vec<Mutex<Option<EngineResult>>> =
+        (0..funcs.len()).map(|_| Mutex::new(None)).collect();
+    let jobs = AtomicU64::new(0);
+
+    {
+        let funcs = &funcs;
+        let results = &results;
+        let jobs = &jobs;
+        run_dag(pool, |ctx| {
+            for unit in &units {
+                match unit {
+                    Unit::Batch(range) => {
+                        let range = range.clone();
+                        jobs.fetch_add(1, Ordering::Relaxed);
+                        ctx.spawn(&[], move |_| {
+                            let _span = obs.map(|r| r.span("pdg/job/function", "pdg"));
+                            SCRATCH.with(|s| {
+                                let mut s = s.borrow_mut();
+                                for i in range {
+                                    let fp = build_function(module, funcs[i], &mut s);
+                                    *results[i].lock().expect("engine result lock") =
+                                        Some(EngineResult::Whole(fp));
+                                }
+                            });
+                        });
+                    }
+                    Unit::Split(i) => {
+                        let i = *i;
+                        let func = funcs[i];
+                        let chunk_pairs = cfg.chunk_pairs.max(1);
+                        jobs.fetch_add(1, Ordering::Relaxed);
+                        ctx.spawn(&[], move |ctx| {
+                            let _span = obs.map(|r| r.span("pdg/job/prepare", "pdg"));
+                            let analyses = FunctionAnalyses::compute(module, func);
+                            let f = module.function(func);
+                            let n_insts = f.insts.len();
+                            let regions: Vec<Option<LoopId>> =
+                                f.block_ids().map(|bb| top_region(&analyses, bb)).collect();
+                            let mut refs = Vec::new();
+                            collect_mem_refs_with(
+                                module,
+                                func,
+                                &analyses,
+                                &|bb| regions[bb.index()],
+                                &mut refs,
+                            );
+                            let mut base_edges = Vec::new();
+                            non_memory_edges_into(module, func, &analyses, &mut base_edges);
+                            let mut tables = PairTables::default();
+                            tables.rebuild(&analyses, &refs, f.blocks.len());
+                            let mut buckets = Buckets::default();
+                            buckets.rebuild(&refs);
+                            let mut pairs: Vec<(u32, u32)> = Vec::new();
+                            for_each_bucketed_pair(&buckets, |a, b| {
+                                pairs.push((a as u32, b as u32))
+                            });
+                            let n_chunks = pairs.len().div_ceil(chunk_pairs).max(1);
+                            let prep = Arc::new(PrepData {
+                                analyses,
+                                refs,
+                                tables,
+                                pairs,
+                                base_edges: Mutex::new(Some(base_edges)),
+                            });
+                            let outs: Arc<Vec<Mutex<Vec<PdgEdge>>>> =
+                                Arc::new((0..n_chunks).map(|_| Mutex::new(Vec::new())).collect());
+                            let mut chunk_ids = Vec::with_capacity(n_chunks);
+                            for k in 0..n_chunks {
+                                let prep = Arc::clone(&prep);
+                                let outs = Arc::clone(&outs);
+                                jobs.fetch_add(1, Ordering::Relaxed);
+                                chunk_ids.push(ctx.spawn(&[], move |_| {
+                                    let _span = obs.map(|r| r.span("pdg/job/pairs", "pdg"));
+                                    let lo = k * chunk_pairs;
+                                    let hi = (lo + chunk_pairs).min(prep.pairs.len());
+                                    let mut edges = Vec::new();
+                                    let mut common = Vec::new();
+                                    for &(a, b) in &prep.pairs[lo..hi] {
+                                        let (a, b) = (a as usize, b as usize);
+                                        test_pair_nested(
+                                            &prep.analyses,
+                                            &prep.refs,
+                                            prep.tables.nest(a),
+                                            prep.tables.nest(b),
+                                            a,
+                                            b,
+                                            &mut common,
+                                            &mut edges,
+                                        );
+                                    }
+                                    *outs[k].lock().expect("engine chunk lock") = edges;
+                                }));
+                            }
+                            jobs.fetch_add(1, Ordering::Relaxed);
+                            ctx.spawn(&chunk_ids, move |_| {
+                                let _span = obs.map(|r| r.span("pdg/job/merge", "pdg"));
+                                let mut edges = prep
+                                    .base_edges
+                                    .lock()
+                                    .expect("engine base-edge lock")
+                                    .take()
+                                    .expect("base edges produced once");
+                                for out in outs.iter() {
+                                    edges.append(&mut out.lock().expect("engine chunk lock"));
+                                }
+                                let pdg = Pdg::from_edges(func, n_insts, edges);
+                                *results[i].lock().expect("engine result lock") =
+                                    Some(EngineResult::Split { prep, pdg });
+                            });
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    report.jobs_dispatched = jobs.load(Ordering::Relaxed);
+    let mut out = Vec::with_capacity(funcs.len());
+    for slot in results {
+        let r = slot
+            .into_inner()
+            .expect("engine result lock")
+            .expect("every function produced a result");
+        match r {
+            EngineResult::Whole(fp) => out.push(fp),
+            EngineResult::Split { prep, pdg } => {
+                let func = pdg.func;
+                // The merge job kept the last live clone of the prepare
+                // data; reclaim the analyses without copying when we hold
+                // the only reference (the common case).
+                let analyses = match Arc::try_unwrap(prep) {
+                    Ok(p) => p.analyses,
+                    Err(shared) => shared.analyses.clone(),
+                };
+                out.push(FunctionPdg {
+                    func,
+                    analyses,
+                    pdg,
+                });
+            }
+        }
+    }
+    report.total_edges = out.iter().map(|fp| fp.pdg.edges.len()).sum();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pspdg_frontend::compile;
+
+    /// Sequential reference: the per-function loop `build_module` ran
+    /// before the engine existed.
+    fn sequential(module: &Module) -> Vec<FunctionPdg> {
+        module
+            .function_ids()
+            .filter(|f| !module.function(*f).blocks.is_empty())
+            .map(|func| {
+                let analyses = FunctionAnalyses::compute(module, func);
+                let pdg = Pdg::build(module, func, &analyses);
+                FunctionPdg {
+                    func,
+                    analyses,
+                    pdg,
+                }
+            })
+            .collect()
+    }
+
+    fn assert_vec_equal(engine: &[FunctionPdg], seq: &[FunctionPdg], ctx: &str) {
+        assert_eq!(engine.len(), seq.len(), "function count ({ctx})");
+        for (e, s) in engine.iter().zip(seq) {
+            assert_eq!(e.func, s.func, "function order ({ctx})");
+            assert_eq!(
+                *e.pdg.edges, *s.pdg.edges,
+                "edge arena of {:?} must be Vec-equal ({ctx})",
+                e.func
+            );
+        }
+    }
+
+    /// A program with one function big enough to trip a tiny split
+    /// threshold plus several small ones.
+    fn mixed_program() -> pspdg_parallel::ParallelProgram {
+        let mut src = String::from("int ga[64]; int gb[64]; int s;\n");
+        src.push_str(
+            "void big(int n) { int i; for (i = 1; i < 64; i++) { \
+             ga[i] = ga[i-1] + n; gb[i] = ga[i] * 2; s += gb[i-1]; \
+             ga[i-1] = gb[i] + s; s += ga[i] + gb[i]; } }\n",
+        );
+        for k in 0..6 {
+            src.push_str(&format!(
+                "void f{k}() {{ int i; for (i = 1; i < 32; i++) {{ \
+                 ga[i] = ga[i-1] + {k}; s += gb[i]; }} }}\n"
+            ));
+        }
+        src.push_str("int main() { big(3); f0(); return s % 251; }\n");
+        compile(&src).expect("mixed program compiles")
+    }
+
+    #[test]
+    fn engine_matches_sequential_across_worker_counts_and_gates() {
+        let p = mixed_program();
+        let seq = sequential(&p.module);
+        for workers in [1usize, 2, 4] {
+            let pool = WorkerPool::new(workers);
+            // Default config: the small module takes the inline gate.
+            let (out, report) = build_module_with(&p.module, &pool, &EngineConfig::default(), None);
+            assert_vec_equal(&out, &seq, &format!("default cfg, {workers} workers"));
+            assert_eq!(report.functions, seq.len());
+            assert!(report.total_edges > 0);
+            if workers == 1 {
+                assert!(report.gate_inline, "1-thread pool must gate inline");
+            }
+
+            // Forced-DAG config: everything dispatches, `big` splits into
+            // chunked pair jobs.
+            let forced = EngineConfig {
+                inline_threshold: 0,
+                split_threshold: 64,
+                chunk_pairs: 16,
+                job_min_cost: 1,
+            };
+            let (out, report) = build_module_with(&p.module, &pool, &forced, None);
+            assert_vec_equal(&out, &seq, &format!("forced cfg, {workers} workers"));
+            if workers > 1 {
+                assert!(!report.gate_inline);
+                assert!(
+                    report.jobs_dispatched > seq.len() as u64,
+                    "split chains must dispatch more jobs than functions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_batches_and_report_counts_edges() {
+        let p = mixed_program();
+        let pool = WorkerPool::new(2);
+        let cfg = EngineConfig {
+            inline_threshold: 0,
+            split_threshold: usize::MAX,
+            chunk_pairs: 8_192,
+            job_min_cost: usize::MAX / 2, // everything lands in one batch
+        };
+        let (out, report) = build_module_with(&p.module, &pool, &cfg, None);
+        assert_eq!(report.jobs_dispatched, 1, "one batch job for the module");
+        assert_eq!(
+            report.total_edges,
+            out.iter().map(|fp| fp.pdg.edges.len()).sum::<usize>()
+        );
+    }
+
+    mod oracle {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        fn edge_set(p: &Pdg) -> BTreeSet<String> {
+            p.edges.iter().map(|e| format!("{e:?}")).collect()
+        }
+
+        /// Random straight-line-plus-loop kernels over three global
+        /// arrays, an accumulator, an opaque call, and I/O — the same
+        /// surface the bucketed-vs-naive oracle in `graph.rs` covers.
+        fn arb_stmt() -> impl Strategy<Value = String> {
+            prop_oneof![
+                3 => (0usize..3, 0usize..3, 1i64..4, 0i64..8)
+                    .prop_map(|(d, s, k, c)| format!("g{d}[{k} * i + {c}] = g{s}[i] + 1;")),
+                2 => (0usize..3, 0i64..8).prop_map(|(a, c)| format!("s += g{a}[i + {c}];")),
+                2 => (0usize..3, 0usize..3).prop_map(|(d, x)| format!("g{d}[g{x}[i]] += 1;")),
+                1 => Just("touch();".to_string()),
+                1 => Just("print_i64(i);".to_string()),
+            ]
+        }
+
+        fn render(trip: i64, body: &[String]) -> String {
+            format!(
+                "int g0[256]; int g1[256]; int g2[256]; int s;\n\
+                 void touch() {{ g0[0] = 1; }}\n\
+                 void k(int n) {{ int i; for (i = 0; i < {trip}; i++) {{ {} }} }}\n\
+                 int main() {{ k(2); return 0; }}\n",
+                body.join(" ")
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The DAG-scheduled engine, the sequential bucketed builder,
+            /// and the naive all-pairs oracle agree on generated kernels
+            /// across worker counts: the engine is Vec-equal to the
+            /// sequential builder and set-equal to the naive sweep.
+            #[test]
+            fn engine_equals_sequential_equals_naive(
+                trip in 4i64..32,
+                body in proptest::collection::vec(arb_stmt(), 1..6),
+                workers in 1usize..5,
+            ) {
+                let src = render(trip, &body);
+                let p = compile(&src).expect("generated kernel compiles");
+                let seq = sequential(&p.module);
+                let pool = WorkerPool::new(workers);
+                let forced = EngineConfig {
+                    inline_threshold: 0,
+                    split_threshold: 32,
+                    chunk_pairs: 8,
+                    job_min_cost: 1,
+                };
+                for cfg in [EngineConfig::default(), forced] {
+                    let (out, _) = build_module_with(&p.module, &pool, &cfg, None);
+                    prop_assert_eq!(out.len(), seq.len());
+                    for (e, s) in out.iter().zip(&seq) {
+                        prop_assert_eq!(e.func, s.func);
+                        prop_assert_eq!(
+                            &*e.pdg.edges, &*s.pdg.edges,
+                            "engine arena must be Vec-equal to sequential in:\n{}", src
+                        );
+                        let a = FunctionAnalyses::compute(&p.module, e.func);
+                        let naive = Pdg::build_naive(&p.module, e.func, &a);
+                        prop_assert_eq!(
+                            edge_set(&e.pdg),
+                            edge_set(&naive),
+                            "engine must be set-equal to the naive oracle in:\n{}", src
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

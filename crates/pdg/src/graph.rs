@@ -17,8 +17,8 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use pspdg_ir::{FuncId, Inst, InstId, Intrinsic, LoopId, Module, Type, Value};
-use rayon::prelude::*;
+use pspdg_ir::{BlockId, FuncId, Inst, InstId, Intrinsic, LoopId, Module, Type, Value};
+use pspdg_pool::BitSet;
 
 use crate::affine::{affine_of, Affine};
 use crate::alias::{may_alias, trace_base, MemBase};
@@ -108,11 +108,17 @@ pub struct PdgEdge {
     pub base: Option<MemBase>,
 }
 
-const NO_EDGES: &[u32] = &[];
+/// The empty edge set served when a base object or loop has no index entry.
+static NO_EDGE_SET: BitSet = BitSet::new();
 
 /// Secondary indexes over a [`Pdg`]'s edge arena: CSR adjacency by source
 /// and destination instruction, edges grouped by base object, and memory
 /// edges grouped by the loop carrying them.
+///
+/// The grouped indexes are packed [`BitSet`]s over edge ids: membership
+/// tests are one shift, set combination is O(words), and iteration walks
+/// ascending edge-id order — the same order the previous sorted-`Vec`
+/// representation produced, so every index-driven traversal is unchanged.
 #[derive(Debug, Clone)]
 pub struct EdgeIndex {
     /// CSR offsets into `succ` (length `n_insts + 1`).
@@ -124,12 +130,12 @@ pub struct EdgeIndex {
     /// Edge ids ordered by destination instruction.
     pred: Vec<u32>,
     /// Memory-edge ids per base object.
-    by_base: BTreeMap<MemBase, Vec<u32>>,
+    by_base: BTreeMap<MemBase, BitSet>,
     /// Memory-edge ids per carrying loop (includes sentinel loop ids used
     /// by ablated PS-PDGs).
-    carried: BTreeMap<LoopId, Vec<u32>>,
+    carried: BTreeMap<LoopId, BitSet>,
     /// Memory-edge ids with a non-empty carried set.
-    carried_any: Vec<u32>,
+    carried_any: BitSet,
 }
 
 impl EdgeIndex {
@@ -149,23 +155,22 @@ impl EdgeIndex {
         let mut pred = vec![0u32; edges.len()];
         let mut succ_cur = succ_off.clone();
         let mut pred_cur = pred_off.clone();
-        let mut by_base: BTreeMap<MemBase, Vec<u32>> = BTreeMap::new();
-        let mut carried: BTreeMap<LoopId, Vec<u32>> = BTreeMap::new();
-        let mut carried_any = Vec::new();
+        let mut by_base: BTreeMap<MemBase, BitSet> = BTreeMap::new();
+        let mut carried: BTreeMap<LoopId, BitSet> = BTreeMap::new();
+        let mut carried_any = BitSet::new();
         for (idx, e) in edges.iter().enumerate() {
-            let idx = idx as u32;
-            succ[succ_cur[e.src.index()] as usize] = idx;
+            succ[succ_cur[e.src.index()] as usize] = idx as u32;
             succ_cur[e.src.index()] += 1;
-            pred[pred_cur[e.dst.index()] as usize] = idx;
+            pred[pred_cur[e.dst.index()] as usize] = idx as u32;
             pred_cur[e.dst.index()] += 1;
             if let Some(base) = e.base {
-                by_base.entry(base).or_default().push(idx);
+                by_base.entry(base).or_default().insert(idx);
             }
             let carried_at = e.kind.carried();
             if !carried_at.is_empty() {
-                carried_any.push(idx);
+                carried_any.insert(idx);
                 for &l in carried_at {
-                    carried.entry(l).or_default().push(idx);
+                    carried.entry(l).or_default().insert(idx);
                 }
             }
         }
@@ -256,25 +261,17 @@ impl Pdg {
     }
 
     /// Build analyses and PDGs for every function of `module` that has a
-    /// body, distributing functions across threads. Declared-but-bodyless
-    /// functions are skipped (the structural analyses require an entry
-    /// block).
+    /// body, through the module-scale [analysis engine](crate::engine) on
+    /// the process-global worker pool. Declared-but-bodyless functions are
+    /// skipped (the structural analyses require an entry block).
     pub fn build_module(module: &Module) -> Vec<FunctionPdg> {
-        module
-            .function_ids()
-            .filter(|f| !module.function(*f).blocks.is_empty())
-            .collect::<Vec<_>>()
-            .into_par_iter()
-            .map(|func| {
-                let analyses = FunctionAnalyses::compute(module, func);
-                let pdg = Pdg::build(module, func, &analyses);
-                FunctionPdg {
-                    func,
-                    analyses,
-                    pdg,
-                }
-            })
-            .collect()
+        crate::engine::build_module_with(
+            module,
+            pspdg_pool::global(),
+            &crate::engine::EngineConfig::default(),
+            None,
+        )
+        .0
     }
 
     /// Assemble a PDG from an explicit edge list (used by abstractions that
@@ -330,40 +327,35 @@ impl Pdg {
             .map(move |i| &self.edges[*i as usize])
     }
 
-    /// Ids of memory edges through base object `base`.
-    pub fn edge_indices_with_base(&self, base: MemBase) -> &[u32] {
-        self.index
-            .by_base
-            .get(&base)
-            .map(Vec::as_slice)
-            .unwrap_or(NO_EDGES)
+    /// Ids of memory edges through base object `base`, as a packed set
+    /// iterating in ascending edge-id order.
+    pub fn edge_indices_with_base(&self, base: MemBase) -> &BitSet {
+        self.index.by_base.get(&base).unwrap_or(&NO_EDGE_SET)
     }
 
     /// Memory edges through base object `base`.
     pub fn edges_with_base(&self, base: MemBase) -> impl Iterator<Item = &PdgEdge> + '_ {
         self.edge_indices_with_base(base)
             .iter()
-            .map(move |i| &self.edges[*i as usize])
+            .map(move |i| &self.edges[i])
     }
 
-    /// Ids of memory edges carried at `l`.
-    pub fn carried_edge_indices(&self, l: LoopId) -> &[u32] {
-        self.index
-            .carried
-            .get(&l)
-            .map(Vec::as_slice)
-            .unwrap_or(NO_EDGES)
+    /// Ids of memory edges carried at `l`, as a packed set iterating in
+    /// ascending edge-id order.
+    pub fn carried_edge_indices(&self, l: LoopId) -> &BitSet {
+        self.index.carried.get(&l).unwrap_or(&NO_EDGE_SET)
     }
 
     /// Edges carried at `l` (the loop-carried dependences of that loop).
     pub fn carried_edges(&self, l: LoopId) -> impl Iterator<Item = &PdgEdge> + '_ {
         self.carried_edge_indices(l)
             .iter()
-            .map(move |i| &self.edges[*i as usize])
+            .map(move |i| &self.edges[i])
     }
 
-    /// Ids of memory edges carried at any loop.
-    pub fn carried_any_indices(&self) -> &[u32] {
+    /// Ids of memory edges carried at any loop, as a packed set iterating
+    /// in ascending edge-id order.
+    pub fn carried_any_indices(&self) -> &BitSet {
         &self.index.carried_any
     }
 
@@ -383,8 +375,20 @@ impl Pdg {
 /// Register and control dependence edges of `func` (the non-memory part of
 /// the PDG, shared by the bucketed and naive builders).
 fn non_memory_edges(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Vec<PdgEdge> {
-    let f = module.function(func);
     let mut edges: Vec<PdgEdge> = Vec::new();
+    non_memory_edges_into(module, func, analyses, &mut edges);
+    edges
+}
+
+/// [`non_memory_edges`] appending into a caller-provided buffer (the
+/// engine passes a capacity-hinted, reused `Vec`).
+pub(crate) fn non_memory_edges_into(
+    module: &Module,
+    func: FuncId,
+    analyses: &FunctionAnalyses,
+    edges: &mut Vec<PdgEdge>,
+) {
+    let f = module.function(func);
 
     // 1. Register dependences.
     for i in f.inst_ids() {
@@ -420,7 +424,6 @@ fn non_memory_edges(module: &Module, func: FuncId, analyses: &FunctionAnalyses) 
             }
         }
     }
-    edges
 }
 
 /// Tests one (ordered-by-ref-index) pair of memory references and appends
@@ -451,90 +454,218 @@ impl<'a> PairTester<'a> {
     }
 
     fn test_pair(&mut self, ai: usize, bi: usize, edges: &mut Vec<PdgEdge>) {
-        let (a, b) = (&self.refs[ai], &self.refs[bi]);
-        if !a.is_write && !b.is_write {
-            return;
-        }
-        if a.inst == b.inst && !(a.is_write && b.is_write) {
-            return;
-        }
-        debug_assert!(may_alias(a.base, b.base), "bucketing must imply may-alias");
-        // Loops containing both references: a's nest filtered by membership
-        // in b's nest (a loop contains b.block iff it is in b's nest).
-        let b_nest = &self.nests[bi];
-        self.common.clear();
-        self.common
-            .extend(self.nests[ai].iter().filter(|l| b_nest.contains(l)));
-        let res = test_dependence(self.analyses, a, b, &self.common);
-        if !res.dependent {
-            return;
-        }
-        push_memory_edges(edges, a, b, &res);
+        test_pair_nested(
+            self.analyses,
+            self.refs,
+            &self.nests[ai],
+            &self.nests[bi],
+            ai,
+            bi,
+            &mut self.common,
+            edges,
+        );
     }
 }
 
-/// Memory dependence edges via per-base-object bucketing.
-///
-/// Pairs are enumerated (a) within each base's bucket, (b) between the
-/// `Unknown` bucket and every non-I/O bucket, and (c) between each pointer
-/// parameter bucket and each global bucket — exactly the pairs
-/// [`may_alias`] admits, so the edge set matches the all-pairs oracle while
-/// skipping every provably disjoint pair.
-fn bucketed_memory_edges(analyses: &FunctionAnalyses, refs: &[MemRef], edges: &mut Vec<PdgEdge>) {
-    let mut tester = PairTester::new(analyses, refs);
-    let mut buckets: BTreeMap<MemBase, Vec<u32>> = BTreeMap::new();
-    for (i, r) in refs.iter().enumerate() {
-        buckets.entry(r.base).or_default().push(i as u32);
+/// Test one (ordered-by-ref-index) pair of memory references given the
+/// precomputed loop nests of both, appending the resulting dependence
+/// edges. This is the single pair-testing kernel shared by the sequential
+/// builder ([`PairTester`]) and the module-scale [engine](crate::engine):
+/// both enumerate pairs in the same canonical order and funnel through
+/// here, so their edge arenas are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn test_pair_nested(
+    analyses: &FunctionAnalyses,
+    refs: &[MemRef],
+    a_nest: &[LoopId],
+    b_nest: &[LoopId],
+    ai: usize,
+    bi: usize,
+    common: &mut Vec<LoopId>,
+    edges: &mut Vec<PdgEdge>,
+) {
+    let (a, b) = (&refs[ai], &refs[bi]);
+    if !a.is_write && !b.is_write {
+        return;
+    }
+    if a.inst == b.inst && !(a.is_write && b.is_write) {
+        return;
+    }
+    debug_assert!(may_alias(a.base, b.base), "bucketing must imply may-alias");
+    // Loops containing both references: a's nest filtered by membership
+    // in b's nest (a loop contains b.block iff it is in b's nest).
+    common.clear();
+    common.extend(a_nest.iter().filter(|l| b_nest.contains(l)));
+    let res = test_dependence(analyses, a, b, common);
+    if !res.dependent {
+        return;
+    }
+    push_memory_edges(edges, a, b, &res);
+}
+
+/// Per-ref loop nests flattened into one arena, computed once per *block*
+/// instead of once per reference ([`pspdg_ir::LoopForest::nest_of`]
+/// allocates a fresh `Vec` per call, and hot functions hold many
+/// references per block). Reusable across functions: [`PairTables::clear`]
+/// keeps the allocations.
+#[derive(Default)]
+pub(crate) struct PairTables {
+    /// All distinct block nests back to back, innermost first.
+    nest_flat: Vec<LoopId>,
+    /// Per-ref `(start, end)` range into `nest_flat`.
+    nest_ranges: Vec<(u32, u32)>,
+    /// Per-block-index range into `nest_flat` (`u32::MAX` start = not yet
+    /// computed), dense so the per-ref lookup is an array index.
+    block_ranges: Vec<(u32, u32)>,
+}
+
+impl PairTables {
+    /// Fill the tables for `refs` (clearing any previous function's data,
+    /// keeping the allocations). `n_blocks` bounds the block indices the
+    /// refs can mention.
+    pub(crate) fn rebuild(
+        &mut self,
+        analyses: &FunctionAnalyses,
+        refs: &[MemRef],
+        n_blocks: usize,
+    ) {
+        self.nest_flat.clear();
+        self.nest_ranges.clear();
+        self.block_ranges.clear();
+        self.block_ranges.resize(n_blocks, (u32::MAX, u32::MAX));
+        for r in refs {
+            let slot = &mut self.block_ranges[r.block.index()];
+            if slot.0 == u32::MAX {
+                let start = self.nest_flat.len() as u32;
+                let mut cur = analyses.forest.innermost(r.block);
+                while let Some(l) = cur {
+                    self.nest_flat.push(l);
+                    cur = analyses.forest.info(l).parent;
+                }
+                *slot = (start, self.nest_flat.len() as u32);
+            }
+            self.nest_ranges.push(*slot);
+        }
     }
 
+    /// Loops containing `refs[i]`, innermost first.
+    pub(crate) fn nest(&self, i: usize) -> &[LoopId] {
+        let (s, e) = self.nest_ranges[i];
+        &self.nest_flat[s as usize..e as usize]
+    }
+}
+
+/// Per-base-object buckets of a function's memory references, in `MemBase`
+/// order with members in reference order — the grouping behind the
+/// canonical pair enumeration. Reusable across functions (the engine keeps
+/// one per worker thread and [`Buckets::rebuild`]s it).
+#[derive(Default)]
+pub(crate) struct Buckets {
+    /// `(base, ref index)` sorted by base, ties in reference order.
+    entries: Vec<(MemBase, u32)>,
+    /// Ranges into `entries`, one per distinct base, in base order.
+    groups: Vec<(u32, u32)>,
+}
+
+impl Buckets {
+    /// Group `refs` by base object (clearing any previous function's data,
+    /// keeping the allocations).
+    pub(crate) fn rebuild(&mut self, refs: &[MemRef]) {
+        self.entries.clear();
+        self.groups.clear();
+        self.entries
+            .extend(refs.iter().enumerate().map(|(i, r)| (r.base, i as u32)));
+        // Stable: members of a bucket stay in ascending reference order,
+        // matching the old insertion-ordered `BTreeMap` buckets.
+        self.entries.sort_by_key(|(b, _)| *b);
+        let mut start = 0;
+        while start < self.entries.len() {
+            let base = self.entries[start].0;
+            let mut end = start + 1;
+            while end < self.entries.len() && self.entries[end].0 == base {
+                end += 1;
+            }
+            self.groups.push((start as u32, end as u32));
+            start = end;
+        }
+    }
+
+    fn base_of(&self, group: usize) -> MemBase {
+        self.entries[self.groups[group].0 as usize].0
+    }
+
+    fn members(&self, group: usize) -> impl Iterator<Item = u32> + '_ {
+        let (s, e) = self.groups[group];
+        self.entries[s as usize..e as usize].iter().map(|(_, i)| *i)
+    }
+}
+
+/// Walk the canonical bucketed pair order: (a) within each base's bucket
+/// in base order, (b) `Unknown` against every non-I/O object bucket, (c)
+/// pointer parameters against globals — exactly the pairs [`may_alias`]
+/// admits. Every pair is yielded ordered (`ai <= bi`). Both the sequential
+/// builder and the engine's chunked jobs enumerate through here, so any
+/// contiguous chunking of this sequence concatenates back to the
+/// sequential edge order.
+pub(crate) fn for_each_bucketed_pair(buckets: &Buckets, mut f: impl FnMut(usize, usize)) {
     // (a) Same base object: every base may alias itself.
-    for members in buckets.values() {
-        for (i, &ai) in members.iter().enumerate() {
-            for &bi in &members[i..] {
-                tester.test_pair(ai as usize, bi as usize, edges);
+    for g in 0..buckets.groups.len() {
+        let (s, e) = buckets.groups[g];
+        for i in s..e {
+            let ai = buckets.entries[i as usize].1;
+            for j in i..e {
+                f(ai as usize, buckets.entries[j as usize].1 as usize);
             }
         }
     }
 
-    // (b) Unknown provenance (calls) conflicts with every object bucket and
-    // with I/O-free `Unknown` handled above; `Io` never aliases `Unknown`.
-    if let Some(unknown) = buckets.get(&MemBase::Unknown) {
-        for (base, members) in &buckets {
-            if matches!(base, MemBase::Unknown | MemBase::Io) {
+    // (b) Unknown provenance (calls) conflicts with every object bucket;
+    // `Unknown`-vs-`Unknown` is handled above and `Io` never aliases
+    // `Unknown`.
+    let unknown = (0..buckets.groups.len()).find(|g| buckets.base_of(*g) == MemBase::Unknown);
+    if let Some(ug) = unknown {
+        for g in 0..buckets.groups.len() {
+            if matches!(buckets.base_of(g), MemBase::Unknown | MemBase::Io) {
                 continue;
             }
-            for &u in unknown {
-                for &m in members {
+            for u in buckets.members(ug) {
+                for m in buckets.members(g) {
                     let (x, y) = if u <= m { (u, m) } else { (m, u) };
-                    tester.test_pair(x as usize, y as usize, edges);
+                    f(x as usize, y as usize);
                 }
             }
         }
     }
 
     // (c) A pointer parameter may be bound to a global at the call site.
-    let params: Vec<&Vec<u32>> = buckets
-        .iter()
-        .filter(|(b, _)| matches!(b, MemBase::Param(_)))
-        .map(|(_, m)| m)
+    let params: Vec<usize> = (0..buckets.groups.len())
+        .filter(|g| matches!(buckets.base_of(*g), MemBase::Param(_)))
         .collect();
     if !params.is_empty() {
-        let globals: Vec<&Vec<u32>> = buckets
-            .iter()
-            .filter(|(b, _)| matches!(b, MemBase::Global(_)))
-            .map(|(_, m)| m)
+        let globals: Vec<usize> = (0..buckets.groups.len())
+            .filter(|g| matches!(buckets.base_of(*g), MemBase::Global(_)))
             .collect();
-        for pm in params {
-            for gm in &globals {
-                for &p in pm {
-                    for &g in gm.iter() {
+        for &pg in &params {
+            for &gg in &globals {
+                for p in buckets.members(pg) {
+                    for g in buckets.members(gg) {
                         let (x, y) = if p <= g { (p, g) } else { (g, p) };
-                        tester.test_pair(x as usize, y as usize, edges);
+                        f(x as usize, y as usize);
                     }
                 }
             }
         }
     }
+}
+
+/// Memory dependence edges via per-base-object bucketing (the canonical
+/// pair order of [`for_each_bucketed_pair`]): the edge set matches the
+/// all-pairs oracle while skipping every provably disjoint pair.
+fn bucketed_memory_edges(analyses: &FunctionAnalyses, refs: &[MemRef], edges: &mut Vec<PdgEdge>) {
+    let mut tester = PairTester::new(analyses, refs);
+    let mut buckets = Buckets::default();
+    buckets.rebuild(refs);
+    for_each_bucketed_pair(&buckets, |ai, bi| tester.test_pair(ai, bi, edges));
 }
 
 fn push_memory_edges(edges: &mut Vec<PdgEdge>, a: &MemRef, b: &MemRef, res: &DepTestResult) {
@@ -595,6 +726,23 @@ fn push_memory_edges(edges: &mut Vec<PdgEdge>, a: &MemRef, b: &MemRef, res: &Dep
 
 /// Collect every memory reference of `func` with its affine subscript.
 pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalyses) -> Vec<MemRef> {
+    let mut refs = Vec::new();
+    let region_of = |bb: BlockId| -> Option<LoopId> { analyses.forest.nest_of(bb).last().copied() };
+    collect_mem_refs_with(module, func, analyses, &region_of, &mut refs);
+    refs
+}
+
+/// [`collect_mem_refs`] with a caller-supplied top-region lookup and a
+/// reused output buffer. The engine passes a per-block table computed in
+/// one alloc-free forest walk; the public wrapper passes the straight
+/// `nest_of(..).last()` lookup so its cost profile is unchanged.
+pub(crate) fn collect_mem_refs_with(
+    module: &Module,
+    func: FuncId,
+    analyses: &FunctionAnalyses,
+    region_of: &dyn Fn(BlockId) -> Option<LoopId>,
+    refs: &mut Vec<MemRef>,
+) {
     let f = module.function(func);
     let owner = f.inst_blocks();
     // Pre-compute per-region invariance maps: one per top-level loop plus
@@ -614,7 +762,7 @@ pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalys
             if let Some(m) = region_stores.get_mut(&None) {
                 *m.entry(base).or_insert(0) += 1;
             }
-            let top = analyses.forest.nest_of(bb).last().copied();
+            let top = region_of(bb);
             if top.is_some() {
                 if let Some(m) = region_stores.get_mut(&top) {
                     *m.entry(base).or_insert(0) += 1;
@@ -622,10 +770,7 @@ pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalys
             }
         }
     }
-    let region_of =
-        |bb: pspdg_ir::BlockId| -> Option<LoopId> { analyses.forest.nest_of(bb).last().copied() };
 
-    let mut refs = Vec::new();
     for i in f.inst_ids() {
         let Some(bb) = owner[i.index()] else { continue };
         let region = region_of(bb);
@@ -681,7 +826,6 @@ pub fn collect_mem_refs(module: &Module, func: FuncId, analyses: &FunctionAnalys
             _ => {}
         }
     }
-    refs
 }
 
 /// Affine cell offset of an address value relative to its base object.

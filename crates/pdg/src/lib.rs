@@ -52,6 +52,7 @@ pub mod alias;
 pub mod control;
 pub mod ddtest;
 pub mod effective;
+pub mod engine;
 pub mod graph;
 pub mod scc;
 
@@ -60,6 +61,7 @@ pub use alias::{base_of_varref, may_alias, trace_base, MemBase};
 pub use control::control_dependences;
 pub use ddtest::{DepTestResult, MemRef};
 pub use effective::EffectiveView;
+pub use engine::{build_module_with, EngineConfig, EngineReport};
 pub use graph::{collect_mem_refs, DepKind, EdgeIndex, FunctionPdg, Pdg, PdgEdge};
 pub use scc::{LoopScc, SccDag};
 

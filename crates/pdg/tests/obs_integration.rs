@@ -1,0 +1,115 @@
+//! End-to-end observability of the analysis engine: every DAG job the
+//! engine dispatches must appear as a `pdg/job/<family>` span in the
+//! recorder's trace stream, and a pool constructed with a recorder must
+//! feed the `pool/queue_depth` histogram while the engine runs.
+
+use std::sync::Arc;
+
+use pspdg_frontend::compile;
+use pspdg_obs::Recorder;
+use pspdg_pdg::{build_module_with, EngineConfig};
+use pspdg_pool::WorkerPool;
+
+/// A module with one function big enough to split plus a tail of small
+/// functions to batch, so every job family (prepare/pairs/merge and
+/// batched function jobs) appears.
+fn mixed_module() -> pspdg_parallel::ParallelProgram {
+    let mut src = String::new();
+    src.push_str("int g0[64]; int g1[64]; int g2[64]; int acc;\n");
+    src.push_str("void big() { int i;\n");
+    for k in 0..24 {
+        src.push_str(&format!(
+            "for (i = 1; i < 16; i++) {{ g{a}[i] = g{a}[i - 1] + {k}; g{b}[i] = g{a}[i] + g{b}[i - 1]; }}\n",
+            a = k % 3,
+            b = (k + 1) % 3,
+        ));
+    }
+    src.push_str("}\n");
+    for k in 0..12 {
+        src.push_str(&format!(
+            "void f{k}() {{ int i; for (i = 1; i < 16; i++) {{ g{a}[i] = g{a}[i - 1] + {k}; }} acc += g{a}[15]; }}\n",
+            a = k % 3,
+        ));
+    }
+    src.push_str("int main() { big(); f0(); print_i64(acc); return 0; }\n");
+    compile(&src).expect("mixed module compiles")
+}
+
+/// Forces the DAG path and per-function splitting at small scale.
+fn forced_cfg() -> EngineConfig {
+    EngineConfig {
+        inline_threshold: 0,
+        split_threshold: 64,
+        chunk_pairs: 16,
+        job_min_cost: 1,
+    }
+}
+
+#[test]
+fn job_spans_match_jobs_dispatched() {
+    let p = mixed_module();
+    let rec = Arc::new(Recorder::new());
+    let pool = WorkerPool::new(2);
+    let (_, report) = build_module_with(&p.module, &pool, &forced_cfg(), Some(&rec));
+    assert!(!report.gate_inline);
+    assert!(
+        report.jobs_dispatched > report.functions as u64,
+        "splitting must dispatch more jobs than functions"
+    );
+
+    let snap = rec.snapshot();
+    let job_spans = snap
+        .events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("pdg/job/"))
+        .count() as u64;
+    assert_eq!(
+        job_spans, report.jobs_dispatched,
+        "every dispatched job records exactly one pdg/job/* span"
+    );
+
+    // All three split-chain families show up alongside the batches.
+    for family in [
+        "pdg/job/prepare",
+        "pdg/job/pairs",
+        "pdg/job/merge",
+        "pdg/job/function",
+    ] {
+        assert!(
+            snap.events.iter().any(|e| e.name == family),
+            "expected at least one {family} span"
+        );
+    }
+}
+
+#[test]
+fn gate_inline_records_no_job_spans() {
+    let p = mixed_module();
+    let rec = Arc::new(Recorder::new());
+    let pool = WorkerPool::new(1); // narrow pool -> granularity gate
+    let (_, report) = build_module_with(&p.module, &pool, &EngineConfig::default(), Some(&rec));
+    assert!(report.gate_inline);
+    assert_eq!(report.jobs_dispatched, 0);
+    let snap = rec.snapshot();
+    assert!(
+        !snap.events.iter().any(|e| e.name.starts_with("pdg/job/")),
+        "the inline path must not pay for span bookkeeping"
+    );
+}
+
+#[test]
+fn pool_with_recorder_fills_queue_depth_histogram() {
+    let p = mixed_module();
+    let rec = Arc::new(Recorder::new());
+    let pool = WorkerPool::with_hooks_obs(2, None, Some(Arc::clone(&rec)));
+    let (_, report) = build_module_with(&p.module, &pool, &forced_cfg(), Some(&rec));
+    assert!(report.jobs_dispatched > 0);
+
+    let snap = rec.snapshot();
+    let (_, depth) = snap
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "pool/queue_depth")
+        .expect("pool with an attached recorder observes queue depths");
+    assert!(depth.count > 0, "at least one queue-depth sample");
+}

@@ -1,0 +1,331 @@
+//! A dependency-aware job scheduler running on a [`WorkerPool`].
+//!
+//! [`WorkerPool::scope`] runs a flat bag of independent jobs. The
+//! analysis engine needs more structure: a *prepare* job per function
+//! that fans out pair-testing jobs, and a *merge* job that may only run
+//! once every pair job of its function finished — a DAG, discovered
+//! dynamically as jobs run.
+//!
+//! Nesting a `pool.scope` inside a pool job would deadlock (the waiting
+//! worker occupies the very slot its sub-jobs need), and the pool's
+//! reuse test pins the invariant that only pool threads run scope jobs —
+//! so the DAG runner uses an **executor loop** instead: [`run_dag`]
+//! spawns one ordinary scope job per pool thread, each of which loops
+//! popping ready DAG jobs from a shared queue; the calling thread runs
+//! the same loop. Finished jobs decrement their dependents' unmet-dep
+//! counts, pushing newly-ready jobs; everyone exits when no job is left
+//! unfinished. A DAG job may spawn further jobs mid-run (its own
+//! unfinished count keeps the scheduler alive while it does).
+//!
+//! Panics abort the remaining DAG — queued jobs are dropped unexecuted —
+//! and [`run_dag`] reports the panic to the caller, mirroring
+//! [`WorkerPool::scope_catch`].
+//!
+//! ## Safety
+//!
+//! Like [`Scope::spawn`](crate::Scope::spawn), DAG jobs borrow the
+//! caller's environment and are lifetime-erased with an `unsafe`
+//! transmute. Soundness rests on the same invariant: `run_dag` does not
+//! return until every spawned DAG job has finished or been dropped (the
+//! executor loops only exit at `unfinished == 0`, and the enclosing pool
+//! scope joins the executors).
+
+use crate::pool::{on_pool_worker, WorkerPool};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Identifies a job spawned on a [`DagCtx`]; pass to later
+/// [`DagCtx::spawn`] calls as a dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobId(usize);
+
+type DagJob = Box<dyn FnOnce(&DagCtx) + Send + 'static>;
+
+struct Slot {
+    job: Option<DagJob>,
+    /// Unfinished dependencies; ready when it reaches zero.
+    unmet: usize,
+    dependents: Vec<usize>,
+    done: bool,
+}
+
+struct DagState {
+    slots: Vec<Slot>,
+    ready: VecDeque<usize>,
+    /// Spawned-but-unfinished jobs, plus one virtual token held by the
+    /// build closure so executors don't exit before any job is spawned.
+    unfinished: usize,
+    panicked: bool,
+}
+
+struct DagShared {
+    state: Mutex<DagState>,
+    work: Condvar,
+}
+
+/// Handle for spawning dependency-ordered jobs; passed to the build
+/// closure of [`run_dag`] and to every running job.
+pub struct DagCtx {
+    shared: Arc<DagShared>,
+}
+
+impl DagCtx {
+    /// Schedule `job` to run once every job in `deps` has finished.
+    /// Jobs may borrow from the environment of the enclosing [`run_dag`]
+    /// call and may themselves spawn more jobs.
+    pub fn spawn<'env>(&self, deps: &[JobId], job: impl FnOnce(&DagCtx) + Send + 'env) -> JobId {
+        let boxed: Box<dyn FnOnce(&DagCtx) + Send + 'env> = Box::new(job);
+        // SAFETY: `run_dag` returns only after every spawned job finished
+        // (or was dropped during panic abort), so `'env` borrows inside
+        // the closure outlive every execution of it — same contract as
+        // `Scope::spawn`.
+        let erased: DagJob = unsafe { std::mem::transmute(boxed) };
+        let mut s = self.shared.state.lock().expect("dag lock poisoned");
+        let id = s.slots.len();
+        let unmet = deps.iter().filter(|d| !s.slots[d.0].done).count();
+        for d in deps {
+            if !s.slots[d.0].done {
+                s.slots[d.0].dependents.push(id);
+            }
+        }
+        s.slots.push(Slot {
+            job: Some(erased),
+            unmet,
+            dependents: Vec::new(),
+            done: false,
+        });
+        s.unfinished += 1;
+        if unmet == 0 {
+            s.ready.push_back(id);
+            drop(s);
+            self.shared.work.notify_one();
+        }
+        JobId(id)
+    }
+}
+
+/// Statistics from one [`run_dag`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DagStats {
+    /// Jobs actually executed.
+    pub jobs_run: u64,
+    /// Jobs dropped unexecuted because an earlier job panicked.
+    pub jobs_aborted: u64,
+}
+
+/// Run a dynamically-discovered job DAG on `pool`, borrowing the
+/// caller's environment. `build` spawns the root jobs; running jobs may
+/// spawn more. Returns once every job finished. Panics (after draining)
+/// if any job panicked, mirroring [`WorkerPool::scope`].
+///
+/// Degrades gracefully: with a single-thread pool, or when called from
+/// inside a pool worker (nested parallelism), the whole DAG runs inline
+/// on the calling thread in dependency order — no pool traffic at all.
+pub fn run_dag(pool: &WorkerPool, build: impl FnOnce(&DagCtx)) -> DagStats {
+    let shared = Arc::new(DagShared {
+        state: Mutex::new(DagState {
+            slots: Vec::new(),
+            ready: VecDeque::new(),
+            unfinished: 1, // the build closure's virtual token
+            panicked: false,
+        }),
+        work: Condvar::new(),
+    });
+    let ctx = DagCtx {
+        shared: Arc::clone(&shared),
+    };
+    let inline = pool.size() <= 1 || on_pool_worker();
+    let mut stats = DagStats::default();
+    if inline {
+        build(&ctx);
+        retire_build_token(&shared);
+        executor(&shared, &ctx, &mut stats);
+    } else {
+        let executors = pool.size();
+        let stats_slots: Vec<Mutex<DagStats>> = (0..executors)
+            .map(|_| Mutex::new(DagStats::default()))
+            .collect();
+        pool.scope(|s| {
+            for slot in &stats_slots {
+                let shared = Arc::clone(&shared);
+                s.spawn(move || {
+                    let ctx = DagCtx {
+                        shared: Arc::clone(&shared),
+                    };
+                    let mut local = DagStats::default();
+                    executor(&shared, &ctx, &mut local);
+                    *slot.lock().expect("dag stats lock") = local;
+                });
+            }
+            build(&ctx);
+            retire_build_token(&shared);
+            executor(&shared, &ctx, &mut stats);
+        });
+        for slot in &stats_slots {
+            let local = slot.lock().expect("dag stats lock");
+            stats.jobs_run += local.jobs_run;
+            stats.jobs_aborted += local.jobs_aborted;
+        }
+    }
+    let panicked = shared.state.lock().expect("dag lock poisoned").panicked;
+    assert!(!panicked, "dag job panicked");
+    stats
+}
+
+fn retire_build_token(shared: &Arc<DagShared>) {
+    let mut s = shared.state.lock().expect("dag lock poisoned");
+    s.unfinished -= 1;
+    if s.unfinished == 0 {
+        shared.work.notify_all();
+    }
+}
+
+fn executor(shared: &Arc<DagShared>, ctx: &DagCtx, stats: &mut DagStats) {
+    loop {
+        let (id, job, abort) = {
+            let mut s = shared.state.lock().expect("dag lock poisoned");
+            loop {
+                if s.unfinished == 0 {
+                    return;
+                }
+                if let Some(id) = s.ready.pop_front() {
+                    let job = s.slots[id].job.take().expect("ready job present");
+                    let abort = s.panicked;
+                    break (id, job, abort);
+                }
+                s = shared.work.wait(s).expect("dag lock poisoned");
+            }
+        };
+        if abort {
+            drop(job);
+            stats.jobs_aborted += 1;
+        } else {
+            if catch_unwind(AssertUnwindSafe(|| job(ctx))).is_err() {
+                shared.state.lock().expect("dag lock poisoned").panicked = true;
+            }
+            stats.jobs_run += 1;
+        }
+        // Completion cascade: mark done, release dependents, and wake
+        // waiters for each newly-ready job (or for termination).
+        let mut s = shared.state.lock().expect("dag lock poisoned");
+        s.slots[id].done = true;
+        let dependents = std::mem::take(&mut s.slots[id].dependents);
+        let mut newly_ready = 0usize;
+        for d in dependents {
+            s.slots[d].unmet -= 1;
+            if s.slots[d].unmet == 0 {
+                s.ready.push_back(d);
+                newly_ready += 1;
+            }
+        }
+        s.unfinished -= 1;
+        let finished = s.unfinished == 0;
+        drop(s);
+        if finished {
+            shared.work.notify_all();
+        } else {
+            for _ in 0..newly_ready {
+                shared.work.notify_one();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn dependencies_order_execution() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..20 {
+            let order = Mutex::new(Vec::new());
+            run_dag(&pool, |ctx| {
+                let a = ctx.spawn(&[], |_| order.lock().unwrap().push('a'));
+                let b = ctx.spawn(&[a], |_| order.lock().unwrap().push('b'));
+                let c = ctx.spawn(&[a], |_| order.lock().unwrap().push('c'));
+                ctx.spawn(&[b, c], |_| order.lock().unwrap().push('d'));
+            });
+            let order = order.into_inner().unwrap();
+            assert_eq!(order.len(), 4);
+            assert_eq!(order[0], 'a');
+            assert_eq!(order[3], 'd');
+        }
+    }
+
+    #[test]
+    fn jobs_spawn_jobs_dynamically() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicU64::new(0);
+        let stats = run_dag(&pool, |ctx| {
+            ctx.spawn(&[], |ctx| {
+                count.fetch_add(1, Ordering::SeqCst);
+                let kids: Vec<JobId> = (0..8)
+                    .map(|_| {
+                        ctx.spawn(&[], |_| {
+                            count.fetch_add(1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                ctx.spawn(&kids, |_| {
+                    count.fetch_add(100, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 109);
+        assert_eq!(stats.jobs_run, 10);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_in_dependency_order() {
+        let pool = WorkerPool::new(1);
+        let order = Mutex::new(Vec::new());
+        let stats = run_dag(&pool, |ctx| {
+            let a = ctx.spawn(&[], |_| order.lock().unwrap().push(1));
+            ctx.spawn(&[a], |_| order.lock().unwrap().push(2));
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![1, 2]);
+        assert_eq!(stats.jobs_run, 2);
+    }
+
+    #[test]
+    fn nested_run_dag_from_a_pool_job_does_not_deadlock() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Inner DAG must detect it is on a pool worker and run
+                    // inline instead of waiting on occupied pool slots.
+                    run_dag(&pool, |ctx| {
+                        let a = ctx.spawn(&[], |_| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                        ctx.spawn(&[a], |_| {
+                            total.fetch_add(10, Ordering::SeqCst);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 44);
+    }
+
+    #[test]
+    fn panic_aborts_remaining_jobs_and_propagates() {
+        let pool = WorkerPool::new(1);
+        let ran = AtomicU64::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_dag(&pool, |ctx| {
+                let bad = ctx.spawn(&[], |_| panic!("boom"));
+                ctx.spawn(&[bad], |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(result.is_err(), "the panic must surface to the caller");
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "dependents are aborted");
+    }
+}

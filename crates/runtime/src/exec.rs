@@ -102,7 +102,7 @@ use crate::compiled::{
     compile_program, CompiledBlock, CompiledBody, CompiledProgram, CompiledTier,
 };
 use crate::fault::{FaultInjector, FaultKind};
-use crate::pool::WorkerPool;
+use crate::pool::{PoolFaultExt, WorkerPool};
 
 /// In-flight packets per pipeline stage link (the DSWP decoupling buffer).
 const PIPE_CAPACITY: usize = 8;
@@ -421,7 +421,7 @@ pub struct Runtime<'p> {
 
 impl<'p> Runtime<'p> {
     /// Prepare a runtime executing `program` under `plan` (lowered through
-    /// [`realize_executable`]). Worker count defaults to the rayon pool
+    /// [`realize_executable`]). Worker count defaults to the shared pool
     /// width.
     pub fn new(program: &'p ParallelProgram, plan: &ProgramPlan) -> Runtime<'p> {
         Runtime::with_executable(program, realize_executable(program, plan))
@@ -432,7 +432,7 @@ impl<'p> Runtime<'p> {
         Runtime {
             program,
             plan,
-            workers: rayon::current_num_threads().max(1),
+            workers: pspdg_pool::default_width().max(1),
             fuel: 1 << 48,
             cost_threshold: DEFAULT_COST_THRESHOLD,
             pipeline_min_body: DEFAULT_PIPELINE_MIN_BODY,

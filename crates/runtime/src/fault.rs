@@ -407,6 +407,22 @@ impl Rng64 {
     }
 }
 
+/// The pool-crate seam: a worker consults its [`pspdg_pool::JobHooks`]
+/// once per job pickup, and the injector maps a scheduled
+/// [`FaultKind::ThreadDeath`] on the `PoolJob` site to
+/// [`pspdg_pool::JobFate::KillThread`] — everything else runs normally.
+/// This keeps the pool crate free of fault-injection types while the
+/// runtime's fault plans keep driving pool respawns exactly as before.
+impl pspdg_pool::JobHooks for FaultInjector {
+    fn on_job_pickup(&self) -> pspdg_pool::JobFate {
+        if self.on_pool_job() == Some(FaultKind::ThreadDeath) {
+            pspdg_pool::JobFate::KillThread
+        } else {
+            pspdg_pool::JobFate::Run
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,384 +1,63 @@
-//! A persistent, self-healing worker-thread pool with scoped, borrowing
-//! jobs.
+//! The persistent, self-healing worker pool — **re-exported** from the
+//! foundational [`pspdg_pool`] crate, where it moved so the analysis
+//! engine and the runtime share one execution substrate.
 //!
-//! PR 2's executor spawned fresh OS threads (`std::thread::scope`) for
-//! *every* loop activation; on activation-heavy kernels (LU's wavefront
-//! re-forks each outer iteration) thread creation dominated the measured
-//! time. [`WorkerPool`] fixes that: the threads are created **once per
-//! [`Runtime`](crate::Runtime)** and each activation merely enqueues jobs
-//! and waits for a completion latch.
-//!
-//! The API mirrors `std::thread::scope` so call sites keep borrowing the
-//! master's state (module, frames, forked heaps):
-//!
-//! ```
-//! use pspdg_runtime::pool::WorkerPool;
-//!
-//! let pool = WorkerPool::new(4);
-//! let mut results = vec![0u64; 4];
-//! pool.scope(|scope| {
-//!     for (i, slot) in results.iter_mut().enumerate() {
-//!         scope.spawn(move || *slot = (i as u64 + 1) * 10);
-//!     }
-//! });
-//! assert_eq!(results, vec![10, 20, 30, 40]);
-//! ```
-//!
-//! ## Self-healing
-//!
-//! Two failure modes are survived without shrinking the pool or wedging
-//! the completion latch:
-//!
-//! - **Job panics** are caught twice over: the scope wrapper catches the
-//!   job's unwind and still decrements the latch (so sibling and queued
-//!   jobs run and `scope` returns), and the worker loop catches anything
-//!   that escapes the wrapper so the thread itself survives to serve the
-//!   next job. [`WorkerPool::scope`] re-raises the panic after the join;
-//!   [`WorkerPool::scope_catch`] instead reports it as data — the
-//!   executor uses that to turn a panicked chunk worker into an ordinary
-//!   sequential fallback.
-//! - **Thread death** (injected via [`FaultKind::ThreadDeath`] on a
-//!   [`crate::fault::FaultSite::PoolJob`] site): the dying worker pushes its job back
-//!   to the *front* of the queue, spawns and registers a replacement
-//!   thread, and only then exits. The job is never lost, the pool width
-//!   never drops, and [`WorkerPool::respawns`] counts the event.
-//!
-//! Because replacements register themselves before the dying thread
-//! exits, the drop path joins in rounds — drain the handle registry, join
-//! each handle, repeat until a round finds the registry empty. Joining a
-//! thread happens-after everything it did, including registering its
-//! replacement, so no handle is ever orphaned.
-//!
-//! ## Safety
-//!
-//! Jobs borrow the scope's environment (`'env`), but pool threads are
-//! `'static`, so [`Scope::spawn`] erases the job's lifetime with an
-//! `unsafe` transmute. Soundness rests on one invariant, the same one
-//! `std::thread::scope` and rayon's scoped pools rely on: **the scope
-//! never returns (not even by unwinding) before every spawned job has
-//! finished**. [`WorkerPool::scope`] enforces this with a completion
-//! latch that is awaited on both the normal path and the unwind path.
-//! Thread death keeps the invariant because the requeued job still runs
-//! (on the replacement) before the latch releases.
+//! Everything about the pool's behavior (scoped borrowing jobs, panic
+//! recovery, thread-death respawn with front-of-queue requeue, join-in-
+//! rounds shutdown) is documented on [`pspdg_pool::pool`]. What remains
+//! here is the runtime-specific seam: the fault injector used to be a
+//! direct field of the pool; it now plugs in through the
+//! [`JobHooks`] trait (implemented for
+//! [`FaultInjector`] in [`crate::fault`]),
+//! and [`PoolFaultExt`] preserves the original
+//! `WorkerPool::with_faults` / `WorkerPool::with_obs` constructor
+//! surface so every existing call site and test compiles unchanged.
 
-use crate::fault::{FaultInjector, FaultKind};
+pub use pspdg_pool::{JobFate, JobHooks, Scope, WorkerPool};
+
+use crate::fault::FaultInjector;
 use pspdg_obs::Recorder;
-use std::collections::VecDeque;
+use std::sync::Arc;
+
+#[cfg(test)]
+use crate::fault::FaultKind;
+#[cfg(test)]
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::{JoinHandle, ThreadId};
+#[cfg(test)]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(test)]
+use std::sync::Mutex;
+#[cfg(test)]
+use std::thread::ThreadId;
 
-/// A lifetime-erased unit of work.
-type Job = Box<dyn FnOnce() + Send + 'static>;
-
-struct PoolState {
-    queue: VecDeque<Job>,
-    shutdown: bool,
-}
-
-struct PoolShared {
-    state: Mutex<PoolState>,
-    /// Signalled when a job arrives or the pool shuts down.
-    work: Condvar,
-    /// Live (and recently-exited, not-yet-reaped) worker handles. Grows
-    /// when a dying worker registers its replacement; reaped lazily.
-    handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Monotonic worker name counter (`pspdg-worker-N`).
-    next_name: AtomicUsize,
-    /// Times a dead worker thread was replaced.
-    respawns: AtomicU64,
-    /// Panics that escaped a job and were caught by the worker loop
-    /// itself (the scope wrapper normally absorbs them first).
-    caught_panics: AtomicU64,
-    /// Optional deterministic fault source (checked once per job pickup).
-    faults: Option<Arc<FaultInjector>>,
-    /// Optional recorder: respawn events land in the trace stream.
-    obs: Option<Arc<Recorder>>,
-}
-
-/// A fixed-size pool of persistent worker threads.
-///
-/// Created once (per [`Runtime`](crate::Runtime)) and reused by every
-/// parallel loop activation; dropped, it shuts its threads down and joins
-/// them. The pool *self-heals*: panicking jobs don't kill workers, and a
-/// worker that dies anyway (fault injection) is respawned without losing
-/// its job — see the module docs.
-pub struct WorkerPool {
-    shared: Arc<PoolShared>,
-    threads: usize,
-}
-
-impl std::fmt::Debug for WorkerPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool")
-            .field("threads", &self.threads)
-            .field("respawns", &self.respawns())
-            .finish()
-    }
-}
-
-impl WorkerPool {
-    /// Spawn a pool of `threads` persistent workers (at least one).
-    pub fn new(threads: usize) -> WorkerPool {
-        WorkerPool::with_faults(threads, None)
-    }
-
+/// The pre-extraction constructor surface of [`WorkerPool`]: fault
+/// injection expressed directly in terms of the runtime's
+/// [`FaultInjector`] instead of the generic [`JobHooks`] seam.
+pub trait PoolFaultExt {
     /// Like [`WorkerPool::new`], with a fault injector consulted once per
     /// job pickup ([`FaultSite::PoolJob`](crate::fault::FaultSite) sites).
-    pub fn with_faults(threads: usize, faults: Option<Arc<FaultInjector>>) -> WorkerPool {
-        WorkerPool::with_obs(threads, faults, None)
+    fn with_faults(threads: usize, faults: Option<Arc<FaultInjector>>) -> WorkerPool;
+
+    /// Like [`PoolFaultExt::with_faults`], with an optional [`Recorder`]
+    /// so worker respawns show up as instants in the trace stream.
+    fn with_obs(
+        threads: usize,
+        faults: Option<Arc<FaultInjector>>,
+        obs: Option<Arc<Recorder>>,
+    ) -> WorkerPool;
+}
+
+impl PoolFaultExt for WorkerPool {
+    fn with_faults(threads: usize, faults: Option<Arc<FaultInjector>>) -> WorkerPool {
+        <WorkerPool as PoolFaultExt>::with_obs(threads, faults, None)
     }
 
-    /// Like [`WorkerPool::with_faults`], with an optional [`Recorder`]
-    /// so worker respawns show up as instants in the trace stream.
-    pub fn with_obs(
+    fn with_obs(
         threads: usize,
         faults: Option<Arc<FaultInjector>>,
         obs: Option<Arc<Recorder>>,
     ) -> WorkerPool {
-        let threads = threads.max(1);
-        let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            handles: Mutex::new(Vec::new()),
-            next_name: AtomicUsize::new(0),
-            respawns: AtomicU64::new(0),
-            caught_panics: AtomicU64::new(0),
-            faults,
-            obs,
-        });
-        {
-            let mut handles = shared.handles.lock().expect("pool handles lock");
-            for _ in 0..threads {
-                handles.push(spawn_worker(&shared));
-            }
-        }
-        WorkerPool { shared, threads }
-    }
-
-    /// Number of worker threads the pool maintains (its width — constant
-    /// for the pool's life, even across respawns).
-    pub fn size(&self) -> usize {
-        self.threads
-    }
-
-    /// The OS thread identities of the *live* workers — lets tests assert
-    /// that the same threads serve successive activations (pool reuse)
-    /// and that a killed worker was replaced. Reaps exited threads as a
-    /// side effect, so after a respawn this settles back to exactly
-    /// [`size`](WorkerPool::size) entries.
-    pub fn thread_ids(&self) -> Vec<ThreadId> {
-        let mut handles = self.shared.handles.lock().expect("pool handles lock");
-        let mut i = 0;
-        while i < handles.len() {
-            if handles[i].is_finished() {
-                let _ = handles.swap_remove(i).join();
-            } else {
-                i += 1;
-            }
-        }
-        handles.iter().map(|h| h.thread().id()).collect()
-    }
-
-    /// Times a dead worker thread was detected and replaced.
-    pub fn respawns(&self) -> u64 {
-        self.shared.respawns.load(Ordering::Relaxed)
-    }
-
-    /// Panics that escaped a job's own wrapper and were absorbed by the
-    /// worker loop (the thread survived).
-    pub fn caught_panics(&self) -> u64 {
-        self.shared.caught_panics.load(Ordering::Relaxed)
-    }
-
-    /// Run `f`, which may [`Scope::spawn`] borrowing jobs onto the pool;
-    /// returns only after every spawned job has completed. If a job
-    /// panicked, the panic is re-raised here (after all jobs finished).
-    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
-        let (r, panicked) = self.scope_catch(f);
-        assert!(!panicked, "pool worker job panicked");
-        r
-    }
-
-    /// Like [`scope`](WorkerPool::scope), but a panicking job is reported
-    /// as data instead of re-panicking the caller: returns `f`'s result
-    /// plus whether any spawned job panicked. The executor uses this to
-    /// demote a panicked chunk worker to a sequential fallback instead of
-    /// taking the master down.
-    pub fn scope_catch<'env, R>(&self, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> (R, bool) {
-        let scope = Scope {
-            pool: self,
-            state: Arc::new(ScopeState {
-                progress: Mutex::new(Progress {
-                    pending: 0,
-                    panicked: false,
-                }),
-                done: Condvar::new(),
-            }),
-            _env: std::marker::PhantomData,
-        };
-        // Await completion even when `f` unwinds: jobs borrow `'env` and
-        // must not outlive this call frame.
-        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
-        let panicked = {
-            let mut p = scope
-                .state
-                .progress
-                .lock()
-                .expect("pool scope lock poisoned");
-            while p.pending > 0 {
-                p = scope.state.done.wait(p).expect("pool scope lock poisoned");
-            }
-            p.panicked
-        };
-        match result {
-            Ok(r) => (r, panicked),
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        {
-            let mut s = self.shared.state.lock().expect("pool lock poisoned");
-            s.shutdown = true;
-        }
-        self.shared.work.notify_all();
-        // Join in rounds: a dying worker registers its replacement before
-        // exiting, so joining a thread happens-after that registration —
-        // once a round drains the registry empty, no thread is left.
-        loop {
-            let batch: Vec<JoinHandle<()>> = {
-                let mut handles = self.shared.handles.lock().expect("pool handles lock");
-                handles.drain(..).collect()
-            };
-            if batch.is_empty() {
-                break;
-            }
-            self.shared.work.notify_all();
-            for h in batch {
-                let _ = h.join();
-            }
-        }
-    }
-}
-
-fn spawn_worker(shared: &Arc<PoolShared>) -> JoinHandle<()> {
-    let n = shared.next_name.fetch_add(1, Ordering::Relaxed);
-    let shared = Arc::clone(shared);
-    std::thread::Builder::new()
-        .name(format!("pspdg-worker-{n}"))
-        .spawn(move || worker_loop(&shared))
-        .expect("spawn pool worker")
-}
-
-struct Progress {
-    pending: usize,
-    panicked: bool,
-}
-
-struct ScopeState {
-    progress: Mutex<Progress>,
-    done: Condvar,
-}
-
-/// Handle for spawning borrowing jobs inside [`WorkerPool::scope`].
-pub struct Scope<'pool, 'env> {
-    pool: &'pool WorkerPool,
-    state: Arc<ScopeState>,
-    /// Invariant over `'env`, like `std::thread::Scope`.
-    _env: std::marker::PhantomData<&'env mut &'env ()>,
-}
-
-impl<'pool, 'env> Scope<'pool, 'env> {
-    /// Enqueue `job` on the pool. The job may borrow from `'env`; the
-    /// enclosing [`WorkerPool::scope`] call joins it before returning.
-    pub fn spawn(&self, job: impl FnOnce() + Send + 'env) {
-        let state = Arc::clone(&self.state);
-        state
-            .progress
-            .lock()
-            .expect("pool scope lock poisoned")
-            .pending += 1;
-        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            let outcome = catch_unwind(AssertUnwindSafe(job));
-            let mut p = state.progress.lock().expect("pool scope lock poisoned");
-            if outcome.is_err() {
-                p.panicked = true;
-            }
-            p.pending -= 1;
-            if p.pending == 0 {
-                state.done.notify_all();
-            }
-        });
-        // SAFETY: `scope` joins every job (normal and unwind paths) before
-        // returning, so the `'env` borrows inside `wrapped` cannot be
-        // observed dangling by the pool threads. A worker that dies on
-        // pickup requeues the job first, so "every job finishes" holds
-        // across respawns too.
-        let erased: Job = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(
-                wrapped,
-            )
-        };
-        {
-            let mut s = self.pool.shared.state.lock().expect("pool lock poisoned");
-            s.queue.push_back(erased);
-        }
-        self.pool.shared.work.notify_one();
-    }
-}
-
-fn worker_loop(shared: &Arc<PoolShared>) {
-    loop {
-        let job = {
-            let mut s = shared.state.lock().expect("pool lock poisoned");
-            loop {
-                if let Some(job) = s.queue.pop_front() {
-                    break job;
-                }
-                if s.shutdown {
-                    return;
-                }
-                s = shared.work.wait(s).expect("pool lock poisoned");
-            }
-        };
-        if let Some(faults) = &shared.faults {
-            if faults.on_pool_job() == Some(FaultKind::ThreadDeath) {
-                // Die without running the job — but first register the
-                // replacement and the respawn count, *then* hand the job
-                // back (front of queue: it was next). Requeueing last
-                // means that by the time the job has run — which is
-                // before any scope it belongs to can complete — the
-                // respawn is fully recorded.
-                shared.respawns.fetch_add(1, Ordering::Relaxed);
-                if let Some(r) = &shared.obs {
-                    r.instant("pool/respawn", "pool");
-                }
-                shared
-                    .handles
-                    .lock()
-                    .expect("pool handles lock")
-                    .push(spawn_worker(shared));
-                {
-                    let mut s = shared.state.lock().expect("pool lock poisoned");
-                    s.queue.push_front(job);
-                }
-                shared.work.notify_one();
-                return;
-            }
-        }
-        // The scope wrapper already catches the user job's panic; this
-        // second net is for anything that escapes it, so a worker thread
-        // can never be lost to an unwind.
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
-            shared.caught_panics.fetch_add(1, Ordering::Relaxed);
-        }
+        WorkerPool::with_hooks_obs(threads, faults.map(|f| f as Arc<dyn JobHooks>), obs)
     }
 }
 
