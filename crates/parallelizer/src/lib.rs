@@ -38,7 +38,8 @@ pub use fusion::fuse_replay_program;
 pub use hotloops::{hot_loops, HotLoop};
 pub use machine::MachineModel;
 pub use plan::{
-    build_plan, build_plan_recorded, LoopPlanSpec, MutexSpec, PlannedTechnique, ProgramPlan,
+    build_plan, build_plan_recorded, plan_built, plan_built_recorded, LoopPlanSpec, MutexSpec,
+    PlannedTechnique, ProgramPlan,
 };
 pub use realize::realize_plan;
 pub use schedule::{

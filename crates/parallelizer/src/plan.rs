@@ -144,6 +144,43 @@ pub fn build_plan_recorded(
     threshold: f64,
     rec: Option<&pspdg_obs::Recorder>,
 ) -> ProgramPlan {
+    // Per-function planning is independent: build every function's
+    // analyses/PDG/PS-PDG through the parallel module driver, plan each
+    // function concurrently, and merge in module function order so the
+    // plan is deterministic.
+    let built = build_pspdg_module_recorded(program, FeatureSet::all(), rec);
+    plan_built_recorded(program, &built, profile, abstraction, threshold, rec)
+}
+
+/// Build the execution plan from **already-built** per-function analysis
+/// artifacts (the `Vec<FunctionPsPdg>` a [`pspdg_core::build_pspdg_module`] produced
+/// earlier — analyses, PDG, and the overlay-assembled PS-PDG).
+///
+/// This is the replanning / plan-cache entry point: a plan service keeps
+/// the built module keyed by content hash and re-enumerates per
+/// abstraction (or after a profile change) through this function, paying
+/// only the enumeration cost — the PDG build and the `EffectiveView`
+/// overlay assemble are never repeated.
+pub fn plan_built(
+    program: &ParallelProgram,
+    built: &[FunctionPsPdg],
+    profile: &Profile,
+    abstraction: Abstraction,
+    threshold: f64,
+) -> ProgramPlan {
+    plan_built_recorded(program, built, profile, abstraction, threshold, None)
+}
+
+/// [`plan_built`] with optional tracing (each function's enumeration
+/// lands under a `plan/enumerate` span).
+pub fn plan_built_recorded(
+    program: &ParallelProgram,
+    built: &[FunctionPsPdg],
+    profile: &Profile,
+    abstraction: Abstraction,
+    threshold: f64,
+    rec: Option<&pspdg_obs::Recorder>,
+) -> ProgramPlan {
     let parallel_spawns = matches!(abstraction, Abstraction::OpenMp | Abstraction::PsPdg);
     let mut plan = ProgramPlan {
         abstraction,
@@ -151,11 +188,6 @@ pub fn build_plan_recorded(
         mutexes: Vec::new(),
         parallel_spawns,
     };
-    // Per-function planning is independent: build every function's
-    // analyses/PDG/PS-PDG through the parallel module driver, plan each
-    // function concurrently, and merge in module function order so the
-    // plan is deterministic.
-    let built = build_pspdg_module_recorded(program, FeatureSet::all(), rec);
     let parts: Vec<FunctionPlanParts> = pspdg_pool::par_map(built.iter().collect(), |prepared| {
         let _s = rec.map(|r| {
             let mut s = r.span("plan/enumerate", "pipeline");

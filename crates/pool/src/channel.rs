@@ -163,6 +163,18 @@ impl<T> Channel<T> {
         }
     }
 
+    /// Items currently queued (a racy snapshot — backpressure telemetry,
+    /// not synchronization).
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().expect("channel lock").items.len()
+    }
+
+    /// Whether the queue is momentarily empty (racy snapshot, see
+    /// [`len`](Channel::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Close the channel: senders fail fast, receivers drain then stop.
     pub fn close(&self) {
         let mut state = self.shared.queue.lock().expect("channel lock");

@@ -388,9 +388,17 @@ pub struct RunOutcome {
 /// the first parallel activation and reused by every later one (across
 /// `run` calls too), so activation-heavy kernels no longer pay a
 /// thread-spawn per loop entry.
-pub struct Runtime<'p> {
-    program: &'p ParallelProgram,
-    plan: ExecutablePlan,
+///
+/// Both the program and the lowered plan are held behind [`Arc`]s, so a
+/// runtime is `'static` and [`Send`]: a plan service can realize a plan
+/// once, share it, and construct a fresh `Runtime` per request on any
+/// thread ([`Runtime::from_shared`]) without re-running realization —
+/// constructing from shared parts is O(1). The borrow-based constructors
+/// ([`Runtime::new`], [`Runtime::with_executable`]) clone the program
+/// into a private `Arc` for callers that don't share.
+pub struct Runtime {
+    program: Arc<ParallelProgram>,
+    plan: Arc<ExecutablePlan>,
     workers: usize,
     fuel: u64,
     cost_threshold: u64,
@@ -419,16 +427,26 @@ pub struct Runtime<'p> {
     pool: OnceLock<WorkerPool>,
 }
 
-impl<'p> Runtime<'p> {
+impl Runtime {
     /// Prepare a runtime executing `program` under `plan` (lowered through
     /// [`realize_executable`]). Worker count defaults to the shared pool
-    /// width.
-    pub fn new(program: &'p ParallelProgram, plan: &ProgramPlan) -> Runtime<'p> {
-        Runtime::with_executable(program, realize_executable(program, plan))
+    /// width. The program is cloned into a private [`Arc`]; callers that
+    /// already share it should use [`Runtime::from_shared`].
+    pub fn new(program: &ParallelProgram, plan: &ProgramPlan) -> Runtime {
+        let exec = realize_executable(program, plan);
+        Runtime::from_shared(Arc::new(program.clone()), Arc::new(exec))
     }
 
     /// Prepare a runtime from an already-lowered plan.
-    pub fn with_executable(program: &'p ParallelProgram, plan: ExecutablePlan) -> Runtime<'p> {
+    pub fn with_executable(program: &ParallelProgram, plan: ExecutablePlan) -> Runtime {
+        Runtime::from_shared(Arc::new(program.clone()), Arc::new(plan))
+    }
+
+    /// Prepare a runtime from **shared** parts: an `Arc`-held program and
+    /// an `Arc`-held lowered plan. This is the reentrant constructor the
+    /// plan service uses — no program clone, no re-realization; the same
+    /// plan can back any number of concurrent runtimes.
+    pub fn from_shared(program: Arc<ParallelProgram>, plan: Arc<ExecutablePlan>) -> Runtime {
         Runtime {
             program,
             plan,
@@ -450,7 +468,7 @@ impl<'p> Runtime<'p> {
     /// ([`CompiledTier::Fused`] by default). [`CompiledTier::Off`] forces
     /// pure interpretation — the configuration differential tests compare
     /// against. Resets the cached compiled program.
-    pub fn compiled_tier(mut self, tier: CompiledTier) -> Runtime<'p> {
+    pub fn compiled_tier(mut self, tier: CompiledTier) -> Runtime {
         self.tier = tier;
         self.compiled = OnceLock::new();
         self
@@ -473,15 +491,20 @@ impl<'p> Runtime<'p> {
     /// back to sequential execution if fewer than two stages remain).
     /// Resets the worker pool; the next parallel activation re-creates it
     /// at the new width.
-    pub fn workers(mut self, n: usize) -> Runtime<'p> {
+    pub fn workers(mut self, n: usize) -> Runtime {
         self.workers = n.max(1);
         self.pool = OnceLock::new();
         self
     }
 
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
     /// Override the dynamic-instruction budget. Under parallel execution
     /// the budget is approximate: each worker checks it independently.
-    pub fn fuel(mut self, fuel: u64) -> Runtime<'p> {
+    pub fn fuel(mut self, fuel: u64) -> Runtime {
         self.fuel = fuel;
         self
     }
@@ -490,7 +513,7 @@ impl<'p> Runtime<'p> {
     /// ([`DEFAULT_COST_THRESHOLD`]): a chunked activation runs in
     /// parallel only when `trip × body_insts` reaches the threshold.
     /// `0` disables the gate (every eligible activation parallelizes).
-    pub fn cost_threshold(mut self, threshold: u64) -> Runtime<'p> {
+    pub fn cost_threshold(mut self, threshold: u64) -> Runtime {
         self.cost_threshold = threshold;
         self
     }
@@ -501,7 +524,7 @@ impl<'p> Runtime<'p> {
     /// disables the gate entirely, including its hardware-lane check
     /// (pipelines then run even on a single-core host — useful for
     /// exercising the pipeline paths in tests).
-    pub fn pipeline_min_body(mut self, min_body: u32) -> Runtime<'p> {
+    pub fn pipeline_min_body(mut self, min_body: u32) -> Runtime {
         self.pipeline_min_body = min_body;
         self
     }
@@ -509,7 +532,7 @@ impl<'p> Runtime<'p> {
     /// Override the pipeline stage watchdog ([`DEFAULT_STAGE_WATCHDOG`]):
     /// how long stages and the master collector wait on a channel before
     /// presuming the peer stage dead and falling back (`stage_timeout`).
-    pub fn stage_watchdog(mut self, timeout: Duration) -> Runtime<'p> {
+    pub fn stage_watchdog(mut self, timeout: Duration) -> Runtime {
         self.stage_watchdog = timeout.max(Duration::from_millis(1));
         self
     }
@@ -519,7 +542,7 @@ impl<'p> Runtime<'p> {
     /// runtime, so a schedule can address "the 7th chunk worker ever".
     /// Resets the worker pool so pool-level sites
     /// ([`FaultSite::PoolJob`](crate::fault::FaultSite)) are armed too.
-    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Runtime<'p> {
+    pub fn fault_injector(mut self, injector: Arc<FaultInjector>) -> Runtime {
         self.faults = Some(injector);
         self.pool = OnceLock::new();
         self
@@ -537,7 +560,7 @@ impl<'p> Runtime<'p> {
     /// instruction — the production configuration keeps it attached and
     /// toggles [`Recorder::set_enabled`]. Resets the worker pool so
     /// pool respawn events land in the same stream.
-    pub fn recorder(mut self, rec: Arc<Recorder>) -> Runtime<'p> {
+    pub fn recorder(mut self, rec: Arc<Recorder>) -> Runtime {
         self.obs = Some(rec);
         self.pool = OnceLock::new();
         self
@@ -546,7 +569,7 @@ impl<'p> Runtime<'p> {
     /// Name this runtime's recorder contexts (typically the kernel
     /// name): opcode profiles land in `"{label}"` (master) and
     /// `"{label}/{func}.L{header}"` (per scheduled loop).
-    pub fn obs_label(mut self, label: impl Into<String>) -> Runtime<'p> {
+    pub fn obs_label(mut self, label: impl Into<String>) -> Runtime {
         self.obs_label = label.into();
         self
     }
@@ -559,6 +582,17 @@ impl<'p> Runtime<'p> {
     /// The lowered plan (schedules per loop).
     pub fn executable(&self) -> &ExecutablePlan {
         &self.plan
+    }
+
+    /// The lowered plan as a shareable handle (hand it to another
+    /// [`Runtime::from_shared`] to execute the same plan concurrently).
+    pub fn shared_executable(&self) -> Arc<ExecutablePlan> {
+        Arc::clone(&self.plan)
+    }
+
+    /// The executed program as a shareable handle.
+    pub fn shared_program(&self) -> Arc<ParallelProgram> {
+        Arc::clone(&self.program)
     }
 
     /// Static realization counts.

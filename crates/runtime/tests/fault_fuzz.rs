@@ -107,12 +107,12 @@ fn doall_program() -> ParallelProgram {
 }
 
 /// A faulted runtime for `p` with all gates off and a short watchdog.
-fn faulted_runtime<'p>(
-    p: &'p ParallelProgram,
+fn faulted_runtime(
+    p: &ParallelProgram,
     plan: &ProgramPlan,
     workers: usize,
     inj: &Arc<FaultInjector>,
-) -> Runtime<'p> {
+) -> Runtime {
     Runtime::new(p, plan)
         .workers(workers)
         .cost_threshold(0)

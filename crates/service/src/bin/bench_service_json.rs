@@ -1,0 +1,236 @@
+//! Regenerate `BENCH_service.json`: cold-vs-warm request latency and
+//! cache hit rate for the plan-service daemon, measured end to end over
+//! loopback TCP (an in-process `PlanService` plus a real `Client`).
+//!
+//! ```sh
+//! cargo run --release -p pspdg-service --bin bench_service_json -- BENCH_service.json [--smoke]
+//! ```
+//!
+//! * **cold** — the first `plan` request for a program: compile, the
+//!   sequential profiling run, PDG build, `EffectiveView` assembly, and
+//!   plan enumeration all happen inside the request.
+//! * **warm** — the same program again (reformatted, so the hit goes
+//!   through the content hash, not string identity): the request is a
+//!   cache lookup plus plan reuse.
+//!
+//! `--smoke` additionally asserts the service acceptance gates: every
+//! warm request is faster than its cold request, the hit rate is
+//! non-zero, warm requests record **zero** new `pspdg/pdg_build` spans,
+//! and execution results match the sequential baseline.
+
+use std::time::Instant;
+
+use pspdg_obs::json::Value;
+use pspdg_parallelizer::Abstraction;
+use pspdg_service::{Client, PlanService, ServiceConfig};
+
+/// Benchmark programs: real parallel structure at a few sizes, plus a
+/// reformatted twin for each (same content key, different text).
+fn program(n: usize, airy: bool) -> String {
+    let len = 64 << (n % 3);
+    let stride = 2 + n;
+    if airy {
+        format!(
+            r#"
+int v[{len}];
+int s;
+
+void k() {{
+    int i;
+    #pragma omp parallel for reduction(+: s)
+    for (i = 0; i < {len}; i++) {{
+        v[i] = i * {stride};
+        s += i;
+    }}
+}}
+
+int main() {{
+    k();
+    return s;
+}}
+"#
+        )
+    } else {
+        format!(
+            r#"
+int v[{len}]; int s;
+void k() {{ int i;
+#pragma omp parallel for reduction(+: s)
+for (i = 0; i < {len}; i++) {{ v[i] = i * {stride}; s += i; }} }}
+int main() {{ k(); return s; }}
+"#
+        )
+    }
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("response missing numeric {key:?}"))
+}
+
+fn pdg_build_spans(metrics: &Value) -> f64 {
+    metrics
+        .get("spans")
+        .and_then(Value::as_array)
+        .map(|spans| {
+            spans
+                .iter()
+                .filter(|s| s.get("name").and_then(Value::as_str) == Some("pspdg/pdg_build"))
+                .map(|s| num(s, "count"))
+                .sum()
+        })
+        .unwrap_or(0.0)
+}
+
+struct Row {
+    key: String,
+    cold_plan_ns: u64,
+    warm_plan_ns: u64,
+    warm_execute_ns: u64,
+}
+
+fn main() {
+    let mut out_path = None;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other if out_path.is_none() => out_path = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_service.json".to_string());
+    let programs: usize = 6;
+    let warm_samples: usize = 8;
+
+    let service = PlanService::start(ServiceConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(service.addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let mut rows = Vec::new();
+    for n in 0..programs {
+        let dense = program(n, false);
+        let airy = program(n, true);
+
+        let t0 = Instant::now();
+        let plan = client.plan(&dense, Abstraction::PsPdg).expect("cold plan");
+        let cold_plan_ns = t0.elapsed().as_nanos() as u64;
+        let key = plan
+            .get("key")
+            .and_then(Value::as_str)
+            .expect("plan key")
+            .to_string();
+
+        // Warm plans hit through the content hash: the reformatted twin.
+        let warm_plan_ns = (0..warm_samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                client.plan(&airy, Abstraction::PsPdg).expect("warm plan");
+                t0.elapsed().as_nanos() as u64
+            })
+            .min()
+            .unwrap();
+        let warm_execute_ns = (0..warm_samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                let exec = client
+                    .execute(&airy, Abstraction::PsPdg, Some(4))
+                    .expect("warm execute");
+                let ns = t0.elapsed().as_nanos() as u64;
+                if smoke {
+                    assert_eq!(
+                        exec.get("matches_baseline"),
+                        Some(&Value::Bool(true)),
+                        "execution diverged from the sequential baseline"
+                    );
+                    assert_eq!(exec.get("globals_mismatch"), Some(&Value::Null));
+                }
+                ns
+            })
+            .min()
+            .unwrap();
+
+        rows.push(Row {
+            key,
+            cold_plan_ns,
+            warm_plan_ns,
+            warm_execute_ns,
+        });
+    }
+
+    let metrics = client.metrics().expect("metrics");
+    let cache = metrics.get("cache").expect("cache block");
+    let hits = num(cache, "hits");
+    let misses = num(cache, "misses");
+    let builds = num(cache, "builds");
+    let hit_rate = hits / (hits + misses);
+    let pdg_spans = pdg_build_spans(&metrics);
+
+    if smoke {
+        for r in &rows {
+            assert!(
+                r.warm_plan_ns < r.cold_plan_ns,
+                "warm plan ({} ns) not cheaper than cold ({} ns) for {}",
+                r.warm_plan_ns,
+                r.cold_plan_ns,
+                r.key
+            );
+        }
+        assert!(hits > 0.0, "no cache hits recorded");
+        assert_eq!(
+            builds, programs as f64,
+            "every program must build exactly once"
+        );
+
+        // Warm requests must not rebuild the PDG: span counts freeze
+        // after the cold phase.
+        let before = pdg_build_spans(&client.metrics().expect("metrics"));
+        for n in 0..programs {
+            client
+                .plan(&program(n, false), Abstraction::PsPdg)
+                .expect("warm re-plan");
+        }
+        let after = pdg_build_spans(&client.metrics().expect("metrics"));
+        assert_eq!(
+            before, after,
+            "a warm request recorded new pspdg/pdg_build spans"
+        );
+        eprintln!("smoke gates passed: warm < cold on all {programs} programs, hit rate {hit_rate:.3}, zero warm pdg_build spans");
+    }
+
+    client.shutdown().expect("shutdown");
+    service.wait();
+
+    let geomean = |f: &dyn Fn(&Row) -> u64| -> f64 {
+        (rows.iter().map(|r| (f(r) as f64).ln()).sum::<f64>() / rows.len() as f64).exp()
+    };
+    let cold_geomean = geomean(&|r| r.cold_plan_ns);
+    let warm_geomean = geomean(&|r| r.warm_plan_ns);
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"key\": \"{}\", \"cold_plan_ns\": {}, \"warm_plan_ns\": {}, \"warm_execute_ns\": {}, \"cold_over_warm\": {:.2}}}",
+                r.key,
+                r.cold_plan_ns,
+                r.warm_plan_ns,
+                r.warm_execute_ns,
+                r.cold_plan_ns as f64 / r.warm_plan_ns as f64
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"suite\": \"plan service: in-process daemon over loopback TCP, one client\",\n  \"cold\": \"first plan request per program: compile + profile + PDG build + EffectiveView assembly + plan enumeration inside the request\",\n  \"warm\": \"the same program reformatted (content-hash hit): min over {warm_samples} requests\",\n  \"programs\": {programs},\n  \"cold_plan_geomean_ns\": {cold_geomean:.0},\n  \"warm_plan_geomean_ns\": {warm_geomean:.0},\n  \"cold_over_warm_geomean\": {:.2},\n  \"cache\": {{\"hits\": {hits:.0}, \"misses\": {misses:.0}, \"builds\": {builds:.0}, \"hit_rate\": {hit_rate:.4}}},\n  \"pdg_build_spans_total\": {pdg_spans:.0},\n  \"requests\": [\n{}\n  ]\n}}\n",
+        cold_geomean / warm_geomean,
+        row_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write output");
+    println!(
+        "wrote {out_path}: cold/warm geomean {:.1}x, hit rate {hit_rate:.3}",
+        cold_geomean / warm_geomean
+    );
+}

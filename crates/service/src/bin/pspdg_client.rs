@@ -1,0 +1,114 @@
+//! Command-line client for the plan-service daemon.
+//!
+//! ```text
+//! pspdg_client ADDR ping
+//! pspdg_client ADDR plan    FILE [ABSTRACTION]
+//! pspdg_client ADDR execute FILE [ABSTRACTION] [WORKERS]
+//! pspdg_client ADDR report  FILE [ABSTRACTION] [WORKERS]
+//! pspdg_client ADDR metrics
+//! pspdg_client ADDR shutdown
+//! ```
+//!
+//! `FILE` is ParC source (`-` reads stdin). `ABSTRACTION` is one of
+//! `openmp | pdg | jk | pspdg` (default `pspdg`). Prints the server's
+//! raw JSON response line; exits non-zero on transport errors or an
+//! `"ok": false` response.
+
+use std::io::Read;
+
+use pspdg_service::proto::{parse_abstraction, Input, Request};
+use pspdg_service::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pspdg_client ADDR (ping | metrics | shutdown | \
+         (plan|execute|report) FILE [ABSTRACTION] [WORKERS])"
+    );
+    std::process::exit(2);
+}
+
+fn read_source(path: &str) -> String {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .unwrap_or_else(|e| {
+                eprintln!("pspdg_client: reading stdin: {e}");
+                std::process::exit(1);
+            });
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("pspdg_client: reading {path}: {e}");
+            std::process::exit(1);
+        })
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let addr = &args[0];
+    let op = args[1].as_str();
+    let abstraction = |i: usize| match args.get(i) {
+        None => pspdg_service::proto::parse_abstraction("pspdg").unwrap(),
+        Some(name) => parse_abstraction(name).unwrap_or_else(|| {
+            eprintln!("pspdg_client: unknown abstraction {name:?}");
+            usage()
+        }),
+    };
+    let workers = |i: usize| {
+        args.get(i).map(|w| {
+            w.parse().unwrap_or_else(|_| {
+                eprintln!("pspdg_client: bad worker count {w:?}");
+                usage()
+            })
+        })
+    };
+    let request = match op {
+        "ping" => Request::Ping,
+        "metrics" => Request::Metrics,
+        "shutdown" => Request::Shutdown,
+        "plan" | "execute" | "report" => {
+            if args.len() < 3 {
+                usage();
+            }
+            let input = Input::Source(read_source(&args[2]));
+            match op {
+                "plan" => Request::Plan {
+                    input,
+                    abstraction: abstraction(3),
+                },
+                "execute" => Request::Execute {
+                    input,
+                    abstraction: abstraction(3),
+                    workers: workers(4),
+                },
+                _ => Request::Report {
+                    input,
+                    abstraction: abstraction(3),
+                    workers: workers(4),
+                },
+            }
+        }
+        _ => usage(),
+    };
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("pspdg_client: connect {addr}: {e}");
+        std::process::exit(1);
+    });
+    match client.call_raw(request) {
+        Ok(line) => {
+            println!("{line}");
+            if line.contains("\"ok\":false") {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("pspdg_client: {e}");
+            std::process::exit(1);
+        }
+    }
+}

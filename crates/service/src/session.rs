@@ -1,0 +1,425 @@
+//! The thread-safe compile-once / plan-and-execute-many facade.
+//!
+//! A [`Session`] is one compiled program plus everything the Fig. 2
+//! pipeline derives from it, owned behind `Arc`s so any number of threads
+//! can plan and execute concurrently:
+//!
+//! * the parsed [`ParallelProgram`] (shared with every runtime built
+//!   from the session);
+//! * the sequential profile **and** the sequential baseline (return
+//!   value, printed output, observable globals) from one profiling run —
+//!   the differential oracle every parallel execution is checked against;
+//! * the per-function analysis artifacts ([`FunctionPsPdg`]: structural
+//!   analyses, base PDG, overlay-assembled PS-PDG) built once;
+//! * a per-[`Abstraction`] plan cache: the enumerated [`ProgramPlan`]
+//!   and its lowered, `Arc`-shared [`ExecutablePlan`].
+//!
+//! Planning an abstraction twice returns the cached bundle; executing
+//! constructs a fresh [`Runtime`] from the shared parts
+//! ([`Runtime::from_shared`]) — O(1), reentrant, no rebuilds.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use pspdg_core::{build_pspdg_module_recorded, FeatureSet, FunctionPsPdg};
+use pspdg_emulator::emulate;
+use pspdg_frontend::{compile, FrontendError};
+use pspdg_ir::interp::{ExecError, Interpreter, NullSink, Profile, RtVal};
+use pspdg_ir::parse::parse_module;
+use pspdg_obs::Recorder;
+use pspdg_parallel::{ParallelError, ParallelProgram};
+use pspdg_parallelizer::{
+    plan_built_recorded, realize_executable_recorded, Abstraction, ExecutablePlan, ProgramPlan,
+};
+use pspdg_runtime::{globals_mismatch, observable_globals, RunStats, Runtime};
+
+use crate::hash::content_key;
+
+/// Default hot-loop coverage threshold handed to the planner.
+pub const DEFAULT_THRESHOLD: f64 = 0.01;
+
+/// Why a session could not be established.
+#[derive(Debug)]
+pub enum SessionError {
+    /// ParC source failed to compile.
+    Frontend(FrontendError),
+    /// IR text failed to parse.
+    Ir(String),
+    /// The program (or its directives) failed validation.
+    Invalid(ParallelError),
+    /// The sequential profiling run faulted; a program that cannot run
+    /// sequentially has no baseline to plan against.
+    Profile(ExecError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Frontend(e) => write!(f, "compile error: {e}"),
+            SessionError::Ir(e) => write!(f, "IR parse error: {e}"),
+            SessionError::Invalid(e) => write!(f, "invalid program: {e}"),
+            SessionError::Profile(e) => write!(f, "sequential profiling run faulted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<FrontendError> for SessionError {
+    fn from(e: FrontendError) -> SessionError {
+        SessionError::Frontend(e)
+    }
+}
+
+/// The sequential run every parallel execution is diffed against.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// `main`'s return value.
+    pub ret: Option<RtVal>,
+    /// Everything the program printed.
+    pub output: Vec<String>,
+    /// Observable global memory after the run.
+    pub globals: Vec<(String, Vec<RtVal>)>,
+    /// Dynamic instructions executed.
+    pub steps: u64,
+    /// Wall time of the profiling run (the `sequential_ns` of every
+    /// predicted-vs-measured report this session produces).
+    pub sequential_ns: u64,
+}
+
+/// One abstraction's cached plan: the enumerated plan and its lowered,
+/// shareable executable form.
+#[derive(Debug)]
+pub struct PlanBundle {
+    /// The abstraction that produced the plan.
+    pub abstraction: Abstraction,
+    /// The enumerated plan (techniques, discharged bases, mutexes).
+    pub plan: ProgramPlan,
+    /// The lowered plan, shared by every runtime executing it.
+    pub exec: Arc<ExecutablePlan>,
+    /// Ideal-machine parallelism of `plan`, memoized on first use.
+    predicted: OnceLock<f64>,
+}
+
+impl PlanBundle {
+    /// Parallelism the ideal machine predicts for this plan (total
+    /// dynamic instructions / plan-constrained critical path), memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter faults from the emulation run.
+    pub fn predicted_parallelism(&self, program: &ParallelProgram) -> Result<f64, ExecError> {
+        if let Some(p) = self.predicted.get() {
+            return Ok(*p);
+        }
+        let r = emulate(program, &self.plan)?;
+        Ok(*self.predicted.get_or_init(|| r.parallelism()))
+    }
+}
+
+/// One parallel execution's observable result, pre-diffed against the
+/// session's sequential baseline.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// The abstraction whose plan ran.
+    pub abstraction: Abstraction,
+    /// Worker threads the runtime was configured with.
+    pub workers: usize,
+    /// `main`'s return value.
+    pub ret: Option<RtVal>,
+    /// Everything the program printed.
+    pub output: Vec<String>,
+    /// The runtime's dynamic counters.
+    pub stats: RunStats,
+    /// Dynamic instructions executed (master + workers).
+    pub steps: u64,
+    /// First observable-global divergence from the sequential baseline
+    /// (`None` = the parallel run matches the interpreter).
+    pub globals_mismatch: Option<(String, usize)>,
+    /// Wall time of the parallel run.
+    pub parallel_ns: u64,
+}
+
+impl Execution {
+    /// Whether this execution is observably identical to the sequential
+    /// baseline (globals, return value, and printed output).
+    pub fn matches_baseline(&self, baseline: &Baseline) -> bool {
+        self.globals_mismatch.is_none()
+            && self.ret == baseline.ret
+            && self.output == baseline.output
+    }
+}
+
+/// A compiled program with cached analyses and plans; `Send + Sync`, so
+/// one session serves any number of concurrent planners and executors.
+pub struct Session {
+    program: Arc<ParallelProgram>,
+    key: u64,
+    built: Vec<FunctionPsPdg>,
+    profile: Profile,
+    baseline: Baseline,
+    threshold: f64,
+    rec: Option<Arc<Recorder>>,
+    plans: Mutex<HashMap<Abstraction, Arc<PlanBundle>>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("key", &format_args!("{:016x}", self.key))
+            .field("functions", &self.built.len())
+            .field("steps", &self.baseline.steps)
+            .finish()
+    }
+}
+
+impl Session {
+    /// Compile ParC `source`, profile it sequentially, and build the
+    /// per-function analysis artifacts — the whole cacheable prefix of
+    /// the Fig. 2 pipeline, exactly once.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`].
+    pub fn compile(source: &str) -> Result<Session, SessionError> {
+        Session::compile_recorded(source, None)
+    }
+
+    /// [`Session::compile`] with pipeline tracing: the module build
+    /// records its `pspdg/pdg_build` / `pspdg/overlay_assemble` spans and
+    /// planning records `plan/enumerate` spans into `rec`. The cache
+    /// tests key on those spans: a session that is *reused* records none.
+    pub fn compile_recorded(
+        source: &str,
+        rec: Option<Arc<Recorder>>,
+    ) -> Result<Session, SessionError> {
+        Session::from_program_recorded(compile(source)?, rec)
+    }
+
+    /// Build a session from textual IR (no directives — the program
+    /// plans as a purely sequential module under every abstraction
+    /// except what analysis alone proves parallel).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`].
+    pub fn from_ir(text: &str) -> Result<Session, SessionError> {
+        let module = parse_module(text).map_err(|e| SessionError::Ir(e.to_string()))?;
+        Session::from_program_recorded(ParallelProgram::new(module), None)
+    }
+
+    /// Build a session from an already-constructed program (the NAS
+    /// kernels, generated kernels, anything assembled via the builders).
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`].
+    pub fn from_program(program: ParallelProgram) -> Result<Session, SessionError> {
+        Session::from_program_recorded(program, None)
+    }
+
+    /// [`Session::from_program`] with pipeline tracing.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`].
+    pub fn from_program_recorded(
+        program: ParallelProgram,
+        rec: Option<Arc<Recorder>>,
+    ) -> Result<Session, SessionError> {
+        program.validate().map_err(SessionError::Invalid)?;
+        let key = content_key(&program);
+        // One sequential run doubles as profiler and baseline oracle.
+        let t0 = Instant::now();
+        let mut interp = Interpreter::new(&program.module);
+        let ret = interp
+            .run_main(&mut NullSink)
+            .map_err(SessionError::Profile)?;
+        let sequential_ns = t0.elapsed().as_nanos() as u64;
+        let baseline = Baseline {
+            ret,
+            output: interp.output().to_vec(),
+            globals: observable_globals(&program.module, interp.mem()),
+            steps: interp.steps(),
+            sequential_ns,
+        };
+        let profile = interp.profile().clone();
+        drop(interp);
+        let built = build_pspdg_module_recorded(&program, FeatureSet::all(), rec.as_deref());
+        Ok(Session {
+            program: Arc::new(program),
+            key,
+            built,
+            profile,
+            baseline,
+            threshold: DEFAULT_THRESHOLD,
+            rec,
+            plans: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Override the planner's hot-loop coverage threshold
+    /// ([`DEFAULT_THRESHOLD`]). Clears cached plans.
+    pub fn threshold(mut self, threshold: f64) -> Session {
+        self.threshold = threshold;
+        self.plans.get_mut().expect("plan cache lock").clear();
+        self
+    }
+
+    /// The content key of the parsed program (cache identity).
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The program, shareable.
+    pub fn program(&self) -> &Arc<ParallelProgram> {
+        &self.program
+    }
+
+    /// The sequential execution profile driving hot-loop selection.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// The sequential baseline (differential oracle).
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// The per-function analysis artifacts built at session creation.
+    pub fn built(&self) -> &[FunctionPsPdg] {
+        &self.built
+    }
+
+    /// The plan for `abstraction`, enumerated on first request and cached
+    /// — concurrent callers of the same abstraction block until the first
+    /// build finishes (single-flight), so a plan is never built twice.
+    pub fn plan(&self, abstraction: Abstraction) -> Arc<PlanBundle> {
+        let mut plans = self.plans.lock().expect("plan cache lock");
+        if let Some(b) = plans.get(&abstraction) {
+            return Arc::clone(b);
+        }
+        let bundle = Arc::new(self.enumerate(abstraction));
+        plans.insert(abstraction, Arc::clone(&bundle));
+        bundle
+    }
+
+    /// Re-enumerate `abstraction`'s plan from the cached analysis
+    /// artifacts, replacing the cached bundle. This is the replanning
+    /// path: it re-runs only enumeration + lowering over the already-
+    /// assembled `EffectiveView` PS-PDGs — never the PDG build.
+    pub fn replan(&self, abstraction: Abstraction) -> Arc<PlanBundle> {
+        let bundle = Arc::new(self.enumerate(abstraction));
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(abstraction, Arc::clone(&bundle));
+        bundle
+    }
+
+    fn enumerate(&self, abstraction: Abstraction) -> PlanBundle {
+        let rec = self.rec.as_deref().filter(|r| r.enabled());
+        let plan = plan_built_recorded(
+            &self.program,
+            &self.built,
+            &self.profile,
+            abstraction,
+            self.threshold,
+            rec,
+        );
+        let exec = realize_executable_recorded(&self.program, &plan, rec);
+        PlanBundle {
+            abstraction,
+            plan,
+            exec: Arc::new(exec),
+            predicted: OnceLock::new(),
+        }
+    }
+
+    /// A fresh runtime for `abstraction`'s cached plan, built from the
+    /// shared parts — call freely from any thread, configure with the
+    /// usual builder knobs, then `run_main`.
+    pub fn runtime(&self, abstraction: Abstraction) -> Runtime {
+        let bundle = self.plan(abstraction);
+        Runtime::from_shared(Arc::clone(&self.program), Arc::clone(&bundle.exec))
+    }
+
+    /// Plan (cached) and execute under `abstraction` with `workers`
+    /// threads, returning the result pre-diffed against the sequential
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] sequential execution would raise (parallel
+    /// faults fall back and re-run sequentially first).
+    pub fn execute(
+        &self,
+        abstraction: Abstraction,
+        workers: usize,
+    ) -> Result<Execution, ExecError> {
+        let rt = self.runtime(abstraction).workers(workers);
+        self.run_configured(abstraction, &rt)
+    }
+
+    /// Execute an already-configured runtime (from [`Session::runtime`],
+    /// with whatever builder knobs the caller chose) and diff it against
+    /// the baseline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::execute`].
+    pub fn run_configured(
+        &self,
+        abstraction: Abstraction,
+        rt: &Runtime,
+    ) -> Result<Execution, ExecError> {
+        let t0 = Instant::now();
+        let out = rt.run_main()?;
+        let parallel_ns = t0.elapsed().as_nanos() as u64;
+        let par = observable_globals(&self.program.module, &out.mem);
+        Ok(Execution {
+            abstraction,
+            workers: rt.worker_count(),
+            ret: out.ret,
+            output: out.output,
+            stats: out.stats,
+            steps: out.steps,
+            globals_mismatch: globals_mismatch(&self.baseline.globals, &par),
+            parallel_ns,
+        })
+    }
+
+    /// Rough resident size of everything this session caches, in bytes —
+    /// the [`PlanStore`](crate::store::PlanStore)'s LRU currency. An
+    /// estimate (IR, edge arenas, profile counters, plan maps), not an
+    /// allocator audit; what matters is that it grows with the module.
+    pub fn approx_bytes(&self) -> usize {
+        let m = &self.program.module;
+        let mut bytes = 0usize;
+        for f in &m.functions {
+            bytes += f.insts.len() * 96 + f.blocks.len() * 48;
+        }
+        bytes += m.globals.len() * 64;
+        for fp in &self.built {
+            bytes += fp.pdg.edges.len() * 48;
+            bytes += fp.mem_refs.len() * 64;
+            bytes += fp.pspdg.nodes.len() * 64 + fp.pspdg.edge_count() * 32;
+        }
+        for counts in &self.profile.inst_count {
+            bytes += counts.len() * 8;
+        }
+        for counts in &self.profile.block_count {
+            bytes += counts.len() * 8;
+        }
+        for (_, cells) in &self.baseline.globals {
+            bytes += cells.len() * 16;
+        }
+        let plans = self.plans.lock().expect("plan cache lock");
+        bytes += plans.len() * 4096;
+        for b in plans.values() {
+            bytes += b.plan.loops.len() * 256 + b.exec.len() * 512;
+        }
+        bytes
+    }
+}

@@ -1,0 +1,281 @@
+//! The content-addressed session cache with an LRU byte budget.
+//!
+//! [`PlanStore`] maps [`content_key`]s to `Arc<Session>`s — the cached
+//! suffix of the Fig. 2 pipeline (profile, PDGs, overlay-assembled
+//! PS-PDGs, per-abstraction plans). Lookups are **single-flight**: when
+//! N threads request the same unseen program concurrently, exactly one
+//! builds the session while the rest block on a condvar and then share
+//! the result, so the store never builds the same module twice (the
+//! concurrent-hammer test pins this through the recorder's
+//! `pspdg/pdg_build` span counts).
+//!
+//! Entries are charged their [`Session::approx_bytes`] against a byte
+//! budget; insertion beyond the budget evicts least-recently-used ready
+//! entries (never the entry being returned, never an in-flight build).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use pspdg_frontend::compile;
+use pspdg_obs::Recorder;
+use pspdg_parallel::ParallelProgram;
+
+use crate::hash::content_key;
+use crate::session::{Session, SessionError};
+
+/// Default [`PlanStore`] byte budget: plenty for every NAS kernel and a
+/// long tail of ad-hoc requests, small enough that a runaway corpus
+/// recycles memory instead of growing without bound.
+pub const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+
+/// Cache effectiveness counters (monotonic except `bytes`/`entries`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from cache (including waiters that joined an
+    /// in-flight build).
+    pub hits: u64,
+    /// Lookups that triggered a build.
+    pub misses: u64,
+    /// Ready entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Sessions actually built (== `misses` minus failed builds).
+    pub builds: u64,
+    /// Bytes currently charged by ready entries.
+    pub bytes: usize,
+    /// Ready entries currently cached.
+    pub entries: usize,
+}
+
+enum Slot {
+    /// A build is in flight on some thread; waiters block on the condvar.
+    Building,
+    Ready {
+        session: Arc<Session>,
+        bytes: usize,
+        last_used: u64,
+    },
+}
+
+struct Inner {
+    entries: HashMap<u64, Slot>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    builds: u64,
+}
+
+/// The content-addressed, byte-budgeted, single-flight session cache.
+pub struct PlanStore {
+    budget: usize,
+    rec: Option<Arc<Recorder>>,
+    inner: Mutex<Inner>,
+    built: Condvar,
+}
+
+impl std::fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanStore")
+            .field("budget", &self.budget)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl PlanStore {
+    /// A store with the default byte budget ([`DEFAULT_BUDGET_BYTES`]).
+    pub fn new() -> PlanStore {
+        PlanStore::with_budget(DEFAULT_BUDGET_BYTES)
+    }
+
+    /// A store evicting LRU entries beyond `budget_bytes`.
+    pub fn with_budget(budget_bytes: usize) -> PlanStore {
+        PlanStore {
+            budget: budget_bytes.max(1),
+            rec: None,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                builds: 0,
+            }),
+            built: Condvar::new(),
+        }
+    }
+
+    /// Attach a recorder: cache hits/misses/evictions become counters
+    /// (`service/cache_*`) and every session built through the store
+    /// records its pipeline spans (`pspdg/pdg_build`, `plan/enumerate`,
+    /// …) — which is how tests prove a warm request rebuilds nothing.
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> PlanStore {
+        self.rec = Some(rec);
+        self
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Current cache counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        let mut bytes = 0;
+        let mut entries = 0;
+        for slot in inner.entries.values() {
+            if let Slot::Ready { bytes: b, .. } = slot {
+                bytes += b;
+                entries += 1;
+            }
+        }
+        StoreStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            builds: inner.builds,
+            bytes,
+            entries,
+        }
+    }
+
+    /// Whether `key` is cached and ready (does not touch recency).
+    pub fn contains(&self, key: u64) -> bool {
+        matches!(
+            self.inner.lock().expect("store lock").entries.get(&key),
+            Some(Slot::Ready { .. })
+        )
+    }
+
+    /// Compile ParC `source` and return its cached (or freshly built)
+    /// session. The compile itself always runs — it is what produces the
+    /// content key — but everything after it (profiling, PDG build,
+    /// plans) is shared on a hit.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`].
+    pub fn get_source(&self, source: &str) -> Result<Arc<Session>, SessionError> {
+        self.get_or_build(compile(source)?)
+    }
+
+    /// The cached session for `program`, building it (exactly once, even
+    /// under concurrency) on a miss.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionError`]. A failed build is not cached; the next
+    /// request retries.
+    pub fn get_or_build(&self, program: ParallelProgram) -> Result<Arc<Session>, SessionError> {
+        let key = content_key(&program);
+        {
+            let mut inner = self.inner.lock().expect("store lock");
+            loop {
+                inner.tick += 1;
+                let tick = inner.tick;
+                match inner.entries.get_mut(&key) {
+                    Some(Slot::Ready {
+                        session, last_used, ..
+                    }) => {
+                        *last_used = tick;
+                        let out = Arc::clone(session);
+                        inner.hits += 1;
+                        drop(inner);
+                        self.count("service/cache_hit");
+                        return Ok(out);
+                    }
+                    Some(Slot::Building) => {
+                        inner = self.built.wait(inner).expect("store lock");
+                    }
+                    None => {
+                        inner.entries.insert(key, Slot::Building);
+                        inner.misses += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        self.count("service/cache_miss");
+        // Build outside the lock — the whole point of single-flight is
+        // that concurrent *distinct* programs build in parallel.
+        let result = Session::from_program_recorded(program, self.rec.clone());
+        let mut inner = self.inner.lock().expect("store lock");
+        match result {
+            Ok(session) => {
+                let session = Arc::new(session);
+                let bytes = session.approx_bytes();
+                inner.tick += 1;
+                let tick = inner.tick;
+                inner.builds += 1;
+                inner.entries.insert(
+                    key,
+                    Slot::Ready {
+                        session: Arc::clone(&session),
+                        bytes,
+                        last_used: tick,
+                    },
+                );
+                let evicted = evict_over_budget(&mut inner, self.budget, key);
+                drop(inner);
+                for _ in 0..evicted {
+                    self.count("service/cache_eviction");
+                }
+                self.built.notify_all();
+                Ok(session)
+            }
+            Err(e) => {
+                inner.entries.remove(&key);
+                drop(inner);
+                self.built.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn count(&self, name: &'static str) {
+        if let Some(r) = self.rec.as_deref().filter(|r| r.enabled()) {
+            r.add(name, 1);
+        }
+    }
+}
+
+impl Default for PlanStore {
+    fn default() -> PlanStore {
+        PlanStore::new()
+    }
+}
+
+/// Evict least-recently-used ready entries until the charged bytes fit
+/// the budget; `keep` (the entry being returned) and in-flight builds
+/// are never evicted. Returns how many entries were dropped.
+fn evict_over_budget(inner: &mut Inner, budget: usize, keep: u64) -> u64 {
+    let mut evicted = 0;
+    loop {
+        let total: usize = inner
+            .entries
+            .values()
+            .map(|s| match s {
+                Slot::Ready { bytes, .. } => *bytes,
+                Slot::Building => 0,
+            })
+            .sum();
+        if total <= budget {
+            break;
+        }
+        let victim = inner
+            .entries
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready { last_used, .. } if *k != keep => Some((*last_used, *k)),
+                _ => None,
+            })
+            .min();
+        let Some((_, k)) = victim else { break };
+        inner.entries.remove(&k);
+        inner.evictions += 1;
+        evicted += 1;
+    }
+    evicted
+}

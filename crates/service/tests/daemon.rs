@@ -1,0 +1,258 @@
+//! End-to-end daemon tests: protocol round-trips, warm-cache behavior
+//! proven through the metrics op, and graceful-shutdown draining.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use pspdg_obs::json::Value;
+use pspdg_parallelizer::Abstraction;
+use pspdg_service::{Client, PlanService, ServiceConfig};
+
+const SRC: &str = r#"
+int v[64]; int s;
+void k() { int i;
+#pragma omp parallel for reduction(+: s)
+for (i = 0; i < 64; i++) { v[i] = i * 2; s += i; } }
+int main() { k(); return s; }
+"#;
+
+/// `SRC` reformatted: same parsed module, same content key.
+const SRC_REFORMATTED: &str = r#"
+int v[64];
+int s;
+void k() {
+    int i;
+    #pragma omp parallel for reduction(+: s)
+    for (i = 0; i < 64; i++) { v[i] = i * 2; s += i; }
+}
+int main() { k(); return s; }
+"#;
+
+fn start() -> PlanService {
+    PlanService::start(ServiceConfig {
+        handlers: 2,
+        exec_workers: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("bind loopback")
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("response missing numeric {key:?}: {v:?}"))
+}
+
+fn span_count(metrics: &Value, name: &str) -> f64 {
+    metrics
+        .get("spans")
+        .and_then(Value::as_array)
+        .map(|spans| {
+            spans
+                .iter()
+                .filter(|s| s.get("name").and_then(Value::as_str) == Some(name))
+                .map(|s| num(s, "count"))
+                .sum()
+        })
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn end_to_end_cold_then_warm_skips_pdg_rebuild() {
+    let service = start();
+    let mut client = Client::connect(service.addr()).unwrap();
+    client.ping().unwrap();
+
+    // Cold request: a miss that builds the session and records spans.
+    let plan = client.plan(SRC, Abstraction::PsPdg).unwrap();
+    assert!(num(&plan, "loops") >= 1.0, "the hot loop must be planned");
+    let key = plan.get("key").and_then(Value::as_str).unwrap().to_string();
+
+    let cold = client.metrics().unwrap();
+    let cold_builds = num(cold.get("cache").unwrap(), "builds");
+    let cold_pdg_spans = span_count(&cold, "pspdg/pdg_build");
+    assert_eq!(cold_builds, 1.0);
+    assert!(
+        cold_pdg_spans > 0.0,
+        "cold build must record pdg_build spans"
+    );
+
+    // Warm requests — including a reformatted source and a different
+    // abstraction — must not rebuild the PDG.
+    let exec = client
+        .execute(SRC_REFORMATTED, Abstraction::PsPdg, Some(2))
+        .unwrap();
+    assert_eq!(exec.get("key").and_then(Value::as_str), Some(key.as_str()));
+    assert_eq!(exec.get("globals_mismatch"), Some(&Value::Null));
+    assert_eq!(exec.get("matches_baseline"), Some(&Value::Bool(true)));
+    assert_eq!(num(&exec, "ret"), 2016.0); // sum 0..63
+
+    client.plan(SRC, Abstraction::OpenMp).unwrap();
+    client.execute(SRC, Abstraction::PsPdg, Some(4)).unwrap();
+
+    let warm = client.metrics().unwrap();
+    let cache = warm.get("cache").unwrap();
+    assert_eq!(
+        num(cache, "builds"),
+        1.0,
+        "warm requests rebuilt the session"
+    );
+    assert!(num(cache, "hits") >= 3.0);
+    assert_eq!(
+        span_count(&warm, "pspdg/pdg_build"),
+        cold_pdg_spans,
+        "a warm request recorded new pspdg/pdg_build spans"
+    );
+
+    service.shutdown();
+}
+
+#[test]
+fn report_carries_prediction_and_execution() {
+    let service = start();
+    let mut client = Client::connect(service.addr()).unwrap();
+    let report = client.report(SRC, Abstraction::PsPdg, Some(2)).unwrap();
+    assert!(num(&report, "predicted_parallelism") > 1.0);
+    assert!(num(&report, "sequential_ns") > 0.0);
+    assert!(num(&report, "parallel_ns") > 0.0);
+    assert!(num(&report, "measured_speedup") > 0.0);
+    assert_eq!(report.get("matches_baseline"), Some(&Value::Bool(true)));
+    service.shutdown();
+}
+
+#[test]
+fn errors_come_back_as_responses_not_hangups() {
+    let service = start();
+    let mut client = Client::connect(service.addr()).unwrap();
+    let err = client.plan("int main( {", Abstraction::PsPdg).unwrap_err();
+    assert!(
+        format!("{err}").contains("compile error"),
+        "expected a compile-error response, got: {err}"
+    );
+    // The connection survives the error.
+    client.ping().unwrap();
+
+    // Protocol garbage also gets an error line.
+    let mut raw = TcpStream::connect(service.addr()).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert!(line.contains("\"ok\":false"), "got: {line}");
+
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let service = start();
+    const CLIENTS: usize = 6;
+    let addr = service.addr();
+    let answers: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let src = if i % 2 == 0 { SRC } else { SRC_REFORMATTED };
+                    let v = c.execute(src, Abstraction::PsPdg, Some(2)).unwrap();
+                    // Everything observable, minus the timing fields.
+                    format!(
+                        "{:?}|{:?}|{}|{:?}|{:?}",
+                        v.get("ret"),
+                        v.get("output"),
+                        num(&v, "steps"),
+                        v.get("globals_mismatch"),
+                        v.get("matches_baseline"),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for a in &answers[1..] {
+        assert_eq!(a, &answers[0], "concurrent clients diverged");
+    }
+    // One content key, one build.
+    assert_eq!(service.store().stats().builds, 1);
+    service.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let service = PlanService::start(ServiceConfig {
+        handlers: 1, // serialize handling so requests actually queue up
+        exec_workers: 2,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let addr = service.addr();
+
+    // Pipeline a burst of requests without reading any responses.
+    const BURST: usize = 5;
+    let mut stream = TcpStream::connect(addr).unwrap();
+    for i in 0..BURST {
+        let line = format!(
+            "{{\"id\":\"q{i}\",\"op\":\"execute\",\"abstraction\":\"pspdg\",\"source\":{:?}}}\n",
+            SRC
+        );
+        stream.write_all(line.as_bytes()).unwrap();
+    }
+    stream.flush().unwrap();
+
+    // Wait until the daemon has read all of them (they are now in flight:
+    // queued or being handled), then shut down.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut probes = 0usize;
+    loop {
+        let mut probe = Client::connect(addr).unwrap();
+        probes += 1;
+        let m = probe.metrics().unwrap();
+        // `requests` counts reads; `probes` of them are ours, so the
+        // burst is fully read once the difference reaches BURST.
+        if num(&m, "requests") >= (BURST + probes) as f64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon never read the burst");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    service.shutdown();
+
+    // Every in-flight request was answered before the daemon exited.
+    let mut reader = BufReader::new(stream);
+    let mut ids = Vec::new();
+    for _ in 0..BURST {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).unwrap() > 0,
+            "shutdown dropped an in-flight request (got {ids:?})"
+        );
+        assert!(
+            line.contains("\"ok\":true"),
+            "drained response failed: {line}"
+        );
+        let id_at = line.find("\"id\":\"").expect("response id") + 6;
+        ids.push(line[id_at..id_at + 2].to_string());
+    }
+    assert_eq!(ids, (0..BURST).map(|i| format!("q{i}")).collect::<Vec<_>>());
+    // Daemon is gone: new connections fail or are not served.
+    assert!(Client::connect(addr)
+        .and_then(|mut c| {
+            c.ping().map_err(|_| std::io::Error::other("dead"))
+        })
+        .is_err());
+}
+
+#[test]
+fn client_shutdown_op_stops_a_waiting_daemon() {
+    let service = start();
+    let addr = service.addr();
+    let waiter = std::thread::spawn(move || service.wait());
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.shutdown().unwrap();
+    waiter
+        .join()
+        .expect("wait() returned after client shutdown");
+}

@@ -6,10 +6,9 @@
 //! cargo run --release --example plan_explorer [BENCH]
 //! ```
 
-use pspdg::ir::interp::{Interpreter, NullSink};
 use pspdg::nas::{benchmark, suite, Class};
-use pspdg::parallelizer::{build_plan, enumerate_function, Abstraction, MachineModel};
-use pspdg::runtime::Runtime;
+use pspdg::parallelizer::{enumerate_function, Abstraction, MachineModel};
+use pspdg::Session;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "MG".to_string());
@@ -27,13 +26,14 @@ fn main() {
     println!("{} — {}", b.name, b.description);
     println!("{}", "-".repeat(72));
 
-    let program = b.program();
-    let mut interp = Interpreter::new(&program.module);
-    interp.run_main(&mut NullSink).expect("runs");
+    // Compile + profile + analyze once; plans and runtimes come off the
+    // cached session.
+    let session = Session::from_program(b.program()).expect("runs");
+    let program = session.program();
     let machine = MachineModel::paper();
 
     for func in program.module.function_ids() {
-        let opts = enumerate_function(&program, func, interp.profile(), &machine, 0.01);
+        let opts = enumerate_function(program, func, session.profile(), &machine, 0.01);
         if opts.per_loop.is_empty() {
             continue;
         }
@@ -66,12 +66,12 @@ fn main() {
 
     // Run the PS-PDG best plan on the parallel runtime and report what
     // the activations actually did (chunked / pipelined / fallbacks and
-    // the pool, replay, and copy-on-write volume behind them).
-    let plan = build_plan(&program, interp.profile(), Abstraction::PsPdg, 0.01);
-    let out = Runtime::new(&program, &plan)
-        .workers(4)
-        .run_main()
+    // the pool, replay, and copy-on-write volume behind them). The
+    // session checks the run against its sequential baseline.
+    let out = session
+        .execute(Abstraction::PsPdg, 4)
         .expect("runtime executes the plan");
+    assert!(out.matches_baseline(session.baseline()));
     println!();
     println!("executed under the PS-PDG plan (4 workers):");
     println!("{}", out.stats);

@@ -6,11 +6,9 @@
 //! ```
 
 use pspdg::core::{build_pspdg, query, FeatureSet};
-use pspdg::frontend::compile;
-use pspdg::ir::interp::{Interpreter, NullSink};
-use pspdg::parallelizer::{build_plan, Abstraction};
+use pspdg::parallelizer::Abstraction;
 use pspdg::pdg::{FunctionAnalyses, Pdg};
-use pspdg::runtime::Runtime;
+use pspdg::Session;
 
 fn main() {
     // A histogram with an indirect subscript: no sequential compiler can
@@ -32,27 +30,26 @@ fn main() {
         }
     "#;
 
-    let program = compile(source).expect("ParC compiles");
+    // One call compiles, profiles sequentially (the baseline oracle),
+    // and builds the per-function PDG/PS-PDG artifacts.
+    let session = Session::compile(source).expect("ParC compiles and runs");
+    let program = session.program();
     println!(
         "compiled: {} IR instructions, {} directives",
         program.module.size(),
         program.len()
     );
-
-    // Run it (the interpreter doubles as the profiler).
-    let mut interp = Interpreter::new(&program.module);
-    interp.run_main(&mut NullSink).expect("executes");
     println!(
         "executed {} dynamic instructions, printed: {:?}",
-        interp.steps(),
-        interp.output()
+        session.baseline().steps,
+        session.baseline().output
     );
 
     // Build the PDG and the PS-PDG for the kernel.
     let f = program.module.function_by_name("kernel").unwrap();
     let analyses = FunctionAnalyses::compute(&program.module, f);
     let pdg = Pdg::build(&program.module, f, &analyses);
-    let pspdg = build_pspdg(&program, f, &analyses, &pdg, FeatureSet::all());
+    let pspdg = build_pspdg(program, f, &analyses, &pdg, FeatureSet::all());
 
     let l = analyses.forest.loop_ids().next().unwrap();
     let pdg_carried = pdg.carried_edges(l).filter(|e| e.kind.is_memory()).count();
@@ -77,18 +74,20 @@ fn main() {
     }
     println!("  ...");
 
-    // Execute the plan on the parallel runtime and show what actually
-    // happened: how many activations chunked, pipelined, or fell back,
-    // and what the pool / critical-replay / CoW machinery did.
-    let plan = build_plan(&program, interp.profile(), Abstraction::PsPdg, 0.01);
-    let rt = Runtime::new(&program, &plan)
+    // Execute the PS-PDG plan on the parallel runtime and show what
+    // actually happened: how many activations chunked, pipelined, or fell
+    // back, and what the pool / critical-replay / CoW machinery did. The
+    // session caches the plan and checks the run against its baseline.
+    let rt = session
+        .runtime(Abstraction::PsPdg)
         .workers(4)
         .cost_threshold(0)
         .pipeline_min_body(0);
-    let out = rt.run_main().expect("parallel run succeeds");
-    assert_eq!(
-        out.output,
-        interp.output(),
+    let out = session
+        .run_configured(Abstraction::PsPdg, &rt)
+        .expect("parallel run succeeds");
+    assert!(
+        out.matches_baseline(session.baseline()),
         "runtime matches the interpreter"
     );
     println!();

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_service.json: cold-vs-warm request latency and cache
+# hit rate for the plan-service daemon, measured end to end over
+# loopback TCP.
+#
+# --smoke additionally asserts the service gates: warm < cold on every
+# program, non-zero hit rate, zero pspdg/pdg_build spans recorded by
+# warm requests, and every execution bit-identical to the sequential
+# baseline.
+#
+# Usage: scripts/bench_service.sh [OUT.json] [--smoke]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p pspdg-service --bin bench_service_json -- "${@:-BENCH_service.json}"

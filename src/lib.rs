@@ -6,17 +6,18 @@
 //!
 //! # Example: compile, plan, and execute a program end-to-end
 //!
-//! The whole Fig. 2 loop in one doctest — compile ParC source, profile it
-//! sequentially, build the PS-PDG plan, and execute the plan on the
-//! multi-threaded runtime, checking the result against the interpreter:
+//! The whole Fig. 2 loop in one doctest. A [`Session`] compiles the ParC
+//! source, profiles it sequentially (keeping the run as the correctness
+//! baseline), builds the per-function PDG/PS-PDG artifacts once, and
+//! caches a plan per abstraction; executing checks the parallel run
+//! against the sequential baseline automatically. Sessions are
+//! `Send + Sync` — plan and execute from as many threads as you like.
 //!
 //! ```
-//! use pspdg::frontend::compile;
-//! use pspdg::ir::interp::{Interpreter, NullSink};
-//! use pspdg::parallelizer::{build_plan, Abstraction};
-//! use pspdg::runtime::{observable_globals, Runtime};
+//! use pspdg::parallelizer::Abstraction;
+//! use pspdg::Session;
 //!
-//! let program = compile(
+//! let session = Session::compile(
 //!     r#"
 //!     int v[64]; int s;
 //!     void k() {
@@ -29,25 +30,28 @@
 //! )
 //! .unwrap();
 //!
-//! // 1. Profile sequentially (drives hot-loop selection) — and keep the
-//! //    interpreter around as the correctness oracle.
-//! let mut interp = Interpreter::new(&program.module);
-//! let seq_ret = interp.run_main(&mut NullSink).unwrap();
+//! // The best plan under the PS-PDG abstraction (enumerated once, cached).
+//! let bundle = session.plan(Abstraction::PsPdg);
+//! assert!(!bundle.plan.loops.is_empty(), "the hot loop was planned");
 //!
-//! // 2. Build the best plan under the PS-PDG abstraction.
-//! let plan = build_plan(&program, interp.profile(), Abstraction::PsPdg, 0.01);
+//! // Execute on real threads (cost gates off so the tiny example
+//! // actually parallelizes) and diff against the sequential baseline.
+//! let rt = session
+//!     .runtime(Abstraction::PsPdg)
+//!     .workers(2)
+//!     .cost_threshold(0);
+//! let out = session.run_configured(Abstraction::PsPdg, &rt).unwrap();
 //!
-//! // 3. Execute the plan on real threads (cost gates off so the tiny
-//! //    example actually parallelizes).
-//! let rt = Runtime::new(&program, &plan).workers(2).cost_threshold(0);
-//! let out = rt.run_main().unwrap();
-//!
-//! assert_eq!(out.ret, seq_ret);
+//! assert_eq!(out.ret, session.baseline().ret);
 //! assert!(out.stats.chunked_loops >= 1, "the loop ran in parallel");
-//! let seq = observable_globals(&program.module, interp.mem());
-//! let par = observable_globals(&program.module, &out.mem);
-//! assert_eq!(pspdg::runtime::globals_mismatch(&seq, &par), None);
+//! assert_eq!(out.globals_mismatch, None, "memory matches the interpreter");
 //! ```
+//!
+//! For many programs, wrap sessions in a [`PlanStore`]: a
+//! content-addressed cache (keyed on the *parsed* module, so reformatting
+//! the source still hits) with single-flight builds and an LRU byte
+//! budget. The `pspdg_serve` daemon exposes the same pipeline over
+//! localhost TCP — see `pspdg::service`.
 
 #![warn(missing_docs)]
 
@@ -61,3 +65,6 @@ pub use pspdg_parallel as parallel;
 pub use pspdg_parallelizer as parallelizer;
 pub use pspdg_pdg as pdg;
 pub use pspdg_runtime as runtime;
+pub use pspdg_service as service;
+
+pub use pspdg_service::{PlanStore, Session};
